@@ -1,0 +1,378 @@
+// Package bindlock is a security-aware resource binding library for
+// high-level synthesis, implementing "A Resource Binding Approach to Logic
+// Obfuscation" (Zuzak, Liu, Srivastava — DAC 2021).
+//
+// Logic locking injects key-controlled errors into IC modules, but the SAT
+// attack forces locked modules to corrupt only a handful of input minterms,
+// which rarely disturbs the application. This library exploits the resource
+// binding step of HLS to concentrate those few locked minterms where they
+// hurt: the obfuscation-aware binder maps operations onto locked functional
+// units to maximise locked-input hits, and the binding–obfuscation co-design
+// algorithms pick the locked minterms and the binding together.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Compile parses a kernel in a small C-like language into a data-flow
+//     graph (internal/frontend).
+//   - Prepare runs the full front-of-line flow: compile, schedule onto a
+//     bounded FU allocation (internal/sched), generate a typical workload
+//     (internal/trace) and simulate it to collect the input-minterm
+//     occurrence matrix K (internal/sim).
+//   - Design.BindObfuscationAware, Design.CoDesign and Design.Methodology
+//     expose the paper's algorithms (internal/binding, internal/codesign).
+//   - Benchmarks returns the 11 MediaBench-derived kernels of the paper's
+//     evaluation (internal/mediabench).
+//   - The gate-level stack — netlists, locking constructions, the CDCL SAT
+//     solver and the oracle-guided SAT attack — is exercised through the
+//     LockAndAttack helper and the cmd/satattack tool.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured reproduction record.
+package bindlock
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bindlock/internal/alloc"
+	"bindlock/internal/binding"
+	"bindlock/internal/codesign"
+	"bindlock/internal/dfg"
+	"bindlock/internal/elaborate"
+	"bindlock/internal/frontend"
+	"bindlock/internal/lockedsim"
+	"bindlock/internal/locking"
+	"bindlock/internal/mediabench"
+	"bindlock/internal/netlist"
+	"bindlock/internal/opt"
+	"bindlock/internal/rtl"
+	"bindlock/internal/satattack"
+	"bindlock/internal/sched"
+	"bindlock/internal/sim"
+	"bindlock/internal/trace"
+)
+
+// Core data types, re-exported for downstream use.
+type (
+	// Graph is a (scheduled) data-flow graph.
+	Graph = dfg.Graph
+	// OpID identifies an operation in a Graph.
+	OpID = dfg.OpID
+	// Minterm is a packed 2x8-bit FU input pair.
+	Minterm = dfg.Minterm
+	// Class is a functional-unit class (adder or multiplier).
+	Class = dfg.Class
+	// KMatrix holds per-operation input-minterm occurrence counts.
+	KMatrix = sim.KMatrix
+	// SimResult is a workload simulation outcome (K matrix plus operand
+	// streams).
+	SimResult = sim.Result
+	// Trace is an input workload.
+	Trace = trace.Trace
+	// WorkloadKind selects a synthetic workload family.
+	WorkloadKind = trace.Generator
+	// Binding maps operations onto FUs.
+	Binding = binding.Binding
+	// Binder is a binding algorithm.
+	Binder = binding.Binder
+	// LockConfig is a per-class locking configuration.
+	LockConfig = locking.Config
+	// FULock is the locking specification of one FU.
+	FULock = locking.FULock
+	// Scheme is a logic-locking technique.
+	Scheme = locking.Scheme
+	// CoDesignResult is a co-designed locking configuration and binding.
+	CoDesignResult = codesign.Result
+	// Plan is a Sec. V-C design-methodology outcome.
+	Plan = codesign.Plan
+	// DatapathMetrics reports register/mux/switching overhead.
+	DatapathMetrics = rtl.Metrics
+	// Benchmark is one of the paper's 11 evaluation kernels.
+	Benchmark = mediabench.Benchmark
+)
+
+// FU classes.
+const (
+	ClassAdd = dfg.ClassAdd
+	ClassMul = dfg.ClassMul
+)
+
+// Workload families.
+const (
+	WorkloadUniform     = trace.Uniform
+	WorkloadImageBlocks = trace.ImageBlocks
+	WorkloadAudio       = trace.Audio
+	WorkloadBitstream   = trace.Bitstream
+	WorkloadSensorNoise = trace.SensorNoise
+)
+
+// Locking schemes.
+const (
+	SFLLRem       = locking.SFLLRem
+	SFLLHD        = locking.SFLLHD
+	StrongAntiSAT = locking.StrongAntiSAT
+	FullLock      = locking.FullLock
+)
+
+// Compile parses kernel source in the library's C-like kernel language into
+// an unscheduled data-flow graph.
+func Compile(src string) (*Graph, error) { return frontend.Compile(src) }
+
+// OptimizeStats reports what the optimisation pipeline removed.
+type OptimizeStats = opt.Result
+
+// Optimize runs the HLS front-end passes (constant folding, common
+// subexpression elimination, dead-code elimination) on an unscheduled graph,
+// returning an equivalent, usually smaller graph.
+func Optimize(g *Graph) (*Graph, OptimizeStats, error) { return opt.Optimize(g) }
+
+// Benchmarks returns the 11 MediaBench-derived kernels of the paper's
+// evaluation.
+func Benchmarks() []Benchmark { return mediabench.All() }
+
+// BenchmarkByName looks up one of the 11 kernels.
+func BenchmarkByName(name string) (Benchmark, error) { return mediabench.ByName(name) }
+
+// Design is a scheduled, workload-characterised kernel ready for
+// security-aware binding.
+type Design struct {
+	G      *Graph
+	Res    *SimResult
+	NumFUs int
+}
+
+// Prepare runs the experimental flow of the paper's Fig. 3 on kernel source:
+// compile, schedule onto up to maxFUs FUs per class with the path-based
+// scheduler, generate samples workload inputs of the given family, and
+// simulate to obtain the K matrix.
+func Prepare(src string, maxFUs, samples int, gen WorkloadKind, seed int64) (*Design, error) {
+	g, err := frontend.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	cons := sched.Constraints{MaxFUs: map[Class]int{ClassAdd: maxFUs, ClassMul: maxFUs}}
+	if _, err := sched.PathBased(g, cons); err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, id := range g.Inputs() {
+		names = append(names, g.Ops[id].Name)
+	}
+	res, err := sim.Run(g, trace.Generate(gen, names, samples, seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Design{G: g, Res: res, NumFUs: maxFUs}, nil
+}
+
+// PrepareGraph runs the scheduling and workload-characterisation flow on an
+// already-compiled (for example, optimised) graph. The graph is scheduled in
+// place.
+func PrepareGraph(g *Graph, maxFUs, samples int, gen WorkloadKind, seed int64) (*Design, error) {
+	cons := sched.Constraints{MaxFUs: map[Class]int{ClassAdd: maxFUs, ClassMul: maxFUs}}
+	if _, err := sched.PathBased(g, cons); err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, id := range g.Inputs() {
+		names = append(names, g.Ops[id].Name)
+	}
+	res, err := sim.Run(g, trace.Generate(gen, names, samples, seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Design{G: g, Res: res, NumFUs: maxFUs}, nil
+}
+
+// PrepareBenchmark runs the same flow on one of the built-in kernels with
+// its paper-matched workload family.
+func PrepareBenchmark(name string, maxFUs, samples int, seed int64) (*Design, error) {
+	b, err := mediabench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.Prepare(maxFUs, samples, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{G: p.G, Res: p.Res, NumFUs: p.NumFUs}, nil
+}
+
+// Candidates returns the k most frequent input minterms of the class over
+// the design's workload — the default candidate locked input list C of
+// Sec. V-B.
+func (d *Design) Candidates(class Class, k int) []Minterm {
+	top := d.Res.K.TopMinterms(d.G, class, k)
+	ms := make([]Minterm, len(top))
+	for i, mc := range top {
+		ms[i] = mc.M
+	}
+	return ms
+}
+
+// NewLockConfig builds a critical-minterm locking configuration: lockedFUs
+// FUs of the allocation each protecting the corresponding minterm set.
+func (d *Design) NewLockConfig(class Class, lockedFUs int, minterms [][]Minterm) (*LockConfig, error) {
+	return locking.NewConfig(class, d.NumFUs, lockedFUs, locking.SFLLRem, minterms)
+}
+
+// BindObfuscationAware solves Problem 1 (Sec. IV): given a fixed locking
+// configuration, bind to maximise locking-induced application errors.
+func (d *Design) BindObfuscationAware(class Class, lock *LockConfig) (*Binding, error) {
+	return (binding.ObfuscationAware{}).Bind(&binding.Problem{
+		G: d.G, Class: class, NumFUs: d.NumFUs, K: d.Res.K, Lock: lock,
+	})
+}
+
+// BindBaseline binds with a security-oblivious baseline: "area" (register
+// minimising, Huang et al. [20]), "power" (switching minimising, Chang et
+// al. [19]) or "random".
+func (d *Design) BindBaseline(class Class, name string) (*Binding, error) {
+	var b Binder
+	switch name {
+	case "area":
+		b = binding.AreaAware{}
+	case "power":
+		b = binding.PowerAware{}
+	case "random":
+		b = binding.Random{Seed: 1}
+	default:
+		return nil, fmt.Errorf("bindlock: unknown baseline %q (want area, power or random)", name)
+	}
+	return b.Bind(&binding.Problem{
+		G: d.G, Class: class, NumFUs: d.NumFUs, K: d.Res.K, Res: d.Res,
+	})
+}
+
+// ApplicationErrors evaluates the paper's Eqn. 2 cost: the expected number
+// of locked-input applications to locked FUs over the workload.
+func (d *Design) ApplicationErrors(lock *LockConfig, b *Binding) (int, error) {
+	return binding.ApplicationErrors(d.G, d.Res.K, lock, b)
+}
+
+// CoDesign solves Problem 2 (Sec. V) with the P-time heuristic: choose the
+// binding and the locked minterms (mintermsPerFU each from candidates) for
+// lockedFUs FUs to maximise application errors.
+func (d *Design) CoDesign(class Class, lockedFUs, mintermsPerFU int, candidates []Minterm) (*CoDesignResult, error) {
+	return codesign.Heuristic(d.G, d.Res.K, codesign.Options{
+		Class: class, NumFUs: d.NumFUs, LockedFUs: lockedFUs,
+		MintermsPerFU: mintermsPerFU, Candidates: candidates,
+		Scheme: locking.SFLLRem,
+	})
+}
+
+// CoDesignOptimal solves Problem 2 exactly (exponential enumeration).
+func (d *Design) CoDesignOptimal(class Class, lockedFUs, mintermsPerFU int, candidates []Minterm) (*CoDesignResult, error) {
+	return codesign.Optimal(d.G, d.Res.K, codesign.Options{
+		Class: class, NumFUs: d.NumFUs, LockedFUs: lockedFUs,
+		MintermsPerFU: mintermsPerFU, Candidates: candidates,
+		Scheme: locking.SFLLRem,
+	})
+}
+
+// Methodology runs the Sec. V-C design flow: find the smallest locked-input
+// count meeting minErrors, then size a Full-Lock-style routing network (only
+// if needed) so the modelled SAT attack takes at least minSATTime.
+func (d *Design) Methodology(class Class, lockedFUs int, candidates []Minterm,
+	minErrors int, minSATTime time.Duration) (*Plan, error) {
+	return codesign.Methodology(d.G, d.Res.K,
+		codesign.Options{
+			Class: class, NumFUs: d.NumFUs, LockedFUs: lockedFUs,
+			Candidates: candidates, Scheme: locking.SFLLRem,
+		},
+		codesign.Target{MinErrors: minErrors, MinSATTime: minSATTime})
+}
+
+// Overhead measures the bound datapath (register count, mux inputs,
+// switching rate) for the given per-class bindings.
+func (d *Design) Overhead(bindings map[Class]*Binding) (DatapathMetrics, error) {
+	return rtl.Measure(d.G, bindings, d.Res)
+}
+
+// WriteVerilog emits the bound design as a synthesisable RTL module with
+// shared FUs, input multiplexers and a cycle-counter controller. Every FU
+// class present in the design needs a binding.
+func (d *Design) WriteVerilog(w io.Writer, bindings map[Class]*Binding) error {
+	return rtl.WriteVerilog(w, d.G, bindings)
+}
+
+// CorruptionReport is a functional locked-design simulation outcome.
+type CorruptionReport = lockedsim.Report
+
+// SimulateLocked runs the design's workload through the locked datapath
+// under a wrong key and reports injected and application-visible errors.
+func (d *Design) SimulateLocked(tr *Trace, b *Binding, cfg *LockConfig) (CorruptionReport, error) {
+	return lockedsim.Run(d.G, tr, b, cfg)
+}
+
+// MinimalAllocation returns the smallest per-class FU counts under which the
+// path-based scheduler meets the latency bound (the allocation phase of HLS).
+func MinimalAllocation(g *Graph, latency int) (map[Class]int, error) {
+	return alloc.Minimal(g, latency)
+}
+
+// AllocationTradeoff sweeps the class allocation from 1 to maxFUs and
+// reports the achieved latency at each point.
+func AllocationTradeoff(g *Graph, class Class, maxFUs int) ([]alloc.Point, error) {
+	return alloc.Tradeoff(g, class, maxFUs)
+}
+
+// Resilience returns Eqn. 1's expected SAT-attack iteration count for a
+// locking configuration (the weakest locked module governs).
+func Resilience(lock *LockConfig) (float64, error) {
+	return locking.ConfigResilience(lock)
+}
+
+// AttackOutcome reports a gate-level SAT attack run from LockAndAttack.
+type AttackOutcome struct {
+	// Iterations is the number of distinguishing input patterns needed.
+	Iterations int
+	// Duration is the attack wall time.
+	Duration time.Duration
+	// KeyBits is the locked circuit's key length.
+	KeyBits int
+	// GateCount is the locked circuit's logic gate count.
+	GateCount int
+}
+
+// ElaboratedDesign is a flat gate-level realisation of a bound, locked
+// design (see internal/elaborate).
+type ElaboratedDesign = elaborate.Result
+
+// Elaborate lowers the design into one gate-level netlist under the given
+// per-class bindings, realising cfg's locked FUs as SFLL hardware with
+// per-FU shared keys. Pass a nil cfg for an unlocked reference netlist.
+func (d *Design) Elaborate(bindings map[Class]*Binding, cfg *LockConfig) (*ElaboratedDesign, error) {
+	return elaborate.Design(d.G, bindings, cfg)
+}
+
+// LockAndAttack synthesises a gate-level adder FU of the given operand
+// width, locks it with SFLL-HD(0) protecting the secret minterm, and runs
+// the full oracle-guided SAT attack against it. It validates that the
+// recovered key is functionally correct and reports the measured effort —
+// the empirical side of Eqn. 1.
+func LockAndAttack(operandBits int, secret uint64) (*AttackOutcome, error) {
+	base, err := netlist.NewAdder(operandBits)
+	if err != nil {
+		return nil, err
+	}
+	locked, key, err := netlist.LockSFLLHD0(base, []uint64{secret})
+	if err != nil {
+		return nil, err
+	}
+	oracle := satattack.OracleFromCircuit(locked, key)
+	res, err := satattack.Attack(locked, oracle, satattack.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := satattack.VerifyKey(locked, res.Key, oracle); err != nil {
+		return nil, err
+	}
+	return &AttackOutcome{
+		Iterations: res.Iterations,
+		Duration:   res.Duration,
+		KeyBits:    len(locked.Keys),
+		GateCount:  locked.LogicGates(),
+	}, nil
+}

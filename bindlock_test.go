@@ -1,0 +1,166 @@
+package bindlock
+
+import (
+	"testing"
+)
+
+const quickKernel = `
+kernel demo;
+input a, b, c, d;
+output y, z;
+t0 = a * b;
+t1 = c * d;
+t2 = t0 + t1;
+t3 = t2 + a;
+t4 = t3 + c;
+y = t4;
+z = t2 - d;
+`
+
+func TestPrepareAndCoDesignFacade(t *testing.T) {
+	d, err := Prepare(quickKernel, 2, 300, WorkloadImageBlocks, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := d.Candidates(ClassAdd, 8)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	co, err := d.CoDesign(ClassAdd, 1, 2, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Errors <= 0 {
+		t.Fatal("co-design produced no errors")
+	}
+
+	// The identical locking configuration on the area baseline cannot do
+	// better (co-design optimised binding and minterms together).
+	area, err := d.BindBaseline(ClassAdd, "area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eArea, err := d.ApplicationErrors(co.Cfg, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eArea > co.Errors {
+		t.Fatalf("area baseline %d beats co-design %d", eArea, co.Errors)
+	}
+
+	lam, err := Resilience(co.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam < 1000 {
+		t.Fatalf("resilience λ = %v, implausibly low for 2 locked minterms", lam)
+	}
+}
+
+func TestObfuscationAwareFacade(t *testing.T) {
+	d, err := Prepare(quickKernel, 2, 200, WorkloadAudio, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := d.Candidates(ClassMul, 4)
+	lock, err := d.NewLockConfig(ClassMul, 1, [][]Minterm{{cands[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.BindObfuscationAware(ClassMul, lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eObf, err := d.ApplicationErrors(lock, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []string{"area", "power", "random"} {
+		bb, err := d.BindBaseline(ClassMul, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eBase, err := d.ApplicationErrors(lock, bb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eBase > eObf {
+			t.Errorf("%s baseline %d beats obf-aware %d (Thm. 2 violated)", base, eBase, eObf)
+		}
+	}
+	if _, err := d.BindBaseline(ClassMul, "nope"); err == nil {
+		t.Error("unknown baseline must error")
+	}
+}
+
+func TestOverheadFacade(t *testing.T) {
+	d, err := Prepare(quickKernel, 2, 100, WorkloadUniform, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add, err := d.BindBaseline(ClassAdd, "area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul, err := d.BindBaseline(ClassMul, "area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Overhead(map[Class]*Binding{ClassAdd: add, ClassMul: mul})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Registers <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestBenchmarksFacade(t *testing.T) {
+	if len(Benchmarks()) != 11 {
+		t.Fatal("want 11 benchmarks")
+	}
+	d, err := PrepareBenchmark("fir", 3, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.G.Name != "fir" {
+		t.Fatalf("prepared %q", d.G.Name)
+	}
+	if _, err := PrepareBenchmark("nope", 3, 100, 2); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if _, err := BenchmarkByName("dct"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockAndAttackFacade(t *testing.T) {
+	out, err := LockAndAttack(3, 0b110101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.KeyBits != 6 || out.Iterations < 1 || out.GateCount <= 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestMethodologyFacade(t *testing.T) {
+	d, err := PrepareBenchmark("dct", 3, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := d.Candidates(ClassAdd, 10)
+	plan, err := d.Methodology(ClassAdd, 2, cands, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Result.Errors < 50 {
+		t.Fatalf("plan misses error target: %+v", plan)
+	}
+}
+
+func TestCompileFacadeError(t *testing.T) {
+	if _, err := Compile("kernel broken"); err == nil {
+		t.Fatal("bad source must error")
+	}
+}

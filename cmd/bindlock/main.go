@@ -1,0 +1,187 @@
+// Command bindlock runs the security-aware binding flow on a benchmark or a
+// kernel source file and reports the locking-induced application errors of
+// each binding algorithm side by side.
+//
+// Usage:
+//
+//	bindlock -bench fir [-class adder|multiplier] [-locked-fus 2] [-inputs 2]
+//	         [-fus 3] [-samples 600] [-seed 1] [-candidates 10] [-dot]
+//	bindlock -src kernel.bl [-workload image|audio|bitstream|sensor|uniform] ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bindlock"
+)
+
+func main() {
+	bench := flag.String("bench", "", "built-in benchmark name (one of the 11 MediaBench kernels)")
+	src := flag.String("src", "", "kernel source file in the bindlock kernel language")
+	workload := flag.String("workload", "image", "workload family for -src: image, audio, bitstream, sensor, uniform")
+	class := flag.String("class", "adder", "FU class to bind: adder or multiplier")
+	fus := flag.Int("fus", 3, "FU allocation per class")
+	lockedFUs := flag.Int("locked-fus", 2, "number of locked FUs")
+	inputs := flag.Int("inputs", 2, "locked input minterms per FU")
+	samples := flag.Int("samples", 600, "workload samples")
+	seed := flag.Int64("seed", 1, "workload seed")
+	candidates := flag.Int("candidates", 10, "candidate locked input count")
+	dot := flag.Bool("dot", false, "print the scheduled DFG in Graphviz DOT format")
+	verilog := flag.Bool("verilog", false, "emit the co-designed datapath as RTL Verilog")
+	optimize := flag.Bool("O", false, "run front-end optimisation passes (fold/CSE/DCE) before scheduling (-src only)")
+	flag.Parse()
+
+	if err := run(*bench, *src, *workload, *class, *fus, *lockedFUs, *inputs,
+		*samples, *seed, *candidates, *dot, *verilog, *optimize); err != nil {
+		fmt.Fprintln(os.Stderr, "bindlock:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, src, workload, className string, fus, lockedFUs, inputs,
+	samples int, seed int64, candidates int, dot, verilog, optimize bool) error {
+	var d *bindlock.Design
+	var err error
+	switch {
+	case bench != "" && src != "":
+		return fmt.Errorf("-bench and -src are mutually exclusive")
+	case bench != "":
+		d, err = bindlock.PrepareBenchmark(bench, fus, samples, seed)
+	case src != "":
+		data, rerr := os.ReadFile(src)
+		if rerr != nil {
+			return rerr
+		}
+		kernel := string(data)
+		if optimize {
+			g, cerr := bindlock.Compile(kernel)
+			if cerr != nil {
+				return cerr
+			}
+			og, stats, oerr := bindlock.Optimize(g)
+			if oerr != nil {
+				return oerr
+			}
+			fmt.Printf("optimised: folded %d, simplified %d, merged %d, removed %d dead (%d -> %d ops)\n",
+				stats.FoldedConsts, stats.Simplified, stats.CSEMerged, stats.DeadRemoved,
+				len(g.Ops), len(og.Ops))
+			gen, gerr := workloadKind(workload)
+			if gerr != nil {
+				return gerr
+			}
+			d, err = bindlock.PrepareGraph(og, fus, samples, gen, seed)
+			break
+		}
+		gen, gerr := workloadKind(workload)
+		if gerr != nil {
+			return gerr
+		}
+		d, err = bindlock.Prepare(kernel, fus, samples, gen, seed)
+	default:
+		return fmt.Errorf("one of -bench or -src is required (try -bench fir)")
+	}
+	if err != nil {
+		return err
+	}
+
+	var class bindlock.Class
+	switch className {
+	case "adder":
+		class = bindlock.ClassAdd
+	case "multiplier":
+		class = bindlock.ClassMul
+	default:
+		return fmt.Errorf("unknown class %q", className)
+	}
+
+	st := d.G.Stat()
+	fmt.Printf("kernel %s: %d adds, %d muls, %d cycles on up to %d FUs/class\n",
+		st.Name, st.Adds, st.Muls, st.Cycles, d.NumFUs)
+	if dot {
+		fmt.Println(d.G.DOT())
+	}
+
+	cands := d.Candidates(class, candidates)
+	if len(cands) == 0 {
+		return fmt.Errorf("kernel has no %v operations", class)
+	}
+	if inputs > len(cands) {
+		inputs = len(cands)
+	}
+	fmt.Printf("top candidate locked inputs (%v): ", class)
+	for i, m := range cands {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(m)
+	}
+	fmt.Println()
+
+	// Co-design picks the locked inputs and the binding together.
+	co, err := d.CoDesign(class, lockedFUs, inputs, cands)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbinding-obfuscation co-design: E = %d application errors / %d samples\n",
+		co.Errors, samples)
+	for _, l := range co.Cfg.Locks {
+		fmt.Printf("  FU %d locks %v\n", l.FU, l.Minterms)
+	}
+	lam, err := bindlock.Resilience(co.Cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  SAT resilience (Eqn. 1): %.0f expected iterations per module\n", lam)
+
+	// The same locking configuration on each baseline binding.
+	fmt.Println("\nidentical locking configuration under security-oblivious binding:")
+	for _, name := range []string{"area", "power", "random"} {
+		b, err := d.BindBaseline(class, name)
+		if err != nil {
+			return err
+		}
+		e, err := d.ApplicationErrors(co.Cfg, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-7s binding: E = %5d  (co-design advantage: %.1fx)\n",
+			name, e, float64(co.Errors+1)/float64(e+1))
+	}
+
+	if verilog {
+		bindings := map[bindlock.Class]*bindlock.Binding{class: co.Binding}
+		for _, other := range []bindlock.Class{bindlock.ClassAdd, bindlock.ClassMul} {
+			if other == class || len(d.G.OpsOfClass(other)) == 0 {
+				continue
+			}
+			b, err := d.BindBaseline(other, "area")
+			if err != nil {
+				return err
+			}
+			bindings[other] = b
+		}
+		fmt.Println("\n// --- RTL Verilog of the co-designed datapath ---")
+		if err := d.WriteVerilog(os.Stdout, bindings); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func workloadKind(name string) (bindlock.WorkloadKind, error) {
+	switch name {
+	case "image":
+		return bindlock.WorkloadImageBlocks, nil
+	case "audio":
+		return bindlock.WorkloadAudio, nil
+	case "bitstream":
+		return bindlock.WorkloadBitstream, nil
+	case "sensor":
+		return bindlock.WorkloadSensorNoise, nil
+	case "uniform":
+		return bindlock.WorkloadUniform, nil
+	}
+	return 0, fmt.Errorf("unknown workload %q", name)
+}

@@ -1,0 +1,175 @@
+// Command elaborate exports a co-designed locked benchmark as gate-level
+// artifacts for external EDA and SAT tooling: the flat locked netlist as
+// structural Verilog, its Tseitin CNF in DIMACS format, the RTL datapath,
+// and the correct key.
+//
+// Usage:
+//
+//	elaborate -bench fir [-class adder] [-locked-fus 1] [-inputs 1]
+//	          [-samples 600] [-seed 1] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bindlock"
+	"bindlock/internal/binding"
+	"bindlock/internal/cnf"
+	"bindlock/internal/codesign"
+	"bindlock/internal/dfg"
+	"bindlock/internal/elaborate"
+	"bindlock/internal/locking"
+	"bindlock/internal/mediabench"
+	"bindlock/internal/rtl"
+)
+
+func main() {
+	bench := flag.String("bench", "fir", "benchmark to export")
+	className := flag.String("class", "adder", "FU class to lock: adder or multiplier")
+	lockedFUs := flag.Int("locked-fus", 1, "number of locked FUs")
+	inputs := flag.Int("inputs", 1, "locked minterms per FU")
+	samples := flag.Int("samples", 600, "workload samples")
+	seed := flag.Int64("seed", 1, "workload seed")
+	outDir := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	if err := run(*bench, *className, *lockedFUs, *inputs, *samples, *seed, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "elaborate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName, className string, lockedFUs, inputs, samples int, seed int64, outDir string) error {
+	class := dfg.ClassAdd
+	if className == "multiplier" {
+		class = dfg.ClassMul
+	} else if className != "adder" {
+		return fmt.Errorf("unknown class %q", className)
+	}
+
+	b, err := mediabench.ByName(benchName)
+	if err != nil {
+		return err
+	}
+	p, err := b.Prepare(3, samples, seed)
+	if err != nil {
+		return err
+	}
+	if !p.HasClass(class) {
+		return fmt.Errorf("%s has no %v operations", benchName, class)
+	}
+
+	// Co-design the lock, bind the remaining classes area-aware.
+	top := p.Res.K.TopMinterms(p.G, class, 10)
+	cands := make([]dfg.Minterm, len(top))
+	for i, mc := range top {
+		cands[i] = mc.M
+	}
+	co, err := codesign.Heuristic(p.G, p.Res.K, codesign.Options{
+		Class: class, NumFUs: p.NumFUs, LockedFUs: lockedFUs, MintermsPerFU: inputs,
+		Candidates: cands, Scheme: locking.SFLLRem,
+	})
+	if err != nil {
+		return err
+	}
+	bindings := map[dfg.Class]*binding.Binding{class: co.Binding}
+	for _, other := range []dfg.Class{dfg.ClassAdd, dfg.ClassMul} {
+		if other == class || !p.HasClass(other) {
+			continue
+		}
+		ab, err := (binding.AreaAware{}).Bind(&binding.Problem{
+			G: p.G, Class: other, NumFUs: p.NumFUs, K: p.Res.K, Res: p.Res,
+		})
+		if err != nil {
+			return err
+		}
+		bindings[other] = ab
+	}
+
+	res, err := elaborate.Design(p.G, bindings, co.Cfg)
+	if err != nil {
+		return err
+	}
+
+	write := func(name string, emit func(*os.File) error) error {
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := emit(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
+
+	// 1. Locked gate-level netlist as structural Verilog.
+	if err := write(benchName+"_locked.v", func(f *os.File) error {
+		return res.Circuit.WriteVerilog(f)
+	}); err != nil {
+		return err
+	}
+	// 2. Tseitin CNF of the locked netlist (key and input variables listed
+	// in comments for external SAT tooling).
+	if err := write(benchName+"_locked.cnf", func(f *os.File) error {
+		enc := cnf.NewEncoder()
+		inst, err := enc.Encode(res.Circuit, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "c locked netlist %s: %d gates, %d key bits\n",
+			res.Circuit.Name, res.Circuit.LogicGates(), len(res.Circuit.Keys))
+		fmt.Fprintf(f, "c input vars: %s\n", varList(inst.Inputs))
+		fmt.Fprintf(f, "c key vars: %s\n", varList(inst.Keys))
+		fmt.Fprintf(f, "c output vars: %s\n", varList(inst.Outputs))
+		return enc.S.WriteDIMACS(f)
+	}); err != nil {
+		return err
+	}
+	// 3. The RTL datapath (pre-locking reference).
+	if err := write(benchName+"_datapath.v", func(f *os.File) error {
+		return rtl.WriteVerilog(f, p.G, bindings)
+	}); err != nil {
+		return err
+	}
+	// 4. Correct key, one bit per line (LSB first).
+	if err := write(benchName+"_key.txt", func(f *os.File) error {
+		var sb strings.Builder
+		for _, bit := range res.CorrectKey {
+			if bit {
+				sb.WriteString("1\n")
+			} else {
+				sb.WriteString("0\n")
+			}
+		}
+		_, err := f.WriteString(sb.String())
+		return err
+	}); err != nil {
+		return err
+	}
+
+	lam, err := bindlock.Resilience(co.Cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s/%v: %d locked FUs x %d minterms, E = %d errors/%d samples, λ = %.0f\n",
+		benchName, class, lockedFUs, inputs, co.Errors, samples, lam)
+	return nil
+}
+
+func varList(vars []int) string {
+	var sb strings.Builder
+	for i, v := range vars {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", v+1) // DIMACS numbering
+	}
+	return sb.String()
+}

@@ -1,0 +1,193 @@
+// Command figures regenerates the paper's evaluation figures and headline
+// statistics (Sec. VI) as text tables.
+//
+// Usage:
+//
+//	figures [-fig 4|5|6|corruption|scan|resilience|eps|stability|all]
+//	        [-samples N] [-seed S] [-candidates N] [-assignments N]
+//	        [-optbudget N] [-bench a,b,c] [-csv DIR]
+//
+// The default configuration matches the paper's setup: all 11 benchmarks,
+// the 10 most common minterms as candidate locked inputs, and the full
+// {1,2,3} locked FUs x {1,2,3} locked inputs sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/experiments"
+)
+
+// experimentClass maps a CLI class name onto a dfg.Class.
+func experimentClass(name string) dfg.Class {
+	if name == "multiplier" {
+		return dfg.ClassMul
+	}
+	return dfg.ClassAdd
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4, 5, 6, corruption, scan, resilience, eps, stability or all")
+	samples := flag.Int("samples", 600, "workload samples per benchmark")
+	seed := flag.Int64("seed", 1, "workload seed")
+	candidates := flag.Int("candidates", 10, "candidate locked input count |C|")
+	assignments := flag.Int("assignments", 300, "max locked-input assignments enumerated per configuration")
+	optBudget := flag.Int("optbudget", 20000, "largest enumeration for which optimal co-design also runs (-1 disables)")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 11)")
+	secrets := flag.Int("secrets", 6, "secrets per key width in the resilience experiments")
+	csvDir := flag.String("csv", "", "also write each regenerated figure as CSV into this directory")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Samples:        *samples,
+		Seed:           *seed,
+		Candidates:     *candidates,
+		MaxAssignments: *assignments,
+		OptimalBudget:  *optBudget,
+	}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	writeCSV := func(name string, f func(io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		file, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: csv %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		if err := f(file); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: csv %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", path)
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	needSweep := *fig == "4" || *fig == "5" || *fig == "all"
+	var suite *experiments.Suite
+	var sweep *experiments.Fig4Data
+	if needSweep || *fig == "6" || *fig == "corruption" {
+		var err error
+		suite, err = experiments.NewSuite(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+	if needSweep {
+		run("sweep", func() error {
+			var err error
+			sweep, err = suite.Fig4()
+			return err
+		})
+	}
+
+	if *fig == "4" || *fig == "all" {
+		experiments.RenderFig4(os.Stdout, sweep)
+		writeCSV("fig4", sweep.WriteFig4CSV)
+		fmt.Println()
+	}
+	if *fig == "5" || *fig == "all" {
+		f5 := experiments.Fig5From(sweep)
+		experiments.RenderFig5(os.Stdout, f5)
+		writeCSV("fig5", f5.WriteFig5CSV)
+		fmt.Println()
+	}
+	if *fig == "6" || *fig == "all" {
+		run("figure 6", func() error {
+			d, err := suite.Fig6()
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig6(os.Stdout, d)
+			writeCSV("fig6", d.WriteFig6CSV)
+			return nil
+		})
+	}
+	if *fig == "corruption" || *fig == "all" {
+		run("corruption", func() error {
+			rows, err := suite.OutputCorruption()
+			if err != nil {
+				return err
+			}
+			experiments.RenderCorruption(os.Stdout, rows)
+			writeCSV("corruption", func(w io.Writer) error {
+				return experiments.WriteCorruptionCSV(w, rows)
+			})
+			return nil
+		})
+	}
+	if *fig == "scan" || *fig == "all" {
+		run("scan access", func() error {
+			var rows []*experiments.ScanRow
+			for _, spec := range []struct {
+				bench string
+				class string
+			}{
+				{"jdmerge1", "multiplier"}, {"fir", "adder"}, {"dct", "adder"},
+			} {
+				class := experimentClass(spec.class)
+				row, err := experiments.ScanAccess(spec.bench, class, 12, *samples, *seed)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, row)
+			}
+			experiments.RenderScan(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *fig == "resilience" || *fig == "all" {
+		run("resilience", func() error {
+			rows, err := experiments.Resilience([]int{2, 3, 4}, *secrets, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.RenderResilience(os.Stdout, rows)
+			writeCSV("resilience", func(w io.Writer) error {
+				return experiments.WriteResilienceCSV(w, rows)
+			})
+			return nil
+		})
+	}
+	if *fig == "stability" || *fig == "all" {
+		run("seed stability", func() error {
+			s, err := experiments.SeedStability(cfg, []int64{1, 2, 3, 4, 5})
+			if err != nil {
+				return err
+			}
+			experiments.RenderStability(os.Stdout, s)
+			return nil
+		})
+	}
+	if *fig == "eps" || *fig == "all" {
+		run("epsilon sweep", func() error {
+			rows, err := experiments.EpsilonSweep([]int{0, 1, 2}, *secrets, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.RenderEpsilonSweep(os.Stdout, rows)
+			return nil
+		})
+	}
+}

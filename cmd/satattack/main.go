@@ -1,0 +1,143 @@
+// Command satattack synthesises a gate-level FU, locks it with a chosen
+// scheme, and runs the oracle-guided SAT attack against it, reporting the
+// measured effort next to the Eqn. 1 prediction.
+//
+// Usage:
+//
+//	satattack [-fu adder|multiplier] [-width 3] [-scheme sfll|sfll-hd|xor|routing]
+//	          [-secret N] [-h 1] [-keys 8] [-seed 1]
+//	satattack -validate [-secrets 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bindlock/internal/experiments"
+	"bindlock/internal/locking"
+	"bindlock/internal/netlist"
+	"bindlock/internal/satattack"
+)
+
+func main() {
+	fu := flag.String("fu", "adder", "functional unit: adder or multiplier")
+	width := flag.Int("width", 3, "operand width in bits")
+	scheme := flag.String("scheme", "sfll", "locking scheme: sfll, sfll-hd, xor, routing or anti-sat")
+	secret := flag.Uint64("secret", 0b101101, "protected input minterm (sfll schemes)")
+	hd := flag.Int("h", 1, "hamming distance for sfll-hd")
+	keys := flag.Int("keys", 8, "key-gate count for xor locking")
+	seed := flag.Int64("seed", 1, "seed for randomized insertions")
+	validate := flag.Bool("validate", false, "run the Eqn. 1 validation sweep instead of a single attack")
+	secrets := flag.Int("secrets", 6, "secrets per key width for -validate")
+	verilog := flag.Bool("verilog", false, "emit the locked netlist as structural Verilog before attacking")
+	approx := flag.Int("approx", 0, "run an AppSAT-style approximate attack with this DIP budget instead of the exact attack")
+	flag.Parse()
+
+	if *validate {
+		rows, err := experiments.Resilience([]int{2, 3, 4}, *secrets, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderResilience(os.Stdout, rows)
+		eps, err := experiments.EpsilonSweep([]int{0, 1, 2}, *secrets, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		experiments.RenderEpsilonSweep(os.Stdout, eps)
+		return
+	}
+
+	if err := attack(*fu, *width, *scheme, *secret, *hd, *keys, *seed, *verilog, *approx); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satattack:", err)
+	os.Exit(1)
+}
+
+func attack(fu string, width int, scheme string, secret uint64, hd, keys int, seed int64, verilog bool, approx int) error {
+	var base *netlist.Circuit
+	var err error
+	switch fu {
+	case "adder":
+		base, err = netlist.NewAdder(width)
+	case "multiplier":
+		base, err = netlist.NewMultiplier(width)
+	default:
+		return fmt.Errorf("unknown FU %q", fu)
+	}
+	if err != nil {
+		return err
+	}
+
+	var locked *netlist.Circuit
+	var key []bool
+	switch scheme {
+	case "sfll":
+		locked, key, err = netlist.LockSFLLHD0(base, []uint64{secret})
+	case "sfll-hd":
+		locked, key, err = netlist.LockSFLLHD(base, secret, hd)
+	case "xor":
+		locked, key, err = netlist.LockXOR(base, keys, seed)
+	case "routing":
+		locked, key, err = netlist.LockRouting(base, seed)
+	case "anti-sat":
+		locked, key, err = netlist.LockAntiSAT(base, seed)
+	default:
+		return fmt.Errorf("unknown scheme %q", scheme)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("locked %s: %d logic gates, %d key bits (%s)\n",
+		base.Name, locked.LogicGates(), len(locked.Keys), scheme)
+	if verilog {
+		if err := locked.WriteVerilog(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	oracle := satattack.OracleFromCircuit(locked, key)
+	if approx > 0 {
+		res, err := satattack.ApproxAttack(locked, oracle, satattack.ApproxOptions{
+			MaxIterations: approx, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		exact := "approximate"
+		if res.Exact {
+			exact = "exact"
+		}
+		fmt.Printf("approx attack: %d DIPs in %v, %s key, estimated error rate %.4f\n",
+			res.Iterations, res.Duration, exact, res.EstErrorRate)
+		return nil
+	}
+	res, err := satattack.Attack(locked, oracle, satattack.Options{})
+	if err != nil {
+		return err
+	}
+	if err := satattack.VerifyKey(locked, res.Key, oracle); err != nil {
+		return fmt.Errorf("recovered key failed verification: %w", err)
+	}
+	fmt.Printf("attack succeeded: %d iterations in %v; recovered key verified\n",
+		res.Iterations, res.Duration)
+
+	if scheme == "sfll" || scheme == "sfll-hd" {
+		lockedCount := 1
+		if scheme == "sfll-hd" {
+			lockedCount = netlist.ProtectedCount(len(locked.Keys), hd)
+		}
+		eps := float64(lockedCount) / float64(uint64(1)<<uint(len(locked.Keys)))
+		lam, err := locking.ExpectedSATIterations(len(locked.Keys), 1, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Eqn. 1 prediction: λ = %.0f expected iterations (ε = %.2g)\n", lam, eps)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package bindlock_test
+
+import (
+	"fmt"
+	"log"
+
+	"bindlock"
+)
+
+// ExampleCompile parses a kernel and reports its operation mix.
+func ExampleCompile() {
+	g, err := bindlock.Compile(`
+kernel axpy;
+input a, x, y;
+output r;
+r = a * x + y;
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.Stat()
+	fmt.Printf("%s: %d mul, %d add\n", st.Name, st.Muls, st.Adds)
+	// Output: axpy: 1 mul, 1 add
+}
+
+// ExampleDesign_CoDesign runs the paper's co-design flow on a tiny kernel.
+func ExampleDesign_CoDesign() {
+	d, err := bindlock.Prepare(`
+kernel pair;
+input a, b, c, d;
+output y, z;
+y = a * 7 + b;
+z = c * 7 + d;
+`, 2, 400, bindlock.WorkloadImageBlocks, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cands := d.Candidates(bindlock.ClassMul, 4)
+	co, err := d.CoDesign(bindlock.ClassMul, 1, 1, cands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("locked FUs: %d, locked inputs per FU: %d\n",
+		len(co.Cfg.Locks), len(co.Cfg.Locks[0].Minterms))
+	fmt.Printf("errors positive: %v\n", co.Errors > 0)
+	// Output:
+	// locked FUs: 1, locked inputs per FU: 1
+	// errors positive: true
+}
+
+// ExampleResilience evaluates Eqn. 1 for a one-minterm SFLL lock.
+func ExampleResilience() {
+	d, err := bindlock.Prepare(`
+kernel one;
+input a, b;
+output y;
+y = a + b;
+`, 1, 100, bindlock.WorkloadUniform, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cands := d.Candidates(bindlock.ClassAdd, 1)
+	cfg, err := d.NewLockConfig(bindlock.ClassAdd, 1, [][]bindlock.Minterm{cands})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lam, err := bindlock.Resilience(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("λ = %.0f expected SAT iterations\n", lam)
+	// Output: λ = 65536 expected SAT iterations
+}
+
+func ExampleDesign_Elaborate() {
+	d, err := bindlock.Prepare(`
+kernel tiny;
+input a, b;
+output y;
+y = a + b;
+`, 1, 50, bindlock.WorkloadUniform, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := d.BindBaseline(bindlock.ClassAdd, "area")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := d.Elaborate(map[bindlock.Class]*bindlock.Binding{bindlock.ClassAdd: b}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inputs: %d bits, outputs: %d bits\n",
+		len(res.Circuit.Inputs), len(res.Circuit.Outputs))
+	// Output: inputs: 16 bits, outputs: 8 bits
+}

@@ -1,0 +1,61 @@
+// Codesign demonstrates the Sec. V-C design methodology on the paper's dct
+// benchmark: hit an application-error target with the fewest locked inputs
+// (maximum SAT resilience), then size a Full-Lock-style routing network only
+// as large as needed to reach a one-year SAT-attack runtime target.
+//
+// Run with: go run ./examples/codesign
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bindlock"
+)
+
+func main() {
+	design, err := bindlock.PrepareBenchmark("dct", 3, 600, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cands := design.Candidates(bindlock.ClassAdd, 10)
+
+	// Designer goals: at least 300 locked-input hits over the 600-sample
+	// workload, and a modelled SAT attack of at least one year.
+	const minErrors = 300
+	minSATTime := 365 * 24 * time.Hour
+
+	plan, err := design.Methodology(bindlock.ClassAdd, 2, cands, minErrors, minSATTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Sec. V-C binding-time locking design methodology on dct:")
+	fmt.Printf("  error target:            >= %d locked-input hits\n", minErrors)
+	fmt.Printf("  achieved:                %d hits with %d locked inputs per FU\n",
+		plan.Result.Errors, plan.MintermsPerFU)
+	for _, l := range plan.Result.Cfg.Locks {
+		fmt.Printf("    FU %d locks %v\n", l.FU, l.Minterms)
+	}
+	fmt.Printf("  minterm-lock resilience: %.0f expected SAT iterations (Eqn. 1)\n", plan.Lambda)
+	fmt.Printf("  SAT time target:         >= %v\n", minSATTime)
+	if plan.FullLockKeyBits == 0 {
+		fmt.Println("  routing network:         not needed")
+	} else {
+		fmt.Printf("  routing network:         %d key bits (smallest meeting the target)\n",
+			plan.FullLockKeyBits)
+		fmt.Printf("  modelled attack time:    %v\n", plan.EstSATTime)
+		fmt.Printf("  network overhead:        +%.0f%% area, +%.0f%% power (on a b14-sized design)\n",
+			100*plan.AreaOverhead, 100*plan.PowerOverhead)
+	}
+
+	// Contrast: a Full-Lock-only design meeting the same SAT target needs
+	// a far larger network. The combined scheme keeps the heavy routing
+	// overhead minimal — the point of Sec. V-C.
+	fmt.Println("\nwhy combine? the same SAT-time target with routing alone:")
+	fmt.Printf("  (Full-Lock iterations are few; Sec. V-C's co-designed minterm locking\n")
+	fmt.Printf("   multiplies the iteration count by %.0fx, shrinking the needed network)\n",
+		plan.Lambda/30)
+}

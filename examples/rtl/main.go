@@ -1,0 +1,81 @@
+// Rtl closes the implementation loop: co-design a lock for a benchmark,
+// simulate the wrong-keyed design functionally to observe real output
+// corruption (not just Eqn. 2 injection counts), measure the datapath
+// overhead, and emit the bound design as synthesisable Verilog.
+//
+// Run with: go run ./examples/rtl
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"bindlock"
+)
+
+func main() {
+	const samples = 500
+	design, err := bindlock.PrepareBenchmark("jdmerge4", 3, samples, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Co-design a lock on the multipliers.
+	cands := design.Candidates(bindlock.ClassMul, 10)
+	co, err := design.CoDesign(bindlock.ClassMul, 2, 2, cands)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Functional simulation under a wrong key: how often does the locked
+	// IC actually emit wrong pixels?
+	bench, err := bindlock.BenchmarkByName("jdmerge4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := bench.Workload(design.G, samples, 7)
+	rep, err := design.SimulateLocked(tr, co.Binding, co.Cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jdmerge4 under a wrong key (co-designed lock):\n")
+	fmt.Printf("  error injections:    %d (Eqn. 2 E = %d)\n", rep.Injections, rep.CleanInjections)
+	fmt.Printf("  corrupted outputs:   %d of %d (%.1f%%)\n",
+		rep.CorruptedOutputs, rep.TotalOutputs, 100*rep.OutputErrorRate())
+	fmt.Printf("  corrupted samples:   %d of %d (%.1f%%)\n",
+		rep.CorruptedSamples, rep.Samples, 100*rep.SampleErrorRate())
+
+	// The same lock under area-aware binding corrupts far less.
+	area, err := design.BindBaseline(bindlock.ClassMul, "area")
+	if err != nil {
+		log.Fatal(err)
+	}
+	repArea, err := design.SimulateLocked(tr, area, co.Cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  [area-aware binding with the same lock: %.1f%% corrupted samples]\n",
+		100*repArea.SampleErrorRate())
+
+	// Datapath overhead of the secure binding.
+	addB, err := design.BindBaseline(bindlock.ClassAdd, "area")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bindings := map[bindlock.Class]*bindlock.Binding{
+		bindlock.ClassAdd: addB,
+		bindlock.ClassMul: co.Binding,
+	}
+	m, err := design.Overhead(bindings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndatapath: %d registers, %d mux inputs, %.3f switching rate\n",
+		m.Registers, m.MuxInputs, m.SwitchingRate)
+
+	fmt.Println("\n// --- synthesisable RTL (stdout) ---")
+	if err := design.WriteVerilog(os.Stdout, bindings); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Satattack locks gate-level adders with two schemes and runs the
+// oracle-guided SAT attack against both, showing the trade-off the paper
+// builds on: high-corruption XOR locking collapses in a handful of
+// iterations, while a one-minterm SFLL lock survives for iterations on the
+// order of its key space (Eqn. 1).
+//
+// Run with: go run ./examples/satattack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bindlock/internal/locking"
+	"bindlock/internal/netlist"
+	"bindlock/internal/satattack"
+)
+
+func main() {
+	base, err := netlist.NewAdder(3) // 3-bit operands: 6-bit module input space
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base FU: %s, %d logic gates\n\n", base.Name, base.LogicGates())
+
+	// Scheme 1: random XOR key gates (EPIC-style). Every wrong key corrupts
+	// many inputs, so every DIP eliminates many keys.
+	xorLocked, xorKey, err := netlist.LockXOR(base, 6, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xorRes, err := satattack.Attack(xorLocked, satattack.OracleFromCircuit(xorLocked, xorKey), satattack.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XOR locking (6 key bits):   broken in %2d iterations (%v)\n",
+		xorRes.Iterations, xorRes.Duration)
+
+	// Scheme 2: SFLL-HD(0) protecting one minterm. Each wrong key corrupts
+	// a single protected input, so each DIP eliminates one key.
+	secret := uint64(0b101100)
+	sfllLocked, sfllKey, err := netlist.LockSFLLHD0(base, []uint64{secret})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := satattack.OracleFromCircuit(sfllLocked, sfllKey)
+	sfllRes, err := satattack.Attack(sfllLocked, oracle, satattack.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lambda, err := locking.ExpectedSATIterations(6, 1, 1.0/64) // ε: 1 of 64 minterms
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SFLL-HD(0) (6 key bits):    broken in %2d iterations (%v); Eqn. 1 λ = %.0f\n",
+		sfllRes.Iterations, sfllRes.Duration, lambda)
+
+	// Both attacks recover functionally correct keys.
+	if err := satattack.VerifyKey(sfllLocked, sfllRes.Key, oracle); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecovered SFLL key %#x verified against the oracle (secret was %#x)\n",
+		netlist.BitsToUint64(sfllRes.Key), secret)
+	fmt.Println("\nthe dilemma: the SAT-resilient scheme corrupts only 1 of 64 inputs —")
+	fmt.Println("too little to break an application. The paper's binding co-design makes")
+	fmt.Println("that one minterm count by routing the operations that see it onto the")
+	fmt.Println("locked FU (see examples/quickstart).")
+}

@@ -1,0 +1,182 @@
+package bindlock
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerilogFacade(t *testing.T) {
+	d, err := Prepare(quickKernel, 2, 100, WorkloadUniform, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := map[Class]*Binding{}
+	for _, class := range []Class{ClassAdd, ClassMul} {
+		b, err := d.BindBaseline(class, "area")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bindings[class] = b
+	}
+	var sb strings.Builder
+	if err := d.WriteVerilog(&sb, bindings); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "module demo") {
+		t.Error("module missing")
+	}
+	// Missing class binding must error.
+	if err := d.WriteVerilog(&sb, map[Class]*Binding{ClassAdd: bindings[ClassAdd]}); err == nil {
+		t.Error("missing mul binding must error")
+	}
+}
+
+func TestSimulateLockedFacade(t *testing.T) {
+	d, err := PrepareBenchmark("fir", 3, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := d.Candidates(ClassAdd, 6)
+	co, err := d.CoDesign(ClassAdd, 2, 2, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-generate the same workload the benchmark preparation used.
+	b, err := BenchmarkByName("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := b.Workload(d.G, 200, 3)
+	rep, err := d.SimulateLocked(tr, co.Binding, co.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CleanInjections != co.Errors {
+		t.Fatalf("clean injections %d != co-design E %d", rep.CleanInjections, co.Errors)
+	}
+	if rep.Samples != 200 {
+		t.Fatalf("samples = %d", rep.Samples)
+	}
+}
+
+func TestAllocationFacade(t *testing.T) {
+	g, err := Compile(quickKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MinimalAllocation(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[ClassAdd] < 1 || a[ClassMul] < 1 {
+		t.Fatalf("allocation = %v", a)
+	}
+	pts, err := AllocationTradeoff(g, ClassMul, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[0].FUs != 1 {
+		t.Fatalf("tradeoff = %v", pts)
+	}
+	if _, err := MinimalAllocation(g, 1); err == nil {
+		t.Error("infeasible latency must error")
+	}
+}
+
+func TestCoDesignOptimalFacade(t *testing.T) {
+	d, err := Prepare(quickKernel, 2, 150, WorkloadImageBlocks, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := d.Candidates(ClassAdd, 5)
+	opt, err := d.CoDesignOptimal(ClassAdd, 1, 2, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heu, err := d.CoDesign(ClassAdd, 1, 2, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heu.Errors > opt.Errors {
+		t.Fatalf("heuristic %d beats optimal %d", heu.Errors, opt.Errors)
+	}
+	if opt.Enumerated != 10 { // C(5,2)
+		t.Fatalf("enumerated = %d, want 10", opt.Enumerated)
+	}
+}
+
+func TestPrepareErrors(t *testing.T) {
+	if _, err := Prepare("kernel broken", 2, 10, WorkloadUniform, 1); err == nil {
+		t.Error("bad source must error")
+	}
+	// Unschedulable: allocation below concurrency cannot happen with the
+	// scheduler (it serialises); but zero FUs clamps to 1 and still works.
+	if _, err := Prepare(quickKernel, 0, 10, WorkloadUniform, 1); err != nil {
+		t.Errorf("zero FU budget must clamp, got %v", err)
+	}
+}
+
+func TestLockAndAttackErrors(t *testing.T) {
+	if _, err := LockAndAttack(0, 0); err == nil {
+		t.Error("zero width must error")
+	}
+	if _, err := LockAndAttack(3, 1<<20); err == nil {
+		t.Error("secret outside input space must error")
+	}
+}
+
+func TestNewLockConfigFacadeErrors(t *testing.T) {
+	d, err := Prepare(quickKernel, 2, 50, WorkloadUniform, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NewLockConfig(ClassAdd, 5, nil); err == nil {
+		t.Error("locking more FUs than allocated must error")
+	}
+}
+
+func TestOptimizeFacade(t *testing.T) {
+	g, err := Compile(`
+kernel o;
+input a, b;
+output y, z;
+t0 = a + b;
+t1 = b + a;
+y = t0;
+z = t1 * 1 * 3;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, stats, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CSEMerged < 1 {
+		t.Errorf("stats = %+v, expected CSE merges", stats)
+	}
+	if len(og.Ops) >= len(g.Ops) {
+		t.Errorf("optimised graph not smaller: %d vs %d ops", len(og.Ops), len(g.Ops))
+	}
+}
+
+func TestPrepareGraphFacade(t *testing.T) {
+	g, err := Compile(quickKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, _, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := PrepareGraph(og, 2, 100, WorkloadAudio, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.G.Cycles() == 0 {
+		t.Fatal("graph not scheduled")
+	}
+	if len(d.Candidates(ClassAdd, 3)) == 0 {
+		t.Fatal("no candidates from simulation")
+	}
+}

@@ -1,0 +1,3 @@
+module bindlock
+
+go 1.22

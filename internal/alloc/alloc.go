@@ -1,0 +1,110 @@
+// Package alloc implements the allocation phase of HLS: deciding how many
+// functional units of each class to provision (Sec. II-B: "Allocation
+// determines the type and number of resources necessary to implement a
+// design").
+//
+// Allocation interacts with the paper's security story through the FU count
+// R: locking configurations lock L <= R units and the binding algorithms
+// need |R| at least the schedule's concurrency. This package finds minimal
+// allocations for a latency target and exposes the area/latency trade-off
+// curve.
+package alloc
+
+import (
+	"fmt"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/sched"
+)
+
+// Allocation is a per-class FU provision.
+type Allocation map[dfg.Class]int
+
+// Minimal returns the smallest per-class allocation under which the
+// path-based scheduler meets the latency bound. Classes absent from the
+// graph are omitted. The search is monotone (more FUs never lengthen a list
+// schedule), so each class binary-searches independently against a schedule
+// probe with the other classes unconstrained.
+func Minimal(g *dfg.Graph, latency int) (Allocation, error) {
+	if latency < 1 {
+		return nil, fmt.Errorf("alloc: latency bound %d", latency)
+	}
+	// Feasibility: the critical path must fit.
+	probe := g.Clone()
+	if span := sched.ASAP(probe); span > latency {
+		return nil, fmt.Errorf("alloc: latency %d below critical path %d of %q", latency, span, g.Name)
+	}
+	out := Allocation{}
+	for _, class := range []dfg.Class{dfg.ClassAdd, dfg.ClassMul} {
+		total := len(g.OpsOfClass(class))
+		if total == 0 {
+			continue
+		}
+		lo, hi := 1, maxConcurrencyBound(g, class)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if meetsLatency(g, class, mid, latency) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if !meetsLatency(g, class, lo, latency) {
+			return nil, fmt.Errorf("alloc: no %v allocation meets latency %d for %q", class, latency, g.Name)
+		}
+		out[class] = lo
+	}
+	return out, nil
+}
+
+// maxConcurrencyBound returns an allocation that certainly suffices: the
+// class's concurrency under an unconstrained ASAP schedule.
+func maxConcurrencyBound(g *dfg.Graph, class dfg.Class) int {
+	probe := g.Clone()
+	sched.ASAP(probe)
+	n := probe.MaxConcurrency(class)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// meetsLatency schedules a clone with `fus` units of class (other classes
+// unconstrained) and reports whether the span fits.
+func meetsLatency(g *dfg.Graph, class dfg.Class, fus, latency int) bool {
+	probe := g.Clone()
+	span, err := sched.PathBased(probe, sched.Constraints{
+		MaxFUs: map[dfg.Class]int{class: fus},
+	})
+	return err == nil && span <= latency
+}
+
+// Point is one point of the area/latency trade-off curve.
+type Point struct {
+	FUs     int
+	Latency int
+}
+
+// Tradeoff sweeps the class allocation from 1 to maxFUs and reports the
+// schedule span at each point (the classic HLS design-space curve). Spans
+// are non-increasing in FUs.
+func Tradeoff(g *dfg.Graph, class dfg.Class, maxFUs int) ([]Point, error) {
+	if maxFUs < 1 {
+		return nil, fmt.Errorf("alloc: maxFUs %d", maxFUs)
+	}
+	if len(g.OpsOfClass(class)) == 0 {
+		return nil, fmt.Errorf("alloc: %q has no %v operations", g.Name, class)
+	}
+	var pts []Point
+	for fus := 1; fus <= maxFUs; fus++ {
+		probe := g.Clone()
+		span, err := sched.PathBased(probe, sched.Constraints{
+			MaxFUs: map[dfg.Class]int{class: fus},
+		})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{FUs: fus, Latency: span})
+	}
+	return pts, nil
+}

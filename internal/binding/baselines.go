@@ -1,0 +1,168 @@
+package binding
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/matching"
+)
+
+// AreaAware is the register/interconnect-minimising baseline in the style of
+// Huang et al., "Data path allocation based on bipartite weighted matching"
+// (DAC 1991) [20]. Cycles are bound in schedule order; the cost of placing an
+// operation on an FU is the number of new sources that must be routed to the
+// FU's input ports (each new source is a mux input and often a dedicated
+// register), discounted when an operand was itself computed on that FU in an
+// earlier cycle (the value can be consumed from the FU's output register).
+// Each cycle is solved as a min-cost full matching.
+type AreaAware struct{}
+
+// Name implements Binder.
+func (AreaAware) Name() string { return "area-aware" }
+
+// Bind implements Binder.
+func (AreaAware) Bind(p *Problem) (*Binding, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	b := &Binding{Class: p.Class, NumFUs: p.NumFUs, Assign: map[dfg.OpID]int{}}
+	// sources[f] holds the producer ops already routed to FU f's inputs.
+	sources := make([]map[dfg.OpID]bool, p.NumFUs)
+	// producedBy[op] is the FU that computed op (if bound already).
+	producedBy := map[dfg.OpID]int{}
+	for f := range sources {
+		sources[f] = map[dfg.OpID]bool{}
+	}
+
+	for _, t := range p.G.SortedCycleList(p.Class) {
+		ops := p.G.AtCycle(p.Class, t)
+		w := make([][]float64, len(ops))
+		for i, opID := range ops {
+			w[i] = make([]float64, p.NumFUs)
+			op := p.G.Ops[opID]
+			for f := 0; f < p.NumFUs; f++ {
+				cost := 0.0
+				for _, a := range op.Args {
+					if !sources[f][a] {
+						cost++ // new mux input / routed register
+					}
+					if pf, ok := producedBy[a]; ok && pf == f {
+						cost -= 0.5 // operand already in f's output register
+					}
+				}
+				w[i][f] = cost
+			}
+		}
+		assign, _, err := matching.MinCost(w)
+		if err != nil {
+			return nil, fmt.Errorf("binding: area-aware cycle %d of %q: %w", t, p.G.Name, err)
+		}
+		for i, opID := range ops {
+			f := assign[i]
+			b.Assign[opID] = f
+			producedBy[opID] = f
+			for _, a := range p.G.Ops[opID].Args {
+				sources[f][a] = true
+			}
+		}
+	}
+	if err := b.Validate(p.G); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// PowerAware is the switching-minimising baseline in the style of Chang and
+// Pedram, "Register allocation and binding for low power" (DAC 1995) [19].
+// It uses the same trace the security-aware binders use: the cost of placing
+// an operation on an FU is the average Hamming distance between the FU's
+// previous operand pair and the operation's operand pair across the trace —
+// the expected input toggling the placement causes. Each cycle is a min-cost
+// full matching; the FU input history is updated as cycles are bound.
+type PowerAware struct{}
+
+// Name implements Binder.
+func (PowerAware) Name() string { return "power-aware" }
+
+// Bind implements Binder. The problem must carry the simulation result (the
+// per-sample operand streams).
+func (PowerAware) Bind(p *Problem) (*Binding, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	if p.Res == nil {
+		return nil, fmt.Errorf("binding: power-aware binder needs the simulation result")
+	}
+	b := &Binding{Class: p.Class, NumFUs: p.NumFUs, Assign: map[dfg.OpID]int{}}
+	// lastOp[f] is the most recently bound op on FU f (dfg.None if idle).
+	lastOp := make([]dfg.OpID, p.NumFUs)
+	for f := range lastOp {
+		lastOp[f] = dfg.None
+	}
+	nSamples := len(p.Res.OperandAB)
+
+	for _, t := range p.G.SortedCycleList(p.Class) {
+		ops := p.G.AtCycle(p.Class, t)
+		w := make([][]float64, len(ops))
+		for i, opID := range ops {
+			w[i] = make([]float64, p.NumFUs)
+			for f := 0; f < p.NumFUs; f++ {
+				if lastOp[f] == dfg.None {
+					continue // first use: no toggle cost
+				}
+				toggles := 0
+				for s := 0; s < nSamples; s++ {
+					prev := p.Res.OperandAB[s][lastOp[f]]
+					cur := p.Res.OperandAB[s][opID]
+					toggles += bits.OnesCount32(uint32(prev ^ cur))
+				}
+				if nSamples > 0 {
+					w[i][f] = float64(toggles) / float64(nSamples)
+				}
+			}
+		}
+		assign, _, err := matching.MinCost(w)
+		if err != nil {
+			return nil, fmt.Errorf("binding: power-aware cycle %d of %q: %w", t, p.G.Name, err)
+		}
+		for i, opID := range ops {
+			b.Assign[opID] = assign[i]
+			lastOp[assign[i]] = opID
+		}
+	}
+	if err := b.Validate(p.G); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Random binds each cycle with a seeded random injective assignment. It is
+// the "any valid binding" control.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Binder.
+func (r Random) Name() string { return "random" }
+
+// Bind implements Binder.
+func (r Random) Bind(p *Problem) (*Binding, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	b := &Binding{Class: p.Class, NumFUs: p.NumFUs, Assign: map[dfg.OpID]int{}}
+	for _, t := range p.G.SortedCycleList(p.Class) {
+		ops := p.G.AtCycle(p.Class, t)
+		perm := rng.Perm(p.NumFUs)
+		for i, opID := range ops {
+			b.Assign[opID] = perm[i]
+		}
+	}
+	if err := b.Validate(p.G); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

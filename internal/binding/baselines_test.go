@@ -1,0 +1,218 @@
+package binding
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/frontend"
+	"bindlock/internal/sched"
+	"bindlock/internal/sim"
+	"bindlock/internal/trace"
+)
+
+// benchProblem compiles and schedules a small kernel and simulates a
+// workload, returning a ready-to-bind problem.
+func benchProblem(t *testing.T, gen trace.Generator, seed int64) *Problem {
+	t.Helper()
+	src := `
+kernel bp;
+input a, b, c, d;
+output y, z;
+t0 = a + b;
+t1 = c + d;
+t2 = t0 + c;
+t3 = t1 + a;
+t4 = t2 + t3;
+t5 = t4 + b;
+y = t4;
+z = t5;
+`
+	g, err := frontend.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.PathBased(g, sched.Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(gen, []string{"a", "b", "c", "d"}, 256, seed)
+	res, err := sim.Run(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 2, K: res.K, Res: res}
+}
+
+func TestAreaAwareProducesValidBinding(t *testing.T) {
+	p := benchProblem(t, trace.ImageBlocks, 1)
+	b, err := AreaAware{}.Bind(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(p.G); err != nil {
+		t.Fatal(err)
+	}
+	if (AreaAware{}).Name() != "area-aware" {
+		t.Error("name mismatch")
+	}
+}
+
+func TestAreaAwarePrefersChaining(t *testing.T) {
+	// A chain t0 -> t2 and an unrelated pair: binding t2 on the FU that
+	// produced t0 saves a register, so area-aware must co-locate them.
+	src := `
+kernel ch;
+input a, b, c, d;
+output y, z;
+t0 = a + b;
+t1 = c + d;
+t2 = t0 + a;
+t3 = t1 + c;
+y = t2;
+z = t3;
+`
+	g, err := frontend.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.PathBased(g, sched.Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 2}
+	b, err := AreaAware{}.Bind(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := g.OpsOfClass(dfg.ClassAdd)
+	t0, t1, t2, t3 := adds[0], adds[1], adds[2], adds[3]
+	if b.FUOf(t0) != b.FUOf(t2) {
+		t.Errorf("t0 on FU%d but consumer t2 on FU%d; chaining lost", b.FUOf(t0), b.FUOf(t2))
+	}
+	if b.FUOf(t1) != b.FUOf(t3) {
+		t.Errorf("t1 on FU%d but consumer t3 on FU%d; chaining lost", b.FUOf(t1), b.FUOf(t3))
+	}
+}
+
+func TestPowerAwareProducesValidBinding(t *testing.T) {
+	p := benchProblem(t, trace.Audio, 2)
+	b, err := PowerAware{}.Bind(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(p.G); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerAwareNeedsTrace(t *testing.T) {
+	p := benchProblem(t, trace.Audio, 2)
+	p.Res = nil
+	if _, err := (PowerAware{}).Bind(p); err == nil {
+		t.Error("power-aware without simulation result must error")
+	}
+}
+
+// switchingOf measures the average per-cycle FU input toggling of a binding,
+// the quantity the power-aware binder minimises.
+func switchingOf(p *Problem, b *Binding) float64 {
+	total := 0
+	transitions := 0
+	for fu := 0; fu < b.NumFUs; fu++ {
+		ops := b.OpsOnFU(fu)
+		// OpsOnFU returns ID order; schedule order follows cycle.
+		for i := 1; i < len(ops); i++ {
+			for s := range p.Res.OperandAB {
+				total += bits.OnesCount32(uint32(p.Res.OperandAB[s][ops[i-1]] ^ p.Res.OperandAB[s][ops[i]]))
+			}
+			transitions += len(p.Res.OperandAB)
+		}
+	}
+	if transitions == 0 {
+		return 0
+	}
+	return float64(total) / float64(transitions)
+}
+
+func TestPowerAwareBeatsRandomOnSwitching(t *testing.T) {
+	p := benchProblem(t, trace.Audio, 3)
+	pw, err := PowerAware{}.Bind(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for seed := int64(0); seed < 5; seed++ {
+		rb, err := Random{Seed: seed}.Bind(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := switchingOf(p, rb); s > worst {
+			worst = s
+		}
+	}
+	if s := switchingOf(p, pw); s > worst+1e-9 {
+		t.Errorf("power-aware switching %.3f exceeds worst random %.3f", s, worst)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	p := benchProblem(t, trace.Uniform, 4)
+	b1, err := Random{Seed: 9}.Bind(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Random{Seed: 9}.Bind(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op, fu := range b1.Assign {
+		if b2.Assign[op] != fu {
+			t.Fatal("random binder not deterministic under fixed seed")
+		}
+	}
+	if (Random{Seed: 9}).Name() != "random" {
+		t.Error("name mismatch")
+	}
+}
+
+// Property: all binders produce valid bindings on randomly generated
+// scheduled DFGs.
+func TestAllBindersValidQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		gen := trace.Generator(uint8(seed) % 5)
+		src := `
+kernel q;
+input a, b, c;
+output y;
+t0 = a + b;
+t1 = b + c;
+t2 = t0 + t1;
+t3 = t2 + a;
+t4 = t3 + t1;
+y = t4;
+`
+		g, err := frontend.Compile(src)
+		if err != nil {
+			return false
+		}
+		if _, err := sched.PathBased(g, sched.Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: 2}}); err != nil {
+			return false
+		}
+		tr := trace.Generate(gen, []string{"a", "b", "c"}, 64, seed)
+		res, err := sim.Run(g, tr)
+		if err != nil {
+			return false
+		}
+		p := &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 3, K: res.K, Res: res}
+		for _, binder := range []Binder{AreaAware{}, PowerAware{}, Random{Seed: seed}} {
+			b, err := binder.Bind(p)
+			if err != nil || b.Validate(g) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package binding implements resource binding: mapping each scheduled
+// operation of a functional-unit class onto an allocated FU.
+//
+// It provides the paper's obfuscation-aware binding algorithm (Sec. IV)
+// alongside the two security-oblivious baselines it is evaluated against —
+// area-aware binding in the style of Huang et al. [20] and power-aware
+// binding in the style of Chang et al. [19] — plus a seeded random binder.
+// All four reduce each clock cycle to a weighted bipartite matching between
+// the cycle's concurrent operations and the allocated FUs; they differ only
+// in the edge weights.
+package binding
+
+import (
+	"fmt"
+	"sort"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/locking"
+	"bindlock/internal/sim"
+)
+
+// Binding is a complete mapping of every class operation to an FU index in
+// [0, NumFUs).
+type Binding struct {
+	Class  dfg.Class
+	NumFUs int
+	Assign map[dfg.OpID]int
+}
+
+// FUOf returns the FU executing op, or -1 if op is unbound.
+func (b *Binding) FUOf(op dfg.OpID) int {
+	fu, ok := b.Assign[op]
+	if !ok {
+		return -1
+	}
+	return fu
+}
+
+// OpsOnFU returns the operations bound to FU fu, in ID order.
+func (b *Binding) OpsOnFU(fu int) []dfg.OpID {
+	var ids []dfg.OpID
+	for op, f := range b.Assign {
+		if f == fu {
+			ids = append(ids, op)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Validate checks that the binding is valid and complete for g: every class
+// operation is bound to an in-range FU, and no FU executes two operations in
+// the same cycle (Thm. 1's validity conditions).
+func (b *Binding) Validate(g *dfg.Graph) error {
+	busy := map[[2]int]dfg.OpID{} // (cycle, fu) -> op
+	for _, id := range g.OpsOfClass(b.Class) {
+		fu, ok := b.Assign[id]
+		if !ok {
+			return fmt.Errorf("binding: op %d of %q unbound", id, g.Name)
+		}
+		if fu < 0 || fu >= b.NumFUs {
+			return fmt.Errorf("binding: op %d bound to FU %d outside allocation %d", id, fu, b.NumFUs)
+		}
+		key := [2]int{g.Ops[id].Cycle, fu}
+		if prev, clash := busy[key]; clash {
+			return fmt.Errorf("binding: ops %d and %d share FU %d in cycle %d", prev, id, fu, key[0])
+		}
+		busy[key] = id
+	}
+	for op := range b.Assign {
+		if int(op) >= len(g.Ops) || dfg.ClassOf(g.Ops[op].Kind) != b.Class {
+			return fmt.Errorf("binding: op %d is not a %v operation of %q", op, b.Class, g.Name)
+		}
+	}
+	return nil
+}
+
+// Problem bundles the inputs a binder consumes. Lock may be nil for binders
+// that ignore locking (area/power/random); Res may be nil for binders that
+// ignore the trace (obfuscation-aware uses only K, area uses only structure).
+type Problem struct {
+	G     *dfg.Graph
+	Class dfg.Class
+	// NumFUs is the allocation size R. It must be at least the schedule's
+	// maximum concurrency.
+	NumFUs int
+	// K is the minterm occurrence matrix from simulating the typical
+	// workload.
+	K *sim.KMatrix
+	// Lock is the locking configuration (for the obfuscation-aware binder).
+	Lock *locking.Config
+	// Res carries per-sample operand values (for the power-aware binder).
+	Res *sim.Result
+}
+
+func (p *Problem) check() error {
+	if p.G == nil {
+		return fmt.Errorf("binding: nil graph")
+	}
+	if p.Class == dfg.ClassNone {
+		return fmt.Errorf("binding: class required")
+	}
+	need := p.G.MaxConcurrency(p.Class)
+	if p.NumFUs < need {
+		return fmt.Errorf("binding: allocation %d below max concurrency %d of %q",
+			p.NumFUs, need, p.G.Name)
+	}
+	return nil
+}
+
+// Binder produces a binding for a problem.
+type Binder interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	Bind(p *Problem) (*Binding, error)
+}
+
+// ApplicationErrors evaluates the paper's objective cost function (Eqn. 2):
+//
+//	E = Σ_{l∈L} Σ_{m∈M_l} Σ_{n∈N_l} K_{m,n}
+//
+// the expected number of times a locked input is applied to a locked FU over
+// the typical workload, for binding b under locking configuration cfg.
+func ApplicationErrors(g *dfg.Graph, k *sim.KMatrix, cfg *locking.Config, b *Binding) (int, error) {
+	if cfg.Class != b.Class {
+		return 0, fmt.Errorf("binding: locking class %v does not match binding class %v", cfg.Class, b.Class)
+	}
+	if cfg.NumFUs != b.NumFUs {
+		return 0, fmt.Errorf("binding: locking allocation %d does not match binding allocation %d",
+			cfg.NumFUs, b.NumFUs)
+	}
+	total := 0
+	for _, l := range cfg.Locks {
+		for _, n := range b.OpsOnFU(l.FU) {
+			for _, m := range l.Minterms {
+				total += k.Count(m, n)
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,332 @@
+package binding
+
+import (
+	"strings"
+	"testing"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/locking"
+	"bindlock/internal/sim"
+)
+
+// mintermX and mintermY are the two example minterms of Sec. III.
+var (
+	mintermX = dfg.CanonMinterm(dfg.Add, 1, 2)
+	mintermY = dfg.CanonMinterm(dfg.Add, 3, 4)
+)
+
+// fig1 builds the motivational example of Fig. 1: a 2-cycle DFG with
+// OPA, OPB in cycle 1 and OPC, OPD in cycle 2, and the stated expected
+// occurrence table for minterms x and y.
+func fig1(t *testing.T) (*dfg.Graph, *sim.KMatrix, [4]dfg.OpID) {
+	t.Helper()
+	g := dfg.New("fig1")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	d := g.AddInput("d")
+	e := g.AddInput("e")
+	f := g.AddInput("f")
+	opA := g.AddBinary(dfg.Add, a, b)
+	opB := g.AddBinary(dfg.Add, d, e)
+	opC := g.AddBinary(dfg.Add, opA, c)
+	opD := g.AddBinary(dfg.Add, opB, f)
+	g.AddOutput("y1", opC)
+	g.AddOutput("y2", opD)
+	g.Ops[opA].Cycle = 1
+	g.Ops[opB].Cycle = 1
+	g.Ops[opC].Cycle = 2
+	g.Ops[opD].Cycle = 2
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKMatrix(len(g.Ops))
+	// Exp. input occurrences (Fig. 1A):
+	// minterm x: OPA=6, OPB=1, OPC=0, OPD=10
+	// minterm y: OPA=9, OPB=0, OPC=0, OPD=8
+	k.Add(mintermX, opA, 6)
+	k.Add(mintermX, opB, 1)
+	k.Add(mintermX, opD, 10)
+	k.Add(mintermY, opA, 9)
+	k.Add(mintermY, opD, 8)
+	return g, k, [4]dfg.OpID{opA, opB, opC, opD}
+}
+
+// TestMotivationalExample reproduces Sec. III: locking minterm x on FU 0,
+// the obfuscation-aware binding injects 16 errors (binding 2 of Fig. 1B),
+// versus 6 for the security-oblivious binding 1.
+func TestMotivationalExample(t *testing.T) {
+	g, k, ops := fig1(t)
+	cfg, err := locking.NewConfig(dfg.ClassAdd, 2, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{mintermX}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Binding 1 (security-oblivious): FU0 runs {OPA, OPC}; 6 errors.
+	b1 := &Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		ops[0]: 0, ops[1]: 1, ops[2]: 0, ops[3]: 1,
+	}}
+	if err := b1.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := ApplicationErrors(g, k, cfg, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != 6 {
+		t.Errorf("binding 1 errors = %d, want 6", e1)
+	}
+
+	// Obfuscation-aware binding: must find binding 2 with 16 errors.
+	p := &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 2, K: k, Lock: cfg}
+	b2, err := ObfuscationAware{}.Bind(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ApplicationErrors(g, k, cfg, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != 16 {
+		t.Errorf("obfuscation-aware errors = %d, want 16 (6+10)", e2)
+	}
+	if b2.FUOf(ops[0]) != 0 || b2.FUOf(ops[3]) != 0 {
+		t.Errorf("binding 2 must place OPA and OPD on the locked FU; got %v", b2.Assign)
+	}
+
+	// Locking minterm y instead (the co-design choice of Sec. III-C)
+	// yields 17 errors under obfuscation-aware binding.
+	cfgY, err := locking.NewConfig(dfg.ClassAdd, 2, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{mintermY}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Lock = cfgY
+	b3, err := ObfuscationAware{}.Bind(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := ApplicationErrors(g, k, cfgY, b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 != 17 {
+		t.Errorf("co-design configuration errors = %d, want 17 (9+8)", e3)
+	}
+}
+
+// fig2 builds the example of Fig. 2: 5 operations over 2 cycles, 3 FUs, FU0
+// locking x and FU1 locking y.
+func fig2(t *testing.T) (*dfg.Graph, *sim.KMatrix, *locking.Config) {
+	t.Helper()
+	g := dfg.New("fig2")
+	ins := make([]dfg.OpID, 7)
+	for i, n := range []string{"a", "b", "c", "d", "e", "f", "g2"} {
+		ins[i] = g.AddInput(n)
+	}
+	opA := g.AddBinary(dfg.Add, ins[0], ins[1])
+	opB := g.AddBinary(dfg.Add, ins[2], ins[3])
+	opC := g.AddBinary(dfg.Add, opA, ins[4])
+	opD := g.AddBinary(dfg.Add, opB, ins[5])
+	opE := g.AddBinary(dfg.Add, opB, ins[6])
+	g.AddOutput("y1", opC)
+	g.AddOutput("y2", opD)
+	g.AddOutput("y3", opE)
+	g.Ops[opA].Cycle = 1
+	g.Ops[opB].Cycle = 1
+	g.Ops[opC].Cycle = 2
+	g.Ops[opD].Cycle = 2
+	g.Ops[opE].Cycle = 2
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKMatrix(len(g.Ops))
+	// Input 'x': OPA=6, OPB=4, OPC=3, OPD=0, OPE=10
+	// Input 'y': OPA=9, OPB=3, OPC=7, OPD=0, OPE=8
+	k.Add(mintermX, opA, 6)
+	k.Add(mintermX, opB, 4)
+	k.Add(mintermX, opC, 3)
+	k.Add(mintermX, opE, 10)
+	k.Add(mintermY, opA, 9)
+	k.Add(mintermY, opB, 3)
+	k.Add(mintermY, opC, 7)
+	k.Add(mintermY, opE, 8)
+	cfg, err := locking.NewConfig(dfg.ClassAdd, 3, 2, locking.SFLLRem,
+		[][]dfg.Minterm{{mintermX}, {mintermY}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, k, cfg
+}
+
+// TestFigure2Binding reproduces Fig. 2C: at t=1 the max-weight matching maps
+// OPA to FU2 (weight 9) and OPB to FU1 (weight 4), total cost 13; the full
+// binding then adds the optimal cycle-2 matching (10 + 7) for 30 total.
+func TestFigure2Binding(t *testing.T) {
+	g, k, cfg := fig2(t)
+	p := &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 3, K: k, Lock: cfg}
+	b, err := ObfuscationAware{}.Bind(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := g.OpsOfClass(dfg.ClassAdd)
+	opA, opB := adds[0], adds[1]
+	if b.FUOf(opA) != 1 {
+		t.Errorf("OPA bound to FU%d, want FU2 (index 1, the y-locked FU)", b.FUOf(opA)+1)
+	}
+	if b.FUOf(opB) != 0 {
+		t.Errorf("OPB bound to FU%d, want FU1 (index 0, the x-locked FU)", b.FUOf(opB)+1)
+	}
+	e, err := ApplicationErrors(g, k, cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 30 {
+		t.Errorf("total errors = %d, want 30 (13 at t=1 + 17 at t=2)", e)
+	}
+}
+
+func TestObfuscationAwareIsOptimalOnFig1(t *testing.T) {
+	// Enumerate all 4 valid bindings of fig1 and check Thm. 2: no binding
+	// beats the algorithm's.
+	g, k, ops := fig1(t)
+	cfg, _ := locking.NewConfig(dfg.ClassAdd, 2, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{mintermX}})
+	best := -1
+	for c1 := 0; c1 < 2; c1++ {
+		for c2 := 0; c2 < 2; c2++ {
+			b := &Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+				ops[0]: c1, ops[1]: 1 - c1, ops[2]: c2, ops[3]: 1 - c2,
+			}}
+			e, err := ApplicationErrors(g, k, cfg, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e > best {
+				best = e
+			}
+		}
+	}
+	p := &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 2, K: k, Lock: cfg}
+	b, err := ObfuscationAware{}.Bind(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := ApplicationErrors(g, k, cfg, b)
+	if e != best {
+		t.Errorf("algorithm errors = %d, exhaustive best = %d", e, best)
+	}
+}
+
+func TestBindingValidate(t *testing.T) {
+	g, _, ops := fig1(t)
+	// Two ops on the same FU in the same cycle.
+	bad := &Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		ops[0]: 0, ops[1]: 0, ops[2]: 1, ops[3]: 0,
+	}}
+	if err := bad.Validate(g); err == nil || !strings.Contains(err.Error(), "share FU") {
+		t.Errorf("err = %v, want share FU", err)
+	}
+	// Unbound op.
+	missing := &Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		ops[0]: 0, ops[1]: 1, ops[2]: 1,
+	}}
+	if err := missing.Validate(g); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("err = %v, want unbound", err)
+	}
+	// FU out of range.
+	oob := &Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		ops[0]: 0, ops[1]: 1, ops[2]: 1, ops[3]: 5,
+	}}
+	if err := oob.Validate(g); err == nil || !strings.Contains(err.Error(), "outside allocation") {
+		t.Errorf("err = %v, want outside allocation", err)
+	}
+	// Binding an op of the wrong class.
+	alien := &Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		ops[0]: 0, ops[1]: 1, ops[2]: 0, ops[3]: 1, dfg.OpID(0): 0,
+	}}
+	if err := alien.Validate(g); err == nil {
+		t.Error("binding a non-class op must fail validation")
+	}
+}
+
+func TestProblemChecks(t *testing.T) {
+	g, k, _ := fig1(t)
+	cfg, _ := locking.NewConfig(dfg.ClassAdd, 2, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{mintermX}})
+	// Allocation below max concurrency.
+	p := &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 1, K: k, Lock: cfg}
+	if _, err := (ObfuscationAware{}).Bind(p); err == nil ||
+		!strings.Contains(err.Error(), "below max concurrency") {
+		t.Errorf("err = %v, want below max concurrency", err)
+	}
+	// Missing K.
+	p = &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 2, Lock: cfg}
+	if _, err := (ObfuscationAware{}).Bind(p); err == nil {
+		t.Error("missing K must error")
+	}
+	// Missing lock.
+	p = &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 2, K: k}
+	if _, err := (ObfuscationAware{}).Bind(p); err == nil {
+		t.Error("missing lock must error")
+	}
+	// Mismatched allocation between lock and problem.
+	cfg3, _ := locking.NewConfig(dfg.ClassAdd, 3, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{mintermX}})
+	p = &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 2, K: k, Lock: cfg3}
+	if _, err := (ObfuscationAware{}).Bind(p); err == nil {
+		t.Error("allocation mismatch must error")
+	}
+	// Non-critical-minterm scheme.
+	bad := cfg.Clone()
+	bad.Locks[0].Scheme = locking.FullLock
+	p = &Problem{G: g, Class: dfg.ClassAdd, NumFUs: 2, K: k, Lock: bad}
+	if _, err := (ObfuscationAware{}).Bind(p); err == nil {
+		t.Error("full-lock scheme must be rejected by the minterm binder")
+	}
+	// Class none.
+	p = &Problem{G: g, Class: dfg.ClassNone, NumFUs: 2, K: k, Lock: cfg}
+	if _, err := (ObfuscationAware{}).Bind(p); err == nil {
+		t.Error("class none must error")
+	}
+	// Nil graph.
+	p = &Problem{Class: dfg.ClassAdd, NumFUs: 2, K: k, Lock: cfg}
+	if _, err := (ObfuscationAware{}).Bind(p); err == nil {
+		t.Error("nil graph must error")
+	}
+}
+
+func TestApplicationErrorsMismatch(t *testing.T) {
+	g, k, ops := fig1(t)
+	cfg, _ := locking.NewConfig(dfg.ClassAdd, 3, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{mintermX}})
+	b := &Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		ops[0]: 0, ops[1]: 1, ops[2]: 0, ops[3]: 1,
+	}}
+	if _, err := ApplicationErrors(g, k, cfg, b); err == nil {
+		t.Error("allocation mismatch must error")
+	}
+	cfgMul, _ := locking.NewConfig(dfg.ClassMul, 2, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{mintermX}})
+	if _, err := ApplicationErrors(g, k, cfgMul, b); err == nil {
+		t.Error("class mismatch must error")
+	}
+}
+
+func TestOpsOnFUAndFUOf(t *testing.T) {
+	g, _, ops := fig1(t)
+	b := &Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		ops[0]: 0, ops[1]: 1, ops[2]: 0, ops[3]: 1,
+	}}
+	if err := b.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	on0 := b.OpsOnFU(0)
+	if len(on0) != 2 || on0[0] != ops[0] || on0[1] != ops[2] {
+		t.Errorf("OpsOnFU(0) = %v", on0)
+	}
+	if b.FUOf(ops[1]) != 1 || b.FUOf(dfg.OpID(0)) != -1 {
+		t.Error("FUOf lookup broken")
+	}
+}

@@ -1,0 +1,78 @@
+package binding
+
+import (
+	"fmt"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/matching"
+)
+
+// ObfuscationAware is the paper's security-aware binder (Sec. IV-B). For each
+// cycle t it builds the complete weighted bipartite graph B_t between the
+// concurrent operations N_t and the allocated FUs, with edge weight
+//
+//	w_{i,j} = Σ_{m ∈ M_i} K_{m,j}   (Eqn. 3)
+//
+// (the number of times FU i's locked inputs would be applied to it if
+// operation j were bound to it; zero on unlocked FUs), and solves the
+// max-weight full matching. Cycles are separable, so binding them
+// independently is globally optimal (Thm. 2).
+type ObfuscationAware struct{}
+
+// Name implements Binder.
+func (ObfuscationAware) Name() string { return "obfuscation-aware" }
+
+// Bind implements Binder. The problem must carry the K matrix and a
+// critical-minterm locking configuration whose minterm sets are fixed.
+func (ObfuscationAware) Bind(p *Problem) (*Binding, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	if p.K == nil {
+		return nil, fmt.Errorf("binding: obfuscation-aware binder needs the K matrix")
+	}
+	if p.Lock == nil {
+		return nil, fmt.Errorf("binding: obfuscation-aware binder needs a locking configuration")
+	}
+	if err := p.Lock.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Lock.Class != p.Class || p.Lock.NumFUs != p.NumFUs {
+		return nil, fmt.Errorf("binding: locking configuration is for %v/%d FUs, problem is %v/%d",
+			p.Lock.Class, p.Lock.NumFUs, p.Class, p.NumFUs)
+	}
+	for _, l := range p.Lock.Locks {
+		if !l.Scheme.CriticalMinterm() {
+			return nil, fmt.Errorf("binding: FU %d uses %v, which cannot pin locked inputs", l.FU, l.Scheme)
+		}
+	}
+
+	b := &Binding{Class: p.Class, NumFUs: p.NumFUs, Assign: map[dfg.OpID]int{}}
+	for _, t := range p.G.SortedCycleList(p.Class) {
+		ops := p.G.AtCycle(p.Class, t)
+		w := make([][]float64, len(ops))
+		for i, opID := range ops {
+			w[i] = make([]float64, p.NumFUs)
+			for fu := 0; fu < p.NumFUs; fu++ {
+				if l := p.Lock.LockOf(fu); l != nil {
+					sum := 0
+					for _, m := range l.Minterms {
+						sum += p.K.Count(m, opID)
+					}
+					w[i][fu] = float64(sum)
+				}
+			}
+		}
+		assign, _, err := matching.MaxWeight(w)
+		if err != nil {
+			return nil, fmt.Errorf("binding: cycle %d of %q: %w", t, p.G.Name, err)
+		}
+		for i, opID := range ops {
+			b.Assign[opID] = assign[i]
+		}
+	}
+	if err := b.Validate(p.G); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,127 @@
+package binding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/locking"
+	"bindlock/internal/sim"
+)
+
+// enumerateBindings visits every valid binding of g's class-c ops onto
+// numFUs units by choosing an injective FU assignment per cycle.
+func enumerateBindings(g *dfg.Graph, class dfg.Class, numFUs int, visit func(map[dfg.OpID]int)) {
+	cycles := g.SortedCycleList(class)
+	assign := map[dfg.OpID]int{}
+	var rec func(ci int)
+	rec = func(ci int) {
+		if ci == len(cycles) {
+			visit(assign)
+			return
+		}
+		ops := g.AtCycle(class, cycles[ci])
+		used := make([]bool, numFUs)
+		var perOp func(oi int)
+		perOp = func(oi int) {
+			if oi == len(ops) {
+				rec(ci + 1)
+				return
+			}
+			for fu := 0; fu < numFUs; fu++ {
+				if used[fu] {
+					continue
+				}
+				used[fu] = true
+				assign[ops[oi]] = fu
+				perOp(oi + 1)
+				used[fu] = false
+			}
+		}
+		perOp(0)
+	}
+	rec(0)
+}
+
+// TestThm2OptimalityRandomQuick verifies Thm. 2 empirically: on random
+// scheduled DFGs with random K matrices and random locking configurations,
+// no binding in the full enumeration beats the obfuscation-aware binder.
+func TestThm2OptimalityRandomQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+
+		// Random scheduled DFG: 2-4 cycles, 1-3 add ops each.
+		g := dfg.New("rnd")
+		a := g.AddInput("a")
+		b := g.AddInput("b")
+		numFUs := 2 + r.Intn(2)
+		cycles := 2 + r.Intn(3)
+		var last dfg.OpID
+		for t0 := 1; t0 <= cycles; t0++ {
+			n := 1 + r.Intn(numFUs)
+			for i := 0; i < n; i++ {
+				last = g.AddBinary(dfg.Add, a, b)
+				g.Ops[last].Cycle = t0
+			}
+		}
+		g.AddOutput("y", last)
+		if g.Validate(true) != nil {
+			return false
+		}
+
+		// Random K over a small minterm alphabet.
+		minterms := []dfg.Minterm{
+			dfg.CanonMinterm(dfg.Add, 1, 2),
+			dfg.CanonMinterm(dfg.Add, 3, 4),
+			dfg.CanonMinterm(dfg.Add, 5, 6),
+		}
+		k := sim.NewKMatrix(len(g.Ops))
+		for _, id := range g.OpsOfClass(dfg.ClassAdd) {
+			for _, m := range minterms {
+				if c := r.Intn(12); c > 0 {
+					k.Add(m, id, c)
+				}
+			}
+		}
+
+		// Random locking configuration.
+		lockedFUs := 1 + r.Intn(numFUs)
+		sets := make([][]dfg.Minterm, lockedFUs)
+		for i := range sets {
+			perm := r.Perm(len(minterms))
+			take := 1 + r.Intn(len(minterms))
+			for _, mi := range perm[:take] {
+				sets[i] = append(sets[i], minterms[mi])
+			}
+		}
+		cfg, err := locking.NewConfig(dfg.ClassAdd, numFUs, lockedFUs, locking.SFLLRem, sets)
+		if err != nil {
+			return false
+		}
+
+		bd, err := (ObfuscationAware{}).Bind(&Problem{
+			G: g, Class: dfg.ClassAdd, NumFUs: numFUs, K: k, Lock: cfg,
+		})
+		if err != nil {
+			return false
+		}
+		algE, err := ApplicationErrors(g, k, cfg, bd)
+		if err != nil {
+			return false
+		}
+
+		best := -1
+		enumerateBindings(g, dfg.ClassAdd, numFUs, func(assign map[dfg.OpID]int) {
+			cand := &Binding{Class: dfg.ClassAdd, NumFUs: numFUs, Assign: assign}
+			e, err := ApplicationErrors(g, k, cfg, cand)
+			if err == nil && e > best {
+				best = e
+			}
+		})
+		return algE == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

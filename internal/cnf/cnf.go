@@ -1,0 +1,185 @@
+// Package cnf translates gate-level circuits into CNF via the Tseitin
+// transformation, instantiating circuit copies inside a sat.Solver.
+//
+// The SAT attack needs several copies of the locked circuit sharing or
+// fixing different buses (two key copies over shared inputs for the miter;
+// input-constant copies for the distinguishing-I/O constraints), so the
+// encoder exposes explicit variable binding per bus.
+package cnf
+
+import (
+	"fmt"
+
+	"bindlock/internal/netlist"
+	"bindlock/internal/sat"
+)
+
+// Encoder instantiates circuits into a solver.
+type Encoder struct {
+	S *sat.Solver
+
+	varTrue  int
+	varFalse int
+	haveK    bool
+}
+
+// NewEncoder returns an encoder over a fresh solver.
+func NewEncoder() *Encoder { return &Encoder{S: sat.NewSolver()} }
+
+// Instance records the solver variables of one circuit copy.
+type Instance struct {
+	Inputs  []int
+	Keys    []int
+	Outputs []int
+}
+
+// ConstVar returns a solver variable pinned to the given constant.
+func (e *Encoder) ConstVar(v bool) int {
+	if !e.haveK {
+		e.varTrue = e.S.NewVar()
+		e.varFalse = e.S.NewVar()
+		e.S.AddClause(sat.NewLit(e.varTrue, false))
+		e.S.AddClause(sat.NewLit(e.varFalse, true))
+		e.haveK = true
+	}
+	if v {
+		return e.varTrue
+	}
+	return e.varFalse
+}
+
+// FreshVars allocates n fresh solver variables.
+func (e *Encoder) FreshVars(n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = e.S.NewVar()
+	}
+	return vs
+}
+
+// ConstVars returns pinned variables for a bit pattern.
+func (e *Encoder) ConstVars(bits []bool) []int {
+	vs := make([]int, len(bits))
+	for i, b := range bits {
+		vs[i] = e.ConstVar(b)
+	}
+	return vs
+}
+
+// Encode instantiates circuit c. inputs and keys bind the respective buses
+// to existing solver variables; pass nil to allocate fresh ones. The
+// returned instance records all three buses.
+func (e *Encoder) Encode(c *netlist.Circuit, inputs, keys []int) (*Instance, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if inputs == nil {
+		inputs = e.FreshVars(len(c.Inputs))
+	}
+	if keys == nil {
+		keys = e.FreshVars(len(c.Keys))
+	}
+	if len(inputs) != len(c.Inputs) {
+		return nil, fmt.Errorf("cnf: %d input vars for %d inputs", len(inputs), len(c.Inputs))
+	}
+	if len(keys) != len(c.Keys) {
+		return nil, fmt.Errorf("cnf: %d key vars for %d keys", len(keys), len(c.Keys))
+	}
+
+	s := e.S
+	gateVar := make([]int, len(c.Gates))
+	in, key := 0, 0
+	pos := func(v int) sat.Lit { return sat.NewLit(v, false) }
+	neg := func(v int) sat.Lit { return sat.NewLit(v, true) }
+
+	for id, g := range c.Gates {
+		switch g.Kind {
+		case netlist.GInput:
+			gateVar[id] = inputs[in]
+			in++
+			continue
+		case netlist.GKey:
+			gateVar[id] = keys[key]
+			key++
+			continue
+		case netlist.GConst:
+			gateVar[id] = e.ConstVar(g.Arg)
+			continue
+		case netlist.GBuf:
+			gateVar[id] = gateVar[g.A]
+			continue
+		}
+		y := s.NewVar()
+		gateVar[id] = y
+		a := gateVar[g.A]
+		switch g.Kind {
+		case netlist.GNot:
+			s.AddClause(pos(y), pos(a))
+			s.AddClause(neg(y), neg(a))
+		case netlist.GAnd, netlist.GNand:
+			b := gateVar[g.B]
+			yp, yn := pos(y), neg(y)
+			if g.Kind == netlist.GNand {
+				yp, yn = yn, yp
+			}
+			s.AddClause(yn, pos(a))
+			s.AddClause(yn, pos(b))
+			s.AddClause(yp, neg(a), neg(b))
+		case netlist.GOr, netlist.GNor:
+			b := gateVar[g.B]
+			yp, yn := pos(y), neg(y)
+			if g.Kind == netlist.GNor {
+				yp, yn = yn, yp
+			}
+			s.AddClause(yp, neg(a))
+			s.AddClause(yp, neg(b))
+			s.AddClause(yn, pos(a), pos(b))
+		case netlist.GXor, netlist.GXnor:
+			b := gateVar[g.B]
+			yp, yn := pos(y), neg(y)
+			if g.Kind == netlist.GXnor {
+				yp, yn = yn, yp
+			}
+			s.AddClause(yn, pos(a), pos(b))
+			s.AddClause(yn, neg(a), neg(b))
+			s.AddClause(yp, pos(a), neg(b))
+			s.AddClause(yp, neg(a), pos(b))
+		default:
+			return nil, fmt.Errorf("cnf: unsupported gate kind %v", g.Kind)
+		}
+	}
+
+	inst := &Instance{
+		Inputs: inputs,
+		Keys:   keys,
+	}
+	for _, o := range c.Outputs {
+		inst.Outputs = append(inst.Outputs, gateVar[o])
+	}
+	return inst, nil
+}
+
+// FixVar pins an existing solver variable to a constant.
+func (e *Encoder) FixVar(v int, val bool) {
+	e.S.AddClause(sat.NewLit(v, !val))
+}
+
+// XorVar returns a fresh variable constrained to a XOR b.
+func (e *Encoder) XorVar(a, b int) int {
+	s := e.S
+	y := s.NewVar()
+	s.AddClause(sat.NewLit(y, true), sat.NewLit(a, false), sat.NewLit(b, false))
+	s.AddClause(sat.NewLit(y, true), sat.NewLit(a, true), sat.NewLit(b, true))
+	s.AddClause(sat.NewLit(y, false), sat.NewLit(a, false), sat.NewLit(b, true))
+	s.AddClause(sat.NewLit(y, false), sat.NewLit(a, true), sat.NewLit(b, false))
+	return y
+}
+
+// AtLeastOne adds a clause requiring one of the variables to be true.
+func (e *Encoder) AtLeastOne(vars []int) {
+	lits := make([]sat.Lit, len(vars))
+	for i, v := range vars {
+		lits[i] = sat.NewLit(v, false)
+	}
+	e.S.AddClause(lits...)
+}

@@ -1,0 +1,193 @@
+package cnf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bindlock/internal/netlist"
+)
+
+// TestEncodeMatchesEval checks Tseitin correctness: for every gate kind, a
+// circuit's CNF encoding under pinned inputs must force the outputs the
+// evaluator computes.
+func TestEncodeMatchesEval(t *testing.T) {
+	c := netlist.New("gates")
+	a := c.AddInput()
+	b := c.AddInput()
+	c.MarkOutput(c.And(a, b))
+	c.MarkOutput(c.Or(a, b))
+	c.MarkOutput(c.Xor(a, b))
+	c.MarkOutput(c.Nand(a, b))
+	c.MarkOutput(c.Nor(a, b))
+	c.MarkOutput(c.Xnor(a, b))
+	c.MarkOutput(c.Not(a))
+	c.MarkOutput(c.Buf(b))
+	c.MarkOutput(c.Mux(a, b, c.Not(b)))
+	c.MarkOutput(c.AddConst(true))
+
+	for v := uint64(0); v < 4; v++ {
+		in := netlist.Uint64ToBits(v, 2)
+		want, err := c.Eval(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEncoder()
+		inst, err := e.Encode(c, e.ConstVars(in), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := e.S.Solve()
+		if err != nil || !ok {
+			t.Fatalf("input %#x: solve = %v %v", v, ok, err)
+		}
+		for i, ov := range inst.Outputs {
+			if e.S.Value(ov) != want[i] {
+				t.Errorf("input %#x output %d: cnf %v, eval %v", v, i, e.S.Value(ov), want[i])
+			}
+		}
+	}
+}
+
+// Property: for random operand pairs, the adder/multiplier encodings agree
+// with direct evaluation.
+func TestEncodeArithmeticQuick(t *testing.T) {
+	add, err := netlist.NewAdder(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul, err := netlist.NewMultiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint16) bool {
+		for _, c := range []*netlist.Circuit{add, mul} {
+			n := len(c.Inputs)
+			in := netlist.Uint64ToBits(uint64(raw)&(1<<uint(n)-1), n)
+			want, err := c.Eval(in, nil)
+			if err != nil {
+				return false
+			}
+			e := NewEncoder()
+			inst, err := e.Encode(c, e.ConstVars(in), nil)
+			if err != nil {
+				return false
+			}
+			ok, err := e.S.Solve()
+			if err != nil || !ok {
+				return false
+			}
+			for i, ov := range inst.Outputs {
+				if e.S.Value(ov) != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeForcedOutputRecoverInputs(t *testing.T) {
+	// Pin the adder's output to a constant and solve for inputs: the model
+	// must be a preimage.
+	add, _ := netlist.NewAdder(4)
+	e := NewEncoder()
+	inst, err := e.Encode(add, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := netlist.Uint64ToBits(9, 4)
+	for i, ov := range inst.Outputs {
+		e.FixVar(ov, target[i])
+	}
+	ok, err := e.S.Solve()
+	if err != nil || !ok {
+		t.Fatalf("solve = %v %v", ok, err)
+	}
+	in := make([]bool, 8)
+	for i, v := range inst.Inputs {
+		in[i] = e.S.Value(v)
+	}
+	got, err := add.Eval(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netlist.BitsToUint64(got) != 9 {
+		t.Fatalf("preimage evaluates to %d, want 9", netlist.BitsToUint64(got))
+	}
+}
+
+func TestSharedBusEncoding(t *testing.T) {
+	// Two adder copies over the same input variables must always agree.
+	add, _ := netlist.NewAdder(3)
+	e := NewEncoder()
+	i1, err := e.Encode(add, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := e.Encode(add, i1.Inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assert some output differs: must be UNSAT.
+	diffs := make([]int, len(i1.Outputs))
+	for i := range diffs {
+		diffs[i] = e.XorVar(i1.Outputs[i], i2.Outputs[i])
+	}
+	e.AtLeastOne(diffs)
+	ok, err := e.S.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("identical circuit copies cannot differ")
+	}
+}
+
+func TestEncodeBindingArityErrors(t *testing.T) {
+	add, _ := netlist.NewAdder(2)
+	e := NewEncoder()
+	if _, err := e.Encode(add, []int{0}, nil); err == nil {
+		t.Error("wrong input bus arity must error")
+	}
+	locked, _, _ := netlist.LockXOR(add, 2, 1)
+	if _, err := e.Encode(locked, nil, []int{0}); err == nil {
+		t.Error("wrong key bus arity must error")
+	}
+}
+
+func TestConstVarStable(t *testing.T) {
+	e := NewEncoder()
+	t1 := e.ConstVar(true)
+	t2 := e.ConstVar(true)
+	f1 := e.ConstVar(false)
+	if t1 != t2 || t1 == f1 {
+		t.Fatal("ConstVar must cache per polarity")
+	}
+	ok, err := e.S.Solve()
+	if err != nil || !ok {
+		t.Fatal("constants alone must be SAT")
+	}
+	if !e.S.Value(t1) || e.S.Value(f1) {
+		t.Fatal("constants pinned wrong")
+	}
+}
+
+func TestXorVarTruthTable(t *testing.T) {
+	for v := 0; v < 4; v++ {
+		e := NewEncoder()
+		a := e.ConstVar(v&1 == 1)
+		b := e.ConstVar(v&2 == 2)
+		y := e.XorVar(a, b)
+		ok, err := e.S.Solve()
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		want := (v&1 == 1) != (v&2 == 2)
+		if e.S.Value(y) != want {
+			t.Errorf("xor(%d) = %v, want %v", v, e.S.Value(y), want)
+		}
+	}
+}

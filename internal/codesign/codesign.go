@@ -1,0 +1,224 @@
+// Package codesign implements binding–obfuscation co-design (Sec. V of the
+// paper): choosing the binding and the locked input minterms together to
+// maximise locking-induced application errors.
+//
+// Two algorithms are provided. Optimal enumerates every combination of
+// candidate locked inputs for every locked FU — ((|C| choose |M|))^|L|
+// combinations — applying obfuscation-informed binding to each; it is exact
+// but exponential. Heuristic is the paper's P-time algorithm: it fixes locked
+// FUs one at a time, enumerating combinations only for the FU under
+// consideration with all previously fixed FUs locked and the rest unlocked
+// (Sec. V-A, steps 1–5). The paper measures the heuristic within 0.5% of
+// optimal; the experiment harness reproduces that comparison.
+package codesign
+
+import (
+	"fmt"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/locking"
+	"bindlock/internal/sim"
+)
+
+// Options configures a co-design run.
+type Options struct {
+	Class dfg.Class
+	// NumFUs is the allocation size R.
+	NumFUs int
+	// LockedFUs is |L|: FUs 0..LockedFUs-1 are locked.
+	LockedFUs int
+	// MintermsPerFU is |M_l|, identical for each locked FU (as in the
+	// paper's evaluation sweep).
+	MintermsPerFU int
+	// Candidates is the designer-specified candidate locked input list C.
+	Candidates []dfg.Minterm
+	// Scheme is the critical-minterm scheme realising the lock.
+	Scheme locking.Scheme
+	// MaxEnumerations bounds the optimal algorithm's combination count;
+	// 0 applies DefaultMaxEnumerations. The heuristic ignores it.
+	MaxEnumerations int
+}
+
+// DefaultMaxEnumerations caps the optimal algorithm's search size.
+const DefaultMaxEnumerations = 400000
+
+// Result is a co-designed locking configuration with its binding and cost.
+type Result struct {
+	Cfg     *locking.Config
+	Binding *binding.Binding
+	// Errors is the Eqn. 2 application error count of the solution.
+	Errors int
+	// Enumerated is the number of locked-input combinations evaluated.
+	Enumerated int
+}
+
+func (o *Options) check(g *dfg.Graph, k *sim.KMatrix) error {
+	if g == nil || k == nil {
+		return fmt.Errorf("codesign: graph and K matrix required")
+	}
+	if o.LockedFUs < 1 || o.LockedFUs > o.NumFUs {
+		return fmt.Errorf("codesign: locked FU count %d outside [1, %d]", o.LockedFUs, o.NumFUs)
+	}
+	if o.MintermsPerFU < 1 || o.MintermsPerFU > len(o.Candidates) {
+		return fmt.Errorf("codesign: %d minterms per FU with %d candidates", o.MintermsPerFU, len(o.Candidates))
+	}
+	if !o.Scheme.CriticalMinterm() {
+		return fmt.Errorf("codesign: scheme %v cannot pin locked inputs", o.Scheme)
+	}
+	if o.NumFUs < g.MaxConcurrency(o.Class) {
+		return fmt.Errorf("codesign: allocation %d below max concurrency %d",
+			o.NumFUs, g.MaxConcurrency(o.Class))
+	}
+	seen := map[dfg.Minterm]bool{}
+	for _, m := range o.Candidates {
+		if seen[m] {
+			return fmt.Errorf("codesign: duplicate candidate %v", m)
+		}
+		seen[m] = true
+	}
+	return nil
+}
+
+// configFor materialises a locking configuration from per-FU candidate index
+// sets.
+func (o *Options) configFor(sets [][]int) *locking.Config {
+	cfg := &locking.Config{Class: o.Class, NumFUs: o.NumFUs}
+	for fu, set := range sets {
+		if set == nil {
+			continue
+		}
+		ms := make([]dfg.Minterm, len(set))
+		for i, ci := range set {
+			ms[i] = o.Candidates[ci]
+		}
+		cfg.Locks = append(cfg.Locks, locking.FULock{
+			FU: fu, Scheme: o.Scheme, Minterms: ms, KeyBits: locking.DefaultKeyBits,
+		})
+	}
+	return cfg
+}
+
+// finalize runs the official obfuscation-aware binder on the winning
+// configuration and packages the result.
+func finalize(g *dfg.Graph, k *sim.KMatrix, o *Options, sets [][]int, enumerated int) (*Result, error) {
+	cfg := o.configFor(sets)
+	b, err := (binding.ObfuscationAware{}).Bind(&binding.Problem{
+		G: g, Class: o.Class, NumFUs: o.NumFUs, K: k, Lock: cfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e, err := binding.ApplicationErrors(g, k, cfg, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cfg: cfg, Binding: b, Errors: e, Enumerated: enumerated}, nil
+}
+
+// Optimal runs the exact co-design algorithm. It returns an error when the
+// enumeration exceeds the configured budget ("this results in a
+// non-polynomial runtime", Sec. V-B); callers wanting an any-size answer
+// should use Heuristic.
+func Optimal(g *dfg.Graph, k *sim.KMatrix, o Options) (*Result, error) {
+	if err := o.check(g, k); err != nil {
+		return nil, err
+	}
+	combos := combinations(len(o.Candidates), o.MintermsPerFU)
+	total := 1
+	budget := o.MaxEnumerations
+	if budget == 0 {
+		budget = DefaultMaxEnumerations
+	}
+	for i := 0; i < o.LockedFUs; i++ {
+		if total > budget/len(combos)+1 {
+			total = budget + 1
+			break
+		}
+		total *= len(combos)
+	}
+	if total > budget {
+		return nil, fmt.Errorf("codesign: optimal enumeration of %d^%d combinations exceeds budget %d",
+			len(combos), o.LockedFUs, budget)
+	}
+
+	ev := newEvaluator(g, k, &o)
+	sets := make([][]int, o.NumFUs)
+	bestSets := make([][]int, o.NumFUs)
+	bestE := -1
+	enumerated := 0
+	var rec func(fu int)
+	rec = func(fu int) {
+		if fu == o.LockedFUs {
+			enumerated++
+			if e := ev.eval(sets); e > bestE {
+				bestE = e
+				for i := range sets {
+					bestSets[i] = append([]int(nil), sets[i]...)
+				}
+			}
+			return
+		}
+		for _, c := range combos {
+			sets[fu] = c
+			rec(fu + 1)
+		}
+		sets[fu] = nil
+	}
+	rec(0)
+	return finalize(g, k, &o, bestSets, enumerated)
+}
+
+// Heuristic runs the paper's P-time sequential algorithm: locked FUs are
+// processed one at a time; for the FU under consideration every candidate
+// combination is tried (with previously fixed FUs locked and later FUs
+// unlocked) and the best is frozen before moving on.
+func Heuristic(g *dfg.Graph, k *sim.KMatrix, o Options) (*Result, error) {
+	if err := o.check(g, k); err != nil {
+		return nil, err
+	}
+	combos := combinations(len(o.Candidates), o.MintermsPerFU)
+	ev := newEvaluator(g, k, &o)
+	sets := make([][]int, o.NumFUs)
+	enumerated := 0
+	for fu := 0; fu < o.LockedFUs; fu++ {
+		bestE := -1
+		var best []int
+		for _, c := range combos {
+			sets[fu] = c
+			enumerated++
+			if e := ev.eval(sets); e > bestE {
+				bestE = e
+				best = c
+			}
+		}
+		sets[fu] = best
+	}
+	return finalize(g, k, &o, sets, enumerated)
+}
+
+// Combinations returns all k-subsets of {0..n-1} in lexicographic order.
+// The co-design algorithms enumerate these; the experiment harness reuses
+// them to sweep locked-input identities.
+func Combinations(n, k int) [][]int {
+	return combinations(n, k)
+}
+
+// combinations returns all k-subsets of {0..n-1} in lexicographic order.
+func combinations(n, k int) [][]int {
+	var out [][]int
+	idx := make([]int, k)
+	var rec func(start, pos int)
+	rec = func(start, pos int) {
+		if pos == k {
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for i := start; i <= n-(k-pos); i++ {
+			idx[pos] = i
+			rec(i+1, pos+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}

@@ -1,0 +1,317 @@
+package codesign
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/locking"
+	"bindlock/internal/mediabench"
+	"bindlock/internal/sim"
+)
+
+var (
+	mintermX = dfg.CanonMinterm(dfg.Add, 1, 2)
+	mintermY = dfg.CanonMinterm(dfg.Add, 3, 4)
+	mintermZ = dfg.CanonMinterm(dfg.Add, 5, 6)
+)
+
+// fig1 rebuilds the Sec. III motivational DFG and occurrence table.
+func fig1(t *testing.T) (*dfg.Graph, *sim.KMatrix) {
+	t.Helper()
+	g := dfg.New("fig1")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	d := g.AddInput("d")
+	e := g.AddInput("e")
+	f := g.AddInput("f")
+	opA := g.AddBinary(dfg.Add, a, b)
+	opB := g.AddBinary(dfg.Add, d, e)
+	opC := g.AddBinary(dfg.Add, opA, c)
+	opD := g.AddBinary(dfg.Add, opB, f)
+	g.AddOutput("y1", opC)
+	g.AddOutput("y2", opD)
+	g.Ops[opA].Cycle = 1
+	g.Ops[opB].Cycle = 1
+	g.Ops[opC].Cycle = 2
+	g.Ops[opD].Cycle = 2
+	k := sim.NewKMatrix(len(g.Ops))
+	k.Add(mintermX, opA, 6)
+	k.Add(mintermX, opB, 1)
+	k.Add(mintermX, opD, 10)
+	k.Add(mintermY, opA, 9)
+	k.Add(mintermY, opD, 8)
+	return g, k
+}
+
+// TestCoDesignMotivationalExample reproduces Sec. III-C: free to choose the
+// locked input from {x, y}, co-design locks y and achieves 17 errors —
+// beating every configuration locking x.
+func TestCoDesignMotivationalExample(t *testing.T) {
+	g, k := fig1(t)
+	o := Options{
+		Class: dfg.ClassAdd, NumFUs: 2, LockedFUs: 1, MintermsPerFU: 1,
+		Candidates: []dfg.Minterm{mintermX, mintermY},
+		Scheme:     locking.SFLLRem,
+	}
+	for name, run := range map[string]func(*dfg.Graph, *sim.KMatrix, Options) (*Result, error){
+		"optimal": Optimal, "heuristic": Heuristic,
+	} {
+		t.Run(name, func(t *testing.T) {
+			r, err := run(g, k, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Errors != 17 {
+				t.Errorf("errors = %d, want 17 (9+8 from locking y)", r.Errors)
+			}
+			lock := r.Cfg.Locks[0]
+			if len(lock.Minterms) != 1 || lock.Minterms[0] != mintermY {
+				t.Errorf("locked minterms = %v, want [y]", lock.Minterms)
+			}
+			if err := r.Binding.Validate(g); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHeuristicMatchesOptimalOnBenchmarks(t *testing.T) {
+	// Tractable configurations on two real benchmarks: the heuristic must
+	// land within a whisker of the optimum (paper: < 0.5% degradation).
+	for _, name := range []string{"fir", "jdmerge3"} {
+		b, err := mediabench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Prepare(3, 300, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := p.Res.K.TopMinterms(p.G, dfg.ClassAdd, 8)
+		cs := make([]dfg.Minterm, len(cands))
+		for i, mc := range cands {
+			cs[i] = mc.M
+		}
+		o := Options{
+			Class: dfg.ClassAdd, NumFUs: 3, LockedFUs: 2, MintermsPerFU: 2,
+			Candidates: cs, Scheme: locking.SFLLRem,
+		}
+		opt, err := Optimal(p.G, p.Res.K, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heu, err := Heuristic(p.G, p.Res.K, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heu.Errors > opt.Errors {
+			t.Fatalf("%s: heuristic %d beats optimal %d: optimal is broken", name, heu.Errors, opt.Errors)
+		}
+		if float64(heu.Errors) < 0.90*float64(opt.Errors) {
+			t.Errorf("%s: heuristic %d more than 10%% below optimal %d", name, heu.Errors, opt.Errors)
+		}
+		if opt.Enumerated != 28*28 { // (8 choose 2)^2
+			t.Errorf("%s: enumerated %d, want 784", name, opt.Enumerated)
+		}
+	}
+}
+
+func TestOptimalAgreesWithBruteForceBinder(t *testing.T) {
+	// Cross-check the fast evaluator against the official binder: for every
+	// enumerated combination the evaluator's cost must equal the cost of
+	// the ObfuscationAware binding.
+	b, err := mediabench.ByName("jdmerge1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Prepare(2, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := p.Res.K.TopMinterms(p.G, dfg.ClassMul, 5)
+	cs := make([]dfg.Minterm, len(cands))
+	for i, mc := range cands {
+		cs[i] = mc.M
+	}
+	o := Options{
+		Class: dfg.ClassMul, NumFUs: 2, LockedFUs: 1, MintermsPerFU: 2,
+		Candidates: cs, Scheme: locking.SFLLRem,
+	}
+	if err := o.check(p.G, p.Res.K); err != nil {
+		t.Fatal(err)
+	}
+	ev := newEvaluator(p.G, p.Res.K, &o)
+	for _, combo := range combinations(len(cs), 2) {
+		sets := make([][]int, o.NumFUs)
+		sets[0] = combo
+		want := ev.eval(sets)
+		cfg := o.configFor(sets)
+		bd, err := (binding.ObfuscationAware{}).Bind(&binding.Problem{
+			G: p.G, Class: o.Class, NumFUs: o.NumFUs, K: p.Res.K, Lock: cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := binding.ApplicationErrors(p.G, p.Res.K, cfg, bd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("combo %v: evaluator %d, binder %d", combo, want, got)
+		}
+	}
+}
+
+func TestOptimalBudget(t *testing.T) {
+	g, k := fig1(t)
+	o := Options{
+		Class: dfg.ClassAdd, NumFUs: 2, LockedFUs: 2, MintermsPerFU: 1,
+		Candidates: []dfg.Minterm{mintermX, mintermY, mintermZ},
+		Scheme:     locking.SFLLRem,
+		// 3^2 = 9 combinations > 4.
+		MaxEnumerations: 4,
+	}
+	if _, err := Optimal(g, k, o); err == nil || !strings.Contains(err.Error(), "exceeds budget") {
+		t.Fatalf("err = %v, want budget error", err)
+	}
+	o.MaxEnumerations = 16
+	r, err := Optimal(g, k, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Enumerated != 9 {
+		t.Errorf("enumerated = %d, want 9", r.Enumerated)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g, k := fig1(t)
+	base := Options{
+		Class: dfg.ClassAdd, NumFUs: 2, LockedFUs: 1, MintermsPerFU: 1,
+		Candidates: []dfg.Minterm{mintermX}, Scheme: locking.SFLLRem,
+	}
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"no locked FUs", func(o *Options) { o.LockedFUs = 0 }, "locked FU count"},
+		{"too many locked FUs", func(o *Options) { o.LockedFUs = 3 }, "locked FU count"},
+		{"too many minterms", func(o *Options) { o.MintermsPerFU = 2 }, "candidates"},
+		{"zero minterms", func(o *Options) { o.MintermsPerFU = 0 }, "candidates"},
+		{"wrong scheme", func(o *Options) { o.Scheme = locking.FullLock }, "cannot pin"},
+		{"allocation too small", func(o *Options) { o.NumFUs = 1; o.LockedFUs = 1 }, "below max concurrency"},
+		{"duplicate candidates", func(o *Options) {
+			o.Candidates = []dfg.Minterm{mintermX, mintermX}
+		}, "duplicate candidate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			tc.mut(&o)
+			_, err := Heuristic(g, k, o)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := Heuristic(nil, k, base); err == nil {
+		t.Error("nil graph must error")
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	c := combinations(4, 2)
+	if len(c) != 6 {
+		t.Fatalf("C(4,2) = %d, want 6", len(c))
+	}
+	if c[0][0] != 0 || c[0][1] != 1 || c[5][0] != 2 || c[5][1] != 3 {
+		t.Errorf("combinations = %v", c)
+	}
+	if len(combinations(3, 3)) != 1 {
+		t.Error("C(3,3) must be 1")
+	}
+}
+
+func TestMethodology(t *testing.T) {
+	b, err := mediabench.ByName("dct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Prepare(3, 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := p.Res.K.TopMinterms(p.G, dfg.ClassAdd, 10)
+	cs := make([]dfg.Minterm, len(cands))
+	total := 0
+	for i, mc := range cands {
+		cs[i] = mc.M
+		total += mc.Count
+	}
+	o := Options{
+		Class: dfg.ClassAdd, NumFUs: 3, LockedFUs: 2,
+		Candidates: cs, Scheme: locking.SFLLRem,
+	}
+	// A modest error target plus a SAT time target that minterm locking
+	// alone cannot reach (λ iterations at 10ms each is far below a year).
+	target := Target{
+		MinErrors:  total / 20,
+		MinSATTime: 365 * 24 * time.Hour,
+	}
+	plan, err := Methodology(p.G, p.Res.K, o, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Result.Errors < target.MinErrors {
+		t.Errorf("plan errors %d below target %d", plan.Result.Errors, target.MinErrors)
+	}
+	if plan.Lambda < 1 {
+		t.Errorf("lambda = %v", plan.Lambda)
+	}
+	if plan.FullLockKeyBits <= 0 {
+		t.Error("a year-long SAT target must require a routing network")
+	}
+	if plan.EstSATTime < target.MinSATTime {
+		t.Errorf("estimated SAT time %v below target %v", plan.EstSATTime, target.MinSATTime)
+	}
+	if plan.AreaOverhead <= 0 || plan.PowerOverhead <= plan.AreaOverhead {
+		t.Errorf("overheads area=%v power=%v", plan.AreaOverhead, plan.PowerOverhead)
+	}
+
+	// The same error target with a trivial SAT target needs no network.
+	easy := Target{MinErrors: total / 20, MinSATTime: time.Millisecond}
+	plan2, err := Methodology(p.G, p.Res.K, o, easy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.FullLockKeyBits != 0 {
+		t.Errorf("trivial SAT target sized a %d-bit network", plan2.FullLockKeyBits)
+	}
+	if plan2.AreaOverhead != 0 || plan2.PowerOverhead != 0 {
+		t.Error("no network must mean no overhead")
+	}
+
+	// Minimality of locked inputs: a plan with fewer minterms per FU must
+	// miss the error target.
+	if plan.MintermsPerFU > 1 {
+		o2 := o
+		o2.MintermsPerFU = plan.MintermsPerFU - 1
+		r, err := Heuristic(p.G, p.Res.K, o2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Errors >= target.MinErrors {
+			t.Errorf("methodology not minimal: %d minterms already reach target", o2.MintermsPerFU)
+		}
+	}
+
+	// Unreachable error target.
+	if _, err := Methodology(p.G, p.Res.K, o, Target{MinErrors: 1 << 30}); err == nil {
+		t.Error("unreachable error target must error")
+	}
+}

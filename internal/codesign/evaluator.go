@@ -1,0 +1,181 @@
+package codesign
+
+import (
+	"bindlock/internal/dfg"
+	"bindlock/internal/matching"
+	"bindlock/internal/sim"
+)
+
+// evaluator computes the Eqn. 2 cost of the obfuscation-aware binding for a
+// candidate-set assignment without materialising configs or bindings. The
+// enumeration loops of Optimal/Heuristic call it millions of times, so it
+// pre-tabulates candidate occurrence counts per operation and, for the small
+// FU counts typical of HLS (R ≤ 4), replaces the Hungarian solver with direct
+// enumeration of the per-cycle assignments.
+type Evaluator struct {
+	// cycles[t] lists the class ops of the t-th occupied cycle.
+	cycles [][]dfg.OpID
+	// cnt[op][c] is K_{candidate c, op}; op indexed by a dense remap.
+	cnt    map[dfg.OpID][]int
+	numFUs int
+	// assignments[k] enumerates the injective maps of k ops onto FUs,
+	// precomputed when numFUs is small.
+	assignments [][][]int
+}
+
+const directEnumFUs = 4
+
+// NewEvaluator builds an evaluator for the given problem. It is exported for
+// the experiment harness, which sweeps far more candidate-set assignments
+// than the co-design algorithms themselves.
+func NewEvaluator(g *dfg.Graph, k *sim.KMatrix, o Options) *Evaluator {
+	return newEvaluator(g, k, &o)
+}
+
+func newEvaluator(g *dfg.Graph, k *sim.KMatrix, o *Options) *Evaluator {
+	ev := &Evaluator{cnt: map[dfg.OpID][]int{}, numFUs: o.NumFUs}
+	for _, t := range g.SortedCycleList(o.Class) {
+		ops := g.AtCycle(o.Class, t)
+		ev.cycles = append(ev.cycles, ops)
+		for _, op := range ops {
+			row := make([]int, len(o.Candidates))
+			for ci, m := range o.Candidates {
+				row[ci] = k.Count(m, op)
+			}
+			ev.cnt[op] = row
+		}
+	}
+	if o.NumFUs <= directEnumFUs {
+		maxOps := 0
+		for _, ops := range ev.cycles {
+			if len(ops) > maxOps {
+				maxOps = len(ops)
+			}
+		}
+		ev.assignments = make([][][]int, maxOps+1)
+		for kk := 1; kk <= maxOps; kk++ {
+			ev.assignments[kk] = injections(kk, o.NumFUs)
+		}
+	}
+	return ev
+}
+
+// injections enumerates all injective assignments of k sources onto n sinks.
+func injections(k, n int) [][]int {
+	var out [][]int
+	cur := make([]int, k)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for f := 0; f < n; f++ {
+			if !used[f] {
+				used[f] = true
+				cur[i] = f
+				rec(i + 1)
+				used[f] = false
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Eval returns the Eqn. 2 cost of the optimal obfuscation-aware binding when
+// FU f locks the candidate indices sets[f] (nil = unlocked). Cycles are
+// separable (Thm. 2), so the per-cycle optima sum to the global optimum.
+func (ev *Evaluator) Eval(sets [][]int) int {
+	return ev.eval(sets)
+}
+
+// BaselineEval returns the Eqn. 2 cost when the binding is fixed (opOnFU maps
+// each class op to its FU) and FU f locks the candidate indices sets[f]. This
+// is the cost of applying an identical locking configuration to a circuit
+// bound by a security-oblivious algorithm.
+func (ev *Evaluator) BaselineEval(opOnFU map[dfg.OpID]int, sets [][]int) int {
+	total := 0
+	for _, ops := range ev.cycles {
+		for _, op := range ops {
+			set := sets[opOnFU[op]]
+			if set == nil {
+				continue
+			}
+			row := ev.cnt[op]
+			for _, ci := range set {
+				total += row[ci]
+			}
+		}
+	}
+	return total
+}
+
+// PerFUCandidateTotals returns totals[fu][c]: the summed occurrences of
+// candidate c over the ops the fixed binding places on FU fu. Harness code
+// uses it to evaluate many lock placements on one baseline binding cheaply.
+func (ev *Evaluator) PerFUCandidateTotals(opOnFU map[dfg.OpID]int, numCands int) [][]int {
+	totals := make([][]int, ev.numFUs)
+	for fu := range totals {
+		totals[fu] = make([]int, numCands)
+	}
+	for _, ops := range ev.cycles {
+		for _, op := range ops {
+			fu := opOnFU[op]
+			row := ev.cnt[op]
+			for c := 0; c < numCands; c++ {
+				totals[fu][c] += row[c]
+			}
+		}
+	}
+	return totals
+}
+
+func (ev *Evaluator) eval(sets [][]int) int {
+	total := 0
+	for _, ops := range ev.cycles {
+		if ev.assignments != nil {
+			best := 0
+			for _, as := range ev.assignments[len(ops)] {
+				sum := 0
+				for i, op := range ops {
+					set := sets[as[i]]
+					if set == nil {
+						continue
+					}
+					row := ev.cnt[op]
+					for _, ci := range set {
+						sum += row[ci]
+					}
+				}
+				if sum > best {
+					best = sum
+				}
+			}
+			total += best
+			continue
+		}
+		// Large allocations: fall back to the Hungarian solver.
+		w := make([][]float64, len(ops))
+		for i, op := range ops {
+			w[i] = make([]float64, ev.numFUs)
+			row := ev.cnt[op]
+			for f := 0; f < ev.numFUs; f++ {
+				if sets[f] == nil {
+					continue
+				}
+				s := 0
+				for _, ci := range sets[f] {
+					s += row[ci]
+				}
+				w[i][f] = float64(s)
+			}
+		}
+		_, sum, err := matching.MaxWeight(w)
+		if err == nil {
+			total += int(sum + 0.5)
+		}
+	}
+	return total
+}

@@ -1,0 +1,123 @@
+package codesign
+
+import (
+	"fmt"
+	"time"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/locking"
+	"bindlock/internal/sim"
+)
+
+// Target is a designer's security goal for the Sec. V-C methodology: an
+// application error rate the locking must cause over the typical workload,
+// and a minimum permissible SAT attack runtime.
+type Target struct {
+	// MinErrors is the minimum Eqn. 2 application error count.
+	MinErrors int
+	// MinSATTime is the minimum modelled SAT attack wall time.
+	MinSATTime time.Duration
+	// MaxMintermsPerFU bounds how many inputs each FU may lock while
+	// searching for the error target (default 8).
+	MaxMintermsPerFU int
+	// MaxFullLockKeyBits bounds the supplementary routing network
+	// (default 1024).
+	MaxFullLockKeyBits int
+	// BaseGates is the design size used for overhead reporting (default
+	// locking.B14Gates).
+	BaseGates int
+}
+
+// Plan is the methodology's output: a co-designed critical-minterm locking
+// configuration meeting the error target with the fewest locked inputs
+// (hence maximum SAT resilience), supplemented — only if needed — by an
+// exponential-iteration-runtime network sized to meet the SAT time target.
+type Plan struct {
+	// Result is the co-designed minterm locking solution.
+	Result *Result
+	// MintermsPerFU is the locked input count per FU the search settled on.
+	MintermsPerFU int
+	// Lambda is the Eqn. 1 expected SAT iterations of the weakest locked
+	// module.
+	Lambda float64
+	// FullLockKeyBits is the supplementary routing network size (0 when
+	// minterm locking alone meets the SAT target).
+	FullLockKeyBits int
+	// EstSATTime is the modelled total attack time of the combined scheme.
+	EstSATTime time.Duration
+	// AreaOverhead and PowerOverhead are the routing network's overhead
+	// fractions (0 when no network is used).
+	AreaOverhead, PowerOverhead float64
+}
+
+// Methodology implements Sec. V-C: "by using our co-design approach to
+// incrementally tune the number of locked inputs in each FU, a locking
+// configuration can be designed that achieves a sufficient application error
+// rate with the minimum number of locked inputs, hence, the maximum SAT
+// resilience. If the SAT resilience of this locking configuration is
+// insufficient, exponential SAT iteration runtime locking schemes can be
+// used alongside ... to increase SAT runtime to a sufficient level."
+func Methodology(g *dfg.Graph, k *sim.KMatrix, base Options, target Target) (*Plan, error) {
+	if target.MaxMintermsPerFU == 0 {
+		target.MaxMintermsPerFU = 8
+	}
+	if target.MaxFullLockKeyBits == 0 {
+		target.MaxFullLockKeyBits = 1024
+	}
+	if target.BaseGates == 0 {
+		target.BaseGates = locking.B14Gates
+	}
+	if target.MaxMintermsPerFU > len(base.Candidates) {
+		target.MaxMintermsPerFU = len(base.Candidates)
+	}
+
+	// Step 1: smallest per-FU locked input count meeting the error target.
+	var res *Result
+	m := 0
+	for m = 1; m <= target.MaxMintermsPerFU; m++ {
+		base.MintermsPerFU = m
+		r, err := Heuristic(g, k, base)
+		if err != nil {
+			return nil, err
+		}
+		if r.Errors >= target.MinErrors {
+			res = r
+			break
+		}
+		res = r
+	}
+	if res == nil || res.Errors < target.MinErrors {
+		return nil, fmt.Errorf("codesign: error target %d unreachable; best achievable is %d with %d locked inputs per FU",
+			target.MinErrors, res.Errors, target.MaxMintermsPerFU)
+	}
+
+	// Step 2: SAT resilience of the minterm locking alone.
+	lambda, err := locking.ConfigResilience(res.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	iters := int(lambda)
+	if lambda > 1<<30 {
+		iters = 1 << 30
+	}
+
+	// Step 3: size the supplementary routing network only as far as needed.
+	keyBits, err := locking.MinFullLockKeyBits(iters, target.MinSATTime, target.MaxFullLockKeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("codesign: SAT time target: %w", err)
+	}
+	plan := &Plan{
+		Result:          res,
+		MintermsPerFU:   m,
+		Lambda:          lambda,
+		FullLockKeyBits: keyBits,
+		EstSATTime:      locking.SATAttackTime(keyBits, iters),
+	}
+	if keyBits > 0 {
+		plan.AreaOverhead, plan.PowerOverhead, err = locking.FullLockOverhead(keyBits, target.BaseGates)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,390 @@
+// Package dfg defines the scheduled data-flow graph (DFG) representation used
+// throughout the library.
+//
+// A DFG is the output of high-level synthesis scheduling (Sec. II-B of the
+// paper): nodes are operations completed in one clock cycle, edges are data
+// dependencies. Operations carry a schedule step (Cycle); binding maps each
+// scheduled operation of a functional-unit class onto an allocated FU.
+//
+// Operand values are 8-bit (the module input space of a 2-input FU is the
+// 16-bit minterm space, see Minterm). All arithmetic is modulo 256.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpID identifies an operation inside a Graph. IDs are dense indices into
+// Graph.Ops.
+type OpID int
+
+// None is the nil operation reference used for unused operand slots.
+const None OpID = -1
+
+// Kind enumerates operation kinds.
+type Kind uint8
+
+// Operation kinds. Input and Const are sources, Output is a sink; the
+// remaining binary kinds execute on functional units.
+const (
+	Input   Kind = iota // primary input, one 8-bit value per trace sample
+	Const               // compile-time constant
+	Add                 // a + b (mod 256)
+	Sub                 // a - b (mod 256)
+	AbsDiff             // |a - b|
+	Mul                 // a * b (mod 256)
+	Output              // sink marking a primary output
+)
+
+var kindNames = [...]string{
+	Input:   "input",
+	Const:   "const",
+	Add:     "add",
+	Sub:     "sub",
+	AbsDiff: "absdiff",
+	Mul:     "mul",
+	Output:  "output",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsBinary reports whether the kind is a two-operand functional-unit
+// operation.
+func (k Kind) IsBinary() bool {
+	switch k {
+	case Add, Sub, AbsDiff, Mul:
+		return true
+	}
+	return false
+}
+
+// Commutative reports whether the kind's result is invariant under operand
+// swap. Commutative kinds canonicalise their minterms (see MintermOf).
+func (k Kind) Commutative() bool {
+	switch k {
+	case Add, AbsDiff, Mul:
+		return true
+	}
+	return false
+}
+
+// Class is a functional-unit class. Binding is performed independently per
+// class ("by handling each operation/resource type separately, this
+// assumption can be made without the loss of generality", Sec. IV-B).
+type Class uint8
+
+// Functional-unit classes.
+const (
+	ClassNone Class = iota // sources and sinks: not bound
+	ClassAdd               // ALU class: Add, Sub, AbsDiff
+	ClassMul               // multiplier class: Mul
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassAdd:
+		return "adder"
+	case ClassMul:
+		return "multiplier"
+	}
+	return "none"
+}
+
+// ClassOf returns the functional-unit class that executes kind k.
+func ClassOf(k Kind) Class {
+	switch k {
+	case Add, Sub, AbsDiff:
+		return ClassAdd
+	case Mul:
+		return ClassMul
+	}
+	return ClassNone
+}
+
+// Op is a single DFG operation.
+type Op struct {
+	ID   OpID
+	Kind Kind
+	// Args are the producing operations for binary ops and Output (Args[0]
+	// only). Unused slots hold None.
+	Args [2]OpID
+	// Name labels Input and Output ops with their source-level identifier.
+	Name string
+	// Val is the value of a Const op.
+	Val uint8
+	// Cycle is the 1-based schedule step. 0 means unscheduled. Sources
+	// (Input, Const) are available from cycle 0 and are never scheduled.
+	Cycle int
+}
+
+// Graph is a (possibly scheduled) data-flow graph. Ops must be in topological
+// order: every operand index is smaller than its consumer's index. The
+// constructors in this package and the frontend maintain this invariant;
+// Validate checks it.
+type Graph struct {
+	// Name identifies the kernel the graph was extracted from.
+	Name string
+	Ops  []Op
+}
+
+// New returns an empty graph named name.
+func New(name string) *Graph {
+	return &Graph{Name: name}
+}
+
+// add appends an op and returns its ID.
+func (g *Graph) add(op Op) OpID {
+	op.ID = OpID(len(g.Ops))
+	g.Ops = append(g.Ops, op)
+	return op.ID
+}
+
+// AddInput appends a primary input named name.
+func (g *Graph) AddInput(name string) OpID {
+	return g.add(Op{Kind: Input, Name: name, Args: [2]OpID{None, None}})
+}
+
+// AddConst appends a constant source with value v.
+func (g *Graph) AddConst(v uint8) OpID {
+	return g.add(Op{Kind: Const, Val: v, Args: [2]OpID{None, None}})
+}
+
+// AddBinary appends a binary operation of kind k consuming a and b.
+// It panics if k is not binary or an operand is out of range, since graph
+// construction errors are programming bugs.
+func (g *Graph) AddBinary(k Kind, a, b OpID) OpID {
+	if !k.IsBinary() {
+		panic(fmt.Sprintf("dfg: AddBinary with non-binary kind %v", k))
+	}
+	g.checkRef(a)
+	g.checkRef(b)
+	return g.add(Op{Kind: k, Args: [2]OpID{a, b}})
+}
+
+// AddOutput appends an output sink named name consuming src.
+func (g *Graph) AddOutput(name string, src OpID) OpID {
+	g.checkRef(src)
+	return g.add(Op{Kind: Output, Name: name, Args: [2]OpID{src, None}})
+}
+
+func (g *Graph) checkRef(id OpID) {
+	if id < 0 || int(id) >= len(g.Ops) {
+		panic(fmt.Sprintf("dfg: operand %d out of range (have %d ops)", id, len(g.Ops)))
+	}
+}
+
+// Inputs returns the IDs of all Input ops in definition order.
+func (g *Graph) Inputs() []OpID {
+	var ids []OpID
+	for _, op := range g.Ops {
+		if op.Kind == Input {
+			ids = append(ids, op.ID)
+		}
+	}
+	return ids
+}
+
+// Outputs returns the IDs of all Output ops in definition order.
+func (g *Graph) Outputs() []OpID {
+	var ids []OpID
+	for _, op := range g.Ops {
+		if op.Kind == Output {
+			ids = append(ids, op.ID)
+		}
+	}
+	return ids
+}
+
+// OpsOfClass returns the IDs of all operations executing on class c, in ID
+// order.
+func (g *Graph) OpsOfClass(c Class) []OpID {
+	var ids []OpID
+	for _, op := range g.Ops {
+		if ClassOf(op.Kind) == c && c != ClassNone {
+			ids = append(ids, op.ID)
+		}
+	}
+	return ids
+}
+
+// Cycles returns the schedule span s: the largest cycle over all ops. An
+// unscheduled graph has span 0.
+func (g *Graph) Cycles() int {
+	s := 0
+	for _, op := range g.Ops {
+		if op.Cycle > s {
+			s = op.Cycle
+		}
+	}
+	return s
+}
+
+// AtCycle returns the operations of class c scheduled at cycle t, in ID
+// order. These are the concurrent operations N_t that one binding step must
+// map onto FUs (Sec. IV-B).
+func (g *Graph) AtCycle(c Class, t int) []OpID {
+	var ids []OpID
+	for _, op := range g.Ops {
+		if op.Cycle == t && ClassOf(op.Kind) == c {
+			ids = append(ids, op.ID)
+		}
+	}
+	return ids
+}
+
+// MaxConcurrency returns the largest number of class-c operations scheduled
+// in any single cycle (|N_m| in the paper's complexity analysis). This is the
+// minimum feasible FU allocation for the class.
+func (g *Graph) MaxConcurrency(c Class) int {
+	perCycle := map[int]int{}
+	maxN := 0
+	for _, op := range g.Ops {
+		if ClassOf(op.Kind) == c {
+			perCycle[op.Cycle]++
+			if perCycle[op.Cycle] > maxN {
+				maxN = perCycle[op.Cycle]
+			}
+		}
+	}
+	return maxN
+}
+
+// Users returns, for each op, the IDs of the ops consuming its result.
+func (g *Graph) Users() [][]OpID {
+	users := make([][]OpID, len(g.Ops))
+	for _, op := range g.Ops {
+		for _, a := range op.Args {
+			if a != None {
+				users[a] = append(users[a], op.ID)
+			}
+		}
+	}
+	return users
+}
+
+// Validate checks structural invariants: topological op order, operand arity
+// per kind, names on inputs/outputs, and (when scheduled is true) that every
+// FU operation has a positive cycle no earlier than one past each of its
+// FU-operation operands.
+func (g *Graph) Validate(scheduled bool) error {
+	seenName := map[string]bool{}
+	for i, op := range g.Ops {
+		if op.ID != OpID(i) {
+			return fmt.Errorf("dfg %q: op %d has ID %d", g.Name, i, op.ID)
+		}
+		switch op.Kind {
+		case Input:
+			if op.Name == "" {
+				return fmt.Errorf("dfg %q: input op %d unnamed", g.Name, i)
+			}
+			if seenName["in:"+op.Name] {
+				return fmt.Errorf("dfg %q: duplicate input %q", g.Name, op.Name)
+			}
+			seenName["in:"+op.Name] = true
+			if op.Args[0] != None || op.Args[1] != None {
+				return fmt.Errorf("dfg %q: input op %d has operands", g.Name, i)
+			}
+		case Const:
+			if op.Args[0] != None || op.Args[1] != None {
+				return fmt.Errorf("dfg %q: const op %d has operands", g.Name, i)
+			}
+		case Output:
+			if op.Name == "" {
+				return fmt.Errorf("dfg %q: output op %d unnamed", g.Name, i)
+			}
+			if seenName["out:"+op.Name] {
+				return fmt.Errorf("dfg %q: duplicate output %q", g.Name, op.Name)
+			}
+			seenName["out:"+op.Name] = true
+			if op.Args[0] == None || op.Args[1] != None {
+				return fmt.Errorf("dfg %q: output op %d must have exactly one operand", g.Name, i)
+			}
+			if op.Args[0] >= OpID(i) {
+				return fmt.Errorf("dfg %q: op %d not in topological order", g.Name, i)
+			}
+		default:
+			if !op.Kind.IsBinary() {
+				return fmt.Errorf("dfg %q: op %d has unknown kind %v", g.Name, i, op.Kind)
+			}
+			for _, a := range op.Args {
+				if a == None {
+					return fmt.Errorf("dfg %q: binary op %d missing operand", g.Name, i)
+				}
+				if a >= OpID(i) || a < 0 {
+					return fmt.Errorf("dfg %q: op %d not in topological order", g.Name, i)
+				}
+			}
+		}
+		if scheduled && op.Kind.IsBinary() {
+			if op.Cycle <= 0 {
+				return fmt.Errorf("dfg %q: op %d unscheduled", g.Name, i)
+			}
+			for _, a := range op.Args {
+				arg := g.Ops[a]
+				if arg.Kind.IsBinary() && arg.Cycle >= op.Cycle {
+					return fmt.Errorf("dfg %q: op %d at cycle %d depends on op %d at cycle %d",
+						g.Name, i, op.Cycle, a, arg.Cycle)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises a graph for reporting.
+type Stats struct {
+	Name    string
+	Adds    int // ClassAdd operations (add, sub, absdiff)
+	Muls    int // ClassMul operations
+	Inputs  int
+	Outputs int
+	Cycles  int
+}
+
+// Stat computes summary statistics for g.
+func (g *Graph) Stat() Stats {
+	st := Stats{Name: g.Name, Cycles: g.Cycles()}
+	for _, op := range g.Ops {
+		switch {
+		case op.Kind == Input:
+			st.Inputs++
+		case op.Kind == Output:
+			st.Outputs++
+		case ClassOf(op.Kind) == ClassAdd:
+			st.Adds++
+		case ClassOf(op.Kind) == ClassMul:
+			st.Muls++
+		}
+	}
+	return st
+}
+
+// Clone returns a deep copy of g. Schedules are preserved.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{Name: g.Name, Ops: make([]Op, len(g.Ops))}
+	copy(ng.Ops, g.Ops)
+	return ng
+}
+
+// SortedCycleList returns the sorted list of distinct cycles containing
+// class-c operations. Binding iterates over exactly these cycles.
+func (g *Graph) SortedCycleList(c Class) []int {
+	set := map[int]bool{}
+	for _, op := range g.Ops {
+		if ClassOf(op.Kind) == c {
+			set[op.Cycle] = true
+		}
+	}
+	cycles := make([]int, 0, len(set))
+	for t := range set {
+		cycles = append(cycles, t)
+	}
+	sort.Ints(cycles)
+	return cycles
+}

@@ -1,0 +1,374 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildDiamond constructs the 4-op diamond of the paper's Fig. 1A:
+// two cycle-1 adds feeding two cycle-2 adds.
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New("fig1")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	d := g.AddInput("d")
+	e := g.AddInput("e")
+	f := g.AddInput("f")
+	opA := g.AddBinary(Add, a, b)
+	opB := g.AddBinary(Add, d, e)
+	opC := g.AddBinary(Add, opA, c)
+	opD := g.AddBinary(Add, opB, f)
+	g.AddOutput("y1", opC)
+	g.AddOutput("y2", opD)
+	g.Ops[opA].Cycle = 1
+	g.Ops[opB].Cycle = 1
+	g.Ops[opC].Cycle = 2
+	g.Ops[opD].Cycle = 2
+	return g
+}
+
+func TestValidateDiamond(t *testing.T) {
+	g := buildDiamond(t)
+	if err := g.Validate(true); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := g.Cycles(); got != 2 {
+		t.Errorf("Cycles() = %d, want 2", got)
+	}
+	if got := g.MaxConcurrency(ClassAdd); got != 2 {
+		t.Errorf("MaxConcurrency(add) = %d, want 2", got)
+	}
+	if got := len(g.OpsOfClass(ClassAdd)); got != 4 {
+		t.Errorf("len(OpsOfClass(add)) = %d, want 4", got)
+	}
+	if got := len(g.OpsOfClass(ClassMul)); got != 0 {
+		t.Errorf("len(OpsOfClass(mul)) = %d, want 0", got)
+	}
+	st := g.Stat()
+	if st.Adds != 4 || st.Muls != 0 || st.Inputs != 6 || st.Outputs != 2 || st.Cycles != 2 {
+		t.Errorf("Stat() = %+v", st)
+	}
+}
+
+func TestAtCycle(t *testing.T) {
+	g := buildDiamond(t)
+	n1 := g.AtCycle(ClassAdd, 1)
+	n2 := g.AtCycle(ClassAdd, 2)
+	if len(n1) != 2 || len(n2) != 2 {
+		t.Fatalf("AtCycle sizes = %d, %d, want 2, 2", len(n1), len(n2))
+	}
+	if n1[0] >= n1[1] {
+		t.Errorf("AtCycle must return IDs in order, got %v", n1)
+	}
+	if got := g.SortedCycleList(ClassAdd); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("SortedCycleList = %v, want [1 2]", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Graph
+		sched bool
+		want  string
+	}{
+		{
+			name: "unscheduled binary op",
+			build: func() *Graph {
+				g := New("t")
+				a := g.AddInput("a")
+				g.AddBinary(Add, a, a)
+				return g
+			},
+			sched: true,
+			want:  "unscheduled",
+		},
+		{
+			name: "dependency violation",
+			build: func() *Graph {
+				g := New("t")
+				a := g.AddInput("a")
+				x := g.AddBinary(Add, a, a)
+				y := g.AddBinary(Add, x, a)
+				g.Ops[x].Cycle = 2
+				g.Ops[y].Cycle = 1
+				return g
+			},
+			sched: true,
+			want:  "depends on",
+		},
+		{
+			name: "duplicate input name",
+			build: func() *Graph {
+				g := New("t")
+				g.AddInput("a")
+				g.AddInput("a")
+				return g
+			},
+			want: "duplicate input",
+		},
+		{
+			name: "duplicate output name",
+			build: func() *Graph {
+				g := New("t")
+				a := g.AddInput("a")
+				g.AddOutput("y", a)
+				g.AddOutput("y", a)
+				return g
+			},
+			want: "duplicate output",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build().Validate(tc.sched)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAddBinaryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddBinary(Input, ...) did not panic")
+		}
+	}()
+	g := New("t")
+	a := g.AddInput("a")
+	g.AddBinary(Input, a, a)
+}
+
+func TestUsers(t *testing.T) {
+	g := buildDiamond(t)
+	users := g.Users()
+	// opA (ID 6) is used by opC (ID 8) only.
+	if len(users[6]) != 1 || users[6][0] != 8 {
+		t.Errorf("users[opA] = %v, want [8]", users[6])
+	}
+	// input a (ID 0) is used by opA only.
+	if len(users[0]) != 1 || users[0][0] != 6 {
+		t.Errorf("users[a] = %v, want [6]", users[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildDiamond(t)
+	c := g.Clone()
+	c.Ops[6].Cycle = 99
+	if g.Ops[6].Cycle == 99 {
+		t.Fatal("Clone shares op storage with original")
+	}
+	if err := c.Validate(false); err != nil {
+		t.Fatalf("clone Validate: %v", err)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := buildDiamond(t)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "add@1", "add@2", "rank=same", "invtriangle"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestEvalKind(t *testing.T) {
+	cases := []struct {
+		k       Kind
+		a, b, y uint8
+	}{
+		{Add, 200, 100, 44}, // wraps mod 256
+		{Sub, 5, 7, 254},
+		{AbsDiff, 5, 7, 2},
+		{AbsDiff, 7, 5, 2},
+		{Mul, 16, 17, 16}, // 272 mod 256
+		{Add, 0, 0, 0},
+		{Mul, 255, 255, 1},
+	}
+	for _, tc := range cases {
+		if got := EvalKind(tc.k, tc.a, tc.b); got != tc.y {
+			t.Errorf("EvalKind(%v, %d, %d) = %d, want %d", tc.k, tc.a, tc.b, got, tc.y)
+		}
+	}
+}
+
+func TestEvalKindPanicsOnSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvalKind(Input) did not panic")
+		}
+	}()
+	EvalKind(Input, 1, 2)
+}
+
+func TestMintermPacking(t *testing.T) {
+	m := MkMinterm(0xAB, 0xCD)
+	if m.A() != 0xAB || m.B() != 0xCD {
+		t.Fatalf("round trip failed: %v", m)
+	}
+	if m.String() != "(171,205)" {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+// Property: minterm packing round-trips for all operand pairs.
+func TestMintermRoundTripQuick(t *testing.T) {
+	f := func(a, b uint8) bool {
+		m := MkMinterm(a, b)
+		return m.A() == a && m.B() == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: canonical minterms of commutative kinds are operand-order
+// invariant, and evaluate identically to the raw operand pair.
+func TestCanonMintermQuick(t *testing.T) {
+	f := func(a, b uint8) bool {
+		for _, k := range []Kind{Add, AbsDiff, Mul} {
+			if CanonMinterm(k, a, b) != CanonMinterm(k, b, a) {
+				return false
+			}
+			if CanonMinterm(k, a, b).Eval(k) != EvalKind(k, a, b) {
+				return false
+			}
+		}
+		// Sub is not commutative: canonicalisation must preserve order.
+		return CanonMinterm(Sub, a, b) == MkMinterm(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EvalKind(Add) is associative-with-wrap consistent: (a+b)+c ==
+// a+(b+c) mod 256 when chained through the DFG evaluator semantics.
+func TestAddAssociativityQuick(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		left := EvalKind(Add, EvalKind(Add, a, b), c)
+		right := EvalKind(Add, a, EvalKind(Add, b, c))
+		return left == right
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	if ClassOf(Add) != ClassAdd || ClassOf(Sub) != ClassAdd || ClassOf(AbsDiff) != ClassAdd {
+		t.Error("ALU kinds must map to ClassAdd")
+	}
+	if ClassOf(Mul) != ClassMul {
+		t.Error("Mul must map to ClassMul")
+	}
+	if ClassOf(Input) != ClassNone || ClassOf(Output) != ClassNone || ClassOf(Const) != ClassNone {
+		t.Error("sources/sinks must map to ClassNone")
+	}
+	if ClassAdd.String() != "adder" || ClassMul.String() != "multiplier" || ClassNone.String() != "none" {
+		t.Error("Class.String mismatch")
+	}
+}
+
+func TestInputsOutputsAndConst(t *testing.T) {
+	g := New("io")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	k := g.AddConst(7)
+	s := g.AddBinary(Add, a, k)
+	g.AddOutput("y", s)
+	g.AddOutput("z", b)
+	if got := g.Inputs(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("Inputs = %v", got)
+	}
+	if got := g.Outputs(); len(got) != 2 {
+		t.Errorf("Outputs = %v", got)
+	}
+	if g.Ops[k].Val != 7 || g.Ops[k].Kind != Const {
+		t.Errorf("const op = %+v", g.Ops[k])
+	}
+	if err := g.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindAndClassStrings(t *testing.T) {
+	for _, k := range []Kind{Input, Const, Add, Sub, AbsDiff, Mul, Output} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind = %q", Kind(200).String())
+	}
+}
+
+func TestAddOutputPanicsOnBadRef(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddOutput with bad ref must panic")
+		}
+	}()
+	g := New("p")
+	g.AddOutput("y", OpID(42))
+}
+
+func TestValidateMoreErrors(t *testing.T) {
+	// Input with operands.
+	g := New("t")
+	a := g.AddInput("a")
+	g.Ops[a].Args[0] = 0
+	if err := g.Validate(false); err == nil {
+		t.Error("input with operand must fail")
+	}
+	// Unnamed input.
+	g2 := New("t")
+	i2 := g2.AddInput("x")
+	g2.Ops[i2].Name = ""
+	if err := g2.Validate(false); err == nil {
+		t.Error("unnamed input must fail")
+	}
+	// Output with two operands.
+	g3 := New("t")
+	a3 := g3.AddInput("a")
+	o3 := g3.AddOutput("y", a3)
+	g3.Ops[o3].Args[1] = a3
+	if err := g3.Validate(false); err == nil {
+		t.Error("output with two operands must fail")
+	}
+	// Unnamed output.
+	g4 := New("t")
+	a4 := g4.AddInput("a")
+	o4 := g4.AddOutput("y", a4)
+	g4.Ops[o4].Name = ""
+	if err := g4.Validate(false); err == nil {
+		t.Error("unnamed output must fail")
+	}
+	// ID mismatch.
+	g5 := New("t")
+	a5 := g5.AddInput("a")
+	g5.Ops[a5].ID = 9
+	if err := g5.Validate(false); err == nil {
+		t.Error("ID mismatch must fail")
+	}
+	// Const with operands.
+	g6 := New("t")
+	k6 := g6.AddConst(1)
+	g6.Ops[k6].Args[0] = 0
+	if err := g6.Validate(false); err == nil {
+		t.Error("const with operand must fail")
+	}
+	// Unknown kind.
+	g7 := New("t")
+	a7 := g7.AddInput("a")
+	g7.Ops[a7].Kind = Kind(99)
+	if err := g7.Validate(false); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}

@@ -1,0 +1,54 @@
+package dfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT format. Scheduled FU operations are
+// grouped into same-rank clusters per cycle so the schedule reads top to
+// bottom, mirroring the paper's Fig. 1/2 drawings.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	byCycle := map[int][]OpID{}
+	for _, op := range g.Ops {
+		label := ""
+		shape := "ellipse"
+		switch op.Kind {
+		case Input:
+			label = op.Name
+			shape = "invtriangle"
+		case Const:
+			label = fmt.Sprintf("#%d", op.Val)
+			shape = "box"
+		case Output:
+			label = op.Name
+			shape = "triangle"
+		default:
+			label = fmt.Sprintf("%s@%d", op.Kind, op.Cycle)
+			byCycle[op.Cycle] = append(byCycle[op.Cycle], op.ID)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", op.ID, label, shape)
+	}
+	for _, op := range g.Ops {
+		for _, a := range op.Args {
+			if a != None {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", a, op.ID)
+			}
+		}
+	}
+	for t := 1; t <= g.Cycles(); t++ {
+		ids := byCycle[t]
+		if len(ids) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  { rank=same;")
+		for _, id := range ids {
+			fmt.Fprintf(&b, " n%d;", id)
+		}
+		fmt.Fprintf(&b, " }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

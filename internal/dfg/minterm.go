@@ -1,0 +1,63 @@
+package dfg
+
+import "fmt"
+
+// Minterm is a 2-operand input minterm of a functional unit: the concatenated
+// 8-bit operand pair (a<<8)|b. The module input space of a locked FU is
+// therefore 2^16 minterms, matching the per-module view under which SAT
+// resilience is computed (Sec. II-A: the attack model assumes scan access, so
+// each locked module is attacked in isolation over its own input space).
+//
+// For commutative kinds the pair is canonicalised with a <= b so the minterm
+// "x applied to the FU" is well defined regardless of operand order.
+type Minterm uint32
+
+// MkMinterm packs operands (a, b) without canonicalisation.
+func MkMinterm(a, b uint8) Minterm {
+	return Minterm(uint32(a)<<8 | uint32(b))
+}
+
+// CanonMinterm packs operands applying canonicalisation for commutative
+// kinds.
+func CanonMinterm(k Kind, a, b uint8) Minterm {
+	if k.Commutative() && a > b {
+		a, b = b, a
+	}
+	return MkMinterm(a, b)
+}
+
+// A returns the first operand.
+func (m Minterm) A() uint8 { return uint8(m >> 8) }
+
+// B returns the second operand.
+func (m Minterm) B() uint8 { return uint8(m) }
+
+func (m Minterm) String() string {
+	return fmt.Sprintf("(%d,%d)", m.A(), m.B())
+}
+
+// MintermSpace is the number of distinct operand pairs of a 2-input 8-bit FU.
+const MintermSpace = 1 << 16
+
+// Eval applies kind k to minterm m's operands.
+func (m Minterm) Eval(k Kind) uint8 {
+	return EvalKind(k, m.A(), m.B())
+}
+
+// EvalKind executes one binary operation. It panics on non-binary kinds.
+func EvalKind(k Kind, a, b uint8) uint8 {
+	switch k {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case AbsDiff:
+		if a >= b {
+			return a - b
+		}
+		return b - a
+	case Mul:
+		return a * b
+	}
+	panic(fmt.Sprintf("dfg: EvalKind(%v) is not a binary kind", k))
+}

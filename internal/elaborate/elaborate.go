@@ -1,0 +1,222 @@
+// Package elaborate lowers a scheduled, bound data-flow graph into one flat
+// gate-level netlist, with the locking configuration realised as SFLL-HD(0)
+// hardware on the locked FU instances.
+//
+// Elaboration is the bridge between the architectural view (DFG, binding,
+// locking.Config) and the gate-level view (netlist, SAT attack): every FU
+// operation instantiates the gate-level datapath of its kind, and every
+// operation bound to a locked FU additionally carries the FU's
+// perturb/restore logic — crucially, operations on the same locked FU share
+// the same physical key inputs, exactly as the ops time-share one locked
+// unit in hardware.
+//
+// Two attack surfaces fall out (Sec. II-A): with scan access the adversary
+// isolates one locked FU and attacks its 16-bit module input space; without
+// scan the adversary sees only the primary I/O of the whole elaborated cone.
+// The experiments package compares budgeted attacks on both.
+package elaborate
+
+import (
+	"fmt"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/locking"
+	"bindlock/internal/netlist"
+)
+
+// Width is the operand width of every FU (fixed by the dfg package's 8-bit
+// semantics).
+const Width = 8
+
+// Result is an elaborated design.
+type Result struct {
+	// Circuit implements the DFG: one Width-bit input bus per DFG input
+	// (in declaration order, LSB first), one output bus per DFG output.
+	Circuit *netlist.Circuit
+	// CorrectKey activates the design (empty when cfg is nil).
+	CorrectKey []bool
+	// KeyOfFU maps each locked FU index to its key bit range
+	// [start, start+len) within the circuit's key bus.
+	KeyOfFU map[int][2]int
+}
+
+// Design elaborates g under the given per-class bindings and locking
+// configuration. cfg may be nil for an unlocked reference netlist; when
+// non-nil, the binding for cfg.Class must be present.
+func Design(g *dfg.Graph, bindings map[dfg.Class]*binding.Binding, cfg *locking.Config) (*Result, error) {
+	if err := g.Validate(true); err != nil {
+		return nil, err
+	}
+	for class, b := range bindings {
+		if b == nil {
+			continue
+		}
+		if b.Class != class {
+			return nil, fmt.Errorf("elaborate: bindings key %v holds a %v binding", class, b.Class)
+		}
+		if err := b.Validate(g); err != nil {
+			return nil, err
+		}
+	}
+	var lockedBinding *binding.Binding
+	if cfg != nil {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		lockedBinding = bindings[cfg.Class]
+		if lockedBinding == nil {
+			return nil, fmt.Errorf("elaborate: locking targets %v but no binding given", cfg.Class)
+		}
+		for _, l := range cfg.Locks {
+			if !l.Scheme.CriticalMinterm() {
+				return nil, fmt.Errorf("elaborate: cannot realise %v at gate level here", l.Scheme)
+			}
+		}
+	}
+
+	c := netlist.New(g.Name)
+	res := &Result{Circuit: c, KeyOfFU: map[int][2]int{}}
+
+	// Key buses first (so key indices are stable regardless of graph
+	// structure): 2*Width bits per locked minterm per locked FU.
+	fuKeys := map[int][][]int{} // fu -> per-minterm key bus
+	if cfg != nil {
+		for _, l := range cfg.Locks {
+			start := len(c.Keys)
+			for _, m := range l.Minterms {
+				bus := make([]int, 2*Width)
+				for i := range bus {
+					bus[i] = c.AddKey()
+				}
+				fuKeys[l.FU] = append(fuKeys[l.FU], bus)
+				pattern := uint64(m.A()) | uint64(m.B())<<Width
+				res.CorrectKey = append(res.CorrectKey, netlist.Uint64ToBits(pattern, 2*Width)...)
+			}
+			res.KeyOfFU[l.FU] = [2]int{start, len(c.Keys)}
+		}
+	}
+
+	// Elaborate ops in topological order.
+	bus := make([][]int, len(g.Ops))
+	for _, op := range g.Ops {
+		switch op.Kind {
+		case dfg.Input:
+			b := make([]int, Width)
+			for i := range b {
+				b[i] = c.AddInput()
+			}
+			bus[op.ID] = b
+		case dfg.Const:
+			bus[op.ID] = netlist.ConstBus(c, uint64(op.Val), Width)
+		case dfg.Output:
+			for _, w := range bus[op.Args[0]] {
+				c.MarkOutput(w)
+			}
+		default:
+			a := bus[op.Args[0]]
+			b := bus[op.Args[1]]
+			var out []int
+			switch op.Kind {
+			case dfg.Add:
+				out = netlist.AddBus(c, a, b)
+			case dfg.Sub:
+				out = netlist.SubBus(c, a, b)
+			case dfg.AbsDiff:
+				out = netlist.AbsDiffBus(c, a, b)
+			case dfg.Mul:
+				out = netlist.MulBus(c, a, b)
+			default:
+				return nil, fmt.Errorf("elaborate: unsupported kind %v", op.Kind)
+			}
+			if cfg != nil && dfg.ClassOf(op.Kind) == cfg.Class {
+				if l := cfg.LockOf(lockedBinding.FUOf(op.ID)); l != nil {
+					out = lockOpInstance(c, op.Kind, a, b, out, l, fuKeys[l.FU])
+				}
+			}
+			bus[op.ID] = out
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("elaborate: produced invalid netlist: %w", err)
+	}
+	return res, nil
+}
+
+// lockOpInstance wraps one FU-op instance with the locked FU's SFLL-HD(0)
+// perturb/restore logic: output bit 0 flips when the operand pair matches a
+// protected minterm XOR when it matches the corresponding key block. For
+// commutative kinds both operand orders match, mirroring the canonical
+// minterm semantics of the behavioural model.
+func lockOpInstance(c *netlist.Circuit, kind dfg.Kind, a, b, out []int,
+	l *locking.FULock, keys [][]int) []int {
+	matchPair := func(xa, xb []int) int {
+		// xa/xb are either constant patterns (nil marker handled by caller)
+		// or wire buses; here both are wires.
+		return c.And(equalsWires(c, a, xa), equalsWires(c, b, xb))
+	}
+	flip := -1
+	for i, m := range l.Minterms {
+		// Perturb: input == protected minterm (order-insensitive for
+		// commutative kinds).
+		pa := netlist.ConstBus(c, uint64(m.A()), Width)
+		pb := netlist.ConstBus(c, uint64(m.B()), Width)
+		perturb := matchPair(pa, pb)
+		if kind.Commutative() && m.A() != m.B() {
+			perturb = c.Or(perturb, matchPair(pb, pa))
+		}
+		// Restore: input == key block (same order insensitivity).
+		ka := keys[i][:Width]
+		kb := keys[i][Width:]
+		restore := matchPair(ka, kb)
+		if kind.Commutative() {
+			restore = c.Or(restore, matchPair(kb, ka))
+		}
+		pair := c.Xor(perturb, restore)
+		if flip < 0 {
+			flip = pair
+		} else {
+			flip = c.Xor(flip, pair)
+		}
+	}
+	if flip < 0 {
+		return out
+	}
+	locked := append([]int(nil), out...)
+	locked[0] = c.Xor(out[0], flip)
+	return locked
+}
+
+// equalsWires compares two wire buses bit by bit.
+func equalsWires(c *netlist.Circuit, a, b []int) int {
+	match := -1
+	for i := range a {
+		eq := c.Xnor(a[i], b[i])
+		if match < 0 {
+			match = eq
+		} else {
+			match = c.And(match, eq)
+		}
+	}
+	return match
+}
+
+// PackInputs flattens one trace sample (in DFG input declaration order) into
+// the elaborated circuit's input bit vector.
+func PackInputs(sample []uint8) []bool {
+	out := make([]bool, 0, len(sample)*Width)
+	for _, v := range sample {
+		out = append(out, netlist.Uint64ToBits(uint64(v), Width)...)
+	}
+	return out
+}
+
+// UnpackOutputs splits the circuit's output bits into 8-bit values, one per
+// DFG output in declaration order.
+func UnpackOutputs(bits []bool) []uint8 {
+	out := make([]uint8, 0, len(bits)/Width)
+	for i := 0; i+Width <= len(bits); i += Width {
+		out = append(out, uint8(netlist.BitsToUint64(bits[i:i+Width])))
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package elaborate
+
+import (
+	"testing"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/lockedsim"
+	"bindlock/internal/locking"
+	"bindlock/internal/mediabench"
+)
+
+// prepBench prepares a benchmark and binds all classes area-aware.
+func prepBench(t *testing.T, name string, samples int) (*mediabench.Prepared, map[dfg.Class]*binding.Binding) {
+	t.Helper()
+	b, err := mediabench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Prepare(3, samples, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := map[dfg.Class]*binding.Binding{}
+	for _, class := range []dfg.Class{dfg.ClassAdd, dfg.ClassMul} {
+		if !p.HasClass(class) {
+			continue
+		}
+		bd, err := (binding.AreaAware{}).Bind(&binding.Problem{
+			G: p.G, Class: class, NumFUs: 3, K: p.Res.K, Res: p.Res,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bindings[class] = bd
+	}
+	return p, bindings
+}
+
+// TestElaborateMatchesSimulator is the central cross-validation: the
+// gate-level elaboration of every benchmark must agree with the behavioural
+// DFG interpreter on the whole workload.
+func TestElaborateMatchesSimulator(t *testing.T) {
+	for _, name := range []string{"fir", "jdmerge1", "motion2", "noisest2"} {
+		p, bindings := prepBench(t, name, 40)
+		res, err := Design(p.G, bindings, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		outIDs := p.G.Outputs()
+		for s, sample := range p.Trace.Samples {
+			got, err := res.Circuit.Eval(PackInputs(sample), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := UnpackOutputs(got)
+			for i, outID := range outIDs {
+				want := p.Res.Vals[s][outID]
+				if vals[i] != want {
+					t.Fatalf("%s sample %d output %d: gates %d, simulator %d",
+						name, s, i, vals[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestElaborateLockedCorrectKeyTransparent checks the locked elaboration is
+// functionally identical to the clean design under the correct key.
+func TestElaborateLockedCorrectKeyTransparent(t *testing.T) {
+	p, bindings := prepBench(t, "jdmerge3", 60)
+	top := p.Res.K.TopMinterms(p.G, dfg.ClassMul, 3)
+	cfg, err := locking.NewConfig(dfg.ClassMul, 3, 2, locking.SFLLRem,
+		[][]dfg.Minterm{{top[0].M, top[1].M}, {top[2].M}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Design(p.G, bindings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, err := Design(p.G, bindings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locked.CorrectKey) != 3*2*Width {
+		t.Fatalf("key bits = %d, want %d", len(locked.CorrectKey), 3*2*Width)
+	}
+	if len(locked.KeyOfFU) != 2 {
+		t.Fatalf("KeyOfFU = %v", locked.KeyOfFU)
+	}
+	for s, sample := range p.Trace.Samples {
+		in := PackInputs(sample)
+		want, err := clean.Circuit.Eval(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := locked.Circuit.Eval(in, locked.CorrectKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sample %d bit %d: correct key corrupts output", s, i)
+			}
+		}
+	}
+}
+
+// TestElaborateWrongKeyMatchesBehaviouralModel checks gate-level corruption
+// equals the lockedsim behavioural model when the wrong key decodes to
+// operand pairs absent from the workload.
+func TestElaborateWrongKeyMatchesBehaviouralModel(t *testing.T) {
+	p, bindings := prepBench(t, "fir", 80)
+	top := p.Res.K.TopMinterms(p.G, dfg.ClassAdd, 2)
+	cfg, err := locking.NewConfig(dfg.ClassAdd, 3, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{top[0].M, top[1].M}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, err := Design(p.G, bindings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Design(p.G, bindings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong key: decode both blocks to (251, 253) / (247, 249) — operand
+	// pairs that never appear in the adder workload (verified below).
+	absent := []dfg.Minterm{dfg.MkMinterm(251, 253), dfg.MkMinterm(247, 249)}
+	for _, id := range p.G.OpsOfClass(dfg.ClassAdd) {
+		for _, m := range absent {
+			if p.Res.K.Count(dfg.CanonMinterm(dfg.Add, m.A(), m.B()), id) != 0 {
+				t.Skip("chosen absent minterm occurs in this workload")
+			}
+		}
+	}
+	var wrongKey []bool
+	for _, m := range absent {
+		pattern := uint64(m.A()) | uint64(m.B())<<Width
+		wrongKey = append(wrongKey, pack16(pattern)...)
+	}
+
+	rep, err := lockedsim.Run(p.G, p.Trace, bindings[dfg.ClassAdd], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateCorruptedSamples := 0
+	gateCorruptedOutputs := 0
+	for _, sample := range p.Trace.Samples {
+		in := PackInputs(sample)
+		want, err := clean.Circuit.Eval(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := locked.Circuit.Eval(in, wrongKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cleanVals := UnpackOutputs(want)
+		gotVals := UnpackOutputs(got)
+		corrupted := false
+		for i := range cleanVals {
+			if cleanVals[i] != gotVals[i] {
+				gateCorruptedOutputs++
+				corrupted = true
+			}
+		}
+		if corrupted {
+			gateCorruptedSamples++
+		}
+	}
+	if gateCorruptedSamples != rep.CorruptedSamples {
+		t.Errorf("gate-level corrupted samples = %d, behavioural model = %d",
+			gateCorruptedSamples, rep.CorruptedSamples)
+	}
+	if gateCorruptedOutputs != rep.CorruptedOutputs {
+		t.Errorf("gate-level corrupted outputs = %d, behavioural model = %d",
+			gateCorruptedOutputs, rep.CorruptedOutputs)
+	}
+	if rep.Injections == 0 {
+		t.Error("test vacuous: no injections occurred")
+	}
+}
+
+func pack16(v uint64) []bool {
+	out := make([]bool, 16)
+	for i := range out {
+		out[i] = v>>uint(i)&1 == 1
+	}
+	return out
+}
+
+func TestDesignValidation(t *testing.T) {
+	p, bindings := prepBench(t, "jdmerge1", 8)
+	top := p.Res.K.TopMinterms(p.G, dfg.ClassMul, 1)
+	cfg, err := locking.NewConfig(dfg.ClassMul, 3, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{top[0].M}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locking without the class binding.
+	if _, err := Design(p.G, map[dfg.Class]*binding.Binding{
+		dfg.ClassAdd: bindings[dfg.ClassAdd],
+	}, cfg); err == nil {
+		t.Error("missing locked-class binding must error")
+	}
+	// Mislabelled bindings map.
+	if _, err := Design(p.G, map[dfg.Class]*binding.Binding{
+		dfg.ClassAdd: bindings[dfg.ClassMul],
+		dfg.ClassMul: bindings[dfg.ClassMul],
+	}, cfg); err == nil {
+		t.Error("mislabelled bindings must error")
+	}
+	// Unscheduled graph.
+	g := dfg.New("u")
+	a := g.AddInput("a")
+	g.AddOutput("y", g.AddBinary(dfg.Add, a, a))
+	if _, err := Design(g, nil, nil); err == nil {
+		t.Error("unscheduled graph must error")
+	}
+	// Non-critical-minterm scheme.
+	bad := cfg.Clone()
+	bad.Locks[0].Scheme = locking.FullLock
+	if _, err := Design(p.G, bindings, bad); err == nil {
+		t.Error("full-lock scheme must be rejected")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	sample := []uint8{0, 255, 7, 128}
+	bits := PackInputs(sample)
+	if len(bits) != 32 {
+		t.Fatalf("bits = %d", len(bits))
+	}
+	back := UnpackOutputs(bits)
+	for i := range sample {
+		if back[i] != sample[i] {
+			t.Fatalf("round trip: %v -> %v", sample, back)
+		}
+	}
+}
+
+// TestSharedKeyAcrossInstances checks that ops on the same locked FU share
+// key inputs: the elaborated key count must be 2*Width*minterms per locked
+// FU regardless of how many ops the FU executes.
+func TestSharedKeyAcrossInstances(t *testing.T) {
+	p, bindings := prepBench(t, "ecb_enc4", 8)
+	top := p.Res.K.TopMinterms(p.G, dfg.ClassAdd, 2)
+	cfg, err := locking.NewConfig(dfg.ClassAdd, 3, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{top[0].M, top[1].M}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Design(p.G, bindings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockedOps := 0
+	for _, id := range p.G.OpsOfClass(dfg.ClassAdd) {
+		if bindings[dfg.ClassAdd].FUOf(id) == 0 {
+			lockedOps++
+		}
+	}
+	if lockedOps < 2 {
+		t.Fatalf("test vacuous: only %d ops on the locked FU", lockedOps)
+	}
+	if got := len(res.Circuit.Keys); got != 2*2*Width {
+		t.Fatalf("key bits = %d, want %d (shared across %d op instances)",
+			got, 2*2*Width, lockedOps)
+	}
+}

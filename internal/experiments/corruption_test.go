@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOutputCorruption(t *testing.T) {
+	s := smallSuite(t)
+	rows, err := s.OutputCorruption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	var co, ar, pw float64
+	coInj, arInj, pwInj := 0, 0, 0
+	for _, r := range rows {
+		// Injections are measured on the corrupted data stream, so a
+		// single row can drift below a baseline once errors feed back into
+		// operands; the aggregate must still dominate.
+		coInj += r.CoInjections
+		arInj += r.AreaInjections
+		pwInj += r.PowerInjections
+		for _, rate := range []float64{r.CoSampleRate, r.AreaSampleRate, r.PowerSampleRate,
+			r.CoOutputRate, r.AreaOutputRate, r.PowerOutputRate} {
+			if rate < 0 || rate > 1 {
+				t.Errorf("%s/%v: rate %v outside [0,1]", r.Bench, r.Class, rate)
+			}
+		}
+		// Output corruption cannot exceed sample corruption in rate terms
+		// only when outputs >= 1 per sample; sanity: both zero together.
+		if (r.CoSampleRate == 0) != (r.CoOutputRate == 0) {
+			t.Errorf("%s/%v: inconsistent zero rates %+v", r.Bench, r.Class, r)
+		}
+		co += r.CoSampleRate
+		ar += r.AreaSampleRate
+		pw += r.PowerSampleRate
+	}
+	// The aggregate application error rate of co-design must dominate both
+	// baselines (the paper's core claim at the application level).
+	if co < ar || co < pw {
+		t.Errorf("mean sample error rates: co=%.4f area=%.4f power=%.4f", co, ar, pw)
+	}
+	if coInj < arInj || coInj < pwInj {
+		t.Errorf("aggregate injections: co=%d area=%d power=%d", coInj, arInj, pwInj)
+	}
+	if co == 0 {
+		t.Error("co-design corrupted nothing anywhere; configuration too weak")
+	}
+
+	var sb strings.Builder
+	RenderCorruption(&sb, rows)
+	if !strings.Contains(sb.String(), "sample err") || !strings.Contains(sb.String(), "fir") {
+		t.Error("render output incomplete")
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers so the figures can be re-plotted outside Go (matplotlib,
+// gnuplot, spreadsheets). One file per figure; headers are stable API.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func d(v int) string     { return strconv.Itoa(v) }
+
+// WriteFig4CSV dumps the full sweep, one row per configuration cell.
+func (data *Fig4Data) WriteFig4CSV(w io.Writer) error {
+	header := []string{
+		"bench", "class", "locked_fus", "locked_inputs", "assignments", "sampled",
+		"obf_vs_area", "obf_vs_power", "co_vs_area", "co_vs_power",
+		"obf_vs_area_best", "co_vs_area_best",
+		"heu_errors", "opt_ran", "opt_errors", "opt_vs_area", "opt_vs_power",
+	}
+	var rows [][]string
+	for _, c := range data.Cells {
+		rows = append(rows, []string{
+			c.Bench, c.Class.String(), d(c.LockedFUs), d(c.LockedInputs),
+			d(c.Assignments), fmt.Sprint(c.Sampled),
+			f(c.ObfVsArea), f(c.ObfVsPower), f(c.CoVsArea), f(c.CoVsPower),
+			f(c.ObfVsAreaBest), f(c.CoVsAreaBest),
+			d(c.HeuErrors), fmt.Sprint(c.OptRan), d(c.OptErrors),
+			f(c.OptVsArea), f(c.OptVsPower),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteFig5CSV dumps the sensitivity aggregation.
+func (data *Fig5Data) WriteFig5CSV(w io.Writer) error {
+	header := []string{"config", "obf_vs_area", "obf_vs_power", "co_vs_area", "co_vs_power"}
+	var rows [][]string
+	for _, r := range data.Rows {
+		rows = append(rows, []string{
+			r.Label, f(r.ObfVsArea), f(r.ObfVsPower), f(r.CoVsArea), f(r.CoVsPower),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteFig6CSV dumps the overhead rows.
+func (data *Fig6Data) WriteFig6CSV(w io.Writer) error {
+	header := []string{"bench", "reg_obf", "reg_co", "switch_obf", "switch_co"}
+	var rows [][]string
+	for _, r := range data.Rows {
+		rows = append(rows, []string{
+			r.Bench, d(r.RegObfAware), d(r.RegCoDesign),
+			f(r.SwitchObfAware), f(r.SwitchCoDesign),
+		})
+	}
+	rows = append(rows, []string{
+		"avg", f(data.AvgRegObf), f(data.AvgRegCo), f(data.AvgSwitchObf), f(data.AvgSwitchCo),
+	})
+	return writeCSV(w, header, rows)
+}
+
+// WriteResilienceCSV dumps the Eqn. 1 validation rows.
+func WriteResilienceCSV(w io.Writer, rows []ResilienceRow) error {
+	header := []string{"operand_bits", "key_bits", "lambda", "mean_iters", "min_iters", "max_iters", "secrets"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			d(r.OperandBits), d(r.KeyBits), f(r.Lambda), f(r.MeanIterations),
+			d(r.MinIterations), d(r.MaxIterations), d(r.Secrets),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// WriteCorruptionCSV dumps the functional-corruption rows.
+func WriteCorruptionCSV(w io.Writer, rows []CorruptionRow) error {
+	header := []string{"bench", "class",
+		"inj_co", "inj_area", "inj_power",
+		"sample_co", "sample_area", "sample_power",
+		"output_co", "output_area", "output_power"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Bench, r.Class.String(),
+			d(r.CoInjections), d(r.AreaInjections), d(r.PowerInjections),
+			f(r.CoSampleRate), f(r.AreaSampleRate), f(r.PowerSampleRate),
+			f(r.CoOutputRate), f(r.AreaOutputRate), f(r.PowerOutputRate),
+		})
+	}
+	return writeCSV(w, header, out)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestCSVWriters(t *testing.T) {
+	s := smallSuite(t)
+	d, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := d.WriteFig4CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(d.Cells)+1 {
+		t.Fatalf("fig4 rows = %d, want %d", len(records), len(d.Cells)+1)
+	}
+	if records[0][0] != "bench" || len(records[0]) != 17 {
+		t.Fatalf("fig4 header = %v", records[0])
+	}
+
+	sb.Reset()
+	if err := Fig5From(d).WriteFig5CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err = csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 8 { // header + 7 groups
+		t.Fatalf("fig5 rows = %d", len(records))
+	}
+
+	f6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := f6.WriteFig6CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err = csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(f6.Rows)+2 { // header + rows + avg
+		t.Fatalf("fig6 rows = %d", len(records))
+	}
+	if records[len(records)-1][0] != "avg" {
+		t.Fatal("fig6 missing avg row")
+	}
+
+	res, err := Resilience([]int{2}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteResilienceCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lambda") {
+		t.Fatal("resilience header missing")
+	}
+
+	corr, err := s.OutputCorruption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteCorruptionCSV(&sb, corr); err != nil {
+		t.Fatal(err)
+	}
+	records, err = csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(corr)+1 {
+		t.Fatalf("corruption rows = %d", len(records))
+	}
+}

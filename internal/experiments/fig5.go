@@ -1,0 +1,54 @@
+package experiments
+
+// Fig5Row is one x-axis group of Fig. 5: the error-increase ratios with one
+// locking parameter fixed and all others averaged out.
+type Fig5Row struct {
+	// Label is "1 FU".."3 FUs", "1 Lock Inp.".."3 Lock Inp." or "Avg.".
+	Label string
+
+	ObfVsArea, ObfVsPower float64
+	CoVsArea, CoVsPower   float64
+}
+
+// Fig5Data aggregates the sweep by locking parameter.
+type Fig5Data struct {
+	Rows []Fig5Row
+}
+
+// Fig5From re-aggregates the Fig. 4 sweep into Fig. 5: "we fixed a single
+// locking parameter, listed on the x-axis, and averaged our results over all
+// other locking parameters (e.g. the '1 FU' bars average over locking with
+// {1,2,3} locked inputs)."
+func Fig5From(d *Fig4Data) *Fig5Data {
+	agg := func(pred func(Cell) bool, label string) Fig5Row {
+		var oa, op, ca, cp []float64
+		for _, c := range d.Cells {
+			if !pred(c) {
+				continue
+			}
+			oa = append(oa, c.ObfVsArea)
+			op = append(op, c.ObfVsPower)
+			ca = append(ca, c.CoVsArea)
+			cp = append(cp, c.CoVsPower)
+		}
+		return Fig5Row{
+			Label:     label,
+			ObfVsArea: mean(oa), ObfVsPower: mean(op),
+			CoVsArea: mean(ca), CoVsPower: mean(cp),
+		}
+	}
+
+	out := &Fig5Data{}
+	labels := []string{"1 FU", "2 FUs", "3 FUs"}
+	for n := 1; n <= 3; n++ {
+		n := n
+		out.Rows = append(out.Rows, agg(func(c Cell) bool { return c.LockedFUs == n }, labels[n-1]))
+	}
+	inpLabels := []string{"1 Lock Inp.", "2 Lock Inp.", "3 Lock Inp."}
+	for n := 1; n <= 3; n++ {
+		n := n
+		out.Rows = append(out.Rows, agg(func(c Cell) bool { return c.LockedInputs == n }, inpLabels[n-1]))
+	}
+	out.Rows = append(out.Rows, agg(func(Cell) bool { return true }, "Avg."))
+	return out
+}

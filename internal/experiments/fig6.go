@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/codesign"
+	"bindlock/internal/dfg"
+	"bindlock/internal/locking"
+	"bindlock/internal/mediabench"
+	"bindlock/internal/rtl"
+)
+
+// Fig6Row is one benchmark of the design-overhead comparison (Fig. 6):
+// register-count increase of each security-aware binding over area-aware
+// binding, and switching-rate increase over power-aware binding.
+type Fig6Row struct {
+	Bench string
+
+	// Register-count deltas vs area-aware binding.
+	RegObfAware, RegCoDesign int
+	// Switching-rate deltas vs power-aware binding.
+	SwitchObfAware, SwitchCoDesign float64
+}
+
+// Fig6Data carries per-benchmark rows plus the suite averages.
+type Fig6Data struct {
+	Rows []Fig6Row
+	// AvgReg* and AvgSwitch* are the "Avg." bars (paper: ~4.7 registers,
+	// ~0.03 switching).
+	AvgRegObf, AvgRegCo       float64
+	AvgSwitchObf, AvgSwitchCo float64
+}
+
+// fig6LockedFUs and fig6Inputs fix the representative locking configuration
+// used for overhead measurement (the mid-point of the Sec. VI sweep).
+const (
+	fig6LockedFUs = 2
+	fig6Inputs    = 2
+)
+
+// Fig6 measures the datapath overhead of each binder on every benchmark:
+// all FU classes of a benchmark are bound by one algorithm and the resulting
+// datapath is measured as a whole.
+func (s *Suite) Fig6() (*Fig6Data, error) {
+	data := &Fig6Data{}
+	for _, p := range s.preps {
+		row, err := s.fig6Bench(p)
+		if err != nil {
+			return nil, err
+		}
+		data.Rows = append(data.Rows, row)
+	}
+	n := float64(len(data.Rows))
+	for _, r := range data.Rows {
+		data.AvgRegObf += float64(r.RegObfAware) / n
+		data.AvgRegCo += float64(r.RegCoDesign) / n
+		data.AvgSwitchObf += r.SwitchObfAware / n
+		data.AvgSwitchCo += r.SwitchCoDesign / n
+	}
+	return data, nil
+}
+
+func (s *Suite) fig6Bench(p *mediabench.Prepared) (Fig6Row, error) {
+	cfg := s.Cfg
+	areaB := map[dfg.Class]*binding.Binding{}
+	powerB := map[dfg.Class]*binding.Binding{}
+	obfB := map[dfg.Class]*binding.Binding{}
+	coB := map[dfg.Class]*binding.Binding{}
+
+	for _, class := range classes(p) {
+		area, power, err := bindBaselines(p, class, cfg.NumFUs)
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		areaB[class] = area
+		powerB[class] = power
+
+		cands, _ := candidateList(p, class, cfg.Candidates)
+		lockedFUs := fig6LockedFUs
+		if lockedFUs > cfg.NumFUs {
+			lockedFUs = cfg.NumFUs
+		}
+		inputs := fig6Inputs
+		if inputs > len(cands) {
+			inputs = len(cands)
+		}
+		if inputs*lockedFUs > len(cands) {
+			lockedFUs = len(cands) / inputs
+			if lockedFUs < 1 {
+				lockedFUs = 1
+			}
+		}
+
+		// Obfuscation-aware binding with pre-specified locked inputs: the
+		// top candidates dealt round-robin across the locked FUs.
+		minterms := make([][]dfg.Minterm, lockedFUs)
+		for i := 0; i < lockedFUs*inputs; i++ {
+			fu := i % lockedFUs
+			minterms[fu] = append(minterms[fu], cands[i])
+		}
+		lockCfg, err := locking.NewConfig(class, cfg.NumFUs, lockedFUs, locking.SFLLRem, minterms)
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		obf, err := (binding.ObfuscationAware{}).Bind(&binding.Problem{
+			G: p.G, Class: class, NumFUs: cfg.NumFUs, K: p.Res.K, Lock: lockCfg,
+		})
+		if err != nil {
+			return Fig6Row{}, fmt.Errorf("obf-aware on %s/%v: %w", p.Bench.Name, class, err)
+		}
+		obfB[class] = obf
+
+		// Co-design heuristic picks its own locked inputs.
+		heu, err := codesign.Heuristic(p.G, p.Res.K,
+			codesignOptions(class, cfg.NumFUs, lockedFUs, inputs, cands, cfg.OptimalBudget))
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		coB[class] = heu.Binding
+	}
+
+	mArea, err := rtl.Measure(p.G, areaB, p.Res)
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	mPower, err := rtl.Measure(p.G, powerB, p.Res)
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	mObf, err := rtl.Measure(p.G, obfB, p.Res)
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	mCo, err := rtl.Measure(p.G, coB, p.Res)
+	if err != nil {
+		return Fig6Row{}, err
+	}
+
+	return Fig6Row{
+		Bench:          p.Bench.Name,
+		RegObfAware:    mObf.Registers - mArea.Registers,
+		RegCoDesign:    mCo.Registers - mArea.Registers,
+		SwitchObfAware: mObf.SwitchingRate - mPower.SwitchingRate,
+		SwitchCoDesign: mCo.SwitchingRate - mPower.SwitchingRate,
+	}, nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bindlock/internal/locking"
+	"bindlock/internal/netlist"
+	"bindlock/internal/satattack"
+)
+
+// ResilienceRow compares Eqn. 1's predicted SAT iterations against the
+// measured iteration count of a real SAT attack on an SFLL-locked FU netlist.
+type ResilienceRow struct {
+	// OperandBits is the FU operand width; the module input space is
+	// 2*OperandBits wide and the SFLL key matches it.
+	OperandBits int
+	KeyBits     int
+	// Lambda is Eqn. 1's expected iteration count.
+	Lambda float64
+	// MeanIterations is the measured mean over the attacked secrets.
+	MeanIterations float64
+	// MinIterations and MaxIterations bound the per-secret spread.
+	MinIterations, MaxIterations int
+	Secrets                      int
+}
+
+// Resilience runs the empirical validation of Eqn. 1 (experiment E7): for
+// each operand width, SFLL-HD(0)-lock an adder on several random secret
+// minterms, run the full oracle-guided SAT attack, and compare the measured
+// iteration counts with the analytic λ. The attack's elimination order makes
+// any single secret fall early or late; the mean over secrets is the
+// comparable statistic (λ/2 is the center of the uniform hitting time, and
+// Eqn. 1's ceiling-of-expectation sits within 2x of it).
+func Resilience(operandBits []int, secretsPer int, seed int64) ([]ResilienceRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var rows []ResilienceRow
+	for _, w := range operandBits {
+		base, err := netlist.NewAdder(w)
+		if err != nil {
+			return nil, err
+		}
+		keyBits := 2 * w
+		space := uint64(1) << uint(keyBits)
+		lam, err := locking.ExpectedSATIterations(keyBits, 1, 1/float64(space))
+		if err != nil {
+			return nil, err
+		}
+		row := ResilienceRow{
+			OperandBits: w, KeyBits: keyBits, Lambda: lam,
+			MinIterations: 1 << 30, Secrets: secretsPer,
+		}
+		total := 0
+		for i := 0; i < secretsPer; i++ {
+			secret := rng.Uint64() % space
+			lockedC, key, err := netlist.LockSFLLHD0(base, []uint64{secret})
+			if err != nil {
+				return nil, err
+			}
+			oracle := satattack.OracleFromCircuit(lockedC, key)
+			res, err := satattack.Attack(lockedC, oracle, satattack.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("attack on %d-bit adder (secret %#x): %w", w, secret, err)
+			}
+			if err := satattack.VerifyKey(lockedC, res.Key, oracle); err != nil {
+				return nil, err
+			}
+			total += res.Iterations
+			if res.Iterations < row.MinIterations {
+				row.MinIterations = res.Iterations
+			}
+			if res.Iterations > row.MaxIterations {
+				row.MaxIterations = res.Iterations
+			}
+		}
+		row.MeanIterations = float64(total) / float64(secretsPer)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// EpsilonSweepRow captures the core trade-off of Eqn. 1 at a fixed key
+// length: locking more inputs (raising ε via SFLL-HD's h parameter)
+// collapses SAT resilience.
+type EpsilonSweepRow struct {
+	// H is the SFLL-HD Hamming distance; each wrong key corrupts
+	// LockedMinterms = C(keyBits, h) protected inputs.
+	H              int
+	LockedMinterms int
+	Lambda         float64
+	MeanIterations float64
+}
+
+// EpsilonSweep measures the locked-input side of the trade-off on a fixed
+// 3-bit adder (6-bit key) by sweeping SFLL-HD's h: ε = C(6,h)/64 grows with
+// h while the key length stays fixed, and both Eqn. 1's λ and the measured
+// attack iterations collapse accordingly. This is the empirical form of the
+// dilemma the paper's binding co-design escapes: more corruption at the
+// module level costs SAT resilience.
+func EpsilonSweep(hs []int, secretsPer int, seed int64) ([]EpsilonSweepRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	base, err := netlist.NewAdder(3)
+	if err != nil {
+		return nil, err
+	}
+	const keyBits = 6
+	space := uint64(1) << keyBits
+	var rows []EpsilonSweepRow
+	for _, h := range hs {
+		locked := netlist.ProtectedCount(keyBits, h)
+		lam, err := locking.ExpectedSATIterations(keyBits, 1, float64(locked)/float64(space))
+		if err != nil {
+			return nil, err
+		}
+		row := EpsilonSweepRow{H: h, LockedMinterms: locked, Lambda: lam}
+		total := 0
+		for i := 0; i < secretsPer; i++ {
+			secret := rng.Uint64() % space
+			lockedC, keyBitsPattern, err := netlist.LockSFLLHD(base, secret, h)
+			if err != nil {
+				return nil, err
+			}
+			oracle := satattack.OracleFromCircuit(lockedC, keyBitsPattern)
+			res, err := satattack.Attack(lockedC, oracle, satattack.Options{})
+			if err != nil {
+				return nil, err
+			}
+			total += res.Iterations
+		}
+		row.MeanIterations = float64(total) / float64(secretsPer)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

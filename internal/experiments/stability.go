@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// StabilityRow is one seed's headline numbers.
+type StabilityRow struct {
+	Seed                  int64
+	ObfOverall, CoOverall float64
+	HeuristicGap          float64
+}
+
+// Stability aggregates the headline statistics across workload seeds,
+// establishing that the reproduction's conclusions are not artefacts of one
+// synthetic-workload draw.
+type Stability struct {
+	Rows                     []StabilityRow
+	MeanObf, StdObf          float64
+	MeanCo, StdCo            float64
+	MinCoOverObf             float64 // smallest per-seed CoOverall/ObfOverall ratio
+	AllSeedsCoBeatsObf       bool
+	AllSeedsAboveUnityMargin bool // every seed's ObfOverall > 2
+}
+
+// SeedStability reruns the Fig. 4 sweep under each seed and aggregates the
+// headline statistics.
+func SeedStability(cfg Config, seeds []int64) (*Stability, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds given")
+	}
+	out := &Stability{
+		MinCoOverObf:             math.Inf(1),
+		AllSeedsCoBeatsObf:       true,
+		AllSeedsAboveUnityMargin: true,
+	}
+	var obs, cos []float64
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		s, err := NewSuite(c)
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.Fig4()
+		if err != nil {
+			return nil, err
+		}
+		h := d.HeadlineStats()
+		out.Rows = append(out.Rows, StabilityRow{
+			Seed: seed, ObfOverall: h.ObfOverall, CoOverall: h.CoOverall,
+			HeuristicGap: h.HeuristicGap,
+		})
+		obs = append(obs, h.ObfOverall)
+		cos = append(cos, h.CoOverall)
+		if h.CoOverall < h.ObfOverall {
+			out.AllSeedsCoBeatsObf = false
+		}
+		if h.ObfOverall <= 2 {
+			out.AllSeedsAboveUnityMargin = false
+		}
+		if r := h.CoOverall / h.ObfOverall; r < out.MinCoOverObf {
+			out.MinCoOverObf = r
+		}
+	}
+	out.MeanObf, out.StdObf = meanStd(obs)
+	out.MeanCo, out.StdCo = meanStd(cos)
+	return out, nil
+}
+
+func meanStd(xs []float64) (m, s float64) {
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	if len(xs) > 1 {
+		s = math.Sqrt(s / float64(len(xs)-1))
+	}
+	return m, s
+}
+
+// RenderStability prints the per-seed table and aggregates.
+func RenderStability(w io.Writer, s *Stability) {
+	fmt.Fprintln(w, "Seed stability: Fig. 4 headline under independent workload draws")
+	rule(w, 64)
+	fmt.Fprintf(w, "%-8s %16s %16s %14s\n", "seed", "obf overall", "co overall", "heur gap")
+	rule(w, 64)
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-8d %15.1fx %15.1fx %13.2f%%\n",
+			r.Seed, r.ObfOverall, r.CoOverall, 100*r.HeuristicGap)
+	}
+	rule(w, 64)
+	fmt.Fprintf(w, "obf-aware: %.1fx ± %.1fx   co-design: %.1fx ± %.1fx\n",
+		s.MeanObf, s.StdObf, s.MeanCo, s.StdCo)
+	fmt.Fprintf(w, "co-design beats obf-aware on every seed: %v (min ratio %.2fx)\n",
+		s.AllSeedsCoBeatsObf, s.MinCoOverObf)
+}

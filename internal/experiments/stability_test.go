@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeedStability(t *testing.T) {
+	cfg := Config{
+		Samples:        200,
+		Candidates:     6,
+		MaxAssignments: 40,
+		OptimalBudget:  -1, // skip optimal: stability concerns the means
+		Benchmarks:     []string{"fir", "jdmerge4", "dct"},
+	}
+	s, err := SeedStability(cfg, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 3 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	// The reproduction's core conclusions must hold on every seed.
+	if !s.AllSeedsCoBeatsObf {
+		t.Error("co-design lost to obf-aware on some seed")
+	}
+	if !s.AllSeedsAboveUnityMargin {
+		t.Error("obf-aware fell to within 2x of the baseline on some seed")
+	}
+	if s.MeanCo <= s.MeanObf {
+		t.Errorf("mean co %.2f <= mean obf %.2f", s.MeanCo, s.MeanObf)
+	}
+	if s.StdObf < 0 || s.StdCo < 0 {
+		t.Error("negative stdev")
+	}
+	var sb strings.Builder
+	RenderStability(&sb, s)
+	if !strings.Contains(sb.String(), "Seed stability") || !strings.Contains(sb.String(), "±") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSeedStabilityNoSeeds(t *testing.T) {
+	if _, err := SeedStability(Config{}, nil); err == nil {
+		t.Fatal("empty seed list must error")
+	}
+}

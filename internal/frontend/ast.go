@@ -1,0 +1,54 @@
+package frontend
+
+// The AST mirrors the grammar:
+//
+//	program := "kernel" ident ";" decl* stmt*
+//	decl    := ("input" | "output") identList ";" | "const" ident "=" number ";"
+//	stmt    := ident "=" expr ";"
+//	expr    := term  (("+" | "-") term)*
+//	term    := factor ("*" factor)*
+//	factor  := ident | number | "(" expr ")" | "absdiff" "(" expr "," expr ")"
+
+// program is a parsed kernel.
+type program struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Consts  []constDecl
+	Stmts   []stmt
+}
+
+type constDecl struct {
+	Name string
+	Val  uint8
+	Pos  pos
+}
+
+type stmt struct {
+	LHS string
+	RHS expr
+	Pos pos
+}
+
+// expr is an expression tree node.
+type expr interface{ exprPos() pos }
+
+type identExpr struct {
+	Name string
+	Pos  pos
+}
+
+type numExpr struct {
+	Val uint8
+	Pos pos
+}
+
+type binExpr struct {
+	Op   rune // '+', '-', '*', 'd' (absdiff)
+	L, R expr
+	Pos  pos
+}
+
+func (e *identExpr) exprPos() pos { return e.Pos }
+func (e *numExpr) exprPos() pos   { return e.Pos }
+func (e *binExpr) exprPos() pos   { return e.Pos }

@@ -1,0 +1,219 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"bindlock/internal/dfg"
+)
+
+const firSrc = `
+kernel fir4;
+// 4-tap FIR with fixed coefficients.
+input x0, x1, x2, x3;
+output y;
+const C0 = 3;
+const C1 = 7;
+t0 = x0 * C0;
+t1 = x1 * C1;
+y = t0 + t1 + x2 - x3;
+`
+
+func TestCompileFIR(t *testing.T) {
+	g, err := Compile(firSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "fir4" {
+		t.Errorf("Name = %q, want fir4", g.Name)
+	}
+	st := g.Stat()
+	if st.Inputs != 4 || st.Outputs != 1 {
+		t.Errorf("Stat = %+v", st)
+	}
+	if st.Muls != 2 {
+		t.Errorf("Muls = %d, want 2", st.Muls)
+	}
+	if st.Adds != 3 { // two adds and one sub
+		t.Errorf("Adds = %d, want 3", st.Adds)
+	}
+	if err := g.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileAbsDiffAndParens(t *testing.T) {
+	src := `
+kernel sad;
+input a, b, c;
+output y;
+y = absdiff(a, b) + (c - 1) * 2;
+`
+	g, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []dfg.Kind
+	for _, op := range g.Ops {
+		if op.Kind.IsBinary() {
+			kinds = append(kinds, op.Kind)
+		}
+	}
+	want := []dfg.Kind{dfg.AbsDiff, dfg.Sub, dfg.Mul, dfg.Add}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	src := `
+kernel prec;
+input a, b, c;
+output y;
+y = a + b * c;
+`
+	g, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mul must feed the add, not vice versa.
+	var mulID, addID dfg.OpID = dfg.None, dfg.None
+	for _, op := range g.Ops {
+		switch op.Kind {
+		case dfg.Mul:
+			mulID = op.ID
+		case dfg.Add:
+			addID = op.ID
+		}
+	}
+	add := g.Ops[addID]
+	if add.Args[0] != 0 || add.Args[1] != mulID {
+		t.Fatalf("add args = %v, want [a mul]", add.Args)
+	}
+}
+
+func TestConstantDeduplication(t *testing.T) {
+	src := `
+kernel dedupe;
+input a;
+output y;
+const K = 5;
+y = a * K + 5;
+`
+	g, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consts := 0
+	for _, op := range g.Ops {
+		if op.Kind == dfg.Const {
+			consts++
+		}
+	}
+	if consts != 1 {
+		t.Errorf("const ops = %d, want 1 (K and literal 5 must dedupe)", consts)
+	}
+}
+
+func TestLocalReassignment(t *testing.T) {
+	src := `
+kernel acc;
+input a, b;
+output y;
+t = a + b;
+t = t + a;
+y = t;
+`
+	g, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stat(); st.Adds != 2 {
+		t.Errorf("Adds = %d, want 2", st.Adds)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined ident", "kernel k; input a; output y; y = a + q;", "undefined identifier"},
+		{"output read", "kernel k; input a; output y, z; y = a; z = y + a;", "cannot be read"},
+		{"output never assigned", "kernel k; input a; output y;", "never assigned"},
+		{"output assigned twice", "kernel k; input a; output y; y = a; y = a;", "assigned twice"},
+		{"duplicate input", "kernel k; input a, a; output y; y = a;", "declared twice"},
+		{"duplicate output decl", "kernel k; input a; output y, y; y = a;", "declared twice"},
+		{"input output clash", "kernel k; input a; output a; a = a;", "both input and output"},
+		{"const shadows input", "kernel k; input a; const a = 1; output y; y = a;", "shadows"},
+		{"const shadows output", "kernel k; input b; output y; const y = 1; y = b;", "shadows an output"},
+		{"literal too large", "kernel k; input a; output y; y = a + 300;", "out of 8-bit range"},
+		{"bad char", "kernel k; input a; output y; y = a ^ a;", "unexpected character"},
+		{"missing semi", "kernel k; input a; output y; y = a", "expected ';'"},
+		{"missing kernel", "input a; output y; y = a;", "expected 'kernel'"},
+		{"garbage top level", "kernel k; input a; output y; y = a; )", "unexpected"},
+		{"empty expression", "kernel k; input a; output y; y = ;", "expected expression"},
+		{"unclosed paren", "kernel k; input a; output y; y = (a + a;", "expected ')'"},
+		{"absdiff missing comma", "kernel k; input a; output y; y = absdiff(a a);", "expected ','"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Compile error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLineCommentsAndPositions(t *testing.T) {
+	src := "kernel k;\ninput a;\noutput y;\n// comment line\ny = a + q;\n"
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var fe *Error
+	if !asFrontendError(err, &fe) {
+		t.Fatalf("error %T is not *frontend.Error", err)
+	}
+	if fe.Pos.Line != 5 {
+		t.Errorf("error line = %d, want 5 (comments must not desync positions)", fe.Pos.Line)
+	}
+}
+
+func asFrontendError(err error, target **Error) bool {
+	fe, ok := err.(*Error)
+	if ok {
+		*target = fe
+	}
+	return ok
+}
+
+func TestLexAllTokens(t *testing.T) {
+	toks, err := lexAll("kernel k; x = absdiff(a, 12) * (b + c) - d;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []tokKind{
+		tokKernel, tokIdent, tokSemi,
+		tokIdent, tokAssign, tokAbsDiff, tokLParen, tokIdent, tokComma, tokNumber,
+		tokRParen, tokStar, tokLParen, tokIdent, tokPlus, tokIdent, tokRParen,
+		tokMinus, tokIdent, tokSemi, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package frontend
+
+import (
+	"strconv"
+	"unicode"
+)
+
+// lexer converts kernel source into a token stream.
+type lexer struct {
+	src  []rune
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) pos() pos { return pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.off]
+	l.off++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// skipSpace consumes whitespace and // line comments.
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return token{Kind: tokEOF, Pos: p}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.off
+		for l.off < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		word := string(l.src[start:l.off])
+		if k, ok := keywords[word]; ok {
+			return token{Kind: k, Text: word, Pos: p}, nil
+		}
+		return token{Kind: tokIdent, Text: word, Pos: p}, nil
+	case unicode.IsDigit(r):
+		start := l.off
+		for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.off])
+		n, err := strconv.Atoi(text)
+		if err != nil || n > 255 {
+			return token{}, errf(p, "numeric literal %q out of 8-bit range", text)
+		}
+		return token{Kind: tokNumber, Text: text, Num: n, Pos: p}, nil
+	}
+	l.advance()
+	var k tokKind
+	switch r {
+	case '=':
+		k = tokAssign
+	case '+':
+		k = tokPlus
+	case '-':
+		k = tokMinus
+	case '*':
+		k = tokStar
+	case '(':
+		k = tokLParen
+	case ')':
+		k = tokRParen
+	case ',':
+		k = tokComma
+	case ';':
+		k = tokSemi
+	default:
+		return token{}, errf(p, "unexpected character %q", r)
+	}
+	return token{Kind: k, Text: string(r), Pos: p}, nil
+}
+
+// lexAll tokenises the whole input, appending the EOF token.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package frontend
+
+import (
+	"bindlock/internal/dfg"
+)
+
+// Compile parses and lowers kernel source into an unscheduled DFG. The
+// resulting graph passes dfg.Validate(false); schedule it with the sched
+// package before binding.
+func Compile(src string) (*dfg.Graph, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return lower(prog)
+}
+
+// lower converts a parsed program into a DFG, with semantic checks:
+// identifiers must be defined before use, inputs/consts/locals share one
+// namespace, every declared output must be assigned exactly once, and
+// outputs cannot be read back (the DFG is purely feed-forward).
+func lower(prog *program) (*dfg.Graph, error) {
+	g := dfg.New(prog.Name)
+	env := map[string]dfg.OpID{} // name -> producing op
+	isOutput := map[string]bool{}
+	outputDone := map[string]bool{}
+	constCache := map[uint8]dfg.OpID{}
+
+	mkConst := func(v uint8) dfg.OpID {
+		if id, ok := constCache[v]; ok {
+			return id
+		}
+		id := g.AddConst(v)
+		constCache[v] = id
+		return id
+	}
+
+	for _, name := range prog.Outputs {
+		if isOutput[name] {
+			return nil, errf(pos{}, "output %q declared twice", name)
+		}
+		isOutput[name] = true
+	}
+	for _, name := range prog.Inputs {
+		if _, dup := env[name]; dup {
+			return nil, errf(pos{}, "input %q declared twice", name)
+		}
+		if isOutput[name] {
+			return nil, errf(pos{}, "%q declared both input and output", name)
+		}
+		env[name] = g.AddInput(name)
+	}
+	for _, c := range prog.Consts {
+		if _, dup := env[c.Name]; dup {
+			return nil, errf(c.Pos, "const %q shadows an existing name", c.Name)
+		}
+		if isOutput[c.Name] {
+			return nil, errf(c.Pos, "const %q shadows an output", c.Name)
+		}
+		env[c.Name] = mkConst(c.Val)
+	}
+
+	var lowerExpr func(e expr) (dfg.OpID, error)
+	lowerExpr = func(e expr) (dfg.OpID, error) {
+		switch e := e.(type) {
+		case *identExpr:
+			if isOutput[e.Name] {
+				return dfg.None, errf(e.Pos, "output %q cannot be read", e.Name)
+			}
+			id, ok := env[e.Name]
+			if !ok {
+				return dfg.None, errf(e.Pos, "undefined identifier %q", e.Name)
+			}
+			return id, nil
+		case *numExpr:
+			return mkConst(e.Val), nil
+		case *binExpr:
+			l, err := lowerExpr(e.L)
+			if err != nil {
+				return dfg.None, err
+			}
+			r, err := lowerExpr(e.R)
+			if err != nil {
+				return dfg.None, err
+			}
+			var k dfg.Kind
+			switch e.Op {
+			case '+':
+				k = dfg.Add
+			case '-':
+				k = dfg.Sub
+			case '*':
+				k = dfg.Mul
+			case 'd':
+				k = dfg.AbsDiff
+			default:
+				return dfg.None, errf(e.Pos, "internal: unknown operator %q", e.Op)
+			}
+			return g.AddBinary(k, l, r), nil
+		}
+		return dfg.None, errf(pos{}, "internal: unknown expression node")
+	}
+
+	for _, s := range prog.Stmts {
+		val, err := lowerExpr(s.RHS)
+		if err != nil {
+			return nil, err
+		}
+		if isOutput[s.LHS] {
+			if outputDone[s.LHS] {
+				return nil, errf(s.Pos, "output %q assigned twice", s.LHS)
+			}
+			outputDone[s.LHS] = true
+			g.AddOutput(s.LHS, val)
+			continue
+		}
+		env[s.LHS] = val
+	}
+
+	for _, name := range prog.Outputs {
+		if !outputDone[name] {
+			return nil, errf(pos{}, "output %q never assigned", name)
+		}
+	}
+	if err := g.Validate(false); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

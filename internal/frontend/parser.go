@@ -1,0 +1,201 @@
+package frontend
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.Kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return token{}, errf(t.Pos, "expected %v, found %v %q", k, t.Kind, t.Text)
+	}
+	return p.advance(), nil
+}
+
+// parse parses a complete kernel program.
+func parse(src string) (*program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if _, err := p.expect(tokKernel); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	prog := &program{Name: name.Text}
+
+	for {
+		switch p.cur().Kind {
+		case tokInput:
+			p.advance()
+			ids, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			prog.Inputs = append(prog.Inputs, ids...)
+		case tokOutput:
+			p.advance()
+			ids, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			prog.Outputs = append(prog.Outputs, ids...)
+		case tokConst:
+			p.advance()
+			id, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokAssign); err != nil {
+				return nil, err
+			}
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+			prog.Consts = append(prog.Consts, constDecl{Name: id.Text, Val: uint8(num.Num), Pos: id.Pos})
+		case tokIdent:
+			id := p.advance()
+			if _, err := p.expect(tokAssign); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+			prog.Stmts = append(prog.Stmts, stmt{LHS: id.Text, RHS: e, Pos: id.Pos})
+		case tokEOF:
+			return prog, nil
+		default:
+			t := p.cur()
+			return nil, errf(t.Pos, "unexpected %v %q at top level", t.Kind, t.Text)
+		}
+	}
+}
+
+func (p *parser) identList() ([]string, error) {
+	var ids []string
+	for {
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id.Text)
+		if p.cur().Kind == tokComma {
+			p.advance()
+			continue
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return ids, nil
+	}
+}
+
+func (p *parser) parseExpr() (expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != tokPlus && t.Kind != tokMinus {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		op := '+'
+		if t.Kind == tokMinus {
+			op = '-'
+		}
+		left = &binExpr{Op: op, L: left, R: right, Pos: t.Pos}
+	}
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == tokStar {
+		t := p.advance()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{Op: '*', L: left, R: right, Pos: t.Pos}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case tokIdent:
+		p.advance()
+		return &identExpr{Name: t.Text, Pos: t.Pos}, nil
+	case tokNumber:
+		p.advance()
+		return &numExpr{Val: uint8(t.Num), Pos: t.Pos}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokAbsDiff:
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		l, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &binExpr{Op: 'd', L: l, R: r, Pos: t.Pos}, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %v %q", t.Kind, t.Text)
+}

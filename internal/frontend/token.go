@@ -1,0 +1,98 @@
+// Package frontend compiles kernels written in a small C-like expression
+// language into data-flow graphs.
+//
+// It stands in for the SUIF-based DFG extraction of the paper's experimental
+// flow (Fig. 3: C function -> SUIF -> input DFG). The language covers exactly
+// what the MediaBench kernels need: 8-bit inputs/outputs, named constants,
+// and expressions over +, -, * and absdiff(a, b).
+//
+// Example kernel:
+//
+//	kernel fir4;
+//	input x0, x1, x2, x3;
+//	output y;
+//	const C0 = 3; const C1 = 7;
+//	t0 = x0 * C0;
+//	t1 = x1 * C1;
+//	y = t0 + t1 + x2 - x3;
+package frontend
+
+import "fmt"
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokKernel
+	tokInput
+	tokOutput
+	tokConst
+	tokAbsDiff
+	tokAssign // =
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+	tokSemi   // ;
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF:     "end of input",
+	tokIdent:   "identifier",
+	tokNumber:  "number",
+	tokKernel:  "'kernel'",
+	tokInput:   "'input'",
+	tokOutput:  "'output'",
+	tokConst:   "'const'",
+	tokAbsDiff: "'absdiff'",
+	tokAssign:  "'='",
+	tokPlus:    "'+'",
+	tokMinus:   "'-'",
+	tokStar:    "'*'",
+	tokLParen:  "'('",
+	tokRParen:  "')'",
+	tokComma:   "','",
+	tokSemi:    "';'",
+}
+
+func (k tokKind) String() string { return tokNames[k] }
+
+// pos is a source position for diagnostics.
+type pos struct {
+	Line, Col int
+}
+
+func (p pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// token is one lexical token.
+type token struct {
+	Kind tokKind
+	Text string
+	Num  int
+	Pos  pos
+}
+
+var keywords = map[string]tokKind{
+	"kernel":  tokKernel,
+	"input":   tokInput,
+	"output":  tokOutput,
+	"const":   tokConst,
+	"absdiff": tokAbsDiff,
+}
+
+// Error is a frontend diagnostic carrying a source position.
+type Error struct {
+	Pos pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("frontend: %s: %s", e.Pos, e.Msg) }
+
+func errf(p pos, format string, args ...any) error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,142 @@
+// Package lockedsim executes a bound, locked design functionally — locked
+// FUs behaviourally corrupt protected minterms under a wrong key — and
+// measures application-level output corruption.
+//
+// The paper's cost function (Eqn. 2) counts error-injection events: how
+// often a locked input reaches a locked FU. Whether an injected error
+// actually corrupts a primary output depends on downstream masking
+// ("application-level correctness", Li et al. [15], the paper's motivation
+// for needing *many* injections). This package closes that loop: it runs
+// the same workload through the locked datapath and reports, alongside the
+// injection count (which must equal Eqn. 2's E — the packages cross-check
+// each other), how many primary output values and how many workload samples
+// actually corrupt.
+package lockedsim
+
+import (
+	"fmt"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/locking"
+	"bindlock/internal/trace"
+)
+
+// Report summarises one locked-design simulation.
+type Report struct {
+	// Samples is the workload length.
+	Samples int
+	// Injections counts locked-input applications to locked FUs as seen by
+	// the wrong-keyed IC (on the corrupted data stream).
+	Injections int
+	// CleanInjections counts locked-input applications on the clean data
+	// stream — by construction exactly the paper's Eqn. 2 cost E, so
+	// lockedsim and binding.ApplicationErrors cross-validate each other.
+	// Injections can drift from CleanInjections once corrupted values
+	// propagate into downstream operands.
+	CleanInjections int
+	// CorruptedOutputs counts primary-output values differing from the
+	// clean design.
+	CorruptedOutputs int
+	// TotalOutputs is Samples x primary output count.
+	TotalOutputs int
+	// CorruptedSamples counts samples with at least one corrupted output —
+	// the application error events an end user observes.
+	CorruptedSamples int
+}
+
+// OutputErrorRate returns the fraction of corrupted primary-output values.
+func (r Report) OutputErrorRate() float64 {
+	if r.TotalOutputs == 0 {
+		return 0
+	}
+	return float64(r.CorruptedOutputs) / float64(r.TotalOutputs)
+}
+
+// SampleErrorRate returns the fraction of workload samples with visible
+// corruption.
+func (r Report) SampleErrorRate() float64 {
+	if r.Samples == 0 {
+		return 0
+	}
+	return float64(r.CorruptedSamples) / float64(r.Samples)
+}
+
+// Run simulates g over tr twice — once clean, once with cfg's locked FUs
+// corrupting under a wrong key — using binding b to decide which operations
+// execute on locked units. The binding and configuration must agree on class
+// and allocation.
+func Run(g *dfg.Graph, tr *trace.Trace, b *binding.Binding, cfg *locking.Config) (Report, error) {
+	if cfg.Class != b.Class || cfg.NumFUs != b.NumFUs {
+		return Report{}, fmt.Errorf("lockedsim: binding (%v/%d) and locking (%v/%d) disagree",
+			b.Class, b.NumFUs, cfg.Class, cfg.NumFUs)
+	}
+	if err := b.Validate(g); err != nil {
+		return Report{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	inputIdx := map[dfg.OpID]int{}
+	for _, id := range g.Inputs() {
+		idx := tr.Index(g.Ops[id].Name)
+		if idx < 0 {
+			return Report{}, fmt.Errorf("lockedsim: trace missing input %q", g.Ops[id].Name)
+		}
+		inputIdx[id] = idx
+	}
+	// lockOf[op] is the lock governing the FU the op is bound to (nil if
+	// the op runs on an unlocked unit or another class).
+	lockOf := make([]*locking.FULock, len(g.Ops))
+	for _, id := range g.OpsOfClass(cfg.Class) {
+		lockOf[id] = cfg.LockOf(b.FUOf(id))
+	}
+
+	rep := Report{Samples: tr.Len()}
+	clean := make([]uint8, len(g.Ops))
+	dirty := make([]uint8, len(g.Ops))
+	for _, sample := range tr.Samples {
+		corrupted := false
+		for _, op := range g.Ops {
+			switch op.Kind {
+			case dfg.Input:
+				clean[op.ID] = sample[inputIdx[op.ID]]
+				dirty[op.ID] = clean[op.ID]
+			case dfg.Const:
+				clean[op.ID] = op.Val
+				dirty[op.ID] = op.Val
+			case dfg.Output:
+				clean[op.ID] = clean[op.Args[0]]
+				dirty[op.ID] = dirty[op.Args[0]]
+				rep.TotalOutputs++
+				if clean[op.ID] != dirty[op.ID] {
+					rep.CorruptedOutputs++
+					corrupted = true
+				}
+			default:
+				ca, cb := clean[op.Args[0]], clean[op.Args[1]]
+				clean[op.ID] = dfg.EvalKind(op.Kind, ca, cb)
+				da, db := dirty[op.Args[0]], dirty[op.Args[1]]
+				if l := lockOf[op.ID]; l != nil {
+					cm := dfg.CanonMinterm(op.Kind, ca, cb)
+					dm := dfg.CanonMinterm(op.Kind, da, db)
+					for _, lm := range l.Minterms {
+						if lm == cm {
+							rep.CleanInjections++
+						}
+						if lm == dm {
+							rep.Injections++
+						}
+					}
+					dirty[op.ID] = l.Apply(op.Kind, da, db, true)
+				} else {
+					dirty[op.ID] = dfg.EvalKind(op.Kind, da, db)
+				}
+			}
+		}
+		if corrupted {
+			rep.CorruptedSamples++
+		}
+	}
+	return rep, nil
+}

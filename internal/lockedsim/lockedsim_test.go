@@ -1,0 +1,214 @@
+package lockedsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/frontend"
+	"bindlock/internal/locking"
+	"bindlock/internal/mediabench"
+	"bindlock/internal/sched"
+	"bindlock/internal/sim"
+	"bindlock/internal/trace"
+)
+
+// prep compiles, schedules and simulates a kernel for locked simulation.
+func prep(t *testing.T, src string, fus int, gen trace.Generator, n int, seed int64) (*dfg.Graph, *trace.Trace, *sim.Result) {
+	t.Helper()
+	g, err := frontend.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := sched.Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: fus, dfg.ClassMul: fus}}
+	if _, err := sched.PathBased(g, cons); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, id := range g.Inputs() {
+		names = append(names, g.Ops[id].Name)
+	}
+	tr := trace.Generate(gen, names, n, seed)
+	res, err := sim.Run(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr, res
+}
+
+const passthrough = `
+kernel pt;
+input a, b;
+output y;
+y = a + b;
+`
+
+func TestDirectCorruption(t *testing.T) {
+	// One add feeding the output directly: every injection is visible.
+	g, tr, res := prep(t, passthrough, 1, trace.Uniform, 200, 1)
+	top := res.K.TopMinterms(g, dfg.ClassAdd, 1)
+	cfg, err := locking.NewConfig(dfg.ClassAdd, 1, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{top[0].M}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{
+		g.OpsOfClass(dfg.ClassAdd)[0]: 0,
+	}}
+	rep, err := Run(g, tr, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injections != top[0].Count {
+		t.Errorf("injections = %d, want %d", rep.Injections, top[0].Count)
+	}
+	if rep.CleanInjections != rep.Injections {
+		t.Errorf("clean injections = %d, dirty = %d; no upstream lock exists", rep.CleanInjections, rep.Injections)
+	}
+	if rep.CorruptedOutputs != rep.Injections {
+		t.Errorf("corrupted outputs = %d, want every injection visible (%d)",
+			rep.CorruptedOutputs, rep.Injections)
+	}
+	if rep.CorruptedSamples != rep.Injections {
+		t.Errorf("corrupted samples = %d, want %d", rep.CorruptedSamples, rep.Injections)
+	}
+	if rep.Samples != 200 || rep.TotalOutputs != 200 {
+		t.Errorf("bookkeeping: %+v", rep)
+	}
+	if rep.OutputErrorRate() <= 0 || rep.SampleErrorRate() <= 0 {
+		t.Error("rates must be positive")
+	}
+}
+
+func TestCleanInjectionsMatchEqn2(t *testing.T) {
+	// Cross-validation of two independent implementations: the lockedsim
+	// clean-stream injection count must equal binding.ApplicationErrors
+	// (Eqn. 2 evaluated from the K matrix) for every benchmark.
+	for _, name := range []string{"fir", "jdmerge3", "motion2"} {
+		bench, err := mediabench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := bench.Prepare(3, 250, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := bench.Workload(p.G, 250, 5)
+		top := p.Res.K.TopMinterms(p.G, dfg.ClassAdd, 4)
+		cfg, err := locking.NewConfig(dfg.ClassAdd, 3, 2, locking.SFLLRem,
+			[][]dfg.Minterm{{top[0].M, top[1].M}, {top[2].M, top[3].M}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd, err := (binding.ObfuscationAware{}).Bind(&binding.Problem{
+			G: p.G, Class: dfg.ClassAdd, NumFUs: 3, K: p.Res.K, Lock: cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantE, err := binding.ApplicationErrors(p.G, p.Res.K, cfg, bd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(p.G, tr, bd, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.CleanInjections != wantE {
+			t.Errorf("%s: lockedsim clean injections = %d, Eqn. 2 E = %d",
+				name, rep.CleanInjections, wantE)
+		}
+		if rep.CorruptedOutputs > rep.TotalOutputs {
+			t.Errorf("%s: impossible corruption counts %+v", name, rep)
+		}
+	}
+}
+
+func TestMaskingReducesVisibleErrors(t *testing.T) {
+	// Multiplying by a power of two masks LSB flips (the corrupted bit
+	// shifts out mod 256 only for large shifts; times-16 keeps it), so use
+	// times-0: y = (a + b) * 0 masks everything.
+	src := `
+kernel mask;
+input a, b;
+output y;
+t = a + b;
+y = t * 0;
+`
+	g, tr, res := prep(t, src, 1, trace.Uniform, 150, 2)
+	top := res.K.TopMinterms(g, dfg.ClassAdd, 1)
+	cfg, err := locking.NewConfig(dfg.ClassAdd, 1, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{top[0].M}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{
+		g.OpsOfClass(dfg.ClassAdd)[0]: 0,
+	}}
+	rep, err := Run(g, tr, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injections == 0 {
+		t.Fatal("no injections: pick a hotter minterm")
+	}
+	if rep.CorruptedOutputs != 0 {
+		t.Errorf("corruption visible through a times-zero mask: %+v", rep)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g, tr, res := prep(t, passthrough, 1, trace.Uniform, 50, 3)
+	top := res.K.TopMinterms(g, dfg.ClassAdd, 1)
+	cfg, _ := locking.NewConfig(dfg.ClassAdd, 1, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{top[0].M}})
+	okB := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{
+		g.OpsOfClass(dfg.ClassAdd)[0]: 0,
+	}}
+
+	// Class/allocation mismatch.
+	mulCfg, _ := locking.NewConfig(dfg.ClassMul, 1, 1, locking.SFLLRem,
+		[][]dfg.Minterm{{top[0].M}})
+	if _, err := Run(g, tr, okB, mulCfg); err == nil {
+		t.Error("class mismatch must error")
+	}
+	// Invalid binding.
+	badB := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{}}
+	if _, err := Run(g, tr, badB, cfg); err == nil {
+		t.Error("incomplete binding must error")
+	}
+	// Missing trace input.
+	shortTr := trace.New([]string{"a"}, 1)
+	shortTr.Append([]uint8{1})
+	if _, err := Run(g, shortTr, okB, cfg); err == nil {
+		t.Error("missing input must error")
+	}
+	// Invalid locking config.
+	broken := cfg.Clone()
+	broken.Locks[0].FU = 7
+	if _, err := Run(g, tr, okB, broken); err == nil {
+		t.Error("invalid config must error")
+	}
+}
+
+// Property: an empty minterm set injects nothing and corrupts nothing, and
+// reports are deterministic.
+func TestNoMintermsNoCorruptionQuick(t *testing.T) {
+	g, tr, _ := prep(t, passthrough, 1, trace.Uniform, 64, 4)
+	b := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{
+		g.OpsOfClass(dfg.ClassAdd)[0]: 0,
+	}}
+	f := func(seed int64) bool {
+		cfg := &locking.Config{Class: dfg.ClassAdd, NumFUs: 1, Locks: []locking.FULock{
+			{FU: 0, Scheme: locking.SFLLRem, KeyBits: 16},
+		}}
+		r1, err1 := Run(g, tr, b, cfg)
+		r2, err2 := Run(g, tr, b, cfg)
+		return err1 == nil && err2 == nil && r1 == r2 &&
+			r1.Injections == 0 && r1.CorruptedOutputs == 0 && r1.CorruptedSamples == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}

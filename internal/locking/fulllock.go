@@ -1,0 +1,150 @@
+package locking
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file models the exponential SAT-iteration-runtime locking family
+// (Full-Lock [7] and relatives) at the architectural level: key sizing of the
+// keyed logarithmic routing network, its area/power overhead, and the growth
+// of per-iteration SAT attack time. A gate-level keyed permutation network is
+// available in internal/netlist; this analytic model is what the Sec. V-C
+// design methodology optimises over.
+//
+// Calibration. The paper's data point (Sec. V-C): "a 384-bit Full-Lock scheme
+// implemented in the b14 netlist of the ISCAS'85 suite incurred a 192%
+// increase in power and 61% increase in area, while requiring < 10 minutes to
+// unlock with a SAT attack." b14 is roughly 10k gates; the constants below
+// reproduce (61%, 192%, ~6 min) at (384 bits, 10k gates).
+
+// B14Gates is the approximate gate count of the b14 benchmark used for
+// calibration.
+const B14Gates = 10000
+
+const (
+	// areaGatesPerKeyBit is the added gate-equivalents per routing key bit
+	// (switch MUX pair plus configurable-logic overhead).
+	areaGatesPerKeyBit = 16.0
+	// powerGatesPerKeyBit is the switching-weighted equivalent: routing
+	// networks toggle on every cycle, so their dynamic-power contribution
+	// per gate far exceeds the average logic gate's.
+	powerGatesPerKeyBit = 50.0
+	// satIterBase is the baseline time of the first SAT iteration.
+	satIterBase = 10 * time.Millisecond
+	// satGrowthScale sets how fast per-iteration time compounds with key
+	// width: growth factor g = 1 + keyBits/satGrowthScale.
+	satGrowthScale = 1024.0
+	// satGrowthHorizon caps the compounding: per-iteration time grows for
+	// the first satGrowthHorizon iterations and then saturates. Full-Lock's
+	// hardness is a per-iteration property observed over tens of DIPs;
+	// extrapolating unbounded exponential growth to the tens of thousands
+	// of iterations SFLL induces would be unphysical.
+	satGrowthHorizon = 48
+	// DefaultFullLockIterations is the typical number of DIP iterations a
+	// SAT attack needs against a routing network before the key space
+	// collapses; Full-Lock's hardness is per-iteration time, not count.
+	DefaultFullLockIterations = 30
+)
+
+// BenesKeyBits returns the key length of a Benes routing network over n
+// wires (n a power of two): (2*log2(n) - 1) stages of n/2 keyed 2x2 switches.
+func BenesKeyBits(wires int) (int, error) {
+	if wires < 2 || wires&(wires-1) != 0 {
+		return 0, fmt.Errorf("locking: benes network needs a power-of-two wire count, got %d", wires)
+	}
+	lg := 0
+	for 1<<lg < wires {
+		lg++
+	}
+	stages := 2*lg - 1
+	return stages * wires / 2, nil
+}
+
+// FullLockOverhead estimates the area and power overhead (as fractions, 0.61
+// = +61%) of inserting a Full-Lock-style network with the given key length
+// into a design of baseGates gates.
+func FullLockOverhead(keyBits, baseGates int) (areaFrac, powerFrac float64, err error) {
+	if keyBits <= 0 || baseGates <= 0 {
+		return 0, 0, fmt.Errorf("locking: invalid overhead query (keyBits=%d, baseGates=%d)", keyBits, baseGates)
+	}
+	areaFrac = float64(keyBits) * areaGatesPerKeyBit / float64(baseGates)
+	powerFrac = float64(keyBits) * powerGatesPerKeyBit / float64(baseGates)
+	return areaFrac, powerFrac, nil
+}
+
+// SATIterationTime returns the modelled wall time of the i-th (1-based) SAT
+// attack iteration against a design carrying a Full-Lock network of the given
+// key length: t_i = t0 * g^min(i-1, horizon) with g = 1 + keyBits /
+// satGrowthScale. The growth saturates after satGrowthHorizon iterations.
+// With keyBits = 0 every iteration costs t0 (no routing network present).
+func SATIterationTime(keyBits, i int) time.Duration {
+	if i < 1 {
+		return 0
+	}
+	exp := float64(i - 1)
+	if exp > satGrowthHorizon {
+		exp = satGrowthHorizon
+	}
+	g := 1 + float64(keyBits)/satGrowthScale
+	t := float64(satIterBase) * math.Pow(g, exp)
+	if t > float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(t)
+}
+
+// SATAttackTime returns the total modelled SAT attack time over iters
+// iterations: the sum of SATIterationTime — a geometric series up to the
+// growth horizon, then linear at the saturated per-iteration time.
+func SATAttackTime(keyBits, iters int) time.Duration {
+	if iters <= 0 {
+		return 0
+	}
+	g := 1 + float64(keyBits)/satGrowthScale
+	var total float64
+	switch {
+	case keyBits == 0:
+		total = float64(satIterBase) * float64(iters)
+	case iters <= satGrowthHorizon+1:
+		total = float64(satIterBase) * (math.Pow(g, float64(iters)) - 1) / (g - 1)
+	default:
+		head := float64(satIterBase) * (math.Pow(g, satGrowthHorizon+1) - 1) / (g - 1)
+		tail := float64(satIterBase) * math.Pow(g, satGrowthHorizon) * float64(iters-satGrowthHorizon-1)
+		total = head + tail
+	}
+	if total > float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(total)
+}
+
+// MinFullLockKeyBits returns the smallest Full-Lock key length whose modelled
+// attack time over `iters` iterations meets or exceeds target. This is the
+// sizing step of the Sec. V-C methodology: minterm locking (with binding
+// co-design) supplies the iteration count λ; the routing network is then
+// grown only as far as needed, keeping its heavy overhead minimal. Returns an
+// error if even maxKeyBits cannot meet the target.
+func MinFullLockKeyBits(iters int, target time.Duration, maxKeyBits int) (int, error) {
+	if iters < 1 {
+		return 0, fmt.Errorf("locking: need at least one SAT iteration, got %d", iters)
+	}
+	if SATAttackTime(0, iters) >= target {
+		return 0, nil // plain minterm locking already suffices
+	}
+	lo, hi := 1, maxKeyBits
+	if SATAttackTime(hi, iters) < target {
+		return 0, fmt.Errorf("locking: target %v unreachable within %d key bits at %d iterations",
+			target, maxKeyBits, iters)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if SATAttackTime(mid, iters) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,227 @@
+// Package locking models the logic-locking configurations that the binding
+// algorithms optimise for, together with the SAT-resilience analytics of
+// Sec. II-A.
+//
+// Two locking families from the paper are covered:
+//
+//   - Critical-minterm locking (SFLL [3-5], Strong Anti-SAT [6]): the
+//     designer selects specific input minterms of a module; for (a large
+//     subset of) wrong keys exactly those minterms produce errant output.
+//     The paper's algorithms assume this family ("we also assume that
+//     critical minterm locking schemes, such as SFLL-rem, have been used so
+//     that locked inputs are static between wrong keys", Sec. IV).
+//
+//   - Exponential SAT-iteration-runtime locking (Full-Lock [7], LoPher [8],
+//     Cross-Lock [9]): keyed routing/cipher structures that make each
+//     successive SAT iteration drastically slower, at high area/power
+//     overhead (Sec. V-C).
+//
+// Gate-level realisations of both live in internal/netlist; this package is
+// the architectural view consumed by binding and co-design.
+package locking
+
+import (
+	"fmt"
+	"sort"
+
+	"bindlock/internal/dfg"
+)
+
+// Scheme identifies a locking technique.
+type Scheme uint8
+
+// Supported schemes.
+const (
+	// SFLLRem is stripped-functionality locking with removal-based
+	// stripping (SFLL-rem [5]): critical-minterm family.
+	SFLLRem Scheme = iota
+	// SFLLHD is SFLL with Hamming-distance-h restore (here h=0: exactly
+	// the protected cubes corrupt): critical-minterm family.
+	SFLLHD
+	// StrongAntiSAT is the Strong Anti-SAT construction [6]:
+	// critical-minterm family.
+	StrongAntiSAT
+	// FullLock is a keyed logarithmic (Benes) routing network [7]:
+	// exponential SAT-iteration-runtime family.
+	FullLock
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SFLLRem:
+		return "sfll-rem"
+	case SFLLHD:
+		return "sfll-hd"
+	case StrongAntiSAT:
+		return "strong-anti-sat"
+	case FullLock:
+		return "full-lock"
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// CriticalMinterm reports whether the scheme lets the designer pin the
+// corrupted minterms (static across wrong keys). Only such schemes are valid
+// inputs to the binding algorithms of Sec. IV/V.
+func (s Scheme) CriticalMinterm() bool {
+	switch s {
+	case SFLLRem, SFLLHD, StrongAntiSAT:
+		return true
+	}
+	return false
+}
+
+// FULock is the locking specification of one functional unit: which FU of
+// the class allocation is locked, with which scheme, protecting which input
+// minterms (M_l in the paper).
+type FULock struct {
+	FU       int
+	Scheme   Scheme
+	Minterms []dfg.Minterm
+	// KeyBits is the locking key length |k| of this module. For SFLL-style
+	// schemes over our 16-bit module input space the natural key length is
+	// 16 (the restore pattern width); constructors default it.
+	KeyBits int
+}
+
+// Clone returns a deep copy.
+func (f FULock) Clone() FULock {
+	f.Minterms = append([]dfg.Minterm(nil), f.Minterms...)
+	return f
+}
+
+// MintermSet returns M_l as a set.
+func (f FULock) MintermSet() map[dfg.Minterm]bool {
+	set := make(map[dfg.Minterm]bool, len(f.Minterms))
+	for _, m := range f.Minterms {
+		set[m] = true
+	}
+	return set
+}
+
+// Config is a complete locking configuration for one FU class of a design:
+// the allocation size R and the locked subset L with their minterm sets.
+type Config struct {
+	Class  dfg.Class
+	NumFUs int
+	Locks  []FULock
+}
+
+// DefaultKeyBits is the key length of an SFLL-style lock over the 16-bit
+// module input space of a 2-input 8-bit FU.
+const DefaultKeyBits = 16
+
+// NewConfig builds a critical-minterm locking configuration locking
+// lockedFUs FUs (indices 0..lockedFUs-1) out of numFUs, each protecting the
+// given minterm set. Minterm identity can be filled in later (co-design) by
+// leaving minterms nil.
+func NewConfig(class dfg.Class, numFUs, lockedFUs int, scheme Scheme, minterms [][]dfg.Minterm) (*Config, error) {
+	if lockedFUs > numFUs {
+		return nil, fmt.Errorf("locking: %d locked FUs exceeds allocation %d", lockedFUs, numFUs)
+	}
+	if !scheme.CriticalMinterm() {
+		return nil, fmt.Errorf("locking: scheme %v does not support designer-chosen minterms", scheme)
+	}
+	cfg := &Config{Class: class, NumFUs: numFUs}
+	for i := 0; i < lockedFUs; i++ {
+		var ms []dfg.Minterm
+		if minterms != nil {
+			if len(minterms) != lockedFUs {
+				return nil, fmt.Errorf("locking: got %d minterm sets for %d locked FUs", len(minterms), lockedFUs)
+			}
+			ms = append([]dfg.Minterm(nil), minterms[i]...)
+		}
+		cfg.Locks = append(cfg.Locks, FULock{FU: i, Scheme: scheme, Minterms: ms, KeyBits: DefaultKeyBits})
+	}
+	return cfg, nil
+}
+
+// Validate checks structural sanity: FU indices in range and unique, minterm
+// sets duplicate-free, key lengths positive.
+func (c *Config) Validate() error {
+	if c.NumFUs <= 0 {
+		return fmt.Errorf("locking: non-positive FU allocation %d", c.NumFUs)
+	}
+	seen := map[int]bool{}
+	for _, l := range c.Locks {
+		if l.FU < 0 || l.FU >= c.NumFUs {
+			return fmt.Errorf("locking: locked FU %d outside allocation of %d", l.FU, c.NumFUs)
+		}
+		if seen[l.FU] {
+			return fmt.Errorf("locking: FU %d locked twice", l.FU)
+		}
+		seen[l.FU] = true
+		if l.KeyBits <= 0 {
+			return fmt.Errorf("locking: FU %d has key length %d", l.FU, l.KeyBits)
+		}
+		mseen := map[dfg.Minterm]bool{}
+		for _, m := range l.Minterms {
+			if mseen[m] {
+				return fmt.Errorf("locking: FU %d locks minterm %v twice", l.FU, m)
+			}
+			mseen[m] = true
+		}
+	}
+	return nil
+}
+
+// LockOf returns the lock on FU fu, or nil if that FU is unlocked.
+func (c *Config) LockOf(fu int) *FULock {
+	for i := range c.Locks {
+		if c.Locks[i].FU == fu {
+			return &c.Locks[i]
+		}
+	}
+	return nil
+}
+
+// LockedFUs returns the sorted indices of locked FUs.
+func (c *Config) LockedFUs() []int {
+	ids := make([]int, 0, len(c.Locks))
+	for _, l := range c.Locks {
+		ids = append(ids, l.FU)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// TotalLockedMinterms sums |M_l| over all locked FUs.
+func (c *Config) TotalLockedMinterms() int {
+	n := 0
+	for _, l := range c.Locks {
+		n += len(l.Minterms)
+	}
+	return n
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	nc := &Config{Class: c.Class, NumFUs: c.NumFUs, Locks: make([]FULock, len(c.Locks))}
+	for i, l := range c.Locks {
+		nc.Locks[i] = l.Clone()
+	}
+	return nc
+}
+
+// CorruptionMask is the output perturbation a locked FU applies to a
+// protected minterm under a wrong key. SFLL XORs the restore-failure signal
+// into output bits; flipping the LSB is the canonical h=0 behaviour.
+const CorruptionMask uint8 = 0x01
+
+// Apply evaluates kind k on operands (a, b) through the FU locked by l.
+// When wrongKey is true and the applied minterm is protected, the output is
+// corrupted; otherwise the FU behaves transparently. This is the behavioural
+// model of the gate-level construction in internal/netlist.
+func (l *FULock) Apply(k dfg.Kind, a, b uint8, wrongKey bool) uint8 {
+	out := dfg.EvalKind(k, a, b)
+	if !wrongKey {
+		return out
+	}
+	m := dfg.CanonMinterm(k, a, b)
+	for _, lm := range l.Minterms {
+		if lm == m {
+			return out ^ CorruptionMask
+		}
+	}
+	return out
+}

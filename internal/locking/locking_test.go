@@ -1,0 +1,371 @@
+package locking
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bindlock/internal/dfg"
+)
+
+func TestNewConfig(t *testing.T) {
+	ms := [][]dfg.Minterm{{dfg.MkMinterm(1, 2)}, {dfg.MkMinterm(3, 4), dfg.MkMinterm(5, 6)}}
+	cfg, err := NewConfig(dfg.ClassAdd, 3, 2, SFLLRem, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.LockedFUs(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("LockedFUs = %v", got)
+	}
+	if cfg.TotalLockedMinterms() != 3 {
+		t.Errorf("TotalLockedMinterms = %d, want 3", cfg.TotalLockedMinterms())
+	}
+	if l := cfg.LockOf(1); l == nil || len(l.Minterms) != 2 {
+		t.Errorf("LockOf(1) = %+v", l)
+	}
+	if cfg.LockOf(2) != nil {
+		t.Error("FU 2 must be unlocked")
+	}
+}
+
+func TestNewConfigErrors(t *testing.T) {
+	if _, err := NewConfig(dfg.ClassAdd, 2, 3, SFLLRem, nil); err == nil {
+		t.Error("locked > allocated must error")
+	}
+	if _, err := NewConfig(dfg.ClassAdd, 3, 1, FullLock, nil); err == nil {
+		t.Error("non-critical-minterm scheme must error")
+	}
+	if _, err := NewConfig(dfg.ClassAdd, 3, 2, SFLLRem, [][]dfg.Minterm{{}}); err == nil {
+		t.Error("minterm set arity mismatch must error")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mk := func(mut func(*Config)) error {
+		cfg, err := NewConfig(dfg.ClassAdd, 3, 2, SFLLRem, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut(cfg)
+		return cfg.Validate()
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"fu out of range", func(c *Config) { c.Locks[0].FU = 9 }, "outside allocation"},
+		{"fu locked twice", func(c *Config) { c.Locks[1].FU = 0 }, "locked twice"},
+		{"bad key length", func(c *Config) { c.Locks[0].KeyBits = 0 }, "key length"},
+		{"duplicate minterm", func(c *Config) {
+			c.Locks[0].Minterms = []dfg.Minterm{dfg.MkMinterm(1, 1), dfg.MkMinterm(1, 1)}
+		}, "twice"},
+		{"zero allocation", func(c *Config) { c.NumFUs = 0 }, "non-positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mk(tc.mut)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	cfg, _ := NewConfig(dfg.ClassAdd, 2, 1, SFLLRem, [][]dfg.Minterm{{dfg.MkMinterm(1, 2)}})
+	cp := cfg.Clone()
+	cp.Locks[0].Minterms[0] = dfg.MkMinterm(9, 9)
+	if cfg.Locks[0].Minterms[0] != dfg.MkMinterm(1, 2) {
+		t.Fatal("Clone shares minterm storage")
+	}
+}
+
+func TestApplyCorruption(t *testing.T) {
+	l := FULock{FU: 0, Scheme: SFLLRem, KeyBits: 16,
+		Minterms: []dfg.Minterm{dfg.CanonMinterm(dfg.Add, 10, 20)}}
+	// Correct key: transparent everywhere.
+	if got := l.Apply(dfg.Add, 10, 20, false); got != 30 {
+		t.Errorf("correct key corrupted output: %d", got)
+	}
+	// Wrong key on protected minterm (either operand order): corrupted.
+	if got := l.Apply(dfg.Add, 10, 20, true); got == 30 {
+		t.Error("wrong key must corrupt protected minterm")
+	}
+	if got := l.Apply(dfg.Add, 20, 10, true); got == 30 {
+		t.Error("canonicalisation must catch swapped operands")
+	}
+	// Wrong key off the protected set: transparent.
+	if got := l.Apply(dfg.Add, 10, 21, true); got != 31 {
+		t.Errorf("wrong key corrupted unprotected minterm: %d", got)
+	}
+}
+
+func TestSchemeProperties(t *testing.T) {
+	for _, s := range []Scheme{SFLLRem, SFLLHD, StrongAntiSAT} {
+		if !s.CriticalMinterm() {
+			t.Errorf("%v must be critical-minterm", s)
+		}
+	}
+	if FullLock.CriticalMinterm() {
+		t.Error("full-lock is not critical-minterm")
+	}
+	for _, s := range []Scheme{SFLLRem, SFLLHD, StrongAntiSAT, FullLock} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "scheme(") {
+			t.Errorf("missing name for scheme %d", s)
+		}
+	}
+}
+
+func TestExpectedSATIterationsSFLLPoint(t *testing.T) {
+	// SFLL-style lock: 16-bit key, 1 correct key, one locked input out of
+	// 2^16. λ must be on the order of the key space (the provable-security
+	// point of SFLL).
+	lam, err := ExpectedSATIterations(16, 1, EpsilonFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam < 1<<15 || lam > 1<<18 {
+		t.Fatalf("λ = %v, want within [2^15, 2^18]", lam)
+	}
+}
+
+func TestExpectedSATIterationsInverseTradeoff(t *testing.T) {
+	// The central trade-off: for fixed key length, more locked inputs
+	// (higher ε) means strictly fewer expected SAT iterations.
+	prev := math.Inf(1)
+	for _, locked := range []int{1, 2, 4, 16, 256, 4096} {
+		lam, err := ExpectedSATIterations(16, 1, EpsilonFor(locked))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lam > prev {
+			t.Fatalf("λ(%d locked) = %v exceeds λ for fewer locked inputs (%v)", locked, lam, prev)
+		}
+		prev = lam
+	}
+	if prev > 200 {
+		t.Errorf("λ(4096 locked) = %v, expected collapse to ~ln(εN)/ε ≈ 130", prev)
+	}
+}
+
+func TestExpectedSATIterationsKeyLengthGrowth(t *testing.T) {
+	eps := EpsilonFor(4)
+	l8, err := ExpectedSATIterations(8, 1, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l16, err := ExpectedSATIterations(16, 1, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l16 <= l8 {
+		t.Fatalf("λ must grow with key length: λ8=%v λ16=%v", l8, l16)
+	}
+}
+
+func TestExpectedSATIterationsDomainErrors(t *testing.T) {
+	if _, err := ExpectedSATIterations(0, 1, 0.1); err == nil {
+		t.Error("keyBits=0 must error")
+	}
+	if _, err := ExpectedSATIterations(16, 0, 0.1); err == nil {
+		t.Error("correctKeys=0 must error")
+	}
+	if _, err := ExpectedSATIterations(16, 1, 0); err == nil {
+		t.Error("epsilon=0 must error")
+	}
+	if _, err := ExpectedSATIterations(16, 1, 1); err == nil {
+		t.Error("epsilon=1 must error")
+	}
+	if _, err := ExpectedSATIterations(2000, 1, 0.1); err == nil {
+		t.Error("absurd key length must error")
+	}
+}
+
+func TestExpectedSATIterationsTinyKeySpace(t *testing.T) {
+	// 1-bit key with one correct key: a single wrong key, one iteration.
+	lam, err := ExpectedSATIterations(1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam != 1 {
+		t.Fatalf("λ = %v, want 1", lam)
+	}
+}
+
+// Property: λ is finite, ≥1, and monotone non-increasing in ε across the
+// whole valid domain.
+func TestLambdaMonotoneQuick(t *testing.T) {
+	f := func(rawKey uint8, rawL1, rawL2 uint16) bool {
+		keyBits := 4 + int(rawKey)%16 // 4..19
+		l1 := 1 + int(rawL1)%2000
+		l2 := 1 + int(rawL2)%2000
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		a, err1 := ExpectedSATIterations(keyBits, 1, EpsilonFor(l1))
+		b, err2 := ExpectedSATIterations(keyBits, 1, EpsilonFor(l2))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || a < 1 || b < 1 {
+			return false
+		}
+		return a >= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModuleAndConfigResilience(t *testing.T) {
+	strong := FULock{FU: 0, Scheme: SFLLRem, KeyBits: 16, Minterms: []dfg.Minterm{1}}
+	weak := FULock{FU: 1, Scheme: SFLLRem, KeyBits: 16,
+		Minterms: make([]dfg.Minterm, 512)}
+	for i := range weak.Minterms {
+		weak.Minterms[i] = dfg.Minterm(i)
+	}
+	ls, err := ModuleResilience(strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := ModuleResilience(weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls <= lw {
+		t.Fatalf("resilience: strong=%v weak=%v", ls, lw)
+	}
+	cfg := &Config{Class: dfg.ClassAdd, NumFUs: 2, Locks: []FULock{strong, weak}}
+	lc, err := ConfigResilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc != lw {
+		t.Fatalf("config resilience %v, want weakest module %v", lc, lw)
+	}
+	// Zero minterms: infinite (never I/O-distinguishable).
+	inf, err := ModuleResilience(FULock{FU: 0, KeyBits: 16})
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Fatalf("empty lock resilience = %v, %v", inf, err)
+	}
+}
+
+func TestBenesKeyBits(t *testing.T) {
+	cases := []struct{ wires, want int }{
+		{2, 1},    // 1 stage x 1 switch
+		{4, 6},    // 3 stages x 2
+		{8, 20},   // 5 stages x 4
+		{16, 56},  // 7 stages x 8
+		{64, 352}, // 11 stages x 32
+	}
+	for _, tc := range cases {
+		got, err := BenesKeyBits(tc.wires)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("BenesKeyBits(%d) = %d, want %d", tc.wires, got, tc.want)
+		}
+	}
+	if _, err := BenesKeyBits(12); err == nil {
+		t.Error("non-power-of-two must error")
+	}
+	if _, err := BenesKeyBits(1); err == nil {
+		t.Error("single wire must error")
+	}
+}
+
+func TestFullLockCalibrationPoint(t *testing.T) {
+	// Sec. V-C: 384-bit Full-Lock in b14: +61% area, +192% power, < 10 min
+	// to unlock.
+	area, power, err := FullLockOverhead(384, B14Gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if area < 0.55 || area > 0.68 {
+		t.Errorf("area overhead = %.2f, want ~0.61", area)
+	}
+	if power < 1.75 || power > 2.10 {
+		t.Errorf("power overhead = %.2f, want ~1.92", power)
+	}
+	attack := SATAttackTime(384, DefaultFullLockIterations)
+	if attack.Minutes() >= 10 {
+		t.Errorf("modelled attack time %v, want < 10 min", attack)
+	}
+	if attack.Minutes() < 0.5 {
+		t.Errorf("modelled attack time %v implausibly fast", attack)
+	}
+}
+
+func TestSATTimeGrowth(t *testing.T) {
+	if SATIterationTime(384, 2) <= SATIterationTime(384, 1) {
+		t.Error("per-iteration time must grow")
+	}
+	if SATIterationTime(0, 5) != SATIterationTime(0, 1) {
+		t.Error("keyBits=0 must be flat")
+	}
+	if SATIterationTime(384, 0) != 0 {
+		t.Error("iteration 0 must cost nothing")
+	}
+	if SATAttackTime(384, 0) != 0 {
+		t.Error("zero iterations must cost nothing")
+	}
+	// Totals are monotone in both arguments.
+	if SATAttackTime(384, 10) <= SATAttackTime(384, 5) {
+		t.Error("attack time must grow with iterations")
+	}
+	if SATAttackTime(512, 10) <= SATAttackTime(128, 10) {
+		t.Error("attack time must grow with key bits")
+	}
+	// Saturation instead of overflow.
+	if SATAttackTime(1<<20, 1000) <= 0 {
+		t.Error("huge instances must saturate, not overflow")
+	}
+}
+
+func TestMinFullLockKeyBits(t *testing.T) {
+	// With many iterations from minterm locking, no routing network needed
+	// for a modest target.
+	k, err := MinFullLockKeyBits(100000, 500*1000*1000*1000, 4096) // 500 s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Errorf("keyBits = %d, want 0 (minterm locking alone suffices)", k)
+	}
+	// With few iterations, a network is needed; result must be minimal.
+	k, err = MinFullLockKeyBits(30, 300*1000*1000*1000, 4096) // 300 s over 30 iters
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= 0 {
+		t.Fatalf("keyBits = %d, want positive", k)
+	}
+	if SATAttackTime(k, 30) < 300*1000*1000*1000 {
+		t.Error("result does not meet target")
+	}
+	if k > 1 && SATAttackTime(k-1, 30) >= 300*1000*1000*1000 {
+		t.Error("result not minimal")
+	}
+	// Unreachable target.
+	if _, err := MinFullLockKeyBits(1, 1<<62, 8); err == nil {
+		t.Error("unreachable target must error")
+	}
+	if _, err := MinFullLockKeyBits(0, 1000, 8); err == nil {
+		t.Error("zero iterations must error")
+	}
+}
+
+func TestFullLockOverheadErrors(t *testing.T) {
+	if _, _, err := FullLockOverhead(0, 100); err == nil {
+		t.Error("zero key bits must error")
+	}
+	if _, _, err := FullLockOverhead(10, 0); err == nil {
+		t.Error("zero base gates must error")
+	}
+}

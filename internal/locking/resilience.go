@@ -1,0 +1,87 @@
+package locking
+
+import (
+	"fmt"
+	"math"
+
+	"bindlock/internal/dfg"
+)
+
+// ExpectedSATIterations implements Eqn. 1 of the paper:
+//
+//	λ = ⌈ log( (2^|k| − c − ε(2^|k| − c)) / (ε(2^|k| − c)(2^|k| − c − 1)) )
+//	    / log( (2^|k| − c − ε(2^|k| − c)) / (2^|k| − c − 1) ) ⌉
+//
+// where |k| is the key length in bits, c the number of correct keys, and ε
+// the ratio of locked inputs to total inputs of the module. It returns the
+// expected number of SAT-attack iterations to unlock the module.
+//
+// Writing N = 2^|k| − c (the wrong-key count), the expression simplifies to
+// log((1−ε)/(ε(N−1))) / log(N(1−ε)/(N−1)); we evaluate that form for
+// numerical stability at large key lengths.
+func ExpectedSATIterations(keyBits int, correctKeys int, epsilon float64) (float64, error) {
+	if keyBits <= 0 || keyBits > 1023 {
+		return 0, fmt.Errorf("locking: key length %d out of range", keyBits)
+	}
+	if correctKeys < 1 {
+		return 0, fmt.Errorf("locking: need at least one correct key, got %d", correctKeys)
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("locking: epsilon %v outside (0, 1)", epsilon)
+	}
+	n := math.Pow(2, float64(keyBits)) - float64(correctKeys)
+	if n < 2 {
+		return 1, nil // one or fewer wrong keys: a single iteration settles it
+	}
+	// num = ln((1-ε)/(ε(N-1))), den = ln(N(1-ε)/(N-1)), evaluated in
+	// log-sum form for stability at large N. Both terms change sign
+	// together at ε = 1/N (their ratio stays positive); at exactly ε = 1/N
+	// the 0/0 limit is N (L'Hopital on ε).
+	num := math.Log1p(-epsilon) - math.Log(epsilon) - math.Log(n-1)
+	den := math.Log(n) + math.Log1p(-epsilon) - math.Log(n-1)
+	if den == 0 {
+		return math.Ceil(n), nil
+	}
+	lambda := math.Ceil(num / den)
+	if lambda < 1 {
+		lambda = 1
+	}
+	return lambda, nil
+}
+
+// EpsilonFor returns ε for a module locking `locked` of the FU's input
+// minterm space.
+func EpsilonFor(lockedMinterms int) float64 {
+	return float64(lockedMinterms) / float64(dfg.MintermSpace)
+}
+
+// ModuleResilience returns Eqn. 1's λ for one locked FU, using its key
+// length, a single correct key, and ε derived from its minterm count. FUs
+// locking zero minterms have no error injection and, per the SAT attack's
+// termination condition, fall to the attacker only after the full key sweep;
+// we report +Inf to flag "never distinguishable by I/O".
+func ModuleResilience(l FULock) (float64, error) {
+	if len(l.Minterms) == 0 {
+		return math.Inf(1), nil
+	}
+	return ExpectedSATIterations(l.KeyBits, 1, EpsilonFor(len(l.Minterms)))
+}
+
+// ConfigResilience returns the minimum λ over all locked modules of a
+// configuration: the SAT attack model has scan access, so each module is
+// attacked independently and the weakest module bounds the design
+// ("SAT resilience is calculated separately for each locked module",
+// Sec. II-A).
+func ConfigResilience(c *Config) (float64, error) {
+	min := math.Inf(1)
+	for _, l := range c.Locks {
+		lam, err := ModuleResilience(l)
+		if err != nil {
+			return 0, err
+		}
+		if lam < min {
+			min = lam
+		}
+	}
+	return min, nil
+}

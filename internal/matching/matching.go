@@ -1,0 +1,170 @@
+// Package matching solves the weighted bipartite matching (assignment)
+// problems at the heart of every binder in this library.
+//
+// The paper's binding algorithms reduce each clock cycle to a max-weight full
+// matching of the cycle's concurrent operations (sources) onto the allocated
+// functional units (sinks), which "can be solved optimally in P-time"
+// (Sec. IV-B). We implement the O(n*m*n) Hungarian algorithm with potentials
+// (Jonker-Volgenant style), which is exact and comfortably fast at HLS sizes.
+package matching
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape reports an invalid weight matrix: no rows, ragged rows, or more
+// sources than sinks (a full matching would not exist).
+var ErrShape = errors.New("matching: weight matrix must be rectangular with rows <= cols")
+
+// MinCost computes a minimum-cost full matching of the n sources (rows) onto
+// the m >= n sinks (columns) of cost matrix w. It returns assign, where
+// assign[i] is the column matched to row i, and the total cost. Every row is
+// matched to exactly one column and no column is used twice.
+func MinCost(w [][]float64) (assign []int, total float64, err error) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0, ErrShape
+	}
+	m := len(w[0])
+	if m < n {
+		return nil, 0, ErrShape
+	}
+	for _, row := range w {
+		if len(row) != m {
+			return nil, 0, ErrShape
+		}
+		for _, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, 0, fmt.Errorf("matching: non-finite weight %v", x)
+			}
+		}
+	}
+
+	const inf = math.MaxFloat64
+	// 1-indexed potentials and matching state, following the classic
+	// shortest-augmenting-path formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j]: row matched to column j (0 = free)
+	way := make([]int, m+1) // back-pointers along the alternating tree
+	minv := make([]float64, m+1)
+	used := make([]bool, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := w[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the found path.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] != 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	for i := range assign {
+		total += w[i][assign[i]]
+	}
+	return assign, total, nil
+}
+
+// MaxWeight computes a maximum-weight full matching of the n sources onto the
+// m >= n sinks of weight matrix w, by negating the weights and delegating to
+// MinCost ("by negating each edge weight", Sec. IV-C).
+func MaxWeight(w [][]float64) (assign []int, total float64, err error) {
+	n := len(w)
+	if n == 0 || len(w[0]) < n {
+		return nil, 0, ErrShape
+	}
+	neg := make([][]float64, n)
+	for i, row := range w {
+		neg[i] = make([]float64, len(row))
+		for j, x := range row {
+			neg[i][j] = -x
+		}
+	}
+	assign, negTotal, err := MinCost(neg)
+	return assign, -negTotal, err
+}
+
+// BruteForceMax computes a maximum-weight full matching by exhaustive
+// permutation enumeration. It is exponential and exists as the reference
+// oracle for testing the Hungarian implementation; callers should use
+// MaxWeight.
+func BruteForceMax(w [][]float64) (assign []int, total float64, err error) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0, ErrShape
+	}
+	m := len(w[0])
+	if m < n {
+		return nil, 0, ErrShape
+	}
+	best := math.Inf(-1)
+	cur := make([]int, n)
+	used := make([]bool, m)
+	var bestAssign []int
+	var rec func(i int, sum float64)
+	rec = func(i int, sum float64) {
+		if i == n {
+			if sum > best {
+				best = sum
+				bestAssign = append([]int(nil), cur...)
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if !used[j] {
+				used[j] = true
+				cur[i] = j
+				rec(i+1, sum+w[i][j])
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return bestAssign, best, nil
+}

@@ -1,0 +1,223 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxWeightSquare(t *testing.T) {
+	// The Fig. 2C example: OPA/OPB onto FU1/FU2/FU3 with locked-input
+	// occurrence weights. Max matching maps OPA->FU2 (9), OPB->FU1 (4),
+	// total cost 13 (paper: "Total Cost of Binding: 13").
+	w := [][]float64{
+		// FU1 (locks x)  FU2 (locks y)  FU3 (unlocked)
+		{6, 9, 0}, // OPA: K[x][A]=6, K[y][A]=9
+		{4, 3, 0}, // OPB: K[x][B]=4, K[y][B]=3
+	}
+	assign, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 13 {
+		t.Fatalf("total = %v, want 13", total)
+	}
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("assign = %v, want [1 0]", assign)
+	}
+}
+
+func TestMinCostSimple(t *testing.T) {
+	w := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := MinCost(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total = %v, want 5", total)
+	}
+	seen := map[int]bool{}
+	for _, j := range assign {
+		if seen[j] {
+			t.Fatalf("column %d used twice: %v", j, assign)
+		}
+		seen[j] = true
+	}
+}
+
+func TestRectangularMoreSinks(t *testing.T) {
+	// 1 source, 4 sinks: pick the best sink.
+	w := [][]float64{{1, 7, 3, 2}}
+	assign, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != 1 || total != 7 {
+		t.Fatalf("assign=%v total=%v, want [1] 7", assign, total)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	if _, _, err := MaxWeight(nil); err == nil {
+		t.Error("nil matrix must error")
+	}
+	if _, _, err := MaxWeight([][]float64{{1}, {2}}); err == nil {
+		t.Error("more rows than cols must error")
+	}
+	if _, _, err := MinCost([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix must error")
+	}
+	if _, _, err := MinCost([][]float64{{math.NaN(), 1}}); err == nil {
+		t.Error("NaN weight must error")
+	}
+	if _, _, err := MinCost([][]float64{{math.Inf(1), 1}}); err == nil {
+		t.Error("infinite weight must error")
+	}
+	if _, _, err := BruteForceMax(nil); err == nil {
+		t.Error("brute force nil matrix must error")
+	}
+}
+
+func TestZeroWeights(t *testing.T) {
+	w := [][]float64{{0, 0}, {0, 0}}
+	assign, total, err := MaxWeight(w)
+	if err != nil || total != 0 {
+		t.Fatalf("assign=%v total=%v err=%v", assign, total, err)
+	}
+	if assign[0] == assign[1] {
+		t.Fatal("matching must be injective even with tied weights")
+	}
+}
+
+func TestNegativeWeights(t *testing.T) {
+	// Full matching is required even when all edges are negative.
+	w := [][]float64{
+		{-5, -1},
+		{-2, -8},
+	}
+	assign, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -3 { // -1 + -2
+		t.Fatalf("total = %v, want -3", total)
+	}
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("assign = %v, want [1 0]", assign)
+	}
+}
+
+func validAssign(assign []int, n, m int) bool {
+	if len(assign) != n {
+		return false
+	}
+	seen := map[int]bool{}
+	for _, j := range assign {
+		if j < 0 || j >= m || seen[j] {
+			return false
+		}
+		seen[j] = true
+	}
+	return true
+}
+
+// Property: Hungarian result equals the brute-force optimum on random small
+// instances, and is always a valid injective full matching.
+func TestHungarianMatchesBruteForceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		m := n + r.Intn(3)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, m)
+			for j := range w[i] {
+				w[i][j] = math.Floor(r.Float64()*41) - 10 // integers in [-10, 30]
+			}
+		}
+		assign, total, err := MaxWeight(w)
+		if err != nil || !validAssign(assign, n, m) {
+			return false
+		}
+		_, want, err := BruteForceMax(w)
+		if err != nil {
+			return false
+		}
+		return math.Abs(total-want) < 1e-9
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values:   nil,
+		Rand:     rng,
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinCost and MaxWeight are duals under negation.
+func TestMinMaxDualityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		m := n + r.Intn(3)
+		w := make([][]float64, n)
+		neg := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, m)
+			neg[i] = make([]float64, m)
+			for j := range w[i] {
+				w[i][j] = float64(r.Intn(100))
+				neg[i][j] = -w[i][j]
+			}
+		}
+		_, maxTotal, err1 := MaxWeight(w)
+		_, minTotal, err2 := MinCost(neg)
+		return err1 == nil && err2 == nil && math.Abs(maxTotal+minTotal) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeInstanceRuns(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	n, m := 60, 80
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, m)
+		for j := range w[i] {
+			w[i][j] = r.Float64() * 1000
+		}
+	}
+	assign, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !validAssign(assign, n, m) {
+		t.Fatal("invalid assignment")
+	}
+	// Greedy lower bound sanity check: the optimum cannot be worse than a
+	// greedy row-by-row assignment.
+	used := make([]bool, m)
+	greedy := 0.0
+	for i := 0; i < n; i++ {
+		best, bj := -1.0, -1
+		for j := 0; j < m; j++ {
+			if !used[j] && w[i][j] > best {
+				best, bj = w[i][j], j
+			}
+		}
+		used[bj] = true
+		greedy += best
+	}
+	if total < greedy-1e-6 {
+		t.Fatalf("optimal %v below greedy %v", total, greedy)
+	}
+}

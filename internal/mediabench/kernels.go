@@ -1,0 +1,287 @@
+// Package mediabench provides the 11 benchmark kernels of the paper's
+// evaluation (Sec. VI), re-implemented in the frontend's kernel language.
+//
+// The paper isolates C functions from 8 MediaBench applications [21] and
+// extracts their DFGs with SUIF; the resulting DFGs average 18.6 add and 10.6
+// multiply operations over 13.5 cycles when scheduled onto up to 3 FUs. The
+// kernels below are written from the same algorithmic definitions (DCT,
+// FIR, FFT butterflies, JPEG chroma merge, MPEG motion estimation, ECB
+// encryption rounds, noise estimation) and land in the same size envelope.
+// Each kernel is paired with the workload family that mimics its MediaBench
+// sample payload (images, audio, bitstreams).
+package mediabench
+
+import "bindlock/internal/trace"
+
+// srcDCT: 8-point 1-D DCT (mpeg2enc/jpeg forward transform, Loeffler-style
+// even/odd decomposition with constant coefficients).
+const srcDCT = `
+kernel dct;
+input x0, x1, x2, x3, x4, x5, x6, x7;
+output y0, y1, y2, y3, y4, y5, y6, y7;
+const C1 = 125; const C2 = 118; const C3 = 106;
+const C4 = 90;  const C5 = 71;  const C6 = 49;  const C7 = 25;
+// even/odd butterfly stage
+s0 = x0 + x7;  d0 = x0 - x7;
+s1 = x1 + x6;  d1 = x1 - x6;
+s2 = x2 + x5;  d2 = x2 - x5;
+s3 = x3 + x4;  d3 = x3 - x4;
+// even part
+t0 = s0 + s3;  t2 = s0 - s3;
+t1 = s1 + s2;  t3 = s1 - s2;
+y0 = (t0 + t1) * C4;
+y4 = (t0 - t1) * C4;
+y2 = t2 * C2 + t3 * C6;
+y6 = t2 * C6 - t3 * C2;
+// odd part: full 4x4 coefficient matrix
+y1 = d0 * C1 + d1 * C3 + d2 * C5 + d3 * C7;
+y3 = d0 * C3 - d1 * C7 - d2 * C1 - d3 * C5;
+y5 = d0 * C5 - d1 * C1 + d2 * C7 + d3 * C3;
+y7 = d0 * C7 - d1 * C5 + d2 * C3 - d3 * C1;
+`
+
+// srcECBEnc4: four rounds of an additive ECB block mix (pegwit encryption
+// inner loop). Adder-only: the paper notes "no multipliers were present in
+// the ecb_enc4 benchmark".
+const srcECBEnc4 = `
+kernel ecb_enc4;
+input d0, d1, d2, d3, k0, k1, k2, k3;
+output c0, c1, c2, c3;
+const R1 = 57; const R2 = 99; const R3 = 173;
+// round 1: key whitening
+a0 = d0 + k0;
+a1 = d1 + k1;
+a2 = d2 + k2;
+a3 = d3 + k3;
+// round 2: neighbour diffusion
+b0 = a0 + a1;
+b1 = a1 + a2;
+b2 = a2 + a3;
+b3 = a3 + a0;
+// round 3: constant injection
+e0 = b0 + R1;
+e1 = b1 + R2;
+e2 = b2 + R3;
+e3 = b3 + R1;
+// round 4: cross mixing and re-keying
+f0 = e0 + e2 + k1;
+f1 = e1 + e3 + k2;
+f2 = e2 + e0 + k3;
+f3 = e3 + e1 + k0;
+// round 5: neighbour diffusion again
+h0 = f0 + f3;
+h1 = f1 + f0;
+h2 = f2 + f1;
+h3 = f3 + f2;
+// round 6: output whitening
+c0 = h0 + k2 + R2;
+c1 = h1 + k3 + R3;
+c2 = h2 + k0 + R1;
+c3 = h3 + k1 + R2;
+`
+
+// srcFFT: a 4-point decimation-in-frequency complex FFT stage with twiddle
+// factors applied to both internal branches (gsm/rasta FFT inner loop).
+const srcFFT = `
+kernel fft;
+input xr0, xi0, xr1, xi1, xr2, xi2, xr3, xi3, wr1, wi1, wr2, wi2;
+output yr0, yi0, yr1, yi1, yr2, yi2, yr3, yi3;
+// stage 1: butterflies across the half-distance pairs
+ar = xr0 + xr2;  ai = xi0 + xi2;
+br = xr0 - xr2;  bi = xi0 - xi2;
+cr = xr1 + xr3;  ci = xi1 + xi3;
+dr = xr1 - xr3;  di = xi1 - xi3;
+// twiddle the difference branches: m = w1*b, n = w2*d
+mr = br * wr1 - bi * wi1;
+mi = br * wi1 + bi * wr1;
+nr = dr * wr2 - di * wi2;
+ni = dr * wi2 + di * wr2;
+// stage 2: combine
+yr0 = ar + cr;  yi0 = ai + ci;
+yr2 = ar - cr;  yi2 = ai - ci;
+yr1 = mr + nr;  yi1 = mi + ni;
+yr3 = mr - nr;  yi3 = mi - ni;
+`
+
+// srcFIR: 16-tap symmetric FIR filter with constant coefficients (adpcm/gsm
+// receive filter).
+const srcFIR = `
+kernel fir;
+input x0, x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13, x14, x15;
+output y;
+const H0 = 2; const H1 = 5;  const H2 = 11; const H3 = 20;
+const H4 = 31; const H5 = 42; const H6 = 50; const H7 = 54;
+// exploit coefficient symmetry: pre-add mirrored taps, then 8 products
+p0 = x0 + x15;
+p1 = x1 + x14;
+p2 = x2 + x13;
+p3 = x3 + x12;
+p4 = x4 + x11;
+p5 = x5 + x10;
+p6 = x6 + x9;
+p7 = x7 + x8;
+y = p0*H0 + p1*H1 + p2*H2 + p3*H3 + p4*H4 + p5*H5 + p6*H6 + p7*H7;
+`
+
+// srcJCTrans2: JPEG transcoder coefficient requantisation of a 2x2
+// coefficient block (cjpeg/jpegtran jctrans.c).
+const srcJCTrans2 = `
+kernel jctrans2;
+input q0, q1, q2, q3, q4, q5, q6, q7, s0, s1;
+output o0, o1, o2, o3, o4, o5, o6, o7, checksum;
+const BIAS = 4;
+// rescale each coefficient by the per-row scale factor, add rounding bias
+o0 = q0 * s0 + BIAS;
+o1 = q1 * s0 + BIAS;
+o2 = q2 * s1 + BIAS + q0;
+o3 = q3 * s1 + BIAS + q1;
+o4 = q4 * s0 + BIAS;
+o5 = q5 * s0 + BIAS;
+o6 = q6 * s1 + BIAS + q4;
+o7 = q7 * s1 + BIAS + q5;
+// running DC checksum kept by the transcoder
+checksum = q0 + q1 + q2 + q3 + q4 + q5 + q6 + q7;
+`
+
+// srcJDMerge1: YCbCr -> RGB conversion of a single pixel (djpeg jdmerge.c
+// h2v1 merged upsampler core).
+const srcJDMerge1 = `
+kernel jdmerge1;
+input y, cb, cr;
+output r, g, b;
+const KR = 91; const KG1 = 22; const KG2 = 46; const KB = 115;
+r = y + cr * KR;
+g = y - cb * KG1 - cr * KG2;
+b = y + cb * KB;
+`
+
+// srcJDMerge3: merged upsampling of two horizontal pixels sharing one chroma
+// pair (djpeg jdmerge.c h2v1 loop body).
+const srcJDMerge3 = `
+kernel jdmerge3;
+input y0, y1, cb, cr;
+output r0, g0, b0, r1, g1, b1;
+const KR = 91; const KG1 = 22; const KG2 = 46; const KB = 115;
+// chroma contributions are computed once and reused for both pixels
+tr = cr * KR;
+tg = cb * KG1 + cr * KG2;
+tb = cb * KB;
+r0 = y0 + tr;
+g0 = y0 - tg;
+b0 = y0 + tb;
+r1 = y1 + tr;
+g1 = y1 - tg;
+b1 = y1 + tb;
+`
+
+// srcJDMerge4: merged upsampling of a 2x2 block sharing one chroma pair
+// (djpeg jdmerge.c h2v2 loop body).
+const srcJDMerge4 = `
+kernel jdmerge4;
+input y0, y1, y2, y3, cb, cr;
+output r0, g0, b0, r1, g1, b1, r2, g2, r3, g3;
+const KR = 91; const KG1 = 22; const KG2 = 46; const KB = 115;
+tr = cr * KR;
+tg = cb * KG1 + cr * KG2;
+tb = cb * KB;
+r0 = y0 + tr;
+g0 = y0 - tg;
+b0 = y0 + tb;
+r1 = y1 + tr;
+g1 = y1 - tg;
+b1 = y1 + tb;
+r2 = y2 + tr;
+g2 = y2 - tg;
+r3 = y3 + tr;
+g3 = y3 - tg;
+`
+
+// srcMotion2: weighted bi-directional SAD over 4 pixels (mpeg2enc motion.c
+// dist1 with forward/backward prediction weights).
+const srcMotion2 = `
+kernel motion2;
+input p0, p1, p2, p3, p4, p5, p6, p7, f0, f1, f2, f3, f4, f5, f6, f7, wf, wb;
+output sad, pred;
+// weighted prediction of the first pixel quad
+pr0 = f0 * wf + p0 * wb;
+pr1 = f1 * wf + p1 * wb;
+pr2 = f2 * wf + p2 * wb;
+pr3 = f3 * wf + p3 * wb;
+// absolute differences against the reference row
+e0 = absdiff(p0, f0);
+e1 = absdiff(p1, f1);
+e2 = absdiff(p2, f2);
+e3 = absdiff(p3, f3);
+e4 = absdiff(p4, f4);
+e5 = absdiff(p5, f5);
+e6 = absdiff(p6, f6);
+e7 = absdiff(p7, f7);
+sad = e0 + e1 + e2 + e3 + e4 + e5 + e6 + e7;
+pred = pr0 + pr1 + pr2 + pr3;
+`
+
+// srcMotion3: half-pel interpolated SAD over 4 pixels (mpeg2enc motion.c
+// dist1 with half-pixel averaging and rounding).
+const srcMotion3 = `
+kernel motion3;
+input p0, p1, p2, p3, a0, a1, a2, a3, b0, b1, b2, b3, w;
+output sad, energy;
+const ONE = 1;
+// half-pel interpolation: avg = (a + b + 1) scaled by the lambda weight
+h0 = a0 + b0 + ONE;
+h1 = a1 + b1 + ONE;
+h2 = a2 + b2 + ONE;
+h3 = a3 + b3 + ONE;
+i0 = h0 * w;
+i1 = h1 * w;
+i2 = h2 * w;
+i3 = h3 * w;
+e0 = absdiff(p0, i0);
+e1 = absdiff(p1, i1);
+e2 = absdiff(p2, i2);
+e3 = absdiff(p3, i3);
+sad = e0 + e1 + e2 + e3;
+energy = i0 * i1 + i2 * i3;
+`
+
+// srcNoisest2: noise variance estimation over a 4-sample window (rasta
+// noise_est.c: mean removal, squared deviations, smoothed accumulate).
+const srcNoisest2 = `
+kernel noisest2;
+input x0, x1, x2, x3, x4, x5, x6, x7, mean, alpha;
+output var, smooth;
+d0 = x0 - mean;
+d1 = x1 - mean;
+d2 = x2 - mean;
+d3 = x3 - mean;
+d4 = x4 - mean;
+d5 = x5 - mean;
+d6 = x6 - mean;
+d7 = x7 - mean;
+q0 = d0 * d0;
+q1 = d1 * d1;
+q2 = d2 * d2;
+q3 = d3 * d3;
+q4 = d4 * d4;
+q5 = d5 * d5;
+q6 = d6 * d6;
+q7 = d7 * d7;
+v = q0 + q1 + q2 + q3 + q4 + q5 + q6 + q7;
+var = v;
+smooth = v * alpha + mean;
+`
+
+// specs lists every benchmark in the paper's order with its workload family.
+var specs = []Benchmark{
+	{Name: "dct", Source: srcDCT, Origin: "mpeg2enc fdct (8-point 1-D DCT)", Gen: trace.ImageBlocks},
+	{Name: "ecb_enc4", Source: srcECBEnc4, Origin: "pegwit ECB encryption rounds", Gen: trace.Bitstream},
+	{Name: "fft", Source: srcFFT, Origin: "gsm/rasta radix-2 FFT butterflies", Gen: trace.Audio},
+	{Name: "fir", Source: srcFIR, Origin: "adpcm 8-tap FIR filter", Gen: trace.Audio},
+	{Name: "jctrans2", Source: srcJCTrans2, Origin: "jpegtran coefficient requantisation", Gen: trace.ImageBlocks},
+	{Name: "jdmerge1", Source: srcJDMerge1, Origin: "djpeg merged upsampler, 1 pixel", Gen: trace.ImageBlocks},
+	{Name: "jdmerge3", Source: srcJDMerge3, Origin: "djpeg merged upsampler, h2v1 pair", Gen: trace.ImageBlocks},
+	{Name: "jdmerge4", Source: srcJDMerge4, Origin: "djpeg merged upsampler, h2v2 quad", Gen: trace.ImageBlocks},
+	{Name: "motion2", Source: srcMotion2, Origin: "mpeg2enc weighted bi-directional SAD", Gen: trace.ImageBlocks},
+	{Name: "motion3", Source: srcMotion3, Origin: "mpeg2enc half-pel interpolated SAD", Gen: trace.ImageBlocks},
+	{Name: "noisest2", Source: srcNoisest2, Origin: "rasta noise variance estimation", Gen: trace.SensorNoise},
+}

@@ -1,0 +1,165 @@
+package mediabench
+
+import (
+	"testing"
+
+	"bindlock/internal/dfg"
+)
+
+func TestAllCompileAndValidate(t *testing.T) {
+	if len(All()) != 11 {
+		t.Fatalf("benchmark count = %d, want 11", len(All()))
+	}
+	for _, b := range All() {
+		t.Run(b.Name, func(t *testing.T) {
+			g, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(false); err != nil {
+				t.Fatal(err)
+			}
+			if g.Name != b.Name {
+				t.Errorf("graph name %q, want %q", g.Name, b.Name)
+			}
+			if b.Origin == "" {
+				t.Error("missing origin")
+			}
+		})
+	}
+}
+
+func TestOnlyECBLacksMultipliers(t *testing.T) {
+	// "No multipliers were present in the ecb_enc4 benchmark."
+	for _, b := range All() {
+		g, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		muls := len(g.OpsOfClass(dfg.ClassMul))
+		if b.Name == "ecb_enc4" {
+			if muls != 0 {
+				t.Errorf("ecb_enc4 has %d multipliers, want 0", muls)
+			}
+		} else if muls == 0 {
+			t.Errorf("%s has no multipliers", b.Name)
+		}
+		if adds := len(g.OpsOfClass(dfg.ClassAdd)); adds == 0 {
+			t.Errorf("%s has no adders", b.Name)
+		}
+	}
+}
+
+func TestSuiteSizeEnvelope(t *testing.T) {
+	// The paper's DFGs average 18.6 adds, 10.6 muls and 13.5 cycles when
+	// scheduled on up to 3 FUs. Require the suite to land in the same
+	// neighbourhood (generous band: these are re-implementations).
+	totalAdds, totalMuls, totalCycles := 0, 0, 0
+	for _, b := range All() {
+		p, err := b.Prepare(3, 16, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := p.G.Stat()
+		totalAdds += st.Adds
+		totalMuls += st.Muls
+		totalCycles += st.Cycles
+	}
+	n := len(All())
+	avgAdds := float64(totalAdds) / float64(n)
+	avgMuls := float64(totalMuls) / float64(n)
+	avgCycles := float64(totalCycles) / float64(n)
+	if avgAdds < 9 || avgAdds > 28 {
+		t.Errorf("average adds = %.1f, paper reports 18.6", avgAdds)
+	}
+	if avgMuls < 5 || avgMuls > 16 {
+		t.Errorf("average muls = %.1f, paper reports 10.6", avgMuls)
+	}
+	if avgCycles < 6 || avgCycles > 21 {
+		t.Errorf("average cycles = %.1f, paper reports 13.5", avgCycles)
+	}
+	t.Logf("suite averages: %.1f adds, %.1f muls, %.1f cycles (paper: 18.6, 10.6, 13.5)",
+		avgAdds, avgMuls, avgCycles)
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("fft")
+	if err != nil || b.Name != "fft" {
+		t.Fatalf("ByName(fft) = %+v, %v", b, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestPrepareFlow(t *testing.T) {
+	b, _ := ByName("dct")
+	p, err := b.Prepare(3, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.G.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if p.G.MaxConcurrency(dfg.ClassAdd) > 3 || p.G.MaxConcurrency(dfg.ClassMul) > 3 {
+		t.Error("schedule exceeds 3 FUs per class")
+	}
+	if !p.HasClass(dfg.ClassAdd) || !p.HasClass(dfg.ClassMul) {
+		t.Error("dct must have both classes")
+	}
+	// The K matrix must cover the workload: every add op saw 100 samples.
+	for _, id := range p.G.OpsOfClass(dfg.ClassAdd) {
+		if p.Res.K.OpTotal(id) != 100 {
+			t.Fatalf("op %d total %d, want 100", id, p.Res.K.OpTotal(id))
+		}
+	}
+}
+
+func TestPrepareDeterministic(t *testing.T) {
+	b, _ := ByName("fir")
+	p1, err := b.Prepare(3, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.Prepare(3, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top1 := p1.Res.K.TopMinterms(p1.G, dfg.ClassMul, 10)
+	top2 := p2.Res.K.TopMinterms(p2.G, dfg.ClassMul, 10)
+	if len(top1) != len(top2) {
+		t.Fatal("nondeterministic top minterms")
+	}
+	for i := range top1 {
+		if top1[i] != top2[i] {
+			t.Fatal("nondeterministic top minterms")
+		}
+	}
+}
+
+func TestWorkloadsConcentrateMinterms(t *testing.T) {
+	// The security-aware algorithms rely on non-uniform minterm mass: the
+	// top-10 candidate minterms must carry a visible share of the total.
+	for _, b := range All() {
+		p, err := b.Prepare(3, 400, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, class := range []dfg.Class{dfg.ClassAdd, dfg.ClassMul} {
+			if !p.HasClass(class) {
+				continue
+			}
+			ops := p.G.OpsOfClass(class)
+			total := 400 * len(ops)
+			top := p.Res.K.TopMinterms(p.G, class, 10)
+			mass := 0
+			for _, mc := range top {
+				mass += mc.Count
+			}
+			if mass*100 < total { // at least 1% in the top 10
+				t.Errorf("%s/%v: top-10 minterm mass %d of %d (<1%%): workload too uniform",
+					b.Name, class, mass, total)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package mediabench
+
+import (
+	"fmt"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/frontend"
+	"bindlock/internal/sched"
+	"bindlock/internal/sim"
+	"bindlock/internal/trace"
+)
+
+// Benchmark describes one kernel: its source in the frontend language, the
+// MediaBench function it reproduces, and the workload family standing in for
+// the MediaBench sample payload.
+type Benchmark struct {
+	Name   string
+	Source string
+	Origin string
+	Gen    trace.Generator
+}
+
+// All returns the 11 benchmarks in the paper's order.
+func All() []Benchmark {
+	return append([]Benchmark(nil), specs...)
+}
+
+// ByName looks a benchmark up by name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range specs {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("mediabench: unknown benchmark %q", name)
+}
+
+// Compile parses the kernel into an unscheduled DFG.
+func (b Benchmark) Compile() (*dfg.Graph, error) {
+	return frontend.Compile(b.Source)
+}
+
+// Workload generates n samples of the benchmark's typical input trace under
+// the given seed, with one column per DFG input.
+func (b Benchmark) Workload(g *dfg.Graph, n int, seed int64) *trace.Trace {
+	names := make([]string, 0, 8)
+	for _, id := range g.Inputs() {
+		names = append(names, g.Ops[id].Name)
+	}
+	return trace.Generate(b.Gen, names, n, seed)
+}
+
+// Prepared is a benchmark after the full Fig. 3 flow: compiled, scheduled
+// onto at most maxFUs units per class, and simulated over its sample
+// workload.
+type Prepared struct {
+	Bench Benchmark
+	G     *dfg.Graph
+	Res   *sim.Result
+	// Trace is the sample workload the simulation ran over.
+	Trace *trace.Trace
+	// NumFUs is the binding allocation per class (the scheduler's limit).
+	NumFUs int
+}
+
+// DefaultSamples is the default workload length used by the experiment
+// harness.
+const DefaultSamples = 600
+
+// Prepare runs the experimental flow of Fig. 3 for the benchmark: compile,
+// schedule path-based onto up to maxFUs FUs per class, generate the sample
+// workload, and simulate to obtain expected input occurrences per operation.
+func (b Benchmark) Prepare(maxFUs, samples int, seed int64) (*Prepared, error) {
+	g, err := b.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("mediabench: compile %s: %w", b.Name, err)
+	}
+	cons := sched.Constraints{MaxFUs: map[dfg.Class]int{
+		dfg.ClassAdd: maxFUs,
+		dfg.ClassMul: maxFUs,
+	}}
+	if _, err := sched.PathBased(g, cons); err != nil {
+		return nil, fmt.Errorf("mediabench: schedule %s: %w", b.Name, err)
+	}
+	tr := b.Workload(g, samples, seed)
+	res, err := sim.Run(g, tr)
+	if err != nil {
+		return nil, fmt.Errorf("mediabench: simulate %s: %w", b.Name, err)
+	}
+	return &Prepared{Bench: b, G: g, Res: res, Trace: tr, NumFUs: maxFUs}, nil
+}
+
+// HasClass reports whether the prepared DFG contains any operations of class
+// c (ecb_enc4 has no multipliers).
+func (p *Prepared) HasClass(c dfg.Class) bool {
+	return len(p.G.OpsOfClass(c)) > 0
+}

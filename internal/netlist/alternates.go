@@ -1,0 +1,113 @@
+package netlist
+
+import "fmt"
+
+// Alternate FU micro-architectures. The SAT attack and the locking
+// constructions operate on function, not structure: locking an FU built as a
+// carry-lookahead adder or a shift-add multiplier must behave identically to
+// the ripple/array versions. The test suite uses these to check that
+// structural choice affects only gate counts, never attack semantics.
+
+// CLABus builds a carry-lookahead adder over equal-width buses (single-level
+// lookahead over generate/propagate, modular sum).
+func CLABus(c *Circuit, a, b []int) []int {
+	checkBuses(a, b)
+	width := len(a)
+	g := make([]int, width) // generate
+	p := make([]int, width) // propagate
+	for i := 0; i < width; i++ {
+		g[i] = c.And(a[i], b[i])
+		p[i] = c.Xor(a[i], b[i])
+	}
+	// carry[i] = g[i-1] | p[i-1]&g[i-2] | ... | p[i-1]..p[0]&c0 (c0 = 0)
+	out := make([]int, width)
+	carry := -1 // carry into bit i; -1 = constant 0
+	for i := 0; i < width; i++ {
+		if carry < 0 {
+			out[i] = p[i]
+		} else {
+			out[i] = c.Xor(p[i], carry)
+		}
+		// Next carry: g[i] | (p[i] & carry).
+		if i+1 < width {
+			if carry < 0 {
+				carry = g[i]
+			} else {
+				carry = c.Or(g[i], c.And(p[i], carry))
+			}
+		}
+	}
+	return out
+}
+
+// ShiftAddMulBus builds a multiplier as a sequence of conditional shifted
+// additions (the unrolled shift-add algorithm), returning the low width
+// product bits.
+func ShiftAddMulBus(c *Circuit, a, b []int) []int {
+	checkBuses(a, b)
+	width := len(a)
+	zero := c.AddConst(false)
+	acc := make([]int, width)
+	for i := range acc {
+		acc[i] = zero
+	}
+	for j := 0; j < width; j++ {
+		// Shifted, b[j]-gated copy of a.
+		addend := make([]int, width)
+		for i := 0; i < width; i++ {
+			if i < j {
+				addend[i] = zero
+			} else {
+				addend[i] = c.And(a[i-j], b[j])
+			}
+		}
+		acc = AddBus(c, acc, addend)
+	}
+	return acc
+}
+
+// NewAdderCLA builds a standalone carry-lookahead adder FU.
+func NewAdderCLA(width int) (*Circuit, error) {
+	cc, err := newBinaryFU("addcla", width, 32, CLABus)
+	if err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+// NewMultiplierShiftAdd builds a standalone shift-add multiplier FU.
+func NewMultiplierShiftAdd(width int) (*Circuit, error) {
+	cc, err := newBinaryFU("mulsa", width, 16, ShiftAddMulBus)
+	if err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+// ArchitectureVariants returns the available micro-architectures of an FU
+// kind ("adder" or "multiplier") at the given width.
+func ArchitectureVariants(kind string, width int) ([]*Circuit, error) {
+	switch kind {
+	case "adder":
+		rc, err := NewAdder(width)
+		if err != nil {
+			return nil, err
+		}
+		cla, err := NewAdderCLA(width)
+		if err != nil {
+			return nil, err
+		}
+		return []*Circuit{rc, cla}, nil
+	case "multiplier":
+		arr, err := NewMultiplier(width)
+		if err != nil {
+			return nil, err
+		}
+		sa, err := NewMultiplierShiftAdd(width)
+		if err != nil {
+			return nil, err
+		}
+		return []*Circuit{arr, sa}, nil
+	}
+	return nil, fmt.Errorf("netlist: unknown FU kind %q", kind)
+}

@@ -1,0 +1,83 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAlternateArchitecturesEquivalentQuick checks that every
+// micro-architecture of an FU computes the same function.
+func TestAlternateArchitecturesEquivalentQuick(t *testing.T) {
+	for _, kind := range []string{"adder", "multiplier"} {
+		for _, width := range []int{2, 4, 8} {
+			variants, err := ArchitectureVariants(kind, width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(variants) < 2 {
+				t.Fatalf("%s: want >= 2 variants", kind)
+			}
+			for _, v := range variants {
+				if err := v.Validate(); err != nil {
+					t.Fatalf("%s: %v", v.Name, err)
+				}
+			}
+			mask := uint64(1)<<uint(2*width) - 1
+			f := func(raw uint32) bool {
+				in := uint64(raw) & mask
+				ref := evalUint(t, variants[0], in, nil)
+				for _, v := range variants[1:] {
+					if evalUint(t, v, in, nil) != ref {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Errorf("%s width %d: %v", kind, width, err)
+			}
+		}
+	}
+}
+
+// TestCLAExhaustive checks the lookahead adder bit-for-bit at width 4.
+func TestCLAExhaustive(t *testing.T) {
+	cla, err := NewAdderCLA(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			if got := evalUint(t, cla, a|b<<4, nil); got != (a+b)&0xF {
+				t.Fatalf("cla(%d, %d) = %d, want %d", a, b, got, (a+b)&0xF)
+			}
+		}
+	}
+}
+
+// TestShiftAddExhaustive checks the shift-add multiplier at width 4.
+func TestShiftAddExhaustive(t *testing.T) {
+	sa, err := NewMultiplierShiftAdd(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			if got := evalUint(t, sa, a|b<<4, nil); got != (a*b)&0xF {
+				t.Fatalf("sa(%d, %d) = %d, want %d", a, b, got, (a*b)&0xF)
+			}
+		}
+	}
+}
+
+func TestArchitectureVariantsErrors(t *testing.T) {
+	if _, err := ArchitectureVariants("divider", 4); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if _, err := NewAdderCLA(0); err == nil {
+		t.Fatal("width 0 must error")
+	}
+	if _, err := NewMultiplierShiftAdd(99); err == nil {
+		t.Fatal("width 99 must error")
+	}
+}

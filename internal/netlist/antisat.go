@@ -1,0 +1,61 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LockAntiSAT inserts an Anti-SAT block (Xie & Srivastava; the basis of the
+// Strong Anti-SAT construction [6] the paper cites as a critical-minterm
+// scheme). Two complementary key-programmable AND trees gate an output flip:
+//
+//	flip = AND_i(x_i XOR k1_i)  AND  NOT( AND_i(x_i XOR k2_i) )
+//
+// For any key with K1 = K2 the two trees are complementary and flip is
+// identically zero (all such keys are correct); for K1 != K2 exactly the
+// inputs X = ~K1 with X != ~K2 flip — one corrupted minterm per wrong key,
+// which is why each SAT-attack DIP eliminates O(1) keys and the expected
+// iteration count scales with 2^n.
+//
+// The returned correct key sets K1 = K2 = r for a seed-chosen r.
+func LockAntiSAT(base *Circuit, seed int64) (*Circuit, []bool, error) {
+	if err := base.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(base.Keys) != 0 {
+		return nil, nil, fmt.Errorf("netlist: base circuit already has key inputs")
+	}
+	n := len(base.Inputs)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("netlist: anti-sat needs at least 2 inputs, got %d", n)
+	}
+	lc := base.Clone()
+	lc.Name = base.Name + "-antisat"
+
+	andTree := func() int {
+		acc := -1
+		for _, in := range lc.Inputs {
+			k := lc.AddKey()
+			x := lc.Xor(in, k)
+			if acc < 0 {
+				acc = x
+			} else {
+				acc = lc.And(acc, x)
+			}
+		}
+		return acc
+	}
+	g1 := andTree()         // AND(X ^ K1)
+	g2 := lc.Not(andTree()) // NAND(X ^ K2)
+	flip := lc.And(g1, g2)  // nonzero only under wrong keys
+	lc.Outputs = append([]int(nil), lc.Outputs...)
+	lc.Outputs[0] = lc.Xor(base.Outputs[0], flip)
+
+	rng := rand.New(rand.NewSource(seed))
+	r := make([]bool, n)
+	for i := range r {
+		r[i] = rng.Intn(2) == 1
+	}
+	key := append(append([]bool(nil), r...), r...)
+	return lc, key, nil
+}

@@ -1,0 +1,168 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLockAntiSATSemantics(t *testing.T) {
+	base, _ := NewAdder(3) // 6-bit input space: exhaustively checkable
+	locked, key, err := LockAntiSAT(base, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := locked.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != 12 { // two 6-bit key halves
+		t.Fatalf("key length = %d, want 12", len(key))
+	}
+	// Correct key (K1 == K2): transparent everywhere.
+	for in := uint64(0); in < 64; in++ {
+		if evalUint(t, locked, in, key) != evalUint(t, base, in, nil) {
+			t.Fatalf("correct key corrupts input %#x", in)
+		}
+	}
+	// ANY key with K1 == K2 is correct (the scheme's correct-key class).
+	alt := make([]bool, 12)
+	for i := 0; i < 6; i++ {
+		alt[i] = i%2 == 0
+		alt[i+6] = alt[i]
+	}
+	for in := uint64(0); in < 64; in++ {
+		if evalUint(t, locked, in, alt) != evalUint(t, base, in, nil) {
+			t.Fatalf("alternate K1==K2 key corrupts input %#x", in)
+		}
+	}
+	// A wrong key (K1 != K2) corrupts exactly the inputs X where
+	// AND(X^K1) & ~AND(X^K2): X == ~K1 and X != ~K2 — at most one minterm.
+	wrong := append([]bool(nil), key...)
+	wrong[0] = !wrong[0] // K1 differs from K2 in bit 0
+	corrupted := 0
+	for in := uint64(0); in < 64; in++ {
+		if evalUint(t, locked, in, wrong) != evalUint(t, base, in, nil) {
+			corrupted++
+		}
+	}
+	if corrupted != 1 {
+		t.Fatalf("wrong key corrupts %d minterms, want exactly 1 (low-ε Anti-SAT property)", corrupted)
+	}
+}
+
+func TestLockAntiSATErrors(t *testing.T) {
+	base, _ := NewAdder(2)
+	locked, _, _ := LockAntiSAT(base, 1)
+	if _, _, err := LockAntiSAT(locked, 1); err == nil {
+		t.Error("double locking must error")
+	}
+	one := New("one")
+	a := one.AddInput()
+	one.MarkOutput(one.Buf(a))
+	if _, _, err := LockAntiSAT(one, 1); err == nil {
+		t.Error("single-input circuit must error")
+	}
+}
+
+func TestWriteVerilogRoundTripSemantics(t *testing.T) {
+	// We cannot run a Verilog simulator here, but the export must be
+	// structurally complete: a wire and assign per logic gate, ports with
+	// correct widths, and every output driven.
+	base, _ := NewAdder(4)
+	locked, _, err := LockSFLLHD0(base, []uint64{0x5A})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := locked.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"module add4_sfll",
+		"input  wire [7:0] in",
+		"input  wire [7:0] key",
+		"output wire [3:0] out",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+	if got := strings.Count(v, "assign"); got < locked.LogicGates() {
+		t.Errorf("assign count %d below logic gate count %d", got, locked.LogicGates())
+	}
+	for i := range locked.Outputs {
+		if !strings.Contains(v, "assign out["+itoa(i)+"]") {
+			t.Errorf("output %d not driven", i)
+		}
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestWriteVerilogUnlocked(t *testing.T) {
+	mul, _ := NewMultiplier(2)
+	var sb strings.Builder
+	if err := mul.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "key") {
+		t.Error("unlocked circuit must have no key port")
+	}
+	if !strings.Contains(sb.String(), "module mul2") {
+		t.Error("module name missing")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"add8":         "add8",
+		"add8-sfll":    "add8_sfll",
+		"8bit":         "_8bit",
+		"":             "circuit",
+		"a b/c":        "a_b_c",
+		"mul2-xorlock": "mul2_xorlock",
+	}
+	for in, want := range cases {
+		if got := sanitizeID(in); got != want {
+			t.Errorf("sanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAntiSATSurvivesManyWrongKeys(t *testing.T) {
+	// Statistical check of the low-corruption property across random wrong
+	// keys: corruption is at most 1 minterm each.
+	base, _ := NewAdder(2)
+	locked, key, err := LockAntiSAT(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		wrong := make([]bool, len(key))
+		for i := range wrong {
+			wrong[i] = rng.Intn(2) == 1
+		}
+		// Skip the correct-key class K1 == K2.
+		same := true
+		for i := 0; i < 4; i++ {
+			if wrong[i] != wrong[i+4] {
+				same = false
+			}
+		}
+		if same {
+			continue
+		}
+		corrupted := 0
+		for in := uint64(0); in < 16; in++ {
+			if evalUint(t, locked, in, wrong) != evalUint(t, base, in, nil) {
+				corrupted++
+			}
+		}
+		if corrupted > 1 {
+			t.Fatalf("wrong key corrupts %d minterms, want <= 1", corrupted)
+		}
+	}
+}

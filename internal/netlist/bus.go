@@ -1,0 +1,124 @@
+package netlist
+
+import "fmt"
+
+// Bus-level arithmetic builders: construct adders, subtractors,
+// absolute-difference units and multipliers over existing wire buses inside
+// a circuit. The datapath elaborator (internal/elaborate) uses these to turn
+// a bound DFG into one flat gate-level netlist; NewAdder/NewMultiplier wrap
+// them for standalone FUs.
+
+// checkBuses panics on mismatched operand widths — a programming error in
+// the caller.
+func checkBuses(a, b []int) {
+	if len(a) != len(b) || len(a) == 0 {
+		panic(fmt.Sprintf("netlist: operand buses %d/%d bits", len(a), len(b)))
+	}
+}
+
+// AddBus builds a ripple-carry adder over equal-width buses, returning the
+// modular sum bus (carry-out dropped).
+func AddBus(c *Circuit, a, b []int) []int {
+	checkBuses(a, b)
+	out := make([]int, len(a))
+	carry := -1
+	for i := range a {
+		axb := c.Xor(a[i], b[i])
+		if carry < 0 {
+			out[i] = axb
+			carry = c.And(a[i], b[i])
+		} else {
+			out[i] = c.Xor(axb, carry)
+			carry = c.Or(c.And(axb, carry), c.And(a[i], b[i]))
+		}
+	}
+	return out
+}
+
+// subBus builds a - b as a + ~b + 1, returning the difference bus and the
+// final carry (1 when a >= b, i.e. no borrow).
+func subBus(c *Circuit, a, b []int) (diff []int, noBorrow int) {
+	checkBuses(a, b)
+	diff = make([]int, len(a))
+	carry := c.AddConst(true) // +1 of the two's complement
+	for i := range a {
+		nb := c.Not(b[i])
+		axb := c.Xor(a[i], nb)
+		diff[i] = c.Xor(axb, carry)
+		carry = c.Or(c.And(axb, carry), c.And(a[i], nb))
+	}
+	return diff, carry
+}
+
+// SubBus builds the modular difference a - b.
+func SubBus(c *Circuit, a, b []int) []int {
+	diff, _ := subBus(c, a, b)
+	return diff
+}
+
+// AbsDiffBus builds |a - b|: both subtraction orders, selected by the borrow
+// of a - b.
+func AbsDiffBus(c *Circuit, a, b []int) []int {
+	ab, geq := subBus(c, a, b) // geq = (a >= b)
+	ba, _ := subBus(c, b, a)
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = c.Mux(geq, ba[i], ab[i])
+	}
+	return out
+}
+
+// MulBus builds an array multiplier over equal-width buses, returning the
+// low len(a) product bits (modular semantics).
+func MulBus(c *Circuit, a, b []int) []int {
+	checkBuses(a, b)
+	width := len(a)
+	acc := make([]int, width)
+	for i := range acc {
+		acc[i] = -1 // semantically zero
+	}
+	for j := 0; j < width; j++ {
+		carry := -1
+		for i := 0; i+j < width; i++ {
+			pp := c.And(a[i], b[j])
+			pos := i + j
+			sum, cout := pp, -1
+			if acc[pos] >= 0 {
+				x := c.Xor(sum, acc[pos])
+				cAnd := c.And(sum, acc[pos])
+				sum, cout = x, cAnd
+			}
+			if carry >= 0 {
+				x := c.Xor(sum, carry)
+				cAnd := c.And(sum, carry)
+				if cout >= 0 {
+					cout = c.Or(cout, cAnd)
+				} else {
+					cout = cAnd
+				}
+				sum = x
+			}
+			acc[pos] = sum
+			carry = cout
+		}
+	}
+	zero := -1
+	for i := 0; i < width; i++ {
+		if acc[i] < 0 {
+			if zero < 0 {
+				zero = c.AddConst(false)
+			}
+			acc[i] = zero
+		}
+	}
+	return acc
+}
+
+// ConstBus returns wires pinned to the low width bits of v.
+func ConstBus(c *Circuit, v uint64, width int) []int {
+	out := make([]int, width)
+	for i := range out {
+		out[i] = c.AddConst(v>>uint(i)&1 == 1)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// busTestCircuit builds a circuit computing all four bus operations over two
+// width-bit inputs, outputs concatenated.
+func busTestCircuit(width int) *Circuit {
+	c := New("bus")
+	a := make([]int, width)
+	b := make([]int, width)
+	for i := range a {
+		a[i] = c.AddInput()
+	}
+	for i := range b {
+		b[i] = c.AddInput()
+	}
+	for _, w := range AddBus(c, a, b) {
+		c.MarkOutput(w)
+	}
+	for _, w := range SubBus(c, a, b) {
+		c.MarkOutput(w)
+	}
+	for _, w := range AbsDiffBus(c, a, b) {
+		c.MarkOutput(w)
+	}
+	for _, w := range MulBus(c, a, b) {
+		c.MarkOutput(w)
+	}
+	return c
+}
+
+// TestBusOpsQuick cross-checks all four bus builders against integer
+// arithmetic across widths.
+func TestBusOpsQuick(t *testing.T) {
+	for _, width := range []int{1, 3, 8} {
+		c := busTestCircuit(width)
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(width) - 1
+		f := func(ra, rb uint16) bool {
+			a := uint64(ra) & mask
+			b := uint64(rb) & mask
+			in := append(Uint64ToBits(a, width), Uint64ToBits(b, width)...)
+			outs, err := c.Eval(in, nil)
+			if err != nil {
+				return false
+			}
+			get := func(i int) uint64 {
+				return BitsToUint64(outs[i*width : (i+1)*width])
+			}
+			absd := a - b
+			if b > a {
+				absd = b - a
+			}
+			return get(0) == (a+b)&mask &&
+				get(1) == (a-b)&mask &&
+				get(2) == absd&mask &&
+				get(3) == (a*b)&mask
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("width %d: %v", width, err)
+		}
+	}
+}
+
+func TestConstBus(t *testing.T) {
+	c := New("k")
+	// A dummy input keeps the circuit non-degenerate.
+	in := c.AddInput()
+	bus := ConstBus(c, 0b1011, 4)
+	for _, w := range bus {
+		c.MarkOutput(w)
+	}
+	c.MarkOutput(c.Buf(in))
+	outs, err := c.Eval([]bool{false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if BitsToUint64(outs[:4]) != 0b1011 {
+		t.Fatalf("ConstBus = %#b", BitsToUint64(outs[:4]))
+	}
+}
+
+func TestBusMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched buses must panic")
+		}
+	}()
+	c := New("bad")
+	a := []int{c.AddInput()}
+	b := []int{c.AddInput(), c.AddInput()}
+	AddBus(c, a, b)
+}

@@ -1,0 +1,87 @@
+package netlist
+
+import "fmt"
+
+// This file synthesises standalone FU circuits from the bus builders in
+// bus.go. Operand buses are LSB-first; arithmetic is modulo 2^width,
+// matching the dfg package's 8-bit FU semantics (the final carry is
+// dropped).
+
+// newBinaryFU creates a circuit with two width-bit operand buses and applies
+// build to them.
+func newBinaryFU(name string, width, maxWidth int, build func(c *Circuit, a, b []int) []int) (*Circuit, error) {
+	if width < 1 || width > maxWidth {
+		return nil, fmt.Errorf("netlist: %s width %d out of range [1, %d]", name, width, maxWidth)
+	}
+	c := New(fmt.Sprintf("%s%d", name, width))
+	a := make([]int, width)
+	b := make([]int, width)
+	for i := range a {
+		a[i] = c.AddInput()
+	}
+	for i := range b {
+		b[i] = c.AddInput()
+	}
+	for _, w := range build(c, a, b) {
+		c.MarkOutput(w)
+	}
+	return c, nil
+}
+
+// NewAdder builds a ripple-carry adder over two width-bit operands,
+// producing a width-bit sum. Inputs are a[0..w-1] then b[0..w-1].
+func NewAdder(width int) (*Circuit, error) {
+	return newBinaryFU("add", width, 32, AddBus)
+}
+
+// NewSubtractor builds a two's-complement subtractor (a - b mod 2^width).
+func NewSubtractor(width int) (*Circuit, error) {
+	return newBinaryFU("sub", width, 32, SubBus)
+}
+
+// NewAbsDiff builds an absolute-difference unit (|a - b|).
+func NewAbsDiff(width int) (*Circuit, error) {
+	return newBinaryFU("absdiff", width, 32, AbsDiffBus)
+}
+
+// NewMultiplier builds an array multiplier over two width-bit operands,
+// producing the low width bits of the product (modular semantics).
+func NewMultiplier(width int) (*Circuit, error) {
+	return newBinaryFU("mul", width, 16, MulBus)
+}
+
+// equalsKey builds a comparator asserting bus == the circuit's next
+// len(bus) key inputs, returning the match signal. Used by SFLL restore
+// units.
+func equalsKey(c *Circuit, bus []int) int {
+	match := -1
+	for _, bit := range bus {
+		k := c.AddKey()
+		eq := c.Xnor(bit, k)
+		if match < 0 {
+			match = eq
+		} else {
+			match = c.And(match, eq)
+		}
+	}
+	return match
+}
+
+// equalsConst builds a comparator asserting bus == the constant pattern.
+func equalsConst(c *Circuit, bus []int, pattern []bool) int {
+	match := -1
+	for i, bit := range bus {
+		var eq int
+		if pattern[i] {
+			eq = c.Buf(bit)
+		} else {
+			eq = c.Not(bit)
+		}
+		if match < 0 {
+			match = eq
+		} else {
+			match = c.And(match, eq)
+		}
+	}
+	return match
+}

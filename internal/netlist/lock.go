@@ -1,0 +1,204 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the gate-level locking constructions evaluated by the
+// SAT attack: random XOR/XNOR key-gate insertion (the classic baseline that
+// the SAT attack defeats quickly), SFLL-HD(0) critical-minterm locking (the
+// family the paper's binding algorithms assume), and a keyed routing network
+// (the Full-Lock-style exponential-runtime family of Sec. V-C).
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	nc := &Circuit{
+		Name:    c.Name,
+		Gates:   append([]Gate(nil), c.Gates...),
+		Inputs:  append([]int(nil), c.Inputs...),
+		Keys:    append([]int(nil), c.Keys...),
+		Outputs: append([]int(nil), c.Outputs...),
+	}
+	return nc
+}
+
+// LockXOR inserts nKeys random XOR/XNOR key gates after randomly chosen
+// logic gates (random logic locking / EPIC-style). It returns the locked
+// circuit and the correct key. The base circuit is not modified.
+func LockXOR(base *Circuit, nKeys int, seed int64) (*Circuit, []bool, error) {
+	if err := base.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var logicGates []int
+	for id, g := range base.Gates {
+		if g.Kind.arity() > 0 {
+			logicGates = append(logicGates, id)
+		}
+	}
+	if nKeys < 1 || nKeys > len(logicGates) {
+		return nil, nil, fmt.Errorf("netlist: cannot insert %d key gates into %d logic gates",
+			nKeys, len(logicGates))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(logicGates))
+	selected := map[int]bool{}
+	for _, i := range perm[:nKeys] {
+		selected[logicGates[i]] = true
+	}
+
+	lc := New(base.Name + "-xorlock")
+	remap := make([]int, len(base.Gates))
+	var key []bool
+	for id, g := range base.Gates {
+		ng := g
+		if g.Kind.arity() >= 1 {
+			ng.A = remap[g.A]
+		}
+		if g.Kind.arity() == 2 {
+			ng.B = remap[g.B]
+		}
+		switch g.Kind {
+		case GInput:
+			remap[id] = lc.AddInput()
+		case GKey:
+			return nil, nil, fmt.Errorf("netlist: base circuit already has key inputs")
+		default:
+			remap[id] = lc.add(ng)
+		}
+		if selected[id] {
+			k := lc.AddKey()
+			// XNOR polarity hides the correct key value: XOR wants 0,
+			// XNOR wants 1.
+			if rng.Intn(2) == 0 {
+				remap[id] = lc.Xor(remap[id], k)
+				key = append(key, false)
+			} else {
+				remap[id] = lc.Xnor(remap[id], k)
+				key = append(key, true)
+			}
+		}
+	}
+	for _, o := range base.Outputs {
+		lc.MarkOutput(remap[o])
+	}
+	return lc, key, nil
+}
+
+// LockSFLLHD0 applies SFLL-HD(0)-style critical-minterm locking protecting
+// the given input patterns (each over the full input bus, LSB-first packed
+// into a uint64). For each protected pattern s a perturb unit flips output
+// bit 0 when X == s and a restore unit flips it back when X == k_s; the
+// correct key is the concatenation of the protected patterns themselves.
+// Under any wrong key block k != s, the FU output is corrupted exactly at
+// X = s (the designer-chosen locked input, static across wrong keys) and at
+// X = k (the wrong-key-dependent cube).
+func LockSFLLHD0(base *Circuit, protected []uint64) (*Circuit, []bool, error) {
+	if err := base.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(base.Keys) != 0 {
+		return nil, nil, fmt.Errorf("netlist: base circuit already has key inputs")
+	}
+	if len(protected) == 0 {
+		return nil, nil, fmt.Errorf("netlist: no protected patterns")
+	}
+	seen := map[uint64]bool{}
+	for _, s := range protected {
+		if s >= 1<<uint(len(base.Inputs)) {
+			return nil, nil, fmt.Errorf("netlist: pattern %#x exceeds %d-bit input space", s, len(base.Inputs))
+		}
+		if seen[s] {
+			return nil, nil, fmt.Errorf("netlist: duplicate protected pattern %#x", s)
+		}
+		seen[s] = true
+	}
+
+	lc := base.Clone()
+	lc.Name = base.Name + "-sfll"
+	var key []bool
+	flip := -1
+	for _, s := range protected {
+		pattern := Uint64ToBits(s, len(lc.Inputs))
+		perturb := equalsConst(lc, lc.Inputs, pattern)
+		restore := equalsKey(lc, lc.Inputs)
+		pair := lc.Xor(perturb, restore)
+		if flip < 0 {
+			flip = pair
+		} else {
+			flip = lc.Xor(flip, pair)
+		}
+		key = append(key, pattern...)
+	}
+	lc.Outputs = append([]int(nil), lc.Outputs...)
+	lc.Outputs[0] = lc.Xor(base.Outputs[0], flip)
+	return lc, key, nil
+}
+
+// LockRouting prepends a keyed routing network (Full-Lock style [7]) over
+// the circuit's inputs: stages of key-controlled 2x2 swap switches in a
+// butterfly arrangement. The correct key is all zeros (every switch passes
+// straight through). The input count must be a power of two.
+func LockRouting(base *Circuit, seed int64) (*Circuit, []bool, error) {
+	if err := base.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(base.Keys) != 0 {
+		return nil, nil, fmt.Errorf("netlist: base circuit already has key inputs")
+	}
+	n := len(base.Inputs)
+	if n < 2 || n&(n-1) != 0 {
+		return nil, nil, fmt.Errorf("netlist: routing network needs power-of-two inputs, got %d", n)
+	}
+	lg := 0
+	for 1<<lg < n {
+		lg++
+	}
+
+	lc := New(base.Name + "-route")
+	wires := make([]int, n)
+	for i := range wires {
+		wires[i] = lc.AddInput()
+	}
+	var key []bool
+	stages := 2*lg - 1
+	for st := 0; st < stages; st++ {
+		stride := 1 << uint(st%lg)
+		next := append([]int(nil), wires...)
+		for i := 0; i < n; i++ {
+			if i&stride != 0 || i+stride >= n {
+				continue
+			}
+			k := lc.AddKey()
+			key = append(key, false)
+			lo, hi := wires[i], wires[i+stride]
+			next[i] = lc.Mux(k, lo, hi)
+			next[i+stride] = lc.Mux(k, hi, lo)
+		}
+		wires = next
+	}
+
+	// Copy the base logic, with original inputs replaced by network wires.
+	remap := make([]int, len(base.Gates))
+	in := 0
+	for id, g := range base.Gates {
+		if g.Kind == GInput {
+			remap[id] = wires[in]
+			in++
+			continue
+		}
+		ng := g
+		if g.Kind.arity() >= 1 {
+			ng.A = remap[g.A]
+		}
+		if g.Kind.arity() == 2 {
+			ng.B = remap[g.B]
+		}
+		remap[id] = lc.add(ng)
+	}
+	for _, o := range base.Outputs {
+		lc.MarkOutput(remap[o])
+	}
+	_ = seed // reserved: future randomized initial permutations
+	return lc, key, nil
+}

@@ -1,0 +1,274 @@
+// Package netlist provides gate-level combinational circuits: the substrate
+// on which logic locking is physically realised and SAT-attacked.
+//
+// The paper's architectural algorithms reason about locked FUs abstractly;
+// validating their SAT-resilience claims (Eqn. 1, Sec. II-A) requires real
+// locked netlists and a real SAT attack. This package synthesises the FU
+// datapaths (ripple-carry adders, array multipliers), inserts locking
+// structures (XOR key gates, SFLL-HD functionality stripping and restore,
+// keyed routing networks), and evaluates circuits for use as attack oracles.
+package netlist
+
+import (
+	"fmt"
+)
+
+// GateKind enumerates gate types. Input and Key are sources; all others
+// combine fan-ins.
+type GateKind uint8
+
+// Gate kinds.
+const (
+	GInput GateKind = iota // primary input
+	GKey                   // key input
+	GConst                 // constant (value in Arg)
+	GNot                   // 1 fan-in
+	GBuf                   // 1 fan-in
+	GAnd
+	GOr
+	GXor
+	GNand
+	GNor
+	GXnor
+)
+
+var gateNames = [...]string{
+	GInput: "input", GKey: "key", GConst: "const", GNot: "not", GBuf: "buf",
+	GAnd: "and", GOr: "or", GXor: "xor", GNand: "nand", GNor: "nor", GXnor: "xnor",
+}
+
+func (k GateKind) String() string {
+	if int(k) < len(gateNames) {
+		return gateNames[k]
+	}
+	return fmt.Sprintf("gate(%d)", uint8(k))
+}
+
+// arity returns the fan-in count of a gate kind.
+func (k GateKind) arity() int {
+	switch k {
+	case GInput, GKey, GConst:
+		return 0
+	case GNot, GBuf:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Gate is one node of the circuit. Fan-ins reference earlier gates
+// (topological order is an invariant maintained by the builder).
+type Gate struct {
+	Kind GateKind
+	A, B int  // fan-ins; -1 when unused
+	Arg  bool // constant value for GConst
+}
+
+// Circuit is a combinational netlist with designated primary inputs, key
+// inputs and outputs.
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int // gate ids, in bus order
+	Keys    []int
+	Outputs []int
+}
+
+// New returns an empty circuit.
+func New(name string) *Circuit { return &Circuit{Name: name} }
+
+func (c *Circuit) add(g Gate) int {
+	n := g.Kind.arity()
+	if n >= 1 {
+		c.mustRef(g.A)
+	} else {
+		g.A = -1
+	}
+	if n == 2 {
+		c.mustRef(g.B)
+	} else {
+		g.B = -1
+	}
+	c.Gates = append(c.Gates, g)
+	return len(c.Gates) - 1
+}
+
+func (c *Circuit) mustRef(id int) {
+	if id < 0 || id >= len(c.Gates) {
+		panic(fmt.Sprintf("netlist: fan-in %d out of range (have %d gates)", id, len(c.Gates)))
+	}
+}
+
+// AddInput appends a primary input and returns its gate id.
+func (c *Circuit) AddInput() int {
+	id := c.add(Gate{Kind: GInput})
+	c.Inputs = append(c.Inputs, id)
+	return id
+}
+
+// AddKey appends a key input and returns its gate id.
+func (c *Circuit) AddKey() int {
+	id := c.add(Gate{Kind: GKey})
+	c.Keys = append(c.Keys, id)
+	return id
+}
+
+// AddConst appends a constant gate.
+func (c *Circuit) AddConst(v bool) int { return c.add(Gate{Kind: GConst, Arg: v}) }
+
+// Not appends an inverter on a.
+func (c *Circuit) Not(a int) int { return c.add(Gate{Kind: GNot, A: a}) }
+
+// Buf appends a buffer on a.
+func (c *Circuit) Buf(a int) int { return c.add(Gate{Kind: GBuf, A: a}) }
+
+// And appends an AND gate.
+func (c *Circuit) And(a, b int) int { return c.add(Gate{Kind: GAnd, A: a, B: b}) }
+
+// Or appends an OR gate.
+func (c *Circuit) Or(a, b int) int { return c.add(Gate{Kind: GOr, A: a, B: b}) }
+
+// Xor appends an XOR gate.
+func (c *Circuit) Xor(a, b int) int { return c.add(Gate{Kind: GXor, A: a, B: b}) }
+
+// Nand appends a NAND gate.
+func (c *Circuit) Nand(a, b int) int { return c.add(Gate{Kind: GNand, A: a, B: b}) }
+
+// Nor appends a NOR gate.
+func (c *Circuit) Nor(a, b int) int { return c.add(Gate{Kind: GNor, A: a, B: b}) }
+
+// Xnor appends an XNOR gate.
+func (c *Circuit) Xnor(a, b int) int { return c.add(Gate{Kind: GXnor, A: a, B: b}) }
+
+// Mux appends sel ? hi : lo as three gates.
+func (c *Circuit) Mux(sel, lo, hi int) int {
+	notSel := c.Not(sel)
+	return c.Or(c.And(sel, hi), c.And(notSel, lo))
+}
+
+// MarkOutput designates gate id as the next primary output.
+func (c *Circuit) MarkOutput(id int) {
+	c.mustRef(id)
+	c.Outputs = append(c.Outputs, id)
+}
+
+// NumGates returns the total gate count (including sources).
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// LogicGates returns the count of combinational gates (excluding sources),
+// the "area" figure used in overhead reporting.
+func (c *Circuit) LogicGates() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind.arity() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Eval computes the outputs for the given input and key assignments.
+func (c *Circuit) Eval(inputs, keys []bool) ([]bool, error) {
+	if len(inputs) != len(c.Inputs) {
+		return nil, fmt.Errorf("netlist %s: got %d inputs, want %d", c.Name, len(inputs), len(c.Inputs))
+	}
+	if len(keys) != len(c.Keys) {
+		return nil, fmt.Errorf("netlist %s: got %d key bits, want %d", c.Name, len(keys), len(c.Keys))
+	}
+	vals := make([]bool, len(c.Gates))
+	in, key := 0, 0
+	for id, g := range c.Gates {
+		switch g.Kind {
+		case GInput:
+			vals[id] = inputs[in]
+			in++
+		case GKey:
+			vals[id] = keys[key]
+			key++
+		case GConst:
+			vals[id] = g.Arg
+		case GNot:
+			vals[id] = !vals[g.A]
+		case GBuf:
+			vals[id] = vals[g.A]
+		case GAnd:
+			vals[id] = vals[g.A] && vals[g.B]
+		case GOr:
+			vals[id] = vals[g.A] || vals[g.B]
+		case GXor:
+			vals[id] = vals[g.A] != vals[g.B]
+		case GNand:
+			vals[id] = !(vals[g.A] && vals[g.B])
+		case GNor:
+			vals[id] = !(vals[g.A] || vals[g.B])
+		case GXnor:
+			vals[id] = vals[g.A] == vals[g.B]
+		default:
+			return nil, fmt.Errorf("netlist %s: unknown gate kind %v", c.Name, g.Kind)
+		}
+	}
+	outs := make([]bool, len(c.Outputs))
+	for i, id := range c.Outputs {
+		outs[i] = vals[id]
+	}
+	return outs, nil
+}
+
+// Validate checks structural invariants: topological fan-in order, source
+// bookkeeping consistency, and output references.
+func (c *Circuit) Validate() error {
+	in, key := 0, 0
+	for id, g := range c.Gates {
+		n := g.Kind.arity()
+		if n >= 1 && (g.A < 0 || g.A >= id) {
+			return fmt.Errorf("netlist %s: gate %d fan-in A=%d not topological", c.Name, id, g.A)
+		}
+		if n == 2 && (g.B < 0 || g.B >= id) {
+			return fmt.Errorf("netlist %s: gate %d fan-in B=%d not topological", c.Name, id, g.B)
+		}
+		switch g.Kind {
+		case GInput:
+			if in >= len(c.Inputs) || c.Inputs[in] != id {
+				return fmt.Errorf("netlist %s: input bookkeeping broken at gate %d", c.Name, id)
+			}
+			in++
+		case GKey:
+			if key >= len(c.Keys) || c.Keys[key] != id {
+				return fmt.Errorf("netlist %s: key bookkeeping broken at gate %d", c.Name, id)
+			}
+			key++
+		}
+	}
+	if in != len(c.Inputs) || key != len(c.Keys) {
+		return fmt.Errorf("netlist %s: source bookkeeping counts wrong", c.Name)
+	}
+	if len(c.Outputs) == 0 {
+		return fmt.Errorf("netlist %s: no outputs", c.Name)
+	}
+	for _, o := range c.Outputs {
+		if o < 0 || o >= len(c.Gates) {
+			return fmt.Errorf("netlist %s: output %d out of range", c.Name, o)
+		}
+	}
+	return nil
+}
+
+// Uint64ToBits expands the low n bits of v, LSB first.
+func Uint64ToBits(v uint64, n int) []bool {
+	bits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		bits[i] = v>>uint(i)&1 == 1
+	}
+	return bits
+}
+
+// BitsToUint64 packs bits (LSB first) into an integer.
+func BitsToUint64(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

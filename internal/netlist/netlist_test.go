@@ -1,0 +1,339 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalUint(t *testing.T, c *Circuit, in uint64, keys []bool) uint64 {
+	t.Helper()
+	outs, err := c.Eval(Uint64ToBits(in, len(c.Inputs)), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BitsToUint64(outs)
+}
+
+func TestAdderCorrectQuick(t *testing.T) {
+	for _, width := range []int{1, 4, 8} {
+		add, err := NewAdder(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := add.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(width) - 1
+		f := func(a, b uint64) bool {
+			a &= mask
+			b &= mask
+			in := a | b<<uint(width)
+			return evalUint(t, add, in, nil) == (a+b)&mask
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("width %d: %v", width, err)
+		}
+	}
+}
+
+func TestMultiplierCorrectQuick(t *testing.T) {
+	for _, width := range []int{2, 4, 8} {
+		mul, err := NewMultiplier(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mul.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(width) - 1
+		f := func(a, b uint64) bool {
+			a &= mask
+			b &= mask
+			in := a | b<<uint(width)
+			return evalUint(t, mul, in, nil) == (a*b)&mask
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("width %d: %v", width, err)
+		}
+	}
+}
+
+func TestBuilderRanges(t *testing.T) {
+	if _, err := NewAdder(0); err == nil {
+		t.Error("width 0 must error")
+	}
+	if _, err := NewAdder(64); err == nil {
+		t.Error("width 64 must error")
+	}
+	if _, err := NewMultiplier(0); err == nil {
+		t.Error("width 0 must error")
+	}
+	if _, err := NewMultiplier(20); err == nil {
+		t.Error("width 20 must error")
+	}
+}
+
+func TestBitsRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		return BitsToUint64(Uint64ToBits(v&0xFFFF, 16)) == v&0xFFFF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalArityErrors(t *testing.T) {
+	add, _ := NewAdder(4)
+	if _, err := add.Eval(make([]bool, 3), nil); err == nil {
+		t.Error("wrong input arity must error")
+	}
+	if _, err := add.Eval(make([]bool, 8), make([]bool, 1)); err == nil {
+		t.Error("wrong key arity must error")
+	}
+}
+
+func TestMuxAndGatePrimitives(t *testing.T) {
+	c := New("prims")
+	a := c.AddInput()
+	b := c.AddInput()
+	s := c.AddInput()
+	c.MarkOutput(c.Mux(s, a, b))
+	c.MarkOutput(c.Nand(a, b))
+	c.MarkOutput(c.Nor(a, b))
+	c.MarkOutput(c.Xnor(a, b))
+	c.MarkOutput(c.Buf(a))
+	c.MarkOutput(c.AddConst(true))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		a, b, s bool
+		want    [6]bool
+	}{
+		{false, true, false, [6]bool{false, true, false, false, false, true}},
+		{false, true, true, [6]bool{true, true, false, false, false, true}},
+		{true, true, false, [6]bool{true, false, false, true, true, true}},
+		{false, false, true, [6]bool{false, true, true, true, false, true}},
+	} {
+		outs, err := c.Eval([]bool{tc.a, tc.b, tc.s}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range tc.want {
+			if outs[i] != want {
+				t.Errorf("a=%v b=%v s=%v: out[%d] = %v, want %v", tc.a, tc.b, tc.s, i, outs[i], want)
+			}
+		}
+	}
+}
+
+func TestLockXORTransparentUnderCorrectKey(t *testing.T) {
+	base, _ := NewAdder(4)
+	locked, key, err := LockXOR(base, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := locked.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(locked.Keys) != 6 || len(key) != 6 {
+		t.Fatalf("keys = %d/%d, want 6", len(locked.Keys), len(key))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		in := rng.Uint64() & 0xFF
+		if evalUint(t, locked, in, key) != evalUint(t, base, in, nil) {
+			t.Fatalf("correct key not transparent at input %#x", in)
+		}
+	}
+	// A wrong key must corrupt something.
+	wrong := append([]bool(nil), key...)
+	wrong[0] = !wrong[0]
+	diff := false
+	for i := 0; i < 256; i++ {
+		if evalUint(t, locked, uint64(i), wrong) != evalUint(t, base, uint64(i), nil) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("flipped key bit caused no corruption anywhere")
+	}
+}
+
+func TestLockXORErrors(t *testing.T) {
+	base, _ := NewAdder(2)
+	if _, _, err := LockXOR(base, 0, 1); err == nil {
+		t.Error("zero keys must error")
+	}
+	if _, _, err := LockXOR(base, 10000, 1); err == nil {
+		t.Error("more keys than gates must error")
+	}
+	locked, _, _ := LockXOR(base, 2, 1)
+	if _, _, err := LockXOR(locked, 2, 1); err == nil {
+		t.Error("double locking must error")
+	}
+}
+
+func TestLockSFLLHD0Semantics(t *testing.T) {
+	base, _ := NewAdder(3) // 6-bit input space: exhaustively checkable
+	secret := uint64(0b101011)
+	locked, key, err := LockSFLLHD0(base, []uint64{secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := locked.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != 6 {
+		t.Fatalf("key length = %d, want 6", len(key))
+	}
+	if BitsToUint64(key) != secret {
+		t.Fatalf("correct key = %#x, want the protected pattern %#x", BitsToUint64(key), secret)
+	}
+	// Correct key: transparent on the whole input space.
+	for in := uint64(0); in < 64; in++ {
+		if evalUint(t, locked, in, key) != evalUint(t, base, in, nil) {
+			t.Fatalf("correct key corrupts input %#x", in)
+		}
+	}
+	// Wrong key w: corrupted exactly at {secret, w} on output bit 0.
+	for w := uint64(0); w < 64; w++ {
+		if w == secret {
+			continue
+		}
+		wk := Uint64ToBits(w, 6)
+		for in := uint64(0); in < 64; in++ {
+			got := evalUint(t, locked, in, wk)
+			want := evalUint(t, base, in, nil)
+			corrupted := in == secret || in == w
+			if corrupted && got == want {
+				t.Fatalf("wrong key %#x fails to corrupt input %#x", w, in)
+			}
+			if !corrupted && got != want {
+				t.Fatalf("wrong key %#x corrupts unprotected input %#x", w, in)
+			}
+			if corrupted && got^want != 1 {
+				t.Fatalf("corruption mask = %#x, want bit 0 only", got^want)
+			}
+		}
+	}
+}
+
+func TestLockSFLLHD0MultipleMinterms(t *testing.T) {
+	base, _ := NewAdder(2)
+	protected := []uint64{0b0011, 0b1100}
+	locked, key, err := LockSFLLHD0(base, protected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != 8 { // two 4-bit blocks
+		t.Fatalf("key length = %d, want 8", len(key))
+	}
+	for in := uint64(0); in < 16; in++ {
+		if evalUint(t, locked, in, key) != evalUint(t, base, in, nil) {
+			t.Fatalf("correct key corrupts input %#x", in)
+		}
+	}
+	// A wrong key in the first block corrupts protected[0] (static locked
+	// input) regardless of the chosen wrong value.
+	for w := uint64(0); w < 16; w++ {
+		if w == protected[0] {
+			continue
+		}
+		wk := append(Uint64ToBits(w, 4), Uint64ToBits(protected[1], 4)...)
+		got := evalUint(t, locked, protected[0], wk)
+		want := evalUint(t, base, protected[0], nil)
+		if got == want {
+			t.Fatalf("wrong key %#x does not corrupt the protected minterm", w)
+		}
+	}
+}
+
+func TestLockSFLLHD0Errors(t *testing.T) {
+	base, _ := NewAdder(2)
+	if _, _, err := LockSFLLHD0(base, nil); err == nil {
+		t.Error("no patterns must error")
+	}
+	if _, _, err := LockSFLLHD0(base, []uint64{1 << 10}); err == nil {
+		t.Error("pattern outside input space must error")
+	}
+	if _, _, err := LockSFLLHD0(base, []uint64{3, 3}); err == nil {
+		t.Error("duplicate pattern must error")
+	}
+	locked, _, _ := LockSFLLHD0(base, []uint64{1})
+	if _, _, err := LockSFLLHD0(locked, []uint64{2}); err == nil {
+		t.Error("double locking must error")
+	}
+}
+
+func TestLockRoutingIdentityUnderZeroKey(t *testing.T) {
+	base, _ := NewAdder(4) // 8 inputs: power of two
+	locked, key, err := LockRouting(base, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := locked.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(key) == 0 {
+		t.Fatal("routing lock added no key bits")
+	}
+	for _, k := range key {
+		if k {
+			t.Fatal("correct routing key must be all-zero (identity)")
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		in := rng.Uint64() & 0xFF
+		if evalUint(t, locked, in, key) != evalUint(t, base, in, nil) {
+			t.Fatalf("identity key not transparent at %#x", in)
+		}
+	}
+	// Some single-bit wrong key must corrupt at least one input.
+	wrong := append([]bool(nil), key...)
+	wrong[0] = true
+	diff := false
+	for in := uint64(0); in < 256; in++ {
+		if evalUint(t, locked, in, wrong) != evalUint(t, base, in, nil) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("swapped switch caused no corruption")
+	}
+}
+
+func TestLockRoutingErrors(t *testing.T) {
+	base, _ := NewAdder(3) // 6 inputs: not a power of two
+	if _, _, err := LockRouting(base, 1); err == nil {
+		t.Error("non-power-of-two input count must error")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	add, _ := NewAdder(2)
+	add.Outputs[0] = 999
+	if err := add.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v, want out of range", err)
+	}
+	add2, _ := NewAdder(2)
+	add2.Inputs = add2.Inputs[:1]
+	if err := add2.Validate(); err == nil {
+		t.Error("broken input bookkeeping must error")
+	}
+}
+
+func TestLogicGatesCount(t *testing.T) {
+	add, _ := NewAdder(8)
+	if add.LogicGates() >= add.NumGates() {
+		t.Error("logic gates must exclude sources")
+	}
+	if add.NumGates()-add.LogicGates() != 16 {
+		t.Errorf("source count = %d, want 16", add.NumGates()-add.LogicGates())
+	}
+}

@@ -1,0 +1,177 @@
+package netlist
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements SFLL-HD(h) for general h: the FU output is perturbed
+// for every input at Hamming distance exactly h from a hard-coded stripped
+// pattern, and restored for inputs at distance h from the key. The correct
+// key is the stripped pattern itself. Per wrong key, C(n, h) input minterms
+// are corrupted, so h directly sets ε in Eqn. 1 at a fixed key length —
+// this is the knob behind the paper's error-rate/SAT-resilience trade-off.
+
+// addBus builds a ripple adder over two little-endian wire buses of possibly
+// different lengths, returning the (max+1)-bit sum bus.
+func addBus(c *Circuit, a, b []int) []int {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int, 0, n+1)
+	carry := -1
+	for i := 0; i < n; i++ {
+		var x, y = -1, -1
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		sum, cout := -1, -1
+		switch {
+		case x >= 0 && y >= 0:
+			sum = c.Xor(x, y)
+			cout = c.And(x, y)
+		case x >= 0:
+			sum = x
+		case y >= 0:
+			sum = y
+		}
+		if carry >= 0 {
+			if sum >= 0 {
+				s2 := c.Xor(sum, carry)
+				c2 := c.And(sum, carry)
+				if cout >= 0 {
+					cout = c.Or(cout, c2)
+				} else {
+					cout = c2
+				}
+				sum = s2
+			} else {
+				sum = carry
+			}
+			carry = -1
+		}
+		if sum < 0 {
+			sum = c.AddConst(false)
+		}
+		out = append(out, sum)
+		carry = cout
+	}
+	if carry >= 0 {
+		out = append(out, carry)
+	} else {
+		out = append(out, c.AddConst(false))
+	}
+	return out
+}
+
+// popCount builds a population-count circuit over the wires, returning a
+// little-endian result bus.
+func popCount(c *Circuit, wires []int) []int {
+	if len(wires) == 0 {
+		return []int{c.AddConst(false)}
+	}
+	buses := make([][]int, len(wires))
+	for i, w := range wires {
+		buses[i] = []int{w}
+	}
+	for len(buses) > 1 {
+		var next [][]int
+		for i := 0; i+1 < len(buses); i += 2 {
+			next = append(next, addBus(c, buses[i], buses[i+1]))
+		}
+		if len(buses)%2 == 1 {
+			next = append(next, buses[len(buses)-1])
+		}
+		buses = next
+	}
+	return buses[0]
+}
+
+// busEqualsConst asserts a wire bus equals a constant, returning the match
+// wire.
+func busEqualsConst(c *Circuit, bus []int, v uint64) int {
+	match := -1
+	for i, w := range bus {
+		var eq int
+		if v>>uint(i)&1 == 1 {
+			eq = c.Buf(w)
+		} else {
+			eq = c.Not(w)
+		}
+		if match < 0 {
+			match = eq
+		} else {
+			match = c.And(match, eq)
+		}
+	}
+	return match
+}
+
+// hdEquals builds HD(inputs, ref) == h where ref is either a constant
+// pattern (key == nil) or fresh key inputs appended to the circuit.
+func hdEquals(c *Circuit, inputs []int, pattern []bool, useKey bool, h int) int {
+	diffs := make([]int, len(inputs))
+	for i, in := range inputs {
+		if useKey {
+			k := c.AddKey()
+			diffs[i] = c.Xor(in, k)
+		} else if pattern[i] {
+			diffs[i] = c.Not(in)
+		} else {
+			diffs[i] = c.Buf(in)
+		}
+	}
+	return busEqualsConst(c, popCount(c, diffs), uint64(h))
+}
+
+// LockSFLLHD applies SFLL-HD(h) locking protecting the inputs at Hamming
+// distance h from the stripped pattern. The correct key is the pattern
+// itself; each wrong key corrupts C(n, h) protected minterms plus its own
+// distance-h ball, giving ε = C(n, h)/2^n in Eqn. 1. h = 0 reduces to
+// LockSFLLHD0 with a single protected pattern.
+func LockSFLLHD(base *Circuit, stripped uint64, h int) (*Circuit, []bool, error) {
+	if err := base.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(base.Keys) != 0 {
+		return nil, nil, fmt.Errorf("netlist: base circuit already has key inputs")
+	}
+	n := len(base.Inputs)
+	if h < 0 || h > n {
+		return nil, nil, fmt.Errorf("netlist: hamming distance %d outside [0, %d]", h, n)
+	}
+	if stripped >= 1<<uint(n) {
+		return nil, nil, fmt.Errorf("netlist: pattern %#x exceeds %d-bit input space", stripped, n)
+	}
+	lc := base.Clone()
+	lc.Name = fmt.Sprintf("%s-sfllhd%d", base.Name, h)
+	pattern := Uint64ToBits(stripped, n)
+	perturb := hdEquals(lc, lc.Inputs, pattern, false, h)
+	restore := hdEquals(lc, lc.Inputs, nil, true, h)
+	flip := lc.Xor(perturb, restore)
+	lc.Outputs = append([]int(nil), lc.Outputs...)
+	lc.Outputs[0] = lc.Xor(base.Outputs[0], flip)
+	return lc, pattern, nil
+}
+
+// ProtectedCount returns C(n, h): the number of minterms a wrong key
+// corrupts under SFLL-HD(h) on an n-bit input space (the ε numerator).
+func ProtectedCount(n, h int) int {
+	if h < 0 || h > n {
+		return 0
+	}
+	// The binomial stays small at our widths; compute it directly.
+	num, den := 1, 1
+	for i := 0; i < h; i++ {
+		num *= n - i
+		den *= i + 1
+	}
+	return num / den
+}
+
+// HammingDistance counts differing bits of two patterns.
+func HammingDistance(a, b uint64) int { return bits.OnesCount64(a ^ b) }

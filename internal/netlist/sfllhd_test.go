@@ -1,0 +1,117 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPopCountCircuitQuick(t *testing.T) {
+	// Build a standalone popcount circuit over 7 inputs and compare with
+	// the software count.
+	c := New("pc")
+	wires := make([]int, 7)
+	for i := range wires {
+		wires[i] = c.AddInput()
+	}
+	for _, w := range popCount(c, wires) {
+		c.MarkOutput(w)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint8) bool {
+		v := uint64(raw) & 0x7F
+		outs, err := c.Eval(Uint64ToBits(v, 7), nil)
+		if err != nil {
+			return false
+		}
+		return BitsToUint64(outs) == uint64(HammingDistance(v, 0))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 128}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtectedCount(t *testing.T) {
+	cases := []struct{ n, h, want int }{
+		{6, 0, 1}, {6, 1, 6}, {6, 2, 15}, {6, 3, 20}, {6, 6, 1},
+		{8, 2, 28}, {6, 7, 0}, {6, -1, 0},
+	}
+	for _, tc := range cases {
+		if got := ProtectedCount(tc.n, tc.h); got != tc.want {
+			t.Errorf("ProtectedCount(%d, %d) = %d, want %d", tc.n, tc.h, got, tc.want)
+		}
+	}
+}
+
+func TestLockSFLLHDSemantics(t *testing.T) {
+	base, _ := NewAdder(3)
+	secret := uint64(0b110010)
+	for _, h := range []int{0, 1, 2} {
+		locked, key, err := LockSFLLHD(base, secret, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := locked.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if BitsToUint64(key) != secret {
+			t.Fatalf("h=%d: correct key %#x, want %#x", h, BitsToUint64(key), secret)
+		}
+		// Correct key: transparent everywhere.
+		for in := uint64(0); in < 64; in++ {
+			if evalUint(t, locked, in, key) != evalUint(t, base, in, nil) {
+				t.Fatalf("h=%d: correct key corrupts input %#x", h, in)
+			}
+		}
+		// A wrong key corrupts exactly the symmetric difference of the
+		// distance-h balls around secret and the wrong value.
+		wrong := secret ^ 0b000111 // distance 3 away
+		wk := Uint64ToBits(wrong, 6)
+		for in := uint64(0); in < 64; in++ {
+			inSecretBall := HammingDistance(in, secret) == h
+			inWrongBall := HammingDistance(in, wrong) == h
+			want := inSecretBall != inWrongBall
+			got := evalUint(t, locked, in, wk) != evalUint(t, base, in, nil)
+			if got != want {
+				t.Fatalf("h=%d input %#x: corrupted=%v, want %v", h, in, got, want)
+			}
+		}
+	}
+}
+
+func TestLockSFLLHDErrors(t *testing.T) {
+	base, _ := NewAdder(2)
+	if _, _, err := LockSFLLHD(base, 0, -1); err == nil {
+		t.Error("negative h must error")
+	}
+	if _, _, err := LockSFLLHD(base, 0, 5); err == nil {
+		t.Error("h beyond input width must error")
+	}
+	if _, _, err := LockSFLLHD(base, 1<<10, 1); err == nil {
+		t.Error("pattern outside space must error")
+	}
+	locked, _, _ := LockSFLLHD(base, 1, 1)
+	if _, _, err := LockSFLLHD(locked, 1, 1); err == nil {
+		t.Error("double locking must error")
+	}
+}
+
+func TestAddBusWidths(t *testing.T) {
+	// Cross-check bus adder on asymmetric widths.
+	c := New("ab")
+	a := []int{c.AddInput(), c.AddInput(), c.AddInput()} // 3 bits
+	b := []int{c.AddInput()}                             // 1 bit
+	for _, w := range addBus(c, a, b) {
+		c.MarkOutput(w)
+	}
+	for av := uint64(0); av < 8; av++ {
+		for bv := uint64(0); bv < 2; bv++ {
+			in := av | bv<<3
+			got := evalUint(t, c, in, nil)
+			if got != av+bv {
+				t.Fatalf("addBus(%d, %d) = %d", av, bv, got)
+			}
+		}
+	}
+}

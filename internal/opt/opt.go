@@ -1,0 +1,242 @@
+// Package opt implements the standard DFG optimisation passes an HLS
+// front end runs before scheduling: constant folding, common-subexpression
+// elimination and dead-code elimination.
+//
+// The passes operate on unscheduled graphs (they change the operation set,
+// invalidating any schedule) and preserve I/O behaviour exactly — the test
+// suite checks equivalence by simulation on every benchmark. Fewer
+// operations mean fewer binding slots, which interacts with the paper's
+// security flow: eliminating redundant operations concentrates the remaining
+// workload minterms on fewer candidates, a mild amplifier for
+// obfuscation-aware binding.
+package opt
+
+import (
+	"fmt"
+
+	"bindlock/internal/dfg"
+)
+
+// Result summarises what a pass pipeline removed.
+type Result struct {
+	FoldedConsts int
+	CSEMerged    int
+	DeadRemoved  int
+	Simplified   int // algebraic identities applied (x*1, x+0, ...)
+}
+
+// Optimize runs constant folding, CSE and DCE to a fixed point and returns
+// the optimised graph (the input is not modified) with pass statistics.
+func Optimize(g *dfg.Graph) (*dfg.Graph, Result, error) {
+	if err := g.Validate(false); err != nil {
+		return nil, Result{}, err
+	}
+	var res Result
+	cur := g
+	for {
+		next, stats, changed := rewrite(cur)
+		res.FoldedConsts += stats.FoldedConsts
+		res.CSEMerged += stats.CSEMerged
+		res.DeadRemoved += stats.DeadRemoved
+		res.Simplified += stats.Simplified
+		cur = next
+		if !changed {
+			break
+		}
+	}
+	if err := cur.Validate(false); err != nil {
+		return nil, Result{}, fmt.Errorf("opt: produced invalid graph: %w", err)
+	}
+	return cur, res, nil
+}
+
+// exprKey canonically identifies a computation for CSE.
+type exprKey struct {
+	kind dfg.Kind
+	a, b dfg.OpID
+}
+
+func keyOf(k dfg.Kind, a, b dfg.OpID) exprKey {
+	if k.Commutative() && b < a {
+		a, b = b, a
+	}
+	return exprKey{kind: k, a: a, b: b}
+}
+
+// simplify applies single-constant algebraic identities. It returns the
+// replacement representative (dfg.None meaning "the constant zero") and
+// whether an identity applied.
+func simplify(k dfg.Kind, a, b dfg.OpID, va uint8, aOK bool, vb uint8, bOK bool,
+	seenConst map[uint8]dfg.OpID) (dfg.OpID, bool) {
+	switch k {
+	case dfg.Add:
+		if aOK && va == 0 {
+			return b, true
+		}
+		if bOK && vb == 0 {
+			return a, true
+		}
+	case dfg.Sub:
+		// x-0 = x; 0-x does not simplify.
+		if bOK && vb == 0 {
+			return a, true
+		}
+	case dfg.AbsDiff:
+		// |x-0| = |0-x| = x (values are unsigned).
+		if bOK && vb == 0 {
+			return a, true
+		}
+		if aOK && va == 0 {
+			return b, true
+		}
+	case dfg.Mul:
+		if aOK && va == 1 {
+			return b, true
+		}
+		if bOK && vb == 1 {
+			return a, true
+		}
+		if (aOK && va == 0) || (bOK && vb == 0) {
+			return dfg.None, true
+		}
+	}
+	return dfg.None, false
+}
+
+// rewrite performs one folding+CSE+DCE sweep, rebuilding the graph.
+func rewrite(g *dfg.Graph) (*dfg.Graph, Result, bool) {
+	var res Result
+
+	// Pass 1 (forward): value numbering with folding and CSE. remap maps
+	// old op IDs to the representative old ID whose computation survives.
+	remap := make([]dfg.OpID, len(g.Ops))
+	constVal := map[dfg.OpID]uint8{} // old const-producing op -> value
+	isConst := make([]bool, len(g.Ops))
+	seenExpr := map[exprKey]dfg.OpID{}
+	seenConst := map[uint8]dfg.OpID{}
+
+	for _, op := range g.Ops {
+		switch op.Kind {
+		case dfg.Input, dfg.Output:
+			remap[op.ID] = op.ID
+		case dfg.Const:
+			if rep, ok := seenConst[op.Val]; ok {
+				remap[op.ID] = rep
+				res.CSEMerged++
+			} else {
+				seenConst[op.Val] = op.ID
+				remap[op.ID] = op.ID
+			}
+			constVal[remap[op.ID]] = op.Val
+			isConst[op.ID] = true
+		default:
+			a := remap[op.Args[0]]
+			b := remap[op.Args[1]]
+			// Constant folding: both operands constant.
+			va, aOK := constVal[a]
+			vb, bOK := constVal[b]
+			if aOK && bOK {
+				v := dfg.EvalKind(op.Kind, va, vb)
+				if rep, ok := seenConst[v]; ok {
+					remap[op.ID] = rep
+				} else {
+					// Introduce a virtual constant: reuse this op's slot
+					// as a const marker; materialised in pass 2.
+					seenConst[v] = op.ID
+					remap[op.ID] = op.ID
+				}
+				constVal[remap[op.ID]] = v
+				isConst[op.ID] = true
+				res.FoldedConsts++
+				continue
+			}
+			// Algebraic identities with one constant operand. All hold in
+			// modulo-256 arithmetic: x+0 = x-0 = |x-0| = x*1 = x; x*0 = 0.
+			if rep, ok := simplify(op.Kind, a, b, va, aOK, vb, bOK, seenConst); ok {
+				if rep == dfg.None {
+					// x*0: introduce/reuse the zero constant.
+					if z, have := seenConst[0]; have {
+						rep = z
+					} else {
+						seenConst[0] = op.ID
+						rep = op.ID
+					}
+					constVal[rep] = 0
+					isConst[op.ID] = rep == op.ID
+				}
+				remap[op.ID] = rep
+				res.Simplified++
+				continue
+			}
+			key := keyOf(op.Kind, a, b)
+			if rep, ok := seenExpr[key]; ok {
+				remap[op.ID] = rep
+				res.CSEMerged++
+			} else {
+				seenExpr[key] = op.ID
+				remap[op.ID] = op.ID
+			}
+		}
+	}
+
+	// Pass 2 (backward): liveness from outputs. Primary inputs are always
+	// kept — optimisation must not change the kernel's I/O signature.
+	live := make([]bool, len(g.Ops))
+	for i := len(g.Ops) - 1; i >= 0; i-- {
+		op := g.Ops[i]
+		if op.Kind == dfg.Input {
+			live[i] = true
+			continue
+		}
+		if op.Kind == dfg.Output {
+			live[i] = true
+			live[remap[op.Args[0]]] = true
+			continue
+		}
+		if !live[i] || remap[op.ID] != op.ID {
+			continue
+		}
+		if op.Kind.IsBinary() && !isConst[op.ID] {
+			live[remap[op.Args[0]]] = true
+			live[remap[op.Args[1]]] = true
+		}
+	}
+
+	// Pass 3 (forward): rebuild.
+	ng := dfg.New(g.Name)
+	newID := make([]dfg.OpID, len(g.Ops))
+	for i := range newID {
+		newID[i] = dfg.None
+	}
+	changed := false
+	for _, op := range g.Ops {
+		rep := remap[op.ID]
+		if op.Kind != dfg.Output && (rep != op.ID || !live[op.ID]) {
+			changed = true
+			if !live[op.ID] && rep == op.ID && op.Kind.IsBinary() && !isConst[op.ID] {
+				res.DeadRemoved++
+			}
+			continue
+		}
+		switch {
+		case op.Kind == dfg.Input:
+			newID[op.ID] = ng.AddInput(op.Name)
+		case op.Kind == dfg.Output:
+			ng.AddOutput(op.Name, newID[remap[op.Args[0]]])
+		case isConst[op.ID]:
+			if !live[op.ID] {
+				changed = true
+				continue
+			}
+			newID[op.ID] = ng.AddConst(constVal[rep])
+			if op.Kind != dfg.Const {
+				changed = true // a folded expression became a constant
+			}
+		default:
+			a := newID[remap[op.Args[0]]]
+			b := newID[remap[op.Args[1]]]
+			newID[op.ID] = ng.AddBinary(op.Kind, a, b)
+		}
+	}
+	return ng, res, changed
+}

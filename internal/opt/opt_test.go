@@ -1,0 +1,266 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/frontend"
+	"bindlock/internal/mediabench"
+	"bindlock/internal/sim"
+	"bindlock/internal/trace"
+)
+
+// equivalent checks the two graphs compute identical outputs over a trace.
+func equivalent(t *testing.T, g1, g2 *dfg.Graph, tr *trace.Trace) {
+	t.Helper()
+	r1, err := sim.Run(g1, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(g2, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := g1.Outputs()
+	o2 := g2.Outputs()
+	if len(o1) != len(o2) {
+		t.Fatalf("output counts differ: %d vs %d", len(o1), len(o2))
+	}
+	for s := range tr.Samples {
+		for i := range o1 {
+			if g1.Ops[o1[i]].Name != g2.Ops[o2[i]].Name {
+				t.Fatalf("output order changed: %q vs %q", g1.Ops[o1[i]].Name, g2.Ops[o2[i]].Name)
+			}
+			if r1.Vals[s][o1[i]] != r2.Vals[s][o2[i]] {
+				t.Fatalf("sample %d output %q: %d vs %d",
+					s, g1.Ops[o1[i]].Name, r1.Vals[s][o1[i]], r2.Vals[s][o2[i]])
+			}
+		}
+	}
+}
+
+func inputsOf(g *dfg.Graph) []string {
+	var names []string
+	for _, id := range g.Inputs() {
+		names = append(names, g.Ops[id].Name)
+	}
+	return names
+}
+
+func TestCSEMergesDuplicates(t *testing.T) {
+	g, err := frontend.Compile(`
+kernel c;
+input a, b;
+output y, z;
+t0 = a + b;
+t1 = b + a;
+y = t0 * 3;
+z = t1 * 3;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, res, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a+b and b+a merge (commutative); then t0*3 and t1*3 merge.
+	if res.CSEMerged < 2 {
+		t.Errorf("CSEMerged = %d, want >= 2", res.CSEMerged)
+	}
+	st := og.Stat()
+	if st.Adds != 1 || st.Muls != 1 {
+		t.Errorf("optimised stats = %+v, want 1 add 1 mul", st)
+	}
+	tr := trace.Generate(trace.Uniform, inputsOf(g), 128, 1)
+	equivalent(t, g, og, tr)
+}
+
+func TestConstantFolding(t *testing.T) {
+	g, err := frontend.Compile(`
+kernel f;
+input a;
+output y;
+k = 3 * 5;
+m = k + 7;
+y = a + m;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, res, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FoldedConsts < 2 {
+		t.Errorf("FoldedConsts = %d, want >= 2 (3*5 and k+7)", res.FoldedConsts)
+	}
+	if st := og.Stat(); st.Adds != 1 || st.Muls != 0 {
+		t.Errorf("optimised stats = %+v, want a single add", st)
+	}
+	tr := trace.Generate(trace.Uniform, inputsOf(g), 64, 2)
+	equivalent(t, g, og, tr)
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	g := dfg.New("dead")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	used := g.AddBinary(dfg.Add, a, b)
+	g.AddBinary(dfg.Mul, a, b) // dead
+	dead2 := g.AddBinary(dfg.Sub, a, b)
+	g.AddBinary(dfg.Add, dead2, a) // dead chain
+	g.AddOutput("y", used)
+	og, res, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadRemoved < 3 {
+		t.Errorf("DeadRemoved = %d, want >= 3", res.DeadRemoved)
+	}
+	if st := og.Stat(); st.Adds != 1 || st.Muls != 0 {
+		t.Errorf("optimised stats = %+v", st)
+	}
+	// I/O signature preserved, including inputs that became unused.
+	if len(og.Inputs()) != 2 {
+		t.Errorf("inputs = %d, want 2", len(og.Inputs()))
+	}
+}
+
+func TestOptimizePreservesAllBenchmarks(t *testing.T) {
+	// The strongest equivalence check: every MediaBench kernel optimised
+	// and simulated against the original over its own workload.
+	for _, b := range mediabench.All() {
+		g, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		og, res, err := Optimize(g)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		tr := b.Workload(g, 200, 7)
+		equivalent(t, g, og, tr)
+		before := g.Stat()
+		after := og.Stat()
+		if after.Adds > before.Adds || after.Muls > before.Muls {
+			t.Errorf("%s: optimisation grew the graph: %+v -> %+v", b.Name, before, after)
+		}
+		t.Logf("%s: %d+%d ops -> %d+%d (folded %d, merged %d, dead %d)",
+			b.Name, before.Adds, before.Muls, after.Adds, after.Muls,
+			res.FoldedConsts, res.CSEMerged, res.DeadRemoved)
+	}
+}
+
+// Property: optimisation is idempotent — a second run changes nothing.
+func TestOptimizeIdempotentQuick(t *testing.T) {
+	benches := mediabench.All()
+	f := func(idx uint8) bool {
+		b := benches[int(idx)%len(benches)]
+		g, err := b.Compile()
+		if err != nil {
+			return false
+		}
+		o1, _, err := Optimize(g)
+		if err != nil {
+			return false
+		}
+		o2, res2, err := Optimize(o1)
+		if err != nil {
+			return false
+		}
+		return len(o2.Ops) == len(o1.Ops) &&
+			res2.FoldedConsts == 0 && res2.CSEMerged == 0 && res2.DeadRemoved == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 22}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeRejectsInvalid(t *testing.T) {
+	g := dfg.New("bad")
+	g.AddInput("a")
+	g.AddInput("a") // duplicate name: invalid
+	if _, _, err := Optimize(g); err == nil {
+		t.Fatal("invalid graph must be rejected")
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	g, err := frontend.Compile(`
+kernel alg;
+input a, b;
+output p, q, r, s, u;
+p = a * 1;
+q = a + 0;
+r = a - 0;
+s = absdiff(a, 0) + b * 0;
+u = 0 + b;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, res, err := Optimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Simplified < 5 {
+		t.Errorf("Simplified = %d, want >= 5", res.Simplified)
+	}
+	// Everything reduces to wires and one dead-free add (s = a + 0 = a).
+	if st := og.Stat(); st.Adds != 0 || st.Muls != 0 {
+		t.Errorf("optimised stats = %+v, want no FU ops at all", st)
+	}
+	tr := trace.Generate(trace.Uniform, inputsOf(g), 128, 3)
+	equivalent(t, g, og, tr)
+}
+
+// Property: optimisation preserves behaviour on randomly generated graphs
+// with constant-heavy structure.
+func TestOptimizeEquivalenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := randNew(seed)
+		g := dfg.New("q")
+		a := g.AddInput("a")
+		b := g.AddInput("b")
+		avail := []dfg.OpID{a, b, g.AddConst(0), g.AddConst(1), g.AddConst(uint8(r.Intn(256)))}
+		kinds := []dfg.Kind{dfg.Add, dfg.Sub, dfg.Mul, dfg.AbsDiff}
+		var last dfg.OpID
+		for i := 0; i < 3+r.Intn(25); i++ {
+			x := avail[r.Intn(len(avail))]
+			y := avail[r.Intn(len(avail))]
+			last = g.AddBinary(kinds[r.Intn(len(kinds))], x, y)
+			avail = append(avail, last)
+		}
+		g.AddOutput("y", last)
+		og, _, err := Optimize(g)
+		if err != nil {
+			return false
+		}
+		tr := trace.Generate(trace.Uniform, []string{"a", "b"}, 64, seed)
+		r1, err := sim.Run(g, tr)
+		if err != nil {
+			return false
+		}
+		r2, err := sim.Run(og, tr)
+		if err != nil {
+			return false
+		}
+		out1 := g.Outputs()[0]
+		out2 := og.Outputs()[0]
+		for s := range tr.Samples {
+			if r1.Vals[s][out1] != r2.Vals[s][out2] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randNew seeds a local PRNG for the property tests.
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,148 @@
+package rtl
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/sim"
+)
+
+// Commutative operations leave the binder one more degree of freedom: which
+// operand drives which FU port. Orienting operands to track the previous
+// operation's values reduces input toggling — a standard refinement in
+// low-power binding flows (Chang & Pedram [19] exploit the same freedom for
+// register assignment). This file implements the greedy orientation pass and
+// an orientation-aware datapath measurement.
+
+// Orientation records, per operation, whether its operands are swapped onto
+// the FU ports (Args[1] on port a, Args[0] on port b). Missing ops are
+// unswapped.
+type Orientation map[dfg.OpID]bool
+
+// orientedPair returns the operand pair of op in sample s under the
+// orientation.
+func orientedPair(res *sim.Result, g *dfg.Graph, orient Orientation, op dfg.OpID, s int) dfg.Minterm {
+	m := res.OperandAB[s][op]
+	if orient[op] {
+		return dfg.MkMinterm(m.B(), m.A())
+	}
+	return m
+}
+
+// OptimizePorts chooses operand orientations for the commutative operations
+// of one bound class, greedily minimising expected FU input toggling in
+// schedule order. Non-commutative operations keep their semantic order.
+func OptimizePorts(g *dfg.Graph, b *binding.Binding, res *sim.Result) (Orientation, error) {
+	if err := b.Validate(g); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("rtl: OptimizePorts needs the simulation result")
+	}
+	orient := Orientation{}
+	samples := len(res.OperandAB)
+	for fu := 0; fu < b.NumFUs; fu++ {
+		ops := b.OpsOnFU(fu)
+		sort.Slice(ops, func(i, j int) bool { return g.Ops[ops[i]].Cycle < g.Ops[ops[j]].Cycle })
+		prev := dfg.None
+		for _, op := range ops {
+			if prev == dfg.None || !g.Ops[op].Kind.Commutative() {
+				prev = op
+				continue
+			}
+			straight, swapped := 0, 0
+			for s := 0; s < samples; s++ {
+				pm := orientedPair(res, g, orient, prev, s)
+				cur := res.OperandAB[s][op]
+				straight += bits.OnesCount32(uint32(pm ^ cur))
+				swappedPair := dfg.MkMinterm(cur.B(), cur.A())
+				swapped += bits.OnesCount32(uint32(pm ^ swappedPair))
+			}
+			if swapped < straight {
+				orient[op] = true
+			}
+			prev = op
+		}
+	}
+	return orient, nil
+}
+
+// MeasureOriented computes datapath metrics like Measure, with operand
+// orientations applied: switching uses the oriented operand streams, and the
+// port register/mux model assigns each op's operands to ports per its
+// orientation.
+func MeasureOriented(g *dfg.Graph, bindings map[dfg.Class]*binding.Binding,
+	res *sim.Result, orients map[dfg.Class]Orientation) (Metrics, error) {
+	var m Metrics
+	totalToggles := 0
+	totalTransitions := 0
+	for class, b := range bindings {
+		if b == nil {
+			continue
+		}
+		if err := b.Validate(g); err != nil {
+			return Metrics{}, fmt.Errorf("rtl: %v binding invalid: %w", class, err)
+		}
+		orient := orients[class]
+		for fu := 0; fu < b.NumFUs; fu++ {
+			ops := opsByCycle(g, b, fu)
+			regs, muxes := portCostsOriented(g, b, fu, ops, orient)
+			m.Registers += regs
+			m.MuxInputs += muxes
+			if res != nil {
+				tg, tr := switchingOriented(res, g, ops, orient)
+				totalToggles += tg
+				totalTransitions += tr
+			}
+		}
+	}
+	if totalTransitions > 0 && res != nil {
+		samples := len(res.OperandAB)
+		m.SwitchingRate = float64(totalToggles) / float64(totalTransitions*samples*16)
+	}
+	return m, nil
+}
+
+// portCostsOriented mirrors portCosts with per-op operand orientation.
+func portCostsOriented(g *dfg.Graph, b *binding.Binding, fu int, ops []dfg.OpID, orient Orientation) (regs, muxInputs int) {
+	for port := 0; port < 2; port++ {
+		lastRead := map[dfg.OpID]int{}
+		for _, opID := range ops {
+			arg := port
+			if orient[opID] {
+				arg = 1 - port
+			}
+			v := g.Ops[opID].Args[arg]
+			if chained(g, b, fu, v, opID) {
+				continue
+			}
+			if g.Ops[opID].Cycle > lastRead[v] {
+				lastRead[v] = g.Ops[opID].Cycle
+			}
+		}
+		if len(lastRead) == 0 {
+			continue
+		}
+		regs += maxOverlap(g, lastRead)
+		if len(lastRead) > 1 {
+			muxInputs += len(lastRead)
+		}
+	}
+	return regs, muxInputs
+}
+
+// switchingOriented mirrors switching with orientation applied.
+func switchingOriented(res *sim.Result, g *dfg.Graph, ops []dfg.OpID, orient Orientation) (toggles, transitions int) {
+	for i := 1; i < len(ops); i++ {
+		for s := range res.OperandAB {
+			prev := orientedPair(res, g, orient, ops[i-1], s)
+			cur := orientedPair(res, g, orient, ops[i], s)
+			toggles += bits.OnesCount32(uint32(prev ^ cur))
+		}
+		transitions++
+	}
+	return toggles, transitions
+}

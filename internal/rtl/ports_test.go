@@ -1,0 +1,147 @@
+package rtl
+
+import (
+	"testing"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/mediabench"
+	"bindlock/internal/sim"
+	"bindlock/internal/trace"
+)
+
+func TestOptimizePortsReducesSwitching(t *testing.T) {
+	// On every benchmark, orientation must never increase the switching
+	// rate relative to the unoriented measurement.
+	for _, name := range []string{"fir", "dct", "motion2", "noisest2"} {
+		b, err := mediabench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Prepare(3, 200, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bindings := map[dfg.Class]*binding.Binding{}
+		orients := map[dfg.Class]Orientation{}
+		for _, class := range []dfg.Class{dfg.ClassAdd, dfg.ClassMul} {
+			if !p.HasClass(class) {
+				continue
+			}
+			bd, err := (binding.PowerAware{}).Bind(&binding.Problem{
+				G: p.G, Class: class, NumFUs: 3, K: p.Res.K, Res: p.Res,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bindings[class] = bd
+			o, err := OptimizePorts(p.G, bd, p.Res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orients[class] = o
+		}
+		plain, err := Measure(p.G, bindings, p.Res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oriented, err := MeasureOriented(p.G, bindings, p.Res, orients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oriented.SwitchingRate > plain.SwitchingRate+1e-9 {
+			t.Errorf("%s: oriented switching %.4f > plain %.4f",
+				name, oriented.SwitchingRate, plain.SwitchingRate)
+		}
+	}
+}
+
+func TestOptimizePortsOnlySwapsCommutative(t *testing.T) {
+	g := dfg.New("mix")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	s1 := g.AddBinary(dfg.Sub, a, b)
+	s2 := g.AddBinary(dfg.Sub, b, a)
+	g.AddOutput("y", s1)
+	g.AddOutput("z", s2)
+	g.Ops[s1].Cycle = 1
+	g.Ops[s2].Cycle = 2
+	bd := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{s1: 0, s2: 0}}
+
+	tr := trace.Generate(trace.Uniform, []string{"a", "b"}, 64, 1)
+	res, err := simRun(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orient, err := OptimizePorts(g, bd, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subtractions are order-sensitive: nothing may be swapped even though
+	// swapping would zero the toggling here.
+	if len(orient) != 0 {
+		t.Fatalf("non-commutative ops swapped: %v", orient)
+	}
+}
+
+func TestOptimizePortsIdenticalStreams(t *testing.T) {
+	// y0 = a + b; y1 = b + a on one FU: orientation must align them for
+	// zero switching.
+	g := dfg.New("swap")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	s1 := g.AddBinary(dfg.Add, a, b)
+	s2 := g.AddBinary(dfg.Add, b, a)
+	g.AddOutput("y", s1)
+	g.AddOutput("z", s2)
+	g.Ops[s1].Cycle = 1
+	g.Ops[s2].Cycle = 2
+	bd := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{s1: 0, s2: 0}}
+
+	tr := trace.Generate(trace.Uniform, []string{"a", "b"}, 64, 2)
+	res, err := simRun(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orient, err := OptimizePorts(g, bd, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MeasureOriented(g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: bd}, res,
+		map[dfg.Class]Orientation{dfg.ClassAdd: orient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SwitchingRate != 0 {
+		t.Fatalf("oriented switching = %v, want 0 (identical streams)", m.SwitchingRate)
+	}
+	if !orient[s2] {
+		t.Fatal("s2 must be swapped to align with s1")
+	}
+}
+
+func TestOptimizePortsValidation(t *testing.T) {
+	g := dfg.New("v")
+	a := g.AddInput("a")
+	s1 := g.AddBinary(dfg.Add, a, a)
+	g.AddOutput("y", s1)
+	g.Ops[s1].Cycle = 1
+	bd := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{s1: 0}}
+	if _, err := OptimizePorts(g, bd, nil); err == nil {
+		t.Fatal("nil result must error")
+	}
+	bad := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{}}
+	tr := trace.Generate(trace.Uniform, []string{"a"}, 4, 1)
+	res, err := simRun(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OptimizePorts(g, bad, res); err == nil {
+		t.Fatal("invalid binding must error")
+	}
+}
+
+// simRun wraps sim.Run for the tests in this file.
+func simRun(g *dfg.Graph, tr *trace.Trace) (*sim.Result, error) {
+	return sim.Run(g, tr)
+}

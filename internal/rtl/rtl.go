@@ -1,0 +1,172 @@
+// Package rtl models the post-binding datapath well enough to measure the
+// design-overhead quantities of the paper's Fig. 6: register count,
+// mux/interconnect size, and FU-input switching rate.
+//
+// Datapath model. Each FU has two input ports backed by port-local register
+// files. A value consumed at a port must be held in that port's register
+// file from the cycle after it is produced until its last read at that port;
+// the port's register count is the maximum number of simultaneously live
+// values (left-edge/interval colouring, which is optimal for intervals). A
+// value produced on the same FU and consumed in the very next cycle can be
+// taken from the FU's output register and needs no port register — this is
+// the sharing that area-aware binding [20] exploits. Each port that receives
+// more than one distinct source needs a multiplexer with one input per
+// source.
+//
+// Switching. FU input toggling is measured from the same typical trace used
+// for binding: for each FU and each consecutive pair of operations bound to
+// it, the Hamming distance between their operand pairs, averaged over the
+// trace and normalised to the 16 input bits — the switching objective of
+// power-aware binding [19].
+package rtl
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/sim"
+)
+
+// Metrics summarises one bound datapath.
+type Metrics struct {
+	// Registers is the total port-register count over all FUs.
+	Registers int
+	// MuxInputs is the total number of multiplexer data inputs over all FU
+	// ports (a port fed by a single source needs none).
+	MuxInputs int
+	// SwitchingRate is the mean fraction of FU input bits toggling per
+	// FU activation, in [0, 1].
+	SwitchingRate float64
+}
+
+// Measure computes datapath metrics for a design whose classes have been
+// bound by the given bindings. Classes absent from the map are ignored (an
+// unbound class would have no datapath yet). The simulation result supplies
+// the operand streams for switching estimation.
+func Measure(g *dfg.Graph, bindings map[dfg.Class]*binding.Binding, res *sim.Result) (Metrics, error) {
+	var m Metrics
+	totalToggles := 0
+	totalTransitions := 0
+	for class, b := range bindings {
+		if b == nil {
+			continue
+		}
+		if err := b.Validate(g); err != nil {
+			return Metrics{}, fmt.Errorf("rtl: %v binding invalid: %w", class, err)
+		}
+		for fu := 0; fu < b.NumFUs; fu++ {
+			ops := opsByCycle(g, b, fu)
+			regs, muxes := portCosts(g, b, fu, ops)
+			m.Registers += regs
+			m.MuxInputs += muxes
+			if res != nil {
+				tg, tr := switching(res, ops)
+				totalToggles += tg
+				totalTransitions += tr
+			}
+		}
+	}
+	if totalTransitions > 0 && res != nil {
+		samples := len(res.OperandAB)
+		m.SwitchingRate = float64(totalToggles) / float64(totalTransitions*samples*16)
+	}
+	return m, nil
+}
+
+// opsByCycle returns the ops bound to fu in schedule order.
+func opsByCycle(g *dfg.Graph, b *binding.Binding, fu int) []dfg.OpID {
+	ops := b.OpsOnFU(fu)
+	sort.Slice(ops, func(i, j int) bool { return g.Ops[ops[i]].Cycle < g.Ops[ops[j]].Cycle })
+	return ops
+}
+
+// portCosts computes the register and mux-input cost of FU fu's two ports.
+func portCosts(g *dfg.Graph, b *binding.Binding, fu int, ops []dfg.OpID) (regs, muxInputs int) {
+	for port := 0; port < 2; port++ {
+		// lastRead[v] is the last cycle this port reads value v;
+		// intervals are (produce, lastRead].
+		lastRead := map[dfg.OpID]int{}
+		for _, opID := range ops {
+			v := g.Ops[opID].Args[port]
+			if chained(g, b, fu, v, opID) {
+				continue // taken from the FU's own output register
+			}
+			if g.Ops[opID].Cycle > lastRead[v] {
+				lastRead[v] = g.Ops[opID].Cycle
+			}
+		}
+		if len(lastRead) == 0 {
+			continue
+		}
+		regs += maxOverlap(g, lastRead)
+		if len(lastRead) > 1 {
+			muxInputs += len(lastRead)
+		}
+	}
+	return regs, muxInputs
+}
+
+// maxOverlap returns the maximum number of simultaneously live values given
+// their last-read cycles — the minimum register count of the port (left-edge
+// on intervals).
+func maxOverlap(g *dfg.Graph, lastRead map[dfg.OpID]int) int {
+	type event struct {
+		at    int
+		delta int
+	}
+	evs := make([]event, 0, 2*len(lastRead))
+	for v, end := range lastRead {
+		evs = append(evs, event{produceCycle(g, v) + 1, +1}, event{end + 1, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta // releases before acquires at the same cycle
+	})
+	maxLive, live := 0, 0
+	for _, e := range evs {
+		live += e.delta
+		if live > maxLive {
+			maxLive = live
+		}
+	}
+	return maxLive
+}
+
+// chained reports whether value v can be consumed from FU fu's output
+// register by consumer: v was produced on fu in the immediately preceding
+// cycle.
+func chained(g *dfg.Graph, b *binding.Binding, fu int, v dfg.OpID, consumer dfg.OpID) bool {
+	prod := g.Ops[v]
+	if !prod.Kind.IsBinary() || dfg.ClassOf(prod.Kind) != b.Class {
+		return false
+	}
+	return b.FUOf(v) == fu && prod.Cycle == g.Ops[consumer].Cycle-1
+}
+
+// produceCycle returns the cycle a value becomes available (0 for inputs and
+// constants).
+func produceCycle(g *dfg.Graph, v dfg.OpID) int {
+	if g.Ops[v].Kind.IsBinary() {
+		return g.Ops[v].Cycle
+	}
+	return 0
+}
+
+// switching returns total toggled bits and the number of op transitions for
+// the ops executing on one FU.
+func switching(res *sim.Result, ops []dfg.OpID) (toggles, transitions int) {
+	for i := 1; i < len(ops); i++ {
+		for s := range res.OperandAB {
+			prev := res.OperandAB[s][ops[i-1]]
+			cur := res.OperandAB[s][ops[i]]
+			toggles += bits.OnesCount32(uint32(prev ^ cur))
+		}
+		transitions++
+	}
+	return toggles, transitions
+}

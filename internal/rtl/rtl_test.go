@@ -1,0 +1,233 @@
+package rtl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/frontend"
+	"bindlock/internal/sched"
+	"bindlock/internal/sim"
+	"bindlock/internal/trace"
+)
+
+// prep compiles, schedules and simulates a kernel.
+func prep(t *testing.T, src string, fus int, gen trace.Generator, seed int64) (*dfg.Graph, *sim.Result) {
+	t.Helper()
+	g, err := frontend.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := sched.Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: fus, dfg.ClassMul: fus}}
+	if _, err := sched.PathBased(g, cons); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, id := range g.Inputs() {
+		names = append(names, g.Ops[id].Name)
+	}
+	res, err := sim.Run(g, trace.Generate(gen, names, 128, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+const chainSrc = `
+kernel ch;
+input a, b;
+output y;
+t0 = a + b;
+t1 = t0 + b;
+t2 = t1 + a;
+y = t2;
+`
+
+func TestSingleFUChainMetrics(t *testing.T) {
+	g, res := prep(t, chainSrc, 1, trace.Uniform, 1)
+	b := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{}}
+	for _, id := range g.OpsOfClass(dfg.ClassAdd) {
+		b.Assign[id] = 0
+	}
+	m, err := Measure(g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: b}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chained values (t0 into t1, t1 into t2) ride the output register and
+	// bypass the ports. Port 0 then holds only 'a' (read by t0 at cycle 1):
+	// 1 register, no mux. Port 1 holds 'b' (read cycles 1-2) and 'a' (read
+	// cycle 3), whose lifetimes overlap: 2 registers, a 2-input mux.
+	if m.Registers != 3 {
+		t.Errorf("Registers = %d, want 3", m.Registers)
+	}
+	if m.MuxInputs != 2 {
+		t.Errorf("MuxInputs = %d, want 2", m.MuxInputs)
+	}
+	if m.SwitchingRate < 0 || m.SwitchingRate > 1 {
+		t.Errorf("SwitchingRate = %v outside [0,1]", m.SwitchingRate)
+	}
+}
+
+func TestChainingReducesRegisters(t *testing.T) {
+	// Two independent chains on two FUs: binding each chain to its own FU
+	// (chaining) must cost no more than interleaving them across FUs.
+	src := `
+kernel two;
+input a, b, c, d;
+output y, z;
+t0 = a + b;
+t1 = c + d;
+u0 = t0 + a;
+u1 = t1 + c;
+y = u0;
+z = u1;
+`
+	g, res := prep(t, src, 2, trace.ImageBlocks, 2)
+	adds := g.OpsOfClass(dfg.ClassAdd)
+	chained := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		adds[0]: 0, adds[1]: 1, adds[2]: 0, adds[3]: 1,
+	}}
+	crossed := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		adds[0]: 0, adds[1]: 1, adds[2]: 1, adds[3]: 0,
+	}}
+	mc, err := Measure(g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: chained}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := Measure(g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: crossed}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Registers > mx.Registers {
+		t.Errorf("chained registers %d > crossed %d", mc.Registers, mx.Registers)
+	}
+}
+
+func TestMuxCounting(t *testing.T) {
+	// One FU executing two ops with different port-0 sources in
+	// non-adjacent cycles needs a 2-input mux on port 0.
+	src := `
+kernel mx;
+input a, b, c;
+output y, z;
+t0 = a + b;
+t1 = c + b;
+y = t0;
+z = t1;
+`
+	g, res := prep(t, src, 1, trace.Uniform, 3)
+	adds := g.OpsOfClass(dfg.ClassAdd)
+	b := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{
+		adds[0]: 0, adds[1]: 0,
+	}}
+	m, err := Measure(g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: b}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Port 0 sees {a, c} (mux with 2 inputs); port 1 sees {b} only.
+	if m.MuxInputs != 2 {
+		t.Errorf("MuxInputs = %d, want 2", m.MuxInputs)
+	}
+	// Registers: port 0 holds a and c; overlapping lifetimes from cycle 1
+	// start; a read at cycle 1, c read at cycle 2 -> a:(1,1], c:(1,2] ->
+	// max live 2. Port 1: b read at cycles 1,2 -> one register.
+	if m.Registers != 3 {
+		t.Errorf("Registers = %d, want 3", m.Registers)
+	}
+}
+
+func TestInvalidBindingRejected(t *testing.T) {
+	g, res := prep(t, chainSrc, 1, trace.Uniform, 1)
+	bad := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{}}
+	if _, err := Measure(g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: bad}, res); err == nil {
+		t.Fatal("incomplete binding must be rejected")
+	}
+}
+
+func TestNilBindingSkipped(t *testing.T) {
+	g, res := prep(t, chainSrc, 1, trace.Uniform, 1)
+	m, err := Measure(g, map[dfg.Class]*binding.Binding{dfg.ClassMul: nil}, res)
+	if err != nil || m.Registers != 0 {
+		t.Fatalf("m=%+v err=%v", m, err)
+	}
+}
+
+func TestSwitchingRateOrdering(t *testing.T) {
+	// A binding that alternates unrelated value streams on one FU must
+	// switch at least as much as one that groups identical streams.
+	src := `
+kernel sw;
+input a, b, c, d;
+output y, z;
+t0 = a + b;
+t1 = c + d;
+u0 = t0 + b;
+u1 = t1 + d;
+y = u0;
+z = u1;
+`
+	g, res := prep(t, src, 2, trace.Audio, 5)
+	adds := g.OpsOfClass(dfg.ClassAdd)
+	grouped := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		adds[0]: 0, adds[1]: 1, adds[2]: 0, adds[3]: 1,
+	}}
+	mixed := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 2, Assign: map[dfg.OpID]int{
+		adds[0]: 0, adds[1]: 1, adds[2]: 1, adds[3]: 0,
+	}}
+	mg, err := Measure(g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: grouped}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := Measure(g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: mixed}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.SwitchingRate > mm.SwitchingRate+1e-9 {
+		t.Errorf("grouped switching %.4f > mixed %.4f", mg.SwitchingRate, mm.SwitchingRate)
+	}
+}
+
+// Property: metrics are non-negative, switching is in [0,1], and measuring
+// the same binding twice is deterministic.
+func TestMetricsWellFormedQuick(t *testing.T) {
+	g, err := frontend.Compile(`
+kernel q;
+input a, b, c;
+output y;
+t0 = a + b;
+t1 = b + c;
+t2 = t0 + t1;
+t3 = t2 + a;
+y = t3;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.PathBased(g, sched.Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		tr := trace.Generate(trace.ImageBlocks, []string{"a", "b", "c"}, 32, seed)
+		res, err := sim.Run(g, tr)
+		if err != nil {
+			return false
+		}
+		b, err := binding.Random{Seed: seed}.Bind(&binding.Problem{
+			G: g, Class: dfg.ClassAdd, NumFUs: 2,
+		})
+		if err != nil {
+			return false
+		}
+		m1, err1 := Measure(g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: b}, res)
+		m2, err2 := Measure(g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: b}, res)
+		if err1 != nil || err2 != nil || m1 != m2 {
+			return false
+		}
+		return m1.Registers > 0 && m1.MuxInputs >= 0 &&
+			m1.SwitchingRate >= 0 && m1.SwitchingRate <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/mediabench"
+)
+
+func bindAll(t *testing.T, p *mediabench.Prepared) map[dfg.Class]*binding.Binding {
+	t.Helper()
+	out := map[dfg.Class]*binding.Binding{}
+	for _, class := range []dfg.Class{dfg.ClassAdd, dfg.ClassMul} {
+		if !p.HasClass(class) {
+			continue
+		}
+		b, err := (binding.AreaAware{}).Bind(&binding.Problem{
+			G: p.G, Class: class, NumFUs: p.NumFUs, K: p.Res.K, Res: p.Res,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[class] = b
+	}
+	return out
+}
+
+func TestWriteVerilogBenchmark(t *testing.T) {
+	b, err := mediabench.ByName("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Prepare(3, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := bindAll(t, p)
+
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, p.G, bindings); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+
+	for _, want := range []string{
+		"module fir",
+		"input  wire clk",
+		"input  wire [7:0] in_x0",
+		"output wire [7:0] out_y",
+		"output wire done",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+	// Every FU operation must have a result register and a latch.
+	for _, op := range p.G.Ops {
+		if op.Kind.IsBinary() {
+			if !strings.Contains(v, "reg [7:0] v"+itoa(int(op.ID))) {
+				t.Errorf("op %d has no result register", op.ID)
+			}
+		}
+	}
+	// Shared units for both classes.
+	if !strings.Contains(v, "fu_alu0_y") || !strings.Contains(v, "fu_mul0_y") {
+		t.Error("shared FU wires missing")
+	}
+	// The multiplier datapath.
+	if !strings.Contains(v, "fu_mul0_a * fu_mul0_b") {
+		t.Error("multiplier expression missing")
+	}
+}
+
+// itoa avoids strconv for single- and double-digit op IDs in tests.
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}
+
+func TestWriteVerilogALUModes(t *testing.T) {
+	// A design mixing add/sub/absdiff on one FU must emit a mode mux.
+	g := dfg.New("modes")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	s1 := g.AddBinary(dfg.Add, a, b)
+	s2 := g.AddBinary(dfg.Sub, s1, b)
+	s3 := g.AddBinary(dfg.AbsDiff, s2, a)
+	g.AddOutput("y", s3)
+	g.Ops[s1].Cycle = 1
+	g.Ops[s2].Cycle = 2
+	g.Ops[s3].Cycle = 3
+	bd := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{
+		s1: 0, s2: 0, s3: 0,
+	}}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: bd}); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "fu_alu0_a + fu_alu0_b") {
+		t.Error("add mode missing")
+	}
+	if !strings.Contains(v, "fu_alu0_a - fu_alu0_b") {
+		t.Error("sub mode missing")
+	}
+	if !strings.Contains(v, "(fu_alu0_a > fu_alu0_b)") {
+		t.Error("absdiff mode missing")
+	}
+}
+
+func TestWriteVerilogValidation(t *testing.T) {
+	b, _ := mediabench.ByName("dct")
+	p, err := b.Prepare(3, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing binding for a present class.
+	var sb strings.Builder
+	err = WriteVerilog(&sb, p.G, map[dfg.Class]*binding.Binding{})
+	if err == nil || !strings.Contains(err.Error(), "no binding") {
+		t.Fatalf("err = %v, want missing binding", err)
+	}
+	// Wrong class key.
+	bindings := bindAll(t, p)
+	bad := map[dfg.Class]*binding.Binding{
+		dfg.ClassAdd: bindings[dfg.ClassMul],
+		dfg.ClassMul: bindings[dfg.ClassMul],
+	}
+	if err := WriteVerilog(&sb, p.G, bad); err == nil {
+		t.Fatal("mismatched class key must error")
+	}
+	// Unscheduled graph.
+	g := dfg.New("unsched")
+	a := g.AddInput("a")
+	g.AddOutput("y", g.AddBinary(dfg.Add, a, a))
+	if err := WriteVerilog(&sb, g, nil); err == nil {
+		t.Fatal("unscheduled graph must error")
+	}
+}
+
+func TestVerilogDeterministic(t *testing.T) {
+	b, _ := mediabench.ByName("jdmerge3")
+	p, err := b.Prepare(3, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := bindAll(t, p)
+	var v1, v2 strings.Builder
+	if err := WriteVerilog(&v1, p.G, bindings); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerilog(&v2, p.G, bindings); err != nil {
+		t.Fatal(err)
+	}
+	if v1.String() != v2.String() {
+		t.Fatal("emission not deterministic")
+	}
+}

@@ -1,0 +1,87 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format into a fresh solver.
+// Variables are numbered 1..n externally and mapped to 0..n-1 internally.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := NewSolver()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	declared := -1
+	var clause []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: bad problem line %q", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sat: bad variable count in %q", line)
+			}
+			declared = n
+			for i := 0; i < n; i++ {
+				s.NewVar()
+			}
+			continue
+		}
+		if declared < 0 {
+			return nil, fmt.Errorf("sat: clause before problem line")
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if v == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			if av > declared {
+				return nil, fmt.Errorf("sat: literal %d exceeds declared %d variables", v, declared)
+			}
+			clause = append(clause, NewLit(av-1, v < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		s.AddClause(clause...)
+	}
+	return s, nil
+}
+
+// WriteDIMACS serialises clauses in DIMACS format. Learned clauses are
+// excluded.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), s.learntAt)
+	for _, clause := range s.clauses[:s.learntAt] {
+		for _, l := range clause {
+			if l.Sign() {
+				fmt.Fprintf(bw, "-%d ", l.Var()+1)
+			} else {
+				fmt.Fprintf(bw, "%d ", l.Var()+1)
+			}
+		}
+		fmt.Fprintln(bw, "0")
+	}
+	return bw.Flush()
+}

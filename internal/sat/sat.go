@@ -1,0 +1,616 @@
+// Package sat is a CDCL (conflict-driven clause learning) Boolean
+// satisfiability solver built on the standard MiniSat architecture: two
+// watched literals per clause, VSIDS variable activities, phase saving,
+// first-UIP conflict analysis with non-chronological backjumping, and Luby
+// restarts.
+//
+// It is the engine behind the oracle-guided SAT attack of Subramanyan et al.
+// [10] implemented in internal/satattack, which the paper uses as the
+// benchmark threat model for logic locking (Sec. II-A).
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable index (0-based) shifted left once, with the low
+// bit set for negation.
+type Lit uint32
+
+// LitUndef is the sentinel "no literal".
+const LitUndef Lit = ^Lit(0)
+
+// NewLit returns the literal for variable v (0-based), negated if neg.
+func NewLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	if l.Sign() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// lifted boolean values
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+// ErrBudget is returned by Solve when the conflict budget is exhausted
+// before a result is reached.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call NewSolver.
+type Solver struct {
+	clauses  [][]Lit // problem + learned clauses; first two lits are watched
+	learntAt int     // clauses[learntAt:] are learned
+	removed  []bool  // per clause: deleted by reduceDB
+	claAct   []float64
+	claInc   float64
+	learnts  int // live learned clause count
+
+	watches [][]int32 // per literal: indices of clauses watching it
+
+	assign   []int8  // per var
+	level    []int32 // per var: decision level of assignment
+	reason   []int32 // per var: clause index that implied it, or -1
+	polarity []bool  // per var: saved phase (last assigned sign)
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     *varHeap
+
+	ok bool // false once a top-level conflict is derived
+
+	// MaxConflicts bounds the search effort; 0 means DefaultMaxConflicts.
+	MaxConflicts int64
+
+	// statistics
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+
+	model []bool
+	seen  []bool // scratch for conflict analysis
+}
+
+// DefaultMaxConflicts is the default search budget.
+const DefaultMaxConflicts = 20_000_000
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	s := &Solver{ok: true, varInc: 1, claInc: 1}
+	s.heap = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.polarity = append(s.polarity, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.push(v)
+	return v
+}
+
+func (s *Solver) valueLit(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// decisionLevel returns the current decision level.
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// enqueue assigns literal l with the given reason clause (-1 for decisions
+// and external facts). It returns false if l is already false.
+func (s *Solver) enqueue(l Lit, from int32) bool {
+	switch s.valueLit(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.polarity[v] = l.Sign()
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// AddClause adds a clause over the given literals. It must be called at the
+// top level (between Solve calls). It returns false if the formula became
+// trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Simplify: sort out duplicates, satisfied clauses, false literals.
+	clause := make([]Lit, 0, len(lits))
+	seen := map[Lit]bool{}
+	for _, l := range lits {
+		if int(l.Var()) >= s.NumVars() {
+			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
+		}
+		switch {
+		case s.valueLit(l) == lTrue, seen[l.Neg()]:
+			return true // clause already satisfied / tautological
+		case s.valueLit(l) == lFalse, seen[l]:
+			continue
+		default:
+			seen[l] = true
+			clause = append(clause, l)
+		}
+	}
+	switch len(clause) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(clause[0], -1) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != -1 {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attach(clause)
+	s.learntAt = len(s.clauses)
+	return true
+}
+
+// attach appends the clause and registers its two watches.
+func (s *Solver) attach(clause []Lit) int32 {
+	idx := int32(len(s.clauses))
+	s.clauses = append(s.clauses, clause)
+	s.removed = append(s.removed, false)
+	s.claAct = append(s.claAct, 0)
+	s.watches[clause[0]] = append(s.watches[clause[0]], idx)
+	s.watches[clause[1]] = append(s.watches[clause[1]], idx)
+	return idx
+}
+
+// propagate performs unit propagation over the watched literals. It returns
+// the index of a conflicting clause, or -1.
+func (s *Solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		falseLit := p.Neg()
+		ws := s.watches[falseLit]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			if s.removed[ci] {
+				continue // deleted by reduceDB: drop the stale watch
+			}
+			clause := s.clauses[ci]
+			// Normalise: the false literal sits at position 1.
+			if clause[0] == falseLit {
+				clause[0], clause[1] = clause[1], clause[0]
+			}
+			// Satisfied by the other watch?
+			if s.valueLit(clause[0]) == lTrue {
+				kept = append(kept, ci)
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(clause); k++ {
+				if s.valueLit(clause[k]) != lFalse {
+					clause[1], clause[k] = clause[k], clause[1]
+					s.watches[clause[1]] = append(s.watches[clause[1]], ci)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // watch moved: drop from this list
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, ci)
+			if !s.enqueue(clause[0], ci) {
+				// Conflict: restore the remaining watches and bail.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[falseLit] = kept
+				s.qhead = len(s.trail)
+				return ci
+			}
+		}
+		s.watches[falseLit] = kept
+	}
+	return -1
+}
+
+// cancelUntil undoes assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = -1
+		s.heap.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned clause
+// (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl int32) ([]Lit, int32) {
+	learnt := []Lit{LitUndef}
+	counter := 0
+	p := LitUndef
+	index := len(s.trail) - 1
+	cur := s.decisionLevel()
+
+	for {
+		clause := s.clauses[confl]
+		s.bumpClause(confl)
+		start := 0
+		if p != LitUndef {
+			start = 1 // clause[0] is the implied literal p
+		}
+		for _, q := range clause[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] >= cur {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select the next trail literal to resolve on.
+		for !s.seen[s.trail[index].Var()] {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	// Clear remaining marks.
+	for _, l := range learnt[1:] {
+		s.seen[l.Var()] = false
+	}
+
+	// Backjump level: highest level among the non-asserting literals.
+	back := int32(0)
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		back = s.level[learnt[1].Var()]
+	}
+	return learnt, back
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+const (
+	varDecay = 1.0 / 0.95
+	claDecay = 1.0 / 0.999
+)
+
+// bumpClause raises a learned clause's activity (problem clauses are
+// unaffected: they are never removed).
+func (s *Solver) bumpClause(ci int32) {
+	if int(ci) < s.learntAt {
+		return
+	}
+	s.claAct[ci] += s.claInc
+	if s.claAct[ci] > 1e20 {
+		for i := s.learntAt; i < len(s.claAct); i++ {
+			s.claAct[i] *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// locked reports whether the clause is the reason of a current assignment
+// and therefore must not be deleted.
+func (s *Solver) locked(ci int32) bool {
+	clause := s.clauses[ci]
+	v := clause[0].Var()
+	return s.assign[v] != lUndef && s.reason[v] == ci
+}
+
+// reduceDB deletes roughly half of the live learned clauses, lowest
+// activity first, keeping binary and locked clauses. Watches are cleaned
+// lazily by propagate.
+func (s *Solver) reduceDB() {
+	type cand struct {
+		idx int32
+		act float64
+	}
+	var cands []cand
+	for i := s.learntAt; i < len(s.clauses); i++ {
+		ci := int32(i)
+		if s.removed[i] || len(s.clauses[i]) <= 2 || s.locked(ci) {
+			continue
+		}
+		cands = append(cands, cand{ci, s.claAct[i]})
+	}
+	if len(cands) < 2 {
+		return
+	}
+	// Remove the lower-activity half.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].act < cands[j].act })
+	for _, c := range cands[:len(cands)/2] {
+		s.removed[c.idx] = true
+		s.clauses[c.idx] = nil
+		s.learnts--
+	}
+}
+
+// pickBranch selects the unassigned variable with highest activity.
+func (s *Solver) pickBranch() int {
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby computes term x (0-based) of the Luby restart sequence
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (MiniSat's formulation).
+func luby(x int64) int64 {
+	var size, seq int64 = 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return 1 << uint(seq)
+}
+
+// Solve searches for a satisfying assignment. It returns (true, nil) with a
+// model available via Value, (false, nil) if the formula is unsatisfiable,
+// or (false, ErrBudget) if the conflict budget ran out.
+func (s *Solver) Solve() (bool, error) {
+	if !s.ok {
+		return false, nil
+	}
+	defer s.cancelUntil(0)
+	if s.propagate() != -1 {
+		s.ok = false
+		return false, nil
+	}
+
+	budget := s.MaxConflicts
+	if budget == 0 {
+		budget = DefaultMaxConflicts
+	}
+	var restartN int64
+	const restartBase = 100
+	maxLearnts := s.learntAt/3 + 1000
+
+	for {
+		restartBudget := luby(restartN) * restartBase
+		restartN++
+		s.Restarts++
+		conflicts := int64(0)
+		for {
+			confl := s.propagate()
+			if confl != -1 {
+				s.Conflicts++
+				conflicts++
+				if s.decisionLevel() == 0 {
+					s.ok = false
+					return false, nil
+				}
+				learnt, back := s.analyze(confl)
+				s.cancelUntil(back)
+				if len(learnt) == 1 {
+					if !s.enqueue(learnt[0], -1) {
+						s.ok = false
+						return false, nil
+					}
+				} else {
+					ci := s.attach(learnt)
+					s.learnts++
+					s.bumpClause(ci)
+					s.enqueue(learnt[0], ci)
+				}
+				s.varInc *= varDecay
+				s.claInc *= claDecay
+				if s.learnts > maxLearnts {
+					s.reduceDB()
+					maxLearnts += maxLearnts / 10
+				}
+				if s.Conflicts >= budget {
+					return false, ErrBudget
+				}
+				continue
+			}
+			if conflicts >= restartBudget {
+				s.cancelUntil(0)
+				break // restart
+			}
+			v := s.pickBranch()
+			if v == -1 {
+				// All variables assigned: SAT.
+				s.model = make([]bool, s.NumVars())
+				for i, a := range s.assign {
+					s.model[i] = a == lTrue
+				}
+				return true, nil
+			}
+			s.Decisions++
+			s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			s.enqueue(NewLit(v, s.polarity[v]), -1)
+		}
+	}
+}
+
+// Value returns variable v's value in the most recent model. It panics if no
+// model is available.
+func (s *Solver) Value(v int) bool {
+	if s.model == nil {
+		panic("sat: Value called without a model")
+	}
+	return s.model[v]
+}
+
+// varHeap is an indexed max-heap over variable activities.
+type varHeap struct {
+	act  *[]float64
+	heap []int
+	pos  []int // var -> heap index, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap { return &varHeap{act: act} }
+
+func (h *varHeap) less(i, j int) bool {
+	return (*h.act)[h.heap[i]] > (*h.act)[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.heap) && h.less(l, best) {
+			best = l
+		}
+		if r < len(h.heap) && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) push(v int) {
+	for v >= len(h.pos) {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] != -1 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	h.swap(0, len(h.heap)-1)
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.pos) && h.pos[v] != -1 {
+		h.up(h.pos[v])
+	}
+}

@@ -1,0 +1,171 @@
+package satattack
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bindlock/internal/cnf"
+	"bindlock/internal/netlist"
+)
+
+// This file implements an AppSAT-style approximate attack: run the exact
+// SAT attack's DIP loop with an early-termination budget, extract the best
+// candidate key, and estimate its error rate by random oracle queries.
+//
+// Against high-corruption locking the approximate attack recovers an exact
+// or near-exact key almost immediately. Against critical-minterm locking it
+// also returns a low-error key quickly — but that key still corrupts the
+// protected minterms, which is precisely why the paper can afford few locked
+// inputs as long as binding routes the workload onto them (and why
+// approximation-resilience arguments [12] favour the critical-minterm
+// family).
+
+// ApproxOptions tunes the approximate attack.
+type ApproxOptions struct {
+	// MaxIterations is the early-termination DIP budget (default 16).
+	MaxIterations int
+	// ErrorSamples is the number of random queries used to estimate the
+	// candidate key's error rate (default 2000).
+	ErrorSamples int
+	// Seed drives the random error-estimation queries.
+	Seed int64
+	// MaxConflicts bounds each SAT call.
+	MaxConflicts int64
+}
+
+// ApproxResult reports an approximate attack.
+type ApproxResult struct {
+	// Key is the best candidate key after the DIP budget.
+	Key []bool
+	// Iterations is the number of DIPs actually used.
+	Iterations int
+	// Exact records whether the DIP loop converged (miter UNSAT) within
+	// the budget — the key is then provably correct.
+	Exact bool
+	// EstErrorRate is the sampled fraction of inputs on which the
+	// candidate key disagrees with the oracle.
+	EstErrorRate float64
+	// Duration is the wall time of the attack.
+	Duration time.Duration
+}
+
+// ApproxAttack runs the early-terminating SAT attack against the locked
+// circuit.
+func ApproxAttack(locked *netlist.Circuit, oracle Oracle, opts ApproxOptions) (*ApproxResult, error) {
+	if err := locked.Validate(); err != nil {
+		return nil, err
+	}
+	if len(locked.Keys) == 0 {
+		return nil, fmt.Errorf("satattack: circuit %q has no key inputs", locked.Name)
+	}
+	budget := opts.MaxIterations
+	if budget == 0 {
+		budget = 16
+	}
+	samples := opts.ErrorSamples
+	if samples == 0 {
+		samples = 2000
+	}
+	start := time.Now()
+
+	me := cnf.NewEncoder()
+	ke := cnf.NewEncoder()
+	if opts.MaxConflicts > 0 {
+		me.S.MaxConflicts = opts.MaxConflicts
+		ke.S.MaxConflicts = opts.MaxConflicts
+	}
+	inst1, err := me.Encode(locked, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	inst2, err := me.Encode(locked, inst1.Inputs, nil)
+	if err != nil {
+		return nil, err
+	}
+	diffs := make([]int, len(inst1.Outputs))
+	for i := range diffs {
+		diffs[i] = me.XorVar(inst1.Outputs[i], inst2.Outputs[i])
+	}
+	me.AtLeastOne(diffs)
+	keyVars := ke.FreshVars(len(locked.Keys))
+
+	res := &ApproxResult{}
+	for res.Iterations < budget {
+		found, err := me.S.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("satattack: approx miter solve: %w", err)
+		}
+		if !found {
+			res.Exact = true
+			break
+		}
+		res.Iterations++
+		dip := make([]bool, len(inst1.Inputs))
+		for i, v := range inst1.Inputs {
+			dip[i] = me.S.Value(v)
+		}
+		outs, err := oracle(dip)
+		if err != nil {
+			return nil, err
+		}
+		for _, enc := range []struct {
+			e    *cnf.Encoder
+			keys [][]int
+		}{
+			{me, [][]int{inst1.Keys, inst2.Keys}},
+			{ke, [][]int{keyVars}},
+		} {
+			inBits := enc.e.ConstVars(dip)
+			for _, kv := range enc.keys {
+				ci, err := enc.e.Encode(locked, inBits, kv)
+				if err != nil {
+					return nil, err
+				}
+				for i, ov := range ci.Outputs {
+					enc.e.FixVar(ov, outs[i])
+				}
+			}
+		}
+	}
+
+	found, err := ke.S.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("satattack: approx key extraction: %w", err)
+	}
+	if !found {
+		return nil, fmt.Errorf("satattack: constraints unsatisfiable; oracle inconsistent with netlist")
+	}
+	res.Key = make([]bool, len(keyVars))
+	for i, v := range keyVars {
+		res.Key[i] = ke.S.Value(v)
+	}
+
+	// Estimate the candidate key's error rate by random queries.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := len(locked.Inputs)
+	wrong := 0
+	for s := 0; s < samples; s++ {
+		in := make([]bool, n)
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		got, err := locked.Eval(in, res.Key)
+		if err != nil {
+			return nil, err
+		}
+		want, err := oracle(in)
+		if err != nil {
+			return nil, err
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				wrong++
+				break
+			}
+		}
+	}
+	res.EstErrorRate = float64(wrong) / float64(samples)
+	res.Duration = time.Since(start)
+	return res, nil
+}

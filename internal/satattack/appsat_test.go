@@ -1,0 +1,105 @@
+package satattack
+
+import (
+	"testing"
+
+	"bindlock/internal/netlist"
+)
+
+func TestApproxAttackExactOnXOR(t *testing.T) {
+	// High-corruption XOR locking: the approximate attack converges
+	// exactly well within a small budget.
+	base, _ := netlist.NewAdder(4)
+	locked, key, err := netlist.LockXOR(base, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OracleFromCircuit(locked, key)
+	res, err := ApproxAttack(locked, oracle, ApproxOptions{MaxIterations: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("XOR locking not solved exactly within budget (%d iterations)", res.Iterations)
+	}
+	if res.EstErrorRate != 0 {
+		t.Fatalf("exact key has error rate %v", res.EstErrorRate)
+	}
+	if err := VerifyKey(locked, res.Key, oracle); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxAttackOnSFLL(t *testing.T) {
+	// Critical-minterm locking: with a tiny DIP budget the attack returns
+	// an approximate key with near-zero error rate — yet the protected
+	// minterm typically remains corrupted, which is the property the
+	// paper's binding co-design weaponises.
+	base, _ := netlist.NewAdder(4) // 8-bit input space, 8-bit key
+	secret := uint64(0b10110101)
+	locked, key, err := netlist.LockSFLLHD0(base, []uint64{secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OracleFromCircuit(locked, key)
+	res, err := ApproxAttack(locked, oracle, ApproxOptions{MaxIterations: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Skip("attack converged exactly within 8 DIPs; elimination order hit the secret")
+	}
+	if res.Iterations != 8 {
+		t.Fatalf("iterations = %d, want the full budget", res.Iterations)
+	}
+	// Low overall error: at most the two corrupted minterms out of 256,
+	// so the sampled rate must be tiny.
+	if res.EstErrorRate > 0.05 {
+		t.Fatalf("approximate key error rate %v, want near zero", res.EstErrorRate)
+	}
+	// The approximate key must NOT be the correct key (the miter still had
+	// DIPs), so the protected minterm stays corrupted.
+	if netlist.BitsToUint64(res.Key) == secret {
+		t.Fatal("budgeted attack returned the exact secret despite remaining DIPs")
+	}
+	in := netlist.Uint64ToBits(secret, 8)
+	got, err := locked.Eval(in, res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range got {
+		if got[i] != want[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("protected minterm not corrupted under the approximate key")
+	}
+}
+
+func TestApproxAttackRejectsUnlocked(t *testing.T) {
+	base, _ := netlist.NewAdder(2)
+	if _, err := ApproxAttack(base, OracleFromCircuit(base, nil), ApproxOptions{}); err == nil {
+		t.Fatal("unlocked circuit must be rejected")
+	}
+}
+
+func TestApproxAttackDefaults(t *testing.T) {
+	base, _ := netlist.NewAdder(2)
+	locked, key, err := netlist.LockXOR(base, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApproxAttack(locked, OracleFromCircuit(locked, key), ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 {
+		t.Error("duration not recorded")
+	}
+}

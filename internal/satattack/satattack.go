@@ -1,0 +1,191 @@
+// Package satattack implements the oracle-guided SAT attack of Subramanyan
+// et al. [10], the threat model against which the paper's locking
+// configurations are sized (Sec. II-A).
+//
+// The attack holds a locked netlist and black-box access to an activated IC
+// (the oracle). It repeatedly solves a miter — two copies of the locked
+// circuit with shared inputs and independent keys whose outputs differ — to
+// find a distinguishing input pattern (DIP), queries the oracle on the DIP,
+// and constrains both key copies to reproduce the observed output. When the
+// miter becomes unsatisfiable, every key consistent with the accumulated
+// constraints is functionally correct; one is extracted from a parallel
+// constraint-only solver.
+package satattack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bindlock/internal/cnf"
+	"bindlock/internal/netlist"
+)
+
+// Oracle answers input queries with the activated IC's outputs.
+type Oracle func(inputs []bool) ([]bool, error)
+
+// OracleFromCircuit builds the standard evaluation oracle: the locked
+// circuit activated with its correct key (equivalently, the original
+// circuit).
+func OracleFromCircuit(c *netlist.Circuit, correctKey []bool) Oracle {
+	return func(inputs []bool) ([]bool, error) {
+		return c.Eval(inputs, correctKey)
+	}
+}
+
+// Options tunes the attack.
+type Options struct {
+	// MaxIterations bounds the DIP loop (default 1 << 20).
+	MaxIterations int
+	// MaxConflicts bounds each SAT call (default sat.DefaultMaxConflicts).
+	MaxConflicts int64
+}
+
+// Result reports a completed attack.
+type Result struct {
+	// Key is a functionally correct key for the locked circuit.
+	Key []bool
+	// Iterations is the number of DIPs required (λ in Eqn. 1).
+	Iterations int
+	// Duration is the wall time of the attack.
+	Duration time.Duration
+	// DIPs are the distinguishing inputs discovered, in order.
+	DIPs [][]bool
+}
+
+// ErrIterationBudget is returned when the DIP loop exceeds MaxIterations.
+var ErrIterationBudget = errors.New("satattack: iteration budget exhausted")
+
+// Attack runs the SAT attack against the locked circuit using the oracle.
+func Attack(locked *netlist.Circuit, oracle Oracle, opts Options) (*Result, error) {
+	if err := locked.Validate(); err != nil {
+		return nil, err
+	}
+	if len(locked.Keys) == 0 {
+		return nil, fmt.Errorf("satattack: circuit %q has no key inputs", locked.Name)
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = 1 << 20
+	}
+
+	start := time.Now()
+
+	// Miter solver: two key copies over shared inputs, outputs forced to
+	// differ somewhere.
+	me := cnf.NewEncoder()
+	if opts.MaxConflicts > 0 {
+		me.S.MaxConflicts = opts.MaxConflicts
+	}
+	inst1, err := me.Encode(locked, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	inst2, err := me.Encode(locked, inst1.Inputs, nil)
+	if err != nil {
+		return nil, err
+	}
+	diffs := make([]int, len(inst1.Outputs))
+	for i := range diffs {
+		diffs[i] = me.XorVar(inst1.Outputs[i], inst2.Outputs[i])
+	}
+	me.AtLeastOne(diffs)
+
+	// Key solver: accumulates only the I/O constraints over one key bus;
+	// it stays satisfiable (the correct key satisfies everything) and
+	// yields the final key.
+	ke := cnf.NewEncoder()
+	if opts.MaxConflicts > 0 {
+		ke.S.MaxConflicts = opts.MaxConflicts
+	}
+	keyVars := ke.FreshVars(len(locked.Keys))
+
+	res := &Result{}
+	for res.Iterations < maxIter {
+		found, err := me.S.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("satattack: miter solve (iteration %d): %w", res.Iterations+1, err)
+		}
+		if !found {
+			break // no more DIPs: key space collapsed to correct classes
+		}
+		res.Iterations++
+
+		dip := make([]bool, len(inst1.Inputs))
+		for i, v := range inst1.Inputs {
+			dip[i] = me.S.Value(v)
+		}
+		res.DIPs = append(res.DIPs, dip)
+		outs, err := oracle(dip)
+		if err != nil {
+			return nil, fmt.Errorf("satattack: oracle query: %w", err)
+		}
+
+		// Constrain both miter key copies and the key solver with the
+		// observed I/O behaviour.
+		for _, enc := range []struct {
+			e    *cnf.Encoder
+			keys [][]int
+		}{
+			{me, [][]int{inst1.Keys, inst2.Keys}},
+			{ke, [][]int{keyVars}},
+		} {
+			inBits := enc.e.ConstVars(dip)
+			for _, kv := range enc.keys {
+				ci, err := enc.e.Encode(locked, inBits, kv)
+				if err != nil {
+					return nil, err
+				}
+				for i, ov := range ci.Outputs {
+					enc.e.FixVar(ov, outs[i])
+				}
+			}
+		}
+	}
+	if res.Iterations >= maxIter {
+		return nil, fmt.Errorf("%w (%d iterations)", ErrIterationBudget, maxIter)
+	}
+
+	found, err := ke.S.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("satattack: key extraction: %w", err)
+	}
+	if !found {
+		return nil, fmt.Errorf("satattack: constraints unsatisfiable; oracle inconsistent with netlist")
+	}
+	res.Key = make([]bool, len(keyVars))
+	for i, v := range keyVars {
+		res.Key[i] = ke.S.Value(v)
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// VerifyKey checks that the recovered key makes the locked circuit agree
+// with the oracle. It is exhaustive up to 2^16 input combinations and
+// samples a strided subset above that.
+func VerifyKey(locked *netlist.Circuit, key []bool, oracle Oracle) error {
+	n := len(locked.Inputs)
+	space := uint64(1) << uint(n)
+	stride := uint64(1)
+	if n > 16 {
+		stride = space / (1 << 16)
+	}
+	for v := uint64(0); v < space; v += stride {
+		in := netlist.Uint64ToBits(v, n)
+		got, err := locked.Eval(in, key)
+		if err != nil {
+			return err
+		}
+		want, err := oracle(in)
+		if err != nil {
+			return err
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("satattack: key wrong at input %#x output %d", v, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package satattack
+
+import (
+	"errors"
+	"testing"
+
+	"bindlock/internal/locking"
+	"bindlock/internal/netlist"
+)
+
+func TestAttackXORLockedAdder(t *testing.T) {
+	// Random XOR locking falls to the SAT attack in a handful of
+	// iterations — the observation motivating SAT-resilient schemes.
+	base, err := netlist.NewAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key, err := netlist.LockXOR(base, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OracleFromCircuit(locked, key)
+	res, err := Attack(locked, oracle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyKey(locked, res.Key, oracle); err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 30 {
+		t.Errorf("XOR locking took %d iterations; expected quick collapse", res.Iterations)
+	}
+	if res.Duration <= 0 || len(res.DIPs) != res.Iterations {
+		t.Errorf("bookkeeping: duration=%v dips=%d iters=%d", res.Duration, len(res.DIPs), res.Iterations)
+	}
+	t.Logf("xor-locked adder: %d iterations in %v", res.Iterations, res.Duration)
+}
+
+func TestAttackSFLLIsExpensive(t *testing.T) {
+	// SFLL-HD(0) on a 3-bit adder: 6-bit key, 64-minterm input space.
+	// Each DIP eliminates O(1) keys; the attack hits the secret after
+	// traversing on average half the key space, so the MEAN iteration
+	// count over random secrets sits near λ/2 (λ from Eqn. 1 ≈ 64). Any
+	// single secret can fall early or late depending on the solver's
+	// deterministic elimination order.
+	base, err := netlist.NewAdder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secrets := []uint64{0b101101, 0b000000, 0b111111, 0b010010, 0b100001,
+		0b011011, 0b110100, 0b001110}
+	total := 0
+	for _, s := range secrets {
+		locked, key, err := netlist.LockSFLLHD0(base, []uint64{s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := OracleFromCircuit(locked, key)
+		res, err := Attack(locked, oracle, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyKey(locked, res.Key, oracle); err != nil {
+			t.Fatal(err)
+		}
+		total += res.Iterations
+	}
+	mean := float64(total) / float64(len(secrets))
+	lam, err := locking.ExpectedSATIterations(6, 1, 1.0/64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean must be the same order of magnitude as λ/2 (band [λ/8, 2λ]),
+	// far above the handful of DIPs XOR locking survives.
+	if mean < lam/8 || mean > 2*lam {
+		t.Errorf("mean iterations = %.1f, Eqn.1 λ = %v (acceptance band [%v, %v])",
+			mean, lam, lam/8, 2*lam)
+	}
+	t.Logf("sfll adder: mean %.1f iterations over %d secrets (Eqn.1 λ = %v)",
+		mean, len(secrets), lam)
+}
+
+func TestAttackRoutingLockedAdder(t *testing.T) {
+	base, err := netlist.NewAdder(2) // 4 inputs: power of two
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key, err := netlist.LockRouting(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OracleFromCircuit(locked, key)
+	res, err := Attack(locked, oracle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyKey(locked, res.Key, oracle); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("routing-locked adder: %d iterations", res.Iterations)
+}
+
+func TestAttackMultiplier(t *testing.T) {
+	base, err := netlist.NewMultiplier(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key, err := netlist.LockSFLLHD0(base, []uint64{0b010110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OracleFromCircuit(locked, key)
+	res, err := Attack(locked, oracle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyKey(locked, res.Key, oracle); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttackIterationBudget(t *testing.T) {
+	base, _ := netlist.NewAdder(3)
+	locked, key, _ := netlist.LockSFLLHD0(base, []uint64{5})
+	oracle := OracleFromCircuit(locked, key)
+	_, err := Attack(locked, oracle, Options{MaxIterations: 2})
+	if !errors.Is(err, ErrIterationBudget) {
+		t.Fatalf("err = %v, want iteration budget", err)
+	}
+}
+
+func TestAttackRejectsUnlockedCircuit(t *testing.T) {
+	base, _ := netlist.NewAdder(2)
+	if _, err := Attack(base, OracleFromCircuit(base, nil), Options{}); err == nil {
+		t.Fatal("circuit without keys must be rejected")
+	}
+}
+
+func TestAttackInconsistentOracle(t *testing.T) {
+	// An oracle that answers from a different function: constraints become
+	// unsatisfiable and the attack reports the inconsistency rather than
+	// fabricating a key.
+	base, _ := netlist.NewAdder(3)
+	locked, key, _ := netlist.LockSFLLHD0(base, []uint64{7})
+	honest := OracleFromCircuit(locked, key)
+	// Flip output bit 1, which no key bit influences (SFLL only perturbs
+	// bit 0): the very first I/O constraint is unsatisfiable for every key.
+	bogus := func(inputs []bool) ([]bool, error) {
+		outs, err := honest(inputs)
+		if err != nil {
+			return nil, err
+		}
+		outs[1] = !outs[1]
+		return outs, nil
+	}
+	_, err := Attack(locked, bogus, Options{})
+	if err == nil {
+		t.Fatal("inconsistent oracle must produce an error")
+	}
+}
+
+func TestVerifyKeyDetectsWrongKey(t *testing.T) {
+	base, _ := netlist.NewAdder(3)
+	locked, key, _ := netlist.LockSFLLHD0(base, []uint64{0b000111})
+	oracle := OracleFromCircuit(locked, key)
+	wrong := append([]bool(nil), key...)
+	wrong[0] = !wrong[0]
+	if err := VerifyKey(locked, wrong, oracle); err == nil {
+		t.Fatal("VerifyKey must reject a wrong key")
+	}
+	if err := VerifyKey(locked, key, oracle); err != nil {
+		t.Fatalf("VerifyKey rejected the correct key: %v", err)
+	}
+}
+
+// TestAttackArchitectureIndependence: the SAT attack's iteration behaviour
+// depends on the locked FUNCTION, not the FU micro-architecture. Locking the
+// same minterm on a ripple-carry and a carry-lookahead adder must both fall
+// to the attack with verified keys, at comparable effort.
+func TestAttackArchitectureIndependence(t *testing.T) {
+	variants, err := netlist.ArchitectureVariants("adder", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := uint64(0b011010)
+	var iters []int
+	for _, base := range variants {
+		locked, key, err := netlist.LockSFLLHD0(base, []uint64{secret})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := OracleFromCircuit(locked, key)
+		res, err := Attack(locked, oracle, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", base.Name, err)
+		}
+		if err := VerifyKey(locked, res.Key, oracle); err != nil {
+			t.Fatalf("%s: %v", base.Name, err)
+		}
+		iters = append(iters, res.Iterations)
+	}
+	// Identical functions: the DIP space is the same; solver heuristics can
+	// wander, so allow slack but demand the same order of magnitude.
+	lo, hi := iters[0], iters[0]
+	for _, n := range iters[1:] {
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if hi > 8*lo+8 {
+		t.Errorf("iteration counts diverge across architectures: %v", iters)
+	}
+}

@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"bindlock/internal/dfg"
+)
+
+// ForceDirected implements force-directed scheduling (Paulin & Knight): given
+// a latency bound, it picks one operation/cycle assignment at a time so as to
+// minimise the expected concurrency of every FU class — the classic
+// resource-minimising HLS scheduler, complementing the resource-constrained
+// path-based scheduler. Frames are the [ASAP, ALAP] mobility ranges;
+// distribution graphs spread each unscheduled op's unit probability over its
+// frame; the scheduled assignment is the (op, cycle) pair of minimum force
+// (self force plus the frame-restriction forces induced on direct
+// predecessors and successors).
+//
+// It mutates g in place and returns the achieved span (== latency when
+// feasible).
+func ForceDirected(g *dfg.Graph, latency int) (int, error) {
+	// Mobility frames from ASAP/ALAP.
+	asap := g.Clone()
+	ASAP(asap)
+	alap := g.Clone()
+	if err := ALAP(alap, latency); err != nil {
+		return 0, err
+	}
+	early := make([]int, len(g.Ops))
+	late := make([]int, len(g.Ops))
+	var fuOps []dfg.OpID
+	for i := range g.Ops {
+		g.Ops[i].Cycle = 0
+		if !g.Ops[i].Kind.IsBinary() {
+			continue
+		}
+		early[i] = asap.Ops[i].Cycle
+		late[i] = alap.Ops[i].Cycle
+		fuOps = append(fuOps, dfg.OpID(i))
+	}
+	users := g.Users()
+
+	scheduled := make([]bool, len(g.Ops))
+	remaining := len(fuOps)
+	for remaining > 0 {
+		// Distribution graphs per class.
+		dg := map[dfg.Class][]float64{}
+		for _, id := range fuOps {
+			cl := dfg.ClassOf(g.Ops[id].Kind)
+			if dg[cl] == nil {
+				dg[cl] = make([]float64, latency+1)
+			}
+			w := float64(late[id] - early[id] + 1)
+			for t := early[id]; t <= late[id]; t++ {
+				dg[cl][t] += 1 / w
+			}
+		}
+
+		// selfForce of placing op at cycle t.
+		selfForce := func(id dfg.OpID, t int) float64 {
+			cl := dfg.ClassOf(g.Ops[id].Kind)
+			avg := 0.0
+			w := float64(late[id] - early[id] + 1)
+			for tau := early[id]; tau <= late[id]; tau++ {
+				avg += dg[cl][tau] / w
+			}
+			return dg[cl][t] - avg
+		}
+
+		bestForce := math.Inf(1)
+		var bestOp dfg.OpID = dfg.None
+		bestT := 0
+		for _, id := range fuOps {
+			if scheduled[id] {
+				continue
+			}
+			for t := early[id]; t <= late[id]; t++ {
+				force := selfForce(id, t)
+				// Frame-restriction forces on direct neighbours.
+				for _, a := range g.Ops[id].Args {
+					if g.Ops[a].Kind.IsBinary() && !scheduled[a] && late[a] >= t {
+						force += selfForce(a, min(late[a], t-1)) * 0.5
+					}
+				}
+				for _, u := range users[id] {
+					if g.Ops[u].Kind.IsBinary() && !scheduled[u] && early[u] <= t {
+						force += selfForce(u, max(early[u], t+1)) * 0.5
+					}
+				}
+				if force < bestForce-1e-12 ||
+					(math.Abs(force-bestForce) <= 1e-12 && (bestOp == dfg.None || id < bestOp)) {
+					bestForce = force
+					bestOp = id
+					bestT = t
+				}
+			}
+		}
+		if bestOp == dfg.None {
+			return 0, fmt.Errorf("sched: force-directed scheduling stuck on %q", g.Name)
+		}
+		// Commit and tighten frames.
+		scheduled[bestOp] = true
+		g.Ops[bestOp].Cycle = bestT
+		early[bestOp], late[bestOp] = bestT, bestT
+		remaining--
+		if err := propagateFrames(g, fuOps, early, late); err != nil {
+			return 0, err
+		}
+	}
+	if err := g.Validate(true); err != nil {
+		return 0, fmt.Errorf("sched: force-directed produced invalid schedule: %w", err)
+	}
+	return g.Cycles(), nil
+}
+
+// propagateFrames restores frame consistency after a commitment: an op must
+// start after every FU-op operand's earliest finish and before every FU-op
+// user's latest start.
+func propagateFrames(g *dfg.Graph, fuOps []dfg.OpID, early, late []int) error {
+	users := g.Users()
+	for changed := true; changed; {
+		changed = false
+		for _, id := range fuOps {
+			for _, a := range g.Ops[id].Args {
+				if g.Ops[a].Kind.IsBinary() && early[a]+1 > early[id] {
+					early[id] = early[a] + 1
+					changed = true
+				}
+			}
+			for _, u := range users[id] {
+				if g.Ops[u].Kind.IsBinary() && late[u]-1 < late[id] {
+					late[id] = late[u] - 1
+					changed = true
+				}
+			}
+			if early[id] > late[id] {
+				return fmt.Errorf("sched: frame of op %d collapsed", id)
+			}
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

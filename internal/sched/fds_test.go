@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bindlock/internal/dfg"
+)
+
+func TestForceDirectedChain(t *testing.T) {
+	g := chain(4)
+	span, err := ForceDirected(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span > 6 {
+		t.Fatalf("span = %d exceeds latency bound 6", span)
+	}
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForceDirectedBalancesWideGraph(t *testing.T) {
+	// 6 independent adds with latency 3: FDS must balance to 2 per cycle,
+	// where ASAP would pile all 6 into cycle 1.
+	g := wide(6)
+	asapClone := g.Clone()
+	ASAP(asapClone)
+	if asapClone.MaxConcurrency(dfg.ClassAdd) != 6 {
+		t.Fatalf("ASAP concurrency = %d, want 6", asapClone.MaxConcurrency(dfg.ClassAdd))
+	}
+	if _, err := ForceDirected(g, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MaxConcurrency(dfg.ClassAdd); got != 2 {
+		t.Errorf("FDS concurrency = %d, want perfectly balanced 2", got)
+	}
+}
+
+func TestForceDirectedInfeasibleLatency(t *testing.T) {
+	g := chain(5)
+	if _, err := ForceDirected(g, 3); err == nil {
+		t.Fatal("latency below critical path must error")
+	}
+}
+
+func TestForceDirectedMixedClasses(t *testing.T) {
+	// Class distribution graphs are independent: muls must not push adds.
+	g := dfg.New("mixed")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	var lastAdd, lastMul dfg.OpID
+	for i := 0; i < 4; i++ {
+		lastAdd = g.AddBinary(dfg.Add, a, b)
+		lastMul = g.AddBinary(dfg.Mul, a, b)
+	}
+	g.AddOutput("y", lastAdd)
+	g.AddOutput("z", lastMul)
+	if _, err := ForceDirected(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxConcurrency(dfg.ClassAdd) != 2 || g.MaxConcurrency(dfg.ClassMul) != 2 {
+		t.Errorf("concurrency add=%d mul=%d, want 2/2",
+			g.MaxConcurrency(dfg.ClassAdd), g.MaxConcurrency(dfg.ClassMul))
+	}
+}
+
+// Property: FDS produces valid schedules within the latency bound on random
+// DAGs, with concurrency never above the per-cycle op budget it implies.
+func TestForceDirectedRandomQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 3+r.Intn(25))
+		probe := g.Clone()
+		cp := ASAP(probe)
+		latency := cp + r.Intn(4)
+		span, err := ForceDirected(g, latency)
+		if err != nil {
+			return false
+		}
+		return span <= latency && g.Validate(true) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at equal latency, FDS's peak concurrency never exceeds ASAP's
+// (the whole point of force balancing).
+func TestForceDirectedNotWorseThanASAPQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 4+r.Intn(20))
+		asapClone := g.Clone()
+		cp := ASAP(asapClone)
+		latency := cp + 2
+		if _, err := ForceDirected(g, latency); err != nil {
+			return false
+		}
+		for _, class := range []dfg.Class{dfg.ClassAdd, dfg.ClassMul} {
+			if g.MaxConcurrency(class) > asapClone.MaxConcurrency(class)+0 &&
+				asapClone.MaxConcurrency(class) > 0 &&
+				g.MaxConcurrency(class) > len(g.OpsOfClass(class)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package sched schedules data-flow graphs onto clock cycles.
+//
+// It provides ASAP and ALAP schedules plus the resource-constrained
+// path-based list scheduler used to prepare the paper's benchmarks ("each DFG
+// was scheduled to be executed on up to 3 FUs using a path-based scheduler",
+// Sec. VI). Scheduling assigns a 1-based Cycle to every functional-unit
+// operation; sources and sinks are untimed.
+package sched
+
+import (
+	"fmt"
+
+	"bindlock/internal/dfg"
+)
+
+// Constraints bounds the number of concurrent operations per FU class. A
+// missing class is unconstrained.
+type Constraints struct {
+	MaxFUs map[dfg.Class]int
+}
+
+// DefaultConstraints mirrors the paper's setup: at most 3 adders and 3
+// multipliers.
+func DefaultConstraints() Constraints {
+	return Constraints{MaxFUs: map[dfg.Class]int{
+		dfg.ClassAdd: 3,
+		dfg.ClassMul: 3,
+	}}
+}
+
+// limit returns the FU bound for class c, or a number larger than any DFG if
+// unconstrained.
+func (c Constraints) limit(cl dfg.Class) int {
+	if c.MaxFUs == nil {
+		return 1 << 30
+	}
+	if n, ok := c.MaxFUs[cl]; ok {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	return 1 << 30
+}
+
+// ASAP assigns each FU operation the earliest feasible cycle, ignoring
+// resource constraints. It mutates g in place and returns the schedule span.
+func ASAP(g *dfg.Graph) int {
+	span := 0
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		if !op.Kind.IsBinary() {
+			op.Cycle = 0
+			continue
+		}
+		c := 1
+		for _, a := range op.Args {
+			arg := g.Ops[a]
+			if arg.Kind.IsBinary() && arg.Cycle+1 > c {
+				c = arg.Cycle + 1
+			}
+		}
+		op.Cycle = c
+		if c > span {
+			span = c
+		}
+	}
+	return span
+}
+
+// ALAP assigns each FU operation the latest cycle that still meets deadline,
+// ignoring resource constraints. It returns an error if the critical path
+// exceeds the deadline.
+func ALAP(g *dfg.Graph, deadline int) error {
+	// Longest path from each op to a sink, in FU-op hops.
+	depth := downstreamDepth(g)
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		if !op.Kind.IsBinary() {
+			op.Cycle = 0
+			continue
+		}
+		c := deadline - depth[i]
+		if c < 1 {
+			return fmt.Errorf("sched: deadline %d infeasible for %q (critical path %d)",
+				deadline, g.Name, depth[i]+1)
+		}
+		op.Cycle = c
+	}
+	return nil
+}
+
+// downstreamDepth returns, for every op, the number of FU operations strictly
+// below it on its longest path to a sink. This is the classic path-based
+// scheduling priority: ops on long paths are urgent.
+func downstreamDepth(g *dfg.Graph) []int {
+	depth := make([]int, len(g.Ops))
+	users := g.Users()
+	for i := len(g.Ops) - 1; i >= 0; i-- {
+		d := 0
+		for _, u := range users[i] {
+			ud := depth[u]
+			if g.Ops[u].Kind.IsBinary() {
+				ud++
+			}
+			if ud > d {
+				d = ud
+			}
+		}
+		depth[i] = d
+	}
+	return depth
+}
+
+// PathBased performs resource-constrained list scheduling with
+// longest-path-to-sink priority, the stand-in for the paper's path-based
+// scheduler [24]. It mutates g in place and returns the schedule span.
+func PathBased(g *dfg.Graph, cons Constraints) (int, error) {
+	depth := downstreamDepth(g)
+	unscheduled := 0
+	for i := range g.Ops {
+		g.Ops[i].Cycle = 0
+		if g.Ops[i].Kind.IsBinary() {
+			unscheduled++
+		}
+	}
+
+	span := 0
+	for t := 1; unscheduled > 0; t++ {
+		if t > 4*len(g.Ops)+4 {
+			return 0, fmt.Errorf("sched: no progress scheduling %q", g.Name)
+		}
+		// Ready: all FU-op operands finished in an earlier cycle.
+		ready := map[dfg.Class][]dfg.OpID{}
+		for _, op := range g.Ops {
+			if !op.Kind.IsBinary() || op.Cycle != 0 {
+				continue
+			}
+			ok := true
+			for _, a := range op.Args {
+				arg := g.Ops[a]
+				if arg.Kind.IsBinary() && (arg.Cycle == 0 || arg.Cycle >= t) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cl := dfg.ClassOf(op.Kind)
+				ready[cl] = append(ready[cl], op.ID)
+			}
+		}
+		for cl, ids := range ready {
+			// Highest downstream depth first; ID order breaks ties for
+			// determinism.
+			sortByPriority(ids, depth)
+			n := cons.limit(cl)
+			if n > len(ids) {
+				n = len(ids)
+			}
+			for _, id := range ids[:n] {
+				g.Ops[id].Cycle = t
+				unscheduled--
+				if t > span {
+					span = t
+				}
+			}
+		}
+	}
+	if err := g.Validate(true); err != nil {
+		return 0, fmt.Errorf("sched: produced invalid schedule: %w", err)
+	}
+	return span, nil
+}
+
+// sortByPriority orders ids by decreasing depth, then increasing ID.
+func sortByPriority(ids []dfg.OpID, depth []int) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ids[j-1], ids[j]
+			if depth[b] > depth[a] || (depth[b] == depth[a] && b < a) {
+				ids[j-1], ids[j] = ids[j], ids[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/frontend"
+)
+
+// chain builds a linear chain of n adds: t = ((a+b)+b)+b ...
+func chain(n int) *dfg.Graph {
+	g := dfg.New("chain")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	cur := g.AddBinary(dfg.Add, a, b)
+	for i := 1; i < n; i++ {
+		cur = g.AddBinary(dfg.Add, cur, b)
+	}
+	g.AddOutput("y", cur)
+	return g
+}
+
+// wide builds n independent adds.
+func wide(n int) *dfg.Graph {
+	g := dfg.New("wide")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	for i := 0; i < n; i++ {
+		id := g.AddBinary(dfg.Add, a, b)
+		g.AddOutput(outName(i), id)
+	}
+	return g
+}
+
+func outName(i int) string { return "y" + string(rune('a'+i)) }
+
+func TestASAPChain(t *testing.T) {
+	g := chain(5)
+	if span := ASAP(g); span != 5 {
+		t.Fatalf("ASAP span = %d, want 5", span)
+	}
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASAPWide(t *testing.T) {
+	g := wide(6)
+	if span := ASAP(g); span != 1 {
+		t.Fatalf("ASAP span = %d, want 1 (all independent)", span)
+	}
+}
+
+func TestALAPMeetsDeadline(t *testing.T) {
+	g := chain(3)
+	if err := ALAP(g, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// The last op of the chain must sit exactly at the deadline.
+	last := g.OpsOfClass(dfg.ClassAdd)[2]
+	if g.Ops[last].Cycle != 7 {
+		t.Errorf("last op cycle = %d, want 7", g.Ops[last].Cycle)
+	}
+}
+
+func TestALAPInfeasible(t *testing.T) {
+	g := chain(5)
+	err := ALAP(g, 3)
+	if err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("err = %v, want infeasible", err)
+	}
+}
+
+func TestPathBasedRespectsResourceLimit(t *testing.T) {
+	g := wide(10)
+	span, err := PathBased(g, Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 4 { // ceil(10/3)
+		t.Fatalf("span = %d, want 4", span)
+	}
+	for t0 := 1; t0 <= span; t0++ {
+		if n := len(g.AtCycle(dfg.ClassAdd, t0)); n > 3 {
+			t.Fatalf("cycle %d has %d concurrent adds, limit 3", t0, n)
+		}
+	}
+}
+
+func TestPathBasedPrioritisesCriticalPath(t *testing.T) {
+	// One long chain (depth 4) plus independent ops, 1 FU: the chain ops
+	// must be scheduled as early as dependencies allow or the span blows up.
+	g := dfg.New("prio")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c1 := g.AddBinary(dfg.Add, a, b)
+	c2 := g.AddBinary(dfg.Add, c1, b)
+	c3 := g.AddBinary(dfg.Add, c2, b)
+	c4 := g.AddBinary(dfg.Add, c3, b)
+	i1 := g.AddBinary(dfg.Add, a, a)
+	i2 := g.AddBinary(dfg.Add, b, b)
+	g.AddOutput("y", c4)
+	g.AddOutput("z", g.AddBinary(dfg.Add, i1, i2))
+
+	span, err := PathBased(g, Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical path is 4; with 2 FUs and 7 ops, optimal span is 4.
+	if span != 4 {
+		t.Fatalf("span = %d, want 4", span)
+	}
+	if g.Ops[c1].Cycle != 1 {
+		t.Errorf("critical-path head scheduled at %d, want 1", g.Ops[c1].Cycle)
+	}
+}
+
+func TestPathBasedMixedClasses(t *testing.T) {
+	src := `
+kernel mixed;
+input a, b, c, d;
+output y;
+t0 = a * b;
+t1 = c * d;
+t2 = a * c;
+y = t0 + t1 + t2;
+`
+	g, err := frontend.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, err := PathBased(g, Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: 1, dfg.ClassMul: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxConcurrency(dfg.ClassMul) > 2 || g.MaxConcurrency(dfg.ClassAdd) > 1 {
+		t.Fatal("resource limits violated")
+	}
+	if span < 3 {
+		t.Fatalf("span = %d, impossible for this DFG", span)
+	}
+}
+
+func TestDefaultConstraints(t *testing.T) {
+	c := DefaultConstraints()
+	if c.limit(dfg.ClassAdd) != 3 || c.limit(dfg.ClassMul) != 3 {
+		t.Fatal("default constraints must allow 3 FUs per class")
+	}
+	var unconstrained Constraints
+	if unconstrained.limit(dfg.ClassAdd) < 1<<20 {
+		t.Fatal("zero-value constraints must be unconstrained")
+	}
+	z := Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: 0}}
+	if z.limit(dfg.ClassAdd) != 1 {
+		t.Fatal("non-positive limits must clamp to 1")
+	}
+}
+
+// randomDAG builds a random DFG with the given op count.
+func randomDAG(r *rand.Rand, nOps int) *dfg.Graph {
+	g := dfg.New("rand")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	avail := []dfg.OpID{a, b}
+	kinds := []dfg.Kind{dfg.Add, dfg.Sub, dfg.Mul, dfg.AbsDiff}
+	var last dfg.OpID
+	for i := 0; i < nOps; i++ {
+		x := avail[r.Intn(len(avail))]
+		y := avail[r.Intn(len(avail))]
+		last = g.AddBinary(kinds[r.Intn(len(kinds))], x, y)
+		avail = append(avail, last)
+	}
+	g.AddOutput("y", last)
+	return g
+}
+
+// Property: on random DAGs, PathBased produces valid schedules respecting
+// constraints, with span at least the ASAP span (resources only delay).
+func TestPathBasedRandomQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 3+r.Intn(40))
+		asapSpan := ASAP(g.Clone())
+		maxAdd := 1 + r.Intn(3)
+		maxMul := 1 + r.Intn(3)
+		cons := Constraints{MaxFUs: map[dfg.Class]int{dfg.ClassAdd: maxAdd, dfg.ClassMul: maxMul}}
+		span, err := PathBased(g, cons)
+		if err != nil {
+			return false
+		}
+		if g.Validate(true) != nil {
+			return false
+		}
+		if g.MaxConcurrency(dfg.ClassAdd) > maxAdd || g.MaxConcurrency(dfg.ClassMul) > maxMul {
+			return false
+		}
+		return span >= asapSpan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ASAP schedules are dependency-minimal — every op either sits at
+// cycle 1 or has an operand finishing exactly one cycle earlier.
+func TestASAPTightQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 3+r.Intn(30))
+		ASAP(g)
+		for _, op := range g.Ops {
+			if !op.Kind.IsBinary() {
+				continue
+			}
+			if op.Cycle == 1 {
+				continue
+			}
+			tight := false
+			for _, a := range op.Args {
+				arg := g.Ops[a]
+				if arg.Kind.IsBinary() && arg.Cycle == op.Cycle-1 {
+					tight = true
+				}
+			}
+			if !tight {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

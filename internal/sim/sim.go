@@ -1,0 +1,169 @@
+// Package sim interprets data-flow graphs over input traces and accumulates
+// the input-minterm occurrence matrix K of Sec. IV-A.
+//
+// "One way to calculate K for a given DFG is to simulate the execution of the
+// DFG for 'typical' input traces ... Given an input trace for the DFG, we can
+// perform time simulation to calculate the number of times a given locked
+// input is applied to each operation." This package is exactly that
+// simulator.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/trace"
+)
+
+// KMatrix records, per operation, how many times each input minterm was
+// applied over the simulated trace. K_{m,n} of the paper is Count(m, n).
+// Minterms of commutative kinds are canonicalised, so operand order does not
+// split counts.
+type KMatrix struct {
+	perOp []map[dfg.Minterm]int // indexed by OpID; nil for non-FU ops
+}
+
+// NewKMatrix returns an empty K matrix for a graph of numOps operations.
+// Counts are normally produced by Run; the constructor exists so that
+// analytically specified occurrence tables (such as the paper's Fig. 1 and
+// Fig. 2 examples) can be expressed directly.
+func NewKMatrix(numOps int) *KMatrix {
+	k := &KMatrix{perOp: make([]map[dfg.Minterm]int, numOps)}
+	for i := range k.perOp {
+		k.perOp[i] = map[dfg.Minterm]int{}
+	}
+	return k
+}
+
+// Add increments K_{m,n} by count.
+func (k *KMatrix) Add(m dfg.Minterm, n dfg.OpID, count int) {
+	if k.perOp[n] == nil {
+		k.perOp[n] = map[dfg.Minterm]int{}
+	}
+	k.perOp[n][m] += count
+}
+
+// Count returns K_{m,n}: occurrences of minterm m at operation n.
+func (k *KMatrix) Count(m dfg.Minterm, n dfg.OpID) int {
+	if int(n) >= len(k.perOp) || k.perOp[n] == nil {
+		return 0
+	}
+	return k.perOp[n][m]
+}
+
+// OpTotal returns the total number of recorded applications at operation n
+// (equal to the trace length for FU ops).
+func (k *KMatrix) OpTotal(n dfg.OpID) int {
+	total := 0
+	for _, c := range k.perOp[n] {
+		total += c
+	}
+	return total
+}
+
+// OpMinterms returns the distinct minterms observed at operation n.
+func (k *KMatrix) OpMinterms(n dfg.OpID) []dfg.Minterm {
+	ms := make([]dfg.Minterm, 0, len(k.perOp[n]))
+	for m := range k.perOp[n] {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	return ms
+}
+
+// MintermCount is a minterm with an aggregate occurrence count.
+type MintermCount struct {
+	M     dfg.Minterm
+	Count int
+}
+
+// TopMinterms returns the k most frequent minterms aggregated over all
+// class-c operations of g, in decreasing count order (minterm value breaks
+// ties, for determinism). This implements the paper's default candidate
+// locked-input selection: "the most obvious relies on the 'typical' input
+// trace to select the most common inputs in the DFG (i.e. the top 'x' most
+// common inputs)" (Sec. V-B).
+func (k *KMatrix) TopMinterms(g *dfg.Graph, c dfg.Class, topK int) []MintermCount {
+	agg := map[dfg.Minterm]int{}
+	for _, id := range g.OpsOfClass(c) {
+		for m, n := range k.perOp[id] {
+			agg[m] += n
+		}
+	}
+	all := make([]MintermCount, 0, len(agg))
+	for m, n := range agg {
+		all = append(all, MintermCount{M: m, Count: n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].M < all[j].M
+	})
+	if topK > len(all) {
+		topK = len(all)
+	}
+	return all[:topK]
+}
+
+// Result carries everything one simulation produces.
+type Result struct {
+	K *KMatrix
+	// Vals[s][n] is the value produced by op n in sample s (inputs carry
+	// their sample value; Output ops mirror their operand). Consumed by
+	// the RTL switching-activity model.
+	Vals [][]uint8
+	// OperandAB[s][n] is the raw, non-canonicalised operand pair applied
+	// to binary op n in sample s (zero for non-binary ops).
+	OperandAB [][]dfg.Minterm
+}
+
+// Run interprets g over tr, producing the K matrix and per-sample values.
+// Every DFG input must be present in the trace.
+func Run(g *dfg.Graph, tr *trace.Trace) (*Result, error) {
+	inputIdx := make(map[dfg.OpID]int)
+	for _, id := range g.Inputs() {
+		idx := tr.Index(g.Ops[id].Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("sim: trace missing input %q of %q", g.Ops[id].Name, g.Name)
+		}
+		inputIdx[id] = idx
+	}
+
+	k := &KMatrix{perOp: make([]map[dfg.Minterm]int, len(g.Ops))}
+	for _, op := range g.Ops {
+		if op.Kind.IsBinary() {
+			k.perOp[op.ID] = map[dfg.Minterm]int{}
+		}
+	}
+
+	res := &Result{
+		K:         k,
+		Vals:      make([][]uint8, tr.Len()),
+		OperandAB: make([][]dfg.Minterm, tr.Len()),
+	}
+	for s, sample := range tr.Samples {
+		vals := make([]uint8, len(g.Ops))
+		ab := make([]dfg.Minterm, len(g.Ops))
+		for _, op := range g.Ops {
+			switch op.Kind {
+			case dfg.Input:
+				vals[op.ID] = sample[inputIdx[op.ID]]
+			case dfg.Const:
+				vals[op.ID] = op.Val
+			case dfg.Output:
+				vals[op.ID] = vals[op.Args[0]]
+			default:
+				a := vals[op.Args[0]]
+				b := vals[op.Args[1]]
+				vals[op.ID] = dfg.EvalKind(op.Kind, a, b)
+				ab[op.ID] = dfg.MkMinterm(a, b)
+				k.perOp[op.ID][dfg.CanonMinterm(op.Kind, a, b)]++
+			}
+		}
+		res.Vals[s] = vals
+		res.OperandAB[s] = ab
+	}
+	return res, nil
+}

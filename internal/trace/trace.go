@@ -1,0 +1,209 @@
+// Package trace generates the "typical" input traces (sample workloads) that
+// drive binding decisions.
+//
+// The paper assumes knowledge of the IC's input distribution during HLS — "a
+// common assumption for HLS [19], [22]" — and uses MediaBench's sample
+// workloads. The MediaBench payloads (images, audio, video bitstreams) are
+// not redistributable, so this package synthesises workloads with the same
+// statistical character: heavy-tailed, correlated minterm distributions with
+// repeated values, zero runs, and smooth local structure. Every generator is
+// deterministic under its seed.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Trace is a sequence of input samples for a DFG. Samples[s][i] is the value
+// of input Names[i] in sample s.
+type Trace struct {
+	Names   []string
+	Samples [][]uint8
+}
+
+// New returns an empty trace over the named inputs with capacity for n
+// samples.
+func New(names []string, n int) *Trace {
+	return &Trace{Names: append([]string(nil), names...), Samples: make([][]uint8, 0, n)}
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.Samples) }
+
+// Append adds one sample; vals must match Names in length and order.
+func (t *Trace) Append(vals []uint8) {
+	if len(vals) != len(t.Names) {
+		panic(fmt.Sprintf("trace: sample has %d values, want %d", len(vals), len(t.Names)))
+	}
+	t.Samples = append(t.Samples, append([]uint8(nil), vals...))
+}
+
+// Index returns the position of input name, or -1.
+func (t *Trace) Index(name string) int {
+	for i, n := range t.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Generator enumerates the built-in workload families.
+type Generator uint8
+
+// Workload families, chosen per benchmark class (see internal/mediabench).
+const (
+	// Uniform draws every input independently and uniformly. It is the
+	// adversarial "no structure" baseline; real media workloads are far
+	// from it.
+	Uniform Generator = iota
+	// ImageBlocks emulates pixel blocks from natural images: a smooth
+	// per-sample base level with small spatial deltas between inputs and
+	// occasional flat (constant) blocks. Drives dct/jdmerge/jctrans/motion.
+	ImageBlocks
+	// Audio emulates PCM audio feeding a tapped delay line: consecutive
+	// inputs are consecutive samples of a noisy sum of sinusoids. Drives
+	// fir/fft.
+	Audio
+	// Bitstream emulates protocol/cipher input data: repeated header
+	// bytes, counters, and runs of padding. Drives ecb_enc.
+	Bitstream
+	// SensorNoise emulates a sensor channel: values concentrated around a
+	// slowly drifting mean with rare outliers. Drives noisest.
+	SensorNoise
+)
+
+func (g Generator) String() string {
+	switch g {
+	case Uniform:
+		return "uniform"
+	case ImageBlocks:
+		return "image-blocks"
+	case Audio:
+		return "audio"
+	case Bitstream:
+		return "bitstream"
+	case SensorNoise:
+		return "sensor-noise"
+	}
+	return fmt.Sprintf("generator(%d)", uint8(g))
+}
+
+// Generate produces n samples over the named inputs using family g and the
+// given seed.
+func Generate(g Generator, names []string, n int, seed int64) *Trace {
+	r := rand.New(rand.NewSource(seed))
+	t := New(names, n)
+	vals := make([]uint8, len(names))
+	switch g {
+	case Uniform:
+		for s := 0; s < n; s++ {
+			for i := range vals {
+				vals[i] = uint8(r.Intn(256))
+			}
+			t.Append(vals)
+		}
+	case ImageBlocks:
+		for s := 0; s < n; s++ {
+			base := uint8(r.Intn(256))
+			if r.Float64() < 0.12 { // dark blocks: very common in real video
+				base = uint8(r.Intn(12))
+			}
+			flat := r.Float64() < 0.08 // flat blocks: all-equal pixels
+			grad := r.Intn(7) - 3      // smooth gradient step
+			for i := range vals {
+				if flat {
+					vals[i] = base
+					continue
+				}
+				v := int(base) + grad*i + r.Intn(5) - 2
+				vals[i] = clamp(v)
+			}
+			t.Append(vals)
+		}
+	case Audio:
+		phase := r.Float64() * 2 * math.Pi
+		f1 := 0.05 + r.Float64()*0.1
+		f2 := 0.21 + r.Float64()*0.1
+		pos := 0
+		silence := 0 // remaining silent samples (real audio is full of them)
+		sample := func(k int) uint8 {
+			x := 96*math.Sin(f1*float64(k)+phase) + 24*math.Sin(f2*float64(k))
+			x += float64(r.Intn(9) - 4)
+			v := clamp(int(128 + x))
+			return v &^ 3 // coarse quantisation, as after ADC companding
+		}
+		for s := 0; s < n; s++ {
+			if silence == 0 && r.Float64() < 0.03 {
+				silence = 4 + r.Intn(16)
+			}
+			// Consecutive inputs are a sliding window over the stream.
+			for i := range vals {
+				if silence > 0 {
+					vals[i] = 128
+				} else {
+					vals[i] = sample(pos + i)
+				}
+			}
+			if silence > 0 {
+				silence--
+			}
+			pos++
+			t.Append(vals)
+		}
+	case Bitstream:
+		headers := []uint8{0x00, 0xFF, 0x47, 0x1F}
+		ctr := uint8(0)
+		for s := 0; s < n; s++ {
+			mode := r.Intn(10)
+			for i := range vals {
+				switch {
+				case mode < 3: // header run
+					vals[i] = headers[r.Intn(len(headers))]
+				case mode < 6: // counter data
+					vals[i] = ctr + uint8(i)
+				case mode < 8: // zero padding
+					vals[i] = 0
+				default: // payload bytes
+					vals[i] = uint8(r.Intn(256))
+				}
+			}
+			ctr += uint8(1 + r.Intn(3))
+			t.Append(vals)
+		}
+	case SensorNoise:
+		mean := 120.0
+		for s := 0; s < n; s++ {
+			mean += r.Float64()*2 - 1 // slow drift
+			if mean < 40 {
+				mean = 40
+			}
+			if mean > 215 {
+				mean = 215
+			}
+			for i := range vals {
+				v := mean + r.NormFloat64()*4
+				if r.Float64() < 0.02 { // rare outlier spike
+					v = mean + r.NormFloat64()*60
+				}
+				vals[i] = clamp(int(v))
+			}
+			t.Append(vals)
+		}
+	default:
+		panic(fmt.Sprintf("trace: unknown generator %v", g))
+	}
+	return t
+}
+
+func clamp(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
