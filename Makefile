@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci figures clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs reformatting (CI gate); run `gofmt -w .` to fix.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt vet build race
+
+figures:
+	$(GO) run ./cmd/figures -fig all
+
+clean:
+	$(GO) clean ./...

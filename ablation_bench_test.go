@@ -5,6 +5,7 @@ package bindlock
 // approximate attack.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -31,7 +32,7 @@ func BenchmarkAblationBestPlacement(b *testing.B) {
 	var h experiments.Headline
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d, err := s.Fig4()
+		d, err := s.Fig4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 			b.Fatal(err)
 		}
 		tr := bench.Workload(fds, 300, 1)
-		res, err := sim.Run(fds, tr)
+		res, err := sim.Run(context.Background(), fds, tr)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 		for j, mc := range top {
 			cands[j] = mc.M
 		}
-		co, err := codesign.Heuristic(fds, res.K, codesign.Options{
+		co, err := codesign.Heuristic(context.Background(), fds, res.K, codesign.Options{
 			Class: dfg.ClassMul, NumFUs: numFUs, LockedFUs: 1, MintermsPerFU: 2,
 			Candidates: cands, Scheme: locking.SFLLRem,
 		})
@@ -110,7 +111,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 // speedup that makes the optimal enumeration tractable.
 func BenchmarkAblationEvaluator(b *testing.B) {
 	bench, _ := mediabench.ByName("dct")
-	p, err := bench.Prepare(3, 300, 1)
+	p, err := bench.Prepare(context.Background(), 3, 300, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func BenchmarkApproxAttack(b *testing.B) {
 	var rate float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := satattack.ApproxAttack(locked, oracle, satattack.ApproxOptions{
+		res, err := satattack.ApproxAttack(context.Background(), locked, oracle, satattack.ApproxOptions{
 			MaxIterations: 8, Seed: 2,
 		})
 		if err != nil {
@@ -198,7 +199,7 @@ func BenchmarkCorruption(b *testing.B) {
 	var mean float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := s.OutputCorruption()
+		rows, err := s.OutputCorruption(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -230,7 +231,7 @@ func BenchmarkForceDirected(b *testing.B) {
 // BenchmarkVerilogExport emits RTL for the dct datapath.
 func BenchmarkVerilogExport(b *testing.B) {
 	bench, _ := mediabench.ByName("dct")
-	p, err := bench.Prepare(3, 32, 1)
+	p, err := bench.Prepare(context.Background(), 3, 32, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func BenchmarkVerilogExport(b *testing.B) {
 // low-power flows exploit).
 func BenchmarkAblationPortSwap(b *testing.B) {
 	bench, _ := mediabench.ByName("fir")
-	p, err := bench.Prepare(3, 300, 1)
+	p, err := bench.Prepare(context.Background(), 3, 300, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -19,6 +19,7 @@ package bindlock
 // doubles as a summary of the reproduction.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -50,7 +51,7 @@ var benchCfg = experiments.Config{
 
 func benchSuite(b *testing.B) *experiments.Suite {
 	b.Helper()
-	s, err := experiments.NewSuite(benchCfg)
+	s, err := experiments.NewSuite(context.Background(), benchCfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func BenchmarkFig4ObfAware(b *testing.B) {
 	var h experiments.Headline
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d, err := s.Fig4()
+		d, err := s.Fig4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkFig4CoDesign(b *testing.B) {
 	var h experiments.Headline
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d, err := s.Fig4()
+		d, err := s.Fig4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +165,7 @@ func BenchmarkFig4CoDesign(b *testing.B) {
 // reports the "1 FU" co-design group.
 func BenchmarkFig5Sensitivity(b *testing.B) {
 	s := benchSuite(b)
-	d, err := s.Fig4()
+	d, err := s.Fig4(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func BenchmarkFig6Overhead(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		d, err = s.Fig6()
+		d, err = s.Fig6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func BenchmarkSATResilience(b *testing.B) {
 	var rows []experiments.ResilienceRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Resilience([]int{2, 3}, 3, 7)
+		rows, err = experiments.Resilience(context.Background(), []int{2, 3}, 3, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -213,7 +214,7 @@ func BenchmarkEpsilonSweep(b *testing.B) {
 	var rows []experiments.EpsilonSweepRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.EpsilonSweep([]int{0, 2}, 2, 11)
+		rows, err = experiments.EpsilonSweep(context.Background(), []int{0, 2}, 2, 11)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,7 +225,7 @@ func BenchmarkEpsilonSweep(b *testing.B) {
 
 // BenchmarkMethodology runs the Sec. V-C design methodology on dct.
 func BenchmarkMethodology(b *testing.B) {
-	d, err := PrepareBenchmark("dct", 3, 300, 1)
+	d, err := PrepareBenchmark(context.Background(), "dct", WithMaxFUs(3), WithSamples(300), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func BenchmarkMethodology(b *testing.B) {
 	var plan *Plan
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		plan, err = d.Methodology(ClassAdd, 2, cands, 200, 3600*1e9)
+		plan, err = d.Methodology(context.Background(), ClassAdd, 2, cands, 200, 3600*1e9)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -248,7 +249,7 @@ func BenchmarkCoDesignOptimal(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p, err := bench.Prepare(3, 300, 42)
+	p, err := bench.Prepare(context.Background(), 3, 300, 42)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func BenchmarkCoDesignOptimal(b *testing.B) {
 	var opt *codesign.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		opt, err = codesign.Optimal(p.G, p.Res.K, o)
+		opt, err = codesign.Optimal(context.Background(), p.G, p.Res.K, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -323,7 +324,7 @@ func BenchmarkSimulator(b *testing.B) {
 	tr := bench.Workload(g, 600, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(g, tr); err != nil {
+		if _, err := sim.Run(context.Background(), g, tr); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -363,7 +364,7 @@ func BenchmarkSATSolver(b *testing.B) {
 				}
 			}
 		}
-		ok, err := s.Solve()
+		ok, err := s.Solve(context.Background())
 		if err != nil || ok {
 			b.Fatalf("PHP(8,7) = %v, %v", ok, err)
 		}
@@ -384,7 +385,7 @@ func BenchmarkSATAttack(b *testing.B) {
 	var iters int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := satattack.Attack(locked, oracle, satattack.Options{})
+		res, err := satattack.Attack(context.Background(), locked, oracle, satattack.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -395,7 +396,7 @@ func BenchmarkSATAttack(b *testing.B) {
 
 // BenchmarkBindObfAware binds the dct adders obfuscation-aware.
 func BenchmarkBindObfAware(b *testing.B) {
-	d, err := PrepareBenchmark("dct", 3, 300, 1)
+	d, err := PrepareBenchmark(context.Background(), "dct", WithMaxFUs(3), WithSamples(300), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -414,14 +415,14 @@ func BenchmarkBindObfAware(b *testing.B) {
 
 // BenchmarkCoDesignHeuristic runs the P-time heuristic on the dct adders.
 func BenchmarkCoDesignHeuristic(b *testing.B) {
-	d, err := PrepareBenchmark("dct", 3, 300, 1)
+	d, err := PrepareBenchmark(context.Background(), "dct", WithMaxFUs(3), WithSamples(300), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
 	cands := d.Candidates(ClassAdd, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := d.CoDesign(ClassAdd, 3, 3, cands); err != nil {
+		if _, err := d.CoDesign(context.Background(), ClassAdd, 3, 3, cands); err != nil {
 			b.Fatal(err)
 		}
 	}

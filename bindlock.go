@@ -17,7 +17,9 @@
 //   - Prepare runs the full front-of-line flow: compile, schedule onto a
 //     bounded FU allocation (internal/sched), generate a typical workload
 //     (internal/trace) and simulate it to collect the input-minterm
-//     occurrence matrix K (internal/sim).
+//     occurrence matrix K (internal/sim). It is configured with functional
+//     options (WithMaxFUs, WithSamples, WithWorkload, WithSeed,
+//     WithProgress).
 //   - Design.BindObfuscationAware, Design.CoDesign and Design.Methodology
 //     expose the paper's algorithms (internal/binding, internal/codesign).
 //   - Benchmarks returns the 11 MediaBench-derived kernels of the paper's
@@ -26,11 +28,21 @@
 //     solver and the oracle-guided SAT attack — is exercised through the
 //     LockAndAttack helper and the cmd/satattack tool.
 //
+// Every potentially long-running entry point takes a context.Context as its
+// first argument. Cancellation and deadlines are honoured at natural
+// iteration boundaries (solver restarts, attack DIPs, co-design candidate
+// evaluations, workload samples); an interrupted call returns a typed error
+// matching ErrCancelled or ErrBudgetExceeded — and the underlying
+// context.Canceled / context.DeadlineExceeded — together with the partial
+// result computed so far. Progress hooks attached with WithProgress (or
+// progress-carrying contexts) receive per-phase telemetry from every layer.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured reproduction record.
 package bindlock
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -41,11 +53,13 @@ import (
 	"bindlock/internal/dfg"
 	"bindlock/internal/elaborate"
 	"bindlock/internal/frontend"
+	"bindlock/internal/interrupt"
 	"bindlock/internal/lockedsim"
 	"bindlock/internal/locking"
 	"bindlock/internal/mediabench"
 	"bindlock/internal/netlist"
 	"bindlock/internal/opt"
+	"bindlock/internal/progress"
 	"bindlock/internal/rtl"
 	"bindlock/internal/satattack"
 	"bindlock/internal/sched"
@@ -115,6 +129,40 @@ const (
 	FullLock      = locking.FullLock
 )
 
+// Interruption semantics, re-exported from internal/interrupt. A cancelled
+// or budget-limited call returns an *InterruptError whose errors.Is matches
+// one of these sentinels as well as the underlying context error.
+var (
+	// ErrCancelled marks work stopped by explicit context cancellation.
+	ErrCancelled = interrupt.ErrCancelled
+	// ErrBudgetExceeded marks work stopped by a deadline or an iteration /
+	// conflict budget.
+	ErrBudgetExceeded = interrupt.ErrBudgetExceeded
+)
+
+type (
+	// InterruptError is the typed error carrying interruption kind, cause
+	// and the partial result computed before the interruption.
+	InterruptError = interrupt.Error
+	// ProgressEvent is one telemetry event from a compute phase.
+	ProgressEvent = progress.Event
+	// ProgressHook receives ProgressEvents.
+	ProgressHook = progress.Hook
+	// ProgressLogger is a ready-made throttled textual ProgressHook.
+	ProgressLogger = progress.Logger
+)
+
+// PartialResult extracts the typed partial result from an interruption
+// error: the best-so-far attack Result, co-design Result, solver Stats and
+// so on, depending on which layer was interrupted.
+func PartialResult[T any](err error) (T, bool) { return interrupt.Partial[T](err) }
+
+// WithProgressContext returns a context carrying the hook; every
+// context-aware call in the library emits its phase telemetry to it.
+func WithProgressContext(ctx context.Context, h ProgressHook) context.Context {
+	return progress.NewContext(ctx, h)
+}
+
 // Compile parses kernel source in the library's C-like kernel language into
 // an unscheduled data-flow graph.
 func Compile(src string) (*Graph, error) { return frontend.Compile(src) }
@@ -140,37 +188,90 @@ type Design struct {
 	G      *Graph
 	Res    *SimResult
 	NumFUs int
+	// Trace is the workload the characterisation simulated over; with a
+	// fixed seed it is byte-identical across runs.
+	Trace *Trace
 }
 
+// Option configures the Prepare family of constructors.
+type Option func(*prepareConfig)
+
+type prepareConfig struct {
+	maxFUs  int
+	samples int
+	gen     WorkloadKind
+	genSet  bool
+	seed    int64
+	hook    ProgressHook
+}
+
+func defaultPrepareConfig() prepareConfig {
+	return prepareConfig{maxFUs: 2, samples: mediabench.DefaultSamples, gen: WorkloadUniform, seed: 1}
+}
+
+// WithMaxFUs sets the per-class FU allocation bound (default 2).
+func WithMaxFUs(n int) Option { return func(c *prepareConfig) { c.maxFUs = n } }
+
+// WithSamples sets the workload length (default 600).
+func WithSamples(n int) Option { return func(c *prepareConfig) { c.samples = n } }
+
+// WithWorkload selects the synthetic workload family (default
+// WorkloadUniform; PrepareBenchmark defaults to the kernel's paper-matched
+// family instead).
+func WithWorkload(gen WorkloadKind) Option {
+	return func(c *prepareConfig) { c.gen = gen; c.genSet = true }
+}
+
+// WithSeed sets the workload generator seed (default 1). Identical seeds
+// yield byte-identical traces and identical K matrices.
+func WithSeed(seed int64) Option { return func(c *prepareConfig) { c.seed = seed } }
+
+// WithProgress attaches a progress hook for the prepare flow. The hook is
+// carried on the context handed to the workload simulation; for telemetry
+// from later calls (co-design, attacks) pass a WithProgressContext context
+// to those calls.
+func WithProgress(h ProgressHook) Option { return func(c *prepareConfig) { c.hook = h } }
+
+// WithProgressFunc is WithProgress for a bare function.
+func WithProgressFunc(f func(ProgressEvent)) Option { return WithProgress(progress.Func(f)) }
+
 // Prepare runs the experimental flow of the paper's Fig. 3 on kernel source:
-// compile, schedule onto up to maxFUs FUs per class with the path-based
-// scheduler, generate samples workload inputs of the given family, and
-// simulate to obtain the K matrix.
-func Prepare(src string, maxFUs, samples int, gen WorkloadKind, seed int64) (*Design, error) {
+// compile, schedule onto a bounded FU allocation with the path-based
+// scheduler, generate a typical workload, and simulate it to obtain the K
+// matrix. Cancellation interrupts the workload simulation at sample
+// granularity.
+func Prepare(ctx context.Context, src string, opts ...Option) (*Design, error) {
 	g, err := frontend.Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	cons := sched.Constraints{MaxFUs: map[Class]int{ClassAdd: maxFUs, ClassMul: maxFUs}}
-	if _, err := sched.PathBased(g, cons); err != nil {
-		return nil, err
-	}
-	var names []string
-	for _, id := range g.Inputs() {
-		names = append(names, g.Ops[id].Name)
-	}
-	res, err := sim.Run(g, trace.Generate(gen, names, samples, seed))
-	if err != nil {
-		return nil, err
-	}
-	return &Design{G: g, Res: res, NumFUs: maxFUs}, nil
+	return prepareGraph(ctx, g, resolveOptions(opts))
 }
 
 // PrepareGraph runs the scheduling and workload-characterisation flow on an
 // already-compiled (for example, optimised) graph. The graph is scheduled in
 // place.
-func PrepareGraph(g *Graph, maxFUs, samples int, gen WorkloadKind, seed int64) (*Design, error) {
-	cons := sched.Constraints{MaxFUs: map[Class]int{ClassAdd: maxFUs, ClassMul: maxFUs}}
+func PrepareGraph(ctx context.Context, g *Graph, opts ...Option) (*Design, error) {
+	return prepareGraph(ctx, g, resolveOptions(opts))
+}
+
+// resolveOptions folds the option list over the defaults.
+func resolveOptions(opts []Option) prepareConfig {
+	cfg := defaultPrepareConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+func prepareGraph(ctx context.Context, g *Graph, cfg prepareConfig) (*Design, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.hook != nil {
+		ctx = progress.NewContext(ctx, cfg.hook)
+	}
+	cons := sched.Constraints{MaxFUs: map[Class]int{ClassAdd: cfg.maxFUs, ClassMul: cfg.maxFUs}}
 	if _, err := sched.PathBased(g, cons); err != nil {
 		return nil, err
 	}
@@ -178,25 +279,58 @@ func PrepareGraph(g *Graph, maxFUs, samples int, gen WorkloadKind, seed int64) (
 	for _, id := range g.Inputs() {
 		names = append(names, g.Ops[id].Name)
 	}
-	res, err := sim.Run(g, trace.Generate(gen, names, samples, seed))
+	tr := trace.Generate(cfg.gen, names, cfg.samples, cfg.seed)
+	res, err := sim.Run(ctx, g, tr)
 	if err != nil {
 		return nil, err
 	}
-	return &Design{G: g, Res: res, NumFUs: maxFUs}, nil
+	return &Design{G: g, Res: res, NumFUs: cfg.maxFUs, Trace: tr}, nil
 }
 
-// PrepareBenchmark runs the same flow on one of the built-in kernels with
-// its paper-matched workload family.
-func PrepareBenchmark(name string, maxFUs, samples int, seed int64) (*Design, error) {
+// PrepareBenchmark runs the same flow on one of the built-in kernels. The
+// workload family defaults to the kernel's paper-matched generator; override
+// it with WithWorkload.
+func PrepareBenchmark(ctx context.Context, name string, opts ...Option) (*Design, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	b, err := mediabench.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	p, err := b.Prepare(maxFUs, samples, seed)
+	cfg := resolveOptions(opts)
+	if !cfg.genSet {
+		cfg.gen = b.Gen
+	}
+	g, err := b.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return &Design{G: p.G, Res: p.Res, NumFUs: p.NumFUs}, nil
+	return prepareGraph(ctx, g, cfg)
+}
+
+// PrepareArgs is the original positional form of Prepare.
+//
+// Deprecated: use Prepare with a context and options.
+func PrepareArgs(src string, maxFUs, samples int, gen WorkloadKind, seed int64) (*Design, error) {
+	return Prepare(context.Background(), src,
+		WithMaxFUs(maxFUs), WithSamples(samples), WithWorkload(gen), WithSeed(seed))
+}
+
+// PrepareGraphArgs is the original positional form of PrepareGraph.
+//
+// Deprecated: use PrepareGraph with a context and options.
+func PrepareGraphArgs(g *Graph, maxFUs, samples int, gen WorkloadKind, seed int64) (*Design, error) {
+	return PrepareGraph(context.Background(), g,
+		WithMaxFUs(maxFUs), WithSamples(samples), WithWorkload(gen), WithSeed(seed))
+}
+
+// PrepareBenchmarkArgs is the original positional form of PrepareBenchmark.
+//
+// Deprecated: use PrepareBenchmark with a context and options.
+func PrepareBenchmarkArgs(name string, maxFUs, samples int, seed int64) (*Design, error) {
+	return PrepareBenchmark(context.Background(), name,
+		WithMaxFUs(maxFUs), WithSamples(samples), WithSeed(seed))
 }
 
 // Candidates returns the k most frequent input minterms of the class over
@@ -254,8 +388,10 @@ func (d *Design) ApplicationErrors(lock *LockConfig, b *Binding) (int, error) {
 // CoDesign solves Problem 2 (Sec. V) with the P-time heuristic: choose the
 // binding and the locked minterms (mintermsPerFU each from candidates) for
 // lockedFUs FUs to maximise application errors.
-func (d *Design) CoDesign(class Class, lockedFUs, mintermsPerFU int, candidates []Minterm) (*CoDesignResult, error) {
-	return codesign.Heuristic(d.G, d.Res.K, codesign.Options{
+// Cancellation is honoured per candidate evaluation; an interrupted search
+// returns the configuration frozen so far inside the typed error.
+func (d *Design) CoDesign(ctx context.Context, class Class, lockedFUs, mintermsPerFU int, candidates []Minterm) (*CoDesignResult, error) {
+	return codesign.Heuristic(ctx, d.G, d.Res.K, codesign.Options{
 		Class: class, NumFUs: d.NumFUs, LockedFUs: lockedFUs,
 		MintermsPerFU: mintermsPerFU, Candidates: candidates,
 		Scheme: locking.SFLLRem,
@@ -263,8 +399,8 @@ func (d *Design) CoDesign(class Class, lockedFUs, mintermsPerFU int, candidates 
 }
 
 // CoDesignOptimal solves Problem 2 exactly (exponential enumeration).
-func (d *Design) CoDesignOptimal(class Class, lockedFUs, mintermsPerFU int, candidates []Minterm) (*CoDesignResult, error) {
-	return codesign.Optimal(d.G, d.Res.K, codesign.Options{
+func (d *Design) CoDesignOptimal(ctx context.Context, class Class, lockedFUs, mintermsPerFU int, candidates []Minterm) (*CoDesignResult, error) {
+	return codesign.Optimal(ctx, d.G, d.Res.K, codesign.Options{
 		Class: class, NumFUs: d.NumFUs, LockedFUs: lockedFUs,
 		MintermsPerFU: mintermsPerFU, Candidates: candidates,
 		Scheme: locking.SFLLRem,
@@ -274,9 +410,9 @@ func (d *Design) CoDesignOptimal(class Class, lockedFUs, mintermsPerFU int, cand
 // Methodology runs the Sec. V-C design flow: find the smallest locked-input
 // count meeting minErrors, then size a Full-Lock-style routing network (only
 // if needed) so the modelled SAT attack takes at least minSATTime.
-func (d *Design) Methodology(class Class, lockedFUs int, candidates []Minterm,
+func (d *Design) Methodology(ctx context.Context, class Class, lockedFUs int, candidates []Minterm,
 	minErrors int, minSATTime time.Duration) (*Plan, error) {
-	return codesign.Methodology(d.G, d.Res.K,
+	return codesign.Methodology(ctx, d.G, d.Res.K,
 		codesign.Options{
 			Class: class, NumFUs: d.NumFUs, LockedFUs: lockedFUs,
 			Candidates: candidates, Scheme: locking.SFLLRem,
@@ -302,8 +438,8 @@ type CorruptionReport = lockedsim.Report
 
 // SimulateLocked runs the design's workload through the locked datapath
 // under a wrong key and reports injected and application-visible errors.
-func (d *Design) SimulateLocked(tr *Trace, b *Binding, cfg *LockConfig) (CorruptionReport, error) {
-	return lockedsim.Run(d.G, tr, b, cfg)
+func (d *Design) SimulateLocked(ctx context.Context, tr *Trace, b *Binding, cfg *LockConfig) (CorruptionReport, error) {
+	return lockedsim.Run(ctx, d.G, tr, b, cfg)
 }
 
 // MinimalAllocation returns the smallest per-class FU counts under which the
@@ -352,7 +488,14 @@ func (d *Design) Elaborate(bindings map[Class]*Binding, cfg *LockConfig) (*Elabo
 // the full oracle-guided SAT attack against it. It validates that the
 // recovered key is functionally correct and reports the measured effort —
 // the empirical side of Eqn. 1.
-func LockAndAttack(operandBits int, secret uint64) (*AttackOutcome, error) {
+//
+// A context deadline bounds the attack: on interruption the partial
+// AttackOutcome (DIP iterations completed so far) is returned alongside a
+// typed error matching ErrBudgetExceeded or ErrCancelled.
+func LockAndAttack(ctx context.Context, operandBits int, secret uint64) (*AttackOutcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	base, err := netlist.NewAdder(operandBits)
 	if err != nil {
 		return nil, err
@@ -362,11 +505,20 @@ func LockAndAttack(operandBits int, secret uint64) (*AttackOutcome, error) {
 		return nil, err
 	}
 	oracle := satattack.OracleFromCircuit(locked, key)
-	res, err := satattack.Attack(locked, oracle, satattack.Options{})
+	res, err := satattack.Attack(ctx, locked, oracle, satattack.Options{})
 	if err != nil {
+		if res != nil {
+			out := &AttackOutcome{
+				Iterations: res.Iterations,
+				Duration:   res.Duration,
+				KeyBits:    len(locked.Keys),
+				GateCount:  locked.LogicGates(),
+			}
+			return out, interrupt.Rewrap("bindlock: lock and attack", err, out)
+		}
 		return nil, err
 	}
-	if err := satattack.VerifyKey(locked, res.Key, oracle); err != nil {
+	if err := satattack.VerifyKey(ctx, locked, res.Key, oracle); err != nil {
 		return nil, err
 	}
 	return &AttackOutcome{
@@ -375,4 +527,11 @@ func LockAndAttack(operandBits int, secret uint64) (*AttackOutcome, error) {
 		KeyBits:    len(locked.Keys),
 		GateCount:  locked.LogicGates(),
 	}, nil
+}
+
+// LockAndAttackArgs is the original context-free form of LockAndAttack.
+//
+// Deprecated: use LockAndAttack with a context.
+func LockAndAttackArgs(operandBits int, secret uint64) (*AttackOutcome, error) {
+	return LockAndAttack(context.Background(), operandBits, secret)
 }

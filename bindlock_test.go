@@ -1,6 +1,7 @@
 package bindlock
 
 import (
+	"context"
 	"testing"
 )
 
@@ -18,7 +19,7 @@ z = t2 - d;
 `
 
 func TestPrepareAndCoDesignFacade(t *testing.T) {
-	d, err := Prepare(quickKernel, 2, 300, WorkloadImageBlocks, 7)
+	d, err := Prepare(context.Background(), quickKernel, WithMaxFUs(2), WithSamples(300), WithWorkload(WorkloadImageBlocks), WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestPrepareAndCoDesignFacade(t *testing.T) {
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}
-	co, err := d.CoDesign(ClassAdd, 1, 2, cands)
+	co, err := d.CoDesign(context.Background(), ClassAdd, 1, 2, cands)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestPrepareAndCoDesignFacade(t *testing.T) {
 }
 
 func TestObfuscationAwareFacade(t *testing.T) {
-	d, err := Prepare(quickKernel, 2, 200, WorkloadAudio, 3)
+	d, err := Prepare(context.Background(), quickKernel, WithMaxFUs(2), WithSamples(200), WithWorkload(WorkloadAudio), WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestObfuscationAwareFacade(t *testing.T) {
 }
 
 func TestOverheadFacade(t *testing.T) {
-	d, err := Prepare(quickKernel, 2, 100, WorkloadUniform, 1)
+	d, err := Prepare(context.Background(), quickKernel, WithMaxFUs(2), WithSamples(100), WithWorkload(WorkloadUniform), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,14 +120,14 @@ func TestBenchmarksFacade(t *testing.T) {
 	if len(Benchmarks()) != 11 {
 		t.Fatal("want 11 benchmarks")
 	}
-	d, err := PrepareBenchmark("fir", 3, 100, 2)
+	d, err := PrepareBenchmark(context.Background(), "fir", WithMaxFUs(3), WithSamples(100), WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.G.Name != "fir" {
 		t.Fatalf("prepared %q", d.G.Name)
 	}
-	if _, err := PrepareBenchmark("nope", 3, 100, 2); err == nil {
+	if _, err := PrepareBenchmark(context.Background(), "nope", WithMaxFUs(3), WithSamples(100), WithSeed(2)); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 	if _, err := BenchmarkByName("dct"); err != nil {
@@ -135,7 +136,7 @@ func TestBenchmarksFacade(t *testing.T) {
 }
 
 func TestLockAndAttackFacade(t *testing.T) {
-	out, err := LockAndAttack(3, 0b110101)
+	out, err := LockAndAttack(context.Background(), 3, 0b110101)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,12 +146,12 @@ func TestLockAndAttackFacade(t *testing.T) {
 }
 
 func TestMethodologyFacade(t *testing.T) {
-	d, err := PrepareBenchmark("dct", 3, 300, 5)
+	d, err := PrepareBenchmark(context.Background(), "dct", WithMaxFUs(3), WithSamples(300), WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cands := d.Candidates(ClassAdd, 10)
-	plan, err := d.Methodology(ClassAdd, 2, cands, 50, 0)
+	plan, err := d.Methodology(context.Background(), ClassAdd, 2, cands, 50, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

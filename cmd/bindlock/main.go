@@ -6,10 +6,16 @@
 //
 //	bindlock -bench fir [-class adder|multiplier] [-locked-fus 2] [-inputs 2]
 //	         [-fus 3] [-samples 600] [-seed 1] [-candidates 10] [-dot]
+//	         [-timeout 30s] [-v]
 //	bindlock -src kernel.bl [-workload image|audio|bitstream|sensor|uniform] ...
+//
+// -timeout bounds the whole run; on expiry the tool reports the partial
+// progress of the interrupted phase. -v streams per-phase progress to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,16 +37,36 @@ func main() {
 	dot := flag.Bool("dot", false, "print the scheduled DFG in Graphviz DOT format")
 	verilog := flag.Bool("verilog", false, "emit the co-designed datapath as RTL Verilog")
 	optimize := flag.Bool("O", false, "run front-end optimisation passes (fold/CSE/DCE) before scheduling (-src only)")
+	timeout := flag.Duration("timeout", 0, "bound the whole run; 0 means no limit")
+	verbose := flag.Bool("v", false, "stream per-phase progress to stderr")
 	flag.Parse()
 
-	if err := run(*bench, *src, *workload, *class, *fus, *lockedFUs, *inputs,
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *verbose {
+		ctx = bindlock.WithProgressContext(ctx, &bindlock.ProgressLogger{W: os.Stderr})
+	}
+
+	if err := run(ctx, *bench, *src, *workload, *class, *fus, *lockedFUs, *inputs,
 		*samples, *seed, *candidates, *dot, *verilog, *optimize); err != nil {
+		if errors.Is(err, bindlock.ErrCancelled) || errors.Is(err, bindlock.ErrBudgetExceeded) {
+			fmt.Fprintf(os.Stderr, "bindlock: interrupted (%v)\n", err)
+			if res, ok := bindlock.PartialResult[*bindlock.CoDesignResult](err); ok && res != nil {
+				fmt.Fprintf(os.Stderr, "bindlock: best co-design so far: E = %d after %d evaluations\n",
+					res.Errors, res.Enumerated)
+			}
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "bindlock:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, src, workload, className string, fus, lockedFUs, inputs,
+func run(ctx context.Context, bench, src, workload, className string, fus, lockedFUs, inputs,
 	samples int, seed int64, candidates int, dot, verilog, optimize bool) error {
 	var d *bindlock.Design
 	var err error
@@ -48,7 +74,8 @@ func run(bench, src, workload, className string, fus, lockedFUs, inputs,
 	case bench != "" && src != "":
 		return fmt.Errorf("-bench and -src are mutually exclusive")
 	case bench != "":
-		d, err = bindlock.PrepareBenchmark(bench, fus, samples, seed)
+		d, err = bindlock.PrepareBenchmark(ctx, bench,
+			bindlock.WithMaxFUs(fus), bindlock.WithSamples(samples), bindlock.WithSeed(seed))
 	case src != "":
 		data, rerr := os.ReadFile(src)
 		if rerr != nil {
@@ -71,14 +98,16 @@ func run(bench, src, workload, className string, fus, lockedFUs, inputs,
 			if gerr != nil {
 				return gerr
 			}
-			d, err = bindlock.PrepareGraph(og, fus, samples, gen, seed)
+			d, err = bindlock.PrepareGraph(ctx, og, bindlock.WithMaxFUs(fus),
+				bindlock.WithSamples(samples), bindlock.WithWorkload(gen), bindlock.WithSeed(seed))
 			break
 		}
 		gen, gerr := workloadKind(workload)
 		if gerr != nil {
 			return gerr
 		}
-		d, err = bindlock.Prepare(kernel, fus, samples, gen, seed)
+		d, err = bindlock.Prepare(ctx, kernel, bindlock.WithMaxFUs(fus),
+			bindlock.WithSamples(samples), bindlock.WithWorkload(gen), bindlock.WithSeed(seed))
 	default:
 		return fmt.Errorf("one of -bench or -src is required (try -bench fir)")
 	}
@@ -120,7 +149,7 @@ func run(bench, src, workload, className string, fus, lockedFUs, inputs,
 	fmt.Println()
 
 	// Co-design picks the locked inputs and the binding together.
-	co, err := d.CoDesign(class, lockedFUs, inputs, cands)
+	co, err := d.CoDesign(ctx, class, lockedFUs, inputs, cands)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,7 +56,7 @@ func run(benchName, className string, lockedFUs, inputs, samples int, seed int64
 	if err != nil {
 		return err
 	}
-	p, err := b.Prepare(3, samples, seed)
+	p, err := b.Prepare(context.Background(), 3, samples, seed)
 	if err != nil {
 		return err
 	}
@@ -69,7 +70,7 @@ func run(benchName, className string, lockedFUs, inputs, samples int, seed int64
 	for i, mc := range top {
 		cands[i] = mc.M
 	}
-	co, err := codesign.Heuristic(p.G, p.Res.K, codesign.Options{
+	co, err := codesign.Heuristic(context.Background(), p.G, p.Res.K, codesign.Options{
 		Class: class, NumFUs: p.NumFUs, LockedFUs: lockedFUs, MintermsPerFU: inputs,
 		Candidates: cands, Scheme: locking.SFLLRem,
 	})

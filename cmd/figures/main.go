@@ -5,7 +5,10 @@
 //
 //	figures [-fig 4|5|6|corruption|scan|resilience|eps|stability|all]
 //	        [-samples N] [-seed S] [-candidates N] [-assignments N]
-//	        [-optbudget N] [-bench a,b,c] [-csv DIR]
+//	        [-optbudget N] [-bench a,b,c] [-csv DIR] [-timeout D] [-v]
+//
+// -timeout bounds the whole regeneration with a context deadline; -v streams
+// phase progress to stderr.
 //
 // The default configuration matches the paper's setup: all 11 benchmarks,
 // the 10 most common minterms as candidate locked inputs, and the full
@@ -13,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +27,7 @@ import (
 
 	"bindlock/internal/dfg"
 	"bindlock/internal/experiments"
+	"bindlock/internal/progress"
 )
 
 // experimentClass maps a CLI class name onto a dfg.Class.
@@ -43,7 +48,19 @@ func main() {
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 11)")
 	secrets := flag.Int("secrets", 6, "secrets per key width in the resilience experiments")
 	csvDir := flag.String("csv", "", "also write each regenerated figure as CSV into this directory")
+	timeout := flag.Duration("timeout", 0, "bound the whole regeneration wall time; 0 means no limit")
+	verbose := flag.Bool("v", false, "stream phase progress to stderr")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *verbose {
+		ctx = progress.NewContext(ctx, &progress.Logger{W: os.Stderr})
+	}
 
 	cfg := experiments.Config{
 		Samples:        *samples,
@@ -88,7 +105,7 @@ func main() {
 	var sweep *experiments.Fig4Data
 	if needSweep || *fig == "6" || *fig == "corruption" {
 		var err error
-		suite, err = experiments.NewSuite(cfg)
+		suite, err = experiments.NewSuite(ctx, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
@@ -97,7 +114,7 @@ func main() {
 	if needSweep {
 		run("sweep", func() error {
 			var err error
-			sweep, err = suite.Fig4()
+			sweep, err = suite.Fig4(ctx)
 			return err
 		})
 	}
@@ -115,7 +132,7 @@ func main() {
 	}
 	if *fig == "6" || *fig == "all" {
 		run("figure 6", func() error {
-			d, err := suite.Fig6()
+			d, err := suite.Fig6(ctx)
 			if err != nil {
 				return err
 			}
@@ -126,7 +143,7 @@ func main() {
 	}
 	if *fig == "corruption" || *fig == "all" {
 		run("corruption", func() error {
-			rows, err := suite.OutputCorruption()
+			rows, err := suite.OutputCorruption(ctx)
 			if err != nil {
 				return err
 			}
@@ -147,7 +164,7 @@ func main() {
 				{"jdmerge1", "multiplier"}, {"fir", "adder"}, {"dct", "adder"},
 			} {
 				class := experimentClass(spec.class)
-				row, err := experiments.ScanAccess(spec.bench, class, 12, *samples, *seed)
+				row, err := experiments.ScanAccess(ctx, spec.bench, class, 12, *samples, *seed)
 				if err != nil {
 					return err
 				}
@@ -159,7 +176,7 @@ func main() {
 	}
 	if *fig == "resilience" || *fig == "all" {
 		run("resilience", func() error {
-			rows, err := experiments.Resilience([]int{2, 3, 4}, *secrets, *seed)
+			rows, err := experiments.Resilience(ctx, []int{2, 3, 4}, *secrets, *seed)
 			if err != nil {
 				return err
 			}
@@ -172,7 +189,7 @@ func main() {
 	}
 	if *fig == "stability" || *fig == "all" {
 		run("seed stability", func() error {
-			s, err := experiments.SeedStability(cfg, []int64{1, 2, 3, 4, 5})
+			s, err := experiments.SeedStability(ctx, cfg, []int64{1, 2, 3, 4, 5})
 			if err != nil {
 				return err
 			}
@@ -182,7 +199,7 @@ func main() {
 	}
 	if *fig == "eps" || *fig == "all" {
 		run("epsilon sweep", func() error {
-			rows, err := experiments.EpsilonSweep([]int{0, 1, 2}, *secrets, *seed)
+			rows, err := experiments.EpsilonSweep(ctx, []int{0, 1, 2}, *secrets, *seed)
 			if err != nil {
 				return err
 			}

@@ -5,18 +5,27 @@
 // Usage:
 //
 //	satattack [-fu adder|multiplier] [-width 3] [-scheme sfll|sfll-hd|xor|routing]
-//	          [-secret N] [-h 1] [-keys 8] [-seed 1]
+//	          [-secret N] [-h 1] [-keys 8] [-seed 1] [-timeout 30s] [-progress]
 //	satattack -validate [-secrets 6]
+//
+// -timeout bounds the attack with a context deadline; on expiry the tool
+// prints a partial-result summary (DIPs found, best-so-far key) and exits
+// with status 2. -progress streams per-DIP and solver telemetry to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bindlock/internal/experiments"
+	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
 	"bindlock/internal/netlist"
+	"bindlock/internal/progress"
 	"bindlock/internal/satattack"
 )
 
@@ -32,16 +41,37 @@ func main() {
 	secrets := flag.Int("secrets", 6, "secrets per key width for -validate")
 	verilog := flag.Bool("verilog", false, "emit the locked netlist as structural Verilog before attacking")
 	approx := flag.Int("approx", 0, "run an AppSAT-style approximate attack with this DIP budget instead of the exact attack")
+	timeout := flag.Duration("timeout", 0, "bound the attack wall time; 0 means no limit")
+	showProgress := flag.Bool("progress", false, "stream per-DIP and solver telemetry to stderr")
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *showProgress {
+		ctx = progress.NewContext(ctx, &progress.Logger{W: os.Stderr, EveryN: 1})
+	}
+
 	if *validate {
-		rows, err := experiments.Resilience([]int{2, 3, 4}, *secrets, *seed)
+		rows, err := experiments.Resilience(ctx, []int{2, 3, 4}, *secrets, *seed)
 		if err != nil {
+			if interrupted(err) {
+				experiments.RenderResilience(os.Stdout, rows)
+				fmt.Fprintf(os.Stderr, "satattack: validation interrupted (%v); %d width rows completed\n", err, len(rows))
+				os.Exit(2)
+			}
 			fatal(err)
 		}
 		experiments.RenderResilience(os.Stdout, rows)
-		eps, err := experiments.EpsilonSweep([]int{0, 1, 2}, *secrets, *seed)
+		eps, err := experiments.EpsilonSweep(ctx, []int{0, 1, 2}, *secrets, *seed)
 		if err != nil {
+			if interrupted(err) {
+				fmt.Fprintf(os.Stderr, "satattack: epsilon sweep interrupted (%v); %d rows completed\n", err, len(eps))
+				os.Exit(2)
+			}
 			fatal(err)
 		}
 		fmt.Println()
@@ -49,9 +79,14 @@ func main() {
 		return
 	}
 
-	if err := attack(*fu, *width, *scheme, *secret, *hd, *keys, *seed, *verilog, *approx); err != nil {
+	if err := attack(ctx, *fu, *width, *scheme, *secret, *hd, *keys, *seed, *verilog, *approx); err != nil {
 		fatal(err)
 	}
+}
+
+// interrupted reports whether err is a cancellation or budget interruption.
+func interrupted(err error) bool {
+	return errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded)
 }
 
 func fatal(err error) {
@@ -59,7 +94,26 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func attack(fu string, width int, scheme string, secret uint64, hd, keys int, seed int64, verilog bool, approx int) error {
+// printPartial summarises an interrupted attack: how far it got and whether
+// a best-so-far key consistent with the observed oracle answers exists.
+func printPartial(iterations, keyLen, keyBits int, start time.Time, err error) {
+	kind := "cancelled"
+	if errors.Is(err, interrupt.ErrBudgetExceeded) {
+		kind = "budget exhausted"
+	}
+	fmt.Printf("attack interrupted (%s) after %d DIPs in %v\n", kind, iterations, time.Since(start).Round(time.Millisecond))
+	switch {
+	case keyLen == keyBits && iterations > 0:
+		fmt.Printf("best-so-far key guess available (%d bits, consistent with all %d observed DIPs)\n", keyBits, iterations)
+	case keyLen == keyBits:
+		fmt.Printf("unconstrained key guess extracted (%d bits; no DIPs observed yet)\n", keyBits)
+	default:
+		fmt.Println("no key guess extracted before interruption")
+	}
+	fmt.Fprintln(os.Stderr, "satattack:", err)
+}
+
+func attack(ctx context.Context, fu string, width int, scheme string, secret uint64, hd, keys int, seed int64, verilog bool, approx int) error {
 	var base *netlist.Circuit
 	var err error
 	switch fu {
@@ -102,11 +156,16 @@ func attack(fu string, width int, scheme string, secret uint64, hd, keys int, se
 	}
 
 	oracle := satattack.OracleFromCircuit(locked, key)
+	start := time.Now()
 	if approx > 0 {
-		res, err := satattack.ApproxAttack(locked, oracle, satattack.ApproxOptions{
+		res, err := satattack.ApproxAttack(ctx, locked, oracle, satattack.ApproxOptions{
 			MaxIterations: approx, Seed: seed,
 		})
 		if err != nil {
+			if interrupted(err) && res != nil {
+				printPartial(res.Iterations, len(res.Key), len(locked.Keys), start, err)
+				os.Exit(2)
+			}
 			return err
 		}
 		exact := "approximate"
@@ -117,11 +176,15 @@ func attack(fu string, width int, scheme string, secret uint64, hd, keys int, se
 			res.Iterations, res.Duration, exact, res.EstErrorRate)
 		return nil
 	}
-	res, err := satattack.Attack(locked, oracle, satattack.Options{})
+	res, err := satattack.Attack(ctx, locked, oracle, satattack.Options{})
 	if err != nil {
+		if interrupted(err) && res != nil {
+			printPartial(res.Iterations, len(res.Key), len(locked.Keys), start, err)
+			os.Exit(2)
+		}
 		return err
 	}
-	if err := satattack.VerifyKey(locked, res.Key, oracle); err != nil {
+	if err := satattack.VerifyKey(ctx, locked, res.Key, oracle); err != nil {
 		return fmt.Errorf("recovered key failed verification: %w", err)
 	}
 	fmt.Printf("attack succeeded: %d iterations in %v; recovered key verified\n",

@@ -1,6 +1,7 @@
 package bindlock_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,18 +26,20 @@ r = a * x + y;
 
 // ExampleDesign_CoDesign runs the paper's co-design flow on a tiny kernel.
 func ExampleDesign_CoDesign() {
-	d, err := bindlock.Prepare(`
+	d, err := bindlock.Prepare(context.Background(), `
 kernel pair;
 input a, b, c, d;
 output y, z;
 y = a * 7 + b;
 z = c * 7 + d;
-`, 2, 400, bindlock.WorkloadImageBlocks, 3)
+`,
+		bindlock.WithMaxFUs(2), bindlock.WithSamples(400),
+		bindlock.WithWorkload(bindlock.WorkloadImageBlocks), bindlock.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
 	cands := d.Candidates(bindlock.ClassMul, 4)
-	co, err := d.CoDesign(bindlock.ClassMul, 1, 1, cands)
+	co, err := d.CoDesign(context.Background(), bindlock.ClassMul, 1, 1, cands)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,12 +53,14 @@ z = c * 7 + d;
 
 // ExampleResilience evaluates Eqn. 1 for a one-minterm SFLL lock.
 func ExampleResilience() {
-	d, err := bindlock.Prepare(`
+	d, err := bindlock.Prepare(context.Background(), `
 kernel one;
 input a, b;
 output y;
 y = a + b;
-`, 1, 100, bindlock.WorkloadUniform, 1)
+`,
+		bindlock.WithMaxFUs(1), bindlock.WithSamples(100),
+		bindlock.WithWorkload(bindlock.WorkloadUniform), bindlock.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,12 +78,14 @@ y = a + b;
 }
 
 func ExampleDesign_Elaborate() {
-	d, err := bindlock.Prepare(`
+	d, err := bindlock.Prepare(context.Background(), `
 kernel tiny;
 input a, b;
 output y;
 y = a + b;
-`, 1, 50, bindlock.WorkloadUniform, 1)
+`,
+		bindlock.WithMaxFUs(1), bindlock.WithSamples(50),
+		bindlock.WithWorkload(bindlock.WorkloadUniform), bindlock.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

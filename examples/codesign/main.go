@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,7 +16,8 @@ import (
 )
 
 func main() {
-	design, err := bindlock.PrepareBenchmark("dct", 3, 600, 1)
+	design, err := bindlock.PrepareBenchmark(context.Background(), "dct",
+		bindlock.WithMaxFUs(3), bindlock.WithSamples(600), bindlock.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,7 +29,7 @@ func main() {
 	const minErrors = 300
 	minSATTime := 365 * 24 * time.Hour
 
-	plan, err := design.Methodology(bindlock.ClassAdd, 2, cands, minErrors, minSATTime)
+	plan, err := design.Methodology(context.Background(), bindlock.ClassAdd, 2, cands, minErrors, minSATTime)
 	if err != nil {
 		log.Fatal(err)
 	}

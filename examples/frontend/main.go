@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,9 @@ mask = s0 * s1;
 `
 
 func main() {
-	design, err := bindlock.Prepare(kernel, 2, 800, bindlock.WorkloadImageBlocks, 11)
+	design, err := bindlock.Prepare(context.Background(), kernel,
+		bindlock.WithMaxFUs(2), bindlock.WithSamples(800),
+		bindlock.WithWorkload(bindlock.WorkloadImageBlocks), bindlock.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,9 @@ y = a1 + a3 + x1 - x3;
 func main() {
 	// Compile -> schedule onto up to 2 FUs per class -> simulate 1000
 	// samples of an audio-like workload (the paper's Fig. 3 flow).
-	design, err := bindlock.Prepare(kernel, 2, 1000, bindlock.WorkloadAudio, 42)
+	design, err := bindlock.Prepare(context.Background(), kernel,
+		bindlock.WithMaxFUs(2), bindlock.WithSamples(1000),
+		bindlock.WithWorkload(bindlock.WorkloadAudio), bindlock.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +48,7 @@ func main() {
 
 	// Co-design: lock 1 of the 2 multipliers with 2 input minterms, chosen
 	// together with the binding to maximise application errors (Sec. V).
-	co, err := design.CoDesign(bindlock.ClassMul, 1, 2, cands)
+	co, err := design.CoDesign(context.Background(), bindlock.ClassMul, 1, 2, cands)
 	if err != nil {
 		log.Fatal(err)
 	}

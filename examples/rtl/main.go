@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -16,14 +17,15 @@ import (
 
 func main() {
 	const samples = 500
-	design, err := bindlock.PrepareBenchmark("jdmerge4", 3, samples, 7)
+	design, err := bindlock.PrepareBenchmark(context.Background(), "jdmerge4",
+		bindlock.WithMaxFUs(3), bindlock.WithSamples(samples), bindlock.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Co-design a lock on the multipliers.
 	cands := design.Candidates(bindlock.ClassMul, 10)
-	co, err := design.CoDesign(bindlock.ClassMul, 2, 2, cands)
+	co, err := design.CoDesign(context.Background(), bindlock.ClassMul, 2, 2, cands)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func main() {
 		log.Fatal(err)
 	}
 	tr := bench.Workload(design.G, samples, 7)
-	rep, err := design.SimulateLocked(tr, co.Binding, co.Cfg)
+	rep, err := design.SimulateLocked(context.Background(), tr, co.Binding, co.Cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	repArea, err := design.SimulateLocked(tr, area, co.Cfg)
+	repArea, err := design.SimulateLocked(context.Background(), tr, area, co.Cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

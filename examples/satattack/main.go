@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	xorRes, err := satattack.Attack(xorLocked, satattack.OracleFromCircuit(xorLocked, xorKey), satattack.Options{})
+	xorRes, err := satattack.Attack(context.Background(), xorLocked, satattack.OracleFromCircuit(xorLocked, xorKey), satattack.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	oracle := satattack.OracleFromCircuit(sfllLocked, sfllKey)
-	sfllRes, err := satattack.Attack(sfllLocked, oracle, satattack.Options{})
+	sfllRes, err := satattack.Attack(context.Background(), sfllLocked, oracle, satattack.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func main() {
 		sfllRes.Iterations, sfllRes.Duration, lambda)
 
 	// Both attacks recover functionally correct keys.
-	if err := satattack.VerifyKey(sfllLocked, sfllRes.Key, oracle); err != nil {
+	if err := satattack.VerifyKey(context.Background(), sfllLocked, sfllRes.Key, oracle); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nrecovered SFLL key %#x verified against the oracle (secret was %#x)\n",

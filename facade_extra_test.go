@@ -1,12 +1,13 @@
 package bindlock
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestVerilogFacade(t *testing.T) {
-	d, err := Prepare(quickKernel, 2, 100, WorkloadUniform, 1)
+	d, err := Prepare(context.Background(), quickKernel, WithMaxFUs(2), WithSamples(100), WithWorkload(WorkloadUniform), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,12 +33,12 @@ func TestVerilogFacade(t *testing.T) {
 }
 
 func TestSimulateLockedFacade(t *testing.T) {
-	d, err := PrepareBenchmark("fir", 3, 200, 3)
+	d, err := PrepareBenchmark(context.Background(), "fir", WithMaxFUs(3), WithSamples(200), WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cands := d.Candidates(ClassAdd, 6)
-	co, err := d.CoDesign(ClassAdd, 2, 2, cands)
+	co, err := d.CoDesign(context.Background(), ClassAdd, 2, 2, cands)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestSimulateLockedFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := b.Workload(d.G, 200, 3)
-	rep, err := d.SimulateLocked(tr, co.Binding, co.Cfg)
+	rep, err := d.SimulateLocked(context.Background(), tr, co.Binding, co.Cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,16 +85,16 @@ func TestAllocationFacade(t *testing.T) {
 }
 
 func TestCoDesignOptimalFacade(t *testing.T) {
-	d, err := Prepare(quickKernel, 2, 150, WorkloadImageBlocks, 9)
+	d, err := Prepare(context.Background(), quickKernel, WithMaxFUs(2), WithSamples(150), WithWorkload(WorkloadImageBlocks), WithSeed(9))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cands := d.Candidates(ClassAdd, 5)
-	opt, err := d.CoDesignOptimal(ClassAdd, 1, 2, cands)
+	opt, err := d.CoDesignOptimal(context.Background(), ClassAdd, 1, 2, cands)
 	if err != nil {
 		t.Fatal(err)
 	}
-	heu, err := d.CoDesign(ClassAdd, 1, 2, cands)
+	heu, err := d.CoDesign(context.Background(), ClassAdd, 1, 2, cands)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,27 +107,27 @@ func TestCoDesignOptimalFacade(t *testing.T) {
 }
 
 func TestPrepareErrors(t *testing.T) {
-	if _, err := Prepare("kernel broken", 2, 10, WorkloadUniform, 1); err == nil {
+	if _, err := Prepare(context.Background(), "kernel broken", WithMaxFUs(2), WithSamples(10), WithWorkload(WorkloadUniform), WithSeed(1)); err == nil {
 		t.Error("bad source must error")
 	}
 	// Unschedulable: allocation below concurrency cannot happen with the
 	// scheduler (it serialises); but zero FUs clamps to 1 and still works.
-	if _, err := Prepare(quickKernel, 0, 10, WorkloadUniform, 1); err != nil {
+	if _, err := Prepare(context.Background(), quickKernel, WithMaxFUs(0), WithSamples(10), WithWorkload(WorkloadUniform), WithSeed(1)); err != nil {
 		t.Errorf("zero FU budget must clamp, got %v", err)
 	}
 }
 
 func TestLockAndAttackErrors(t *testing.T) {
-	if _, err := LockAndAttack(0, 0); err == nil {
+	if _, err := LockAndAttack(context.Background(), 0, 0); err == nil {
 		t.Error("zero width must error")
 	}
-	if _, err := LockAndAttack(3, 1<<20); err == nil {
+	if _, err := LockAndAttack(context.Background(), 3, 1<<20); err == nil {
 		t.Error("secret outside input space must error")
 	}
 }
 
 func TestNewLockConfigFacadeErrors(t *testing.T) {
-	d, err := Prepare(quickKernel, 2, 50, WorkloadUniform, 1)
+	d, err := Prepare(context.Background(), quickKernel, WithMaxFUs(2), WithSamples(50), WithWorkload(WorkloadUniform), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestPrepareGraphFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := PrepareGraph(og, 2, 100, WorkloadAudio, 4)
+	d, err := PrepareGraph(context.Background(), og, WithMaxFUs(2), WithSamples(100), WithWorkload(WorkloadAudio), WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}

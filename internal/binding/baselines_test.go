@@ -1,6 +1,7 @@
 package binding
 
 import (
+	"context"
 	"math/bits"
 	"testing"
 	"testing/quick"
@@ -37,7 +38,7 @@ z = t5;
 		t.Fatal(err)
 	}
 	tr := trace.Generate(gen, []string{"a", "b", "c", "d"}, 256, seed)
-	res, err := sim.Run(g, tr)
+	res, err := sim.Run(context.Background(), g, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ y = t4;
 			return false
 		}
 		tr := trace.Generate(gen, []string{"a", "b", "c"}, 64, seed)
-		res, err := sim.Run(g, tr)
+		res, err := sim.Run(context.Background(), g, tr)
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package cnf
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -36,7 +37,7 @@ func TestEncodeMatchesEval(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ok, err := e.S.Solve()
+		ok, err := e.S.Solve(context.Background())
 		if err != nil || !ok {
 			t.Fatalf("input %#x: solve = %v %v", v, ok, err)
 		}
@@ -72,7 +73,7 @@ func TestEncodeArithmeticQuick(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			ok, err := e.S.Solve()
+			ok, err := e.S.Solve(context.Background())
 			if err != nil || !ok {
 				return false
 			}
@@ -102,7 +103,7 @@ func TestEncodeForcedOutputRecoverInputs(t *testing.T) {
 	for i, ov := range inst.Outputs {
 		e.FixVar(ov, target[i])
 	}
-	ok, err := e.S.Solve()
+	ok, err := e.S.Solve(context.Background())
 	if err != nil || !ok {
 		t.Fatalf("solve = %v %v", ok, err)
 	}
@@ -137,7 +138,7 @@ func TestSharedBusEncoding(t *testing.T) {
 		diffs[i] = e.XorVar(i1.Outputs[i], i2.Outputs[i])
 	}
 	e.AtLeastOne(diffs)
-	ok, err := e.S.Solve()
+	ok, err := e.S.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestConstVarStable(t *testing.T) {
 	if t1 != t2 || t1 == f1 {
 		t.Fatal("ConstVar must cache per polarity")
 	}
-	ok, err := e.S.Solve()
+	ok, err := e.S.Solve(context.Background())
 	if err != nil || !ok {
 		t.Fatal("constants alone must be SAT")
 	}
@@ -181,7 +182,7 @@ func TestXorVarTruthTable(t *testing.T) {
 		a := e.ConstVar(v&1 == 1)
 		b := e.ConstVar(v&2 == 2)
 		y := e.XorVar(a, b)
-		ok, err := e.S.Solve()
+		ok, err := e.S.Solve(context.Background())
 		if err != nil || !ok {
 			t.Fatal(err)
 		}

@@ -13,11 +13,14 @@
 package codesign
 
 import (
+	"context"
 	"fmt"
 
 	"bindlock/internal/binding"
 	"bindlock/internal/dfg"
+	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
+	"bindlock/internal/progress"
 	"bindlock/internal/sim"
 )
 
@@ -116,11 +119,21 @@ func finalize(g *dfg.Graph, k *sim.KMatrix, o *Options, sets [][]int, enumerated
 	return &Result{Cfg: cfg, Binding: b, Errors: e, Enumerated: enumerated}, nil
 }
 
+// ctxEvery is the candidate-evaluation stride between context checks in the
+// enumeration loops: cheap evals dominate, so checking every leaf would cost
+// more than the work it guards.
+const ctxEvery = 256
+
 // Optimal runs the exact co-design algorithm. It returns an error when the
 // enumeration exceeds the configured budget ("this results in a
 // non-polynomial runtime", Sec. V-B); callers wanting an any-size answer
-// should use Heuristic.
-func Optimal(g *dfg.Graph, k *sim.KMatrix, o Options) (*Result, error) {
+// should use Heuristic. Cancellation is checked every few hundred candidate
+// evaluations; an interrupted search returns the best solution found so far
+// (bound and costed) alongside the typed interruption error.
+func Optimal(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := o.check(g, k); err != nil {
 		return nil, err
 	}
@@ -142,42 +155,85 @@ func Optimal(g *dfg.Graph, k *sim.KMatrix, o Options) (*Result, error) {
 			len(combos), o.LockedFUs, budget)
 	}
 
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "codesign", fmt.Sprintf("optimal over %d combinations", total))
 	ev := newEvaluator(g, k, &o)
 	sets := make([][]int, o.NumFUs)
 	bestSets := make([][]int, o.NumFUs)
 	bestE := -1
 	enumerated := 0
-	var rec func(fu int)
-	rec = func(fu int) {
+	var rec func(fu int) error
+	rec = func(fu int) error {
 		if fu == o.LockedFUs {
 			enumerated++
+			if enumerated%ctxEvery == 0 {
+				if cerr := interrupt.Check(ctx, "codesign: optimal", nil); cerr != nil {
+					return cerr
+				}
+				progress.Tick(hook, "codesign", enumerated, total)
+			}
 			if e := ev.eval(sets); e > bestE {
 				bestE = e
 				for i := range sets {
 					bestSets[i] = append([]int(nil), sets[i]...)
 				}
 			}
-			return
+			return nil
 		}
 		for _, c := range combos {
 			sets[fu] = c
-			rec(fu + 1)
+			if err := rec(fu + 1); err != nil {
+				return err
+			}
 		}
 		sets[fu] = nil
+		return nil
 	}
-	rec(0)
+	if cerr := rec(0); cerr != nil {
+		return interruptedResult(g, k, &o, bestSets, enumerated, "codesign: optimal", cerr, hook)
+	}
+	progress.End(hook, "codesign", fmt.Sprintf("optimal: %d evaluated", enumerated))
 	return finalize(g, k, &o, bestSets, enumerated)
+}
+
+// interruptedResult packages the best-so-far candidate sets of a cancelled
+// enumeration: the partial solution is bound and costed like a final one so
+// callers get a usable configuration, then attached to the typed error.
+func interruptedResult(g *dfg.Graph, k *sim.KMatrix, o *Options, bestSets [][]int, enumerated int, op string, cause error, hook progress.Hook) (*Result, error) {
+	progress.End(hook, "codesign", fmt.Sprintf("interrupted after %d evaluations", enumerated))
+	any := false
+	for _, s := range bestSets {
+		if s != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil, interrupt.Rewrap(op, cause, nil)
+	}
+	res, err := finalize(g, k, o, bestSets, enumerated)
+	if err != nil {
+		return nil, interrupt.Rewrap(op, cause, nil)
+	}
+	return res, interrupt.Rewrap(op, cause, res)
 }
 
 // Heuristic runs the paper's P-time sequential algorithm: locked FUs are
 // processed one at a time; for the FU under consideration every candidate
 // combination is tried (with previously fixed FUs locked and later FUs
 // unlocked) and the best is frozen before moving on.
-func Heuristic(g *dfg.Graph, k *sim.KMatrix, o Options) (*Result, error) {
+// Cancellation is checked every few hundred candidate evaluations; an
+// interrupted search returns the configuration frozen so far.
+func Heuristic(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := o.check(g, k); err != nil {
 		return nil, err
 	}
 	combos := combinations(len(o.Candidates), o.MintermsPerFU)
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "codesign", fmt.Sprintf("heuristic over %d combinations per FU", len(combos)))
 	ev := newEvaluator(g, k, &o)
 	sets := make([][]int, o.NumFUs)
 	enumerated := 0
@@ -187,6 +243,13 @@ func Heuristic(g *dfg.Graph, k *sim.KMatrix, o Options) (*Result, error) {
 		for _, c := range combos {
 			sets[fu] = c
 			enumerated++
+			if enumerated%ctxEvery == 0 {
+				if cerr := interrupt.Check(ctx, "codesign: heuristic", nil); cerr != nil {
+					sets[fu] = best
+					return interruptedResult(g, k, &o, sets, enumerated, "codesign: heuristic", cerr, hook)
+				}
+				progress.Tick(hook, "codesign", enumerated, len(combos)*o.LockedFUs)
+			}
 			if e := ev.eval(sets); e > bestE {
 				bestE = e
 				best = c
@@ -194,6 +257,7 @@ func Heuristic(g *dfg.Graph, k *sim.KMatrix, o Options) (*Result, error) {
 		}
 		sets[fu] = best
 	}
+	progress.End(hook, "codesign", fmt.Sprintf("heuristic: %d evaluated", enumerated))
 	return finalize(g, k, &o, sets, enumerated)
 }
 

@@ -1,15 +1,19 @@
 package codesign
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 
 	"bindlock/internal/binding"
 	"bindlock/internal/dfg"
+	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
 	"bindlock/internal/mediabench"
+	"bindlock/internal/progress"
 	"bindlock/internal/sim"
+	"errors"
 )
 
 var (
@@ -57,11 +61,11 @@ func TestCoDesignMotivationalExample(t *testing.T) {
 		Candidates: []dfg.Minterm{mintermX, mintermY},
 		Scheme:     locking.SFLLRem,
 	}
-	for name, run := range map[string]func(*dfg.Graph, *sim.KMatrix, Options) (*Result, error){
+	for name, run := range map[string]func(context.Context, *dfg.Graph, *sim.KMatrix, Options) (*Result, error){
 		"optimal": Optimal, "heuristic": Heuristic,
 	} {
 		t.Run(name, func(t *testing.T) {
-			r, err := run(g, k, o)
+			r, err := run(context.Background(), g, k, o)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,7 +91,7 @@ func TestHeuristicMatchesOptimalOnBenchmarks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := b.Prepare(3, 300, 42)
+		p, err := b.Prepare(context.Background(), 3, 300, 42)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,11 +104,11 @@ func TestHeuristicMatchesOptimalOnBenchmarks(t *testing.T) {
 			Class: dfg.ClassAdd, NumFUs: 3, LockedFUs: 2, MintermsPerFU: 2,
 			Candidates: cs, Scheme: locking.SFLLRem,
 		}
-		opt, err := Optimal(p.G, p.Res.K, o)
+		opt, err := Optimal(context.Background(), p.G, p.Res.K, o)
 		if err != nil {
 			t.Fatal(err)
 		}
-		heu, err := Heuristic(p.G, p.Res.K, o)
+		heu, err := Heuristic(context.Background(), p.G, p.Res.K, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +132,7 @@ func TestOptimalAgreesWithBruteForceBinder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := b.Prepare(2, 200, 7)
+	p, err := b.Prepare(context.Background(), 2, 200, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,11 +179,11 @@ func TestOptimalBudget(t *testing.T) {
 		// 3^2 = 9 combinations > 4.
 		MaxEnumerations: 4,
 	}
-	if _, err := Optimal(g, k, o); err == nil || !strings.Contains(err.Error(), "exceeds budget") {
+	if _, err := Optimal(context.Background(), g, k, o); err == nil || !strings.Contains(err.Error(), "exceeds budget") {
 		t.Fatalf("err = %v, want budget error", err)
 	}
 	o.MaxEnumerations = 16
-	r, err := Optimal(g, k, o)
+	r, err := Optimal(context.Background(), g, k, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,13 +217,13 @@ func TestOptionValidation(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			o := base
 			tc.mut(&o)
-			_, err := Heuristic(g, k, o)
+			_, err := Heuristic(context.Background(), g, k, o)
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("err = %v, want containing %q", err, tc.want)
 			}
 		})
 	}
-	if _, err := Heuristic(nil, k, base); err == nil {
+	if _, err := Heuristic(context.Background(), nil, k, base); err == nil {
 		t.Error("nil graph must error")
 	}
 }
@@ -242,7 +246,7 @@ func TestMethodology(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := b.Prepare(3, 300, 9)
+	p, err := b.Prepare(context.Background(), 3, 300, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +267,7 @@ func TestMethodology(t *testing.T) {
 		MinErrors:  total / 20,
 		MinSATTime: 365 * 24 * time.Hour,
 	}
-	plan, err := Methodology(p.G, p.Res.K, o, target)
+	plan, err := Methodology(context.Background(), p.G, p.Res.K, o, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +289,7 @@ func TestMethodology(t *testing.T) {
 
 	// The same error target with a trivial SAT target needs no network.
 	easy := Target{MinErrors: total / 20, MinSATTime: time.Millisecond}
-	plan2, err := Methodology(p.G, p.Res.K, o, easy)
+	plan2, err := Methodology(context.Background(), p.G, p.Res.K, o, easy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +305,7 @@ func TestMethodology(t *testing.T) {
 	if plan.MintermsPerFU > 1 {
 		o2 := o
 		o2.MintermsPerFU = plan.MintermsPerFU - 1
-		r, err := Heuristic(p.G, p.Res.K, o2)
+		r, err := Heuristic(context.Background(), p.G, p.Res.K, o2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -311,7 +315,127 @@ func TestMethodology(t *testing.T) {
 	}
 
 	// Unreachable error target.
-	if _, err := Methodology(p.G, p.Res.K, o, Target{MinErrors: 1 << 30}); err == nil {
+	if _, err := Methodology(context.Background(), p.G, p.Res.K, o, Target{MinErrors: 1 << 30}); err == nil {
 		t.Error("unreachable error target must error")
+	}
+}
+
+// TestOptimalCancellationMidSearch: an intractably large exact enumeration
+// under a deadline must return promptly with the best-so-far co-design
+// solution attached to a typed budget error.
+func TestOptimalCancellationMidSearch(t *testing.T) {
+	g, k := fig1(t)
+	// 18 candidates choose 3, over 2 locked FUs: 816^2 ≈ 666k evaluations —
+	// far more than a few milliseconds of search.
+	var cands []dfg.Minterm
+	for i := 0; i < 18; i++ {
+		cands = append(cands, dfg.CanonMinterm(dfg.Add, uint8(10+i), uint8(40+i)))
+	}
+	o := Options{
+		Class: dfg.ClassAdd, NumFUs: 2, LockedFUs: 2, MintermsPerFU: 3,
+		Candidates: cands, Scheme: locking.SFLLRem,
+		MaxEnumerations: 1 << 30,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := Optimal(ctx, g, k, o)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("deadline must interrupt the optimal search")
+	}
+	if !errors.Is(err, interrupt.ErrBudgetExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want budget/deadline semantics", err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("optimal returned after %v; want < 100ms", elapsed)
+	}
+	if res == nil {
+		t.Fatal("interrupted optimal search must return its best-so-far result")
+	}
+	if res.Enumerated == 0 {
+		t.Error("partial result reports zero evaluated combinations")
+	}
+	if res.Cfg == nil || res.Binding == nil {
+		t.Error("partial result must be bound and costed")
+	}
+	if p, ok := interrupt.Partial[*Result](err); !ok || p != res {
+		t.Errorf("error must carry the partial result: %v %v", p, ok)
+	}
+	t.Logf("optimal interrupted after %d evaluations in %v", res.Enumerated, elapsed)
+}
+
+// TestHeuristicExplicitCancel: cancelling mid-heuristic returns the FUs
+// frozen so far with cancellation (not budget) semantics.
+func TestHeuristicExplicitCancel(t *testing.T) {
+	g, k := fig1(t)
+	var cands []dfg.Minterm
+	for i := 0; i < 22; i++ {
+		cands = append(cands, dfg.CanonMinterm(dfg.Add, uint8(10+i), uint8(40+i)))
+	}
+	o := Options{
+		Class: dfg.ClassAdd, NumFUs: 2, LockedFUs: 2, MintermsPerFU: 4,
+		Candidates: cands, Scheme: locking.SFLLRem,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Heuristic(ctx, g, k, o)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Skip("heuristic finished before the cancel fired")
+	}
+	if !errors.Is(err, interrupt.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want cancellation semantics", err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("heuristic returned after %v; want < 100ms", elapsed)
+	}
+}
+
+// TestMethodologyCancellation: the Sec. V-C methodology propagates
+// interruption from its inner heuristic searches.
+func TestMethodologyCancellation(t *testing.T) {
+	g, k := fig1(t)
+	var cands []dfg.Minterm
+	for i := 0; i < 22; i++ {
+		cands = append(cands, dfg.CanonMinterm(dfg.Add, uint8(10+i), uint8(40+i)))
+	}
+	o := Options{
+		Class: dfg.ClassAdd, NumFUs: 2, LockedFUs: 2,
+		Candidates: cands, Scheme: locking.SFLLRem,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Methodology(ctx, g, k, o, Target{MinErrors: 1 << 30, MaxMintermsPerFU: 8})
+	if !errors.Is(err, interrupt.ErrCancelled) {
+		t.Fatalf("err = %v; want cancellation to surface through the methodology", err)
+	}
+}
+
+// TestCoDesignEmitsProgress: a context-carried hook observes the codesign
+// phase lifecycle.
+func TestCoDesignEmitsProgress(t *testing.T) {
+	g, k := fig1(t)
+	var cands []dfg.Minterm
+	for i := 0; i < 12; i++ {
+		cands = append(cands, dfg.CanonMinterm(dfg.Add, uint8(10+i), uint8(40+i)))
+	}
+	o := Options{
+		Class: dfg.ClassAdd, NumFUs: 2, LockedFUs: 2, MintermsPerFU: 2,
+		Candidates: cands, Scheme: locking.SFLLRem,
+	}
+	var c progress.Counter
+	ctx := progress.NewContext(context.Background(), &c)
+	if _, err := Optimal(ctx, g, k, o); err != nil {
+		t.Fatal(err)
+	}
+	// (12 choose 2)^2 = 4356 evaluations at a 256 stride: several ticks.
+	if c.Starts("codesign") != 1 || c.Ends("codesign") != 1 || c.Steps("codesign") == 0 {
+		t.Errorf("progress events: starts=%d steps=%d ends=%d",
+			c.Starts("codesign"), c.Steps("codesign"), c.Ends("codesign"))
 	}
 }

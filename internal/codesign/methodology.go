@@ -1,8 +1,11 @@
 package codesign
 
 import (
+	"context"
 	"fmt"
 	"time"
+
+	"bindlock/internal/interrupt"
 
 	"bindlock/internal/dfg"
 	"bindlock/internal/locking"
@@ -57,7 +60,10 @@ type Plan struct {
 // resilience. If the SAT resilience of this locking configuration is
 // insufficient, exponential SAT iteration runtime locking schemes can be
 // used alongside ... to increase SAT runtime to a sufficient level."
-func Methodology(g *dfg.Graph, k *sim.KMatrix, base Options, target Target) (*Plan, error) {
+func Methodology(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, base Options, target Target) (*Plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if target.MaxMintermsPerFU == 0 {
 		target.MaxMintermsPerFU = 8
 	}
@@ -76,9 +82,9 @@ func Methodology(g *dfg.Graph, k *sim.KMatrix, base Options, target Target) (*Pl
 	m := 0
 	for m = 1; m <= target.MaxMintermsPerFU; m++ {
 		base.MintermsPerFU = m
-		r, err := Heuristic(g, k, base)
+		r, err := Heuristic(ctx, g, k, base)
 		if err != nil {
-			return nil, err
+			return nil, interrupt.Rewrap("codesign: methodology", err, &Plan{Result: res, MintermsPerFU: m - 1})
 		}
 		if r.Errors >= target.MinErrors {
 			res = r

@@ -1,6 +1,7 @@
 package elaborate
 
 import (
+	"context"
 	"testing"
 
 	"bindlock/internal/binding"
@@ -17,7 +18,7 @@ func prepBench(t *testing.T, name string, samples int) (*mediabench.Prepared, ma
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := b.Prepare(3, samples, 11)
+	p, err := b.Prepare(context.Background(), 3, samples, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestElaborateWrongKeyMatchesBehaviouralModel(t *testing.T) {
 		wrongKey = append(wrongKey, pack16(pattern)...)
 	}
 
-	rep, err := lockedsim.Run(p.G, p.Trace, bindings[dfg.ClassAdd], cfg)
+	rep, err := lockedsim.Run(context.Background(), p.G, p.Trace, bindings[dfg.ClassAdd], cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"bindlock/internal/binding"
 	"bindlock/internal/codesign"
 	"bindlock/internal/dfg"
+	"bindlock/internal/interrupt"
 	"bindlock/internal/lockedsim"
 	"bindlock/internal/mediabench"
 )
@@ -35,11 +37,17 @@ type CorruptionRow struct {
 // corruption, closing the loop the paper motivates with application-level
 // correctness [15]. Uses the same representative configuration as Fig. 6
 // (2 locked FUs x 2 locked inputs).
-func (s *Suite) OutputCorruption() ([]CorruptionRow, error) {
+func (s *Suite) OutputCorruption(ctx context.Context) ([]CorruptionRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var rows []CorruptionRow
 	for _, p := range s.preps {
 		for _, class := range classes(p) {
-			row, err := s.corruptionBenchClass(p, class)
+			if cerr := interrupt.Check(ctx, "experiments: corruption", nil); cerr != nil {
+				return rows, cerr
+			}
+			row, err := s.corruptionBenchClass(ctx, p, class)
 			if err != nil {
 				return nil, err
 			}
@@ -49,7 +57,7 @@ func (s *Suite) OutputCorruption() ([]CorruptionRow, error) {
 	return rows, nil
 }
 
-func (s *Suite) corruptionBenchClass(p *mediabench.Prepared, class dfg.Class) (CorruptionRow, error) {
+func (s *Suite) corruptionBenchClass(ctx context.Context, p *mediabench.Prepared, class dfg.Class) (CorruptionRow, error) {
 	cfg := s.Cfg
 	cands, _ := candidateList(p, class, cfg.Candidates)
 	lockedFUs, inputs := fig6LockedFUs, fig6Inputs
@@ -60,7 +68,7 @@ func (s *Suite) corruptionBenchClass(p *mediabench.Prepared, class dfg.Class) (C
 		}
 	}
 
-	co, err := codesign.Heuristic(p.G, p.Res.K,
+	co, err := codesign.Heuristic(ctx, p.G, p.Res.K,
 		codesignOptions(class, cfg.NumFUs, lockedFUs, inputs, cands, cfg.OptimalBudget))
 	if err != nil {
 		return CorruptionRow{}, err
@@ -81,7 +89,7 @@ func (s *Suite) corruptionBenchClass(p *mediabench.Prepared, class dfg.Class) (C
 		{area, &row.AreaInjections, &row.AreaSampleRate, &row.AreaOutputRate},
 		{power, &row.PowerInjections, &row.PowerSampleRate, &row.PowerOutputRate},
 	} {
-		rep, err := lockedsim.Run(p.G, p.Trace, m.b, co.Cfg)
+		rep, err := lockedsim.Run(ctx, p.G, p.Trace, m.b, co.Cfg)
 		if err != nil {
 			return CorruptionRow{}, err
 		}

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestOutputCorruption(t *testing.T) {
 	s := smallSuite(t)
-	rows, err := s.OutputCorruption()
+	rows, err := s.OutputCorruption(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestCSVWriters(t *testing.T) {
 	s := smallSuite(t)
-	d, err := s.Fig4()
+	d, err := s.Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestCSVWriters(t *testing.T) {
 		t.Fatalf("fig5 rows = %d", len(records))
 	}
 
-	f6, err := s.Fig6()
+	f6, err := s.Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestCSVWriters(t *testing.T) {
 		t.Fatal("fig6 missing avg row")
 	}
 
-	res, err := Resilience([]int{2}, 2, 1)
+	res, err := Resilience(context.Background(), []int{2}, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestCSVWriters(t *testing.T) {
 		t.Fatal("resilience header missing")
 	}
 
-	corr, err := s.OutputCorruption()
+	corr, err := s.OutputCorruption(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,14 +27,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"bindlock/internal/binding"
 	"bindlock/internal/codesign"
 	"bindlock/internal/dfg"
+	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
 	"bindlock/internal/mediabench"
+	"bindlock/internal/progress"
 )
 
 // Config parameterises a reproduction run.
@@ -88,7 +91,12 @@ type Suite struct {
 }
 
 // NewSuite prepares the selected benchmarks (compile, schedule, simulate).
-func NewSuite(cfg Config) (*Suite, error) {
+// Cancellation is checked between benchmarks and flows into each workload
+// simulation.
+func NewSuite(ctx context.Context, cfg Config) (*Suite, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	s := &Suite{Cfg: cfg}
 	names := cfg.Benchmarks
@@ -97,17 +105,24 @@ func NewSuite(cfg Config) (*Suite, error) {
 			names = append(names, b.Name)
 		}
 	}
-	for _, name := range names {
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "prepare", fmt.Sprintf("%d benchmarks", len(names)))
+	for i, name := range names {
+		if cerr := interrupt.Check(ctx, "experiments: prepare suite", nil); cerr != nil {
+			return nil, cerr
+		}
 		b, err := mediabench.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		p, err := b.Prepare(cfg.NumFUs, cfg.Samples, cfg.Seed)
+		p, err := b.Prepare(ctx, cfg.NumFUs, cfg.Samples, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
 		s.preps = append(s.preps, p)
+		progress.Tick(hook, "prepare", i+1, len(names))
 	}
+	progress.End(hook, "prepare", "")
 	return s, nil
 }
 

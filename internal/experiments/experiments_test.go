@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // configuration.
 func smallSuite(t *testing.T) *Suite {
 	t.Helper()
-	s, err := NewSuite(Config{
+	s, err := NewSuite(context.Background(), Config{
 		Samples:        200,
 		Seed:           1,
 		Candidates:     6,
@@ -29,7 +30,7 @@ func smallSuite(t *testing.T) *Suite {
 
 func TestFig4SmallSuite(t *testing.T) {
 	s := smallSuite(t)
-	d, err := s.Fig4()
+	d, err := s.Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestFig4SecurityAwareWins(t *testing.T) {
 	// The headline result: security-aware binding must beat the baselines
 	// on average, and co-design must beat obfuscation-aware binding.
 	s := smallSuite(t)
-	d, err := s.Fig4()
+	d, err := s.Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestFig4SecurityAwareWins(t *testing.T) {
 
 func TestFig4PerBenchmarkGrouping(t *testing.T) {
 	s := smallSuite(t)
-	d, err := s.Fig4()
+	d, err := s.Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFig4PerBenchmarkGrouping(t *testing.T) {
 
 func TestFig5Aggregation(t *testing.T) {
 	s := smallSuite(t)
-	d, err := s.Fig4()
+	d, err := s.Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestFig5Aggregation(t *testing.T) {
 
 func TestFig6Overheads(t *testing.T) {
 	s := smallSuite(t)
-	d, err := s.Fig6()
+	d, err := s.Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestFig6Overheads(t *testing.T) {
 }
 
 func TestResilienceTracksLambda(t *testing.T) {
-	rows, err := Resilience([]int{2, 3}, 4, 7)
+	rows, err := Resilience(context.Background(), []int{2, 3}, 4, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestResilienceTracksLambda(t *testing.T) {
 }
 
 func TestEpsilonSweepCollapse(t *testing.T) {
-	rows, err := EpsilonSweep([]int{0, 1, 2}, 3, 11)
+	rows, err := EpsilonSweep(context.Background(), []int{0, 1, 2}, 3, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,24 +194,24 @@ func TestEpsilonSweepCollapse(t *testing.T) {
 
 func TestRenderers(t *testing.T) {
 	s := smallSuite(t)
-	d, err := s.Fig4()
+	d, err := s.Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
 	RenderFig4(&sb, d)
 	RenderFig5(&sb, Fig5From(d))
-	f6, err := s.Fig6()
+	f6, err := s.Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	RenderFig6(&sb, f6)
-	rows, err := Resilience([]int{2}, 2, 3)
+	rows, err := Resilience(context.Background(), []int{2}, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	RenderResilience(&sb, rows)
-	eps, err := EpsilonSweep([]int{0, 1}, 2, 3)
+	eps, err := EpsilonSweep(context.Background(), []int{0, 1}, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestBestPlacement(t *testing.T) {
 }
 
 func TestNewSuiteErrors(t *testing.T) {
-	if _, err := NewSuite(Config{Benchmarks: []string{"bogus"}}); err == nil {
+	if _, err := NewSuite(context.Background(), Config{Benchmarks: []string{"bogus"}}); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 }

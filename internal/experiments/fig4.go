@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"bindlock/internal/codesign"
 	"bindlock/internal/dfg"
+	"bindlock/internal/interrupt"
 	"bindlock/internal/mediabench"
+	"bindlock/internal/progress"
 )
 
 // Cell is one (benchmark, class, locked FUs, locked inputs) configuration of
@@ -49,21 +53,28 @@ type Fig4Data struct {
 // Fig4 runs the Sec. VI sweep: for every benchmark and FU class, every
 // combination of {1,2,3} locked FUs locking {1,2,3} inputs each from the 10
 // most common candidate minterms.
-func (s *Suite) Fig4() (*Fig4Data, error) {
+func (s *Suite) Fig4(ctx context.Context) (*Fig4Data, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "fig4", fmt.Sprintf("%d benchmarks", len(s.preps)))
 	data := &Fig4Data{}
-	for _, p := range s.preps {
+	for i, p := range s.preps {
 		for _, class := range classes(p) {
-			cells, err := s.fig4BenchClass(p, class)
+			cells, err := s.fig4BenchClass(ctx, p, class)
 			if err != nil {
 				return nil, err
 			}
 			data.Cells = append(data.Cells, cells...)
 		}
+		progress.Tick(hook, "fig4", i+1, len(s.preps))
 	}
+	progress.End(hook, "fig4", fmt.Sprintf("%d cells", len(data.Cells)))
 	return data, nil
 }
 
-func (s *Suite) fig4BenchClass(p *mediabench.Prepared, class dfg.Class) ([]Cell, error) {
+func (s *Suite) fig4BenchClass(ctx context.Context, p *mediabench.Prepared, class dfg.Class) ([]Cell, error) {
 	cfg := s.Cfg
 	cands, candIdx := candidateList(p, class, cfg.Candidates)
 	if len(cands) == 0 {
@@ -77,6 +88,9 @@ func (s *Suite) fig4BenchClass(p *mediabench.Prepared, class dfg.Class) ([]Cell,
 	var cells []Cell
 	for lockedFUs := 1; lockedFUs <= 3 && lockedFUs <= cfg.NumFUs; lockedFUs++ {
 		for inputs := 1; inputs <= 3 && inputs <= len(cands); inputs++ {
+			if cerr := interrupt.Check(ctx, "experiments: fig4", nil); cerr != nil {
+				return nil, cerr
+			}
 			o := codesignOptions(class, cfg.NumFUs, lockedFUs, inputs, cands, cfg.OptimalBudget)
 			ev := codesign.NewEvaluator(p.G, p.Res.K, o)
 			areaTotals := ev.PerFUCandidateTotals(area.Assign, len(cands))
@@ -108,7 +122,7 @@ func (s *Suite) fig4BenchClass(p *mediabench.Prepared, class dfg.Class) ([]Cell,
 			// count is fixed per configuration and compared below against
 			// every conventional design point (enumerated combination on a
 			// security-oblivious binding).
-			heu, err := codesign.Heuristic(p.G, p.Res.K, o)
+			heu, err := codesign.Heuristic(ctx, p.G, p.Res.K, o)
 			if err != nil {
 				return nil, err
 			}
@@ -163,7 +177,7 @@ func (s *Suite) fig4BenchClass(p *mediabench.Prepared, class dfg.Class) ([]Cell,
 			// budget.
 			cell.OptVsArea, cell.OptVsPower = math.NaN(), math.NaN()
 			if cfg.OptimalBudget > 0 && total <= cfg.OptimalBudget {
-				opt, err := codesign.Optimal(p.G, p.Res.K, o)
+				opt, err := codesign.Optimal(ctx, p.G, p.Res.K, o)
 				if err != nil {
 					return nil, err
 				}

@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bindlock/internal/binding"
 	"bindlock/internal/codesign"
 	"bindlock/internal/dfg"
+	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
 	"bindlock/internal/mediabench"
+	"bindlock/internal/progress"
 	"bindlock/internal/rtl"
 )
 
@@ -42,15 +45,25 @@ const (
 // Fig6 measures the datapath overhead of each binder on every benchmark:
 // all FU classes of a benchmark are bound by one algorithm and the resulting
 // datapath is measured as a whole.
-func (s *Suite) Fig6() (*Fig6Data, error) {
+func (s *Suite) Fig6(ctx context.Context) (*Fig6Data, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "fig6", fmt.Sprintf("%d benchmarks", len(s.preps)))
 	data := &Fig6Data{}
-	for _, p := range s.preps {
-		row, err := s.fig6Bench(p)
+	for i, p := range s.preps {
+		if cerr := interrupt.Check(ctx, "experiments: fig6", nil); cerr != nil {
+			return nil, cerr
+		}
+		row, err := s.fig6Bench(ctx, p)
 		if err != nil {
 			return nil, err
 		}
 		data.Rows = append(data.Rows, row)
+		progress.Tick(hook, "fig6", i+1, len(s.preps))
 	}
+	progress.End(hook, "fig6", "")
 	n := float64(len(data.Rows))
 	for _, r := range data.Rows {
 		data.AvgRegObf += float64(r.RegObfAware) / n
@@ -61,7 +74,7 @@ func (s *Suite) Fig6() (*Fig6Data, error) {
 	return data, nil
 }
 
-func (s *Suite) fig6Bench(p *mediabench.Prepared) (Fig6Row, error) {
+func (s *Suite) fig6Bench(ctx context.Context, p *mediabench.Prepared) (Fig6Row, error) {
 	cfg := s.Cfg
 	areaB := map[dfg.Class]*binding.Binding{}
 	powerB := map[dfg.Class]*binding.Binding{}
@@ -112,7 +125,7 @@ func (s *Suite) fig6Bench(p *mediabench.Prepared) (Fig6Row, error) {
 		obfB[class] = obf
 
 		// Co-design heuristic picks its own locked inputs.
-		heu, err := codesign.Heuristic(p.G, p.Res.K,
+		heu, err := codesign.Heuristic(ctx, p.G, p.Res.K,
 			codesignOptions(class, cfg.NumFUs, lockedFUs, inputs, cands, cfg.OptimalBudget))
 		if err != nil {
 			return Fig6Row{}, err

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
 	"bindlock/internal/netlist"
+	"bindlock/internal/progress"
 	"bindlock/internal/satattack"
 )
 
@@ -32,10 +35,16 @@ type ResilienceRow struct {
 // any single secret fall early or late; the mean over secrets is the
 // comparable statistic (λ/2 is the center of the uniform hitting time, and
 // Eqn. 1's ceiling-of-expectation sits within 2x of it).
-func Resilience(operandBits []int, secretsPer int, seed int64) ([]ResilienceRow, error) {
+func Resilience(ctx context.Context, operandBits []int, secretsPer int, seed int64) ([]ResilienceRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rng := rand.New(rand.NewSource(seed))
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "resilience", fmt.Sprintf("%d widths x %d secrets", len(operandBits), secretsPer))
 	var rows []ResilienceRow
-	for _, w := range operandBits {
+	for wi, w := range operandBits {
+		_ = wi
 		base, err := netlist.NewAdder(w)
 		if err != nil {
 			return nil, err
@@ -52,18 +61,21 @@ func Resilience(operandBits []int, secretsPer int, seed int64) ([]ResilienceRow,
 		}
 		total := 0
 		for i := 0; i < secretsPer; i++ {
+			if cerr := interrupt.Check(ctx, "experiments: resilience", rows); cerr != nil {
+				return rows, cerr
+			}
 			secret := rng.Uint64() % space
 			lockedC, key, err := netlist.LockSFLLHD0(base, []uint64{secret})
 			if err != nil {
 				return nil, err
 			}
 			oracle := satattack.OracleFromCircuit(lockedC, key)
-			res, err := satattack.Attack(lockedC, oracle, satattack.Options{})
+			res, err := satattack.Attack(ctx, lockedC, oracle, satattack.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("attack on %d-bit adder (secret %#x): %w", w, secret, err)
+				return rows, fmt.Errorf("attack on %d-bit adder (secret %#x): %w", w, secret, err)
 			}
-			if err := satattack.VerifyKey(lockedC, res.Key, oracle); err != nil {
-				return nil, err
+			if err := satattack.VerifyKey(ctx, lockedC, res.Key, oracle); err != nil {
+				return rows, err
 			}
 			total += res.Iterations
 			if res.Iterations < row.MinIterations {
@@ -75,7 +87,9 @@ func Resilience(operandBits []int, secretsPer int, seed int64) ([]ResilienceRow,
 		}
 		row.MeanIterations = float64(total) / float64(secretsPer)
 		rows = append(rows, row)
+		progress.Tick(hook, "resilience", wi+1, len(operandBits))
 	}
+	progress.End(hook, "resilience", "")
 	return rows, nil
 }
 
@@ -97,7 +111,10 @@ type EpsilonSweepRow struct {
 // attack iterations collapse accordingly. This is the empirical form of the
 // dilemma the paper's binding co-design escapes: more corruption at the
 // module level costs SAT resilience.
-func EpsilonSweep(hs []int, secretsPer int, seed int64) ([]EpsilonSweepRow, error) {
+func EpsilonSweep(ctx context.Context, hs []int, secretsPer int, seed int64) ([]EpsilonSweepRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rng := rand.New(rand.NewSource(seed))
 	base, err := netlist.NewAdder(3)
 	if err != nil {
@@ -115,15 +132,18 @@ func EpsilonSweep(hs []int, secretsPer int, seed int64) ([]EpsilonSweepRow, erro
 		row := EpsilonSweepRow{H: h, LockedMinterms: locked, Lambda: lam}
 		total := 0
 		for i := 0; i < secretsPer; i++ {
+			if cerr := interrupt.Check(ctx, "experiments: epsilon sweep", rows); cerr != nil {
+				return rows, cerr
+			}
 			secret := rng.Uint64() % space
 			lockedC, keyBitsPattern, err := netlist.LockSFLLHD(base, secret, h)
 			if err != nil {
 				return nil, err
 			}
 			oracle := satattack.OracleFromCircuit(lockedC, keyBitsPattern)
-			res, err := satattack.Attack(lockedC, oracle, satattack.Options{})
+			res, err := satattack.Attack(ctx, lockedC, oracle, satattack.Options{})
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
 			total += res.Iterations
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -40,8 +41,11 @@ type ScanRow struct {
 }
 
 // ScanAccess runs E12 on one benchmark with the given DIP budget.
-func ScanAccess(benchName string, class dfg.Class, budget, samples int, seed int64) (*ScanRow, error) {
-	s, err := NewSuite(Config{Samples: samples, Seed: seed, Benchmarks: []string{benchName}})
+func ScanAccess(ctx context.Context, benchName string, class dfg.Class, budget, samples int, seed int64) (*ScanRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s, err := NewSuite(ctx, Config{Samples: samples, Seed: seed, Benchmarks: []string{benchName}})
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +56,7 @@ func ScanAccess(benchName string, class dfg.Class, budget, samples int, seed int
 	cands, _ := candidateList(p, class, s.Cfg.Candidates)
 
 	// Co-design a single-FU, single-minterm lock: 16-bit key.
-	co, err := codesign.Heuristic(p.G, p.Res.K,
+	co, err := codesign.Heuristic(ctx, p.G, p.Res.K,
 		codesignOptions(class, s.Cfg.NumFUs, 1, 1, cands, s.Cfg.OptimalBudget))
 	if err != nil {
 		return nil, err
@@ -117,7 +121,7 @@ func ScanAccess(benchName string, class dfg.Class, budget, samples int, seed int
 
 	// --- No scan: budgeted attack on the whole design.
 	oracle := satattack.OracleFromCircuit(locked.Circuit, locked.CorrectKey)
-	noScan, err := satattack.ApproxAttack(locked.Circuit, oracle, satattack.ApproxOptions{
+	noScan, err := satattack.ApproxAttack(ctx, locked.Circuit, oracle, satattack.ApproxOptions{
 		MaxIterations: budget, Seed: seed, ErrorSamples: 400,
 	})
 	if err != nil {
@@ -148,7 +152,7 @@ func ScanAccess(benchName string, class dfg.Class, budget, samples int, seed int
 	if err != nil {
 		return nil, err
 	}
-	scan, err := satattack.ApproxAttack(module, satattack.OracleFromCircuit(module, moduleKey),
+	scan, err := satattack.ApproxAttack(ctx, module, satattack.OracleFromCircuit(module, moduleKey),
 		satattack.ApproxOptions{MaxIterations: budget, Seed: seed, ErrorSamples: 400})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestScanAccessExperiment(t *testing.T) {
-	row, err := ScanAccess("jdmerge1", dfg.ClassMul, 12, 200, 5)
+	row, err := ScanAccess(context.Background(), "jdmerge1", dfg.ClassMul, 12, 200, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,10 +46,10 @@ func TestScanAccessExperiment(t *testing.T) {
 }
 
 func TestScanAccessErrors(t *testing.T) {
-	if _, err := ScanAccess("ecb_enc4", dfg.ClassMul, 4, 50, 1); err == nil {
+	if _, err := ScanAccess(context.Background(), "ecb_enc4", dfg.ClassMul, 4, 50, 1); err == nil {
 		t.Fatal("ecb_enc4 has no multipliers; must error")
 	}
-	if _, err := ScanAccess("nope", dfg.ClassAdd, 4, 50, 1); err == nil {
+	if _, err := ScanAccess(context.Background(), "nope", dfg.ClassAdd, 4, 50, 1); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 }

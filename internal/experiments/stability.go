@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+
+	"bindlock/internal/progress"
 )
 
 // StabilityRow is one seed's headline numbers.
@@ -27,27 +30,33 @@ type Stability struct {
 
 // SeedStability reruns the Fig. 4 sweep under each seed and aggregates the
 // headline statistics.
-func SeedStability(cfg Config, seeds []int64) (*Stability, error) {
+func SeedStability(ctx context.Context, cfg Config, seeds []int64) (*Stability, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: no seeds given")
 	}
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "stability", fmt.Sprintf("%d seeds", len(seeds)))
 	out := &Stability{
 		MinCoOverObf:             math.Inf(1),
 		AllSeedsCoBeatsObf:       true,
 		AllSeedsAboveUnityMargin: true,
 	}
 	var obs, cos []float64
-	for _, seed := range seeds {
+	for si, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		s, err := NewSuite(c)
+		s, err := NewSuite(ctx, c)
 		if err != nil {
 			return nil, err
 		}
-		d, err := s.Fig4()
+		d, err := s.Fig4(ctx)
 		if err != nil {
 			return nil, err
 		}
+		progress.Tick(hook, "stability", si+1, len(seeds))
 		h := d.HeadlineStats()
 		out.Rows = append(out.Rows, StabilityRow{
 			Seed: seed, ObfOverall: h.ObfOverall, CoOverall: h.CoOverall,
@@ -67,6 +76,7 @@ func SeedStability(cfg Config, seeds []int64) (*Stability, error) {
 	}
 	out.MeanObf, out.StdObf = meanStd(obs)
 	out.MeanCo, out.StdCo = meanStd(cos)
+	progress.End(hook, "stability", "")
 	return out, nil
 }
 

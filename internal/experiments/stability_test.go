@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func TestSeedStability(t *testing.T) {
 		OptimalBudget:  -1, // skip optimal: stability concerns the means
 		Benchmarks:     []string{"fir", "jdmerge4", "dct"},
 	}
-	s, err := SeedStability(cfg, []int64{1, 2, 3})
+	s, err := SeedStability(context.Background(), cfg, []int64{1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestSeedStability(t *testing.T) {
 }
 
 func TestSeedStabilityNoSeeds(t *testing.T) {
-	if _, err := SeedStability(Config{}, nil); err == nil {
+	if _, err := SeedStability(context.Background(), Config{}, nil); err == nil {
 		t.Fatal("empty seed list must error")
 	}
 }

@@ -1,0 +1,105 @@
+// Package interrupt defines the typed cancellation and budget errors shared
+// by every long-running computation in the library: the CDCL solver, the
+// oracle-guided SAT attack, binding–obfuscation co-design, workload
+// simulation and the experiment sweeps.
+//
+// An interrupted computation returns an *Error that (a) classifies the
+// interruption as cancellation or budget exhaustion, (b) unwraps to the
+// underlying cause (ctx.Err() or a package budget sentinel), so
+// errors.Is(err, context.Canceled) and friends keep working, and (c) carries
+// the best-effort partial result — the best-so-far key guess, iterations
+// completed, candidates evaluated — so a deadline-bounded caller can report
+// progress instead of discarding the work.
+package interrupt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCancelled marks a computation cut short by context cancellation.
+var ErrCancelled = errors.New("cancelled")
+
+// ErrBudgetExceeded marks a computation cut short by an exhausted budget: a
+// context deadline, a solver conflict budget, or an attack iteration budget.
+var ErrBudgetExceeded = errors.New("budget exceeded")
+
+// Error is a typed interruption. errors.Is matches both its Kind (ErrCancelled
+// or ErrBudgetExceeded) and, through Unwrap, its Cause (context.Canceled,
+// context.DeadlineExceeded, or a package budget sentinel).
+type Error struct {
+	// Op names the interrupted computation ("sat: solve", "satattack: attack").
+	Op string
+	// Kind is ErrCancelled or ErrBudgetExceeded.
+	Kind error
+	// Cause is the underlying reason: ctx.Err() or a budget sentinel.
+	Cause error
+	// Partial is the package-specific best-effort partial result (for
+	// example *satattack.Result with the best-so-far key), or nil.
+	Partial any
+}
+
+func (e *Error) Error() string {
+	msg := fmt.Sprintf("%s: %v", e.Op, e.Kind)
+	if e.Cause != nil {
+		msg = fmt.Sprintf("%s: %v", msg, e.Cause)
+	}
+	return msg
+}
+
+// Is reports whether target is the error's kind.
+func (e *Error) Is(target error) bool { return target == e.Kind }
+
+// Unwrap exposes the cause.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// FromContext wraps a context error. Deadline expiry is classified as a
+// budget (the caller's time budget ran out); explicit cancellation as
+// ErrCancelled.
+func FromContext(op string, cerr error, partial any) *Error {
+	kind := ErrCancelled
+	if errors.Is(cerr, context.DeadlineExceeded) {
+		kind = ErrBudgetExceeded
+	}
+	return &Error{Op: op, Kind: kind, Cause: cerr, Partial: partial}
+}
+
+// Budget wraps a non-context budget exhaustion (conflict or iteration
+// limits), keeping the package sentinel reachable through errors.Is.
+func Budget(op string, cause error, partial any) *Error {
+	return &Error{Op: op, Kind: ErrBudgetExceeded, Cause: cause, Partial: partial}
+}
+
+// Rewrap lifts an interruption from an inner layer to an outer one, keeping
+// the kind and cause but substituting the outer operation name and partial
+// result. A non-interruption error is returned unchanged.
+func Rewrap(op string, err error, partial any) error {
+	var e *Error
+	if !errors.As(err, &e) {
+		return err
+	}
+	return &Error{Op: op, Kind: e.Kind, Cause: e.Cause, Partial: partial}
+}
+
+// Partial extracts the typed partial result from an interruption error chain.
+func Partial[T any](err error) (T, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		if p, ok := e.Partial.(T); ok {
+			return p, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// Check returns nil while ctx is live and a classified *Error once it is
+// done. Compute loops call it at iteration boundaries; partial may be nil
+// when the caller attaches the partial result a layer up.
+func Check(ctx context.Context, op string, partial any) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return FromContext(op, cerr, partial)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package interrupt
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFromContextClassification(t *testing.T) {
+	// Explicit cancellation is ErrCancelled; deadline expiry is a budget.
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext("op", cancelCtx.Err(), nil)
+	if !errors.Is(err, ErrCancelled) {
+		t.Errorf("cancelled ctx: errors.Is(ErrCancelled) = false: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx must unwrap to context.Canceled: %v", err)
+	}
+	if errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("cancelled ctx must not match ErrBudgetExceeded: %v", err)
+	}
+
+	dlCtx, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	err = FromContext("op", dlCtx.Err(), nil)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("deadline ctx: errors.Is(ErrBudgetExceeded) = false: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline ctx must unwrap to context.DeadlineExceeded: %v", err)
+	}
+}
+
+func TestBudgetKeepsSentinelReachable(t *testing.T) {
+	sentinel := errors.New("pkg: out of fuel")
+	err := Budget("op", sentinel, 42)
+	if !errors.Is(err, ErrBudgetExceeded) || !errors.Is(err, sentinel) {
+		t.Fatalf("budget error must match both kind and sentinel: %v", err)
+	}
+	if n, ok := Partial[int](err); !ok || n != 42 {
+		t.Fatalf("Partial[int] = %v, %v; want 42, true", n, ok)
+	}
+	if _, ok := Partial[string](err); ok {
+		t.Fatal("Partial with the wrong type must report false")
+	}
+}
+
+func TestRewrapPreservesKindAndCause(t *testing.T) {
+	inner := FromContext("inner", context.Canceled, "inner-partial")
+	outer := Rewrap("outer", inner, "outer-partial")
+	if !errors.Is(outer, ErrCancelled) || !errors.Is(outer, context.Canceled) {
+		t.Fatalf("rewrapped error lost its classification: %v", outer)
+	}
+	if p, ok := Partial[string](outer); !ok || p != "outer-partial" {
+		t.Fatalf("rewrapped partial = %v, %v", p, ok)
+	}
+	plain := errors.New("plain failure")
+	if got := Rewrap("outer", plain, nil); got != plain {
+		t.Fatalf("non-interruption error must pass through unchanged, got %v", got)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check(context.Background(), "op", nil); err != nil {
+		t.Fatalf("live context: Check = %v, want nil", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Check(ctx, "op", "state")
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Check on a cancelled ctx = %v", err)
+	}
+	if p, ok := Partial[string](err); !ok || p != "state" {
+		t.Fatalf("Check partial = %v, %v", p, ok)
+	}
+}

@@ -14,7 +14,10 @@
 package lockedsim
 
 import (
+	"context"
 	"fmt"
+
+	"bindlock/internal/interrupt"
 
 	"bindlock/internal/binding"
 	"bindlock/internal/dfg"
@@ -65,8 +68,13 @@ func (r Report) SampleErrorRate() float64 {
 // Run simulates g over tr twice — once clean, once with cfg's locked FUs
 // corrupting under a wrong key — using binding b to decide which operations
 // execute on locked units. The binding and configuration must agree on class
-// and allocation.
-func Run(g *dfg.Graph, tr *trace.Trace, b *binding.Binding, cfg *locking.Config) (Report, error) {
+// and allocation. Cancellation is honoured at sample granularity; an
+// interrupted run returns the Report accumulated so far (Samples reduced to
+// the completed count) inside the typed error.
+func Run(ctx context.Context, g *dfg.Graph, tr *trace.Trace, b *binding.Binding, cfg *locking.Config) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Class != b.Class || cfg.NumFUs != b.NumFUs {
 		return Report{}, fmt.Errorf("lockedsim: binding (%v/%d) and locking (%v/%d) disagree",
 			b.Class, b.NumFUs, cfg.Class, cfg.NumFUs)
@@ -95,7 +103,13 @@ func Run(g *dfg.Graph, tr *trace.Trace, b *binding.Binding, cfg *locking.Config)
 	rep := Report{Samples: tr.Len()}
 	clean := make([]uint8, len(g.Ops))
 	dirty := make([]uint8, len(g.Ops))
-	for _, sample := range tr.Samples {
+	for si, sample := range tr.Samples {
+		if si%256 == 0 {
+			if cerr := interrupt.Check(ctx, "lockedsim: run", nil); cerr != nil {
+				rep.Samples = si
+				return rep, interrupt.Rewrap("lockedsim: run", cerr, rep)
+			}
+		}
 		corrupted := false
 		for _, op := range g.Ops {
 			switch op.Kind {

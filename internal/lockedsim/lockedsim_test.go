@@ -1,6 +1,7 @@
 package lockedsim
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -30,7 +31,7 @@ func prep(t *testing.T, src string, fus int, gen trace.Generator, n int, seed in
 		names = append(names, g.Ops[id].Name)
 	}
 	tr := trace.Generate(gen, names, n, seed)
-	res, err := sim.Run(g, tr)
+	res, err := sim.Run(context.Background(), g, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestDirectCorruption(t *testing.T) {
 	b := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{
 		g.OpsOfClass(dfg.ClassAdd)[0]: 0,
 	}}
-	rep, err := Run(g, tr, b, cfg)
+	rep, err := Run(context.Background(), g, tr, b, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestCleanInjectionsMatchEqn2(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := bench.Prepare(3, 250, 5)
+		p, err := bench.Prepare(context.Background(), 3, 250, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func TestCleanInjectionsMatchEqn2(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := Run(p.G, tr, bd, cfg)
+		rep, err := Run(context.Background(), p.G, tr, bd, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +147,7 @@ y = t * 0;
 	b := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{
 		g.OpsOfClass(dfg.ClassAdd)[0]: 0,
 	}}
-	rep, err := Run(g, tr, b, cfg)
+	rep, err := Run(context.Background(), g, tr, b, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,24 +171,24 @@ func TestRunValidation(t *testing.T) {
 	// Class/allocation mismatch.
 	mulCfg, _ := locking.NewConfig(dfg.ClassMul, 1, 1, locking.SFLLRem,
 		[][]dfg.Minterm{{top[0].M}})
-	if _, err := Run(g, tr, okB, mulCfg); err == nil {
+	if _, err := Run(context.Background(), g, tr, okB, mulCfg); err == nil {
 		t.Error("class mismatch must error")
 	}
 	// Invalid binding.
 	badB := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{}}
-	if _, err := Run(g, tr, badB, cfg); err == nil {
+	if _, err := Run(context.Background(), g, tr, badB, cfg); err == nil {
 		t.Error("incomplete binding must error")
 	}
 	// Missing trace input.
 	shortTr := trace.New([]string{"a"}, 1)
 	shortTr.Append([]uint8{1})
-	if _, err := Run(g, shortTr, okB, cfg); err == nil {
+	if _, err := Run(context.Background(), g, shortTr, okB, cfg); err == nil {
 		t.Error("missing input must error")
 	}
 	// Invalid locking config.
 	broken := cfg.Clone()
 	broken.Locks[0].FU = 7
-	if _, err := Run(g, tr, okB, broken); err == nil {
+	if _, err := Run(context.Background(), g, tr, okB, broken); err == nil {
 		t.Error("invalid config must error")
 	}
 }
@@ -203,8 +204,8 @@ func TestNoMintermsNoCorruptionQuick(t *testing.T) {
 		cfg := &locking.Config{Class: dfg.ClassAdd, NumFUs: 1, Locks: []locking.FULock{
 			{FU: 0, Scheme: locking.SFLLRem, KeyBits: 16},
 		}}
-		r1, err1 := Run(g, tr, b, cfg)
-		r2, err2 := Run(g, tr, b, cfg)
+		r1, err1 := Run(context.Background(), g, tr, b, cfg)
+		r2, err2 := Run(context.Background(), g, tr, b, cfg)
 		return err1 == nil && err2 == nil && r1 == r2 &&
 			r1.Injections == 0 && r1.CorruptedOutputs == 0 && r1.CorruptedSamples == 0
 	}

@@ -1,6 +1,7 @@
 package mediabench
 
 import (
+	"context"
 	"testing"
 
 	"bindlock/internal/dfg"
@@ -56,7 +57,7 @@ func TestSuiteSizeEnvelope(t *testing.T) {
 	// neighbourhood (generous band: these are re-implementations).
 	totalAdds, totalMuls, totalCycles := 0, 0, 0
 	for _, b := range All() {
-		p, err := b.Prepare(3, 16, 1)
+		p, err := b.Prepare(context.Background(), 3, 16, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func TestByName(t *testing.T) {
 
 func TestPrepareFlow(t *testing.T) {
 	b, _ := ByName("dct")
-	p, err := b.Prepare(3, 100, 7)
+	p, err := b.Prepare(context.Background(), 3, 100, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +118,11 @@ func TestPrepareFlow(t *testing.T) {
 
 func TestPrepareDeterministic(t *testing.T) {
 	b, _ := ByName("fir")
-	p1, err := b.Prepare(3, 50, 11)
+	p1, err := b.Prepare(context.Background(), 3, 50, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := b.Prepare(3, 50, 11)
+	p2, err := b.Prepare(context.Background(), 3, 50, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestWorkloadsConcentrateMinterms(t *testing.T) {
 	// The security-aware algorithms rely on non-uniform minterm mass: the
 	// top-10 candidate minterms must carry a visible share of the total.
 	for _, b := range All() {
-		p, err := b.Prepare(3, 400, 3)
+		p, err := b.Prepare(context.Background(), 3, 400, 3)
 		if err != nil {
 			t.Fatal(err)
 		}

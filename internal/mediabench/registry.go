@@ -1,6 +1,7 @@
 package mediabench
 
 import (
+	"context"
 	"fmt"
 
 	"bindlock/internal/dfg"
@@ -70,7 +71,8 @@ const DefaultSamples = 600
 // Prepare runs the experimental flow of Fig. 3 for the benchmark: compile,
 // schedule path-based onto up to maxFUs FUs per class, generate the sample
 // workload, and simulate to obtain expected input occurrences per operation.
-func (b Benchmark) Prepare(maxFUs, samples int, seed int64) (*Prepared, error) {
+// The simulation honours ctx.
+func (b Benchmark) Prepare(ctx context.Context, maxFUs, samples int, seed int64) (*Prepared, error) {
 	g, err := b.Compile()
 	if err != nil {
 		return nil, fmt.Errorf("mediabench: compile %s: %w", b.Name, err)
@@ -83,7 +85,7 @@ func (b Benchmark) Prepare(maxFUs, samples int, seed int64) (*Prepared, error) {
 		return nil, fmt.Errorf("mediabench: schedule %s: %w", b.Name, err)
 	}
 	tr := b.Workload(g, samples, seed)
-	res, err := sim.Run(g, tr)
+	res, err := sim.Run(ctx, g, tr)
 	if err != nil {
 		return nil, fmt.Errorf("mediabench: simulate %s: %w", b.Name, err)
 	}

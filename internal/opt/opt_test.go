@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -15,11 +16,11 @@ import (
 // equivalent checks the two graphs compute identical outputs over a trace.
 func equivalent(t *testing.T, g1, g2 *dfg.Graph, tr *trace.Trace) {
 	t.Helper()
-	r1, err := sim.Run(g1, tr)
+	r1, err := sim.Run(context.Background(), g1, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := sim.Run(g2, tr)
+	r2, err := sim.Run(context.Background(), g2, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,11 +241,11 @@ func TestOptimizeEquivalenceQuick(t *testing.T) {
 			return false
 		}
 		tr := trace.Generate(trace.Uniform, []string{"a", "b"}, 64, seed)
-		r1, err := sim.Run(g, tr)
+		r1, err := sim.Run(context.Background(), g, tr)
 		if err != nil {
 			return false
 		}
-		r2, err := sim.Run(og, tr)
+		r2, err := sim.Run(context.Background(), og, tr)
 		if err != nil {
 			return false
 		}

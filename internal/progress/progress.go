@@ -1,0 +1,227 @@
+// Package progress is the telemetry layer of the compute stack: a Hook
+// interface receiving per-phase events (phase start/end, iteration counts,
+// solver conflicts and decisions, attack DIP counts) from every long-running
+// computation.
+//
+// Hooks travel inside a context.Context (NewContext/FromContext), so the
+// compute packages need no extra parameters: each retrieves the hook from
+// the ctx it already takes for cancellation and emits through the nil-safe
+// Emit/Start/End helpers. The facade's WithProgress option and the cmd tools'
+// -v/-progress flags install a hook at the top of the stack.
+package progress
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind distinguishes the event types a Hook receives.
+type Kind uint8
+
+const (
+	// PhaseStart opens a named phase ("attack", "codesign", "sweep"...).
+	PhaseStart Kind = iota
+	// Step reports iteration progress within a phase.
+	Step
+	// PhaseEnd closes a phase.
+	PhaseEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case PhaseStart:
+		return "start"
+	case Step:
+		return "step"
+	case PhaseEnd:
+		return "end"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one progress report.
+type Event struct {
+	Kind Kind
+	// Phase names the computation stage: "compile", "simulate", "solve",
+	// "attack", "codesign", "sweep", ...
+	Phase string
+	// Done and Total count phase iterations (samples simulated, DIPs found,
+	// candidate sets evaluated). Total is 0 when unknown.
+	Done, Total int
+	// Conflicts and Decisions carry CDCL solver counters on "solve" steps.
+	Conflicts, Decisions int64
+	// Detail is a free-form annotation (benchmark name, circuit name...).
+	Detail string
+}
+
+// Hook receives progress events. Implementations must be cheap — they run
+// inside solver restart loops — and safe for concurrent use: experiment
+// drivers may emit from parallel workers in the future.
+type Hook interface {
+	OnProgress(Event)
+}
+
+// Func adapts a plain function to the Hook interface.
+type Func func(Event)
+
+// OnProgress implements Hook.
+func (f Func) OnProgress(e Event) { f(e) }
+
+// Emit forwards an event to a possibly-nil hook.
+func Emit(h Hook, e Event) {
+	if h != nil {
+		h.OnProgress(e)
+	}
+}
+
+// Start emits a PhaseStart event.
+func Start(h Hook, phase, detail string) {
+	Emit(h, Event{Kind: PhaseStart, Phase: phase, Detail: detail})
+}
+
+// End emits a PhaseEnd event.
+func End(h Hook, phase, detail string) {
+	Emit(h, Event{Kind: PhaseEnd, Phase: phase, Detail: detail})
+}
+
+// Tick emits a Step event with iteration counts only.
+func Tick(h Hook, phase string, done, total int) {
+	Emit(h, Event{Kind: Step, Phase: phase, Done: done, Total: total})
+}
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the hook. A nil hook returns ctx
+// unchanged.
+func NewContext(ctx context.Context, h Hook) context.Context {
+	if h == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, h)
+}
+
+// FromContext extracts the context's hook, or nil when none is installed.
+func FromContext(ctx context.Context) Hook {
+	if ctx == nil {
+		return nil
+	}
+	h, _ := ctx.Value(ctxKey{}).(Hook)
+	return h
+}
+
+// Tee fans events out to several hooks (nil entries are skipped).
+func Tee(hooks ...Hook) Hook {
+	var live []Hook
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return tee(live)
+}
+
+type tee []Hook
+
+func (t tee) OnProgress(e Event) {
+	for _, h := range t {
+		h.OnProgress(e)
+	}
+}
+
+// Logger is a Hook printing human-readable progress lines to W. Step events
+// are throttled per phase to one line every EveryN (default 1000) to keep
+// solver-restart and sweep chatter readable.
+type Logger struct {
+	W io.Writer
+	// EveryN prints every Nth Step event of a phase; <= 0 means 1000.
+	EveryN int
+
+	mu    sync.Mutex
+	steps map[string]int
+}
+
+// OnProgress implements Hook.
+func (l *Logger) OnProgress(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	every := l.EveryN
+	if every <= 0 {
+		every = 1000
+	}
+	switch e.Kind {
+	case PhaseStart:
+		fmt.Fprintf(l.W, "[%s] start %s\n", e.Phase, e.Detail)
+	case PhaseEnd:
+		fmt.Fprintf(l.W, "[%s] done %s\n", e.Phase, e.Detail)
+	case Step:
+		if l.steps == nil {
+			l.steps = map[string]int{}
+		}
+		l.steps[e.Phase]++
+		if l.steps[e.Phase]%every != 0 {
+			return
+		}
+		line := fmt.Sprintf("[%s]", e.Phase)
+		if e.Total > 0 {
+			line += fmt.Sprintf(" %d/%d", e.Done, e.Total)
+		} else if e.Done > 0 {
+			line += fmt.Sprintf(" %d", e.Done)
+		}
+		if e.Conflicts > 0 || e.Decisions > 0 {
+			line += fmt.Sprintf(" conflicts=%d decisions=%d", e.Conflicts, e.Decisions)
+		}
+		if e.Detail != "" {
+			line += " " + e.Detail
+		}
+		fmt.Fprintln(l.W, line)
+	}
+}
+
+// Counter is a Hook tallying events per phase; the cancellation and
+// progress-wiring tests assert against it.
+type Counter struct {
+	mu     sync.Mutex
+	starts map[string]int
+	steps  map[string]int
+	ends   map[string]int
+}
+
+// OnProgress implements Hook.
+func (c *Counter) OnProgress(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.starts == nil {
+		c.starts, c.steps, c.ends = map[string]int{}, map[string]int{}, map[string]int{}
+	}
+	switch e.Kind {
+	case PhaseStart:
+		c.starts[e.Phase]++
+	case Step:
+		c.steps[e.Phase]++
+	case PhaseEnd:
+		c.ends[e.Phase]++
+	}
+}
+
+// Starts returns the PhaseStart count of a phase.
+func (c *Counter) Starts(phase string) int { return c.count(&c.starts, phase) }
+
+// Steps returns the Step count of a phase.
+func (c *Counter) Steps(phase string) int { return c.count(&c.steps, phase) }
+
+// Ends returns the PhaseEnd count of a phase.
+func (c *Counter) Ends(phase string) int { return c.count(&c.ends, phase) }
+
+func (c *Counter) count(m *map[string]int, phase string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return (*m)[phase]
+}

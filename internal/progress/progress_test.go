@@ -1,0 +1,79 @@
+package progress
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// All emit helpers must tolerate a nil hook.
+	Emit(nil, Event{Kind: Step, Phase: "x"})
+	Start(nil, "x", "")
+	End(nil, "x", "")
+	Tick(nil, "x", 1, 2)
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield a nil hook")
+	}
+	var got []Event
+	h := Func(func(e Event) { got = append(got, e) })
+	ctx := NewContext(context.Background(), h)
+	FromContext(ctx).OnProgress(Event{Kind: PhaseStart, Phase: "attack"})
+	if len(got) != 1 || got[0].Phase != "attack" {
+		t.Fatalf("hook did not round-trip through the context: %v", got)
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("NewContext(nil hook) must return ctx unchanged")
+	}
+}
+
+func TestTee(t *testing.T) {
+	var a, b Counter
+	h := Tee(nil, &a, nil, &b)
+	h.OnProgress(Event{Kind: Step, Phase: "p"})
+	if a.Steps("p") != 1 || b.Steps("p") != 1 {
+		t.Fatalf("tee fan-out: a=%d b=%d", a.Steps("p"), b.Steps("p"))
+	}
+	if Tee(nil, nil) != nil {
+		t.Fatal("Tee of only nils must be nil")
+	}
+	if Tee(&a) != Hook(&a) {
+		t.Fatal("Tee of one hook must return it directly")
+	}
+}
+
+func TestLoggerThrottlesSteps(t *testing.T) {
+	var sb strings.Builder
+	l := &Logger{W: &sb, EveryN: 10}
+	l.OnProgress(Event{Kind: PhaseStart, Phase: "solve", Detail: "miter"})
+	for i := 1; i <= 25; i++ {
+		l.OnProgress(Event{Kind: Step, Phase: "solve", Done: i, Conflicts: int64(i)})
+	}
+	l.OnProgress(Event{Kind: PhaseEnd, Phase: "solve"})
+	out := sb.String()
+	lines := strings.Count(out, "\n")
+	// start + steps 10 and 20 + end = 4 lines.
+	if lines != 4 {
+		t.Fatalf("logger emitted %d lines, want 4:\n%s", lines, out)
+	}
+	if !strings.Contains(out, "start miter") || !strings.Contains(out, "conflicts=20") {
+		t.Fatalf("unexpected logger output:\n%s", out)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.OnProgress(Event{Kind: PhaseStart, Phase: "a"})
+	c.OnProgress(Event{Kind: Step, Phase: "a"})
+	c.OnProgress(Event{Kind: Step, Phase: "a"})
+	c.OnProgress(Event{Kind: PhaseEnd, Phase: "a"})
+	if c.Starts("a") != 1 || c.Steps("a") != 2 || c.Ends("a") != 1 {
+		t.Fatalf("counter: %d/%d/%d", c.Starts("a"), c.Steps("a"), c.Ends("a"))
+	}
+	if c.Steps("missing") != 0 {
+		t.Fatal("unknown phase must count zero")
+	}
+}

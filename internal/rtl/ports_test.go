@@ -1,6 +1,7 @@
 package rtl
 
 import (
+	"context"
 	"testing"
 
 	"bindlock/internal/binding"
@@ -18,7 +19,7 @@ func TestOptimizePortsReducesSwitching(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := b.Prepare(3, 200, 9)
+		p, err := b.Prepare(context.Background(), 3, 200, 9)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,5 +144,5 @@ func TestOptimizePortsValidation(t *testing.T) {
 
 // simRun wraps sim.Run for the tests in this file.
 func simRun(g *dfg.Graph, tr *trace.Trace) (*sim.Result, error) {
-	return sim.Run(g, tr)
+	return sim.Run(context.Background(), g, tr)
 }

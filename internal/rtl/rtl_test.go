@@ -1,6 +1,7 @@
 package rtl
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -27,7 +28,7 @@ func prep(t *testing.T, src string, fus int, gen trace.Generator, seed int64) (*
 	for _, id := range g.Inputs() {
 		names = append(names, g.Ops[id].Name)
 	}
-	res, err := sim.Run(g, trace.Generate(gen, names, 128, seed))
+	res, err := sim.Run(context.Background(), g, trace.Generate(gen, names, 128, seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ y = t3;
 	}
 	f := func(seed int64) bool {
 		tr := trace.Generate(trace.ImageBlocks, []string{"a", "b", "c"}, 32, seed)
-		res, err := sim.Run(g, tr)
+		res, err := sim.Run(context.Background(), g, tr)
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package rtl
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestWriteVerilogBenchmark(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := b.Prepare(3, 32, 1)
+	p, err := b.Prepare(context.Background(), 3, 32, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestWriteVerilogALUModes(t *testing.T) {
 
 func TestWriteVerilogValidation(t *testing.T) {
 	b, _ := mediabench.ByName("dct")
-	p, err := b.Prepare(3, 16, 1)
+	p, err := b.Prepare(context.Background(), 3, 16, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestWriteVerilogValidation(t *testing.T) {
 
 func TestVerilogDeterministic(t *testing.T) {
 	b, _ := mediabench.ByName("jdmerge3")
-	p, err := b.Prepare(3, 16, 2)
+	p, err := b.Prepare(context.Background(), 3, 16, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,9 +10,13 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+
+	"bindlock/internal/interrupt"
+	"bindlock/internal/progress"
 )
 
 // Lit is a literal: variable index (0-based) shifted left once, with the low
@@ -448,10 +452,38 @@ func luby(x int64) int64 {
 	return 1 << uint(seq)
 }
 
+// Stats is a snapshot of the solver's search counters — the partial result
+// an interrupted Solve carries.
+type Stats struct {
+	Conflicts, Decisions, Propagations, Restarts int64
+}
+
+// Stats snapshots the solver's search counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Conflicts:    s.Conflicts,
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Restarts:     s.Restarts,
+	}
+}
+
+// ctxCheckInterval bounds how many conflicts/decisions may pass between
+// cancellation checks; at CDCL step rates this keeps cancellation latency
+// well under the ~100ms promptness target.
+const ctxCheckInterval = 2048
+
 // Solve searches for a satisfying assignment. It returns (true, nil) with a
 // model available via Value, (false, nil) if the formula is unsatisfiable,
-// or (false, ErrBudget) if the conflict budget ran out.
-func (s *Solver) Solve() (bool, error) {
+// or (false, err) when interrupted: err wraps interrupt.ErrBudgetExceeded
+// (and ErrBudget) when the conflict budget ran out, or classifies ctx.Err()
+// when the context was cancelled or its deadline expired. Either way the
+// error carries a Stats snapshot as partial result. Cancellation is checked
+// at restart boundaries and every ctxCheckInterval conflicts/decisions.
+func (s *Solver) Solve(ctx context.Context) (bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !s.ok {
 		return false, nil
 	}
@@ -465,16 +497,31 @@ func (s *Solver) Solve() (bool, error) {
 	if budget == 0 {
 		budget = DefaultMaxConflicts
 	}
+	hook := progress.FromContext(ctx)
 	var restartN int64
 	const restartBase = 100
 	maxLearnts := s.learntAt/3 + 1000
+	sinceCheck := 0
 
 	for {
+		if err := interrupt.Check(ctx, "sat: solve", s.Stats()); err != nil {
+			return false, err
+		}
+		progress.Emit(hook, progress.Event{
+			Kind: progress.Step, Phase: "solve",
+			Conflicts: s.Conflicts, Decisions: s.Decisions,
+		})
 		restartBudget := luby(restartN) * restartBase
 		restartN++
 		s.Restarts++
 		conflicts := int64(0)
 		for {
+			if sinceCheck++; sinceCheck >= ctxCheckInterval {
+				sinceCheck = 0
+				if err := interrupt.Check(ctx, "sat: solve", s.Stats()); err != nil {
+					return false, err
+				}
+			}
 			confl := s.propagate()
 			if confl != -1 {
 				s.Conflicts++
@@ -503,7 +550,7 @@ func (s *Solver) Solve() (bool, error) {
 					maxLearnts += maxLearnts / 10
 				}
 				if s.Conflicts >= budget {
-					return false, ErrBudget
+					return false, interrupt.Budget("sat: solve", ErrBudget, s.Stats())
 				}
 				continue
 			}

@@ -1,10 +1,16 @@
 package sat
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"bindlock/internal/interrupt"
+	"bindlock/internal/progress"
 )
 
 // bruteForce decides satisfiability of a clause set over n variables by
@@ -56,7 +62,7 @@ func TestTrivialSAT(t *testing.T) {
 	b := s.NewVar()
 	s.AddClause(NewLit(a, false))
 	s.AddClause(NewLit(a, true), NewLit(b, false))
-	ok, err := s.Solve()
+	ok, err := s.Solve(context.Background())
 	if err != nil || !ok {
 		t.Fatalf("Solve = %v, %v", ok, err)
 	}
@@ -72,7 +78,7 @@ func TestTrivialUNSAT(t *testing.T) {
 	if s.AddClause(NewLit(a, true)) {
 		t.Fatal("contradictory unit must report failure")
 	}
-	ok, err := s.Solve()
+	ok, err := s.Solve(context.Background())
 	if err != nil || ok {
 		t.Fatalf("Solve = %v, %v, want UNSAT", ok, err)
 	}
@@ -84,7 +90,7 @@ func TestEmptyClauseUNSAT(t *testing.T) {
 	if s.AddClause() {
 		t.Fatal("empty clause must fail")
 	}
-	if ok, _ := s.Solve(); ok {
+	if ok, _ := s.Solve(context.Background()); ok {
 		t.Fatal("must be UNSAT")
 	}
 }
@@ -95,7 +101,7 @@ func TestTautologyAndDuplicates(t *testing.T) {
 	b := s.NewVar()
 	s.AddClause(NewLit(a, false), NewLit(a, true)) // tautology: ignored
 	s.AddClause(NewLit(b, false), NewLit(b, false), NewLit(b, false))
-	ok, err := s.Solve()
+	ok, err := s.Solve(context.Background())
 	if err != nil || !ok {
 		t.Fatalf("Solve = %v, %v", ok, err)
 	}
@@ -125,7 +131,7 @@ func TestPigeonhole(t *testing.T) {
 			}
 		}
 	}
-	ok, err := s.Solve()
+	ok, err := s.Solve(context.Background())
 	if err != nil || ok {
 		t.Fatalf("PHP(4,3) = %v, %v, want UNSAT", ok, err)
 	}
@@ -159,7 +165,7 @@ func TestPigeonholeLarger(t *testing.T) {
 			}
 		}
 	}
-	ok, err := s.Solve()
+	ok, err := s.Solve(context.Background())
 	if err != nil || ok {
 		t.Fatalf("PHP(7,6) = %v, %v, want UNSAT", ok, err)
 	}
@@ -185,7 +191,7 @@ func TestRandom3SATAgainstBruteForce(t *testing.T) {
 			clauses = append(clauses, c)
 			s.AddClause(c...)
 		}
-		got, err := s.Solve()
+		got, err := s.Solve(context.Background())
 		if err != nil {
 			return false
 		}
@@ -227,7 +233,7 @@ func TestIncrementalSolving(t *testing.T) {
 	}
 	s.AddClause(lits...)
 	for round := 0; round < 5; round++ {
-		ok, err := s.Solve()
+		ok, err := s.Solve(context.Background())
 		if err != nil || !ok {
 			t.Fatalf("round %d: %v %v", round, ok, err)
 		}
@@ -265,7 +271,7 @@ func TestXorChainUNSAT(t *testing.T) {
 		addXorTrue(vars[i], vars[i+1])
 	}
 	addEq(vars[0], vars[n-1]) // x_{n-1} = NOT x_0 after 13 flips: contradiction
-	ok, err := s.Solve()
+	ok, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,10 +280,10 @@ func TestXorChainUNSAT(t *testing.T) {
 	}
 }
 
-func TestBudgetExhaustion(t *testing.T) {
-	// A hard instance with a tiny budget must return ErrBudget.
-	s := NewSolver()
-	n, m := 9, 8
+// pigeonhole encodes PHP(n, m): n pigeons into m holes. For n > m it is UNSAT
+// and exponentially hard for resolution — the standard budget/cancellation
+// workload.
+func pigeonhole(s *Solver, n, m int) {
 	vars := make([][]int, n)
 	for p := range vars {
 		vars[p] = make([]int, m)
@@ -299,10 +305,67 @@ func TestBudgetExhaustion(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// A hard instance with a tiny budget must return ErrBudget, typed as a
+	// budget interruption carrying the search counters.
+	s := NewSolver()
+	pigeonhole(s, 9, 8)
 	s.MaxConflicts = 50
-	_, err := s.Solve()
-	if err != ErrBudget {
+	_, err := s.Solve(context.Background())
+	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if !errors.Is(err, interrupt.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want interrupt.ErrBudgetExceeded", err)
+	}
+	stats, ok := interrupt.Partial[Stats](err)
+	if !ok || stats.Conflicts < 50 {
+		t.Fatalf("partial stats = %+v, %v; want conflicts >= 50", stats, ok)
+	}
+}
+
+func TestSolveCancellation(t *testing.T) {
+	// A deadline mid-search must interrupt the solver promptly with partial
+	// statistics; PHP(11,10) runs far beyond the 20ms budget otherwise.
+	s := NewSolver()
+	pigeonhole(s, 11, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.Solve(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, interrupt.ErrBudgetExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline-classified budget interruption", err)
+	}
+	if elapsed > 120*time.Millisecond {
+		t.Errorf("solver returned %v after the 20ms deadline; want prompt return", elapsed)
+	}
+	stats, ok := interrupt.Partial[Stats](err)
+	if !ok || stats.Conflicts == 0 {
+		t.Errorf("partial stats = %+v, %v; want non-zero conflicts", stats, ok)
+	}
+
+	// Pre-cancelled contexts never enter the search.
+	s2 := NewSolver()
+	pigeonhole(s2, 9, 8)
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if _, err := s2.Solve(cctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled solve = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveEmitsProgress(t *testing.T) {
+	var c progress.Counter
+	s := NewSolver()
+	pigeonhole(s, 8, 7)
+	s.MaxConflicts = 5000
+	ctx := progress.NewContext(context.Background(), &c)
+	_, _ = s.Solve(ctx)
+	if c.Steps("solve") == 0 {
+		t.Fatal("Solve emitted no solve progress events")
 	}
 }
 
@@ -340,7 +403,7 @@ p cnf 3 3
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := s.Solve()
+	ok, err := s.Solve(context.Background())
 	if err != nil || !ok {
 		t.Fatalf("Solve = %v %v", ok, err)
 	}
@@ -406,7 +469,7 @@ func TestStatisticsPopulated(t *testing.T) {
 		clauses = append(clauses, c)
 		s.AddClause(c...)
 	}
-	ok, err := s.Solve()
+	ok, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +508,7 @@ func TestReduceDBStress(t *testing.T) {
 			}
 		}
 	}
-	ok, err := s.Solve()
+	ok, err := s.Solve(context.Background())
 	if err != nil || ok {
 		t.Fatalf("PHP(8,7) = %v, %v, want UNSAT", ok, err)
 	}
@@ -490,7 +553,7 @@ func TestReduceDBPreservesSATAnswers(t *testing.T) {
 			for _, c := range clauses {
 				s.AddClause(c...)
 			}
-			ok, err := s.Solve()
+			ok, err := s.Solve(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,12 +1,16 @@
 package satattack
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"bindlock/internal/cnf"
+	"bindlock/internal/interrupt"
 	"bindlock/internal/netlist"
+	"bindlock/internal/progress"
 )
 
 // This file implements an AppSAT-style approximate attack: run the exact
@@ -50,9 +54,16 @@ type ApproxResult struct {
 	Duration time.Duration
 }
 
+const approxOp = "satattack: approx attack"
+
 // ApproxAttack runs the early-terminating SAT attack against the locked
-// circuit.
-func ApproxAttack(locked *netlist.Circuit, oracle Oracle, opts ApproxOptions) (*ApproxResult, error) {
+// circuit. Cancellation is honoured per DIP and per error-estimation sample;
+// an interrupted run returns the partial ApproxResult alongside the typed
+// interruption error.
+func ApproxAttack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts ApproxOptions) (*ApproxResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := locked.Validate(); err != nil {
 		return nil, err
 	}
@@ -67,6 +78,8 @@ func ApproxAttack(locked *netlist.Circuit, oracle Oracle, opts ApproxOptions) (*
 	if samples == 0 {
 		samples = 2000
 	}
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "approx-attack", locked.Name)
 	start := time.Now()
 
 	me := cnf.NewEncoder()
@@ -91,9 +104,26 @@ func ApproxAttack(locked *netlist.Circuit, oracle Oracle, opts ApproxOptions) (*
 	keyVars := ke.FreshVars(len(locked.Keys))
 
 	res := &ApproxResult{}
+	interrupted := func(cause error) (*ApproxResult, error) {
+		res.Duration = time.Since(start)
+		if found, err := ke.S.Solve(context.WithoutCancel(ctx)); err == nil && found {
+			res.Key = make([]bool, len(keyVars))
+			for i, v := range keyVars {
+				res.Key[i] = ke.S.Value(v)
+			}
+		}
+		progress.End(hook, "approx-attack", fmt.Sprintf("interrupted after %d DIPs", res.Iterations))
+		return res, interrupt.Rewrap(approxOp, cause, res)
+	}
 	for res.Iterations < budget {
-		found, err := me.S.Solve()
+		if cerr := interrupt.Check(ctx, approxOp, nil); cerr != nil {
+			return interrupted(cerr)
+		}
+		found, err := me.S.Solve(ctx)
 		if err != nil {
+			if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
+				return interrupted(err)
+			}
 			return nil, fmt.Errorf("satattack: approx miter solve: %w", err)
 		}
 		if !found {
@@ -101,6 +131,7 @@ func ApproxAttack(locked *netlist.Circuit, oracle Oracle, opts ApproxOptions) (*
 			break
 		}
 		res.Iterations++
+		progress.Tick(hook, "approx-attack", res.Iterations, budget)
 		dip := make([]bool, len(inst1.Inputs))
 		for i, v := range inst1.Inputs {
 			dip[i] = me.S.Value(v)
@@ -129,8 +160,11 @@ func ApproxAttack(locked *netlist.Circuit, oracle Oracle, opts ApproxOptions) (*
 		}
 	}
 
-	found, err := ke.S.Solve()
+	found, err := ke.S.Solve(ctx)
 	if err != nil {
+		if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
+			return interrupted(err)
+		}
 		return nil, fmt.Errorf("satattack: approx key extraction: %w", err)
 	}
 	if !found {
@@ -146,6 +180,14 @@ func ApproxAttack(locked *netlist.Circuit, oracle Oracle, opts ApproxOptions) (*
 	n := len(locked.Inputs)
 	wrong := 0
 	for s := 0; s < samples; s++ {
+		if s%256 == 0 {
+			if cerr := interrupt.Check(ctx, approxOp, nil); cerr != nil {
+				res.EstErrorRate = float64(wrong) / float64(s+1)
+				res.Duration = time.Since(start)
+				progress.End(hook, "approx-attack", "interrupted during error estimation")
+				return res, interrupt.Rewrap(approxOp, cerr, res)
+			}
+		}
 		in := make([]bool, n)
 		for i := range in {
 			in[i] = rng.Intn(2) == 1
@@ -167,5 +209,6 @@ func ApproxAttack(locked *netlist.Circuit, oracle Oracle, opts ApproxOptions) (*
 	}
 	res.EstErrorRate = float64(wrong) / float64(samples)
 	res.Duration = time.Since(start)
+	progress.End(hook, "approx-attack", fmt.Sprintf("%d DIPs, est err %.3f", res.Iterations, res.EstErrorRate))
 	return res, nil
 }

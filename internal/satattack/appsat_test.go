@@ -1,6 +1,7 @@
 package satattack
 
 import (
+	"context"
 	"testing"
 
 	"bindlock/internal/netlist"
@@ -15,7 +16,7 @@ func TestApproxAttackExactOnXOR(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := OracleFromCircuit(locked, key)
-	res, err := ApproxAttack(locked, oracle, ApproxOptions{MaxIterations: 32, Seed: 1})
+	res, err := ApproxAttack(context.Background(), locked, oracle, ApproxOptions{MaxIterations: 32, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestApproxAttackExactOnXOR(t *testing.T) {
 	if res.EstErrorRate != 0 {
 		t.Fatalf("exact key has error rate %v", res.EstErrorRate)
 	}
-	if err := VerifyKey(locked, res.Key, oracle); err != nil {
+	if err := VerifyKey(context.Background(), locked, res.Key, oracle); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -42,7 +43,7 @@ func TestApproxAttackOnSFLL(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := OracleFromCircuit(locked, key)
-	res, err := ApproxAttack(locked, oracle, ApproxOptions{MaxIterations: 8, Seed: 2})
+	res, err := ApproxAttack(context.Background(), locked, oracle, ApproxOptions{MaxIterations: 8, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestApproxAttackOnSFLL(t *testing.T) {
 
 func TestApproxAttackRejectsUnlocked(t *testing.T) {
 	base, _ := netlist.NewAdder(2)
-	if _, err := ApproxAttack(base, OracleFromCircuit(base, nil), ApproxOptions{}); err == nil {
+	if _, err := ApproxAttack(context.Background(), base, OracleFromCircuit(base, nil), ApproxOptions{}); err == nil {
 		t.Fatal("unlocked circuit must be rejected")
 	}
 }
@@ -95,7 +96,7 @@ func TestApproxAttackDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ApproxAttack(locked, OracleFromCircuit(locked, key), ApproxOptions{})
+	res, err := ApproxAttack(context.Background(), locked, OracleFromCircuit(locked, key), ApproxOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

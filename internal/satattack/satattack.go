@@ -10,15 +10,24 @@
 // miter becomes unsatisfiable, every key consistent with the accumulated
 // constraints is functionally correct; one is extracted from a parallel
 // constraint-only solver.
+//
+// Attack is context-aware: SFLL-style point functions are designed to blow
+// up solver time, so a server embedding the attack bounds it with a context
+// deadline. An interrupted attack returns the partial Result — DIP count and
+// the best-so-far key guess consistent with every oracle answer observed —
+// both directly and inside the typed interrupt.Error.
 package satattack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"bindlock/internal/cnf"
+	"bindlock/internal/interrupt"
 	"bindlock/internal/netlist"
+	"bindlock/internal/progress"
 )
 
 // Oracle answers input queries with the activated IC's outputs.
@@ -41,9 +50,11 @@ type Options struct {
 	MaxConflicts int64
 }
 
-// Result reports a completed attack.
+// Result reports a completed or interrupted attack.
 type Result struct {
-	// Key is a functionally correct key for the locked circuit.
+	// Key is a functionally correct key for the locked circuit. On an
+	// interrupted attack it is the best-so-far guess consistent with every
+	// observed oracle answer (nil when even that could not be extracted).
 	Key []bool
 	// Iterations is the number of DIPs required (λ in Eqn. 1).
 	Iterations int
@@ -56,8 +67,19 @@ type Result struct {
 // ErrIterationBudget is returned when the DIP loop exceeds MaxIterations.
 var ErrIterationBudget = errors.New("satattack: iteration budget exhausted")
 
+const attackOp = "satattack: attack"
+
 // Attack runs the SAT attack against the locked circuit using the oracle.
-func Attack(locked *netlist.Circuit, oracle Oracle, opts Options) (*Result, error) {
+// Cancellation is checked before every DIP iteration and inside each solver
+// call. An interrupted attack — context cancelled, deadline expired, or
+// iteration/conflict budget exhausted — returns the partial Result together
+// with a typed error: errors.Is matches interrupt.ErrCancelled or
+// interrupt.ErrBudgetExceeded (and the underlying context error), and the
+// partial Result also rides inside the interrupt.Error.
+func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := locked.Validate(); err != nil {
 		return nil, err
 	}
@@ -69,6 +91,8 @@ func Attack(locked *netlist.Circuit, oracle Oracle, opts Options) (*Result, erro
 		maxIter = 1 << 20
 	}
 
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "attack", locked.Name)
 	start := time.Now()
 
 	// Miter solver: two key copies over shared inputs, outputs forced to
@@ -101,15 +125,34 @@ func Attack(locked *netlist.Circuit, oracle Oracle, opts Options) (*Result, erro
 	keyVars := ke.FreshVars(len(locked.Keys))
 
 	res := &Result{}
+	// interrupted finalises an interruption: it stamps the duration,
+	// extracts the best-so-far key guess from the accumulated constraints,
+	// and rewraps the cause with the attack-level partial result.
+	interrupted := func(cause error) (*Result, error) {
+		res.Duration = time.Since(start)
+		extractKey(ctx, ke, keyVars, res)
+		progress.End(hook, "attack", fmt.Sprintf("interrupted after %d DIPs", res.Iterations))
+		return res, interrupt.Rewrap(attackOp, cause, res)
+	}
 	for res.Iterations < maxIter {
-		found, err := me.S.Solve()
+		if cerr := interrupt.Check(ctx, attackOp, nil); cerr != nil {
+			return interrupted(cerr)
+		}
+		found, err := me.S.Solve(ctx)
 		if err != nil {
+			if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
+				return interrupted(err)
+			}
 			return nil, fmt.Errorf("satattack: miter solve (iteration %d): %w", res.Iterations+1, err)
 		}
 		if !found {
 			break // no more DIPs: key space collapsed to correct classes
 		}
 		res.Iterations++
+		progress.Emit(hook, progress.Event{
+			Kind: progress.Step, Phase: "attack",
+			Done: res.Iterations, Total: maxIter, Detail: "DIP",
+		})
 
 		dip := make([]bool, len(inst1.Inputs))
 		for i, v := range inst1.Inputs {
@@ -143,11 +186,18 @@ func Attack(locked *netlist.Circuit, oracle Oracle, opts Options) (*Result, erro
 		}
 	}
 	if res.Iterations >= maxIter {
-		return nil, fmt.Errorf("%w (%d iterations)", ErrIterationBudget, maxIter)
+		cause := fmt.Errorf("%w (%d iterations)", ErrIterationBudget, maxIter)
+		res.Duration = time.Since(start)
+		extractKey(ctx, ke, keyVars, res)
+		progress.End(hook, "attack", fmt.Sprintf("budget after %d DIPs", res.Iterations))
+		return res, interrupt.Budget(attackOp, cause, res)
 	}
 
-	found, err := ke.S.Solve()
+	found, err := ke.S.Solve(ctx)
 	if err != nil {
+		if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
+			return interrupted(err)
+		}
 		return nil, fmt.Errorf("satattack: key extraction: %w", err)
 	}
 	if !found {
@@ -158,20 +208,43 @@ func Attack(locked *netlist.Circuit, oracle Oracle, opts Options) (*Result, erro
 		res.Key[i] = ke.S.Value(v)
 	}
 	res.Duration = time.Since(start)
+	progress.End(hook, "attack", fmt.Sprintf("%d DIPs", res.Iterations))
 	return res, nil
+}
+
+// extractKey solves the accumulated I/O constraints for a best-effort key
+// guess, detached from the (already-done) caller context: the constraint-only
+// solver stays satisfiable and cheap, so the extraction is bounded by its own
+// conflict budget rather than the expired deadline.
+func extractKey(ctx context.Context, ke *cnf.Encoder, keyVars []int, res *Result) {
+	if found, err := ke.S.Solve(context.WithoutCancel(ctx)); err == nil && found {
+		res.Key = make([]bool, len(keyVars))
+		for i, v := range keyVars {
+			res.Key[i] = ke.S.Value(v)
+		}
+	}
 }
 
 // VerifyKey checks that the recovered key makes the locked circuit agree
 // with the oracle. It is exhaustive up to 2^16 input combinations and
-// samples a strided subset above that.
-func VerifyKey(locked *netlist.Circuit, key []bool, oracle Oracle) error {
+// samples a strided subset above that; the sweep honours ctx.
+func VerifyKey(ctx context.Context, locked *netlist.Circuit, key []bool, oracle Oracle) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(locked.Inputs)
 	space := uint64(1) << uint(n)
 	stride := uint64(1)
 	if n > 16 {
 		stride = space / (1 << 16)
 	}
-	for v := uint64(0); v < space; v += stride {
+	const checkEvery = 1024
+	for v, i := uint64(0), 0; v < space; v, i = v+stride, i+1 {
+		if i%checkEvery == 0 {
+			if err := interrupt.Check(ctx, "satattack: verify key", nil); err != nil {
+				return err
+			}
+		}
 		in := netlist.Uint64ToBits(v, n)
 		got, err := locked.Eval(in, key)
 		if err != nil {

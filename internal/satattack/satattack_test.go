@@ -1,8 +1,13 @@
 package satattack
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
+
+	"bindlock/internal/interrupt"
+	"bindlock/internal/progress"
 
 	"bindlock/internal/locking"
 	"bindlock/internal/netlist"
@@ -20,11 +25,11 @@ func TestAttackXORLockedAdder(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := OracleFromCircuit(locked, key)
-	res, err := Attack(locked, oracle, Options{})
+	res, err := Attack(context.Background(), locked, oracle, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := VerifyKey(locked, res.Key, oracle); err != nil {
+	if err := VerifyKey(context.Background(), locked, res.Key, oracle); err != nil {
 		t.Fatal(err)
 	}
 	if res.Iterations > 30 {
@@ -56,11 +61,11 @@ func TestAttackSFLLIsExpensive(t *testing.T) {
 			t.Fatal(err)
 		}
 		oracle := OracleFromCircuit(locked, key)
-		res, err := Attack(locked, oracle, Options{})
+		res, err := Attack(context.Background(), locked, oracle, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := VerifyKey(locked, res.Key, oracle); err != nil {
+		if err := VerifyKey(context.Background(), locked, res.Key, oracle); err != nil {
 			t.Fatal(err)
 		}
 		total += res.Iterations
@@ -90,11 +95,11 @@ func TestAttackRoutingLockedAdder(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := OracleFromCircuit(locked, key)
-	res, err := Attack(locked, oracle, Options{})
+	res, err := Attack(context.Background(), locked, oracle, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := VerifyKey(locked, res.Key, oracle); err != nil {
+	if err := VerifyKey(context.Background(), locked, res.Key, oracle); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("routing-locked adder: %d iterations", res.Iterations)
@@ -110,11 +115,11 @@ func TestAttackMultiplier(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := OracleFromCircuit(locked, key)
-	res, err := Attack(locked, oracle, Options{})
+	res, err := Attack(context.Background(), locked, oracle, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := VerifyKey(locked, res.Key, oracle); err != nil {
+	if err := VerifyKey(context.Background(), locked, res.Key, oracle); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -123,7 +128,7 @@ func TestAttackIterationBudget(t *testing.T) {
 	base, _ := netlist.NewAdder(3)
 	locked, key, _ := netlist.LockSFLLHD0(base, []uint64{5})
 	oracle := OracleFromCircuit(locked, key)
-	_, err := Attack(locked, oracle, Options{MaxIterations: 2})
+	_, err := Attack(context.Background(), locked, oracle, Options{MaxIterations: 2})
 	if !errors.Is(err, ErrIterationBudget) {
 		t.Fatalf("err = %v, want iteration budget", err)
 	}
@@ -131,7 +136,7 @@ func TestAttackIterationBudget(t *testing.T) {
 
 func TestAttackRejectsUnlockedCircuit(t *testing.T) {
 	base, _ := netlist.NewAdder(2)
-	if _, err := Attack(base, OracleFromCircuit(base, nil), Options{}); err == nil {
+	if _, err := Attack(context.Background(), base, OracleFromCircuit(base, nil), Options{}); err == nil {
 		t.Fatal("circuit without keys must be rejected")
 	}
 }
@@ -153,7 +158,7 @@ func TestAttackInconsistentOracle(t *testing.T) {
 		outs[1] = !outs[1]
 		return outs, nil
 	}
-	_, err := Attack(locked, bogus, Options{})
+	_, err := Attack(context.Background(), locked, bogus, Options{})
 	if err == nil {
 		t.Fatal("inconsistent oracle must produce an error")
 	}
@@ -165,10 +170,10 @@ func TestVerifyKeyDetectsWrongKey(t *testing.T) {
 	oracle := OracleFromCircuit(locked, key)
 	wrong := append([]bool(nil), key...)
 	wrong[0] = !wrong[0]
-	if err := VerifyKey(locked, wrong, oracle); err == nil {
+	if err := VerifyKey(context.Background(), locked, wrong, oracle); err == nil {
 		t.Fatal("VerifyKey must reject a wrong key")
 	}
-	if err := VerifyKey(locked, key, oracle); err != nil {
+	if err := VerifyKey(context.Background(), locked, key, oracle); err != nil {
 		t.Fatalf("VerifyKey rejected the correct key: %v", err)
 	}
 }
@@ -190,11 +195,11 @@ func TestAttackArchitectureIndependence(t *testing.T) {
 			t.Fatal(err)
 		}
 		oracle := OracleFromCircuit(locked, key)
-		res, err := Attack(locked, oracle, Options{})
+		res, err := Attack(context.Background(), locked, oracle, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", base.Name, err)
 		}
-		if err := VerifyKey(locked, res.Key, oracle); err != nil {
+		if err := VerifyKey(context.Background(), locked, res.Key, oracle); err != nil {
 			t.Fatalf("%s: %v", base.Name, err)
 		}
 		iters = append(iters, res.Iterations)
@@ -212,5 +217,134 @@ func TestAttackArchitectureIndependence(t *testing.T) {
 	}
 	if hi > 8*lo+8 {
 		t.Errorf("iteration counts diverge across architectures: %v", iters)
+	}
+}
+
+// TestAttackCancellationMidRun: the acceptance scenario from the co-design
+// methodology — an SFLL-locked adder whose λ (Eqn. 1) is far beyond any
+// interactive budget, attacked under a 50ms context deadline. The attack
+// must return promptly with a typed budget error carrying a partial result
+// whose DIP count is non-zero.
+func TestAttackCancellationMidRun(t *testing.T) {
+	base, err := netlist.NewAdder(8) // 16 inputs: λ = 2^16 DIPs
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key, err := netlist.LockSFLLHD0(base, []uint64{0xBEEF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OracleFromCircuit(locked, key)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := Attack(ctx, locked, oracle, Options{})
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("attack under a 50ms deadline must not complete")
+	}
+	if !errors.Is(err, interrupt.ErrBudgetExceeded) {
+		t.Errorf("errors.Is(err, interrupt.ErrBudgetExceeded) = false: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, context.DeadlineExceeded) = false: %v", err)
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Errorf("attack returned after %v; want prompt return near the 50ms deadline", elapsed)
+	}
+	if res == nil {
+		t.Fatal("interrupted attack must return its partial result")
+	}
+	if res.Iterations == 0 {
+		t.Error("partial result has zero DIP iterations; expected progress before the deadline")
+	}
+	if len(res.Key) != len(locked.Keys) {
+		t.Errorf("partial result missing best-so-far key: len=%d want %d", len(res.Key), len(locked.Keys))
+	}
+	if p, ok := interrupt.Partial[*Result](err); !ok || p != res {
+		t.Errorf("error must carry the same partial result: %v %v", p, ok)
+	}
+	t.Logf("interrupted after %d DIPs in %v", res.Iterations, elapsed)
+}
+
+// TestAttackExplicitCancel: an already-cancelled context aborts before the
+// first DIP and classifies as cancellation, not budget exhaustion.
+func TestAttackExplicitCancel(t *testing.T) {
+	base, _ := netlist.NewAdder(4)
+	locked, key, _ := netlist.LockSFLLHD0(base, []uint64{3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Attack(ctx, locked, OracleFromCircuit(locked, key), Options{})
+	if !errors.Is(err, interrupt.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want cancellation semantics", err)
+	}
+	if res == nil || res.Iterations != 0 {
+		t.Fatalf("pre-cancelled attack: res = %+v", res)
+	}
+}
+
+// TestAttackBudgetPartialResult: the iteration-budget exit must populate
+// the partial key, DIP count, and duration rather than abandoning them.
+func TestAttackBudgetPartialResult(t *testing.T) {
+	base, _ := netlist.NewAdder(3)
+	locked, key, _ := netlist.LockSFLLHD0(base, []uint64{5})
+	oracle := OracleFromCircuit(locked, key)
+	res, err := Attack(context.Background(), locked, oracle, Options{MaxIterations: 2})
+	if !errors.Is(err, ErrIterationBudget) || !errors.Is(err, interrupt.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want iteration budget with typed kind", err)
+	}
+	if res == nil {
+		t.Fatal("budget exit must return the partial result")
+	}
+	if res.Iterations != 2 || len(res.DIPs) != 2 {
+		t.Errorf("partial iterations = %d, DIPs = %d; want 2, 2", res.Iterations, len(res.DIPs))
+	}
+	if len(res.Key) != len(locked.Keys) {
+		t.Errorf("budget exit missing best-guess key: len=%d want %d", len(res.Key), len(locked.Keys))
+	}
+	if res.Duration <= 0 {
+		t.Error("budget exit missing duration")
+	}
+}
+
+// TestApproxAttackCancellation: ApproxAttack honours an expired deadline
+// during its DIP loop and returns the partial result.
+func TestApproxAttackCancellation(t *testing.T) {
+	base, _ := netlist.NewAdder(8)
+	locked, key, _ := netlist.LockSFLLHD0(base, []uint64{0xACE})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res, err := ApproxAttack(ctx, locked, OracleFromCircuit(locked, key),
+		ApproxOptions{MaxIterations: 1 << 20})
+	if err == nil {
+		t.Fatal("deadline must interrupt the approximate attack")
+	}
+	if !errors.Is(err, interrupt.ErrBudgetExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want budget/deadline semantics", err)
+	}
+	if res == nil {
+		t.Fatal("interrupted approx attack must return its partial result")
+	}
+	t.Logf("approx attack interrupted after %d DIPs", res.Iterations)
+}
+
+// TestAttackEmitsProgress: a context-carried hook observes attack phase
+// start, per-DIP steps, and phase end.
+func TestAttackEmitsProgress(t *testing.T) {
+	base, _ := netlist.NewAdder(3)
+	locked, key, _ := netlist.LockSFLLHD0(base, []uint64{9})
+	var c progress.Counter
+	ctx := progress.NewContext(context.Background(), &c)
+	res, err := Attack(ctx, locked, OracleFromCircuit(locked, key), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Starts("attack") != 1 || c.Ends("attack") != 1 {
+		t.Errorf("phase events: starts=%d ends=%d", c.Starts("attack"), c.Ends("attack"))
+	}
+	if c.Steps("attack") != res.Iterations {
+		t.Errorf("step events = %d, want one per DIP (%d)", c.Steps("attack"), res.Iterations)
 	}
 }

@@ -9,10 +9,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"bindlock/internal/dfg"
+	"bindlock/internal/interrupt"
+	"bindlock/internal/progress"
 	"bindlock/internal/trace"
 )
 
@@ -119,9 +122,19 @@ type Result struct {
 	OperandAB [][]dfg.Minterm
 }
 
+// ctxEvery is the per-sample stride between context checks: samples are
+// microseconds of work, so a per-sample check would dominate the loop.
+const ctxEvery = 256
+
 // Run interprets g over tr, producing the K matrix and per-sample values.
-// Every DFG input must be present in the trace.
-func Run(g *dfg.Graph, tr *trace.Trace) (*Result, error) {
+// Every DFG input must be present in the trace. Cancellation is honoured at
+// sample granularity; an interrupted run returns the partial Result covering
+// the samples completed so far (Vals/OperandAB truncated to that prefix)
+// inside the typed error.
+func Run(ctx context.Context, g *dfg.Graph, tr *trace.Trace) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	inputIdx := make(map[dfg.OpID]int)
 	for _, id := range g.Inputs() {
 		idx := tr.Index(g.Ops[id].Name)
@@ -138,12 +151,23 @@ func Run(g *dfg.Graph, tr *trace.Trace) (*Result, error) {
 		}
 	}
 
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "simulate", g.Name)
 	res := &Result{
 		K:         k,
 		Vals:      make([][]uint8, tr.Len()),
 		OperandAB: make([][]dfg.Minterm, tr.Len()),
 	}
 	for s, sample := range tr.Samples {
+		if s%ctxEvery == 0 {
+			if cerr := interrupt.Check(ctx, "sim: run", nil); cerr != nil {
+				res.Vals = res.Vals[:s]
+				res.OperandAB = res.OperandAB[:s]
+				progress.End(hook, "simulate", fmt.Sprintf("interrupted at sample %d/%d", s, tr.Len()))
+				return res, interrupt.Rewrap("sim: run", cerr, res)
+			}
+			progress.Tick(hook, "simulate", s, tr.Len())
+		}
 		vals := make([]uint8, len(g.Ops))
 		ab := make([]dfg.Minterm, len(g.Ops))
 		for _, op := range g.Ops {
@@ -165,5 +189,6 @@ func Run(g *dfg.Graph, tr *trace.Trace) (*Result, error) {
 		res.Vals[s] = vals
 		res.OperandAB[s] = ab
 	}
+	progress.End(hook, "simulate", fmt.Sprintf("%d samples", tr.Len()))
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -29,7 +30,7 @@ y = (a + b) * 2 - b;
 	tr := trace.New([]string{"a", "b"}, 2)
 	tr.Append([]uint8{10, 20})
 	tr.Append([]uint8{200, 100})
-	res, err := Run(g, tr)
+	res, err := Run(context.Background(), g, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ y = a + b;
 	tr.Append([]uint8{3, 5})
 	tr.Append([]uint8{5, 3}) // commutative: same canonical minterm
 	tr.Append([]uint8{1, 1})
-	res, err := Run(g, tr)
+	res, err := Run(context.Background(), g, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ y = a - b;
 	tr := trace.New([]string{"a", "b"}, 2)
 	tr.Append([]uint8{9, 4})
 	tr.Append([]uint8{4, 9})
-	res, err := Run(g, tr)
+	res, err := Run(context.Background(), g, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ z = a + 7;
 	tr.Append([]uint8{7, 7})
 	tr.Append([]uint8{7, 2})
 	tr.Append([]uint8{1, 2})
-	res, err := Run(g, tr)
+	res, err := Run(context.Background(), g, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ y = a + b;
 	tr := trace.New([]string{"a", "b"}, 2)
 	tr.Append([]uint8{1, 2})
 	tr.Append([]uint8{3, 4})
-	res, err := Run(g, tr)
+	res, err := Run(context.Background(), g, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ y = a + b;
 `)
 	tr := trace.New([]string{"a"}, 1)
 	tr.Append([]uint8{1})
-	_, err := Run(g, tr)
+	_, err := Run(context.Background(), g, tr)
 	if err == nil || !strings.Contains(err.Error(), "missing input") {
 		t.Fatalf("err = %v, want missing input", err)
 	}
@@ -170,7 +171,7 @@ y = a * b;
 `)
 	tr := trace.New([]string{"a", "b"}, 1)
 	tr.Append([]uint8{200, 3})
-	res, err := Run(g, tr)
+	res, err := Run(context.Background(), g, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ y = u + a;
 	}
 	f := func(seed int64) bool {
 		tr := trace.Generate(trace.ImageBlocks, []string{"a", "b", "c"}, 64, seed)
-		res, err := Run(g, tr)
+		res, err := Run(context.Background(), g, tr)
 		if err != nil {
 			return false
 		}
