@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci figures clean
+.PHONY: all build test race vet fmt ci figures bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./...
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,11 @@ ci: fmt vet build race
 
 figures:
 	$(GO) run ./cmd/figures -fig all
+
+# bench times the parallel fan-outs at -j 1 vs -j N, verifies the outputs are
+# bit-identical, and records the baseline in BENCH_parallel.json.
+bench:
+	$(GO) run ./cmd/benchpar -o BENCH_parallel.json
 
 clean:
 	$(GO) clean ./...

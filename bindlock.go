@@ -37,6 +37,14 @@
 // result computed so far. Progress hooks attached with WithProgress (or
 // progress-carrying contexts) receive per-phase telemetry from every layer.
 //
+// The compute stack fans independent work out over a bounded worker pool
+// (internal/parallel): workload simulation shards samples, the co-design
+// algorithms shard their combination enumerations, and the experiment
+// drivers shard benchmarks, seeds and attack instances. The worker count
+// comes from WithParallelism / WithParallelismContext (default GOMAXPROCS)
+// and every result is bit-identical to a single-worker run, so parallelism
+// only changes wall-clock time.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured reproduction record.
 package bindlock
@@ -59,6 +67,7 @@ import (
 	"bindlock/internal/mediabench"
 	"bindlock/internal/netlist"
 	"bindlock/internal/opt"
+	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 	"bindlock/internal/rtl"
 	"bindlock/internal/satattack"
@@ -163,6 +172,15 @@ func WithProgressContext(ctx context.Context, h ProgressHook) context.Context {
 	return progress.NewContext(ctx, h)
 }
 
+// WithParallelismContext returns a context carrying a worker-count bound for
+// every fan-out point downstream: workload simulation shards, the co-design
+// enumerations and the experiment sweeps. n <= 0 leaves the default
+// (GOMAXPROCS) in effect. Results are bit-identical at any worker count —
+// parallelism is purely a wall-clock setting.
+func WithParallelismContext(ctx context.Context, n int) context.Context {
+	return parallel.NewContext(ctx, n)
+}
+
 // Compile parses kernel source in the library's C-like kernel language into
 // an unscheduled data-flow graph.
 func Compile(src string) (*Graph, error) { return frontend.Compile(src) }
@@ -197,12 +215,13 @@ type Design struct {
 type Option func(*prepareConfig)
 
 type prepareConfig struct {
-	maxFUs  int
-	samples int
-	gen     WorkloadKind
-	genSet  bool
-	seed    int64
-	hook    ProgressHook
+	maxFUs      int
+	samples     int
+	gen         WorkloadKind
+	genSet      bool
+	seed        int64
+	hook        ProgressHook
+	parallelism int
 }
 
 func defaultPrepareConfig() prepareConfig {
@@ -234,6 +253,11 @@ func WithProgress(h ProgressHook) Option { return func(c *prepareConfig) { c.hoo
 
 // WithProgressFunc is WithProgress for a bare function.
 func WithProgressFunc(f func(ProgressEvent)) Option { return WithProgress(progress.Func(f)) }
+
+// WithParallelism bounds the worker count of the prepare flow's workload
+// simulation (default: the context's setting, then GOMAXPROCS). The K matrix
+// and operand streams are bit-identical at any worker count.
+func WithParallelism(n int) Option { return func(c *prepareConfig) { c.parallelism = n } }
 
 // Prepare runs the experimental flow of the paper's Fig. 3 on kernel source:
 // compile, schedule onto a bounded FU allocation with the path-based
@@ -270,6 +294,9 @@ func prepareGraph(ctx context.Context, g *Graph, cfg prepareConfig) (*Design, er
 	}
 	if cfg.hook != nil {
 		ctx = progress.NewContext(ctx, cfg.hook)
+	}
+	if cfg.parallelism > 0 {
+		ctx = parallel.NewContext(ctx, cfg.parallelism)
 	}
 	cons := sched.Constraints{MaxFUs: map[Class]int{ClassAdd: cfg.maxFUs, ClassMul: cfg.maxFUs}}
 	if _, err := sched.PathBased(g, cons); err != nil {

@@ -1,0 +1,168 @@
+// Command benchpar measures the wall-clock effect of the internal/parallel
+// worker pool and cross-checks the determinism guarantee: the same sweep runs
+// at -j 1 and at -j N, both outputs are fingerprinted, and the fingerprints
+// must match bit-for-bit before any timing is reported.
+//
+// Usage:
+//
+//	benchpar [-samples N] [-seed S] [-bench a,b,c] [-secrets N] [-jobs N]
+//	         [-o BENCH_parallel.json]
+//
+// The report is written as JSON (default BENCH_parallel.json) with one entry
+// per workload (the Fig. 4 sweep and the SAT-resilience sweep), each carrying
+// sequential and parallel timings, the speedup ratio, and the shared
+// fingerprint. On single-core machines the speedup is honestly ~1x; the
+// determinism check is the part that must always hold.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"bindlock/internal/experiments"
+	"bindlock/internal/parallel"
+)
+
+// Timing is one (workload, worker count) measurement.
+type Timing struct {
+	Jobs        int     `json:"jobs"`
+	Seconds     float64 `json:"seconds"`
+	Fingerprint string  `json:"fingerprint"`
+}
+
+// Workload aggregates the sequential/parallel pair for one sweep.
+type Workload struct {
+	Name          string   `json:"name"`
+	Runs          []Timing `json:"runs"`
+	Speedup       float64  `json:"speedup"`
+	Deterministic bool     `json:"deterministic"`
+}
+
+// Report is the BENCH_parallel.json schema.
+type Report struct {
+	NumCPU     int        `json:"num_cpu"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	GoVersion  string     `json:"go_version"`
+	Workloads  []Workload `json:"workloads"`
+}
+
+func main() {
+	samples := flag.Int("samples", 200, "workload samples per benchmark")
+	seed := flag.Int64("seed", 1, "workload seed")
+	benches := flag.String("bench", "fir,jdmerge3,ecb_enc4", "comma-separated benchmark subset for the sweep")
+	secrets := flag.Int("secrets", 4, "secrets per key width in the resilience sweep")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel worker count to compare against -j 1")
+	out := flag.String("o", "BENCH_parallel.json", "output JSON path")
+	flag.Parse()
+
+	ctx := context.Background()
+	cfg := experiments.Config{
+		Samples:        *samples,
+		Seed:           *seed,
+		Candidates:     6,
+		MaxAssignments: 40,
+		OptimalBudget:  500,
+		Benchmarks:     strings.Split(*benches, ","),
+	}
+
+	rep := Report{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	fig4 := func(j int) (string, error) {
+		c := cfg
+		c.Parallelism = j
+		s, err := experiments.NewSuite(parallel.NewContext(ctx, j), c)
+		if err != nil {
+			return "", err
+		}
+		d, err := s.Fig4(parallel.NewContext(ctx, j))
+		if err != nil {
+			return "", err
+		}
+		var buf bytes.Buffer
+		if err := d.WriteFig4CSV(&buf); err != nil {
+			return "", err
+		}
+		return fingerprint(buf.Bytes()), nil
+	}
+	resil := func(j int) (string, error) {
+		rows, err := experiments.Resilience(parallel.NewContext(ctx, j), []int{2, 3}, *secrets, *seed)
+		if err != nil {
+			return "", err
+		}
+		return fingerprint([]byte(fmt.Sprintf("%+v", rows))), nil
+	}
+
+	ok := true
+	for _, wl := range []struct {
+		name string
+		run  func(j int) (string, error)
+	}{
+		{"fig4-sweep", fig4},
+		{"sat-resilience", resil},
+	} {
+		w, err := measure(wl.name, wl.run, *jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchpar: %s: %v\n", wl.name, err)
+			os.Exit(1)
+		}
+		ok = ok && w.Deterministic
+		rep.Workloads = append(rep.Workloads, w)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpar:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpar:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[wrote %s]\n", *out)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchpar: DETERMINISM VIOLATION: -j 1 and -j N outputs differ")
+		os.Exit(1)
+	}
+}
+
+// measure times one workload at -j 1 and -j jobs and checks the fingerprints
+// agree.
+func measure(name string, run func(j int) (string, error), jobs int) (Workload, error) {
+	w := Workload{Name: name}
+	for _, j := range []int{1, jobs} {
+		start := time.Now()
+		fp, err := run(j)
+		if err != nil {
+			return w, err
+		}
+		secs := time.Since(start).Seconds()
+		w.Runs = append(w.Runs, Timing{Jobs: j, Seconds: secs, Fingerprint: fp})
+		fmt.Printf("%-16s -j %-3d %8.3fs  %s\n", name, j, secs, fp)
+	}
+	w.Deterministic = w.Runs[0].Fingerprint == w.Runs[1].Fingerprint
+	if w.Runs[1].Seconds > 0 {
+		w.Speedup = w.Runs[0].Seconds / w.Runs[1].Seconds
+	}
+	return w, nil
+}
+
+// fingerprint is a 64-bit FNV-1a digest of the serialised output, enough to
+// witness bit-identical tables across worker counts.
+func fingerprint(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -6,11 +6,13 @@
 //
 //	bindlock -bench fir [-class adder|multiplier] [-locked-fus 2] [-inputs 2]
 //	         [-fus 3] [-samples 600] [-seed 1] [-candidates 10] [-dot]
-//	         [-timeout 30s] [-v]
+//	         [-timeout 30s] [-j N] [-v]
 //	bindlock -src kernel.bl [-workload image|audio|bitstream|sensor|uniform] ...
 //
 // -timeout bounds the whole run; on expiry the tool reports the partial
 // progress of the interrupted phase. -v streams per-phase progress to stderr.
+// -j sizes the worker pool used by simulation and co-design (default
+// GOMAXPROCS); results are bit-identical at any -j.
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 	verilog := flag.Bool("verilog", false, "emit the co-designed datapath as RTL Verilog")
 	optimize := flag.Bool("O", false, "run front-end optimisation passes (fold/CSE/DCE) before scheduling (-src only)")
 	timeout := flag.Duration("timeout", 0, "bound the whole run; 0 means no limit")
+	jobs := flag.Int("j", 0, "worker pool size for simulation and co-design; 0 means GOMAXPROCS (output is identical at any -j)")
 	verbose := flag.Bool("v", false, "stream per-phase progress to stderr")
 	flag.Parse()
 
@@ -50,6 +53,7 @@ func main() {
 	if *verbose {
 		ctx = bindlock.WithProgressContext(ctx, &bindlock.ProgressLogger{W: os.Stderr})
 	}
+	ctx = bindlock.WithParallelismContext(ctx, *jobs)
 
 	if err := run(ctx, *bench, *src, *workload, *class, *fus, *lockedFUs, *inputs,
 		*samples, *seed, *candidates, *dot, *verilog, *optimize); err != nil {

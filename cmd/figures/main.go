@@ -5,10 +5,11 @@
 //
 //	figures [-fig 4|5|6|corruption|scan|resilience|eps|stability|all]
 //	        [-samples N] [-seed S] [-candidates N] [-assignments N]
-//	        [-optbudget N] [-bench a,b,c] [-csv DIR] [-timeout D] [-v]
+//	        [-optbudget N] [-bench a,b,c] [-csv DIR] [-timeout D] [-j N] [-v]
 //
 // -timeout bounds the whole regeneration with a context deadline; -v streams
-// phase progress to stderr.
+// phase progress to stderr. -j bounds the worker pool every sweep fans out
+// over (default GOMAXPROCS); the tables are bit-identical at any -j.
 //
 // The default configuration matches the paper's setup: all 11 benchmarks,
 // the 10 most common minterms as candidate locked inputs, and the full
@@ -27,6 +28,7 @@ import (
 
 	"bindlock/internal/dfg"
 	"bindlock/internal/experiments"
+	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 )
 
@@ -49,6 +51,7 @@ func main() {
 	secrets := flag.Int("secrets", 6, "secrets per key width in the resilience experiments")
 	csvDir := flag.String("csv", "", "also write each regenerated figure as CSV into this directory")
 	timeout := flag.Duration("timeout", 0, "bound the whole regeneration wall time; 0 means no limit")
+	jobs := flag.Int("j", 0, "worker pool size for the sweeps; 0 means GOMAXPROCS (output is identical at any -j)")
 	verbose := flag.Bool("v", false, "stream phase progress to stderr")
 	flag.Parse()
 
@@ -61,6 +64,7 @@ func main() {
 	if *verbose {
 		ctx = progress.NewContext(ctx, &progress.Logger{W: os.Stderr})
 	}
+	ctx = parallel.NewContext(ctx, *jobs)
 
 	cfg := experiments.Config{
 		Samples:        *samples,
@@ -68,6 +72,7 @@ func main() {
 		Candidates:     *candidates,
 		MaxAssignments: *assignments,
 		OptimalBudget:  *optBudget,
+		Parallelism:    *jobs,
 	}
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
@@ -156,19 +161,13 @@ func main() {
 	}
 	if *fig == "scan" || *fig == "all" {
 		run("scan access", func() error {
-			var rows []*experiments.ScanRow
-			for _, spec := range []struct {
-				bench string
-				class string
-			}{
-				{"jdmerge1", "multiplier"}, {"fir", "adder"}, {"dct", "adder"},
-			} {
-				class := experimentClass(spec.class)
-				row, err := experiments.ScanAccess(ctx, spec.bench, class, 12, *samples, *seed)
-				if err != nil {
-					return err
-				}
-				rows = append(rows, row)
+			rows, err := experiments.ScanSweep(ctx, []experiments.ScanSpec{
+				{Bench: "jdmerge1", Class: experimentClass("multiplier")},
+				{Bench: "fir", Class: experimentClass("adder")},
+				{Bench: "dct", Class: experimentClass("adder")},
+			}, 12, *samples, *seed)
+			if err != nil {
+				return err
 			}
 			experiments.RenderScan(os.Stdout, rows)
 			return nil

@@ -5,12 +5,14 @@
 // Usage:
 //
 //	satattack [-fu adder|multiplier] [-width 3] [-scheme sfll|sfll-hd|xor|routing]
-//	          [-secret N] [-h 1] [-keys 8] [-seed 1] [-timeout 30s] [-progress]
+//	          [-secret N] [-h 1] [-keys 8] [-seed 1] [-timeout 30s] [-j N] [-progress]
 //	satattack -validate [-secrets 6]
 //
 // -timeout bounds the attack with a context deadline; on expiry the tool
 // prints a partial-result summary (DIPs found, best-so-far key) and exits
 // with status 2. -progress streams per-DIP and solver telemetry to stderr.
+// -j sizes the worker pool for the -validate sweeps (default GOMAXPROCS);
+// the tables are bit-identical at any -j.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
 	"bindlock/internal/netlist"
+	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 	"bindlock/internal/satattack"
 )
@@ -42,6 +45,7 @@ func main() {
 	verilog := flag.Bool("verilog", false, "emit the locked netlist as structural Verilog before attacking")
 	approx := flag.Int("approx", 0, "run an AppSAT-style approximate attack with this DIP budget instead of the exact attack")
 	timeout := flag.Duration("timeout", 0, "bound the attack wall time; 0 means no limit")
+	jobs := flag.Int("j", 0, "worker pool size for the -validate sweeps; 0 means GOMAXPROCS (output is identical at any -j)")
 	showProgress := flag.Bool("progress", false, "stream per-DIP and solver telemetry to stderr")
 	flag.Parse()
 
@@ -54,6 +58,7 @@ func main() {
 	if *showProgress {
 		ctx = progress.NewContext(ctx, &progress.Logger{W: os.Stderr, EveryN: 1})
 	}
+	ctx = parallel.NewContext(ctx, *jobs)
 
 	if *validate {
 		rows, err := experiments.Resilience(ctx, []int{2, 3, 4}, *secrets, *seed)

@@ -15,11 +15,13 @@ package codesign
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"bindlock/internal/binding"
 	"bindlock/internal/dfg"
 	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
+	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 	"bindlock/internal/sim"
 )
@@ -158,42 +160,74 @@ func Optimal(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o Options) (*Res
 	hook := progress.FromContext(ctx)
 	progress.Start(hook, "codesign", fmt.Sprintf("optimal over %d combinations", total))
 	ev := newEvaluator(g, k, &o)
-	sets := make([][]int, o.NumFUs)
-	bestSets := make([][]int, o.NumFUs)
-	bestE := -1
-	enumerated := 0
-	var rec func(fu int) error
-	rec = func(fu int) error {
-		if fu == o.LockedFUs {
-			enumerated++
-			if enumerated%ctxEvery == 0 {
-				if cerr := interrupt.Check(ctx, "codesign: optimal", nil); cerr != nil {
-					return cerr
+
+	// The combination space shards by top-level (FU 0) combination: one task
+	// per combination, each enumerating its subtree sequentially with private
+	// scratch state against the shared immutable evaluator. The sequential
+	// enumeration keeps the FIRST maximum in lexicographic leaf order, which
+	// the merge reproduces: strict > within each subtree, then strict >
+	// across subtrees in ascending task order.
+	var ticks atomic.Int64
+	subs, done, perr := parallel.Map(ctx, 0, len(combos), func(tctx context.Context, ti int) (subtree, error) {
+		st := subtree{bestE: -1}
+		sets := make([][]int, o.NumFUs)
+		sets[0] = combos[ti]
+		var rec func(fu int) error
+		rec = func(fu int) error {
+			if fu == o.LockedFUs {
+				st.enumerated++
+				// The check/tick stride counts evaluations globally across
+				// shards; subtrees are usually far smaller than the stride.
+				if ticks.Add(1)%ctxEvery == 0 {
+					if cerr := interrupt.Check(tctx, "codesign: optimal", nil); cerr != nil {
+						return cerr
+					}
+					progress.Tick(hook, "codesign", int(ticks.Load()), total)
 				}
-				progress.Tick(hook, "codesign", enumerated, total)
+				if e := ev.eval(sets); e > st.bestE {
+					st.bestE = e
+					st.bestSets = make([][]int, o.NumFUs)
+					for i := range sets {
+						st.bestSets[i] = append([]int(nil), sets[i]...)
+					}
+				}
+				return nil
 			}
-			if e := ev.eval(sets); e > bestE {
-				bestE = e
-				for i := range sets {
-					bestSets[i] = append([]int(nil), sets[i]...)
+			for _, c := range combos {
+				sets[fu] = c
+				if err := rec(fu + 1); err != nil {
+					return err
 				}
 			}
+			sets[fu] = nil
 			return nil
 		}
-		for _, c := range combos {
-			sets[fu] = c
-			if err := rec(fu + 1); err != nil {
-				return err
-			}
+		return st, rec(1)
+	})
+	best := subtree{bestE: -1}
+	enumerated := 0
+	for i, st := range subs {
+		if !done[i] {
+			continue
 		}
-		sets[fu] = nil
-		return nil
+		enumerated += st.enumerated
+		if st.bestE > best.bestE {
+			best = st
+		}
 	}
-	if cerr := rec(0); cerr != nil {
-		return interruptedResult(g, k, &o, bestSets, enumerated, "codesign: optimal", cerr, hook)
+	if perr != nil {
+		return interruptedResult(g, k, &o, best.bestSets, enumerated, "codesign: optimal", perr, hook)
 	}
 	progress.End(hook, "codesign", fmt.Sprintf("optimal: %d evaluated", enumerated))
-	return finalize(g, k, &o, bestSets, enumerated)
+	return finalize(g, k, &o, best.bestSets, enumerated)
+}
+
+// subtree is one shard's outcome in the parallel enumerations: the best
+// candidate-set assignment seen, its cost, and the leaves evaluated.
+type subtree struct {
+	bestE      int
+	bestSets   [][]int
+	enumerated int
 }
 
 // interruptedResult packages the best-so-far candidate sets of a cancelled
@@ -237,25 +271,55 @@ func Heuristic(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o Options) (*R
 	ev := newEvaluator(g, k, &o)
 	sets := make([][]int, o.NumFUs)
 	enumerated := 0
+	w := parallel.Workers(ctx, 0)
+	if w > len(combos) {
+		w = len(combos)
+	}
+	var ticks atomic.Int64
 	for fu := 0; fu < o.LockedFUs; fu++ {
-		bestE := -1
-		var best []int
-		for _, c := range combos {
-			sets[fu] = c
-			enumerated++
-			if enumerated%ctxEvery == 0 {
-				if cerr := interrupt.Check(ctx, "codesign: heuristic", nil); cerr != nil {
-					sets[fu] = best
-					return interruptedResult(g, k, &o, sets, enumerated, "codesign: heuristic", cerr, hook)
+		// The rounds themselves are inherently sequential (each freezes a
+		// FU before the next), but a round's combination scan shards into w
+		// contiguous chunks. Merging chunk maxima in ascending order with
+		// strict > reproduces the sequential scan's first-maximum choice.
+		chunks, done, perr := parallel.Map(ctx, w, w, func(tctx context.Context, ci int) (subtree, error) {
+			lo, hi := ci*len(combos)/w, (ci+1)*len(combos)/w
+			st := subtree{bestE: -1}
+			local := append([][]int(nil), sets...)
+			for j := lo; j < hi; j++ {
+				if ticks.Add(1)%ctxEvery == 0 {
+					if cerr := interrupt.Check(tctx, "codesign: heuristic", nil); cerr != nil {
+						return st, cerr
+					}
+					progress.Tick(hook, "codesign", int(ticks.Load()), len(combos)*o.LockedFUs)
 				}
-				progress.Tick(hook, "codesign", enumerated, len(combos)*o.LockedFUs)
+				local[fu] = combos[j]
+				st.enumerated++
+				if e := ev.eval(local); e > st.bestE {
+					st.bestE = e
+					st.bestSets = append([][]int(nil), local...)
+				}
 			}
-			if e := ev.eval(sets); e > bestE {
-				bestE = e
-				best = c
+			return st, nil
+		})
+		best := subtree{bestE: -1}
+		for ci, st := range chunks {
+			if !done[ci] {
+				continue
+			}
+			enumerated += st.enumerated
+			if st.bestE > best.bestE {
+				best = st
 			}
 		}
-		sets[fu] = best
+		if perr != nil {
+			// Frozen FUs so far plus the interrupted round's best, if any.
+			partial := sets
+			if best.bestSets != nil {
+				partial = best.bestSets
+			}
+			return interruptedResult(g, k, &o, partial, enumerated, "codesign: heuristic", perr, hook)
+		}
+		sets = best.bestSets
 	}
 	progress.End(hook, "codesign", fmt.Sprintf("heuristic: %d evaluated", enumerated))
 	return finalize(g, k, &o, sets, enumerated)

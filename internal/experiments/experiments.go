@@ -30,13 +30,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"bindlock/internal/binding"
 	"bindlock/internal/codesign"
 	"bindlock/internal/dfg"
-	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
 	"bindlock/internal/mediabench"
+	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 )
 
@@ -60,6 +61,10 @@ type Config struct {
 	Benchmarks []string
 	// NumFUs is the per-class allocation (default 3, as in the paper).
 	NumFUs int
+	// Parallelism bounds the worker count of the sweep fan-outs; 0 defers to
+	// the context's setting, falling back to GOMAXPROCS (see
+	// internal/parallel). Results are bit-identical at any worker count.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -107,21 +112,25 @@ func NewSuite(ctx context.Context, cfg Config) (*Suite, error) {
 	}
 	hook := progress.FromContext(ctx)
 	progress.Start(hook, "prepare", fmt.Sprintf("%d benchmarks", len(names)))
-	for i, name := range names {
-		if cerr := interrupt.Check(ctx, "experiments: prepare suite", nil); cerr != nil {
-			return nil, cerr
-		}
-		b, err := mediabench.ByName(name)
+	// One task per benchmark; each preparation is independent and results
+	// land in name order, so the suite is identical at any worker count.
+	var ticks atomic.Int64
+	preps, _, err := parallel.Map(ctx, cfg.Parallelism, len(names), func(tctx context.Context, i int) (*mediabench.Prepared, error) {
+		b, err := mediabench.ByName(names[i])
 		if err != nil {
 			return nil, err
 		}
-		p, err := b.Prepare(ctx, cfg.NumFUs, cfg.Samples, cfg.Seed)
+		p, err := b.Prepare(parallel.Sequential(tctx), cfg.NumFUs, cfg.Samples, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		s.preps = append(s.preps, p)
-		progress.Tick(hook, "prepare", i+1, len(names))
+		progress.Tick(hook, "prepare", int(ticks.Add(1)), len(names))
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.preps = preps
 	progress.End(hook, "prepare", "")
 	return s, nil
 }

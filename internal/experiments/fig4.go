@@ -4,13 +4,46 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
+	"sync/atomic"
 
 	"bindlock/internal/codesign"
 	"bindlock/internal/dfg"
 	"bindlock/internal/interrupt"
 	"bindlock/internal/mediabench"
+	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 )
+
+// spaceCap saturates the assignment-space product. Any space this large is
+// stride-sampled anyway, so only two properties matter: the saturated total
+// must dominate every unsaturated one, and strideIndex over it must not
+// overflow (guaranteed for totals <= 1<<62, see below).
+const spaceCap = int64(1) << 62
+
+// assignmentSpace returns nCombos^lockedFUs, saturating at spaceCap. The
+// previous truncated partial product biased stride sampling toward a
+// low-index subspace whenever the space overflowed the guard.
+func assignmentSpace(nCombos, lockedFUs int) int64 {
+	total := int64(1)
+	for i := 0; i < lockedFUs; i++ {
+		if total > spaceCap/int64(nCombos) {
+			return spaceCap
+		}
+		total *= int64(nCombos)
+	}
+	return total
+}
+
+// strideIndex returns floor(j*total/n), the j-th of n stride-sample indices
+// over a space of total assignments, using 128-bit intermediates so the
+// product cannot overflow. Div64 needs its high word below the divisor:
+// j < n and total <= 1<<62 give hi <= (n-1)>>2 < n.
+func strideIndex(j, n int, total int64) int64 {
+	hi, lo := bits.Mul64(uint64(j), uint64(total))
+	q, _ := bits.Div64(hi, lo, uint64(n))
+	return int64(q)
+}
 
 // Cell is one (benchmark, class, locked FUs, locked inputs) configuration of
 // the Sec. VI sweep, with the mean smoothed error ratios of each
@@ -52,23 +85,42 @@ type Fig4Data struct {
 
 // Fig4 runs the Sec. VI sweep: for every benchmark and FU class, every
 // combination of {1,2,3} locked FUs locking {1,2,3} inputs each from the 10
-// most common candidate minterms.
+// most common candidate minterms. Benchmark x class pairs fan out over the
+// worker pool (Config.Parallelism, see internal/parallel); cells merge in
+// task order, so the sweep is bit-identical to a single-worker run.
 func (s *Suite) Fig4(ctx context.Context) (*Fig4Data, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	hook := progress.FromContext(ctx)
 	progress.Start(hook, "fig4", fmt.Sprintf("%d benchmarks", len(s.preps)))
-	data := &Fig4Data{}
-	for i, p := range s.preps {
+	type unit struct {
+		p     *mediabench.Prepared
+		class dfg.Class
+	}
+	var units []unit
+	for _, p := range s.preps {
 		for _, class := range classes(p) {
-			cells, err := s.fig4BenchClass(ctx, p, class)
-			if err != nil {
-				return nil, err
-			}
-			data.Cells = append(data.Cells, cells...)
+			units = append(units, unit{p, class})
 		}
-		progress.Tick(hook, "fig4", i+1, len(s.preps))
+	}
+	var ticks atomic.Int64
+	perUnit, _, err := parallel.Map(ctx, s.Cfg.Parallelism, len(units), func(tctx context.Context, i int) ([]Cell, error) {
+		// The inner co-design enumerations run sequentially: the outer
+		// fan-out already saturates the pool.
+		cells, err := s.fig4BenchClass(parallel.Sequential(tctx), units[i].p, units[i].class)
+		if err != nil {
+			return nil, err
+		}
+		progress.Tick(hook, "fig4", int(ticks.Add(1)), len(units))
+		return cells, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	data := &Fig4Data{}
+	for _, cells := range perUnit {
+		data.Cells = append(data.Cells, cells...)
 	}
 	progress.End(hook, "fig4", fmt.Sprintf("%d cells", len(data.Cells)))
 	return data, nil
@@ -104,16 +156,11 @@ func (s *Suite) fig4BenchClass(ctx context.Context, p *mediabench.Prepared, clas
 			// --- Problem 1: obfuscation-aware binding over enumerated
 			// locked-input assignments.
 			combos := codesign.Combinations(len(cands), inputs)
-			total := 1
-			for i := 0; i < lockedFUs; i++ {
-				total *= len(combos)
-				if total > 1<<30 {
-					break
-				}
-			}
-			n := total
-			if n > cfg.MaxAssignments {
-				n = cfg.MaxAssignments
+			total := assignmentSpace(len(combos), lockedFUs)
+			n := cfg.MaxAssignments
+			if total <= int64(n) {
+				n = int(total)
+			} else {
 				cell.Sampled = true
 			}
 			// Problem 2 first: the co-designed solution chooses its locked
@@ -133,13 +180,13 @@ func (s *Suite) fig4BenchClass(ctx context.Context, p *mediabench.Prepared, clas
 			sets := make([][]int, cfg.NumFUs)
 			for j := 0; j < n; j++ {
 				// Deterministic stride over the mixed-radix space.
-				idx := j
+				idx := int64(j)
 				if cell.Sampled {
-					idx = int(int64(j) * int64(total) / int64(n))
+					idx = strideIndex(j, n, total)
 				}
 				for fu := 0; fu < lockedFUs; fu++ {
-					sets[fu] = combos[idx%len(combos)]
-					idx /= len(combos)
+					sets[fu] = combos[idx%int64(len(combos))]
+					idx /= int64(len(combos))
 				}
 				for fu := lockedFUs; fu < cfg.NumFUs; fu++ {
 					sets[fu] = nil
@@ -176,7 +223,7 @@ func (s *Suite) fig4BenchClass(ctx context.Context, p *mediabench.Prepared, clas
 			// degradation"): the optimal co-design within the enumeration
 			// budget.
 			cell.OptVsArea, cell.OptVsPower = math.NaN(), math.NaN()
-			if cfg.OptimalBudget > 0 && total <= cfg.OptimalBudget {
+			if cfg.OptimalBudget > 0 && total <= int64(cfg.OptimalBudget) {
 				opt, err := codesign.Optimal(ctx, p.G, p.Res.K, o)
 				if err != nil {
 					return nil, err

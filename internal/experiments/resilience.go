@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
 	"bindlock/internal/netlist"
+	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 	"bindlock/internal/satattack"
 )
@@ -39,58 +41,89 @@ func Resilience(ctx context.Context, operandBits []int, secretsPer int, seed int
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rng := rand.New(rand.NewSource(seed))
 	hook := progress.FromContext(ctx)
 	progress.Start(hook, "resilience", fmt.Sprintf("%d widths x %d secrets", len(operandBits), secretsPer))
-	var rows []ResilienceRow
+
+	// Fixtures, analytic rows and ALL secrets are produced up front, the
+	// secrets in the sequential RNG draw order, so fanning the attacks out
+	// below cannot perturb which instances run.
+	rng := rand.New(rand.NewSource(seed))
+	bases := make([]*netlist.Circuit, len(operandBits))
+	rows := make([]ResilienceRow, len(operandBits))
+	secrets := make([][]uint64, len(operandBits))
 	for wi, w := range operandBits {
-		_ = wi
 		base, err := netlist.NewAdder(w)
 		if err != nil {
 			return nil, err
 		}
+		bases[wi] = base
 		keyBits := 2 * w
 		space := uint64(1) << uint(keyBits)
 		lam, err := locking.ExpectedSATIterations(keyBits, 1, 1/float64(space))
 		if err != nil {
 			return nil, err
 		}
-		row := ResilienceRow{
+		rows[wi] = ResilienceRow{
 			OperandBits: w, KeyBits: keyBits, Lambda: lam,
 			MinIterations: 1 << 30, Secrets: secretsPer,
 		}
+		secrets[wi] = make([]uint64, secretsPer)
+		for i := range secrets[wi] {
+			secrets[wi][i] = rng.Uint64() % space
+		}
+	}
+
+	// One task per (width, secret) attack instance; the lock constructors
+	// clone the shared base netlists.
+	n := len(operandBits) * secretsPer
+	var ticks atomic.Int64
+	iters, done, perr := parallel.Map(ctx, 0, n, func(tctx context.Context, t int) (int, error) {
+		wi, i := t/secretsPer, t%secretsPer
+		secret := secrets[wi][i]
+		lockedC, key, err := netlist.LockSFLLHD0(bases[wi], []uint64{secret})
+		if err != nil {
+			return 0, err
+		}
+		oracle := satattack.OracleFromCircuit(lockedC, key)
+		res, err := satattack.Attack(tctx, lockedC, oracle, satattack.Options{})
+		if err != nil {
+			return 0, fmt.Errorf("attack on %d-bit adder (secret %#x): %w", operandBits[wi], secret, err)
+		}
+		if err := satattack.VerifyKey(tctx, lockedC, res.Key, oracle); err != nil {
+			return 0, err
+		}
+		progress.Tick(hook, "resilience", int(ticks.Add(1)), n)
+		return res.Iterations, nil
+	})
+
+	// Aggregate the fully measured width prefix in task order; on
+	// interruption this reproduces the rows a sequential run had finished.
+	prefix := parallel.Prefix(done)
+	out := make([]ResilienceRow, 0, len(operandBits))
+	for wi := range operandBits {
+		if (wi+1)*secretsPer > prefix {
+			break
+		}
+		row := rows[wi]
 		total := 0
 		for i := 0; i < secretsPer; i++ {
-			if cerr := interrupt.Check(ctx, "experiments: resilience", rows); cerr != nil {
-				return rows, cerr
+			it := iters[wi*secretsPer+i]
+			total += it
+			if it < row.MinIterations {
+				row.MinIterations = it
 			}
-			secret := rng.Uint64() % space
-			lockedC, key, err := netlist.LockSFLLHD0(base, []uint64{secret})
-			if err != nil {
-				return nil, err
-			}
-			oracle := satattack.OracleFromCircuit(lockedC, key)
-			res, err := satattack.Attack(ctx, lockedC, oracle, satattack.Options{})
-			if err != nil {
-				return rows, fmt.Errorf("attack on %d-bit adder (secret %#x): %w", w, secret, err)
-			}
-			if err := satattack.VerifyKey(ctx, lockedC, res.Key, oracle); err != nil {
-				return rows, err
-			}
-			total += res.Iterations
-			if res.Iterations < row.MinIterations {
-				row.MinIterations = res.Iterations
-			}
-			if res.Iterations > row.MaxIterations {
-				row.MaxIterations = res.Iterations
+			if it > row.MaxIterations {
+				row.MaxIterations = it
 			}
 		}
 		row.MeanIterations = float64(total) / float64(secretsPer)
-		rows = append(rows, row)
-		progress.Tick(hook, "resilience", wi+1, len(operandBits))
+		out = append(out, row)
+	}
+	if perr != nil {
+		return out, interrupt.Rewrap("experiments: resilience", perr, out)
 	}
 	progress.End(hook, "resilience", "")
-	return rows, nil
+	return out, nil
 }
 
 // EpsilonSweepRow captures the core trade-off of Eqn. 1 at a fixed key
@@ -122,33 +155,51 @@ func EpsilonSweep(ctx context.Context, hs []int, secretsPer int, seed int64) ([]
 	}
 	const keyBits = 6
 	space := uint64(1) << keyBits
-	var rows []EpsilonSweepRow
-	for _, h := range hs {
+	rows := make([]EpsilonSweepRow, len(hs))
+	secrets := make([][]uint64, len(hs))
+	for hi, h := range hs {
 		locked := netlist.ProtectedCount(keyBits, h)
 		lam, err := locking.ExpectedSATIterations(keyBits, 1, float64(locked)/float64(space))
 		if err != nil {
 			return nil, err
 		}
-		row := EpsilonSweepRow{H: h, LockedMinterms: locked, Lambda: lam}
+		rows[hi] = EpsilonSweepRow{H: h, LockedMinterms: locked, Lambda: lam}
+		secrets[hi] = make([]uint64, secretsPer)
+		for i := range secrets[hi] {
+			secrets[hi][i] = rng.Uint64() % space
+		}
+	}
+
+	n := len(hs) * secretsPer
+	iters, done, perr := parallel.Map(ctx, 0, n, func(tctx context.Context, t int) (int, error) {
+		hi, i := t/secretsPer, t%secretsPer
+		lockedC, keyBitsPattern, err := netlist.LockSFLLHD(base, secrets[hi][i], hs[hi])
+		if err != nil {
+			return 0, err
+		}
+		oracle := satattack.OracleFromCircuit(lockedC, keyBitsPattern)
+		res, err := satattack.Attack(tctx, lockedC, oracle, satattack.Options{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Iterations, nil
+	})
+	prefix := parallel.Prefix(done)
+	out := make([]EpsilonSweepRow, 0, len(hs))
+	for hi := range hs {
+		if (hi+1)*secretsPer > prefix {
+			break
+		}
+		row := rows[hi]
 		total := 0
 		for i := 0; i < secretsPer; i++ {
-			if cerr := interrupt.Check(ctx, "experiments: epsilon sweep", rows); cerr != nil {
-				return rows, cerr
-			}
-			secret := rng.Uint64() % space
-			lockedC, keyBitsPattern, err := netlist.LockSFLLHD(base, secret, h)
-			if err != nil {
-				return nil, err
-			}
-			oracle := satattack.OracleFromCircuit(lockedC, keyBitsPattern)
-			res, err := satattack.Attack(ctx, lockedC, oracle, satattack.Options{})
-			if err != nil {
-				return rows, err
-			}
-			total += res.Iterations
+			total += iters[hi*secretsPer+i]
 		}
 		row.MeanIterations = float64(total) / float64(secretsPer)
-		rows = append(rows, row)
+		out = append(out, row)
 	}
-	return rows, nil
+	if perr != nil {
+		return out, interrupt.Rewrap("experiments: epsilon sweep", perr, out)
+	}
+	return out, nil
 }

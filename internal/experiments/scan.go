@@ -10,6 +10,7 @@ import (
 	"bindlock/internal/dfg"
 	"bindlock/internal/elaborate"
 	"bindlock/internal/netlist"
+	"bindlock/internal/parallel"
 	"bindlock/internal/satattack"
 )
 
@@ -38,6 +39,25 @@ type ScanRow struct {
 	NoScanExact     bool
 	NoScanRate      float64 // workload corruption under the no-scan-recovered key
 	NoScanErrSample float64 // attacker-visible random-input error of that key
+}
+
+// ScanSpec names one E12 run: a benchmark and the FU class to lock.
+type ScanSpec struct {
+	Bench string
+	Class dfg.Class
+}
+
+// ScanSweep runs ScanAccess on each spec, fanning the independent runs out
+// over the worker pool configured on ctx (see internal/parallel). Rows come
+// back in spec order, identical to running the specs one by one.
+func ScanSweep(ctx context.Context, specs []ScanSpec, budget, samples int, seed int64) ([]*ScanRow, error) {
+	rows, _, err := parallel.Map(ctx, 0, len(specs), func(tctx context.Context, i int) (*ScanRow, error) {
+		return ScanAccess(parallel.Sequential(tctx), specs[i].Bench, specs[i].Class, budget, samples, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // ScanAccess runs E12 on one benchmark with the given DIP budget.

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
+	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 )
 
@@ -44,20 +46,32 @@ func SeedStability(ctx context.Context, cfg Config, seeds []int64) (*Stability, 
 		AllSeedsCoBeatsObf:       true,
 		AllSeedsAboveUnityMargin: true,
 	}
+	// One task per seed; each reruns the full sweep sequentially (the outer
+	// fan-out already saturates the pool) and results aggregate in seed
+	// order, so the table is identical at any worker count.
+	var ticks atomic.Int64
+	heads, _, err := parallel.Map(ctx, cfg.Parallelism, len(seeds), func(tctx context.Context, si int) (Headline, error) {
+		c := cfg
+		c.Seed = seeds[si]
+		c.Parallelism = 1
+		sctx := parallel.Sequential(tctx)
+		s, err := NewSuite(sctx, c)
+		if err != nil {
+			return Headline{}, err
+		}
+		d, err := s.Fig4(sctx)
+		if err != nil {
+			return Headline{}, err
+		}
+		progress.Tick(hook, "stability", int(ticks.Add(1)), len(seeds))
+		return d.HeadlineStats(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var obs, cos []float64
 	for si, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		s, err := NewSuite(ctx, c)
-		if err != nil {
-			return nil, err
-		}
-		d, err := s.Fig4(ctx)
-		if err != nil {
-			return nil, err
-		}
-		progress.Tick(hook, "stability", si+1, len(seeds))
-		h := d.HeadlineStats()
+		h := heads[si]
 		out.Rows = append(out.Rows, StabilityRow{
 			Seed: seed, ObfOverall: h.ObfOverall, CoOverall: h.CoOverall,
 			HeuristicGap: h.HeuristicGap,

@@ -1,0 +1,196 @@
+// Package parallel is the bounded worker pool shared by the compute stack:
+// the Fig. 4 experiment sweep, the per-secret SAT-attack resilience runs,
+// the co-design combination enumeration and the workload simulator all fan
+// independent tasks out through Map/ForEach.
+//
+// The pool is built for determinism, not just throughput. Results come back
+// in task-index order regardless of completion order, and the error reported
+// for a failed fan-out is the error of the lowest-index failing task —
+// preferring genuine task failures over casualties of the pool's own abort —
+// so a parallel run fails (and succeeds) exactly like its sequential
+// counterpart. Callers that need bit-identical output therefore only have to
+// make each task independent and merge results in index order; the pool
+// guarantees the rest.
+//
+// Cancellation composes with internal/interrupt: when the caller's context
+// dies mid-flight the pool stops dispatching, lets in-flight tasks observe
+// the cancellation, and returns a classified interrupt error alongside the
+// per-task completion flags, from which callers assemble partial results
+// (see Prefix).
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bindlock/internal/interrupt"
+)
+
+// ctxKey carries the worker-count setting inside a context.Context, the same
+// way progress hooks travel: the facade's WithParallelism option and the cmd
+// tools' -j flags install it at the top of the stack and every fan-out point
+// reads it back without new parameters on the hot-path signatures.
+type ctxKey struct{}
+
+// NewContext returns a context carrying the worker count n. n <= 0 returns
+// ctx unchanged (the default — GOMAXPROCS — stays in effect).
+func NewContext(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, n)
+}
+
+// FromContext returns the context's worker count, or 0 when none is set.
+func FromContext(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	n, _ := ctx.Value(ctxKey{}).(int)
+	return n
+}
+
+// Workers resolves the effective worker count for a fan-out: an explicit
+// n > 0 wins, then the context's setting, then runtime.GOMAXPROCS(0).
+func Workers(ctx context.Context, n int) int {
+	if n > 0 {
+		return n
+	}
+	if c := FromContext(ctx); c > 0 {
+		return c
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Sequential returns a context whose nested fan-out points run on one
+// worker. Outer fan-outs (one task per benchmark, per seed) hand it to their
+// tasks so an inner enumeration does not multiply the goroutine count; the
+// determinism guarantee makes the nesting depth invisible in the results.
+func Sequential(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxKey{}, 1)
+}
+
+const mapOp = "parallel: map"
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
+// (0 resolves via Workers) and returns the results in index order.
+//
+// done[i] reports whether task i completed; out[i] is the zero value where
+// it did not. On failure the returned error is the lowest-index task error,
+// with errors caused by the pool's own abort (sibling cancellation after a
+// genuine failure) skipped when a genuine error exists. The pool stops
+// dispatching new tasks once any task fails or the caller's context dies;
+// already-running tasks observe the cancellation through the ctx handed to
+// fn.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) (out []T, done []bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out = make([]T, n)
+	done = make([]bool, n)
+	if n == 0 {
+		return out, done, nil
+	}
+	w := Workers(ctx, workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		// Sequential fast path: exact sequential semantics, no goroutines.
+		for i := 0; i < n; i++ {
+			if cerr := interrupt.Check(ctx, mapOp, nil); cerr != nil {
+				return out, done, cerr
+			}
+			v, ferr := fn(ctx, i)
+			if ferr != nil {
+				return out, done, ferr
+			}
+			out[i] = v
+			done[i] = true
+		}
+		return out, done, nil
+	}
+
+	runCtx, abort := context.WithCancelCause(ctx)
+	defer abort(nil)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// The stop check precedes the pull, and a pulled index always
+				// runs: indices are pulled in ascending order, so the lowest
+				// failing index is pulled before any failure can stop
+				// dispatch, making the reported first error deterministic.
+				if runCtx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, ferr := fn(runCtx, i)
+				if ferr != nil {
+					errs[i] = ferr
+					abort(ferr)
+					continue
+				}
+				out[i] = v
+				done[i] = true
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic error selection: the lowest-index failure wins. When the
+	// caller's own context is still live, cancellation-kind errors can only
+	// be casualties of the pool abort above, so a genuine failure at a later
+	// index takes precedence over them.
+	var fallback error
+	for i := 0; i < n; i++ {
+		if errs[i] == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = errs[i]
+		}
+		if ctx.Err() != nil || !errors.Is(errs[i], context.Canceled) {
+			return out, done, errs[i]
+		}
+	}
+	if fallback != nil {
+		return out, done, fallback
+	}
+	// No task failed but dispatch may have been cut short by the caller's
+	// context dying between tasks.
+	if cerr := interrupt.Check(ctx, mapOp, nil); cerr != nil && Prefix(done) < n {
+		return out, done, cerr
+	}
+	return out, done, nil
+}
+
+// ForEach is Map without per-task results.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) ([]bool, error) {
+	_, done, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return done, err
+}
+
+// Prefix returns the length of the longest completed prefix of done. Callers
+// assembling interrupt-compatible partial results merge exactly this prefix,
+// reproducing the shape a sequential run would have left behind.
+func Prefix(done []bool) int {
+	for i, d := range done {
+		if !d {
+			return i
+		}
+	}
+	return len(done)
+}

@@ -1,0 +1,207 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bindlock/internal/interrupt"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, done, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+			if !done[i] {
+				t.Fatalf("workers=%d: done[%d] = false", workers, i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, done, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("task ran")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 || len(done) != 0 {
+		t.Fatalf("got out=%v done=%v err=%v", out, done, err)
+	}
+}
+
+// TestMapLowestIndexError pins the deterministic first-error guarantee: with
+// several failing tasks, the lowest-index failure is reported no matter which
+// goroutine finished first.
+func TestMapLowestIndexError(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	for trial := 0; trial < 20; trial++ {
+		_, _, err := Map(context.Background(), 8, 32, func(_ context.Context, i int) (int, error) {
+			if i == 7 || i == 23 {
+				return 0, errAt(i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Fatalf("trial %d: got %v, want task 7's error", trial, err)
+		}
+	}
+}
+
+// TestMapAbortSkipsCasualties checks that a sibling task interrupted by the
+// pool's own abort does not mask the genuine failure, even when the casualty
+// has a lower index.
+func TestMapAbortSkipsCasualties(t *testing.T) {
+	genuine := errors.New("genuine failure")
+	_, _, err := Map(context.Background(), 2, 2, func(ctx context.Context, i int) (int, error) {
+		if i == 1 {
+			return 0, genuine
+		}
+		// Task 0 blocks until the pool aborts, then reports the
+		// cancellation it observed.
+		<-ctx.Done()
+		return 0, interrupt.Check(ctx, "test task", nil)
+	})
+	if !errors.Is(err, genuine) {
+		t.Fatalf("got %v, want the genuine failure from task 1", err)
+	}
+}
+
+func TestMapStopsDispatchOnError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, done, err := Map(context.Background(), 2, 10_000, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n == 10_000 {
+		t.Fatalf("pool dispatched all %d tasks after the failure", n)
+	}
+	if done[3] {
+		t.Fatal("failed task marked done")
+	}
+}
+
+func TestMapOuterCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, done, err := Map(ctx, 2, 1_000, func(tctx context.Context, i int) (int, error) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return 0, interrupt.Check(tctx, "task", nil)
+	})
+	if err == nil {
+		t.Fatal("cancelled fan-out returned nil error")
+	}
+	if !errors.Is(err, interrupt.ErrCancelled) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a cancellation", err)
+	}
+	if Prefix(done) == len(done) {
+		t.Fatal("every task completed despite cancellation")
+	}
+}
+
+func TestMapSequentialPathChecksContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, done, err := Map(ctx, 1, 5, func(_ context.Context, i int) (int, error) {
+		t.Fatal("task ran under a dead context")
+		return 0, nil
+	})
+	if !errors.Is(err, interrupt.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if Prefix(done) != 0 {
+		t.Fatal("tasks marked done under a dead context")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var hits atomic.Int64
+	done, err := ForEach(context.Background(), 4, 50, func(_ context.Context, i int) error {
+		hits.Add(1)
+		return nil
+	})
+	if err != nil || hits.Load() != 50 || Prefix(done) != 50 {
+		t.Fatalf("hits=%d done-prefix=%d err=%v", hits.Load(), Prefix(done), err)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	cases := []struct {
+		done []bool
+		want int
+	}{
+		{nil, 0},
+		{[]bool{true, true}, 2},
+		{[]bool{false, true}, 0},
+		{[]bool{true, false, true}, 1},
+	}
+	for _, c := range cases {
+		if got := Prefix(c.done); got != c.want {
+			t.Errorf("Prefix(%v) = %d, want %d", c.done, got, c.want)
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	ctx := context.Background()
+	if got := Workers(ctx, 3); got != 3 {
+		t.Fatalf("explicit: %d", got)
+	}
+	if got := Workers(NewContext(ctx, 5), 0); got != 5 {
+		t.Fatalf("from context: %d", got)
+	}
+	if got := Workers(ctx, 0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default: %d", got)
+	}
+	if got := Workers(Sequential(NewContext(ctx, 8)), 0); got != 1 {
+		t.Fatalf("sequential override: %d", got)
+	}
+	if got := FromContext(NewContext(ctx, 0)); got != 0 {
+		t.Fatalf("NewContext(0) should be a no-op, got %d", got)
+	}
+}
+
+// TestMapConcurrencyBound checks the pool never runs more than the requested
+// worker count at once.
+func TestMapConcurrencyBound(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	_, _, err := Map(context.Background(), workers, 64, func(_ context.Context, i int) (int, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		inFlight.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}

@@ -225,6 +225,11 @@ func extractKey(ctx context.Context, ke *cnf.Encoder, keyVars []int, res *Result
 	}
 }
 
+// exhaustiveBits bounds the exhaustive VerifyKey sweep: circuits up to this
+// many inputs check every pattern, larger ones a strided 2^exhaustiveBits
+// subset.
+const exhaustiveBits = 16
+
 // VerifyKey checks that the recovered key makes the locked circuit agree
 // with the oracle. It is exhaustive up to 2^16 input combinations and
 // samples a strided subset above that; the sweep honours ctx.
@@ -233,13 +238,21 @@ func VerifyKey(ctx context.Context, locked *netlist.Circuit, key []bool, oracle 
 		ctx = context.Background()
 	}
 	n := len(locked.Inputs)
-	space := uint64(1) << uint(n)
-	stride := uint64(1)
-	if n > 16 {
-		stride = space / (1 << 16)
+	// Count iterations rather than striding to a space bound: `1 << n`
+	// wraps to 0 at n = 64, which silently verified 64+-input circuits
+	// against zero patterns.
+	bits := n
+	if bits > 64 {
+		bits = 64
+	}
+	checks, stride := uint64(1)<<uint(bits), uint64(1)
+	if bits > exhaustiveBits {
+		checks = uint64(1) << uint(exhaustiveBits)
+		stride = uint64(1) << uint(bits-exhaustiveBits)
 	}
 	const checkEvery = 1024
-	for v, i := uint64(0), 0; v < space; v, i = v+stride, i+1 {
+	for i := uint64(0); i < checks; i++ {
+		v := i * stride
 		if i%checkEvery == 0 {
 			if err := interrupt.Check(ctx, "satattack: verify key", nil); err != nil {
 				return err

@@ -178,6 +178,31 @@ func TestVerifyKeyDetectsWrongKey(t *testing.T) {
 	}
 }
 
+// TestVerifyKeyWideCircuit is the regression test for the 64-input wrap:
+// `1 << n` overflowed to a zero-size sweep space, so VerifyKey on a circuit
+// with 64+ inputs checked no patterns at all and silently accepted any key.
+func TestVerifyKeyWideCircuit(t *testing.T) {
+	base, err := netlist.NewAdder(32) // 64 primary inputs
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key, err := netlist.LockXOR(base, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OracleFromCircuit(locked, key)
+	wrong := make([]bool, len(key))
+	for i, b := range key {
+		wrong[i] = !b
+	}
+	if err := VerifyKey(context.Background(), locked, wrong, oracle); err == nil {
+		t.Fatal("VerifyKey accepted a wrong key on a 64-input circuit")
+	}
+	if err := VerifyKey(context.Background(), locked, key, oracle); err != nil {
+		t.Fatalf("VerifyKey rejected the correct key: %v", err)
+	}
+}
+
 // TestAttackArchitectureIndependence: the SAT attack's iteration behaviour
 // depends on the locked FUNCTION, not the FU micro-architecture. Locking the
 // same minterm on a ripple-carry and a carry-lookahead adder must both fall

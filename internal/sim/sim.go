@@ -12,9 +12,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"bindlock/internal/dfg"
 	"bindlock/internal/interrupt"
+	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 	"bindlock/internal/trace"
 )
@@ -39,8 +41,15 @@ func NewKMatrix(numOps int) *KMatrix {
 	return k
 }
 
-// Add increments K_{m,n} by count.
+// Add increments K_{m,n} by count. The matrix grows to cover n when the op
+// lies beyond the constructed size, keeping Add total on the same domain
+// where Count, OpTotal and OpMinterms are defined.
 func (k *KMatrix) Add(m dfg.Minterm, n dfg.OpID, count int) {
+	if int(n) >= len(k.perOp) {
+		grown := make([]map[dfg.Minterm]int, int(n)+1)
+		copy(grown, k.perOp)
+		k.perOp = grown
+	}
 	if k.perOp[n] == nil {
 		k.perOp[n] = map[dfg.Minterm]int{}
 	}
@@ -56,8 +65,12 @@ func (k *KMatrix) Count(m dfg.Minterm, n dfg.OpID) int {
 }
 
 // OpTotal returns the total number of recorded applications at operation n
-// (equal to the trace length for FU ops).
+// (equal to the trace length for FU ops). Out-of-range ops have no recorded
+// applications and total 0, matching Count.
 func (k *KMatrix) OpTotal(n dfg.OpID) int {
+	if int(n) >= len(k.perOp) {
+		return 0
+	}
 	total := 0
 	for _, c := range k.perOp[n] {
 		total += c
@@ -65,8 +78,12 @@ func (k *KMatrix) OpTotal(n dfg.OpID) int {
 	return total
 }
 
-// OpMinterms returns the distinct minterms observed at operation n.
+// OpMinterms returns the distinct minterms observed at operation n, empty
+// for out-of-range ops (matching Count).
 func (k *KMatrix) OpMinterms(n dfg.OpID) []dfg.Minterm {
+	if int(n) >= len(k.perOp) {
+		return nil
+	}
 	ms := make([]dfg.Minterm, 0, len(k.perOp[n]))
 	for m := range k.perOp[n] {
 		ms = append(ms, m)
@@ -126,12 +143,89 @@ type Result struct {
 // microseconds of work, so a per-sample check would dominate the loop.
 const ctxEvery = 256
 
+// minParallelSamples is the trace length below which sharding is not worth
+// the fan-out overhead.
+const minParallelSamples = 2 * ctxEvery
+
+// newRunMatrix builds the K matrix Run populates: one count map per binary
+// (FU) operation of g.
+func newRunMatrix(g *dfg.Graph) *KMatrix {
+	k := &KMatrix{perOp: make([]map[dfg.Minterm]int, len(g.Ops))}
+	for _, op := range g.Ops {
+		if op.Kind.IsBinary() {
+			k.perOp[op.ID] = map[dfg.Minterm]int{}
+		}
+	}
+	return k
+}
+
+// addAll merges src's counts into k. Integer counts are additive, so merging
+// per-worker matrices in task order reproduces the sequential matrix
+// exactly.
+func (k *KMatrix) addAll(src *KMatrix) {
+	for n, counts := range src.perOp {
+		if len(counts) == 0 {
+			continue
+		}
+		if k.perOp[n] == nil {
+			k.perOp[n] = map[dfg.Minterm]int{}
+		}
+		for m, c := range counts {
+			k.perOp[n][m] += c
+		}
+	}
+}
+
+// evalSample interprets one trace sample, incrementing k and recording the
+// per-op values and raw operand pairs into res at index s.
+func evalSample(g *dfg.Graph, inputIdx map[dfg.OpID]int, sample []uint8, s int, k *KMatrix, res *Result) {
+	vals := make([]uint8, len(g.Ops))
+	ab := make([]dfg.Minterm, len(g.Ops))
+	for _, op := range g.Ops {
+		switch op.Kind {
+		case dfg.Input:
+			vals[op.ID] = sample[inputIdx[op.ID]]
+		case dfg.Const:
+			vals[op.ID] = op.Val
+		case dfg.Output:
+			vals[op.ID] = vals[op.Args[0]]
+		default:
+			a := vals[op.Args[0]]
+			b := vals[op.Args[1]]
+			vals[op.ID] = dfg.EvalKind(op.Kind, a, b)
+			ab[op.ID] = dfg.MkMinterm(a, b)
+			k.perOp[op.ID][dfg.CanonMinterm(op.Kind, a, b)]++
+		}
+	}
+	res.Vals[s] = vals
+	res.OperandAB[s] = ab
+}
+
+// chunkBounds splits n items into `chunks` contiguous balanced ranges:
+// chunk i covers [bounds[i], bounds[i+1]).
+func chunkBounds(n, chunks int) []int {
+	b := make([]int, chunks+1)
+	for i := 0; i <= chunks; i++ {
+		b[i] = i * n / chunks
+	}
+	return b
+}
+
 // Run interprets g over tr, producing the K matrix and per-sample values.
-// Every DFG input must be present in the trace. Cancellation is honoured at
-// sample granularity; an interrupted run returns the partial Result covering
-// the samples completed so far (Vals/OperandAB truncated to that prefix)
-// inside the typed error.
+// Every DFG input must be present in the trace. Samples are sharded across
+// the worker pool configured on ctx (see internal/parallel); per-worker K
+// matrices merge in shard order, so the Result is bit-identical to a
+// single-worker run. Cancellation is honoured at sample granularity; an
+// interrupted run returns the partial Result covering a contiguous sample
+// prefix (Vals/OperandAB truncated, K restricted to that prefix) inside the
+// typed error.
 func Run(ctx context.Context, g *dfg.Graph, tr *trace.Trace) (*Result, error) {
+	return RunN(ctx, g, tr, 0)
+}
+
+// RunN is Run with an explicit worker count; 0 resolves from the context's
+// parallelism setting, falling back to GOMAXPROCS.
+func RunN(ctx context.Context, g *dfg.Graph, tr *trace.Trace, workers int) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -144,20 +238,20 @@ func Run(ctx context.Context, g *dfg.Graph, tr *trace.Trace) (*Result, error) {
 		inputIdx[id] = idx
 	}
 
-	k := &KMatrix{perOp: make([]map[dfg.Minterm]int, len(g.Ops))}
-	for _, op := range g.Ops {
-		if op.Kind.IsBinary() {
-			k.perOp[op.ID] = map[dfg.Minterm]int{}
-		}
-	}
-
 	hook := progress.FromContext(ctx)
 	progress.Start(hook, "simulate", g.Name)
+	k := newRunMatrix(g)
 	res := &Result{
 		K:         k,
 		Vals:      make([][]uint8, tr.Len()),
 		OperandAB: make([][]dfg.Minterm, tr.Len()),
 	}
+
+	w := parallel.Workers(ctx, workers)
+	if w > 1 && tr.Len() >= minParallelSamples {
+		return runSharded(ctx, g, tr, inputIdx, w, hook, res)
+	}
+
 	for s, sample := range tr.Samples {
 		if s%ctxEvery == 0 {
 			if cerr := interrupt.Check(ctx, "sim: run", nil); cerr != nil {
@@ -168,27 +262,67 @@ func Run(ctx context.Context, g *dfg.Graph, tr *trace.Trace) (*Result, error) {
 			}
 			progress.Tick(hook, "simulate", s, tr.Len())
 		}
-		vals := make([]uint8, len(g.Ops))
-		ab := make([]dfg.Minterm, len(g.Ops))
-		for _, op := range g.Ops {
-			switch op.Kind {
-			case dfg.Input:
-				vals[op.ID] = sample[inputIdx[op.ID]]
-			case dfg.Const:
-				vals[op.ID] = op.Val
-			case dfg.Output:
-				vals[op.ID] = vals[op.Args[0]]
-			default:
-				a := vals[op.Args[0]]
-				b := vals[op.Args[1]]
-				vals[op.ID] = dfg.EvalKind(op.Kind, a, b)
-				ab[op.ID] = dfg.MkMinterm(a, b)
-				k.perOp[op.ID][dfg.CanonMinterm(op.Kind, a, b)]++
-			}
-		}
-		res.Vals[s] = vals
-		res.OperandAB[s] = ab
+		evalSample(g, inputIdx, sample, s, k, res)
 	}
 	progress.End(hook, "simulate", fmt.Sprintf("%d samples", tr.Len()))
 	return res, nil
+}
+
+// runSharded fans the samples out over w contiguous shards. Each worker
+// accumulates a private K matrix and writes Vals/OperandAB into its own
+// disjoint index range; the shard matrices merge in shard order afterwards.
+// On interruption the partial Result covers the longest contiguous sample
+// prefix — completed shards up to the first incomplete one plus that shard's
+// finished samples — matching the shape a sequential run leaves behind.
+func runSharded(ctx context.Context, g *dfg.Graph, tr *trace.Trace, inputIdx map[dfg.OpID]int, w int, hook progress.Hook, res *Result) (*Result, error) {
+	bounds := chunkBounds(tr.Len(), w)
+	shardK := make([]*KMatrix, w)
+	shardDone := make([]int, w) // samples completed per shard
+	var ticks atomic.Int64
+	done, perr := parallel.ForEach(ctx, w, w, func(tctx context.Context, ci int) error {
+		lo, hi := bounds[ci], bounds[ci+1]
+		sk := newRunMatrix(g)
+		shardK[ci] = sk
+		for s := lo; s < hi; s++ {
+			if (s-lo)%ctxEvery == 0 {
+				if cerr := interrupt.Check(tctx, "sim: run", nil); cerr != nil {
+					shardDone[ci] = s - lo
+					return cerr
+				}
+				if s > lo {
+					progress.Tick(hook, "simulate", int(ticks.Add(ctxEvery)), tr.Len())
+				}
+			}
+			evalSample(g, inputIdx, tr.Samples[s], s, sk, res)
+		}
+		shardDone[ci] = hi - lo
+		return nil
+	})
+	if perr == nil {
+		for _, sk := range shardK {
+			res.K.addAll(sk)
+		}
+		progress.End(hook, "simulate", fmt.Sprintf("%d samples", tr.Len()))
+		return res, nil
+	}
+
+	// Interrupted: assemble the contiguous prefix.
+	prefix := 0
+	for ci := 0; ci < w; ci++ {
+		if shardK[ci] != nil && (done[ci] || shardDone[ci] > 0) {
+			// A fully completed shard contributes whole; the first
+			// incomplete shard contributes its finished samples (its
+			// private K covers exactly those).
+			res.K.addAll(shardK[ci])
+		}
+		if !done[ci] {
+			prefix = bounds[ci] + shardDone[ci]
+			break
+		}
+		prefix = bounds[ci+1]
+	}
+	res.Vals = res.Vals[:prefix]
+	res.OperandAB = res.OperandAB[:prefix]
+	progress.End(hook, "simulate", fmt.Sprintf("interrupted at sample %d/%d", prefix, tr.Len()))
+	return res, interrupt.Rewrap("sim: run", perr, res)
 }

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"bindlock/internal/dfg"
+	"bindlock/internal/interrupt"
+	"bindlock/internal/progress"
+	"bindlock/internal/trace"
+)
+
+// TestKMatrixOutOfRangeConsistency is the regression test for the
+// bounds-check inconsistency: Count returned 0 for an out-of-range OpID
+// while OpTotal, OpMinterms and Add panicked on the same argument.
+func TestKMatrixOutOfRangeConsistency(t *testing.T) {
+	k := NewKMatrix(2)
+	m := dfg.MkMinterm(3, 4)
+	const far = dfg.OpID(17)
+
+	if got := k.Count(m, far); got != 0 {
+		t.Errorf("Count out of range = %d, want 0", got)
+	}
+	if got := k.OpTotal(far); got != 0 {
+		t.Errorf("OpTotal out of range = %d, want 0", got)
+	}
+	if got := k.OpMinterms(far); len(got) != 0 {
+		t.Errorf("OpMinterms out of range = %v, want empty", got)
+	}
+	// Add grows the matrix instead of panicking, and the other accessors see
+	// the new counts.
+	k.Add(m, far, 6)
+	if got := k.Count(m, far); got != 6 {
+		t.Errorf("Count after growing Add = %d, want 6", got)
+	}
+	if got := k.OpTotal(far); got != 6 {
+		t.Errorf("OpTotal after growing Add = %d, want 6", got)
+	}
+	if got := k.OpMinterms(far); len(got) != 1 || got[0] != m {
+		t.Errorf("OpMinterms after growing Add = %v, want [%v]", got, m)
+	}
+	// Ops below the grown index remain zero.
+	if got := k.OpTotal(9); got != 0 {
+		t.Errorf("OpTotal on untouched grown op = %d, want 0", got)
+	}
+}
+
+const shardKernel = `
+kernel shard;
+input a, b, c;
+output y, z;
+t = a + b;
+u = t * c;
+v = a * c;
+y = u + v;
+z = t - c;
+`
+
+// TestRunShardedDeterminism asserts the tentpole guarantee at the simulator
+// layer: sharding samples across workers yields a Result bit-identical to
+// the sequential run, for several worker counts.
+func TestRunShardedDeterminism(t *testing.T) {
+	g := compile(t, shardKernel)
+	tr := trace.Generate(trace.ImageBlocks, []string{"a", "b", "c"}, 4*minParallelSamples, 7)
+
+	seq, err := RunN(context.Background(), g, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		par, err := RunN(context.Background(), g, tr, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: sharded Result differs from sequential", workers)
+		}
+	}
+}
+
+// TestRunShardedCancelPartial cancels a sharded run mid-flight and checks
+// the partial Result has the sequential shape: a contiguous sample prefix
+// whose values match the uninterrupted run, with the K matrix covering
+// exactly that prefix.
+func TestRunShardedCancelPartial(t *testing.T) {
+	g := compile(t, shardKernel)
+	total := 8 * minParallelSamples
+	tr := trace.Generate(trace.ImageBlocks, []string{"a", "b", "c"}, total, 7)
+
+	full, err := RunN(context.Background(), g, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel from the progress stream once simulation ticks start arriving,
+	// so the pool is genuinely mid-flight.
+	hooked := progress.NewContext(ctx, progress.Func(func(e progress.Event) {
+		if e.Kind == progress.Step && e.Phase == "simulate" {
+			cancel()
+		}
+	}))
+	res, err := RunN(hooked, g, tr, 4)
+	if err == nil {
+		t.Fatal("cancelled sharded run returned nil error")
+	}
+	if !errors.Is(err, interrupt.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+	partial, ok := interrupt.Partial[*Result](err)
+	if !ok || partial != res {
+		t.Fatal("typed error does not carry the partial Result")
+	}
+	n := len(res.Vals)
+	if n >= total {
+		t.Fatalf("partial covers all %d samples; cancellation had no effect", total)
+	}
+	if len(res.OperandAB) != n {
+		t.Fatalf("OperandAB length %d != Vals length %d", len(res.OperandAB), n)
+	}
+	for s := 0; s < n; s++ {
+		if !reflect.DeepEqual(res.Vals[s], full.Vals[s]) {
+			t.Fatalf("partial Vals[%d] differ from the uninterrupted run", s)
+		}
+	}
+	// K covers exactly the prefix: every FU op saw n applications.
+	for _, id := range g.OpsOfClass(dfg.ClassAdd) {
+		if got := res.K.OpTotal(id); got != n {
+			t.Fatalf("partial OpTotal(%d) = %d, want prefix length %d", id, got, n)
+		}
+	}
+}
