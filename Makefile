@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci figures bench clean
+.PHONY: all build test race vet fmt ci figures bench cover profile clean
 
 all: build
 
@@ -32,6 +32,24 @@ figures:
 # bit-identical, and records the baseline in BENCH_parallel.json.
 bench:
 	$(GO) run ./cmd/benchpar -o BENCH_parallel.json
+
+# cover gates the metrics registry on a coverage floor: every tool's -metrics
+# output and the determinism contract depend on it, so regressions in its
+# tests fail CI rather than silently shrinking the pinned surface.
+METRICS_COVER_MIN ?= 90
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/metrics
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/metrics coverage: $$total% (floor $(METRICS_COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(METRICS_COVER_MIN)" 'BEGIN { exit (t+0 < min+0) }' || \
+		{ echo "coverage $$total% is below the $(METRICS_COVER_MIN)% floor"; exit 1; }
+
+# profile runs the parallel benchmark under the pprof profilers and writes the
+# aggregated metrics snapshot next to the profiles; inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/benchpar -o BENCH_parallel.json -metrics metrics.json \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
 
 clean:
 	$(GO) clean ./...

@@ -65,6 +65,7 @@ import (
 	"bindlock/internal/lockedsim"
 	"bindlock/internal/locking"
 	"bindlock/internal/mediabench"
+	"bindlock/internal/metrics"
 	"bindlock/internal/netlist"
 	"bindlock/internal/opt"
 	"bindlock/internal/parallel"
@@ -159,7 +160,26 @@ type (
 	ProgressHook = progress.Hook
 	// ProgressLogger is a ready-made throttled textual ProgressHook.
 	ProgressLogger = progress.Logger
+	// MetricsRegistry aggregates counters, gauges and histograms from every
+	// instrumented compute phase (see internal/metrics).
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time, sorted copy of a MetricsRegistry,
+	// exportable as JSON or Prometheus text.
+	MetricsSnapshot = metrics.Snapshot
 )
+
+// NewMetricsRegistry returns an empty metrics registry. Attach it with
+// WithMetrics (prepare flow) or WithMetricsContext (any context-aware call)
+// and read it back with Snapshot once the computation finishes.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// WithMetricsContext returns a context carrying the registry; every
+// instrumented call downstream — solver, attack, simulation, co-design,
+// worker pool — accumulates its counters there. A nil registry returns ctx
+// unchanged (metrics stay disabled at nil-check cost only).
+func WithMetricsContext(ctx context.Context, r *MetricsRegistry) context.Context {
+	return metrics.NewContext(ctx, r)
+}
 
 // PartialResult extracts the typed partial result from an interruption
 // error: the best-so-far attack Result, co-design Result, solver Stats and
@@ -222,6 +242,16 @@ type prepareConfig struct {
 	seed        int64
 	hook        ProgressHook
 	parallelism int
+	metrics     *metrics.Registry
+}
+
+// registry resolves the effective metrics registry: the WithMetrics option
+// wins, then one already carried on the context, then nil (disabled).
+func (c *prepareConfig) registry(ctx context.Context) *metrics.Registry {
+	if c.metrics != nil {
+		return c.metrics
+	}
+	return metrics.FromContext(ctx)
 }
 
 func defaultPrepareConfig() prepareConfig {
@@ -259,17 +289,27 @@ func WithProgressFunc(f func(ProgressEvent)) Option { return WithProgress(progre
 // and operand streams are bit-identical at any worker count.
 func WithParallelism(n int) Option { return func(c *prepareConfig) { c.parallelism = n } }
 
+// WithMetrics attaches a metrics registry to the prepare flow: compile,
+// schedule and simulation phase timings plus the design-shape gauges land in
+// it, and the registry rides the context into the workload simulation. For
+// telemetry from later calls (co-design, attacks) pass a WithMetricsContext
+// context to those calls.
+func WithMetrics(r *MetricsRegistry) Option { return func(c *prepareConfig) { c.metrics = r } }
+
 // Prepare runs the experimental flow of the paper's Fig. 3 on kernel source:
 // compile, schedule onto a bounded FU allocation with the path-based
 // scheduler, generate a typical workload, and simulate it to obtain the K
 // matrix. Cancellation interrupts the workload simulation at sample
 // granularity.
 func Prepare(ctx context.Context, src string, opts ...Option) (*Design, error) {
+	cfg := resolveOptions(opts)
+	stop := cfg.registry(ctx).Timer("frontend_compile_seconds")
 	g, err := frontend.Compile(src)
+	stop()
 	if err != nil {
 		return nil, err
 	}
-	return prepareGraph(ctx, g, resolveOptions(opts))
+	return prepareGraph(ctx, g, cfg)
 }
 
 // PrepareGraph runs the scheduling and workload-characterisation flow on an
@@ -298,10 +338,19 @@ func prepareGraph(ctx context.Context, g *Graph, cfg prepareConfig) (*Design, er
 	if cfg.parallelism > 0 {
 		ctx = parallel.NewContext(ctx, cfg.parallelism)
 	}
+	if cfg.metrics != nil {
+		ctx = metrics.NewContext(ctx, cfg.metrics)
+	}
+	mreg := metrics.FromContext(ctx)
 	cons := sched.Constraints{MaxFUs: map[Class]int{ClassAdd: cfg.maxFUs, ClassMul: cfg.maxFUs}}
-	if _, err := sched.PathBased(g, cons); err != nil {
+	stopSched := mreg.Timer("sched_schedule_seconds")
+	_, err := sched.PathBased(g, cons)
+	stopSched()
+	if err != nil {
 		return nil, err
 	}
+	mreg.Set("design_ops", float64(len(g.Ops)))
+	mreg.Set("design_cycles", float64(g.Cycles()))
 	var names []string
 	for _, id := range g.Inputs() {
 		names = append(names, g.Ops[id].Name)
@@ -329,7 +378,9 @@ func PrepareBenchmark(ctx context.Context, name string, opts ...Option) (*Design
 	if !cfg.genSet {
 		cfg.gen = b.Gen
 	}
+	stop := cfg.registry(ctx).Timer("frontend_compile_seconds")
 	g, err := b.Compile()
+	stop()
 	if err != nil {
 		return nil, err
 	}

@@ -6,13 +6,17 @@
 // Usage:
 //
 //	benchpar [-samples N] [-seed S] [-bench a,b,c] [-secrets N] [-jobs N]
-//	         [-o BENCH_parallel.json]
+//	         [-o BENCH_parallel.json] [-metrics out.json]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The report is written as JSON (default BENCH_parallel.json) with one entry
 // per workload (the Fig. 4 sweep and the SAT-resilience sweep), each carrying
 // sequential and parallel timings, the speedup ratio, and the shared
-// fingerprint. On single-core machines the speedup is honestly ~1x; the
-// determinism check is the part that must always hold.
+// fingerprint, plus a "metrics" snapshot of the run's aggregated counters.
+// On single-core machines the speedup is honestly ~1x; the determinism check
+// is the part that must always hold. -metrics additionally writes the
+// snapshot to its own file; -cpuprofile/-memprofile capture pprof profiles of
+// the whole comparison (see `make profile`).
 package main
 
 import (
@@ -27,7 +31,9 @@ import (
 	"strings"
 	"time"
 
+	"bindlock/internal/cli"
 	"bindlock/internal/experiments"
+	"bindlock/internal/metrics"
 	"bindlock/internal/parallel"
 )
 
@@ -52,6 +58,9 @@ type Report struct {
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	GoVersion  string     `json:"go_version"`
 	Workloads  []Workload `json:"workloads"`
+	// Metrics is the run's aggregated metrics snapshot: solver and attack
+	// counters summed over every workload at every worker count.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -61,9 +70,28 @@ func main() {
 	secrets := flag.Int("secrets", 4, "secrets per key width in the resilience sweep")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel worker count to compare against -j 1")
 	out := flag.String("o", "BENCH_parallel.json", "output JSON path")
+	metricsFile := flag.String("metrics", "", "also write the metrics snapshot to this file (JSON, or Prometheus text for .prom)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	ctx := context.Background()
+	tel, err := cli.NewTelemetry(*metricsFile, *cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpar:", err)
+		os.Exit(cli.ExitFailure)
+	}
+	if tel.Registry == nil {
+		// The report always embeds a snapshot, so a registry runs even
+		// without -metrics.
+		tel.Registry = metrics.New()
+		tel.Registry.Set("process_gomaxprocs", float64(runtime.GOMAXPROCS(0)))
+	}
+	fail := func(prefix string, err error) {
+		fmt.Fprintf(os.Stderr, "benchpar: %s%v\n", prefix, err)
+		tel.Exit(cli.ExitCode(err))
+	}
+
+	ctx := tel.Context(context.Background())
 	cfg := experiments.Config{
 		Samples:        *samples,
 		Seed:           *seed,
@@ -114,28 +142,29 @@ func main() {
 	} {
 		w, err := measure(wl.name, wl.run, *jobs)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchpar: %s: %v\n", wl.name, err)
-			os.Exit(1)
+			fail(wl.name+": ", err)
 		}
 		ok = ok && w.Deterministic
 		rep.Workloads = append(rep.Workloads, w)
 	}
 
+	snap := tel.Registry.Snapshot()
+	rep.Metrics = &snap
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchpar:", err)
-		os.Exit(1)
+		fail("", err)
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchpar:", err)
-		os.Exit(1)
+		fail("", err)
 	}
 	fmt.Printf("[wrote %s]\n", *out)
 	if !ok {
 		fmt.Fprintln(os.Stderr, "benchpar: DETERMINISM VIOLATION: -j 1 and -j N outputs differ")
-		os.Exit(1)
+		tel.Exit(cli.ExitFailure)
 	}
+	tel.Exit(cli.ExitOK)
 }
 
 // measure times one workload at -j 1 and -j jobs and checks the fingerprints

@@ -6,13 +6,17 @@
 //
 //	bindlock -bench fir [-class adder|multiplier] [-locked-fus 2] [-inputs 2]
 //	         [-fus 3] [-samples 600] [-seed 1] [-candidates 10] [-dot]
-//	         [-timeout 30s] [-j N] [-v]
+//	         [-timeout 30s] [-j N] [-v] [-metrics out.json]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	bindlock -src kernel.bl [-workload image|audio|bitstream|sensor|uniform] ...
 //
 // -timeout bounds the whole run; on expiry the tool reports the partial
-// progress of the interrupted phase. -v streams per-phase progress to stderr.
-// -j sizes the worker pool used by simulation and co-design (default
-// GOMAXPROCS); results are bit-identical at any -j.
+// progress of the interrupted phase and exits 2 (0 success, 1 failure,
+// 2 interrupted). -v streams per-phase progress to stderr. -j sizes the
+// worker pool used by simulation and co-design (default GOMAXPROCS); results
+// are bit-identical at any -j. -metrics writes a metrics snapshot (JSON, or
+// Prometheus text with a .prom extension) on every exit, including
+// interrupted ones.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"os"
 
 	"bindlock"
+	"bindlock/internal/cli"
 )
 
 func main() {
@@ -42,7 +47,16 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "bound the whole run; 0 means no limit")
 	jobs := flag.Int("j", 0, "worker pool size for simulation and co-design; 0 means GOMAXPROCS (output is identical at any -j)")
 	verbose := flag.Bool("v", false, "stream per-phase progress to stderr")
+	metricsFile := flag.String("metrics", "", "write a metrics snapshot to this file on exit (JSON, or Prometheus text for .prom)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	tel, err := cli.NewTelemetry(*metricsFile, *cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bindlock:", err)
+		os.Exit(cli.ExitFailure)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -54,20 +68,22 @@ func main() {
 		ctx = bindlock.WithProgressContext(ctx, &bindlock.ProgressLogger{W: os.Stderr})
 	}
 	ctx = bindlock.WithParallelismContext(ctx, *jobs)
+	ctx = tel.Context(ctx)
 
-	if err := run(ctx, *bench, *src, *workload, *class, *fus, *lockedFUs, *inputs,
-		*samples, *seed, *candidates, *dot, *verilog, *optimize); err != nil {
+	err = run(ctx, *bench, *src, *workload, *class, *fus, *lockedFUs, *inputs,
+		*samples, *seed, *candidates, *dot, *verilog, *optimize)
+	if err != nil {
 		if errors.Is(err, bindlock.ErrCancelled) || errors.Is(err, bindlock.ErrBudgetExceeded) {
 			fmt.Fprintf(os.Stderr, "bindlock: interrupted (%v)\n", err)
 			if res, ok := bindlock.PartialResult[*bindlock.CoDesignResult](err); ok && res != nil {
 				fmt.Fprintf(os.Stderr, "bindlock: best co-design so far: E = %d after %d evaluations\n",
 					res.Errors, res.Enumerated)
 			}
-			os.Exit(2)
+		} else {
+			fmt.Fprintln(os.Stderr, "bindlock:", err)
 		}
-		fmt.Fprintln(os.Stderr, "bindlock:", err)
-		os.Exit(1)
 	}
+	tel.Exit(cli.ExitCode(err))
 }
 
 func run(ctx context.Context, bench, src, workload, className string, fus, lockedFUs, inputs,

@@ -6,10 +6,14 @@
 //	figures [-fig 4|5|6|corruption|scan|resilience|eps|stability|all]
 //	        [-samples N] [-seed S] [-candidates N] [-assignments N]
 //	        [-optbudget N] [-bench a,b,c] [-csv DIR] [-timeout D] [-j N] [-v]
+//	        [-metrics out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// -timeout bounds the whole regeneration with a context deadline; -v streams
-// phase progress to stderr. -j bounds the worker pool every sweep fans out
-// over (default GOMAXPROCS); the tables are bit-identical at any -j.
+// -timeout bounds the whole regeneration with a context deadline; on expiry
+// the tool exits 2 (0 success, 1 failure, 2 interrupted). -v streams phase
+// progress to stderr. -j bounds the worker pool every sweep fans out over
+// (default GOMAXPROCS); the tables are bit-identical at any -j. -metrics
+// writes a metrics snapshot (JSON, or Prometheus text with a .prom
+// extension) on every exit, including interrupted ones.
 //
 // The default configuration matches the paper's setup: all 11 benchmarks,
 // the 10 most common minterms as candidate locked inputs, and the full
@@ -26,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"bindlock/internal/cli"
 	"bindlock/internal/dfg"
 	"bindlock/internal/experiments"
 	"bindlock/internal/parallel"
@@ -53,7 +58,23 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "bound the whole regeneration wall time; 0 means no limit")
 	jobs := flag.Int("j", 0, "worker pool size for the sweeps; 0 means GOMAXPROCS (output is identical at any -j)")
 	verbose := flag.Bool("v", false, "stream phase progress to stderr")
+	metricsFile := flag.String("metrics", "", "write a metrics snapshot to this file on exit (JSON, or Prometheus text for .prom)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	tel, err := cli.NewTelemetry(*metricsFile, *cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(cli.ExitFailure)
+	}
+	// fail routes every error exit through the telemetry flush so partial
+	// metrics survive, with the interrupted-vs-failed exit code derived from
+	// the error.
+	fail := func(prefix string, err error) {
+		fmt.Fprintf(os.Stderr, "figures: %s%v\n", prefix, err)
+		tel.Exit(cli.ExitCode(err))
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -65,6 +86,7 @@ func main() {
 		ctx = progress.NewContext(ctx, &progress.Logger{W: os.Stderr})
 	}
 	ctx = parallel.NewContext(ctx, *jobs)
+	ctx = tel.Context(ctx)
 
 	cfg := experiments.Config{
 		Samples:        *samples,
@@ -85,13 +107,11 @@ func main() {
 		path := filepath.Join(*csvDir, name+".csv")
 		file, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: csv %s: %v\n", name, err)
-			os.Exit(1)
+			fail("csv "+name+": ", err)
 		}
 		defer file.Close()
 		if err := f(file); err != nil {
-			fmt.Fprintf(os.Stderr, "figures: csv %s: %v\n", name, err)
-			os.Exit(1)
+			fail("csv "+name+": ", err)
 		}
 		fmt.Printf("[wrote %s]\n", path)
 	}
@@ -99,8 +119,7 @@ func main() {
 	run := func(name string, f func() error) {
 		start := time.Now()
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
-			os.Exit(1)
+			fail(name+": ", err)
 		}
 		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -109,11 +128,9 @@ func main() {
 	var suite *experiments.Suite
 	var sweep *experiments.Fig4Data
 	if needSweep || *fig == "6" || *fig == "corruption" {
-		var err error
 		suite, err = experiments.NewSuite(ctx, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			fail("", err)
 		}
 	}
 	if needSweep {
@@ -206,4 +223,5 @@ func main() {
 			return nil
 		})
 	}
+	tel.Exit(cli.ExitOK)
 }

@@ -6,13 +6,18 @@
 //
 //	satattack [-fu adder|multiplier] [-width 3] [-scheme sfll|sfll-hd|xor|routing]
 //	          [-secret N] [-h 1] [-keys 8] [-seed 1] [-timeout 30s] [-j N] [-progress]
+//	          [-metrics out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	satattack -validate [-secrets 6]
 //
 // -timeout bounds the attack with a context deadline; on expiry the tool
 // prints a partial-result summary (DIPs found, best-so-far key) and exits
-// with status 2. -progress streams per-DIP and solver telemetry to stderr.
-// -j sizes the worker pool for the -validate sweeps (default GOMAXPROCS);
-// the tables are bit-identical at any -j.
+// with status 2. Exit codes follow the repository convention: 0 success,
+// 1 failure, 2 interrupted. -progress streams per-DIP and solver telemetry
+// to stderr. -j sizes the worker pool for the -validate sweeps (default
+// GOMAXPROCS); the tables are bit-identical at any -j. -metrics writes a
+// metrics snapshot (solver conflict/decision counters, DIP histograms; JSON,
+// or Prometheus text with a .prom extension) on every exit, including
+// interrupted ones.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"bindlock/internal/cli"
 	"bindlock/internal/experiments"
 	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
@@ -47,7 +53,16 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "bound the attack wall time; 0 means no limit")
 	jobs := flag.Int("j", 0, "worker pool size for the -validate sweeps; 0 means GOMAXPROCS (output is identical at any -j)")
 	showProgress := flag.Bool("progress", false, "stream per-DIP and solver telemetry to stderr")
+	metricsFile := flag.String("metrics", "", "write a metrics snapshot to this file on exit (JSON, or Prometheus text for .prom)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	tel, err := cli.NewTelemetry(*metricsFile, *cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satattack:", err)
+		os.Exit(cli.ExitFailure)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -59,34 +74,43 @@ func main() {
 		ctx = progress.NewContext(ctx, &progress.Logger{W: os.Stderr, EveryN: 1})
 	}
 	ctx = parallel.NewContext(ctx, *jobs)
+	ctx = tel.Context(ctx)
 
 	if *validate {
-		rows, err := experiments.Resilience(ctx, []int{2, 3, 4}, *secrets, *seed)
-		if err != nil {
-			if interrupted(err) {
-				experiments.RenderResilience(os.Stdout, rows)
-				fmt.Fprintf(os.Stderr, "satattack: validation interrupted (%v); %d width rows completed\n", err, len(rows))
-				os.Exit(2)
-			}
-			fatal(err)
-		}
-		experiments.RenderResilience(os.Stdout, rows)
-		eps, err := experiments.EpsilonSweep(ctx, []int{0, 1, 2}, *secrets, *seed)
-		if err != nil {
-			if interrupted(err) {
-				fmt.Fprintf(os.Stderr, "satattack: epsilon sweep interrupted (%v); %d rows completed\n", err, len(eps))
-				os.Exit(2)
-			}
-			fatal(err)
-		}
-		fmt.Println()
-		experiments.RenderEpsilonSweep(os.Stdout, eps)
-		return
+		err = runValidate(ctx, *secrets, *seed)
+	} else {
+		err = attack(ctx, *fu, *width, *scheme, *secret, *hd, *keys, *seed, *verilog, *approx)
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satattack:", err)
+	}
+	// Telemetry flushes on every path, so an interrupted run still leaves its
+	// partial metrics snapshot behind.
+	tel.Exit(cli.ExitCode(err))
+}
 
-	if err := attack(ctx, *fu, *width, *scheme, *secret, *hd, *keys, *seed, *verilog, *approx); err != nil {
-		fatal(err)
+// runValidate runs the Eqn. 1 validation and epsilon sweeps. Partial tables
+// are rendered before an interruption error is returned.
+func runValidate(ctx context.Context, secrets int, seed int64) error {
+	rows, err := experiments.Resilience(ctx, []int{2, 3, 4}, secrets, seed)
+	if err != nil {
+		if interrupted(err) {
+			experiments.RenderResilience(os.Stdout, rows)
+			fmt.Fprintf(os.Stderr, "satattack: validation interrupted; %d width rows completed\n", len(rows))
+		}
+		return err
 	}
+	experiments.RenderResilience(os.Stdout, rows)
+	eps, err := experiments.EpsilonSweep(ctx, []int{0, 1, 2}, secrets, seed)
+	if err != nil {
+		if interrupted(err) {
+			fmt.Fprintf(os.Stderr, "satattack: epsilon sweep interrupted; %d rows completed\n", len(eps))
+		}
+		return err
+	}
+	fmt.Println()
+	experiments.RenderEpsilonSweep(os.Stdout, eps)
+	return nil
 }
 
 // interrupted reports whether err is a cancellation or budget interruption.
@@ -94,13 +118,9 @@ func interrupted(err error) bool {
 	return errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "satattack:", err)
-	os.Exit(1)
-}
-
 // printPartial summarises an interrupted attack: how far it got and whether
-// a best-so-far key consistent with the observed oracle answers exists.
+// a best-so-far key consistent with the observed oracle answers exists. The
+// interruption error itself is printed (and exit-coded) by main.
 func printPartial(iterations, keyLen, keyBits int, start time.Time, err error) {
 	kind := "cancelled"
 	if errors.Is(err, interrupt.ErrBudgetExceeded) {
@@ -115,7 +135,6 @@ func printPartial(iterations, keyLen, keyBits int, start time.Time, err error) {
 	default:
 		fmt.Println("no key guess extracted before interruption")
 	}
-	fmt.Fprintln(os.Stderr, "satattack:", err)
 }
 
 func attack(ctx context.Context, fu string, width int, scheme string, secret uint64, hd, keys int, seed int64, verilog bool, approx int) error {
@@ -169,7 +188,6 @@ func attack(ctx context.Context, fu string, width int, scheme string, secret uin
 		if err != nil {
 			if interrupted(err) && res != nil {
 				printPartial(res.Iterations, len(res.Key), len(locked.Keys), start, err)
-				os.Exit(2)
 			}
 			return err
 		}
@@ -185,7 +203,6 @@ func attack(ctx context.Context, fu string, width int, scheme string, secret uin
 	if err != nil {
 		if interrupted(err) && res != nil {
 			printPartial(res.Iterations, len(res.Key), len(locked.Keys), start, err)
-			os.Exit(2)
 		}
 		return err
 	}

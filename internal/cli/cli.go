@@ -1,0 +1,163 @@
+// Package cli holds the conventions shared by the repository's command-line
+// tools: the process exit-code contract and the telemetry surface (-metrics,
+// -cpuprofile, -memprofile) every tool exposes.
+//
+// Exit codes follow one rule everywhere: 0 success, 1 failure, 2 interrupted
+// (context cancelled, deadline expired, or an iteration/conflict budget
+// exhausted — anything errors.Is-matching the interrupt sentinels). The
+// distinction matters operationally: an orchestrator retrying failures must
+// not retry a run its own timeout killed, and an interrupted run still wrote
+// its partial results and partial metrics snapshot.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+
+	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
+)
+
+// The exit-code contract.
+const (
+	ExitOK          = 0
+	ExitFailure     = 1
+	ExitInterrupted = 2
+)
+
+// ExitCode maps an error onto the exit-code contract: nil is success,
+// interruptions (cancellation, deadline, budget) are 2, everything else 1.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, interrupt.ErrCancelled),
+		errors.Is(err, interrupt.ErrBudgetExceeded),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return ExitInterrupted
+	}
+	return ExitFailure
+}
+
+// Telemetry bundles a tool's observability state: the metrics registry, the
+// output paths, and the in-flight CPU profile. Flush is safe on every exit
+// path — including interrupted ones, which is why tools route os.Exit through
+// Exit instead of deferring (defers do not run across os.Exit).
+type Telemetry struct {
+	// Registry collects the run's metrics. Non-nil whenever -metrics was
+	// given; tools may also install their own registry before Context.
+	Registry *metrics.Registry
+
+	metricsPath string
+	memPath     string
+	cpuFile     *os.File
+}
+
+// NewTelemetry prepares the run's telemetry: creates a registry when a
+// metrics path is set, starts the CPU profile when requested, and remembers
+// where to put the heap profile. Any path may be empty to disable that piece.
+func NewTelemetry(metricsPath, cpuProfile, memProfile string) (*Telemetry, error) {
+	t := &Telemetry{metricsPath: metricsPath, memPath: memProfile}
+	if metricsPath != "" {
+		t.Registry = metrics.New()
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		t.cpuFile = f
+	}
+	if t.Registry != nil {
+		t.Registry.Set("process_gomaxprocs", float64(runtime.GOMAXPROCS(0)))
+	}
+	return t, nil
+}
+
+// Context installs the registry (when present) so the compute stack picks it
+// up; otherwise ctx is returned unchanged and metrics stay disabled.
+func (t *Telemetry) Context(ctx context.Context) context.Context {
+	return metrics.NewContext(ctx, t.Registry)
+}
+
+// Flush finalises all telemetry outputs: stops the CPU profile, writes the
+// heap profile, and writes the metrics snapshot (format chosen by file
+// extension: ".prom" is Prometheus text, anything else JSON). It is
+// idempotent per output — the CPU profile stops only once.
+func (t *Telemetry) Flush() error {
+	var firstErr error
+	if t.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := t.cpuFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cpuprofile: %w", err)
+		}
+		t.cpuFile = nil
+	}
+	if t.memPath != "" {
+		if err := writeHeapProfile(t.memPath); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if t.metricsPath != "" && t.Registry != nil {
+		if err := WriteSnapshotFile(t.metricsPath, t.Registry.Snapshot()); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Exit flushes telemetry and terminates the process. A flush failure turns a
+// success into a failure but never masks an interruption code.
+func (t *Telemetry) Exit(code int) {
+	if err := t.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry:", err)
+		if code == ExitOK {
+			code = ExitFailure
+		}
+	}
+	os.Exit(code)
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialise up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes the snapshot to path, as Prometheus text when the
+// extension is ".prom" and as JSON otherwise.
+func WriteSnapshotFile(path string, s metrics.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if filepath.Ext(path) == ".prom" {
+		err = s.WritePrometheus(f)
+	} else {
+		err = s.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
+)
+
+// TestExitCode pins the exit-code contract over the error shapes the tools
+// actually produce: bare sentinels, wrapped interrupt errors carrying partial
+// results, raw context errors, and ordinary failures.
+func TestExitCode(t *testing.T) {
+	cancelled := interrupt.Rewrap("test: op", context.Canceled, 42)
+	budget := interrupt.Budget("test: op", errors.New("out of conflicts"), nil)
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"plain failure", errors.New("boom"), ExitFailure},
+		{"wrapped failure", fmt.Errorf("outer: %w", errors.New("inner")), ExitFailure},
+		{"cancelled sentinel", interrupt.ErrCancelled, ExitInterrupted},
+		{"budget sentinel", interrupt.ErrBudgetExceeded, ExitInterrupted},
+		{"context.Canceled", context.Canceled, ExitInterrupted},
+		{"context.DeadlineExceeded", context.DeadlineExceeded, ExitInterrupted},
+		{"typed cancelled with partial", cancelled, ExitInterrupted},
+		{"typed budget", budget, ExitInterrupted},
+		{"doubly wrapped interrupt", fmt.Errorf("attack: %w", cancelled), ExitInterrupted},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("%s: ExitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWriteSnapshotFileFormats(t *testing.T) {
+	r := metrics.New()
+	r.Add("c_total", 3)
+	snap := r.Snapshot()
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "out.json")
+	if err := WriteSnapshotFile(jsonPath, snap); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"c_total"`) {
+		t.Errorf("JSON output missing counter:\n%s", data)
+	}
+
+	promPath := filepath.Join(dir, "out.prom")
+	if err := WriteSnapshotFile(promPath, snap); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "bindlock_c_total 3") {
+		t.Errorf("Prometheus output missing sample:\n%s", data)
+	}
+}
+
+func TestTelemetryFlushWritesEverything(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "m.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	tel, err := NewTelemetry(metricsPath, cpuPath, memPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Registry == nil {
+		t.Fatal("registry not created for -metrics run")
+	}
+	ctx := tel.Context(context.Background())
+	if metrics.FromContext(ctx) != tel.Registry {
+		t.Fatal("Context did not install the registry")
+	}
+	if v, ok := tel.Registry.Snapshot().Gauge("process_gomaxprocs"); !ok || v < 1 {
+		t.Errorf("process_gomaxprocs gauge = %v, %v", v, ok)
+	}
+	tel.Registry.Add("work_total", 1)
+	if err := tel.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{metricsPath, cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s not written: %v", filepath.Base(p), err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", filepath.Base(p))
+		}
+	}
+	// Second flush must not restart or double-close the CPU profile.
+	if err := tel.Flush(); err != nil {
+		t.Errorf("second Flush: %v", err)
+	}
+}
+
+func TestTelemetryDisabled(t *testing.T) {
+	tel, err := NewTelemetry("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Registry != nil {
+		t.Error("registry created without -metrics")
+	}
+	ctx := tel.Context(context.Background())
+	if metrics.FromContext(ctx) != nil {
+		t.Error("disabled telemetry installed a registry")
+	}
+	if err := tel.Flush(); err != nil {
+		t.Errorf("disabled Flush: %v", err)
+	}
+}

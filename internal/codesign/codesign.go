@@ -21,6 +21,7 @@ import (
 	"bindlock/internal/dfg"
 	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
+	"bindlock/internal/metrics"
 	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 	"bindlock/internal/sim"
@@ -105,8 +106,12 @@ func (o *Options) configFor(sets [][]int) *locking.Config {
 }
 
 // finalize runs the official obfuscation-aware binder on the winning
-// configuration and packages the result.
-func finalize(g *dfg.Graph, k *sim.KMatrix, o *Options, sets [][]int, enumerated int) (*Result, error) {
+// configuration and packages the result. The binding phase is the one
+// non-enumeration cost of a co-design run, so it gets its own timing.
+func finalize(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o *Options, sets [][]int, enumerated int) (*Result, error) {
+	mreg := metrics.FromContext(ctx)
+	defer mreg.Timer("binding_bind_seconds")()
+	mreg.Add("binding_bind_total", 1)
 	cfg := o.configFor(sets)
 	b, err := (binding.ObfuscationAware{}).Bind(&binding.Problem{
 		G: g, Class: o.Class, NumFUs: o.NumFUs, K: k, Lock: cfg,
@@ -159,6 +164,8 @@ func Optimal(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o Options) (*Res
 
 	hook := progress.FromContext(ctx)
 	progress.Start(hook, "codesign", fmt.Sprintf("optimal over %d combinations", total))
+	mreg := metrics.FromContext(ctx)
+	defer mreg.Timer("codesign_seconds")()
 	ev := newEvaluator(g, k, &o)
 
 	// The combination space shards by top-level (FU 0) combination: one task
@@ -215,11 +222,14 @@ func Optimal(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o Options) (*Res
 			best = st
 		}
 	}
+	mreg.Add("codesign_evaluated_total", int64(enumerated))
 	if perr != nil {
-		return interruptedResult(g, k, &o, best.bestSets, enumerated, "codesign: optimal", perr, hook)
+		// Leaves the interruption cut off: the gap to the planned total.
+		mreg.Add("codesign_pruned_total", int64(total-enumerated))
+		return interruptedResult(ctx, g, k, &o, best.bestSets, enumerated, "codesign: optimal", perr, hook)
 	}
 	progress.End(hook, "codesign", fmt.Sprintf("optimal: %d evaluated", enumerated))
-	return finalize(g, k, &o, best.bestSets, enumerated)
+	return finalize(ctx, g, k, &o, best.bestSets, enumerated)
 }
 
 // subtree is one shard's outcome in the parallel enumerations: the best
@@ -233,7 +243,7 @@ type subtree struct {
 // interruptedResult packages the best-so-far candidate sets of a cancelled
 // enumeration: the partial solution is bound and costed like a final one so
 // callers get a usable configuration, then attached to the typed error.
-func interruptedResult(g *dfg.Graph, k *sim.KMatrix, o *Options, bestSets [][]int, enumerated int, op string, cause error, hook progress.Hook) (*Result, error) {
+func interruptedResult(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o *Options, bestSets [][]int, enumerated int, op string, cause error, hook progress.Hook) (*Result, error) {
 	progress.End(hook, "codesign", fmt.Sprintf("interrupted after %d evaluations", enumerated))
 	any := false
 	for _, s := range bestSets {
@@ -245,7 +255,7 @@ func interruptedResult(g *dfg.Graph, k *sim.KMatrix, o *Options, bestSets [][]in
 	if !any {
 		return nil, interrupt.Rewrap(op, cause, nil)
 	}
-	res, err := finalize(g, k, o, bestSets, enumerated)
+	res, err := finalize(ctx, g, k, o, bestSets, enumerated)
 	if err != nil {
 		return nil, interrupt.Rewrap(op, cause, nil)
 	}
@@ -268,6 +278,8 @@ func Heuristic(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o Options) (*R
 	combos := combinations(len(o.Candidates), o.MintermsPerFU)
 	hook := progress.FromContext(ctx)
 	progress.Start(hook, "codesign", fmt.Sprintf("heuristic over %d combinations per FU", len(combos)))
+	mreg := metrics.FromContext(ctx)
+	defer mreg.Timer("codesign_seconds")()
 	ev := newEvaluator(g, k, &o)
 	sets := make([][]int, o.NumFUs)
 	enumerated := 0
@@ -312,17 +324,21 @@ func Heuristic(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o Options) (*R
 			}
 		}
 		if perr != nil {
+			mreg.Add("codesign_evaluated_total", int64(enumerated))
+			mreg.Add("codesign_pruned_total", int64(len(combos)*o.LockedFUs-enumerated))
 			// Frozen FUs so far plus the interrupted round's best, if any.
 			partial := sets
 			if best.bestSets != nil {
 				partial = best.bestSets
 			}
-			return interruptedResult(g, k, &o, partial, enumerated, "codesign: heuristic", perr, hook)
+			return interruptedResult(ctx, g, k, &o, partial, enumerated, "codesign: heuristic", perr, hook)
 		}
+		mreg.Add("codesign_rounds_total", 1)
 		sets = best.bestSets
 	}
+	mreg.Add("codesign_evaluated_total", int64(enumerated))
 	progress.End(hook, "codesign", fmt.Sprintf("heuristic: %d evaluated", enumerated))
-	return finalize(g, k, &o, sets, enumerated)
+	return finalize(ctx, g, k, &o, sets, enumerated)
 }
 
 // Combinations returns all k-subsets of {0..n-1} in lexicographic order.

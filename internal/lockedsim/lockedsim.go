@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
 
 	"bindlock/internal/binding"
 	"bindlock/internal/dfg"
@@ -101,6 +102,15 @@ func Run(ctx context.Context, g *dfg.Graph, tr *trace.Trace, b *binding.Binding,
 	}
 
 	rep := Report{Samples: tr.Len()}
+	if m := metrics.FromContext(ctx); m != nil {
+		// rep.Samples is reduced to the completed count on interruption, so
+		// the deferred reads cover exactly the work that happened.
+		defer m.Timer("lockedsim_run_seconds")()
+		defer func() {
+			m.Add("lockedsim_samples_total", int64(rep.Samples))
+			m.Add("lockedsim_injections_total", int64(rep.Injections))
+		}()
+	}
 	clean := make([]uint8, len(g.Ops))
 	dirty := make([]uint8, len(g.Ops))
 	for si, sample := range tr.Samples {

@@ -1,0 +1,202 @@
+// Package metrics is the quantitative telemetry layer of the compute stack:
+// a dependency-free, concurrency-safe registry of named counters, gauges and
+// histograms that every long-running computation reports into.
+//
+// Where internal/progress streams qualitative per-phase events, this package
+// aggregates the numbers the logic-locking literature characterises designs
+// by — CDCL conflict/decision/propagation counts, SAT-attack DIP iterations,
+// CNF growth, simulation throughput, co-design enumeration sizes — into a
+// point-in-time Snapshot exportable as JSON or Prometheus text exposition.
+//
+// A Registry travels inside a context.Context (NewContext/FromContext), the
+// same way progress hooks do, so the compute packages need no new parameters:
+// each retrieves the registry from the ctx it already takes for cancellation
+// and emits through the nil-safe methods. Every method on a nil *Registry is
+// a no-op, so uninstrumented runs pay only a nil check per emission site.
+//
+// Determinism. The repository guarantees bit-identical computation at any
+// worker count, and the counter layer extends that guarantee: every counter
+// and every non-timing histogram in a Snapshot is identical between a -j 1
+// and a -j N run of the same work. Wall-time histograms (names ending in
+// "_seconds") and the worker pool's own dispatch metrics ("parallel_*", whose
+// task shapes legitimately depend on the worker count) are the only
+// exceptions; Snapshot.Deterministic strips exactly those, and the
+// determinism tests compare what remains byte for byte.
+package metrics
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is a concurrency-safe collection of named metrics. The zero value
+// is not usable; call New. A nil *Registry is valid and ignores all writes.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*hist
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*hist{},
+	}
+}
+
+// Add increments the named counter by delta. Counters are monotone event
+// totals ("sat_conflicts_total"); use Set for point-in-time values.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set records the named gauge's current value, replacing the previous one.
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe records one observation into the named histogram. Bucket bounds are
+// chosen from the name on first use: "*_seconds" histograms get latency
+// buckets (1µs..60s), everything else gets power-of-two value buckets.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHist(boundsFor(name))
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// ObserveDuration records a duration, in seconds, into the named histogram.
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.Observe(name, d.Seconds())
+}
+
+var noopStop = func() {}
+
+// Timer starts a stopwatch; the returned func records the elapsed time into
+// the named "*_seconds" histogram. On a nil registry it is a shared no-op and
+// the clock is never read.
+func (r *Registry) Timer(name string) func() {
+	if r == nil {
+		return noopStop
+	}
+	start := time.Now()
+	return func() { r.ObserveDuration(name, time.Since(start)) }
+}
+
+// Snapshot captures a point-in-time copy of every metric, sorted by name, so
+// two snapshots of identical registries serialise identically.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	for name, v := range r.counters {
+		s.Counters = append(s.Counters, Counter{Name: name, Value: v})
+	}
+	for name, v := range r.gauges {
+		s.Gauges = append(s.Gauges, Gauge{Name: name, Value: v})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.export(name))
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// hist is a fixed-bucket histogram. Buckets[i] counts observations with
+// v <= bounds[i]; the implicit last bucket (+Inf) catches the rest.
+type hist struct {
+	bounds  []float64
+	buckets []uint64 // len(bounds)+1; non-cumulative
+	count   uint64
+	sum     float64
+}
+
+func newHist(bounds []float64) *hist {
+	return &hist{bounds: bounds, buckets: make([]uint64, len(bounds)+1)}
+}
+
+func (h *hist) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+}
+
+func (h *hist) export(name string) Histogram {
+	return Histogram{
+		Name:    name,
+		Count:   h.count,
+		Sum:     h.sum,
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: append([]uint64(nil), h.buckets...),
+	}
+}
+
+// timeBounds are the upper bucket bounds, in seconds, of "*_seconds"
+// histograms: 1µs to 1min in decades with a 2.5/5 split around the
+// millisecond-to-second range the SAT attack lives in.
+var timeBounds = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 2.5e-2, 1e-1, 5e-1, 1, 5, 30, 60,
+}
+
+// valueBounds are the upper bucket bounds of value histograms (iteration
+// counts, sizes): powers of two up to 2^16.
+var valueBounds = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+}
+
+func boundsFor(name string) []float64 {
+	if strings.HasSuffix(name, "_seconds") {
+		return timeBounds
+	}
+	return valueBounds
+}
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the registry. A nil registry returns
+// ctx unchanged.
+func NewContext(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext extracts the context's registry, or nil when none is installed
+// (every Registry method tolerates the nil).
+func FromContext(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}

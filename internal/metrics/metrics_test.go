@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	r := New()
+	r.Add("b_total", 2)
+	r.Add("a_total", 1)
+	r.Add("a_total", 4)
+	r.Set("g", 3.5)
+	r.Set("g", 7.25)
+	r.Observe("iters", 3)
+	r.Observe("iters", 100)
+	r.ObserveDuration("solve_seconds", 2*time.Millisecond)
+
+	s := r.Snapshot()
+	if v, ok := s.Counter("a_total"); !ok || v != 5 {
+		t.Errorf("a_total = %d, %v; want 5, true", v, ok)
+	}
+	if v, ok := s.Gauge("g"); !ok || v != 7.25 {
+		t.Errorf("g = %v, %v; want 7.25 (last write wins)", v, ok)
+	}
+	h, ok := s.Histogram("iters")
+	if !ok || h.Count != 2 || h.Sum != 103 {
+		t.Fatalf("iters histogram = %+v, %v; want count 2 sum 103", h, ok)
+	}
+	// 3 lands in the <=4 bucket, 100 in the <=128 bucket of the value bounds.
+	if got := h.Buckets[2]; got != 1 {
+		t.Errorf("bucket le=4 = %d, want 1", got)
+	}
+	hs, ok := s.Histogram("solve_seconds")
+	if !ok || hs.Count != 1 {
+		t.Fatalf("solve_seconds missing")
+	}
+	if !reflect.DeepEqual(hs.Bounds, timeBounds) {
+		t.Errorf("_seconds histogram got value bounds %v", hs.Bounds)
+	}
+	// Sections are sorted by name.
+	if s.Counters[0].Name != "a_total" || s.Counters[1].Name != "b_total" {
+		t.Errorf("counters not sorted: %+v", s.Counters)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Add("c", 1)
+	r.Set("g", 1)
+	r.Observe("h", 1)
+	r.ObserveDuration("h_seconds", time.Second)
+	r.Timer("t_seconds")()
+	if s := r.Snapshot(); !s.Empty() {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded a registry")
+	}
+	if FromContext(nil) != nil { //nolint:staticcheck // nil ctx tolerated by design
+		t.Fatal("nil context yielded a registry")
+	}
+	r := New()
+	ctx := NewContext(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Fatal("registry did not round-trip through the context")
+	}
+	if NewContext(ctx, nil) != ctx {
+		t.Fatal("NewContext(nil) should return ctx unchanged")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := New()
+	r.Add("c_total", 3)
+	r.Observe("iters", 2)
+	before := r.Snapshot()
+	r.Add("c_total", 4)
+	r.Add("new_total", 1)
+	r.Observe("iters", 5)
+	r.Set("g", 9)
+	d := r.Snapshot().Diff(before)
+	if v, _ := d.Counter("c_total"); v != 4 {
+		t.Errorf("diff c_total = %d, want 4", v)
+	}
+	if v, _ := d.Counter("new_total"); v != 1 {
+		t.Errorf("diff new_total = %d, want 1", v)
+	}
+	h, _ := d.Histogram("iters")
+	if h.Count != 1 || h.Sum != 5 {
+		t.Errorf("diff iters = count %d sum %v, want 1, 5", h.Count, h.Sum)
+	}
+	if v, ok := d.Gauge("g"); !ok || v != 9 {
+		t.Errorf("diff gauge g = %v, %v; want current value 9", v, ok)
+	}
+}
+
+func TestDeterministicFiltering(t *testing.T) {
+	r := New()
+	r.Add("sat_conflicts_total", 10)
+	r.Add("parallel_tasks_total", 4)
+	r.Set("design_ops", 12)
+	r.Observe("satattack_dip_iterations", 6)
+	r.ObserveDuration("sat_solve_seconds", time.Millisecond)
+	r.ObserveDuration("parallel_queue_wait_seconds", time.Microsecond)
+
+	d := r.Snapshot().Deterministic()
+	if len(d.Counters) != 1 || d.Counters[0].Name != "sat_conflicts_total" {
+		t.Errorf("deterministic counters = %+v", d.Counters)
+	}
+	if len(d.Gauges) != 0 {
+		t.Errorf("gauges survived Deterministic: %+v", d.Gauges)
+	}
+	if len(d.Histograms) != 1 || d.Histograms[0].Name != "satattack_dip_iterations" {
+		t.Errorf("deterministic histograms = %+v", d.Histograms)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Add("c_total", 1)
+	r.Observe("h", 2)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if v, ok := back.Counter("c_total"); !ok || v != 1 {
+		t.Errorf("round-trip lost c_total: %+v", back)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Add("sat_conflicts_total", 42)
+	r.Set("design_ops", 7)
+	r.Observe("iters", 3)
+	r.Observe("iters", 3)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE bindlock_sat_conflicts_total counter",
+		"bindlock_sat_conflicts_total 42",
+		"# TYPE bindlock_design_ops gauge",
+		"bindlock_design_ops 7",
+		"# TYPE bindlock_iters histogram",
+		`bindlock_iters_bucket{le="4"} 2`,
+		`bindlock_iters_bucket{le="+Inf"} 2`,
+		"bindlock_iters_sum 6",
+		"bindlock_iters_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: every later bucket >= the le="4" one.
+	if strings.Contains(out, `bindlock_iters_bucket{le="65536"} 0`) {
+		t.Errorf("buckets not accumulated:\n%s", out)
+	}
+}
+
+func TestPromFloatSpecials(t *testing.T) {
+	for v, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+		2:            "2",
+	} {
+		if got := promFloat(v); got != want {
+			t.Errorf("promFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := promFloat(math.NaN()); got != "NaN" {
+		t.Errorf("promFloat(NaN) = %q", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines — writers
+// on all three metric types plus concurrent snapshotters — so `make race`
+// verifies the locking. Final counter totals are asserted exactly.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Add("shared_total", 1)
+				r.Set("gauge", float64(g))
+				r.Observe("values", float64(i%100))
+				r.ObserveDuration("lat_seconds", time.Duration(i)*time.Microsecond)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if v, _ := s.Counter("shared_total"); v != goroutines*perG {
+		t.Errorf("shared_total = %d, want %d", v, goroutines*perG)
+	}
+	h, _ := s.Histogram("values")
+	if h.Count != goroutines*perG {
+		t.Errorf("values count = %d, want %d", h.Count, goroutines*perG)
+	}
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Counter is one snapshotted counter.
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Gauge is one snapshotted gauge.
+type Gauge struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Histogram is one snapshotted histogram. Buckets[i] counts observations with
+// value <= Bounds[i]; Buckets[len(Bounds)] is the +Inf overflow bucket.
+// Buckets are non-cumulative; the Prometheus exporter accumulates them.
+type Histogram struct {
+	Name    string    `json:"name"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry, each section sorted by
+// metric name. Identical registries produce byte-identical serialisations.
+type Snapshot struct {
+	Counters   []Counter   `json:"counters"`
+	Gauges     []Gauge     `json:"gauges"`
+	Histograms []Histogram `json:"histograms"`
+}
+
+// Empty reports whether the snapshot holds no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Counter returns the named counter's value, or (0, false) when absent.
+func (s Snapshot) Counter(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge's value, or (0, false) when absent.
+func (s Snapshot) Gauge(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram, or (zero, false) when absent.
+func (s Snapshot) Histogram(name string) (Histogram, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return Histogram{}, false
+}
+
+// Diff returns the change from prev to s: counters and histogram counts
+// subtract (metrics absent from prev diff against zero), gauges keep their
+// current value. Both snapshots must come from the same registry or at least
+// agree on histogram bucket bounds.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{}
+	for _, c := range s.Counters {
+		pv, _ := prev.Counter(c.Name)
+		d.Counters = append(d.Counters, Counter{Name: c.Name, Value: c.Value - pv})
+	}
+	d.Gauges = append(d.Gauges, s.Gauges...)
+	for _, h := range s.Histograms {
+		ph, ok := prev.Histogram(h.Name)
+		dh := Histogram{
+			Name:    h.Name,
+			Count:   h.Count,
+			Sum:     h.Sum,
+			Bounds:  append([]float64(nil), h.Bounds...),
+			Buckets: append([]uint64(nil), h.Buckets...),
+		}
+		if ok {
+			dh.Count -= ph.Count
+			dh.Sum -= ph.Sum
+			for i := range dh.Buckets {
+				dh.Buckets[i] -= ph.Buckets[i]
+			}
+		}
+		d.Histograms = append(d.Histograms, dh)
+	}
+	return d
+}
+
+// Deterministic returns the subset of the snapshot the repository's
+// determinism guarantee covers: all counters, all non-timing histograms, and
+// no gauges. Dropped are "*_seconds" histograms (wall time varies run to
+// run), "parallel_*" metrics (the pool's task shapes depend on the worker
+// count by construction), and gauges (point-in-time values whose last writer
+// is schedule-dependent under parallel sweeps). What remains is byte-identical
+// between -j 1 and -j N runs of the same computation.
+func (s Snapshot) Deterministic() Snapshot {
+	d := Snapshot{}
+	for _, c := range s.Counters {
+		if strings.HasPrefix(c.Name, "parallel_") {
+			continue
+		}
+		d.Counters = append(d.Counters, c)
+	}
+	for _, h := range s.Histograms {
+		if strings.HasSuffix(h.Name, "_seconds") || strings.HasPrefix(h.Name, "parallel_") {
+			continue
+		}
+		d.Histograms = append(d.Histograms, h)
+	}
+	return d
+}
+
+// WriteJSON serialises the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// promPrefix namespaces every exported metric family.
+const promPrefix = "bindlock_"
+
+// WritePrometheus serialises the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative _bucket/_sum/_count families, all prefixed "bindlock_".
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		fmt.Fprintf(bw, "# TYPE %s%s counter\n", promPrefix, c.Name)
+		fmt.Fprintf(bw, "%s%s %d\n", promPrefix, c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(bw, "# TYPE %s%s gauge\n", promPrefix, g.Name)
+		fmt.Fprintf(bw, "%s%s %s\n", promPrefix, g.Name, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(bw, "# TYPE %s%s histogram\n", promPrefix, h.Name)
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(bw, "%s%s_bucket{le=%q} %d\n", promPrefix, h.Name, promFloat(bound), cum)
+		}
+		fmt.Fprintf(bw, "%s%s_bucket{le=\"+Inf\"} %d\n", promPrefix, h.Name, h.Count)
+		fmt.Fprintf(bw, "%s%s_sum %s\n", promPrefix, h.Name, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s%s_count %d\n", promPrefix, h.Name, h.Count)
+	}
+	return bw.Flush()
+}
+
+// promFloat renders a float the way Prometheus expects (no exponent for
+// integral values, "+Inf"/"-Inf"/"NaN" specials).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -25,8 +25,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
 )
 
 // ctxKey carries the worker-count setting inside a context.Context, the same
@@ -98,12 +100,18 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	if w > n {
 		w = n
 	}
+	// parallel_* metrics are pool-shape telemetry, deliberately outside the
+	// determinism guarantee: the sequential fast path never queues, and task
+	// counts at fan-out points can depend on w. Snapshot.Deterministic strips
+	// them.
+	m := metrics.FromContext(ctx)
 	if w <= 1 {
 		// Sequential fast path: exact sequential semantics, no goroutines.
 		for i := 0; i < n; i++ {
 			if cerr := interrupt.Check(ctx, mapOp, nil); cerr != nil {
 				return out, done, cerr
 			}
+			m.Add("parallel_tasks_total", 1)
 			v, ferr := fn(ctx, i)
 			if ferr != nil {
 				return out, done, ferr
@@ -114,6 +122,10 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 		return out, done, nil
 	}
 
+	var dispatchStart time.Time
+	if m != nil {
+		dispatchStart = time.Now()
+	}
 	runCtx, abort := context.WithCancelCause(ctx)
 	defer abort(nil)
 	errs := make([]error, n)
@@ -134,6 +146,12 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				if m != nil {
+					m.Add("parallel_tasks_total", 1)
+					// Queue wait: how long the task sat behind earlier tasks
+					// before a worker picked it up.
+					m.ObserveDuration("parallel_queue_wait_seconds", time.Since(dispatchStart))
 				}
 				v, ferr := fn(runCtx, i)
 				if ferr != nil {

@@ -3,7 +3,6 @@ package rtl
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 
 	"bindlock/internal/binding"
 	"bindlock/internal/dfg"
@@ -45,8 +44,7 @@ func OptimizePorts(g *dfg.Graph, b *binding.Binding, res *sim.Result) (Orientati
 	orient := Orientation{}
 	samples := len(res.OperandAB)
 	for fu := 0; fu < b.NumFUs; fu++ {
-		ops := b.OpsOnFU(fu)
-		sort.Slice(ops, func(i, j int) bool { return g.Ops[ops[i]].Cycle < g.Ops[ops[j]].Cycle })
+		ops := opsByCycle(g, b, fu)
 		prev := dfg.None
 		for _, op := range ops {
 			if prev == dfg.None || !g.Ops[op].Kind.Commutative() {
@@ -79,7 +77,8 @@ func MeasureOriented(g *dfg.Graph, bindings map[dfg.Class]*binding.Binding,
 	var m Metrics
 	totalToggles := 0
 	totalTransitions := 0
-	for class, b := range bindings {
+	for _, class := range sortedClasses(bindings) {
+		b := bindings[class]
 		if b == nil {
 			continue
 		}

@@ -50,7 +50,8 @@ func Measure(g *dfg.Graph, bindings map[dfg.Class]*binding.Binding, res *sim.Res
 	var m Metrics
 	totalToggles := 0
 	totalTransitions := 0
-	for class, b := range bindings {
+	for _, class := range sortedClasses(bindings) {
+		b := bindings[class]
 		if b == nil {
 			continue
 		}
@@ -79,8 +80,31 @@ func Measure(g *dfg.Graph, bindings map[dfg.Class]*binding.Binding, res *sim.Res
 // opsByCycle returns the ops bound to fu in schedule order.
 func opsByCycle(g *dfg.Graph, b *binding.Binding, fu int) []dfg.OpID {
 	ops := b.OpsOnFU(fu)
-	sort.Slice(ops, func(i, j int) bool { return g.Ops[ops[i]].Cycle < g.Ops[ops[j]].Cycle })
+	sortOpsByCycle(g, ops)
 	return ops
+}
+
+// sortOpsByCycle orders ops by schedule cycle, breaking cycle ties by op ID.
+// The tie-breaker makes the order total, so measurement and emission do not
+// depend on the input permutation under Go's unstable sort.
+func sortOpsByCycle(g *dfg.Graph, ops []dfg.OpID) {
+	sort.Slice(ops, func(i, j int) bool {
+		if g.Ops[ops[i]].Cycle != g.Ops[ops[j]].Cycle {
+			return g.Ops[ops[i]].Cycle < g.Ops[ops[j]].Cycle
+		}
+		return ops[i] < ops[j]
+	})
+}
+
+// sortedClasses returns the binding map's keys in ascending class order so
+// iteration does not follow Go's randomised map order.
+func sortedClasses(bindings map[dfg.Class]*binding.Binding) []dfg.Class {
+	classes := make([]dfg.Class, 0, len(bindings))
+	for class := range bindings {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	return classes
 }
 
 // portCosts computes the register and mux-input cost of FU fu's two ports.

@@ -2,6 +2,8 @@ package rtl
 
 import (
 	"context"
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -230,5 +232,37 @@ y = t3;
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSortOpsByCycleTotalOrder pins the tie-breaker: ops sharing a cycle are
+// ordered by ID, so any input permutation sorts to the same sequence even
+// under Go's unstable sort.
+func TestSortOpsByCycleTotalOrder(t *testing.T) {
+	g := dfg.New("ties")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	var ids []dfg.OpID
+	for i := 0; i < 8; i++ {
+		id := g.AddBinary(dfg.Add, a, b)
+		g.Ops[id].Cycle = 1 + i/2 // pairs of ops share a cycle
+		ids = append(ids, id)
+	}
+	want := append([]dfg.OpID(nil), ids...)
+	sortOpsByCycle(g, want)
+	for i := 1; i < len(want); i++ {
+		pc, cc := g.Ops[want[i-1]].Cycle, g.Ops[want[i]].Cycle
+		if pc > cc || (pc == cc && want[i-1] >= want[i]) {
+			t.Fatalf("not a (cycle, id) order at %d: %v", i, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		perm := append([]dfg.OpID(nil), ids...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		sortOpsByCycle(g, perm)
+		if !reflect.DeepEqual(perm, want) {
+			t.Fatalf("trial %d: sorted %v, want %v", trial, perm, want)
+		}
 	}
 }

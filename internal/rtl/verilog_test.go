@@ -144,6 +144,61 @@ func TestWriteVerilogValidation(t *testing.T) {
 	}
 }
 
+func TestVerilogCounterWidth(t *testing.T) {
+	// The cycle counter is sized from the schedule span. A span of 70000
+	// needs 17 bits to hold the done state 70001; the previous hardcoded
+	// 16-bit register wrapped before ever asserting done.
+	g := dfg.New("wide")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	s1 := g.AddBinary(dfg.Add, a, b)
+	g.AddOutput("y", s1)
+	g.Ops[s1].Cycle = 70000
+	bd := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{s1: 0}}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: bd}); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "reg [16:0] cnt") {
+		t.Error("counter not widened to 17 bits for a 70000-cycle span")
+	}
+	if !strings.Contains(v, "17'd70001") {
+		t.Error("done comparison not rendered at the widened literal width")
+	}
+	if strings.Contains(v, "16'd") {
+		t.Error("stale 16-bit literals remain in the emitted RTL")
+	}
+}
+
+func TestVerilogCounterWidthSmallSpan(t *testing.T) {
+	// A 3-cycle schedule only needs a 3-bit counter (holds 4 = done).
+	g := dfg.New("small")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	s1 := g.AddBinary(dfg.Add, a, b)
+	s2 := g.AddBinary(dfg.Add, s1, b)
+	s3 := g.AddBinary(dfg.Add, s2, a)
+	g.AddOutput("y", s3)
+	g.Ops[s1].Cycle = 1
+	g.Ops[s2].Cycle = 2
+	g.Ops[s3].Cycle = 3
+	bd := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{
+		s1: 0, s2: 0, s3: 0,
+	}}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, g, map[dfg.Class]*binding.Binding{dfg.ClassAdd: bd}); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "reg [2:0] cnt") {
+		t.Error("counter not sized down to 3 bits for a 3-cycle span")
+	}
+	if !strings.Contains(v, "3'd4") {
+		t.Error("done comparison missing at 3-bit width")
+	}
+}
+
 func TestVerilogDeterministic(t *testing.T) {
 	b, _ := mediabench.ByName("jdmerge3")
 	p, err := b.Prepare(context.Background(), 3, 16, 2)

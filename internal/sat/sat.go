@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
 	"bindlock/internal/progress"
 )
 
@@ -116,6 +117,10 @@ func NewSolver() *Solver {
 
 // NumVars returns the number of variables created so far.
 func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NumClauses returns the number of clauses attached so far — problem plus
+// learned, including clauses since deleted by reduceDB (the slice only grows).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
@@ -401,28 +406,42 @@ func (s *Solver) locked(ci int32) bool {
 // activity first, keeping binary and locked clauses. Watches are cleaned
 // lazily by propagate.
 func (s *Solver) reduceDB() {
-	type cand struct {
-		idx int32
-		act float64
-	}
-	var cands []cand
+	var cands []reduceCand
 	for i := s.learntAt; i < len(s.clauses); i++ {
 		ci := int32(i)
 		if s.removed[i] || len(s.clauses[i]) <= 2 || s.locked(ci) {
 			continue
 		}
-		cands = append(cands, cand{ci, s.claAct[i]})
+		cands = append(cands, reduceCand{ci, s.claAct[i]})
 	}
 	if len(cands) < 2 {
 		return
 	}
 	// Remove the lower-activity half.
-	sort.Slice(cands, func(i, j int) bool { return cands[i].act < cands[j].act })
+	reduceOrder(cands)
 	for _, c := range cands[:len(cands)/2] {
 		s.removed[c.idx] = true
 		s.clauses[c.idx] = nil
 		s.learnts--
 	}
+}
+
+// reduceCand is a clause-deletion candidate considered by reduceDB.
+type reduceCand struct {
+	idx int32
+	act float64
+}
+
+// reduceOrder sorts deletion candidates into ascending activity, breaking
+// activity ties by clause index: a total order, so which clauses fall in the
+// deleted half depends only on the inputs, not on the sort implementation.
+func reduceOrder(cands []reduceCand) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].act != cands[j].act {
+			return cands[i].act < cands[j].act
+		}
+		return cands[i].idx < cands[j].idx
+	})
 }
 
 // pickBranch selects the unassigned variable with highest activity.
@@ -483,6 +502,24 @@ const ctxCheckInterval = 2048
 func (s *Solver) Solve(ctx context.Context) (bool, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if m := metrics.FromContext(ctx); m != nil {
+		// Solver counters are cumulative across Solve calls on a reused
+		// solver (the attack loop re-solves one growing formula), so the
+		// registry records per-call deltas.
+		stop := m.Timer("sat_solve_seconds")
+		before := s.Stats()
+		learnedBefore := len(s.clauses) - s.learntAt
+		defer func() {
+			stop()
+			after := s.Stats()
+			m.Add("sat_solve_total", 1)
+			m.Add("sat_conflicts_total", after.Conflicts-before.Conflicts)
+			m.Add("sat_decisions_total", after.Decisions-before.Decisions)
+			m.Add("sat_propagations_total", after.Propagations-before.Propagations)
+			m.Add("sat_restarts_total", after.Restarts-before.Restarts)
+			m.Add("sat_learned_clauses_total", int64(len(s.clauses)-s.learntAt-learnedBefore))
+		}()
 	}
 	if !s.ok {
 		return false, nil

@@ -579,3 +579,28 @@ func TestReduceDBPreservesSATAnswers(t *testing.T) {
 		}
 	}
 }
+
+// TestReduceOrderTotalOrder pins reduceDB's deletion order: ascending
+// activity with the clause index breaking ties, so which clauses fall in the
+// deleted half depends only on the inputs, not the sort implementation or
+// the input permutation.
+func TestReduceOrderTotalOrder(t *testing.T) {
+	base := []reduceCand{
+		{idx: 9, act: 0.5},
+		{idx: 1, act: 1},
+		{idx: 3, act: 1},
+		{idx: 7, act: 1},
+		{idx: 2, act: 2},
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		cands := append([]reduceCand(nil), base...)
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		reduceOrder(cands)
+		for i, want := range base {
+			if cands[i] != want {
+				t.Fatalf("trial %d: order[%d] = %+v, want %+v", trial, i, cands[i], want)
+			}
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"bindlock/internal/cnf"
 	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
 	"bindlock/internal/netlist"
 	"bindlock/internal/progress"
 )
@@ -95,6 +96,8 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	progress.Start(hook, "attack", locked.Name)
 	start := time.Now()
 
+	mreg := metrics.FromContext(ctx)
+
 	// Miter solver: two key copies over shared inputs, outputs forced to
 	// differ somewhere.
 	me := cnf.NewEncoder()
@@ -125,6 +128,16 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	keyVars := ke.FreshVars(len(locked.Keys))
 
 	res := &Result{}
+	// End-of-attack telemetry on every return path, completed or interrupted:
+	// the miter encoder's final CNF size and the DIP count are deterministic
+	// for a given circuit, so they land in the registry's deterministic
+	// subset. All methods tolerate a nil registry.
+	defer func() {
+		mreg.Add("satattack_attacks_total", 1)
+		mreg.Add("satattack_cnf_vars_total", int64(me.S.NumVars()))
+		mreg.Add("satattack_cnf_clauses_total", int64(me.S.NumClauses()))
+		mreg.Observe("satattack_dip_iterations", float64(res.Iterations))
+	}()
 	// interrupted finalises an interruption: it stamps the duration,
 	// extracts the best-so-far key guess from the accumulated constraints,
 	// and rewraps the cause with the attack-level partial result.
@@ -138,7 +151,9 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 		if cerr := interrupt.Check(ctx, attackOp, nil); cerr != nil {
 			return interrupted(cerr)
 		}
+		stopIter := mreg.Timer("satattack_iteration_seconds")
 		found, err := me.S.Solve(ctx)
+		stopIter()
 		if err != nil {
 			if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
 				return interrupted(err)
@@ -149,6 +164,7 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 			break // no more DIPs: key space collapsed to correct classes
 		}
 		res.Iterations++
+		mreg.Add("satattack_dips_total", 1)
 		progress.Emit(hook, progress.Event{
 			Kind: progress.Step, Phase: "attack",
 			Done: res.Iterations, Total: maxIter, Detail: "DIP",
@@ -163,6 +179,7 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 		if err != nil {
 			return nil, fmt.Errorf("satattack: oracle query: %w", err)
 		}
+		mreg.Add("satattack_oracle_queries_total", 1)
 
 		// Constrain both miter key copies and the key solver with the
 		// observed I/O behaviour.

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"bindlock/internal/dfg"
 	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
 	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 	"bindlock/internal/trace"
@@ -90,6 +92,16 @@ func (k *KMatrix) OpMinterms(n dfg.OpID) []dfg.Minterm {
 	}
 	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
 	return ms
+}
+
+// NumMinterms returns the total number of distinct (operation, minterm)
+// entries recorded in the matrix — the K matrix's support size.
+func (k *KMatrix) NumMinterms() int {
+	total := 0
+	for _, counts := range k.perOp {
+		total += len(counts)
+	}
+	return total
 }
 
 // MintermCount is a minterm with an aggregate occurrence count.
@@ -245,6 +257,22 @@ func RunN(ctx context.Context, g *dfg.Graph, tr *trace.Trace, workers int) (*Res
 		K:         k,
 		Vals:      make([][]uint8, tr.Len()),
 		OperandAB: make([][]dfg.Minterm, tr.Len()),
+	}
+
+	if m := metrics.FromContext(ctx); m != nil {
+		start := time.Now()
+		// res.Vals is truncated to the completed prefix on interruption, so
+		// the deferred read counts exactly the samples that ran.
+		defer func() {
+			elapsed := time.Since(start)
+			m.ObserveDuration("sim_run_seconds", elapsed)
+			n := len(res.Vals)
+			m.Add("sim_samples_total", int64(n))
+			m.Add("sim_kmatrix_minterms_total", int64(res.K.NumMinterms()))
+			if sec := elapsed.Seconds(); sec > 0 {
+				m.Set("sim_samples_per_second", float64(n)/sec)
+			}
+		}()
 	}
 
 	w := parallel.Workers(ctx, workers)

@@ -1,0 +1,65 @@
+package bindlock
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestMetricsDeterministicAcrossWorkers pins the -j determinism contract on
+// the instrumented flow: the deterministic subset of the metrics snapshot
+// (counters and value histograms, minus the parallel-dispatch metrics) is
+// byte-identical whether the same work runs on 1 worker or 8.
+func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(jobs int) ([]byte, MetricsSnapshot) {
+		r := NewMetricsRegistry()
+		ctx := WithParallelismContext(context.Background(), jobs)
+		d, err := PrepareBenchmark(ctx, "fir",
+			WithMaxFUs(3), WithSamples(200), WithSeed(1), WithMetrics(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx = WithMetricsContext(ctx, r)
+		cands := d.Candidates(ClassAdd, 6)
+		if len(cands) == 0 {
+			t.Fatal("no candidates")
+		}
+		if _, err := d.CoDesign(ctx, ClassAdd, 1, 2, cands); err != nil {
+			t.Fatal(err)
+		}
+		snap := r.Snapshot()
+		var buf bytes.Buffer
+		if err := snap.Deterministic().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), snap
+	}
+
+	seq, seqSnap := run(1)
+	par, parSnap := run(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("deterministic snapshots differ between -j 1 and -j 8:\n-j 1:\n%s\n-j 8:\n%s", seq, par)
+	}
+
+	// The subset must actually contain the flow's counters, not be vacuously
+	// equal because instrumentation silently stopped recording.
+	for _, name := range []string{
+		"frontend_compile_total", "sched_schedule_total",
+		"codesign_evaluated_total", "binding_bind_total", "sim_samples_total",
+	} {
+		if _, ok := seqSnap.Counter(name); !ok {
+			continue // not every counter exists on every flow shape
+		}
+		a, _ := seqSnap.Counter(name)
+		b, _ := parSnap.Counter(name)
+		if a != b {
+			t.Errorf("counter %s: %d at -j 1, %d at -j 8", name, a, b)
+		}
+	}
+	if v, ok := seqSnap.Counter("codesign_evaluated_total"); !ok || v == 0 {
+		t.Errorf("codesign_evaluated_total = %d, %v; instrumentation missing", v, ok)
+	}
+	if v, ok := seqSnap.Counter("sim_samples_total"); !ok || v == 0 {
+		t.Errorf("sim_samples_total = %d, %v; instrumentation missing", v, ok)
+	}
+}
