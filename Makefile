@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci figures bench cover profile clean
+.PHONY: all build test race vet fmt ci figures bench cover profile fuzz chaos clean
 
 all: build
 
@@ -23,7 +23,23 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race
+ci: fmt vet build race fuzz
+
+# fuzz gives each native fuzz target a short budget — enough to shake out
+# parser regressions on every CI run; longer campaigns run the same targets
+# with a bigger -fuzztime by hand.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/frontend -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sat -run '^$$' -fuzz FuzzParseDIMACS -fuzztime $(FUZZTIME)
+
+# chaos runs the full tier-1 suite under a randomized-seed fault plan
+# (picked up by the chaos-aware tests via BINDLOCK_CHAOS_SEED). The suite
+# must stay green: faults are injected, retried, voted away — never fatal.
+chaos:
+	@seed=$${BINDLOCK_CHAOS_SEED:-$$(date +%s)}; \
+	echo "chaos seed: $$seed"; \
+	BINDLOCK_CHAOS_SEED=$$seed $(GO) test -count=1 ./...
 
 figures:
 	$(GO) run ./cmd/figures -fig all

@@ -60,6 +60,7 @@ import (
 	"bindlock/internal/codesign"
 	"bindlock/internal/dfg"
 	"bindlock/internal/elaborate"
+	"bindlock/internal/fault"
 	"bindlock/internal/frontend"
 	"bindlock/internal/interrupt"
 	"bindlock/internal/lockedsim"
@@ -167,6 +168,56 @@ type (
 	// exportable as JSON or Prometheus text.
 	MetricsSnapshot = metrics.Snapshot
 )
+
+// Robustness surface, re-exported from internal/fault and
+// internal/satattack (see DESIGN.md, "Robustness & fault model").
+type (
+	// FaultPlan is a declarative, seed-deterministic fault-injection
+	// schedule: oracle transients, per-bit output flips, latency spikes,
+	// hard outage windows and named infrastructure fail-points. The zero
+	// value injects nothing.
+	FaultPlan = fault.Plan
+	// FaultInjector realises a FaultPlan. Every fault is a pure function of
+	// (seed, call index), so schedules replay exactly and survive
+	// checkpoint resume via Seek.
+	FaultInjector = fault.Injector
+	// RetryPolicy tunes per-oracle-query retry: attempt budget and
+	// exponential backoff with seeded jitter.
+	RetryPolicy = satattack.RetryPolicy
+	// AttackCheckpoint is a saved SAT-attack oracle transcript (DIPs,
+	// answers, counters); Attack resumes from it bit-identically.
+	AttackCheckpoint = satattack.Checkpoint
+)
+
+// ErrOracleUnavailable marks an oracle query that failed even after its
+// retry policy was exhausted (including vote splits below quorum).
+var ErrOracleUnavailable = satattack.ErrOracleUnavailable
+
+// ParseFaultPlan reads a fault-plan spec of comma-separated key=value
+// fields, e.g. "seed=42,transient=0.1,bitflip=0.01,fail:sat.solve=50".
+// An empty spec is the zero plan.
+func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.Parse(spec) }
+
+// NewFaultInjector returns an injector realising the plan.
+func NewFaultInjector(p FaultPlan) *FaultInjector { return fault.New(p) }
+
+// WithFaultPlanContext returns a context carrying an injector for the plan;
+// fail-point sites downstream (the SAT solver's "sat.solve", the workload
+// simulator's "sim.run") consult it. The injector counts its faults in the
+// context's metrics registry, so attach metrics first. A zero plan returns
+// ctx unchanged.
+func WithFaultPlanContext(ctx context.Context, p FaultPlan) context.Context {
+	if p.Zero() {
+		return ctx
+	}
+	return fault.NewContext(ctx, fault.New(p).WithRegistry(metrics.FromContext(ctx)))
+}
+
+// LoadAttackCheckpoint reads and validates a checkpoint written by a
+// checkpointing attack (WithCheckpoint, or cmd/satattack -checkpoint).
+func LoadAttackCheckpoint(path string) (*AttackCheckpoint, error) {
+	return satattack.LoadCheckpoint(path)
+}
 
 // NewMetricsRegistry returns an empty metrics registry. Attach it with
 // WithMetrics (prepare flow) or WithMetricsContext (any context-aware call)
@@ -561,6 +612,50 @@ func (d *Design) Elaborate(bindings map[Class]*Binding, cfg *LockConfig) (*Elabo
 	return elaborate.Design(d.G, bindings, cfg)
 }
 
+// AttackOption configures the SAT-attack run of LockAndAttack.
+type AttackOption func(*attackConfig)
+
+type attackConfig struct {
+	opts       satattack.Options
+	plan       FaultPlan
+	resumePath string
+}
+
+// WithAttackRetry makes every oracle query resilient: up to
+// p.MaxAttempts tries with exponential backoff and seeded jitter before the
+// query fails with an error matching ErrOracleUnavailable.
+func WithAttackRetry(p RetryPolicy) AttackOption {
+	return func(c *attackConfig) { c.opts.Retry = p }
+}
+
+// WithAttackVoting answers each DIP by majority vote over `votes` oracle
+// queries; each output bit needs at least `quorum` agreeing votes (0: simple
+// majority). Voting absorbs bit-flip noise a single query would swallow.
+func WithAttackVoting(votes, quorum int) AttackOption {
+	return func(c *attackConfig) { c.opts.Votes, c.opts.Quorum = votes, quorum }
+}
+
+// WithCheckpoint makes the attack write its oracle transcript atomically to
+// path every `every` iterations (<=1: every iteration), so a killed attack
+// loses no oracle work.
+func WithCheckpoint(path string, every int) AttackOption {
+	return func(c *attackConfig) { c.opts.CheckpointPath, c.opts.CheckpointEvery = path, every }
+}
+
+// WithResume resumes the attack from a checkpoint file: recorded DIPs are
+// replayed (and asserted against the re-solved ones) instead of re-querying
+// the oracle, and the run continues bit-identically from where it stopped.
+func WithResume(path string) AttackOption {
+	return func(c *attackConfig) { c.resumePath = path }
+}
+
+// WithFaultPlan interposes a deterministic fault injector between the attack
+// and its oracle — the library's own chaos harness. Pair it with
+// WithAttackRetry and WithAttackVoting to ride out the injected faults.
+func WithFaultPlan(p FaultPlan) AttackOption {
+	return func(c *attackConfig) { c.plan = p }
+}
+
 // LockAndAttack synthesises a gate-level adder FU of the given operand
 // width, locks it with SFLL-HD(0) protecting the secret minterm, and runs
 // the full oracle-guided SAT attack against it. It validates that the
@@ -569,10 +664,16 @@ func (d *Design) Elaborate(bindings map[Class]*Binding, cfg *LockConfig) (*Elabo
 //
 // A context deadline bounds the attack: on interruption the partial
 // AttackOutcome (DIP iterations completed so far) is returned alongside a
-// typed error matching ErrBudgetExceeded or ErrCancelled.
-func LockAndAttack(ctx context.Context, operandBits int, secret uint64) (*AttackOutcome, error) {
+// typed error matching ErrBudgetExceeded or ErrCancelled. AttackOptions add
+// the robustness surface: oracle retry, per-DIP voting, fault injection and
+// checkpoint/resume.
+func LockAndAttack(ctx context.Context, operandBits int, secret uint64, options ...AttackOption) (*AttackOutcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	var cfg attackConfig
+	for _, o := range options {
+		o(&cfg)
 	}
 	base, err := netlist.NewAdder(operandBits)
 	if err != nil {
@@ -582,8 +683,27 @@ func LockAndAttack(ctx context.Context, operandBits int, secret uint64) (*Attack
 	if err != nil {
 		return nil, err
 	}
-	oracle := satattack.OracleFromCircuit(locked, key)
-	res, err := satattack.Attack(ctx, locked, oracle, satattack.Options{})
+	if cfg.resumePath != "" {
+		cp, err := satattack.LoadCheckpoint(cfg.resumePath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.opts.Resume = cp
+	}
+	// clean stays unwrapped: the final key verification models a bench
+	// check under good conditions, not another noisy campaign query.
+	clean := satattack.OracleFromCircuit(locked, key)
+	oracle := clean
+	if !cfg.plan.Zero() {
+		inj := fault.New(cfg.plan).WithRegistry(metrics.FromContext(ctx))
+		if cfg.opts.Resume != nil {
+			// Keep the injected schedule aligned with the interrupted run:
+			// calls answered before the checkpoint are not re-drawn.
+			inj.Seek(cfg.opts.Resume.OracleCalls)
+		}
+		oracle = satattack.Oracle(inj.WrapOracle(oracle))
+	}
+	res, err := satattack.Attack(ctx, locked, oracle, cfg.opts)
 	if err != nil {
 		if res != nil {
 			out := &AttackOutcome{
@@ -596,7 +716,7 @@ func LockAndAttack(ctx context.Context, operandBits int, secret uint64) (*Attack
 		}
 		return nil, err
 	}
-	if err := satattack.VerifyKey(ctx, locked, res.Key, oracle); err != nil {
+	if err := satattack.VerifyKey(ctx, locked, res.Key, clean, cfg.opts.Retry); err != nil {
 		return nil, err
 	}
 	return &AttackOutcome{

@@ -6,7 +6,7 @@
 //
 //	bindlock -bench fir [-class adder|multiplier] [-locked-fus 2] [-inputs 2]
 //	         [-fus 3] [-samples 600] [-seed 1] [-candidates 10] [-dot]
-//	         [-timeout 30s] [-j N] [-v] [-metrics out.json]
+//	         [-timeout 30s] [-j N] [-v] [-fault-plan SPEC] [-metrics out.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	bindlock -src kernel.bl [-workload image|audio|bitstream|sensor|uniform] ...
 //
@@ -16,7 +16,8 @@
 // worker pool used by simulation and co-design (default GOMAXPROCS); results
 // are bit-identical at any -j. -metrics writes a metrics snapshot (JSON, or
 // Prometheus text with a .prom extension) on every exit, including
-// interrupted ones.
+// interrupted ones. -fault-plan injects a deterministic fault schedule into
+// the compute stack's fail-points ("sim.run", "sat.solve") for chaos runs.
 package main
 
 import (
@@ -47,10 +48,17 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "bound the whole run; 0 means no limit")
 	jobs := flag.Int("j", 0, "worker pool size for simulation and co-design; 0 means GOMAXPROCS (output is identical at any -j)")
 	verbose := flag.Bool("v", false, "stream per-phase progress to stderr")
+	faultPlan := flag.String("fault-plan", "", "inject a deterministic fault schedule into the compute stack, e.g. seed=42,fail:sim.run=100")
 	metricsFile := flag.String("metrics", "", "write a metrics snapshot to this file on exit (JSON, or Prometheus text for .prom)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	plan, err := bindlock.ParseFaultPlan(*faultPlan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bindlock:", err)
+		os.Exit(cli.ExitFailure)
+	}
 
 	tel, err := cli.NewTelemetry(*metricsFile, *cpuProfile, *memProfile)
 	if err != nil {
@@ -69,6 +77,8 @@ func main() {
 	}
 	ctx = bindlock.WithParallelismContext(ctx, *jobs)
 	ctx = tel.Context(ctx)
+	// After the metrics context, so injected faults are counted there.
+	ctx = bindlock.WithFaultPlanContext(ctx, plan)
 
 	err = run(ctx, *bench, *src, *workload, *class, *fus, *lockedFUs, *inputs,
 		*samples, *seed, *candidates, *dot, *verilog, *optimize)

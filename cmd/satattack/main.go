@@ -6,6 +6,8 @@
 //
 //	satattack [-fu adder|multiplier] [-width 3] [-scheme sfll|sfll-hd|xor|routing]
 //	          [-secret N] [-h 1] [-keys 8] [-seed 1] [-timeout 30s] [-j N] [-progress]
+//	          [-retries 1] [-votes 1] [-quorum 0] [-fault-plan SPEC]
+//	          [-checkpoint FILE] [-checkpoint-every 1] [-resume FILE]
 //	          [-metrics out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	satattack -validate [-secrets 6]
 //
@@ -18,6 +20,15 @@
 // metrics snapshot (solver conflict/decision counters, DIP histograms; JSON,
 // or Prometheus text with a .prom extension) on every exit, including
 // interrupted ones.
+//
+// The robustness flags harden the oracle loop: -retries retries each oracle
+// query with exponential backoff, -votes/-quorum answer each DIP by majority
+// vote over repeated queries, -checkpoint writes the oracle transcript
+// atomically every -checkpoint-every iterations, and -resume continues a
+// killed attack bit-identically from its checkpoint. -fault-plan injects a
+// deterministic fault schedule (oracle transients, bit flips, latency,
+// outages, solver fail-points) for chaos-testing the whole loop, e.g.
+// "seed=42,transient=0.1,bitflip=0.01,fail:sat.solve=50".
 package main
 
 import (
@@ -30,8 +41,10 @@ import (
 
 	"bindlock/internal/cli"
 	"bindlock/internal/experiments"
+	"bindlock/internal/fault"
 	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
+	"bindlock/internal/metrics"
 	"bindlock/internal/netlist"
 	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
@@ -53,10 +66,23 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "bound the attack wall time; 0 means no limit")
 	jobs := flag.Int("j", 0, "worker pool size for the -validate sweeps; 0 means GOMAXPROCS (output is identical at any -j)")
 	showProgress := flag.Bool("progress", false, "stream per-DIP and solver telemetry to stderr")
+	retries := flag.Int("retries", 1, "oracle query attempts before giving up (backoff between tries)")
+	votes := flag.Int("votes", 1, "oracle queries per DIP, folded by per-bit majority vote")
+	quorum := flag.Int("quorum", 0, "minimum agreeing votes per output bit; 0 means simple majority")
+	checkpoint := flag.String("checkpoint", "", "write the attack's oracle transcript to this file for later -resume")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "iterations between checkpoint writes")
+	resume := flag.String("resume", "", "resume a killed attack from this checkpoint file")
+	faultPlan := flag.String("fault-plan", "", "inject a deterministic fault schedule, e.g. seed=42,transient=0.1,bitflip=0.01")
 	metricsFile := flag.String("metrics", "", "write a metrics snapshot to this file on exit (JSON, or Prometheus text for .prom)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	plan, err := fault.Parse(*faultPlan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satattack:", err)
+		os.Exit(cli.ExitFailure)
+	}
 
 	tel, err := cli.NewTelemetry(*metricsFile, *cpuProfile, *memProfile)
 	if err != nil {
@@ -79,7 +105,12 @@ func main() {
 	if *validate {
 		err = runValidate(ctx, *secrets, *seed)
 	} else {
-		err = attack(ctx, *fu, *width, *scheme, *secret, *hd, *keys, *seed, *verilog, *approx)
+		rb := robustness{
+			retries: *retries, votes: *votes, quorum: *quorum,
+			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
+			resume: *resume, plan: plan,
+		}
+		err = attack(ctx, *fu, *width, *scheme, *secret, *hd, *keys, *seed, *verilog, *approx, rb)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "satattack:", err)
@@ -137,7 +168,16 @@ func printPartial(iterations, keyLen, keyBits int, start time.Time, err error) {
 	}
 }
 
-func attack(ctx context.Context, fu string, width int, scheme string, secret uint64, hd, keys int, seed int64, verilog bool, approx int) error {
+// robustness bundles the oracle-resilience and chaos flags.
+type robustness struct {
+	retries, votes, quorum int
+	checkpoint             string
+	checkpointEvery        int
+	resume                 string
+	plan                   fault.Plan
+}
+
+func attack(ctx context.Context, fu string, width int, scheme string, secret uint64, hd, keys int, seed int64, verilog bool, approx int, rb robustness) error {
 	var base *netlist.Circuit
 	var err error
 	switch fu {
@@ -179,11 +219,38 @@ func attack(ctx context.Context, fu string, width int, scheme string, secret uin
 		}
 	}
 
-	oracle := satattack.OracleFromCircuit(locked, key)
+	retry := satattack.RetryPolicy{MaxAttempts: rb.retries, Seed: seed}
+	var cp *satattack.Checkpoint
+	if rb.resume != "" {
+		cp, err = satattack.LoadCheckpoint(rb.resume)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resuming from %s: %d DIPs already answered\n", rb.resume, cp.Iterations)
+	}
+	// clean stays unwrapped: the final key verification models a bench check
+	// under good conditions, not another noisy campaign query.
+	clean := satattack.OracleFromCircuit(locked, key)
+	oracle := clean
+	if !rb.plan.Zero() {
+		inj := fault.New(rb.plan).WithRegistry(metrics.FromContext(ctx))
+		if cp != nil {
+			// Schedule continuity: faults already drawn for the answered
+			// calls are not re-drawn after resume.
+			inj.Seek(cp.OracleCalls)
+		}
+		oracle = satattack.Oracle(inj.WrapOracle(oracle))
+		ctx = fault.NewContext(ctx, inj)
+		fmt.Printf("fault plan active: %s\n", rb.plan)
+	}
 	start := time.Now()
 	if approx > 0 {
+		if rb.checkpoint != "" || rb.resume != "" {
+			return fmt.Errorf("checkpoint/resume requires the exact attack (drop -approx)")
+		}
 		res, err := satattack.ApproxAttack(ctx, locked, oracle, satattack.ApproxOptions{
 			MaxIterations: approx, Seed: seed,
+			Retry: retry, Votes: rb.votes, Quorum: rb.quorum,
 		})
 		if err != nil {
 			if interrupted(err) && res != nil {
@@ -199,14 +266,21 @@ func attack(ctx context.Context, fu string, width int, scheme string, secret uin
 			res.Iterations, res.Duration, exact, res.EstErrorRate)
 		return nil
 	}
-	res, err := satattack.Attack(ctx, locked, oracle, satattack.Options{})
+	res, err := satattack.Attack(ctx, locked, oracle, satattack.Options{
+		Retry: retry, Votes: rb.votes, Quorum: rb.quorum,
+		CheckpointPath: rb.checkpoint, CheckpointEvery: rb.checkpointEvery,
+		Resume: cp,
+	})
 	if err != nil {
 		if interrupted(err) && res != nil {
 			printPartial(res.Iterations, len(res.Key), len(locked.Keys), start, err)
+			if rb.checkpoint != "" {
+				fmt.Printf("oracle transcript saved; continue with -resume %s\n", rb.checkpoint)
+			}
 		}
 		return err
 	}
-	if err := satattack.VerifyKey(ctx, locked, res.Key, oracle); err != nil {
+	if err := satattack.VerifyKey(ctx, locked, res.Key, clean, retry); err != nil {
 		return fmt.Errorf("recovered key failed verification: %w", err)
 	}
 	fmt.Printf("attack succeeded: %d iterations in %v; recovered key verified\n",

@@ -44,6 +44,10 @@ type Options struct {
 	// MaxEnumerations bounds the optimal algorithm's combination count;
 	// 0 applies DefaultMaxEnumerations. The heuristic ignores it.
 	MaxEnumerations int
+	// DegradeToHeuristic makes Optimal fall back to Heuristic instead of
+	// failing when the enumeration exceeds the budget. The result then has
+	// Degraded set so callers can tell an exact optimum from a fallback.
+	DegradeToHeuristic bool
 }
 
 // DefaultMaxEnumerations caps the optimal algorithm's search size.
@@ -57,6 +61,10 @@ type Result struct {
 	Errors int
 	// Enumerated is the number of locked-input combinations evaluated.
 	Enumerated int
+	// Degraded reports that Optimal exceeded its enumeration budget and
+	// fell back to the heuristic (Options.DegradeToHeuristic): the result
+	// is a good solution, not a provable optimum.
+	Degraded bool
 }
 
 func (o *Options) check(g *dfg.Graph, k *sim.KMatrix) error {
@@ -158,6 +166,18 @@ func Optimal(ctx context.Context, g *dfg.Graph, k *sim.KMatrix, o Options) (*Res
 		total *= len(combos)
 	}
 	if total > budget {
+		if o.DegradeToHeuristic {
+			// Graceful degradation (the paper's own answer to the
+			// non-polynomial runtime, Sec. V-C): hand the instance to the
+			// polynomial heuristic and mark the result as inexact.
+			mreg := metrics.FromContext(ctx)
+			mreg.Add("codesign_degraded_total", 1)
+			res, err := Heuristic(ctx, g, k, o)
+			if res != nil {
+				res.Degraded = true
+			}
+			return res, err
+		}
 		return nil, fmt.Errorf("codesign: optimal enumeration of %d^%d combinations exceeds budget %d",
 			len(combos), o.LockedFUs, budget)
 	}

@@ -11,6 +11,7 @@ import (
 	"bindlock/internal/interrupt"
 	"bindlock/internal/locking"
 	"bindlock/internal/mediabench"
+	"bindlock/internal/metrics"
 	"bindlock/internal/progress"
 	"bindlock/internal/sim"
 	"errors"
@@ -189,6 +190,46 @@ func TestOptimalBudget(t *testing.T) {
 	}
 	if r.Enumerated != 9 {
 		t.Errorf("enumerated = %d, want 9", r.Enumerated)
+	}
+	if r.Degraded {
+		t.Error("within-budget Optimal must not report Degraded")
+	}
+}
+
+// TestOptimalDegradesToHeuristic: over budget with DegradeToHeuristic set,
+// Optimal returns the heuristic's solution marked Degraded instead of
+// failing, and bumps the degradation counter.
+func TestOptimalDegradesToHeuristic(t *testing.T) {
+	g, k := fig1(t)
+	o := Options{
+		Class: dfg.ClassAdd, NumFUs: 2, LockedFUs: 2, MintermsPerFU: 1,
+		Candidates:         []dfg.Minterm{mintermX, mintermY, mintermZ},
+		Scheme:             locking.SFLLRem,
+		MaxEnumerations:    4, // 3^2 = 9 > 4
+		DegradeToHeuristic: true,
+	}
+	reg := metrics.New()
+	ctx := metrics.NewContext(context.Background(), reg)
+	r, err := Optimal(ctx, g, k, o)
+	if err != nil {
+		t.Fatalf("degrading Optimal: %v", err)
+	}
+	if !r.Degraded {
+		t.Error("over-budget fallback must set Degraded")
+	}
+	if r.Cfg == nil || r.Binding == nil {
+		t.Fatal("degraded result missing configuration or binding")
+	}
+	if v, _ := reg.Snapshot().Counter("codesign_degraded_total"); v != 1 {
+		t.Errorf("codesign_degraded_total = %d, want 1", v)
+	}
+	// The fallback must agree with a direct Heuristic run.
+	h, err := Heuristic(context.Background(), g, k, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Errors != h.Errors {
+		t.Errorf("degraded errors = %d, direct heuristic = %d", r.Errors, h.Errors)
 	}
 }
 

@@ -11,9 +11,18 @@
 package dfg
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrConstruction reports builder misuse: AddBinary with a non-binary kind,
+// or an operand reference to an operation that does not exist. The builder
+// is sticky — the first violation is recorded, later calls become no-ops
+// returning None, and the error surfaces from Err and Validate — so
+// frontends can chain construction calls and fail once, with a typed error
+// instead of a crash.
+var ErrConstruction = errors.New("dfg: malformed construction")
 
 // OpID identifies an operation inside a Graph. IDs are dense indices into
 // Graph.Ops.
@@ -131,6 +140,10 @@ type Graph struct {
 	// Name identifies the kernel the graph was extracted from.
 	Name string
 	Ops  []Op
+
+	// err records the first builder misuse (ErrConstruction); once set,
+	// builder calls are no-ops and Validate refuses the graph.
+	err error
 }
 
 // New returns an empty graph named name.
@@ -140,10 +153,25 @@ func New(name string) *Graph {
 
 // add appends an op and returns its ID.
 func (g *Graph) add(op Op) OpID {
+	if g.err != nil {
+		return None
+	}
 	op.ID = OpID(len(g.Ops))
 	g.Ops = append(g.Ops, op)
 	return op.ID
 }
+
+// fail records the first construction error and poisons the builder.
+func (g *Graph) fail(err error) OpID {
+	if g.err == nil {
+		g.err = err
+	}
+	return None
+}
+
+// Err returns the first builder misuse recorded on the graph, or nil.
+// errors.Is(err, ErrConstruction) matches it.
+func (g *Graph) Err() error { return g.err }
 
 // AddInput appends a primary input named name.
 func (g *Graph) AddInput(name string) OpID {
@@ -155,28 +183,38 @@ func (g *Graph) AddConst(v uint8) OpID {
 	return g.add(Op{Kind: Const, Val: v, Args: [2]OpID{None, None}})
 }
 
-// AddBinary appends a binary operation of kind k consuming a and b.
-// It panics if k is not binary or an operand is out of range, since graph
-// construction errors are programming bugs.
+// AddBinary appends a binary operation of kind k consuming a and b. A
+// non-binary kind or an out-of-range operand records ErrConstruction on the
+// graph and returns None.
 func (g *Graph) AddBinary(k Kind, a, b OpID) OpID {
-	if !k.IsBinary() {
-		panic(fmt.Sprintf("dfg: AddBinary with non-binary kind %v", k))
+	if g.err != nil {
+		return None
 	}
-	g.checkRef(a)
-	g.checkRef(b)
+	if !k.IsBinary() {
+		return g.fail(fmt.Errorf("%w: graph %q AddBinary with non-binary kind %v", ErrConstruction, g.Name, k))
+	}
+	if !g.checkRef(a) || !g.checkRef(b) {
+		return None
+	}
 	return g.add(Op{Kind: k, Args: [2]OpID{a, b}})
 }
 
 // AddOutput appends an output sink named name consuming src.
 func (g *Graph) AddOutput(name string, src OpID) OpID {
-	g.checkRef(src)
+	if g.err != nil || !g.checkRef(src) {
+		return None
+	}
 	return g.add(Op{Kind: Output, Name: name, Args: [2]OpID{src, None}})
 }
 
-func (g *Graph) checkRef(id OpID) {
+// checkRef validates an operand reference, recording the first violation as
+// the graph's sticky construction error.
+func (g *Graph) checkRef(id OpID) bool {
 	if id < 0 || int(id) >= len(g.Ops) {
-		panic(fmt.Sprintf("dfg: operand %d out of range (have %d ops)", id, len(g.Ops)))
+		g.fail(fmt.Errorf("%w: graph %q operand %d out of range (have %d ops)", ErrConstruction, g.Name, id, len(g.Ops)))
+		return false
 	}
+	return true
 }
 
 // Inputs returns the IDs of all Input ops in definition order.
@@ -273,6 +311,9 @@ func (g *Graph) Users() [][]OpID {
 // FU operation has a positive cycle no earlier than one past each of its
 // FU-operation operands.
 func (g *Graph) Validate(scheduled bool) error {
+	if g.err != nil {
+		return g.err
+	}
 	seenName := map[string]bool{}
 	for i, op := range g.Ops {
 		if op.ID != OpID(i) {
@@ -367,7 +408,7 @@ func (g *Graph) Stat() Stats {
 
 // Clone returns a deep copy of g. Schedules are preserved.
 func (g *Graph) Clone() *Graph {
-	ng := &Graph{Name: g.Name, Ops: make([]Op, len(g.Ops))}
+	ng := &Graph{Name: g.Name, Ops: make([]Op, len(g.Ops)), err: g.err}
 	copy(ng.Ops, g.Ops)
 	return ng
 }

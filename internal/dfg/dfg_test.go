@@ -1,6 +1,7 @@
 package dfg
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -132,15 +133,42 @@ func TestValidateErrors(t *testing.T) {
 	}
 }
 
-func TestAddBinaryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AddBinary(Input, ...) did not panic")
-		}
-	}()
+// TestAddBinaryRecordsError: builder misuse must surface as a sticky typed
+// error rather than a crash — malformed frontends get a diagnostic, servers
+// embedding the compiler stay up.
+func TestAddBinaryRecordsError(t *testing.T) {
 	g := New("t")
 	a := g.AddInput("a")
-	g.AddBinary(Input, a, a)
+	if id := g.AddBinary(Input, a, a); id != None {
+		t.Errorf("AddBinary(Input, ...) = %d, want None", id)
+	}
+	if !errors.Is(g.Err(), ErrConstruction) {
+		t.Fatalf("Err() = %v, want ErrConstruction", g.Err())
+	}
+	if !errors.Is(g.Validate(false), ErrConstruction) {
+		t.Errorf("Validate = %v, want ErrConstruction", g.Validate(false))
+	}
+	// Poisoned builder: later (even well-formed) calls are no-ops.
+	if id := g.AddBinary(Add, a, a); id != None {
+		t.Errorf("post-error AddBinary = %d, want None", id)
+	}
+	if n := len(g.Ops); n != 1 {
+		t.Errorf("poisoned graph grew to %d ops, want 1", n)
+	}
+	if !errors.Is(g.Clone().Err(), ErrConstruction) {
+		t.Error("Clone dropped the construction error")
+	}
+}
+
+func TestAddBinaryBadOperandRecordsError(t *testing.T) {
+	g := New("t")
+	a := g.AddInput("a")
+	if id := g.AddBinary(Add, a, OpID(99)); id != None {
+		t.Errorf("AddBinary with bad operand = %d, want None", id)
+	}
+	if !errors.Is(g.Err(), ErrConstruction) {
+		t.Fatalf("Err() = %v, want ErrConstruction", g.Err())
+	}
 }
 
 func TestUsers(t *testing.T) {
@@ -309,14 +337,14 @@ func TestKindAndClassStrings(t *testing.T) {
 	}
 }
 
-func TestAddOutputPanicsOnBadRef(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AddOutput with bad ref must panic")
-		}
-	}()
+func TestAddOutputBadRefRecordsError(t *testing.T) {
 	g := New("p")
-	g.AddOutput("y", OpID(42))
+	if id := g.AddOutput("y", OpID(42)); id != None {
+		t.Errorf("AddOutput with bad ref = %d, want None", id)
+	}
+	if !errors.Is(g.Err(), ErrConstruction) {
+		t.Fatalf("Err() = %v, want ErrConstruction", g.Err())
+	}
 }
 
 func TestValidateMoreErrors(t *testing.T) {

@@ -1,0 +1,37 @@
+package frontend
+
+import "testing"
+
+// FuzzCompile drives the full frontend — lexer, parser, lowering — with
+// arbitrary source. The property under test: Compile never panics, and any
+// graph it accepts passes dfg.Validate. Crashers become corpus entries
+// under testdata/fuzz/FuzzCompile.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"kernel k;\ninput a;\noutput y;\ny = a + 1;\n",
+		"kernel fir4;\ninput x0, x1, x2, x3;\noutput y;\nconst C0 = 3;\nconst C1 = 7;\nt0 = x0 * C0;\nt1 = x1 * C1;\ny = t0 + t1 + x2 - x3;\n",
+		"kernel sad;\ninput a, b, c;\noutput y;\ny = absdiff(a, b) + (c - 1) * 2;\n",
+		"kernel dup;\ninput a;\ninput a;\noutput y;\ny = a;\n",
+		"kernel bad;\noutput y;\ny = missing + 1;\n",
+		"kernel deep;\ninput a;\noutput y;\ny = ((((a))));\n",
+		"kernel k;\ninput a;\noutput y;\ny = a *",
+		"// comment only\n",
+		"kernel ké;\ninput ß;\noutput y;\ny = ß;\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Compile(src)
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		if g == nil {
+			t.Fatal("Compile returned nil graph and nil error")
+		}
+		if verr := g.Validate(false); verr != nil {
+			t.Fatalf("Compile accepted source producing an invalid graph: %v\nsource:\n%s", verr, src)
+		}
+	})
+}

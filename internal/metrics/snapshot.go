@@ -108,23 +108,44 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	return d
 }
 
+// nondeterministicPrefixes lists metric families Deterministic strips by
+// name prefix: "parallel_" (the pool's task shapes depend on the worker count
+// by construction), and the robustness layer's environment telemetry —
+// "fault_" (injected faults hit only live oracle calls), "retry_" (retry and
+// voting attempts depend on which calls the environment failed) and
+// "resume_" (checkpoint replay history) — which describes how a run got to
+// its result, not the result itself: a checkpoint-resumed attack replays
+// recorded answers instead of re-querying, so these counters legitimately
+// differ from an uninterrupted run that computed the identical key.
+var nondeterministicPrefixes = []string{"parallel_", "fault_", "retry_", "resume_"}
+
+func nondeterministicName(name string) bool {
+	for _, p := range nondeterministicPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // Deterministic returns the subset of the snapshot the repository's
 // determinism guarantee covers: all counters, all non-timing histograms, and
 // no gauges. Dropped are "*_seconds" histograms (wall time varies run to
-// run), "parallel_*" metrics (the pool's task shapes depend on the worker
-// count by construction), and gauges (point-in-time values whose last writer
-// is schedule-dependent under parallel sweeps). What remains is byte-identical
-// between -j 1 and -j N runs of the same computation.
+// run), the nondeterministicPrefixes families (worker-pool shapes and the
+// fault/retry/resume environment telemetry), and gauges (point-in-time
+// values whose last writer is schedule-dependent under parallel sweeps).
+// What remains is byte-identical between -j 1 and -j N runs of the same
+// computation, and between an uninterrupted run and a checkpoint-resumed one.
 func (s Snapshot) Deterministic() Snapshot {
 	d := Snapshot{}
 	for _, c := range s.Counters {
-		if strings.HasPrefix(c.Name, "parallel_") {
+		if nondeterministicName(c.Name) {
 			continue
 		}
 		d.Counters = append(d.Counters, c)
 	}
 	for _, h := range s.Histograms {
-		if strings.HasSuffix(h.Name, "_seconds") || strings.HasPrefix(h.Name, "parallel_") {
+		if strings.HasSuffix(h.Name, "_seconds") || nondeterministicName(h.Name) {
 			continue
 		}
 		d.Histograms = append(d.Histograms, h)

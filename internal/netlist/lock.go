@@ -19,6 +19,7 @@ func (c *Circuit) Clone() *Circuit {
 		Inputs:  append([]int(nil), c.Inputs...),
 		Keys:    append([]int(nil), c.Keys...),
 		Outputs: append([]int(nil), c.Outputs...),
+		err:     c.err,
 	}
 	return nc
 }

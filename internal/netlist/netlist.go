@@ -10,8 +10,16 @@
 package netlist
 
 import (
+	"errors"
 	"fmt"
 )
+
+// ErrConstruction reports that a builder call referenced a gate that does
+// not exist. The builder is sticky: the first bad reference is recorded,
+// every later call becomes a no-op returning -1, and the error surfaces
+// from Err, Validate, and Eval — so generator code can chain builder calls
+// without checking each one and still never ship a malformed circuit.
+var ErrConstruction = errors.New("netlist: malformed construction")
 
 // GateKind enumerates gate types. Input and Key are sources; all others
 // combine fan-ins.
@@ -72,20 +80,31 @@ type Circuit struct {
 	Inputs  []int // gate ids, in bus order
 	Keys    []int
 	Outputs []int
+
+	// err records the first builder misuse (ErrConstruction); once set,
+	// builder calls are no-ops and Validate/Eval refuse the circuit.
+	err error
 }
 
 // New returns an empty circuit.
 func New(name string) *Circuit { return &Circuit{Name: name} }
 
 func (c *Circuit) add(g Gate) int {
+	if c.err != nil {
+		return -1
+	}
 	n := g.Kind.arity()
 	if n >= 1 {
-		c.mustRef(g.A)
+		if !c.ref(g.A) {
+			return -1
+		}
 	} else {
 		g.A = -1
 	}
 	if n == 2 {
-		c.mustRef(g.B)
+		if !c.ref(g.B) {
+			return -1
+		}
 	} else {
 		g.B = -1
 	}
@@ -93,11 +112,20 @@ func (c *Circuit) add(g Gate) int {
 	return len(c.Gates) - 1
 }
 
-func (c *Circuit) mustRef(id int) {
+// ref checks a fan-in reference, recording the first violation as the
+// circuit's sticky construction error.
+func (c *Circuit) ref(id int) bool {
 	if id < 0 || id >= len(c.Gates) {
-		panic(fmt.Sprintf("netlist: fan-in %d out of range (have %d gates)", id, len(c.Gates)))
+		c.err = fmt.Errorf("%w: circuit %q fan-in %d out of range (have %d gates)",
+			ErrConstruction, c.Name, id, len(c.Gates))
+		return false
 	}
+	return true
 }
+
+// Err returns the first builder misuse recorded on the circuit, or nil.
+// errors.Is(err, ErrConstruction) matches it.
+func (c *Circuit) Err() error { return c.err }
 
 // AddInput appends a primary input and returns its gate id.
 func (c *Circuit) AddInput() int {
@@ -148,7 +176,9 @@ func (c *Circuit) Mux(sel, lo, hi int) int {
 
 // MarkOutput designates gate id as the next primary output.
 func (c *Circuit) MarkOutput(id int) {
-	c.mustRef(id)
+	if c.err != nil || !c.ref(id) {
+		return
+	}
 	c.Outputs = append(c.Outputs, id)
 }
 
@@ -169,6 +199,9 @@ func (c *Circuit) LogicGates() int {
 
 // Eval computes the outputs for the given input and key assignments.
 func (c *Circuit) Eval(inputs, keys []bool) ([]bool, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
 	if len(inputs) != len(c.Inputs) {
 		return nil, fmt.Errorf("netlist %s: got %d inputs, want %d", c.Name, len(inputs), len(c.Inputs))
 	}
@@ -215,8 +248,12 @@ func (c *Circuit) Eval(inputs, keys []bool) ([]bool, error) {
 }
 
 // Validate checks structural invariants: topological fan-in order, source
-// bookkeeping consistency, and output references.
+// bookkeeping consistency, and output references. A circuit whose builder
+// recorded a construction error fails validation with that error.
 func (c *Circuit) Validate() error {
+	if c.err != nil {
+		return c.err
+	}
 	in, key := 0, 0
 	for id, g := range c.Gates {
 		n := g.Kind.arity()

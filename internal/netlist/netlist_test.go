@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -335,5 +336,47 @@ func TestLogicGatesCount(t *testing.T) {
 	}
 	if add.NumGates()-add.LogicGates() != 16 {
 		t.Errorf("source count = %d, want 16", add.NumGates()-add.LogicGates())
+	}
+}
+
+// TestBuilderRecordsConstructionError: a bad fan-in reference must not
+// crash — it poisons the builder with a sticky typed error that Err,
+// Validate, and Eval all surface.
+func TestBuilderRecordsConstructionError(t *testing.T) {
+	c := New("bad")
+	a := c.AddInput()
+	if id := c.And(a, 99); id != -1 {
+		t.Errorf("And with bad fan-in = %d, want -1", id)
+	}
+	if !errors.Is(c.Err(), ErrConstruction) {
+		t.Fatalf("Err() = %v, want ErrConstruction", c.Err())
+	}
+	// Poisoned builder: later calls are no-ops and nothing was appended.
+	if id := c.Not(a); id != -1 {
+		t.Errorf("post-error Not = %d, want -1", id)
+	}
+	if c.NumGates() != 1 {
+		t.Errorf("poisoned circuit grew to %d gates, want 1", c.NumGates())
+	}
+	if !errors.Is(c.Validate(), ErrConstruction) {
+		t.Errorf("Validate = %v, want ErrConstruction", c.Validate())
+	}
+	if _, err := c.Eval(nil, nil); !errors.Is(err, ErrConstruction) {
+		t.Errorf("Eval err = %v, want ErrConstruction", err)
+	}
+	if !errors.Is(c.Clone().Err(), ErrConstruction) {
+		t.Error("Clone dropped the construction error")
+	}
+}
+
+func TestMarkOutputBadRefRecordsError(t *testing.T) {
+	c := New("bad")
+	c.AddInput()
+	c.MarkOutput(7)
+	if len(c.Outputs) != 0 {
+		t.Errorf("bad MarkOutput appended an output: %v", c.Outputs)
+	}
+	if !errors.Is(c.Err(), ErrConstruction) {
+		t.Fatalf("Err() = %v, want ErrConstruction", c.Err())
 	}
 }

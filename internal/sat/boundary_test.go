@@ -1,0 +1,84 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"bindlock/internal/fault"
+)
+
+// TestAddClauseUnknownVariable: an out-of-range literal must not crash or
+// poison the answer as UNSAT — it records a sticky typed error that the next
+// Solve returns.
+func TestAddClauseUnknownVariable(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	s.AddClause(NewLit(v, false), NewLit(7, false))
+	if !errors.Is(s.Err(), ErrUnknownVariable) {
+		t.Fatalf("Err() = %v, want ErrUnknownVariable", s.Err())
+	}
+	// Poisoned: later clauses are dropped, Solve refuses with the error
+	// rather than reporting UNSAT for a formula it never saw.
+	s.AddClause(NewLit(v, true))
+	ok, err := s.Solve(context.Background())
+	if !errors.Is(err, ErrUnknownVariable) {
+		t.Fatalf("Solve err = %v, want ErrUnknownVariable", err)
+	}
+	if ok {
+		t.Error("poisoned Solve must not report SAT")
+	}
+	if s.NumClauses() != 0 {
+		t.Errorf("poisoned solver attached %d clauses, want 0", s.NumClauses())
+	}
+}
+
+func TestValueErr(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	if _, err := s.ValueErr(v); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("pre-solve ValueErr err = %v, want ErrNoModel", err)
+	}
+	s.AddClause(NewLit(v, false))
+	if ok, err := s.Solve(context.Background()); !ok || err != nil {
+		t.Fatalf("Solve = %v, %v", ok, err)
+	}
+	got, err := s.ValueErr(v)
+	if err != nil || !got {
+		t.Errorf("ValueErr(%d) = %v, %v; want true, nil", v, got, err)
+	}
+	if _, err := s.ValueErr(99); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("out-of-range ValueErr err = %v, want ErrUnknownVariable", err)
+	}
+	if _, err := s.ValueErr(-1); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("negative ValueErr err = %v, want ErrUnknownVariable", err)
+	}
+}
+
+// TestSolveFaultHook: a context-carried injector configured to fail
+// sat.solve every call makes Solve return the injected error.
+func TestSolveFaultHook(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	s.AddClause(NewLit(v, false))
+	ctx := fault.NewContext(context.Background(),
+		fault.New(fault.Plan{FailEvery: map[string]uint64{"sat.solve": 1}}))
+	if _, err := s.Solve(ctx); !fault.IsInjected(err) {
+		t.Fatalf("Solve err = %v, want injected fault", err)
+	}
+	// The solver is untouched: a clean context solves normally.
+	if ok, err := s.Solve(context.Background()); !ok || err != nil {
+		t.Fatalf("post-fault Solve = %v, %v", ok, err)
+	}
+}
+
+func TestParseDIMACSVarCap(t *testing.T) {
+	_, err := ParseDIMACS(strings.NewReader("p cnf 999999999 1\n1 0\n"))
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized header err = %v, want variable-limit rejection", err)
+	}
+	if _, err := ParseDIMACS(strings.NewReader("p cnf 2 1\np cnf 2 1\n1 0\n")); err == nil {
+		t.Fatal("duplicate problem line must be rejected")
+	}
+}

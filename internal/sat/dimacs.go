@@ -8,6 +8,12 @@ import (
 	"strings"
 )
 
+// MaxDIMACSVars bounds the variable count ParseDIMACS accepts. The header's
+// declared count drives an upfront per-variable allocation, so an adversarial
+// one-line file ("p cnf 999999999 1") could otherwise demand gigabytes before
+// a single clause is read.
+const MaxDIMACSVars = 1 << 20
+
 // ParseDIMACS reads a CNF formula in DIMACS format into a fresh solver.
 // Variables are numbered 1..n externally and mapped to 0..n-1 internally.
 func ParseDIMACS(r io.Reader) (*Solver, error) {
@@ -22,6 +28,9 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "p") {
+			if declared >= 0 {
+				return nil, fmt.Errorf("sat: duplicate problem line %q", line)
+			}
 			fields := strings.Fields(line)
 			if len(fields) != 4 || fields[1] != "cnf" {
 				return nil, fmt.Errorf("sat: bad problem line %q", line)
@@ -29,6 +38,9 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 			n, err := strconv.Atoi(fields[2])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("sat: bad variable count in %q", line)
+			}
+			if n > MaxDIMACSVars {
+				return nil, fmt.Errorf("sat: %d variables exceeds the %d limit", n, MaxDIMACSVars)
 			}
 			declared = n
 			for i := 0; i < n; i++ {
@@ -64,6 +76,9 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 	}
 	if len(clause) > 0 {
 		s.AddClause(clause...)
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -1,0 +1,46 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS drives the DIMACS reader with arbitrary bytes. The
+// property under test: ParseDIMACS never panics and never allocates
+// unboundedly (MaxDIMACSVars gates the header), and an accepted formula is
+// well-formed enough for the solver boundary (no sticky AddClause error).
+func FuzzParseDIMACS(f *testing.F) {
+	seeds := []string{
+		"",
+		"p cnf 0 0\n",
+		"p cnf 2 2\n1 -2 0\n2 0\n",
+		"c comment\np cnf 3 1\n1 2 3 0\n",
+		"p cnf 1 1\n1 0",      // no trailing newline, clause flushed at EOF
+		"p cnf 1 1\n1",        // unterminated clause
+		"1 0\n",               // clause before problem line
+		"p cnf 999999999 1\n", // over the variable cap
+		"p cnf 2 1\n1 x 0\n",  // bad literal token
+		"p cnf 2 1\n3 0\n",    // literal beyond declared count
+		"p cnf 2 1\n-0 0\n",   // negative zero
+		"p cnf 2 1\n1 -1 0\n", // tautology
+		"p cnf 2 2\n1 0\n-1 0\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseDIMACS(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("ParseDIMACS returned nil solver and nil error")
+		}
+		if s.Err() != nil {
+			t.Fatalf("accepted formula left a sticky solver error: %v", s.Err())
+		}
+		if s.NumVars() > MaxDIMACSVars {
+			t.Fatalf("solver has %d vars, above the %d cap", s.NumVars(), MaxDIMACSVars)
+		}
+	})
+}

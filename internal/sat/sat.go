@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bindlock/internal/fault"
 	"bindlock/internal/interrupt"
 	"bindlock/internal/metrics"
 	"bindlock/internal/progress"
@@ -66,6 +67,14 @@ const (
 // before a result is reached.
 var ErrBudget = errors.New("sat: conflict budget exhausted")
 
+// ErrUnknownVariable reports a literal or variable index outside the
+// solver's allocated range at an exported entry point (AddClause, ValueErr).
+var ErrUnknownVariable = errors.New("sat: unknown variable")
+
+// ErrNoModel is returned by ValueErr when no satisfying model is available
+// (Solve has not returned true since the last clause was added).
+var ErrNoModel = errors.New("sat: no model available")
+
 // Solver is a CDCL SAT solver. The zero value is not usable; call NewSolver.
 type Solver struct {
 	clauses  [][]Lit // problem + learned clauses; first two lits are watched
@@ -90,7 +99,8 @@ type Solver struct {
 	varInc   float64
 	heap     *varHeap
 
-	ok bool // false once a top-level conflict is derived
+	ok  bool  // false once a top-level conflict is derived
+	err error // sticky: first AddClause boundary violation; Solve returns it
 
 	// MaxConflicts bounds the search effort; 0 means DefaultMaxConflicts.
 	MaxConflicts int64
@@ -174,8 +184,16 @@ func (s *Solver) enqueue(l Lit, from int32) bool {
 
 // AddClause adds a clause over the given literals. It must be called at the
 // top level (between Solve calls). It returns false if the formula became
-// trivially unsatisfiable.
+// trivially unsatisfiable. A literal referencing an unallocated variable
+// records a sticky ErrUnknownVariable on the solver — the clause is dropped,
+// further clauses are ignored, and the next Solve returns the error (not
+// UNSAT: a malformed encoding proves nothing about satisfiability). Calling
+// AddClause during search remains a panic; that is an internal-invariant
+// violation only solver-embedding code can commit.
 func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.err != nil {
+		return true // poisoned: clause dropped, Solve surfaces the error
+	}
 	if !s.ok {
 		return false
 	}
@@ -186,8 +204,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	clause := make([]Lit, 0, len(lits))
 	seen := map[Lit]bool{}
 	for _, l := range lits {
-		if int(l.Var()) >= s.NumVars() {
-			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
+		if int(l.Var()) >= s.NumVars() || l.Var() < 0 {
+			s.err = fmt.Errorf("%w: literal %v (have %d vars)", ErrUnknownVariable, l, s.NumVars())
+			return true
 		}
 		switch {
 		case s.valueLit(l) == lTrue, seen[l.Neg()]:
@@ -521,6 +540,12 @@ func (s *Solver) Solve(ctx context.Context) (bool, error) {
 			m.Add("sat_learned_clauses_total", int64(len(s.clauses)-s.learntAt-learnedBefore))
 		}()
 	}
+	if err := fault.Hit(ctx, "sat.solve"); err != nil {
+		return false, fmt.Errorf("sat: solve: %w", err)
+	}
+	if s.err != nil {
+		return false, s.err
+	}
 	if !s.ok {
 		return false, nil
 	}
@@ -612,13 +637,30 @@ func (s *Solver) Solve(ctx context.Context) (bool, error) {
 }
 
 // Value returns variable v's value in the most recent model. It panics if no
-// model is available.
+// model is available; hot loops that have just seen Solve return true may use
+// it unconditionally. Boundary code should prefer ValueErr.
 func (s *Solver) Value(v int) bool {
 	if s.model == nil {
 		panic("sat: Value called without a model")
 	}
 	return s.model[v]
 }
+
+// ValueErr is the non-panicking form of Value for exported boundaries: it
+// returns ErrNoModel when no model is available and ErrUnknownVariable when
+// v is out of range.
+func (s *Solver) ValueErr(v int) (bool, error) {
+	if s.model == nil {
+		return false, ErrNoModel
+	}
+	if v < 0 || v >= len(s.model) {
+		return false, fmt.Errorf("%w: variable %d (model has %d)", ErrUnknownVariable, v, len(s.model))
+	}
+	return s.model[v], nil
+}
+
+// Err returns the sticky boundary error recorded by AddClause, or nil.
+func (s *Solver) Err() error { return s.err }
 
 // varHeap is an indexed max-heap over variable activities.
 type varHeap struct {

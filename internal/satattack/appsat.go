@@ -9,6 +9,7 @@ import (
 
 	"bindlock/internal/cnf"
 	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
 	"bindlock/internal/netlist"
 	"bindlock/internal/progress"
 )
@@ -36,6 +37,14 @@ type ApproxOptions struct {
 	Seed int64
 	// MaxConflicts bounds each SAT call.
 	MaxConflicts int64
+	// Retry tunes per-query oracle retry (zero value: single attempt).
+	Retry RetryPolicy
+	// Votes is the number of oracle queries per DIP and per error sample,
+	// folded per output bit by majority vote (default 1).
+	Votes int
+	// Quorum is the minimum agreeing votes per output bit (default simple
+	// majority, Votes/2+1).
+	Quorum int
 }
 
 // ApproxResult reports an approximate attack.
@@ -81,6 +90,7 @@ func ApproxAttack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, o
 	hook := progress.FromContext(ctx)
 	progress.Start(hook, "approx-attack", locked.Name)
 	start := time.Now()
+	q := newQuerier(oracle, opts.Retry, opts.Votes, opts.Quorum, metrics.FromContext(ctx))
 
 	me := cnf.NewEncoder()
 	ke := cnf.NewEncoder()
@@ -136,9 +146,12 @@ func ApproxAttack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, o
 		for i, v := range inst1.Inputs {
 			dip[i] = me.S.Value(v)
 		}
-		outs, err := oracle(dip)
+		outs, err := q.query(ctx, dip)
 		if err != nil {
-			return nil, err
+			if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
+				return interrupted(err)
+			}
+			return nil, fmt.Errorf("satattack: approx oracle query (iteration %d): %w", res.Iterations, err)
 		}
 		for _, enc := range []struct {
 			e    *cnf.Encoder
@@ -196,9 +209,15 @@ func ApproxAttack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, o
 		if err != nil {
 			return nil, err
 		}
-		want, err := oracle(in)
+		want, err := q.query(ctx, in)
 		if err != nil {
-			return nil, err
+			if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
+				res.EstErrorRate = float64(wrong) / float64(s+1)
+				res.Duration = time.Since(start)
+				progress.End(hook, "approx-attack", "interrupted during error estimation")
+				return res, interrupt.Rewrap(approxOp, err, res)
+			}
+			return nil, fmt.Errorf("satattack: approx error estimation: %w", err)
 		}
 		for i := range got {
 			if got[i] != want[i] {

@@ -1,0 +1,57 @@
+package satattack
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"bindlock/internal/fault"
+	"bindlock/internal/netlist"
+)
+
+// TestAttackChaos is the `make chaos` hook: BINDLOCK_CHAOS_SEED drives the
+// fault plan, so every chaos run exercises a different injected schedule and
+// must still recover a correct key. Without the variable it runs with a
+// fixed seed, keeping the path covered on plain `go test`.
+//
+// The rates are chosen so the retry/voting envelope holds for every seed,
+// not just lucky ones: a 5-vote quorum-3 answer goes wrong only when three
+// or more votes flip the same bit (probability ~(5 choose 3)·0.002³ ≈ 8e-8
+// per bit per DIP), and a vote dies only after six straight transients
+// (0.1⁶ = 1e-6).
+func TestAttackChaos(t *testing.T) {
+	seed := int64(1)
+	if env := os.Getenv("BINDLOCK_CHAOS_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("BINDLOCK_CHAOS_SEED=%q: %v", env, err)
+		}
+		seed = v
+	}
+	base, err := netlist.NewAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key, err := netlist.LockXOR(base, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect := OracleFromCircuit(locked, key)
+	inj := fault.New(fault.Plan{Seed: seed, TransientRate: 0.1, BitFlipRate: 0.002})
+	noisy := Oracle(inj.WrapOracle(perfect))
+
+	res, err := Attack(context.Background(), locked, noisy, Options{
+		Retry:  RetryPolicy{MaxAttempts: 6, BaseDelay: time.Microsecond, Seed: seed},
+		Votes:  5,
+		Quorum: 3,
+	})
+	if err != nil {
+		t.Fatalf("attack under chaos seed %d: %v", seed, err)
+	}
+	if err := VerifyKey(context.Background(), locked, res.Key, perfect); err != nil {
+		t.Fatalf("chaos seed %d recovered a wrong key: %v", seed, err)
+	}
+	t.Logf("chaos seed %d: %d iterations, %d physical oracle calls", seed, res.Iterations, inj.Calls())
+}

@@ -1,0 +1,176 @@
+package satattack
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bindlock/internal/metrics"
+	"bindlock/internal/netlist"
+)
+
+// A checkpoint preserves the expensive, externally-observable half of an
+// attack: the oracle transcript. DIPs and their observed answers are the
+// only inputs the attack takes from the outside world — everything else
+// (CNF encoding, solver state, learned clauses) is a deterministic function
+// of them. Resume therefore replays: the attack loop re-runs from iteration
+// zero, asserting each freshly solved DIP matches the recorded one and
+// substituting the recorded answer for a live oracle query. Once the
+// transcript is exhausted, live querying continues seamlessly. Because the
+// solver is deterministic and sees the identical clause sequence, the
+// continuation — key, iteration count, deterministic metrics — is
+// bit-identical to an uninterrupted run, without serialising any solver
+// internals. Re-solving is cheap; oracle queries against a flaky physical
+// IC are the resource checkpoints exist to protect.
+
+// CheckpointVersion is the format version written by Save and required by
+// LoadCheckpoint.
+const CheckpointVersion = 1
+
+// ErrCheckpointMismatch reports a checkpoint that does not belong to the
+// attack being resumed: wrong circuit shape, or a replayed iteration solved
+// a DIP different from the recorded one.
+var ErrCheckpointMismatch = errors.New("satattack: checkpoint mismatch")
+
+// Checkpoint is the durable state of a partially completed attack. Bit
+// vectors are '0'/'1' strings, LSB first (index i of the slice is byte i of
+// the string), keeping the JSON diffable and platform-independent.
+type Checkpoint struct {
+	Version   int    `json:"version"`
+	Circuit   string `json:"circuit"`
+	InputBits int    `json:"input_bits"`
+	KeyBits   int    `json:"key_bits"`
+	// Iterations is the number of completed DIP iterations; DIPs and
+	// Answers each hold exactly that many entries, in discovery order.
+	Iterations int `json:"iterations"`
+	// OracleCalls counts physical oracle invocations so far — retries and
+	// votes included. A resumed run seeds its querier with it, and a fault
+	// injector wrapped around the oracle is Seek'd to it, so the injected
+	// fault schedule stays aligned with an uninterrupted run.
+	OracleCalls uint64   `json:"oracle_calls"`
+	DIPs        []string `json:"dips"`
+	Answers     []string `json:"answers"`
+	// Metrics optionally embeds the registry snapshot at save time, for
+	// post-mortem inspection; resume does not consume it.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// LoadCheckpoint reads and validates a checkpoint file written by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("satattack: load checkpoint: %w", err)
+	}
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(data, cp); err != nil {
+		return nil, fmt.Errorf("satattack: load checkpoint %s: %w", path, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCheckpointMismatch, cp.Version, CheckpointVersion)
+	}
+	if len(cp.DIPs) != cp.Iterations || len(cp.Answers) != cp.Iterations {
+		return nil, fmt.Errorf("%w: %d iterations but %d DIPs / %d answers",
+			ErrCheckpointMismatch, cp.Iterations, len(cp.DIPs), len(cp.Answers))
+	}
+	for i := range cp.DIPs {
+		if _, err := stringToBits(cp.DIPs[i]); err != nil {
+			return nil, fmt.Errorf("%w: DIP %d: %v", ErrCheckpointMismatch, i, err)
+		}
+		if _, err := stringToBits(cp.Answers[i]); err != nil {
+			return nil, fmt.Errorf("%w: answer %d: %v", ErrCheckpointMismatch, i, err)
+		}
+	}
+	return cp, nil
+}
+
+// Save writes the checkpoint atomically: JSON to a temp file in the target
+// directory, fsync'd, then renamed over path. A crash mid-write leaves
+// either the previous checkpoint or the new one, never a torn file.
+func (cp *Checkpoint) Save(path string) error {
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("satattack: save checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("satattack: save checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("satattack: save checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("satattack: save checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("satattack: save checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("satattack: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// validateFor rejects a checkpoint recorded against a different circuit
+// before the attack spends any work on it.
+func (cp *Checkpoint) validateFor(locked *netlist.Circuit) error {
+	if cp.Circuit != locked.Name || cp.InputBits != len(locked.Inputs) || cp.KeyBits != len(locked.Keys) {
+		return fmt.Errorf("%w: checkpoint is for %q (%d inputs, %d keys), attack target is %q (%d inputs, %d keys)",
+			ErrCheckpointMismatch, cp.Circuit, cp.InputBits, cp.KeyBits,
+			locked.Name, len(locked.Inputs), len(locked.Keys))
+	}
+	return nil
+}
+
+// bitsToString renders a bit vector as a '0'/'1' string, LSB first.
+func bitsToString(bits []bool) string {
+	b := make([]byte, len(bits))
+	for i, v := range bits {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+func stringToBits(s string) ([]bool, error) {
+	bits := make([]bool, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			bits[i] = true
+		case '0':
+		default:
+			return nil, fmt.Errorf("bit %d is %q, want '0' or '1'", i, s[i])
+		}
+	}
+	return bits, nil
+}
+
+func encodeBitVectors(vs [][]bool) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = bitsToString(v)
+	}
+	return out
+}
+
+func equalBits(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package satattack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
+)
+
+// This file makes oracle I/O resilient. The attack's oracle is, in the threat
+// model, a physical activated IC behind a test harness: queries can fail
+// transiently, time out, or return bit-flipped answers. Two mechanisms guard
+// against that — per-query retry with exponential backoff + jitter, and
+// k-of-n majority voting that folds several noisy answers into one trusted
+// answer per output bit. Both are policy-driven so a perfect in-process
+// oracle (the default) pays a single function call and no allocation beyond
+// the vote slice.
+
+// ErrOracleUnavailable reports that a logical oracle query could not be
+// answered: every retry attempt failed, or too few votes succeeded to reach
+// the quorum. errors.Is(err, ErrOracleUnavailable) matches it.
+var ErrOracleUnavailable = errors.New("satattack: oracle unavailable")
+
+// ErrNoQuorum reports that the configured votes all returned, but some
+// output bit split without a quorum-sized majority — the answer cannot be
+// trusted. It wraps ErrOracleUnavailable, so callers checking only for that
+// sentinel handle both exhaustion and disagreement.
+var ErrNoQuorum = fmt.Errorf("%w: votes split below quorum", ErrOracleUnavailable)
+
+// RetryPolicy tunes per-attempt oracle retry. The zero value means a single
+// attempt with no backoff — exactly the pre-retry behaviour.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per physical query, the
+	// first included (default 1: fail on the first error).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles on
+	// each further attempt (default 1ms when retrying).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 250ms).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay additionally drawn uniformly at
+	// random, in [0, 1] (default 0.5). Jitter only shifts wall time; it
+	// never changes results, so attack determinism is unaffected.
+	Jitter float64
+	// Seed drives the jitter draws.
+	Seed int64
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	switch {
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter == 0:
+		p.Jitter = 0.5
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// querier answers logical oracle queries for the attack loop: each query is
+// opts.Votes physical queries, each physical query retried per the policy,
+// folded per output bit by majority with quorum as the minimum agreeing-vote
+// count. calls counts physical oracle invocations (votes × attempts) — the
+// checkpoint records it so a resumed run can Seek a fault injector back into
+// schedule alignment.
+type querier struct {
+	oracle Oracle
+	policy RetryPolicy
+	votes  int
+	quorum int
+	rng    *rand.Rand
+	mreg   *metrics.Registry
+	calls  uint64
+	sleep  func(time.Duration) // injectable for tests
+}
+
+func newQuerier(oracle Oracle, policy RetryPolicy, votes, quorum int, mreg *metrics.Registry) *querier {
+	if votes <= 0 {
+		votes = 1
+	}
+	if quorum <= 0 {
+		quorum = votes/2 + 1
+	}
+	if quorum > votes {
+		quorum = votes
+	}
+	p := policy.normalized()
+	return &querier{
+		oracle: oracle, policy: p, votes: votes, quorum: quorum,
+		rng: rand.New(rand.NewSource(p.Seed)), mreg: mreg, sleep: time.Sleep,
+	}
+}
+
+// query answers one logical oracle query. Interruption errors (context
+// cancellation between retry attempts) propagate unchanged; every other
+// failure mode surfaces as ErrOracleUnavailable.
+func (q *querier) query(ctx context.Context, in []bool) ([]bool, error) {
+	outs := make([][]bool, 0, q.votes)
+	var lastErr error
+	for v := 0; v < q.votes; v++ {
+		out, err := q.once(ctx, in)
+		if err != nil {
+			if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		outs = append(outs, out)
+	}
+	q.mreg.Add("retry_votes_total", int64(q.votes))
+	if len(outs) < q.quorum {
+		q.mreg.Add("retry_quorum_failures_total", 1)
+		return nil, fmt.Errorf("%w: %d of %d votes failed (last: %v)",
+			ErrOracleUnavailable, q.votes-len(outs), q.votes, lastErr)
+	}
+	width := len(outs[0])
+	for _, o := range outs[1:] {
+		if len(o) != width {
+			return nil, fmt.Errorf("%w: votes disagree on output width (%d vs %d)",
+				ErrOracleUnavailable, len(o), width)
+		}
+	}
+	ans := make([]bool, width)
+	for b := 0; b < width; b++ {
+		ones := 0
+		for _, o := range outs {
+			if o[b] {
+				ones++
+			}
+		}
+		zeros := len(outs) - ones
+		maj, cnt := ones > zeros, ones
+		if !maj {
+			cnt = zeros
+		}
+		if ones == zeros || cnt < q.quorum {
+			q.mreg.Add("retry_quorum_failures_total", 1)
+			return nil, fmt.Errorf("%w: output bit %d split %d/%d with quorum %d",
+				ErrNoQuorum, b, ones, zeros, q.quorum)
+		}
+		ans[b] = maj
+	}
+	return ans, nil
+}
+
+// once runs one physical query with retry: exponential backoff from
+// BaseDelay, doubled per attempt, capped at MaxDelay, plus seeded jitter.
+// Cancellation is honoured between attempts so a dead oracle cannot pin the
+// attack through its whole backoff ladder.
+func (q *querier) once(ctx context.Context, in []bool) ([]bool, error) {
+	var lastErr error
+	delay := q.policy.BaseDelay
+	for a := 0; a < q.policy.MaxAttempts; a++ {
+		if a > 0 {
+			d := delay
+			if j := q.policy.Jitter; j > 0 {
+				d += time.Duration(q.rng.Float64() * j * float64(delay))
+			}
+			if d > q.policy.MaxDelay {
+				d = q.policy.MaxDelay
+			}
+			q.sleep(d)
+			if delay <= q.policy.MaxDelay/2 {
+				delay *= 2
+			} else {
+				delay = q.policy.MaxDelay
+			}
+			q.mreg.Add("retry_oracle_retries_total", 1)
+			if cerr := interrupt.Check(ctx, "satattack: oracle retry", nil); cerr != nil {
+				return nil, cerr
+			}
+		}
+		q.calls++
+		q.mreg.Add("retry_oracle_attempts_total", 1)
+		out, err := q.oracle(in)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		q.mreg.Add("retry_oracle_failures_total", 1)
+	}
+	return nil, lastErr
+}

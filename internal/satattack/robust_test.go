@@ -1,0 +1,403 @@
+package satattack
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bindlock/internal/fault"
+	"bindlock/internal/metrics"
+	"bindlock/internal/netlist"
+	"bindlock/internal/progress"
+)
+
+// noSleep replaces the querier's backoff sleeps so retry tests run instantly.
+func noSleep(q *querier) *querier {
+	q.sleep = func(time.Duration) {}
+	return q
+}
+
+func TestQuerierRetryRecovers(t *testing.T) {
+	// An oracle that fails twice then answers must succeed under a
+	// 3-attempt policy, with the failures visible in retry_ counters.
+	calls := 0
+	oracle := func(in []bool) ([]bool, error) {
+		calls++
+		if calls <= 2 {
+			return nil, errors.New("transient")
+		}
+		return []bool{true, false}, nil
+	}
+	reg := metrics.New()
+	q := noSleep(newQuerier(oracle, RetryPolicy{MaxAttempts: 3}, 1, 1, reg))
+	out, err := q.query(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if !out[0] || out[1] {
+		t.Errorf("out = %v, want [true false]", out)
+	}
+	s := reg.Snapshot()
+	if v, _ := s.Counter("retry_oracle_failures_total"); v != 2 {
+		t.Errorf("retry_oracle_failures_total = %d, want 2", v)
+	}
+	if v, _ := s.Counter("retry_oracle_retries_total"); v != 2 {
+		t.Errorf("retry_oracle_retries_total = %d, want 2", v)
+	}
+	if q.calls != 3 {
+		t.Errorf("physical calls = %d, want 3", q.calls)
+	}
+}
+
+func TestQuerierRetryExhaustion(t *testing.T) {
+	oracle := func(in []bool) ([]bool, error) { return nil, errors.New("dead") }
+	q := noSleep(newQuerier(oracle, RetryPolicy{MaxAttempts: 4}, 1, 1, nil))
+	_, err := q.query(context.Background(), nil)
+	if !errors.Is(err, ErrOracleUnavailable) {
+		t.Fatalf("err = %v, want ErrOracleUnavailable", err)
+	}
+	if q.calls != 4 {
+		t.Errorf("physical calls = %d, want 4 (exhausted attempts)", q.calls)
+	}
+}
+
+func TestQuerierMajorityVoting(t *testing.T) {
+	// Two of five votes corrupt bit 0; 3-of-5 majority recovers the truth.
+	call := 0
+	oracle := func(in []bool) ([]bool, error) {
+		call++
+		out := []bool{false, true}
+		if call == 2 || call == 4 {
+			out[0] = true
+		}
+		return out, nil
+	}
+	q := noSleep(newQuerier(oracle, RetryPolicy{}, 5, 3, nil))
+	out, err := q.query(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if out[0] || !out[1] {
+		t.Errorf("out = %v, want [false true]", out)
+	}
+}
+
+func TestQuerierNoQuorum(t *testing.T) {
+	// A bit that splits 2/2 can never reach a 3-vote quorum.
+	call := 0
+	oracle := func(in []bool) ([]bool, error) {
+		call++
+		return []bool{call%2 == 0}, nil
+	}
+	reg := metrics.New()
+	q := noSleep(newQuerier(oracle, RetryPolicy{}, 4, 3, reg))
+	_, err := q.query(context.Background(), nil)
+	if !errors.Is(err, ErrNoQuorum) || !errors.Is(err, ErrOracleUnavailable) {
+		t.Fatalf("err = %v, want ErrNoQuorum (wrapping ErrOracleUnavailable)", err)
+	}
+	if v, _ := reg.Snapshot().Counter("retry_quorum_failures_total"); v != 1 {
+		t.Errorf("retry_quorum_failures_total = %d, want 1", v)
+	}
+}
+
+func TestVerifyKeyRetriesFlakyOracle(t *testing.T) {
+	base, _ := netlist.NewAdder(3)
+	locked, key, _ := netlist.LockXOR(base, 4, 1)
+	perfect := OracleFromCircuit(locked, key)
+	calls := 0
+	flaky := Oracle(func(in []bool) ([]bool, error) {
+		calls++
+		if calls%3 == 0 {
+			return nil, errors.New("transient")
+		}
+		return perfect(in)
+	})
+	// Without a policy the first hiccup kills the sweep...
+	err := VerifyKey(context.Background(), locked, key, flaky)
+	if !errors.Is(err, ErrOracleUnavailable) {
+		t.Fatalf("no-retry VerifyKey err = %v, want ErrOracleUnavailable", err)
+	}
+	// ...with one it completes.
+	if err := VerifyKey(context.Background(), locked, key, flaky,
+		RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond}); err != nil {
+		t.Fatalf("retrying VerifyKey: %v", err)
+	}
+}
+
+func TestVerifyKeyOracleUnavailable(t *testing.T) {
+	base, _ := netlist.NewAdder(3)
+	locked, key, _ := netlist.LockXOR(base, 4, 1)
+	dead := Oracle(func(in []bool) ([]bool, error) { return nil, errors.New("unplugged") })
+	err := VerifyKey(context.Background(), locked, key, dead,
+		RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond})
+	if !errors.Is(err, ErrOracleUnavailable) {
+		t.Fatalf("err = %v, want ErrOracleUnavailable after exhaustion", err)
+	}
+}
+
+// TestAttackSurvivesFaultPlan is the fixed-seed acceptance scenario: 10%
+// transient failures plus 1% bit-flip noise on every oracle answer, and the
+// attack with retries + 3-of-5 voting still recovers a correct key, with the
+// fault and retry counters visible in the metrics snapshot.
+func TestAttackSurvivesFaultPlan(t *testing.T) {
+	base, err := netlist.NewAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key, err := netlist.LockXOR(base, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect := OracleFromCircuit(locked, key)
+	reg := metrics.New()
+	inj := fault.New(fault.Plan{Seed: 2021, TransientRate: 0.10, BitFlipRate: 0.01}).WithRegistry(reg)
+	noisy := Oracle(inj.WrapOracle(perfect))
+
+	ctx := metrics.NewContext(context.Background(), reg)
+	res, err := Attack(ctx, locked, noisy, Options{
+		Retry:  RetryPolicy{MaxAttempts: 6, BaseDelay: time.Microsecond, Seed: 1},
+		Votes:  5,
+		Quorum: 3,
+	})
+	if err != nil {
+		t.Fatalf("attack under fault plan: %v", err)
+	}
+	if err := VerifyKey(context.Background(), locked, res.Key, perfect); err != nil {
+		t.Fatalf("recovered key is wrong: %v", err)
+	}
+	s := reg.Snapshot()
+	for _, name := range []string{"fault_oracle_calls_total", "retry_oracle_attempts_total", "retry_votes_total"} {
+		if v, ok := s.Counter(name); !ok || v == 0 {
+			t.Errorf("counter %s = %d (present %v); want > 0", name, v, ok)
+		}
+	}
+	if tr, _ := s.Counter("fault_transients_total"); tr == 0 {
+		t.Error("fault plan injected no transients; test is vacuous")
+	}
+	// The environment telemetry must stay out of the deterministic subset.
+	det := s.Deterministic()
+	for _, c := range det.Counters {
+		for _, p := range []string{"fault_", "retry_", "resume_"} {
+			if strings.HasPrefix(c.Name, p) {
+				t.Errorf("deterministic subset leaked %s", c.Name)
+			}
+		}
+	}
+	t.Logf("survived fault plan: %d iterations, %d physical oracle calls", res.Iterations, inj.Calls())
+}
+
+func TestAttackOracleFailurePartialResult(t *testing.T) {
+	// An oracle that dies permanently mid-attack: the attack surfaces
+	// ErrOracleUnavailable together with the partial result.
+	base, _ := netlist.NewAdder(3)
+	locked, key, _ := netlist.LockSFLLHD0(base, []uint64{5})
+	perfect := OracleFromCircuit(locked, key)
+	calls := 0
+	dying := Oracle(func(in []bool) ([]bool, error) {
+		calls++
+		if calls > 2 {
+			return nil, errors.New("oracle power lost")
+		}
+		return perfect(in)
+	})
+	res, err := Attack(context.Background(), locked, dying, Options{
+		Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond},
+	})
+	if !errors.Is(err, ErrOracleUnavailable) {
+		t.Fatalf("err = %v, want ErrOracleUnavailable", err)
+	}
+	if res == nil || res.Iterations == 0 || len(res.Key) != len(locked.Keys) {
+		t.Fatalf("oracle failure must leave a partial result with best-guess key: %+v", res)
+	}
+}
+
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "attack.ckpt")
+	cp := &Checkpoint{
+		Version: CheckpointVersion, Circuit: "adder4", InputBits: 8, KeyBits: 8,
+		Iterations: 2, OracleCalls: 17,
+		DIPs:    []string{"01010101", "10000001"},
+		Answers: []string{"00110", "11001"},
+	}
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(cp)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Errorf("round trip mismatch:\n%s\n%s", a, b)
+	}
+
+	bad := *cp
+	bad.Version = 99
+	if err := bad.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("wrong version: err = %v, want ErrCheckpointMismatch", err)
+	}
+	bad = *cp
+	bad.Iterations = 3
+	if err := bad.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("truncated transcript: err = %v, want ErrCheckpointMismatch", err)
+	}
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestCheckpointRejectsWrongCircuit(t *testing.T) {
+	base, _ := netlist.NewAdder(3)
+	locked, key, _ := netlist.LockXOR(base, 4, 1)
+	cp := &Checkpoint{
+		Version: CheckpointVersion, Circuit: "someone-else",
+		InputBits: len(locked.Inputs), KeyBits: len(locked.Keys),
+	}
+	_, err := Attack(context.Background(), locked, OracleFromCircuit(locked, key), Options{Resume: cp})
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// attackToCompletion runs an uninterrupted attack on a fresh registry and
+// returns the result plus the deterministic metrics subset, serialised.
+func attackToCompletion(t *testing.T, locked *netlist.Circuit, oracle Oracle, opts Options) (*Result, string) {
+	t.Helper()
+	reg := metrics.New()
+	ctx := metrics.NewContext(context.Background(), reg)
+	res, err := Attack(ctx, locked, oracle, opts)
+	if err != nil {
+		t.Fatalf("attack: %v", err)
+	}
+	det, err := json.Marshal(reg.Snapshot().Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(det)
+}
+
+// TestAttackCheckpointResume kills an attack at a fixed iteration via a
+// cancelling progress hook, resumes from the checkpoint it left behind, and
+// requires the recovered key, iteration count, DIP transcript, and
+// deterministic metrics to be byte-identical to an uninterrupted run.
+func TestAttackCheckpointResume(t *testing.T) {
+	base, err := netlist.NewAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key, err := netlist.LockXOR(base, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OracleFromCircuit(locked, key)
+
+	full, fullDet := attackToCompletion(t, locked, oracle, Options{})
+	if full.Iterations < 2 {
+		t.Skipf("attack converged in %d iterations; nothing to interrupt", full.Iterations)
+	}
+	killAt := full.Iterations - 1
+
+	// Phase 1: run with checkpointing, cancel as soon as iteration killAt
+	// completes. The checkpoint is written before the Step event fires, so
+	// the file holds exactly killAt iterations.
+	path := filepath.Join(t.TempDir(), "attack.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hook := progress.Func(func(e progress.Event) {
+		if e.Kind == progress.Step && e.Phase == "attack" && e.Done >= killAt {
+			cancel()
+		}
+	})
+	_, err = Attack(progress.NewContext(ctx, hook), locked, oracle,
+		Options{CheckpointPath: path, CheckpointEvery: 1})
+	if err == nil {
+		t.Fatal("cancelled attack must not complete")
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Iterations != killAt {
+		t.Fatalf("checkpoint holds %d iterations, want %d", cp.Iterations, killAt)
+	}
+
+	// Phase 2: resume on a fresh registry and compare everything.
+	res, resDet := attackToCompletion(t, locked, oracle, Options{Resume: cp})
+	if !equalBits(res.Key, full.Key) {
+		t.Errorf("resumed key %v != uninterrupted key %v", res.Key, full.Key)
+	}
+	if res.Iterations != full.Iterations {
+		t.Errorf("resumed iterations %d != uninterrupted %d", res.Iterations, full.Iterations)
+	}
+	if len(res.DIPs) != len(full.DIPs) {
+		t.Fatalf("resumed DIP count %d != %d", len(res.DIPs), len(full.DIPs))
+	}
+	for i := range res.DIPs {
+		if !equalBits(res.DIPs[i], full.DIPs[i]) {
+			t.Errorf("DIP %d diverged: %s vs %s", i, bitsToString(res.DIPs[i]), bitsToString(full.DIPs[i]))
+		}
+	}
+	if resDet != fullDet {
+		t.Errorf("Deterministic() snapshots differ:\nresumed:       %s\nuninterrupted: %s", resDet, fullDet)
+	}
+	if err := VerifyKey(context.Background(), locked, res.Key, oracle); err != nil {
+		t.Errorf("resumed key wrong: %v", err)
+	}
+}
+
+// TestAttackCheckpointMismatchOnDivergence feeds a checkpoint whose recorded
+// DIP cannot match what the solver re-derives.
+func TestAttackCheckpointMismatchOnDivergence(t *testing.T) {
+	base, _ := netlist.NewAdder(4)
+	locked, key, _ := netlist.LockXOR(base, 8, 3)
+	oracle := OracleFromCircuit(locked, key)
+	full, _ := attackToCompletion(t, locked, oracle, Options{})
+	if full.Iterations == 0 {
+		t.Skip("attack needed no DIPs")
+	}
+	flipped := append([]bool(nil), full.DIPs[0]...)
+	flipped[0] = !flipped[0]
+	cp := &Checkpoint{
+		Version: CheckpointVersion, Circuit: locked.Name,
+		InputBits: len(locked.Inputs), KeyBits: len(locked.Keys),
+		Iterations: 1,
+		DIPs:       []string{bitsToString(flipped)},
+		Answers:    []string{bitsToString(make([]bool, len(locked.Outputs)))},
+	}
+	_, err := Attack(context.Background(), locked, oracle, Options{Resume: cp})
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestApproxAttackWithVoting: the approximate attack shares the resilient
+// querier, so a noisy oracle still yields a usable low-error key.
+func TestApproxAttackWithVoting(t *testing.T) {
+	base, _ := netlist.NewAdder(4)
+	locked, key, _ := netlist.LockXOR(base, 8, 3)
+	perfect := OracleFromCircuit(locked, key)
+	inj := fault.New(fault.Plan{Seed: 7, TransientRate: 0.1, BitFlipRate: 0.005})
+	noisy := Oracle(inj.WrapOracle(perfect))
+	res, err := ApproxAttack(context.Background(), locked, noisy, ApproxOptions{
+		MaxIterations: 64, ErrorSamples: 200, Seed: 3,
+		Retry: RetryPolicy{MaxAttempts: 6, BaseDelay: time.Microsecond},
+		Votes: 5, Quorum: 3,
+	})
+	if err != nil {
+		t.Fatalf("approx attack under noise: %v", err)
+	}
+	if res.EstErrorRate > 0.05 {
+		t.Errorf("estimated error rate %.3f; voting should have recovered a near-exact key", res.EstErrorRate)
+	}
+}

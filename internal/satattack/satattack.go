@@ -49,6 +49,28 @@ type Options struct {
 	MaxIterations int
 	// MaxConflicts bounds each SAT call (default sat.DefaultMaxConflicts).
 	MaxConflicts int64
+	// Retry tunes per-query oracle retry (zero value: single attempt, the
+	// pre-retry behaviour).
+	Retry RetryPolicy
+	// Votes is the number of oracle queries per DIP, folded per output bit
+	// by majority vote (default 1: trust the single answer).
+	Votes int
+	// Quorum is the minimum agreeing votes per output bit (default simple
+	// majority, Votes/2+1). A bit that splits without a quorum-sized
+	// majority fails the query with ErrNoQuorum.
+	Quorum int
+	// CheckpointPath, when set, makes the attack write its oracle
+	// transcript (DIPs + answers + counters) atomically to this file, so a
+	// killed attack can be resumed bit-identically.
+	CheckpointPath string
+	// CheckpointEvery is the iteration interval between checkpoint writes
+	// (default 1: every iteration).
+	CheckpointEvery int
+	// Resume replays a previously saved checkpoint before querying the
+	// oracle live: each re-solved DIP is asserted against the recorded one
+	// (ErrCheckpointMismatch on divergence) and the recorded answer is used
+	// in place of an oracle query.
+	Resume *Checkpoint
 }
 
 // Result reports a completed or interrupted attack.
@@ -91,12 +113,28 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	if maxIter == 0 {
 		maxIter = 1 << 20
 	}
+	ckEvery := opts.CheckpointEvery
+	if ckEvery <= 0 {
+		ckEvery = 1
+	}
 
 	hook := progress.FromContext(ctx)
 	progress.Start(hook, "attack", locked.Name)
 	start := time.Now()
 
 	mreg := metrics.FromContext(ctx)
+
+	q := newQuerier(oracle, opts.Retry, opts.Votes, opts.Quorum, mreg)
+	replay := opts.Resume
+	if replay != nil {
+		if err := replay.validateFor(locked); err != nil {
+			return nil, err
+		}
+		// Physical-call continuity: the querier resumes counting where the
+		// interrupted run stopped, so later checkpoints stay cumulative and
+		// a fault injector Seek'd to OracleCalls stays schedule-aligned.
+		q.calls = replay.OracleCalls
+	}
 
 	// Miter solver: two key copies over shared inputs, outputs forced to
 	// differ somewhere.
@@ -147,6 +185,27 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 		progress.End(hook, "attack", fmt.Sprintf("interrupted after %d DIPs", res.Iterations))
 		return res, interrupt.Rewrap(attackOp, cause, res)
 	}
+	var answers [][]bool // oracle transcript, parallel to res.DIPs
+	saveCheckpoint := func() error {
+		if opts.CheckpointPath == "" {
+			return nil
+		}
+		cp := &Checkpoint{
+			Version:     CheckpointVersion,
+			Circuit:     locked.Name,
+			InputBits:   len(locked.Inputs),
+			KeyBits:     len(locked.Keys),
+			Iterations:  res.Iterations,
+			OracleCalls: q.calls,
+			DIPs:        encodeBitVectors(res.DIPs),
+			Answers:     encodeBitVectors(answers),
+		}
+		if snap := mreg.Snapshot(); !snap.Empty() {
+			cp.Metrics = &snap
+		}
+		mreg.Add("resume_checkpoints_written_total", 1)
+		return cp.Save(opts.CheckpointPath)
+	}
 	for res.Iterations < maxIter {
 		if cerr := interrupt.Check(ctx, attackOp, nil); cerr != nil {
 			return interrupted(cerr)
@@ -165,21 +224,45 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 		}
 		res.Iterations++
 		mreg.Add("satattack_dips_total", 1)
-		progress.Emit(hook, progress.Event{
-			Kind: progress.Step, Phase: "attack",
-			Done: res.Iterations, Total: maxIter, Detail: "DIP",
-		})
 
 		dip := make([]bool, len(inst1.Inputs))
 		for i, v := range inst1.Inputs {
 			dip[i] = me.S.Value(v)
 		}
 		res.DIPs = append(res.DIPs, dip)
-		outs, err := oracle(dip)
-		if err != nil {
-			return nil, fmt.Errorf("satattack: oracle query: %w", err)
+
+		// Answer the DIP: from the replayed transcript while it lasts (the
+		// solver is deterministic, so the re-solved DIP must match the
+		// recorded one), live through the resilient querier after. The
+		// logical query counter covers both paths — it tracks the
+		// computation, not the I/O, and so stays in the deterministic
+		// metrics subset.
+		var outs []bool
+		if replay != nil && res.Iterations <= replay.Iterations {
+			rec, _ := stringToBits(replay.DIPs[res.Iterations-1]) // validated by LoadCheckpoint
+			if !equalBits(dip, rec) {
+				return nil, fmt.Errorf("%w: iteration %d re-solved DIP %s, checkpoint recorded %s",
+					ErrCheckpointMismatch, res.Iterations, bitsToString(dip), replay.DIPs[res.Iterations-1])
+			}
+			outs, _ = stringToBits(replay.Answers[res.Iterations-1])
+			mreg.Add("resume_replayed_queries_total", 1)
+		} else {
+			outs, err = q.query(ctx, dip)
+			if err != nil {
+				if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
+					return interrupted(err)
+				}
+				// Oracle exhausted: surface the partial result (DIPs paid
+				// for so far, best-effort key) alongside the typed error so
+				// a caller holding a checkpoint loses nothing.
+				res.Duration = time.Since(start)
+				extractKey(ctx, ke, keyVars, res)
+				progress.End(hook, "attack", fmt.Sprintf("oracle failed after %d DIPs", res.Iterations))
+				return res, fmt.Errorf("satattack: oracle query (iteration %d): %w", res.Iterations, err)
+			}
 		}
 		mreg.Add("satattack_oracle_queries_total", 1)
+		answers = append(answers, outs)
 
 		// Constrain both miter key copies and the key solver with the
 		// observed I/O behaviour.
@@ -200,6 +283,26 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 					enc.e.FixVar(ov, outs[i])
 				}
 			}
+		}
+
+		// Checkpoint before the progress event: a hook that cancels on
+		// seeing iteration k then finds the file holding exactly k
+		// iterations, which is what the resume tests rely on.
+		if res.Iterations%ckEvery == 0 {
+			if err := saveCheckpoint(); err != nil {
+				return nil, err
+			}
+		}
+		progress.Emit(hook, progress.Event{
+			Kind: progress.Step, Phase: "attack",
+			Done: res.Iterations, Total: maxIter, Detail: "DIP",
+		})
+	}
+	// Flush the transcript tail so the file always reflects the final state,
+	// whatever interval the writes were on.
+	if opts.CheckpointPath != "" && res.Iterations%ckEvery != 0 {
+		if err := saveCheckpoint(); err != nil {
+			return nil, err
 		}
 	}
 	if res.Iterations >= maxIter {
@@ -249,11 +352,19 @@ const exhaustiveBits = 16
 
 // VerifyKey checks that the recovered key makes the locked circuit agree
 // with the oracle. It is exhaustive up to 2^16 input combinations and
-// samples a strided subset above that; the sweep honours ctx.
-func VerifyKey(ctx context.Context, locked *netlist.Circuit, key []bool, oracle Oracle) error {
+// samples a strided subset above that; the sweep honours ctx. An optional
+// RetryPolicy makes each oracle query resilient the same way Attack's are;
+// once the policy is exhausted on a query, VerifyKey returns an error
+// matching ErrOracleUnavailable rather than aborting on the first hiccup.
+func VerifyKey(ctx context.Context, locked *netlist.Circuit, key []bool, oracle Oracle, policy ...RetryPolicy) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var rp RetryPolicy
+	if len(policy) > 0 {
+		rp = policy[0]
+	}
+	q := newQuerier(oracle, rp, 1, 1, metrics.FromContext(ctx))
 	n := len(locked.Inputs)
 	// Count iterations rather than striding to a space bound: `1 << n`
 	// wraps to 0 at n = 64, which silently verified 64+-input circuits
@@ -280,9 +391,12 @@ func VerifyKey(ctx context.Context, locked *netlist.Circuit, key []bool, oracle 
 		if err != nil {
 			return err
 		}
-		want, err := oracle(in)
+		want, err := q.query(ctx, in)
 		if err != nil {
-			return err
+			if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
+				return err
+			}
+			return fmt.Errorf("satattack: verify key at input %#x: %w", v, err)
 		}
 		for i := range got {
 			if got[i] != want[i] {

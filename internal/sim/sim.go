@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"bindlock/internal/dfg"
+	"bindlock/internal/fault"
 	"bindlock/internal/interrupt"
 	"bindlock/internal/metrics"
 	"bindlock/internal/parallel"
@@ -240,6 +241,9 @@ func Run(ctx context.Context, g *dfg.Graph, tr *trace.Trace) (*Result, error) {
 func RunN(ctx context.Context, g *dfg.Graph, tr *trace.Trace, workers int) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := fault.Hit(ctx, "sim.run"); err != nil {
+		return nil, fmt.Errorf("sim: run: %w", err)
 	}
 	inputIdx := make(map[dfg.OpID]int)
 	for _, id := range g.Inputs() {
