@@ -32,6 +32,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/frontend -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sat -run '^$$' -fuzz FuzzParseDIMACS -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzFingerprint -fuzztime $(FUZZTIME)
 
 # chaos runs the full tier-1 suite under a randomized-seed fault plan
 # (picked up by the chaos-aware tests via BINDLOCK_CHAOS_SEED). The suite
@@ -67,5 +68,9 @@ profile:
 	$(GO) run ./cmd/benchpar -o BENCH_parallel.json -metrics metrics.json \
 		-cpuprofile cpu.pprof -memprofile mem.pprof
 
+# clean removes build caches and every generated artifact the targets above
+# leave behind: coverage profiles, pprof profiles, metrics snapshots, attack
+# checkpoints and benchmark baselines.
 clean:
 	$(GO) clean ./...
+	rm -f cover.out *.pprof metrics.json metrics.prom *.ckpt BENCH_parallel.json

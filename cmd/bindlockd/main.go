@@ -1,0 +1,159 @@
+// Command bindlockd serves the repository's workloads — prepare, bind, lock,
+// attack, codesign — as an asynchronous HTTP job service with a
+// content-addressed result cache.
+//
+// Usage:
+//
+//	bindlockd [-addr :8080] [-j N] [-job-parallelism 1] [-max-queue 64]
+//	          [-job-timeout 0] [-cache-dir DIR] [-cache-bytes 256MiB]
+//	          [-drain-timeout 30s]
+//	          [-metrics out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// API:
+//
+//	POST   /v1/jobs      submit {"kind": "attack", ...}; 202 with a job id,
+//	                     200 immediately when the result cache already holds
+//	                     the fingerprint
+//	GET    /v1/jobs/{id} status, progress, result (or partial result)
+//	DELETE /v1/jobs/{id} cancel
+//	GET    /healthz      liveness; 503 while draining
+//	GET    /metrics      Prometheus text exposition
+//
+// -j sizes the worker slots (default GOMAXPROCS); -job-parallelism bounds the
+// compute-stack workers inside each job. -job-timeout deadline-bounds every
+// job; an expired job fails with its partial results attached. -cache-dir
+// adds a disk tier to the result cache and a checkpoint directory for
+// in-flight attacks, so a drained or killed daemon resumes interrupted
+// attacks bit-identically on restart. On SIGINT/SIGTERM the daemon stops
+// accepting work, gives running jobs -drain-timeout to finish, checkpoints
+// whatever is still running, and exits 0 (2 if jobs were cut short).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"bindlock/internal/cli"
+	"bindlock/internal/metrics"
+	"bindlock/internal/server"
+	"bindlock/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("j", 0, "worker slots (concurrent jobs); 0 means GOMAXPROCS")
+	jobParallelism := flag.Int("job-parallelism", 1, "compute-stack workers inside each job")
+	maxQueue := flag.Int("max-queue", 64, "bound on the submit queue; beyond it submissions get 429")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline; 0 means none")
+	cacheDir := flag.String("cache-dir", "", "directory for the result cache's disk tier and attack checkpoints; empty means memory only")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "byte budget of the in-memory result cache tier")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on SIGTERM before they are cancelled")
+	metricsFile := flag.String("metrics", "", "write a metrics snapshot to this file on exit (JSON, or Prometheus text for .prom)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	flag.Parse()
+
+	tel, err := cli.NewTelemetry(*metricsFile, *cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bindlockd:", err)
+		os.Exit(cli.ExitFailure)
+	}
+	err = run(tel.Context(context.Background()), options{
+		addr: *addr, workers: *workers, jobParallelism: *jobParallelism,
+		maxQueue: *maxQueue, jobTimeout: *jobTimeout,
+		cacheDir: *cacheDir, cacheBytes: *cacheBytes, drainTimeout: *drainTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bindlockd:", err)
+	}
+	tel.Exit(cli.ExitCode(err))
+}
+
+type options struct {
+	addr           string
+	workers        int
+	jobParallelism int
+	maxQueue       int
+	jobTimeout     time.Duration
+	cacheDir       string
+	cacheBytes     int64
+	drainTimeout   time.Duration
+}
+
+func run(ctx context.Context, o options) error {
+	reg := metrics.FromContext(ctx)
+	if reg == nil {
+		reg = metrics.New()
+	}
+	st, err := store.Open(o.cacheDir, o.cacheBytes, reg)
+	if err != nil {
+		return err
+	}
+	ckptDir := ""
+	if o.cacheDir != "" {
+		ckptDir = filepath.Join(o.cacheDir, "checkpoints")
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
+	mgr, err := server.New(server.Config{
+		Workers: o.workers, MaxQueue: o.maxQueue,
+		JobTimeout: o.jobTimeout, JobParallelism: o.jobParallelism,
+		CheckpointDir: ckptDir, Store: st, Registry: reg,
+	})
+	if err != nil {
+		return err
+	}
+	mgr.Start()
+
+	srv := &http.Server{Addr: o.addr, Handler: mgr.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("bindlockd: listening on %s (cache dir %q)\n", o.addr, o.cacheDir)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop()
+	fmt.Println("bindlockd: draining...")
+
+	// Stop accepting connections first, then give running jobs their grace.
+	closeCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	srv.Shutdown(closeCtx)
+
+	drainCtx, dcancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer dcancel()
+	mgr.Drain(drainCtx)
+
+	// A drain that cut running jobs short exits with the interrupted code:
+	// their checkpoints are on disk and a restart resumes them.
+	if cut := cutShort(mgr); cut > 0 {
+		return fmt.Errorf("drained with %d jobs interrupted: %w", cut, context.Canceled)
+	}
+	fmt.Println("bindlockd: drained")
+	return nil
+}
+
+// cutShort counts jobs the drain cancelled rather than completed.
+func cutShort(mgr *server.Manager) int {
+	n := 0
+	for _, j := range mgr.List() {
+		if j.State == server.StateCancelled && j.Started != nil {
+			n++
+		}
+	}
+	return n
+}

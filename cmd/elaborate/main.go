@@ -6,7 +6,12 @@
 // Usage:
 //
 //	elaborate -bench fir [-class adder] [-locked-fus 1] [-inputs 1]
-//	          [-samples 600] [-seed 1] [-out DIR]
+//	          [-samples 600] [-seed 1] [-out DIR] [-timeout 0]
+//	          [-metrics out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// Exit codes follow the repository convention: 0 success, 1 failure,
+// 2 interrupted (-timeout expiry or Ctrl-C). -metrics writes a metrics
+// snapshot (JSON, or Prometheus text with a .prom extension) on every exit.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"bindlock"
 	"bindlock/internal/binding"
+	"bindlock/internal/cli"
 	"bindlock/internal/cnf"
 	"bindlock/internal/codesign"
 	"bindlock/internal/dfg"
@@ -36,15 +42,32 @@ func main() {
 	samples := flag.Int("samples", 600, "workload samples")
 	seed := flag.Int64("seed", 1, "workload seed")
 	outDir := flag.String("out", ".", "output directory")
+	timeout := flag.Duration("timeout", 0, "bound the export wall time; 0 means no limit")
+	metricsFile := flag.String("metrics", "", "write a metrics snapshot to this file on exit (JSON, or Prometheus text for .prom)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*bench, *className, *lockedFUs, *inputs, *samples, *seed, *outDir); err != nil {
+	tel, err := cli.NewTelemetry(*metricsFile, *cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "elaborate:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	err = run(tel.Context(ctx), *bench, *className, *lockedFUs, *inputs, *samples, *seed, *outDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elaborate:", err)
+	}
+	// Telemetry flushes on every path, interrupted exports included.
+	tel.Exit(cli.ExitCode(err))
 }
 
-func run(benchName, className string, lockedFUs, inputs, samples int, seed int64, outDir string) error {
+func run(ctx context.Context, benchName, className string, lockedFUs, inputs, samples int, seed int64, outDir string) error {
 	class := dfg.ClassAdd
 	if className == "multiplier" {
 		class = dfg.ClassMul
@@ -56,7 +79,7 @@ func run(benchName, className string, lockedFUs, inputs, samples int, seed int64
 	if err != nil {
 		return err
 	}
-	p, err := b.Prepare(context.Background(), 3, samples, seed)
+	p, err := b.Prepare(ctx, 3, samples, seed)
 	if err != nil {
 		return err
 	}
@@ -70,7 +93,7 @@ func run(benchName, className string, lockedFUs, inputs, samples int, seed int64
 	for i, mc := range top {
 		cands[i] = mc.M
 	}
-	co, err := codesign.Heuristic(context.Background(), p.G, p.Res.K, codesign.Options{
+	co, err := codesign.Heuristic(ctx, p.G, p.Res.K, codesign.Options{
 		Class: class, NumFUs: p.NumFUs, LockedFUs: lockedFUs, MintermsPerFU: inputs,
 		Candidates: cands, Scheme: locking.SFLLRem,
 	})

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxRequestBody bounds a job submission body.
+const maxRequestBody = 1 << 20
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/jobs      submit a job (202; 200 when served from cache)
+//	GET    /v1/jobs      list jobs
+//	GET    /v1/jobs/{id} job status, progress and result
+//	DELETE /v1/jobs/{id} cancel a job
+//	GET    /healthz      liveness (503 while draining)
+//	GET    /metrics      Prometheus text exposition of the server registry
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", m.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
+	mux.HandleFunc("GET /healthz", m.handleHealthz)
+	mux.HandleFunc("GET /metrics", m.handleMetrics)
+	return mux
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	j, err := m.Submit(req)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	status := http.StatusAccepted
+	if j.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, j)
+}
+
+// submitStatus maps submission errors onto HTTP status codes.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running, total, draining := m.Stats()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status": state, "queued": queued, "running": running,
+		"jobs": total, "store_bytes": m.store.Bytes(),
+	})
+}
+
+func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.reg.Snapshot().WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"bindlock/internal/progress"
+)
+
+// State is a job's lifecycle stage.
+type State string
+
+// The job states. Queued and Running are live; Done, Failed and Cancelled
+// are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// ProgressEntry is one progress event retained in a job record.
+type ProgressEntry struct {
+	Kind   string `json:"kind"`
+	Phase  string `json:"phase"`
+	Done   int    `json:"done,omitempty"`
+	Total  int    `json:"total,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// progressRing is the per-job progress.Hook: a bounded ring of the most
+// recent events plus a running total, so a chatty attack (one Step per DIP)
+// cannot grow a job record without bound.
+type progressRing struct {
+	mu    sync.Mutex
+	buf   []ProgressEntry
+	next  int
+	total int
+}
+
+const progressRingCap = 32
+
+// OnProgress implements progress.Hook.
+func (p *progressRing) OnProgress(e progress.Event) {
+	entry := ProgressEntry{
+		Kind: e.Kind.String(), Phase: e.Phase,
+		Done: e.Done, Total: e.Total, Detail: e.Detail,
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.buf) < progressRingCap {
+		p.buf = append(p.buf, entry)
+	} else {
+		p.buf[p.next%progressRingCap] = entry
+	}
+	p.next++
+	p.total++
+}
+
+// snapshot returns the retained events oldest-first plus the total count.
+func (p *progressRing) snapshot() ([]ProgressEntry, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProgressEntry, 0, len(p.buf))
+	if len(p.buf) < progressRingCap {
+		out = append(out, p.buf...)
+	} else {
+		for i := 0; i < progressRingCap; i++ {
+			out = append(out, p.buf[(p.next+i)%progressRingCap])
+		}
+	}
+	return out, p.total
+}
+
+// steps returns how many Step events of the phase were retained; tests and
+// drain heuristics use it to tell whether a job has made real progress.
+func (p *progressRing) steps(phase string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.buf {
+		if e.Kind == "step" && e.Phase == phase {
+			n++
+		}
+	}
+	return n
+}
+
+// job is the manager's internal record. Fields are guarded by mu; the
+// Job snapshot is the only thing handed out.
+type job struct {
+	mu sync.Mutex
+
+	id   string
+	kind string
+	key  string
+	req  *resolved
+
+	state      State
+	cached     bool
+	resumed    bool
+	checkpoint string
+	result     json.RawMessage
+	partial    json.RawMessage
+	errMsg     string
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	prog *progressRing
+
+	// cancel aborts the running job; non-nil exactly while state is
+	// StateRunning.
+	cancel context.CancelCauseFunc
+}
+
+// Job is the externally visible job record, as served by the HTTP API.
+type Job struct {
+	ID    string  `json:"id"`
+	Kind  string  `json:"kind"`
+	State State   `json:"state"`
+	Key   string  `json:"key"`
+	Req   Request `json:"request"`
+
+	// Cached reports that the result was served from the content-addressed
+	// store without running.
+	Cached bool `json:"cached,omitempty"`
+	// Resumed reports that an attack job continued from a checkpoint left
+	// behind by a drained predecessor.
+	Resumed bool `json:"resumed,omitempty"`
+	// Checkpoint is the path of the oracle transcript an interrupted attack
+	// left behind; resubmitting the identical request resumes from it.
+	Checkpoint string `json:"checkpoint,omitempty"`
+
+	// Result is the canonical result payload of a Done job — the exact
+	// bytes the cache stores and any identical future request is served.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Partial is the best-so-far payload an interrupted job surfaced
+	// through the typed interrupt errors.
+	Partial json.RawMessage `json:"partial,omitempty"`
+	Error   string          `json:"error,omitempty"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+
+	// Progress holds the most recent progress events (bounded) and
+	// ProgressTotal the lifetime event count.
+	Progress      []ProgressEntry `json:"progress,omitempty"`
+	ProgressTotal int             `json:"progress_total,omitempty"`
+}
+
+// snapshot copies the record under its lock.
+func (j *job) snapshot() Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := Job{
+		ID: j.id, Kind: j.kind, State: j.state, Key: j.key, Req: j.req.Request,
+		Cached: j.cached, Resumed: j.resumed, Checkpoint: j.checkpoint,
+		Result: j.result, Partial: j.partial, Error: j.errMsg,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		out.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		out.Finished = &t
+	}
+	if j.prog != nil {
+		out.Progress, out.ProgressTotal = j.prog.snapshot()
+	}
+	return out
+}
+
+// setResumed records that the running attack picked up a checkpoint.
+func (j *job) setResumed(path string) {
+	j.mu.Lock()
+	j.resumed = path != ""
+	j.checkpoint = path
+	j.mu.Unlock()
+}
+
+// setCheckpoint records where an interrupted attack left its transcript.
+func (j *job) setCheckpoint(path string) {
+	j.mu.Lock()
+	j.checkpoint = path
+	j.mu.Unlock()
+}

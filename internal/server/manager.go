@@ -1,0 +1,433 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bindlock"
+	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
+	"bindlock/internal/parallel"
+	"bindlock/internal/progress"
+	"bindlock/internal/store"
+)
+
+// Submission errors, distinguished so the HTTP layer can map them onto
+// status codes (400 / 429 / 503).
+var (
+	// ErrBadRequest wraps request validation failures.
+	ErrBadRequest = errors.New("server: bad request")
+	// ErrQueueFull reports a submission bouncing off the bounded queue.
+	ErrQueueFull = errors.New("server: queue full")
+	// ErrDraining reports a submission during graceful shutdown.
+	ErrDraining = errors.New("server: draining")
+	// ErrUnknownJob reports an id no job was registered under.
+	ErrUnknownJob = errors.New("server: unknown job")
+)
+
+// errDrained is the cancellation cause handed to running jobs when the drain
+// grace period expires.
+var errDrained = errors.New("server: drained")
+
+// Config tunes a Manager.
+type Config struct {
+	// Workers is the number of job slots — jobs executing concurrently
+	// (default GOMAXPROCS). The slots run on the internal/parallel pool.
+	Workers int
+	// MaxQueue bounds the submit queue (default 64); submissions beyond it
+	// fail with ErrQueueFull rather than blocking the API.
+	MaxQueue int
+	// JobTimeout is the per-job context deadline (0: none). A job over its
+	// deadline fails with the interrupt budget error, partial results
+	// attached.
+	JobTimeout time.Duration
+	// JobParallelism bounds the compute-stack worker count inside each job
+	// (default 1, so Workers jobs use about Workers cores; results are
+	// bit-identical at any setting).
+	JobParallelism int
+	// CheckpointDir, when set, makes attack jobs write their oracle
+	// transcript there (atomic, every CheckpointEvery iterations) and
+	// resume from it when an identical request is resubmitted after a
+	// drain or crash.
+	CheckpointDir string
+	// CheckpointEvery is the iteration interval between checkpoint writes
+	// (default 1).
+	CheckpointEvery int
+	// DesignMemo bounds the in-memory memo of prepared designs (default 32).
+	DesignMemo int
+	// Store is the content-addressed result cache; nil gets a memory-only
+	// store.
+	Store *store.Store
+	// Registry is the server-owned metrics registry served at /metrics;
+	// nil gets a fresh one.
+	Registry *metrics.Registry
+}
+
+// Manager runs jobs: a bounded submit queue feeding worker slots, each job
+// executing under its own cancellable, deadline-bounded context with the
+// server's metrics registry, its progress ring and the configured compute
+// parallelism attached. Completed results are stored in the
+// content-addressed cache; identical future submissions are served from it
+// byte-identically.
+type Manager struct {
+	cfg     Config
+	reg     *metrics.Registry
+	store   *store.Store
+	designs *store.Memo[*bindlock.Design]
+
+	queue       chan *job
+	baseCtx     context.Context
+	stopWorkers context.CancelFunc
+	workersDone chan struct{}
+	runningN    atomic.Int64
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	draining bool
+	nextID   int64
+}
+
+// New builds a manager; call Start before submitting.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.JobParallelism <= 0 {
+		cfg.JobParallelism = 1
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.New()
+	}
+	if cfg.Store == nil {
+		s, err := store.Open("", 0, cfg.Registry)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = s
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		cfg:         cfg,
+		reg:         cfg.Registry,
+		store:       cfg.Store,
+		designs:     store.NewMemo[*bindlock.Design](cfg.DesignMemo),
+		queue:       make(chan *job, cfg.MaxQueue),
+		baseCtx:     ctx,
+		stopWorkers: cancel,
+		workersDone: make(chan struct{}),
+		jobs:        map[string]*job{},
+	}, nil
+}
+
+// Registry returns the server-owned metrics registry.
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// Store returns the result cache.
+func (m *Manager) Store() *store.Store { return m.store }
+
+// Start launches the worker slots on the internal/parallel pool.
+func (m *Manager) Start() {
+	m.reg.Set("server_worker_slots", float64(m.cfg.Workers))
+	go func() {
+		defer close(m.workersDone)
+		// One long-lived loop per slot; the pool gives us the bounded
+		// fan-out and context plumbing every other subsystem uses.
+		parallel.ForEach(m.baseCtx, m.cfg.Workers, m.cfg.Workers,
+			func(ctx context.Context, i int) error {
+				m.workerLoop(ctx)
+				return nil
+			})
+	}()
+}
+
+func (m *Manager) workerLoop(ctx context.Context) {
+	for {
+		select {
+		case j, ok := <-m.queue:
+			if !ok {
+				return
+			}
+			m.reg.Set("server_queue_depth", float64(len(m.queue)))
+			m.exec(ctx, j)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Submit validates, fingerprints and enqueues a job. A request whose
+// fingerprint is already in the result cache completes immediately
+// (State done, Cached true) with the stored bytes — by the cache's
+// determinism contract, exactly what running it again would produce.
+func (m *Manager) Submit(req Request) (Job, error) {
+	r, err := resolve(req)
+	if err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	m.reg.Add("server_jobs_submitted_total", 1)
+	key := r.fingerprint().Key()
+	now := time.Now()
+	j := &job{kind: r.Kind, key: key, req: r, created: now, prog: &progressRing{}, state: StateQueued}
+
+	cachedBytes, cached := m.store.Get(key)
+	if cached {
+		j.state = StateDone
+		j.cached = true
+		j.result = cachedBytes
+		j.finished = now
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return Job{}, ErrDraining
+	}
+	if !cached {
+		select {
+		case m.queue <- j:
+		default:
+			m.mu.Unlock()
+			m.reg.Add("server_queue_rejected_total", 1)
+			return Job{}, ErrQueueFull
+		}
+	}
+	m.nextID++
+	j.id = fmt.Sprintf("j%d", m.nextID)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.mu.Unlock()
+
+	m.reg.Set("server_queue_depth", float64(len(m.queue)))
+	if cached {
+		m.reg.Add("server_jobs_cached_total", 1)
+	}
+	return j.snapshot(), nil
+}
+
+// Get returns the job record for id.
+func (m *Manager) Get(id string) (Job, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List returns every job record in submission order.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Job, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot())
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job: a queued job is cancelled on the
+// spot, a running one has its context cancelled and finishes with its
+// partial results surfaced. Terminal jobs are left as they are.
+func (m *Manager) Cancel(id string) (Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	m.cancelJob(j, "cancelled by request")
+	return j.snapshot(), nil
+}
+
+// cancelJob cancels one job whatever its stage; safe against the
+// queued-to-running transition because both hold j.mu.
+func (m *Manager) cancelJob(j *job, reason string) {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.errMsg = reason
+		j.finished = time.Now()
+		j.mu.Unlock()
+		m.reg.Add("server_jobs_cancelled_total", 1)
+		return
+	case StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel(context.Canceled)
+		}
+		return
+	}
+	j.mu.Unlock()
+}
+
+// Stats reports the live job counts.
+func (m *Manager) Stats() (queued, running, total int, draining bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running, len(m.jobs), m.draining
+}
+
+// Drain gracefully shuts the manager down: intake closes (Submit returns
+// ErrDraining), queued jobs are cancelled, and running jobs are given until
+// ctx expires to finish — after which they are cancelled, in-flight attacks
+// having checkpointed their oracle transcript along the way so a restarted
+// manager resumes them bit-identically. Drain returns once every worker slot
+// has exited; it is idempotent.
+func (m *Manager) Drain(ctx context.Context) {
+	m.mu.Lock()
+	first := !m.draining
+	m.draining = true
+	var live []*job
+	for _, j := range m.jobs {
+		live = append(live, j)
+	}
+	cancelled := 0
+	if first {
+		// Queued jobs are cancelled before the queue closes, so no job can
+		// start once draining has begun; workers then run the queue dry
+		// (skipping the cancelled records) and exit. No Submit can be
+		// mid-send: sends happen under m.mu with draining false.
+		for _, j := range live {
+			j.mu.Lock()
+			if j.state == StateQueued {
+				j.state = StateCancelled
+				j.errMsg = "server draining"
+				j.finished = time.Now()
+				cancelled++
+			}
+			j.mu.Unlock()
+		}
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	if cancelled > 0 {
+		m.reg.Add("server_jobs_cancelled_total", int64(cancelled))
+	}
+
+	select {
+	case <-m.workersDone:
+	case <-ctx.Done():
+		// Grace expired: cancel what is still running and wait it out.
+		for _, j := range live {
+			m.cancelJob(j, "server draining")
+		}
+		<-m.workersDone
+	}
+	m.stopWorkers()
+}
+
+// exec runs one dequeued job through its kind's executor under the job
+// context: cancellation cause, deadline, metrics registry, progress ring and
+// compute parallelism.
+func (m *Manager) exec(workerCtx context.Context, j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancelCause(workerCtx)
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel(nil)
+
+	m.reg.Set("server_jobs_running", float64(m.runningN.Add(1)))
+	defer func() { m.reg.Set("server_jobs_running", float64(m.runningN.Add(-1))) }()
+
+	runCtx := ctx
+	if m.cfg.JobTimeout > 0 {
+		var tcancel context.CancelFunc
+		runCtx, tcancel = context.WithTimeout(runCtx, m.cfg.JobTimeout)
+		defer tcancel()
+	}
+	runCtx = metrics.NewContext(runCtx, m.reg)
+	runCtx = progress.NewContext(runCtx, j.prog)
+	runCtx = parallel.NewContext(runCtx, m.cfg.JobParallelism)
+
+	stop := m.reg.Timer("server_job_seconds")
+	payload, err := m.run(runCtx, j)
+	stop()
+	m.finish(j, payload, err)
+}
+
+// finish lands the executor's outcome in the job record and, on success, in
+// the result cache.
+func (m *Manager) finish(j *job, payload any, err error) {
+	var resultBytes []byte
+	if err == nil {
+		b, merr := json.Marshal(payload)
+		if merr != nil {
+			err = fmt.Errorf("server: encode result: %w", merr)
+		} else {
+			resultBytes = b
+		}
+	}
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = resultBytes
+	case errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	if err != nil && payload != nil {
+		// Partial results extracted from the typed interrupt errors stay
+		// visible in the job record.
+		if b, merr := json.Marshal(payload); merr == nil {
+			j.partial = b
+		}
+	}
+	state := j.state
+	key := j.key
+	j.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		m.reg.Add("server_jobs_done_total", 1)
+		if perr := m.store.Put(key, resultBytes); perr != nil {
+			m.reg.Add("server_store_errors_total", 1)
+		}
+	case StateCancelled:
+		m.reg.Add("server_jobs_cancelled_total", 1)
+	case StateFailed:
+		m.reg.Add("server_jobs_failed_total", 1)
+	}
+}

@@ -1,0 +1,147 @@
+// Package store is the content-addressed result cache behind the serving
+// layer: completed workload results (prepared designs, recovered attack keys,
+// co-designed locking configurations) are memoized under a SHA-256 key of a
+// canonical request fingerprint, so a repeated identical request is served
+// from the cache with byte-identical results instead of recomputing.
+//
+// The cache has two tiers. The in-memory tier is an LRU bounded by a byte
+// budget; the optional disk tier persists every entry with the repository's
+// atomic temp+fsync+rename discipline (the same one attack checkpoints use),
+// so results survive a daemon restart. Entries never expire by time: a key is
+// a pure function of (code version, workload kind, source, options, seed),
+// and the repository's determinism guarantee makes the value it addresses
+// immutable — recomputing it can only reproduce the identical bytes.
+//
+// Fingerprint is the canonicalisation layer. Requests are flattened to named
+// string fields; the encoding is injective (length-prefixed fields, sorted by
+// name), so neither option order nor hostile field contents ("a=b", embedded
+// separators, NULs) can make two different requests collide on one key, nor
+// one request produce two keys. FuzzFingerprint guards this property.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// CodeVersion is folded into every fingerprint. Bump it when the compute
+// stack changes in a way that alters results for the same request, so stale
+// cache entries stop being served rather than silently disagreeing with a
+// fresh run.
+const CodeVersion = "bindlock-1"
+
+// Field is one named value of a fingerprint.
+type Field struct {
+	Name  string
+	Value string
+}
+
+// Fingerprint accumulates the canonical form of a request: a workload kind
+// plus named fields. Field order does not matter — Canonical sorts — and the
+// zero value is unusable; call NewFingerprint.
+type Fingerprint struct {
+	kind   string
+	fields []Field
+}
+
+// NewFingerprint starts a fingerprint for the given workload kind
+// ("prepare", "attack", ...).
+func NewFingerprint(kind string) *Fingerprint {
+	return &Fingerprint{kind: kind}
+}
+
+// Str adds a string field.
+func (f *Fingerprint) Str(name, value string) *Fingerprint {
+	f.fields = append(f.fields, Field{Name: name, Value: value})
+	return f
+}
+
+// Int adds an integer field.
+func (f *Fingerprint) Int(name string, v int64) *Fingerprint {
+	return f.Str(name, strconv.FormatInt(v, 10))
+}
+
+// Uint adds an unsigned integer field.
+func (f *Fingerprint) Uint(name string, v uint64) *Fingerprint {
+	return f.Str(name, strconv.FormatUint(v, 10))
+}
+
+// Canonical returns the unambiguous byte encoding the key is hashed from:
+// the code version, the kind, and every field sorted by name (ties by value)
+// — each string length-prefixed with a uvarint. Length prefixes, not
+// separators, make the encoding injective: no field content can imitate a
+// field boundary, so two distinct field lists never encode alike.
+func (f *Fingerprint) Canonical() []byte {
+	fields := append([]Field(nil), f.fields...)
+	sort.Slice(fields, func(i, j int) bool {
+		if fields[i].Name != fields[j].Name {
+			return fields[i].Name < fields[j].Name
+		}
+		return fields[i].Value < fields[j].Value
+	})
+	var buf []byte
+	buf = appendString(buf, CodeVersion)
+	buf = appendString(buf, f.kind)
+	buf = binary.AppendUvarint(buf, uint64(len(fields)))
+	for _, fd := range fields {
+		buf = appendString(buf, fd.Name)
+		buf = appendString(buf, fd.Value)
+	}
+	return buf
+}
+
+// Key returns the cache key: the hex SHA-256 of the canonical encoding.
+func (f *Fingerprint) Key() string {
+	sum := sha256.Sum256(f.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decodeCanonical parses a Canonical encoding back into (version, kind,
+// fields). It exists so the fuzz target can prove the encoding injective: an
+// encoding that round-trips losslessly cannot map two inputs to one output.
+func decodeCanonical(buf []byte) (version, kind string, fields []Field, err error) {
+	rest := buf
+	next := func() (string, error) {
+		n, used := binary.Uvarint(rest)
+		if used <= 0 || n > uint64(len(rest)-used) {
+			return "", fmt.Errorf("store: truncated canonical encoding")
+		}
+		s := string(rest[used : used+int(n)])
+		rest = rest[used+int(n):]
+		return s, nil
+	}
+	if version, err = next(); err != nil {
+		return "", "", nil, err
+	}
+	if kind, err = next(); err != nil {
+		return "", "", nil, err
+	}
+	count, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return "", "", nil, fmt.Errorf("store: truncated canonical encoding")
+	}
+	rest = rest[used:]
+	for i := uint64(0); i < count; i++ {
+		var fd Field
+		if fd.Name, err = next(); err != nil {
+			return "", "", nil, err
+		}
+		if fd.Value, err = next(); err != nil {
+			return "", "", nil, err
+		}
+		fields = append(fields, fd)
+	}
+	if len(rest) != 0 {
+		return "", "", nil, fmt.Errorf("store: %d trailing bytes after canonical encoding", len(rest))
+	}
+	return version, kind, fields, nil
+}

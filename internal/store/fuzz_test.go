@@ -1,0 +1,78 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// splitFields carves fuzz bytes into a field list: NUL-separated tokens,
+// alternating name/value. The split is only a convenient way to reach many
+// field shapes — the property below does not depend on it.
+func splitFields(data []byte) []Field {
+	parts := bytes.Split(data, []byte{0})
+	var fields []Field
+	for i := 0; i+1 < len(parts); i += 2 {
+		fields = append(fields, Field{Name: string(parts[i]), Value: string(parts[i+1])})
+	}
+	return fields
+}
+
+// FuzzFingerprint guards the cache-key canonicalisation against collision
+// ambiguity. Two properties:
+//
+//  1. Injectivity via round-trip: the canonical encoding decodes back to
+//     exactly the sorted field list it was built from, so no two distinct
+//     field lists can share an encoding (a shared encoding would have to
+//     decode to both).
+//  2. Order independence: permuting the field list (here: reversing) never
+//     changes the key — option order must not split the cache.
+//
+// These are the two failure modes that would corrupt the result cache:
+// distinct requests colliding on one key (wrong results served), and one
+// request mapping to many keys (cache never hits).
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte("bench\x00fir\x00seed\x007"))
+	f.Add([]byte("a\x00b=c"))
+	f.Add([]byte("a=b\x00c"))
+	f.Add([]byte("x\x001\x00y\x002"))
+	f.Add([]byte("x\x001\x00x\x001")) // duplicate field
+	f.Add([]byte("\x00"))             // empty name and value
+	f.Add([]byte("käll\x00värde"))    // multi-byte runes
+	f.Add([]byte("n\x00\x00\x00v"))   // values containing the split byte's neighbours
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fields := splitFields(data)
+		fp := NewFingerprint("fuzz")
+		for _, fd := range fields {
+			fp.Str(fd.Name, fd.Value)
+		}
+		enc := fp.Canonical()
+		version, kind, decoded, err := decodeCanonical(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding did not decode: %v", err)
+		}
+		if version != CodeVersion || kind != "fuzz" {
+			t.Fatalf("decoded (%q, %q), want (%q, fuzz)", version, kind, CodeVersion)
+		}
+		// Round trip: decoded fields must be exactly the input fields after
+		// the canonical sort.
+		sorted := NewFingerprint("fuzz")
+		for _, fd := range decoded {
+			sorted.Str(fd.Name, fd.Value)
+		}
+		if !bytes.Equal(sorted.Canonical(), enc) {
+			t.Fatal("re-encoding the decoded fields diverged: encoding is not injective")
+		}
+		if len(decoded) != len(fields) {
+			t.Fatalf("decoded %d fields from %d", len(decoded), len(fields))
+		}
+
+		// Order independence: reversed insertion yields the identical key.
+		rev := NewFingerprint("fuzz")
+		for i := len(fields) - 1; i >= 0; i-- {
+			rev.Str(fields[i].Name, fields[i].Value)
+		}
+		if rev.Key() != fp.Key() {
+			t.Fatal("field order changed the cache key")
+		}
+	})
+}

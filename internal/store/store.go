@@ -1,0 +1,235 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bindlock/internal/metrics"
+)
+
+// Store is the two-tier content-addressed byte cache. Keys are Fingerprint
+// keys (hex SHA-256); values are the canonical serialised results. All
+// methods are safe for concurrent use.
+//
+// Determinism contract: Get returns exactly the bytes Put stored (a fresh
+// copy, so callers cannot corrupt the cache). Because keys are injective
+// fingerprints over everything a computation depends on, a hit is
+// byte-identical to what a cold run would have produced.
+type Store struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	dir   string
+	reg   *metrics.Registry
+}
+
+type entry struct {
+	key  string
+	data []byte
+}
+
+// Open returns a store with the given in-memory byte budget (<= 0: the
+// memory tier is unbounded) and, when dir is non-empty, a disk tier rooted
+// there (created if absent). The registry receives the store_hit_total /
+// store_miss_total / store_evict_total counters; nil disables counting.
+func Open(dir string, maxBytes int64, reg *metrics.Registry) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{
+		max:   maxBytes,
+		ll:    list.New(),
+		items: map[string]*list.Element{},
+		dir:   dir,
+		reg:   reg,
+	}, nil
+}
+
+// Get returns the cached bytes for key. A memory miss falls through to the
+// disk tier; a disk hit is promoted back into memory. Both tiers missing
+// counts one store_miss_total; any hit counts one store_hit_total.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		data := append([]byte(nil), el.Value.(*entry).data...)
+		s.mu.Unlock()
+		s.reg.Add("store_hit_total", 1)
+		return data, true
+	}
+	dir := s.dir
+	s.mu.Unlock()
+
+	if dir != "" {
+		if data, err := os.ReadFile(s.path(key)); err == nil {
+			s.reg.Add("store_hit_total", 1)
+			s.insert(key, data)
+			return append([]byte(nil), data...), true
+		}
+	}
+	s.reg.Add("store_miss_total", 1)
+	return nil, false
+}
+
+// Put stores the bytes under key in both tiers. The memory tier evicts
+// least-recently-used entries until it fits the byte budget; the disk tier
+// (when enabled) is written atomically — temp file, fsync, rename — so a
+// crash mid-write leaves either the old entry or the new one, never a torn
+// file.
+func (s *Store) Put(key string, data []byte) error {
+	s.insert(key, data)
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	return writeAtomic(s.path(key), data)
+}
+
+// insert places a copy of data into the memory tier and trims to budget.
+func (s *Store) insert(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		s.size += int64(len(data)) - int64(len(e.data))
+		e.data = append([]byte(nil), data...)
+		s.ll.MoveToFront(el)
+	} else {
+		e := &entry{key: key, data: append([]byte(nil), data...)}
+		s.items[key] = s.ll.PushFront(e)
+		s.size += int64(len(e.data))
+	}
+	if s.max <= 0 {
+		return
+	}
+	// Trim LRU entries; the entry just touched (front) is never evicted, so
+	// a single oversized result still serves its own request.
+	for s.size > s.max && s.ll.Len() > 1 {
+		back := s.ll.Back()
+		e := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.size -= int64(len(e.data))
+		s.reg.Add("store_evict_total", 1)
+	}
+}
+
+// Len returns the memory-tier entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Bytes returns the memory-tier byte footprint.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Dir returns the disk-tier root, or "" when the store is memory-only.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its disk-tier file. Keys are hex digests, so they are
+// filesystem-safe by construction.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".res")
+}
+
+// writeAtomic writes data to path via temp + fsync + rename, the repository's
+// standard crash-safe write discipline.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Memo is a count-bounded in-memory LRU for live objects that are expensive
+// to rebuild but not worth serialising — the job manager memoizes prepared
+// designs in one so a bind job following a prepare of the same kernel skips
+// the compile/schedule/simulate flow. Values must be treated as shared and
+// read-only by all users. Safe for concurrent use.
+type Memo[V any] struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type memoEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewMemo returns a memo holding at most max entries (max <= 0: 32).
+func NewMemo[V any](max int) *Memo[V] {
+	if max <= 0 {
+		max = 32
+	}
+	return &Memo[V]{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the memoized value for key.
+func (m *Memo[V]) Get(key string) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		m.ll.MoveToFront(el)
+		return el.Value.(*memoEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put memoizes val under key, evicting the least-recently-used entry when
+// the count budget is exceeded.
+func (m *Memo[V]) Put(key string, val V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		el.Value.(*memoEntry[V]).val = val
+		m.ll.MoveToFront(el)
+		return
+	}
+	m.items[key] = m.ll.PushFront(&memoEntry[V]{key: key, val: val})
+	for m.ll.Len() > m.max {
+		back := m.ll.Back()
+		m.ll.Remove(back)
+		delete(m.items, back.Value.(*memoEntry[V]).key)
+	}
+}
+
+// Len returns the memo's entry count.
+func (m *Memo[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"bindlock/internal/metrics"
+)
+
+func counter(t *testing.T, reg *metrics.Registry, name string) int64 {
+	t.Helper()
+	v, _ := reg.Snapshot().Counter(name)
+	return v
+}
+
+func TestStoreRoundTripAndCounters(t *testing.T) {
+	reg := metrics.New()
+	s, err := Open("", 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get on empty store must miss")
+	}
+	if got := counter(t, reg, "store_miss_total"); got != 1 {
+		t.Fatalf("store_miss_total = %d, want 1", got)
+	}
+	val := []byte(`{"x":1}`)
+	if err := s.Put("k1", val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, val)
+	}
+	if hits := counter(t, reg, "store_hit_total"); hits != 1 {
+		t.Fatalf("store_hit_total = %d, want 1", hits)
+	}
+	// The returned slice is a copy: corrupting it must not poison the cache.
+	got[0] = 'X'
+	again, _ := s.Get("k1")
+	if !bytes.Equal(again, val) {
+		t.Fatalf("cache corrupted through returned slice: %q", again)
+	}
+}
+
+func TestStoreEvictionByByteBudget(t *testing.T) {
+	reg := metrics.New()
+	s, err := Open("", 64, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), make([]byte, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Bytes() > 64 {
+		t.Fatalf("memory tier holds %d bytes, budget 64", s.Bytes())
+	}
+	if got := counter(t, reg, "store_evict_total"); got != 2 {
+		t.Fatalf("store_evict_total = %d, want 2", got)
+	}
+	// k0, k1 evicted; k2, k3 resident.
+	if _, ok := s.Get("k0"); ok {
+		t.Fatal("k0 should have been evicted")
+	}
+	if _, ok := s.Get("k3"); !ok {
+		t.Fatal("k3 should be resident")
+	}
+	// An entry larger than the whole budget still serves its own request.
+	if err := s.Put("big", make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("big"); !ok {
+		t.Fatal("oversized entry must remain readable")
+	}
+}
+
+func TestStoreLRUOrder(t *testing.T) {
+	s, err := Open("", 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", make([]byte, 24))
+	s.Put("b", make([]byte, 24))
+	s.Get("a") // touch a so b is now least recently used
+	s.Put("c", make([]byte, 24))
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("b was most stale and should have been evicted")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("a was touched and should have survived")
+	}
+}
+
+func TestStoreDiskTierSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.New()
+	s, err := Open(dir, 1<<20, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte("persistent result bytes")
+	if err := s.Put("key", val); err != nil {
+		t.Fatal(err)
+	}
+	// No stray temp files after the atomic write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("disk tier holds %d files, want 1", len(ents))
+	}
+	if ents[0].Name() != "key.res" {
+		t.Fatalf("unexpected disk entry %q", ents[0].Name())
+	}
+
+	reopened, err := Open(dir, 1<<20, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reopened.Get("key")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("reopened Get = %q, %v; want %q", got, ok, val)
+	}
+	// The disk hit was promoted: a second Get is served from memory even if
+	// the file disappears.
+	if err := os.Remove(filepath.Join(dir, "key.res")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reopened.Get("key"); !ok {
+		t.Fatal("promoted entry must be served from memory")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), 1024, metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				s.Put(key, []byte(key))
+				if v, ok := s.Get(key); ok && string(v) != key {
+					t.Errorf("got %q for key %q", v, key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestFingerprintOrderIndependence(t *testing.T) {
+	a := NewFingerprint("prepare").Str("bench", "fir").Int("seed", 7).Int("samples", 600)
+	b := NewFingerprint("prepare").Int("samples", 600).Int("seed", 7).Str("bench", "fir")
+	if a.Key() != b.Key() {
+		t.Fatal("field order must not change the key")
+	}
+}
+
+func TestFingerprintDeltaSensitivity(t *testing.T) {
+	base := func() *Fingerprint {
+		return NewFingerprint("prepare").Str("bench", "fir").Int("seed", 7).Int("samples", 600)
+	}
+	key := base().Key()
+	deltas := map[string]*Fingerprint{
+		"kind":        NewFingerprint("bind").Str("bench", "fir").Int("seed", 7).Int("samples", 600),
+		"value":       NewFingerprint("prepare").Str("bench", "iir1").Int("seed", 7).Int("samples", 600),
+		"seed":        NewFingerprint("prepare").Str("bench", "fir").Int("seed", 8).Int("samples", 600),
+		"field added": base().Int("max_fus", 2),
+		"field name":  NewFingerprint("prepare").Str("bench2", "fir").Int("seed", 7).Int("samples", 600),
+	}
+	for what, fp := range deltas {
+		if fp.Key() == key {
+			t.Errorf("%s delta did not change the key", what)
+		}
+	}
+}
+
+// TestFingerprintNoSeparatorSmuggling pins the reason the encoding is
+// length-prefixed: field contents that look like field boundaries must not
+// collide with genuinely different field lists.
+func TestFingerprintNoSeparatorSmuggling(t *testing.T) {
+	a := NewFingerprint("k").Str("a", "b=c")
+	b := NewFingerprint("k").Str("a=b", "c")
+	if a.Key() == b.Key() {
+		t.Fatal(`"a"="b=c" and "a=b"="c" must not collide`)
+	}
+	c := NewFingerprint("k").Str("x", "1").Str("y", "2")
+	d := NewFingerprint("k").Str("x", "1\x00y\x002")
+	if c.Key() == d.Key() {
+		t.Fatal("NUL-joined single field must not collide with two fields")
+	}
+}
+
+func TestFingerprintCanonicalRoundTrip(t *testing.T) {
+	fp := NewFingerprint("attack").Uint("secret", 0xB5).Int("operand_bits", 5).Str("weird", "a\x00=\nb")
+	version, kind, fields, err := decodeCanonical(fp.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != CodeVersion || kind != "attack" {
+		t.Fatalf("decoded (%q, %q), want (%q, attack)", version, kind, CodeVersion)
+	}
+	if len(fields) != 3 {
+		t.Fatalf("decoded %d fields, want 3", len(fields))
+	}
+	// Sorted by name.
+	if fields[0].Name != "operand_bits" || fields[1].Name != "secret" || fields[2].Name != "weird" {
+		t.Fatalf("decoded order %v", fields)
+	}
+	if fields[2].Value != "a\x00=\nb" {
+		t.Fatalf("value mangled: %q", fields[2].Value)
+	}
+}
+
+func TestMemoLRU(t *testing.T) {
+	m := NewMemo[int](2)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	m.Get("a")
+	m.Put("c", 3)
+	if _, ok := m.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v; want 1, true", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	m.Put("a", 10)
+	if v, _ := m.Get("a"); v != 10 {
+		t.Fatalf("overwrite lost: a = %d", v)
+	}
+}
