@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci figures bench cover profile fuzz chaos clean
+.PHONY: all build test race vet fmt ci figures bench bench-smoke vuln cover profile fuzz chaos clean
 
 all: build
 
@@ -32,6 +32,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/frontend -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sat -run '^$$' -fuzz FuzzParseDIMACS -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sat -run '^$$' -fuzz FuzzSolveAssuming -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run '^$$' -fuzz FuzzFingerprint -fuzztime $(FUZZTIME)
 
 # chaos runs the full tier-1 suite under a randomized-seed fault plan
@@ -49,6 +50,20 @@ figures:
 # bit-identical, and records the baseline in BENCH_parallel.json.
 bench:
 	$(GO) run ./cmd/benchpar -o BENCH_parallel.json
+
+# bench-smoke is the CI-sized benchpar run: tiny workloads, a throwaway
+# output file, but the same determinism gates — -j 1 vs -j N fingerprints and
+# rebuild-vs-incremental attack fingerprints must all match or it exits 1.
+bench-smoke:
+	$(GO) run ./cmd/benchpar -samples 60 -secrets 2 -bench fir -attack-width 3 \
+		-o bench_smoke.json
+	rm -f bench_smoke.json
+
+# vuln scans the module against the Go vulnerability database. It downloads
+# govulncheck on demand, so it needs network access; it is a CI step, not
+# part of the offline `make ci` gate.
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 # cover gates the metrics registry on a coverage floor: every tool's -metrics
 # output and the determinism contract depend on it, so regressions in its

@@ -72,6 +72,7 @@ import (
 	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
 	"bindlock/internal/rtl"
+	"bindlock/internal/sat"
 	"bindlock/internal/satattack"
 	"bindlock/internal/sched"
 	"bindlock/internal/sim"
@@ -589,7 +590,8 @@ func Resilience(lock *LockConfig) (float64, error) {
 	return locking.ConfigResilience(lock)
 }
 
-// AttackOutcome reports a gate-level SAT attack run from LockAndAttack.
+// AttackOutcome reports a gate-level SAT attack run from LockAndAttack or
+// AttackDesign.
 type AttackOutcome struct {
 	// Iterations is the number of distinguishing input patterns needed.
 	Iterations int
@@ -599,6 +601,10 @@ type AttackOutcome struct {
 	KeyBits int
 	// GateCount is the locked circuit's logic gate count.
 	GateCount int
+	// Key is the recovered key (on an interrupted run, the best-so-far
+	// guess consistent with every observed oracle answer; nil when even
+	// that could not be extracted).
+	Key []bool
 }
 
 // ElaboratedDesign is a flat gate-level realisation of a bound, locked
@@ -656,6 +662,41 @@ func WithFaultPlan(p FaultPlan) AttackOption {
 	return func(c *attackConfig) { c.plan = p }
 }
 
+// WithSolverBackend selects the sat solver engine by registered name; see
+// SolverBackends for the available names. The default is "cdcl". The name is
+// recorded in checkpoints, so a transcript is never resumed under a
+// different engine.
+func WithSolverBackend(name string) AttackOption {
+	return func(c *attackConfig) { c.opts.Solver = name }
+}
+
+// WithIncremental keeps only the warm miter solver busy during the DIP loop
+// and defers the constraint-only key solver to extraction time, rebuilding
+// it from the oracle transcript. Keys and deterministic metrics are
+// bit-identical to the default rebuild mode; the per-iteration encoding work
+// is roughly halved.
+func WithIncremental() AttackOption {
+	return func(c *attackConfig) { c.opts.Incremental = true }
+}
+
+// WithAttackIterations bounds the DIP loop: the attack stops with a typed
+// budget error — and the best-so-far key — after n iterations.
+func WithAttackIterations(n int) AttackOption {
+	return func(c *attackConfig) { c.opts.MaxIterations = n }
+}
+
+// WithSolverConflicts bounds every individual SAT call of the attack to n
+// conflicts, surfacing as a typed budget error when exhausted.
+func WithSolverConflicts(n int64) AttackOption {
+	return func(c *attackConfig) { c.opts.MaxConflicts = n }
+}
+
+// SolverBackends lists the registered sat solver engine names, sorted.
+func SolverBackends() []string { return sat.Backends() }
+
+// DefaultSolverBackend is the engine attacks use when no backend is selected.
+const DefaultSolverBackend = sat.DefaultBackend
+
 // LockAndAttack synthesises a gate-level adder FU of the given operand
 // width, locks it with SFLL-HD(0) protecting the secret minterm, and runs
 // the full oracle-guided SAT attack against it. It validates that the
@@ -683,6 +724,35 @@ func LockAndAttack(ctx context.Context, operandBits int, secret uint64, options 
 	if err != nil {
 		return nil, err
 	}
+	return runGateAttack(ctx, locked, key, cfg, "bindlock: lock and attack")
+}
+
+// AttackDesign runs the oracle-guided SAT attack against an elaborated
+// design — the whole bound datapath with its locked FUs realised as SFLL
+// hardware — instead of a single synthetic FU. The same option surface as
+// LockAndAttack applies: retry, voting, fault injection, checkpoint/resume,
+// solver backend and incremental mode. Full attacks on paper-sized locking
+// configurations are expensive by design (that is Eqn. 1's point); bound
+// exploratory runs with WithAttackIterations or a context deadline, and read
+// the partial outcome.
+func AttackDesign(ctx context.Context, ed *ElaboratedDesign, options ...AttackOption) (*AttackOutcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ed == nil || ed.Circuit == nil {
+		return nil, fmt.Errorf("bindlock: attack design: nil elaborated design")
+	}
+	var cfg attackConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	return runGateAttack(ctx, ed.Circuit, ed.CorrectKey, cfg, "bindlock: attack design")
+}
+
+// runGateAttack is the shared attack driver behind LockAndAttack and
+// AttackDesign: checkpoint resume, optional fault injection, the attack
+// itself, and key verification on a completed run.
+func runGateAttack(ctx context.Context, locked *netlist.Circuit, correctKey []bool, cfg attackConfig, op string) (*AttackOutcome, error) {
 	if cfg.resumePath != "" {
 		cp, err := satattack.LoadCheckpoint(cfg.resumePath)
 		if err != nil {
@@ -692,7 +762,7 @@ func LockAndAttack(ctx context.Context, operandBits int, secret uint64, options 
 	}
 	// clean stays unwrapped: the final key verification models a bench
 	// check under good conditions, not another noisy campaign query.
-	clean := satattack.OracleFromCircuit(locked, key)
+	clean := satattack.OracleFromCircuit(locked, correctKey)
 	oracle := clean
 	if !cfg.plan.Zero() {
 		inj := fault.New(cfg.plan).WithRegistry(metrics.FromContext(ctx))
@@ -701,30 +771,29 @@ func LockAndAttack(ctx context.Context, operandBits int, secret uint64, options 
 			// calls answered before the checkpoint are not re-drawn.
 			inj.Seek(cfg.opts.Resume.OracleCalls)
 		}
-		oracle = satattack.Oracle(inj.WrapOracle(oracle))
+		oracle = satattack.OracleFunc(inj.WrapOracle(oracle.Query))
+	}
+	outcome := func(res *satattack.Result) *AttackOutcome {
+		return &AttackOutcome{
+			Iterations: res.Iterations,
+			Duration:   res.Duration,
+			KeyBits:    len(locked.Keys),
+			GateCount:  locked.LogicGates(),
+			Key:        res.Key,
+		}
 	}
 	res, err := satattack.Attack(ctx, locked, oracle, cfg.opts)
 	if err != nil {
 		if res != nil {
-			out := &AttackOutcome{
-				Iterations: res.Iterations,
-				Duration:   res.Duration,
-				KeyBits:    len(locked.Keys),
-				GateCount:  locked.LogicGates(),
-			}
-			return out, interrupt.Rewrap("bindlock: lock and attack", err, out)
+			out := outcome(res)
+			return out, interrupt.Rewrap(op, err, out)
 		}
 		return nil, err
 	}
 	if err := satattack.VerifyKey(ctx, locked, res.Key, clean, cfg.opts.Retry); err != nil {
 		return nil, err
 	}
-	return &AttackOutcome{
-		Iterations: res.Iterations,
-		Duration:   res.Duration,
-		KeyBits:    len(locked.Keys),
-		GateCount:  locked.LogicGates(),
-	}, nil
+	return outcome(res), nil
 }
 
 // LockAndAttackArgs is the original context-free form of LockAndAttack.

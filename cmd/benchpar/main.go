@@ -13,6 +13,12 @@
 // per workload (the Fig. 4 sweep and the SAT-resilience sweep), each carrying
 // sequential and parallel timings, the speedup ratio, and the shared
 // fingerprint, plus a "metrics" snapshot of the run's aggregated counters.
+// A third workload, sat-attack-modes, compares the SAT attack's rebuild and
+// incremental key-solver modes on one SFLL-locked adder (-attack-width): the
+// same fingerprint discipline applies — both modes must recover bit-identical
+// keys over identical DIP sequences — and each timing reports attack
+// throughput as iterations/sec from the satattack_iteration_seconds
+// histogram.
 // On single-core machines the speedup is honestly ~1x; the determinism check
 // is the part that must always hold. -metrics additionally writes the
 // snapshot to its own file; -cpuprofile/-memprofile capture pprof profiles of
@@ -34,13 +40,19 @@ import (
 	"bindlock/internal/cli"
 	"bindlock/internal/experiments"
 	"bindlock/internal/metrics"
+	"bindlock/internal/netlist"
 	"bindlock/internal/parallel"
+	"bindlock/internal/satattack"
 )
 
-// Timing is one (workload, worker count) measurement.
+// Timing is one measurement: a (workload, worker count) pair for the
+// parallelism sweeps, or a (workload, attack mode) pair for the solver-mode
+// comparison.
 type Timing struct {
 	Jobs        int     `json:"jobs"`
+	Mode        string  `json:"mode,omitempty"`
 	Seconds     float64 `json:"seconds"`
+	ItersPerSec float64 `json:"iters_per_sec,omitempty"`
 	Fingerprint string  `json:"fingerprint"`
 }
 
@@ -68,6 +80,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	benches := flag.String("bench", "fir,jdmerge3,ecb_enc4", "comma-separated benchmark subset for the sweep")
 	secrets := flag.Int("secrets", 4, "secrets per key width in the resilience sweep")
+	attackWidth := flag.Int("attack-width", 4, "adder operand width for the sat-attack-modes comparison")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel worker count to compare against -j 1")
 	out := flag.String("o", "BENCH_parallel.json", "output JSON path")
 	metricsFile := flag.String("metrics", "", "also write the metrics snapshot to this file (JSON, or Prometheus text for .prom)")
@@ -148,6 +161,16 @@ func main() {
 		rep.Workloads = append(rep.Workloads, w)
 	}
 
+	// The attack-mode comparison is a different axis: rebuild vs incremental
+	// key-solver modes on one locked FU, each on a fresh registry so the
+	// iteration histogram isolates one mode.
+	w, err := attackModes(ctx, *attackWidth)
+	if err != nil {
+		fail("sat-attack-modes: ", err)
+	}
+	ok = ok && w.Deterministic
+	rep.Workloads = append(rep.Workloads, w)
+
 	snap := tel.Registry.Snapshot()
 	rep.Metrics = &snap
 
@@ -186,6 +209,72 @@ func measure(name string, run func(j int) (string, error), jobs int) (Workload, 
 		w.Speedup = w.Runs[0].Seconds / w.Runs[1].Seconds
 	}
 	return w, nil
+}
+
+// attackModes times the exact SAT attack on an SFLL-locked adder in both
+// key-solver modes — eager rebuild and incremental (one warm miter solver
+// across DIP iterations) — and reports attack throughput as iterations/sec
+// from each run's satattack_iteration_seconds histogram. The fingerprint
+// covers the recovered key bits and the iteration count: the two modes are
+// bit-identical by construction, so the determinism flag must hold here
+// exactly as it does across worker counts.
+func attackModes(ctx context.Context, width int) (Workload, error) {
+	w := Workload{Name: "sat-attack-modes"}
+	base, err := netlist.NewAdder(width)
+	if err != nil {
+		return w, err
+	}
+	secret := (uint64(1)<<(2*width) - 1) / 3 // 0b0101… pattern, always in range
+	locked, key, err := netlist.LockSFLLHD0(base, []uint64{secret})
+	if err != nil {
+		return w, err
+	}
+	for _, mode := range []struct {
+		name        string
+		incremental bool
+	}{
+		{"rebuild", false},
+		{"incremental", true},
+	} {
+		reg := metrics.New()
+		mctx := metrics.NewContext(ctx, reg)
+		oracle := satattack.OracleFromCircuit(locked, key)
+		start := time.Now()
+		res, err := satattack.Attack(mctx, locked, oracle, satattack.Options{
+			Incremental: mode.incremental,
+		})
+		if err != nil {
+			return w, err
+		}
+		secs := time.Since(start).Seconds()
+		t := Timing{Jobs: 1, Mode: mode.name, Seconds: secs, Fingerprint: attackFingerprint(res)}
+		if h, found := reg.Snapshot().Histogram("satattack_iteration_seconds"); found && h.Sum > 0 {
+			t.ItersPerSec = float64(h.Count) / h.Sum
+		}
+		w.Runs = append(w.Runs, t)
+		fmt.Printf("%-16s %-11s %8.3fs  %10.1f iters/s  %s\n",
+			w.Name, mode.name, secs, t.ItersPerSec, t.Fingerprint)
+	}
+	w.Deterministic = w.Runs[0].Fingerprint == w.Runs[1].Fingerprint
+	if w.Runs[1].Seconds > 0 {
+		w.Speedup = w.Runs[0].Seconds / w.Runs[1].Seconds
+	}
+	return w, nil
+}
+
+// attackFingerprint digests what both attack modes must agree on bit-for-bit:
+// the recovered key and the DIP iteration count.
+func attackFingerprint(res *satattack.Result) string {
+	b := make([]byte, 0, len(res.Key)+16)
+	for _, bit := range res.Key {
+		if bit {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
+	b = append(b, fmt.Sprintf(":%d", res.Iterations)...)
+	return fingerprint(b)
 }
 
 // fingerprint is a 64-bit FNV-1a digest of the serialised output, enough to

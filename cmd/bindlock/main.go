@@ -6,6 +6,7 @@
 //
 //	bindlock -bench fir [-class adder|multiplier] [-locked-fus 2] [-inputs 2]
 //	         [-fus 3] [-samples 600] [-seed 1] [-candidates 10] [-dot]
+//	         [-attack] [-attack-iters N] [-solver cdcl|dpll] [-incremental]
 //	         [-timeout 30s] [-j N] [-v] [-fault-plan SPEC] [-metrics out.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	bindlock -src kernel.bl [-workload image|audio|bitstream|sensor|uniform] ...
@@ -18,6 +19,13 @@
 // Prometheus text with a .prom extension) on every exit, including
 // interrupted ones. -fault-plan injects a deterministic fault schedule into
 // the compute stack's fail-points ("sim.run", "sat.solve") for chaos runs.
+//
+// -attack elaborates the co-designed datapath to a flat gate-level netlist
+// and runs the oracle-guided SAT attack against it, demonstrating the Eqn. 1
+// resilience the tool predicts. -attack-iters bounds the DIP loop (full
+// attacks are exponential by design), -solver picks the SAT engine, and
+// -incremental keeps one warm miter solver across DIP iterations; every mode
+// and engine recovers a verified key, and the two modes are bit-identical.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bindlock"
 	"bindlock/internal/cli"
@@ -44,6 +53,10 @@ func main() {
 	candidates := flag.Int("candidates", 10, "candidate locked input count")
 	dot := flag.Bool("dot", false, "print the scheduled DFG in Graphviz DOT format")
 	verilog := flag.Bool("verilog", false, "emit the co-designed datapath as RTL Verilog")
+	attack := flag.Bool("attack", false, "elaborate the co-designed datapath to gates and run the oracle-guided SAT attack on it")
+	attackIters := flag.Int("attack-iters", 0, "bound the -attack DIP loop; 0 means unbounded (full attacks on paper-sized locks take ~2^k DIPs)")
+	solver := flag.String("solver", "", fmt.Sprintf("sat solver backend for -attack: %v (default %q)", bindlock.SolverBackends(), bindlock.DefaultSolverBackend))
+	incremental := flag.Bool("incremental", false, "run -attack with one warm miter solver across DIP iterations (bit-identical to the default mode)")
 	optimize := flag.Bool("O", false, "run front-end optimisation passes (fold/CSE/DCE) before scheduling (-src only)")
 	timeout := flag.Duration("timeout", 0, "bound the whole run; 0 means no limit")
 	jobs := flag.Int("j", 0, "worker pool size for simulation and co-design; 0 means GOMAXPROCS (output is identical at any -j)")
@@ -80,8 +93,12 @@ func main() {
 	// After the metrics context, so injected faults are counted there.
 	ctx = bindlock.WithFaultPlanContext(ctx, plan)
 
+	atk := attackFlags{
+		enabled: *attack, iters: *attackIters,
+		solver: *solver, incremental: *incremental,
+	}
 	err = run(ctx, *bench, *src, *workload, *class, *fus, *lockedFUs, *inputs,
-		*samples, *seed, *candidates, *dot, *verilog, *optimize)
+		*samples, *seed, *candidates, *dot, *verilog, *optimize, atk)
 	if err != nil {
 		if errors.Is(err, bindlock.ErrCancelled) || errors.Is(err, bindlock.ErrBudgetExceeded) {
 			fmt.Fprintf(os.Stderr, "bindlock: interrupted (%v)\n", err)
@@ -96,8 +113,16 @@ func main() {
 	tel.Exit(cli.ExitCode(err))
 }
 
+// attackFlags bundles the -attack family of flags.
+type attackFlags struct {
+	enabled     bool
+	iters       int
+	solver      string
+	incremental bool
+}
+
 func run(ctx context.Context, bench, src, workload, className string, fus, lockedFUs, inputs,
-	samples int, seed int64, candidates int, dot, verilog, optimize bool) error {
+	samples int, seed int64, candidates int, dot, verilog, optimize bool, atk attackFlags) error {
 	var d *bindlock.Design
 	var err error
 	switch {
@@ -210,23 +235,70 @@ func run(ctx context.Context, bench, src, workload, className string, fus, locke
 	}
 
 	if verilog {
-		bindings := map[bindlock.Class]*bindlock.Binding{class: co.Binding}
-		for _, other := range []bindlock.Class{bindlock.ClassAdd, bindlock.ClassMul} {
-			if other == class || len(d.G.OpsOfClass(other)) == 0 {
-				continue
-			}
-			b, err := d.BindBaseline(other, "area")
-			if err != nil {
-				return err
-			}
-			bindings[other] = b
+		bindings, err := fullBindings(d, class, co.Binding)
+		if err != nil {
+			return err
 		}
 		fmt.Println("\n// --- RTL Verilog of the co-designed datapath ---")
 		if err := d.WriteVerilog(os.Stdout, bindings); err != nil {
 			return err
 		}
 	}
+
+	if atk.enabled {
+		bindings, err := fullBindings(d, class, co.Binding)
+		if err != nil {
+			return err
+		}
+		ed, err := d.Elaborate(bindings, co.Cfg)
+		if err != nil {
+			return err
+		}
+		var opts []bindlock.AttackOption
+		if atk.solver != "" {
+			opts = append(opts, bindlock.WithSolverBackend(atk.solver))
+		}
+		if atk.incremental {
+			opts = append(opts, bindlock.WithIncremental())
+		}
+		if atk.iters > 0 {
+			opts = append(opts, bindlock.WithAttackIterations(atk.iters))
+		}
+		mode := "rebuild"
+		if atk.incremental {
+			mode = "incremental"
+		}
+		fmt.Printf("\nSAT attack on the elaborated datapath (%d logic gates, %d key bits, %s mode):\n",
+			ed.Circuit.LogicGates(), len(ed.Circuit.Keys), mode)
+		out, err := bindlock.AttackDesign(ctx, ed, opts...)
+		if err != nil {
+			if out != nil && (errors.Is(err, bindlock.ErrCancelled) || errors.Is(err, bindlock.ErrBudgetExceeded)) {
+				fmt.Printf("  attack interrupted after %d DIPs in %v (best-so-far key: %d bits)\n",
+					out.Iterations, out.Duration.Round(time.Millisecond), len(out.Key))
+			}
+			return err
+		}
+		fmt.Printf("  key recovered and verified after %d DIPs in %v\n",
+			out.Iterations, out.Duration.Round(time.Millisecond))
+	}
 	return nil
+}
+
+// fullBindings completes the co-designed class binding with an area-baseline
+// binding for the other FU class when the kernel uses it.
+func fullBindings(d *bindlock.Design, class bindlock.Class, b *bindlock.Binding) (map[bindlock.Class]*bindlock.Binding, error) {
+	bindings := map[bindlock.Class]*bindlock.Binding{class: b}
+	for _, other := range []bindlock.Class{bindlock.ClassAdd, bindlock.ClassMul} {
+		if other == class || len(d.G.OpsOfClass(other)) == 0 {
+			continue
+		}
+		bb, err := d.BindBaseline(other, "area")
+		if err != nil {
+			return nil, err
+		}
+		bindings[other] = bb
+	}
+	return bindings, nil
 }
 
 func workloadKind(name string) (bindlock.WorkloadKind, error) {

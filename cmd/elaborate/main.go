@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -152,7 +153,13 @@ func run(ctx context.Context, benchName, className string, lockedFUs, inputs, sa
 		fmt.Fprintf(f, "c input vars: %s\n", varList(inst.Inputs))
 		fmt.Fprintf(f, "c key vars: %s\n", varList(inst.Keys))
 		fmt.Fprintf(f, "c output vars: %s\n", varList(inst.Outputs))
-		return enc.S.WriteDIMACS(f)
+		// DIMACS export is a CDCL-solver capability, not part of the
+		// Backend contract; the default encoder always carries one.
+		dw, ok := enc.S.(interface{ WriteDIMACS(w io.Writer) error })
+		if !ok {
+			return fmt.Errorf("solver backend cannot export DIMACS")
+		}
+		return dw.WriteDIMACS(f)
 	}); err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@
 //	          [-secret N] [-h 1] [-keys 8] [-seed 1] [-timeout 30s] [-j N] [-progress]
 //	          [-retries 1] [-votes 1] [-quorum 0] [-fault-plan SPEC]
 //	          [-checkpoint FILE] [-checkpoint-every 1] [-resume FILE]
+//	          [-solver cdcl|dpll] [-incremental]
 //	          [-metrics out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	satattack -validate [-secrets 6]
 //
@@ -29,6 +30,12 @@
 // deterministic fault schedule (oracle transients, bit flips, latency,
 // outages, solver fail-points) for chaos-testing the whole loop, e.g.
 // "seed=42,transient=0.1,bitflip=0.01,fail:sat.solve=50".
+//
+// -solver selects the SAT engine by registered backend name ("cdcl", the
+// default, or "dpll", the reference engine). -incremental keeps one warm
+// miter solver across DIP iterations instead of re-encoding key constraints
+// eagerly; both modes walk the same DIP sequence and recover bit-identical
+// keys.
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"bindlock/internal/netlist"
 	"bindlock/internal/parallel"
 	"bindlock/internal/progress"
+	"bindlock/internal/sat"
 	"bindlock/internal/satattack"
 )
 
@@ -73,6 +81,8 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 1, "iterations between checkpoint writes")
 	resume := flag.String("resume", "", "resume a killed attack from this checkpoint file")
 	faultPlan := flag.String("fault-plan", "", "inject a deterministic fault schedule, e.g. seed=42,transient=0.1,bitflip=0.01")
+	solver := flag.String("solver", "", fmt.Sprintf("sat solver backend: %v (default %q)", sat.Backends(), sat.DefaultBackend))
+	incremental := flag.Bool("incremental", false, "defer key-constraint encoding: keep one warm miter solver across DIP iterations (bit-identical to the default mode)")
 	metricsFile := flag.String("metrics", "", "write a metrics snapshot to this file on exit (JSON, or Prometheus text for .prom)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -109,6 +119,7 @@ func main() {
 			retries: *retries, votes: *votes, quorum: *quorum,
 			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
 			resume: *resume, plan: plan,
+			solver: *solver, incremental: *incremental,
 		}
 		err = attack(ctx, *fu, *width, *scheme, *secret, *hd, *keys, *seed, *verilog, *approx, rb)
 	}
@@ -175,6 +186,8 @@ type robustness struct {
 	checkpointEvery        int
 	resume                 string
 	plan                   fault.Plan
+	solver                 string
+	incremental            bool
 }
 
 func attack(ctx context.Context, fu string, width int, scheme string, secret uint64, hd, keys int, seed int64, verilog bool, approx int, rb robustness) error {
@@ -239,7 +252,7 @@ func attack(ctx context.Context, fu string, width int, scheme string, secret uin
 			// calls are not re-drawn after resume.
 			inj.Seek(cp.OracleCalls)
 		}
-		oracle = satattack.Oracle(inj.WrapOracle(oracle))
+		oracle = satattack.OracleFunc(inj.WrapOracle(oracle.Query))
 		ctx = fault.NewContext(ctx, inj)
 		fmt.Printf("fault plan active: %s\n", rb.plan)
 	}
@@ -251,6 +264,7 @@ func attack(ctx context.Context, fu string, width int, scheme string, secret uin
 		res, err := satattack.ApproxAttack(ctx, locked, oracle, satattack.ApproxOptions{
 			MaxIterations: approx, Seed: seed,
 			Retry: retry, Votes: rb.votes, Quorum: rb.quorum,
+			Solver: rb.solver, Incremental: rb.incremental,
 		})
 		if err != nil {
 			if interrupted(err) && res != nil {
@@ -270,6 +284,7 @@ func attack(ctx context.Context, fu string, width int, scheme string, secret uin
 		Retry: retry, Votes: rb.votes, Quorum: rb.quorum,
 		CheckpointPath: rb.checkpoint, CheckpointEvery: rb.checkpointEvery,
 		Resume: cp,
+		Solver: rb.solver, Incremental: rb.incremental,
 	})
 	if err != nil {
 		if interrupted(err) && res != nil {

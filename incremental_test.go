@@ -1,0 +1,55 @@
+package bindlock
+
+import (
+	"testing"
+
+	"bindlock/internal/satattack"
+)
+
+// TestIncrementalDeterminismMediabench is the acceptance check for the
+// incremental attack mode on the paper's evaluation set: for each of the 11
+// MediaBench-derived kernels, a budget-bounded attack on the elaborated
+// locked design runs once in the default rebuild mode and once with
+// Options.Incremental, and the two must agree bit-for-bit — same key, same
+// DIP transcript, same iteration count, same Deterministic() metrics. The
+// modes share one warm act-guarded miter solver and the incremental key
+// extraction replays the same constraint stream the eager encoder saw, so
+// any divergence is a bug, not noise.
+func TestIncrementalDeterminismMediabench(t *testing.T) {
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			ed := elaborateLockedBenchmark(t, b.Name)
+
+			seq, seqDet := budgetedAttack(t, ed, satattack.Options{})
+			inc, incDet := budgetedAttack(t, ed, satattack.Options{Incremental: true})
+
+			if inc.Iterations != seq.Iterations {
+				t.Errorf("incremental iterations %d != rebuild %d", inc.Iterations, seq.Iterations)
+			}
+			if len(inc.Key) != len(seq.Key) {
+				t.Fatalf("incremental key length %d != %d", len(inc.Key), len(seq.Key))
+			}
+			for i := range inc.Key {
+				if inc.Key[i] != seq.Key[i] {
+					t.Errorf("key bit %d diverged between modes", i)
+				}
+			}
+			if len(inc.DIPs) != len(seq.DIPs) {
+				t.Fatalf("incremental DIP count %d != %d", len(inc.DIPs), len(seq.DIPs))
+			}
+			for i := range inc.DIPs {
+				for j := range inc.DIPs[i] {
+					if inc.DIPs[i][j] != seq.DIPs[i][j] {
+						t.Fatalf("DIP %d bit %d diverged between modes", i, j)
+					}
+				}
+			}
+			if incDet != seqDet {
+				t.Errorf("Deterministic() snapshots differ:\nincremental: %s\nrebuild:     %s",
+					incDet, seqDet)
+			}
+		})
+	}
+}

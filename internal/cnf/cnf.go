@@ -14,17 +14,20 @@ import (
 	"bindlock/internal/sat"
 )
 
-// Encoder instantiates circuits into a solver.
+// Encoder instantiates circuits into a solver backend.
 type Encoder struct {
-	S *sat.Solver
+	S sat.Backend
 
 	varTrue  int
 	varFalse int
 	haveK    bool
 }
 
-// NewEncoder returns an encoder over a fresh solver.
+// NewEncoder returns an encoder over a fresh solver of the default backend.
 func NewEncoder() *Encoder { return &Encoder{S: sat.NewSolver()} }
+
+// NewEncoderBackend returns an encoder over the given solver backend.
+func NewEncoderBackend(b sat.Backend) *Encoder { return &Encoder{S: b} }
 
 // Instance records the solver variables of one circuit copy.
 type Instance struct {
@@ -182,4 +185,21 @@ func (e *Encoder) AtLeastOne(vars []int) {
 		lits[i] = sat.NewLit(v, false)
 	}
 	e.S.AddClause(lits...)
+}
+
+// GuardedAtLeastOne allocates a fresh guard variable g and adds the clause
+// (¬g ∨ v1 ∨ … ∨ vn): whenever g holds, at least one of the variables must
+// be true. Solving under the assumption g activates the constraint; solving
+// without it leaves the clause vacuously satisfiable, which is how the
+// attack loop keeps one warm miter solver usable for both difference
+// finding and plain consistency checks.
+func (e *Encoder) GuardedAtLeastOne(vars []int) int {
+	g := e.S.NewVar()
+	lits := make([]sat.Lit, 0, len(vars)+1)
+	lits = append(lits, sat.NewLit(g, true))
+	for _, v := range vars {
+		lits = append(lits, sat.NewLit(v, false))
+	}
+	e.S.AddClause(lits...)
+	return g
 }

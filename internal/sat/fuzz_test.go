@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,136 @@ func FuzzParseDIMACS(f *testing.F) {
 		}
 		if s.NumVars() > MaxDIMACSVars {
 			t.Fatalf("solver has %d vars, above the %d cap", s.NumVars(), MaxDIMACSVars)
+		}
+	})
+}
+
+// FuzzSolveAssuming differentially tests the CDCL solver's assumption
+// interface against the DPLL reference engine. The fuzzer's byte stream is
+// decoded into a small formula plus an assumption set; both engines must
+// agree on satisfiability, a SAT model must satisfy every clause and every
+// assumption, and an UNSAT-under-assumptions verdict must report a failed
+// subset of the assumptions that — added as unit clauses — makes a fresh
+// solve unsatisfiable. Each solver is also queried again afterwards to prove
+// assumptions never poison the clause DB.
+func FuzzSolveAssuming(f *testing.F) {
+	f.Add([]byte{3, 2, 0, 1, 2, 255, 3, 255, 1})
+	f.Add([]byte{4, 1, 0, 3, 255, 2, 1})
+	f.Add([]byte{2, 0, 255, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]%6) + 1 // 1..6 variables
+		data = data[1:]
+
+		cdcl := NewSolver()
+		dpll := NewDPLL()
+		for i := 0; i < n; i++ {
+			cdcl.NewVar()
+			dpll.NewVar()
+		}
+
+		// Decode: bytes are literals (var = b%n, sign = b>=128); 255 ends a
+		// clause; after the clause section a trailing run encodes assumptions.
+		var clauses [][]Lit
+		var cur []Lit
+		var assumps []Lit
+		for i, b := range data {
+			if b == 255 {
+				if len(cur) > 0 {
+					clauses = append(clauses, cur)
+					cur = nil
+				}
+				continue
+			}
+			l := NewLit(int(b)%n, b >= 128)
+			if i >= len(data)-3 && len(cur) == 0 && len(assumps) < 3 {
+				assumps = append(assumps, l)
+				continue
+			}
+			cur = append(cur, l)
+		}
+		if len(cur) > 0 {
+			clauses = append(clauses, cur)
+		}
+		if len(clauses) > 24 {
+			clauses = clauses[:24]
+		}
+		for _, c := range clauses {
+			cdcl.AddClause(append([]Lit(nil), c...)...)
+			dpll.AddClause(append([]Lit(nil), c...)...)
+		}
+
+		ctx := context.Background()
+		gotC, errC := cdcl.SolveAssuming(ctx, assumps...)
+		gotD, errD := dpll.SolveAssuming(ctx, assumps...)
+		if errC != nil || errD != nil {
+			t.Fatalf("solve errors: cdcl=%v dpll=%v", errC, errD)
+		}
+		if gotC != gotD {
+			t.Fatalf("disagreement: cdcl=%v dpll=%v (clauses %v assumps %v)", gotC, gotD, clauses, assumps)
+		}
+
+		check := func(name string, val func(int) bool) {
+			for _, c := range clauses {
+				sat := false
+				for _, l := range c {
+					if val(l.Var()) != l.Sign() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("%s model violates clause %v", name, c)
+				}
+			}
+			for _, a := range assumps {
+				if val(a.Var()) == a.Sign() {
+					t.Fatalf("%s model violates assumption %v", name, a)
+				}
+			}
+		}
+		if gotC {
+			check("cdcl", cdcl.Value)
+			check("dpll", dpll.Value)
+		} else if len(assumps) > 0 {
+			failed := cdcl.FailedAssumptions()
+			set := map[Lit]bool{}
+			for _, a := range assumps {
+				set[a] = true
+			}
+			for _, l := range failed {
+				if !set[l] {
+					t.Fatalf("failed assumption %v not in passed set %v", l, assumps)
+				}
+			}
+			// The failed subset must itself be sufficient for unsatisfiability.
+			fresh := NewSolver()
+			for i := 0; i < n; i++ {
+				fresh.NewVar()
+			}
+			for _, c := range clauses {
+				fresh.AddClause(append([]Lit(nil), c...)...)
+			}
+			for _, l := range failed {
+				fresh.AddClause(l)
+			}
+			if sat, err := fresh.Solve(ctx); err != nil {
+				t.Fatalf("fresh solve: %v", err)
+			} else if sat {
+				t.Fatalf("failed subset %v does not reproduce unsatisfiability", failed)
+			}
+		}
+
+		// Both solvers stay usable after an assumption query.
+		reC, errC := cdcl.Solve(ctx)
+		reD, errD := dpll.Solve(ctx)
+		if errC != nil || errD != nil {
+			t.Fatalf("re-solve errors: cdcl=%v dpll=%v", errC, errD)
+		}
+		if reC != reD {
+			t.Fatalf("re-solve disagreement: cdcl=%v dpll=%v", reC, reD)
 		}
 	})
 }

@@ -99,10 +99,13 @@ type Solver struct {
 	varInc   float64
 	heap     *varHeap
 
-	ok  bool  // false once a top-level conflict is derived
-	err error // sticky: first AddClause boundary violation; Solve returns it
+	ok     bool  // false once a top-level conflict is derived
+	err    error // sticky: first AddClause boundary violation; Solve returns it
+	failed []Lit // failed assumptions of the last unsatisfiable SolveAssuming
 
-	// MaxConflicts bounds the search effort; 0 means DefaultMaxConflicts.
+	// MaxConflicts bounds the search effort of each solve call; 0 means
+	// DefaultMaxConflicts. The budget is per call: a reused solver does not
+	// start later calls part-exhausted by earlier ones.
 	MaxConflicts int64
 
 	// statistics
@@ -506,6 +509,10 @@ func (s *Solver) Stats() Stats {
 	}
 }
 
+// SetMaxConflicts bounds each subsequent solve call's conflict budget
+// (0: DefaultMaxConflicts). It is the Backend form of the MaxConflicts field.
+func (s *Solver) SetMaxConflicts(n int64) { s.MaxConflicts = n }
+
 // ctxCheckInterval bounds how many conflicts/decisions may pass between
 // cancellation checks; at CDCL step rates this keeps cancellation latency
 // well under the ~100ms promptness target.
@@ -519,9 +526,25 @@ const ctxCheckInterval = 2048
 // error carries a Stats snapshot as partial result. Cancellation is checked
 // at restart boundaries and every ctxCheckInterval conflicts/decisions.
 func (s *Solver) Solve(ctx context.Context) (bool, error) {
+	return s.SolveAssuming(ctx)
+}
+
+// SolveAssuming is Solve under temporary assumption literals, the MiniSat
+// incremental interface. Assumptions are installed as the first decisions of
+// the search (one decision level each), never as clauses: everything the
+// call learns is derived by resolution from the clause database alone and
+// therefore stays valid for later calls with different assumptions, while
+// the assumptions themselves are retracted on return. (false, nil) with
+// assumptions means the clause set is unsatisfiable together with them;
+// FailedAssumptions then reports a responsible subset, the clause database
+// is unpoisoned, and the solver remains usable. Only a conflict at decision
+// level zero — below every assumption — marks the formula itself
+// unsatisfiable.
+func (s *Solver) SolveAssuming(ctx context.Context, assumps ...Lit) (bool, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	s.failed = nil
 	if m := metrics.FromContext(ctx); m != nil {
 		// Solver counters are cumulative across Solve calls on a reused
 		// solver (the attack loop re-solves one growing formula), so the
@@ -549,6 +572,11 @@ func (s *Solver) Solve(ctx context.Context) (bool, error) {
 	if !s.ok {
 		return false, nil
 	}
+	for _, a := range assumps {
+		if a == LitUndef || a.Var() < 0 || a.Var() >= s.NumVars() {
+			return false, fmt.Errorf("%w: assumption %v (have %d vars)", ErrUnknownVariable, a, s.NumVars())
+		}
+	}
 	defer s.cancelUntil(0)
 	if s.propagate() != -1 {
 		s.ok = false
@@ -559,6 +587,10 @@ func (s *Solver) Solve(ctx context.Context) (bool, error) {
 	if budget == 0 {
 		budget = DefaultMaxConflicts
 	}
+	// The budget is per call: measure conflicts against this call's start,
+	// so a warm solver reused across an attack's iterations is not charged
+	// for earlier calls' work.
+	budgetBase := s.Conflicts
 	hook := progress.FromContext(ctx)
 	var restartN int64
 	const restartBase = 100
@@ -611,7 +643,7 @@ func (s *Solver) Solve(ctx context.Context) (bool, error) {
 					s.reduceDB()
 					maxLearnts += maxLearnts / 10
 				}
-				if s.Conflicts >= budget {
+				if s.Conflicts-budgetBase >= budget {
 					return false, interrupt.Budget("sat: solve", ErrBudget, s.Stats())
 				}
 				continue
@@ -620,21 +652,90 @@ func (s *Solver) Solve(ctx context.Context) (bool, error) {
 				s.cancelUntil(0)
 				break // restart
 			}
-			v := s.pickBranch()
-			if v == -1 {
-				// All variables assigned: SAT.
-				s.model = make([]bool, s.NumVars())
-				for i, a := range s.assign {
-					s.model[i] = a == lTrue
+			// Extend the assumption prefix first: assumption i is the
+			// decision of level i+1. An assumption already implied true
+			// opens a dummy level (keeping the level-per-assumption
+			// invariant); one implied false is a final conflict — the
+			// assumptions are jointly unsatisfiable with the clause set,
+			// which says nothing about the clause set alone.
+			next := LitUndef
+			for next == LitUndef && int(s.decisionLevel()) < len(assumps) {
+				switch p := assumps[s.decisionLevel()]; s.valueLit(p) {
+				case lTrue:
+					s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				case lFalse:
+					s.failed = s.analyzeFinal(p)
+					return false, nil
+				default:
+					next = p
 				}
-				return true, nil
 			}
-			s.Decisions++
+			if next == LitUndef {
+				v := s.pickBranch()
+				if v == -1 {
+					// All variables assigned: SAT.
+					s.model = make([]bool, s.NumVars())
+					for i, a := range s.assign {
+						s.model[i] = a == lTrue
+					}
+					return true, nil
+				}
+				s.Decisions++
+				next = NewLit(v, s.polarity[v])
+			}
 			s.trailLim = append(s.trailLim, int32(len(s.trail)))
-			s.enqueue(NewLit(v, s.polarity[v]), -1)
+			s.enqueue(next, -1)
 		}
 	}
 }
+
+// analyzeFinal computes the failed-assumption set once assumption p is found
+// false while the trail holds only assumption decisions and their
+// consequences. Walking the trail backwards from the top, it expands implied
+// literals through their reason clauses and collects the assumption
+// decisions reached — MiniSat's final-conflict analysis. The result is the
+// subset of the passed assumptions (in their original polarity, p included)
+// that is jointly unsatisfiable with the clause set. Nothing is learned and
+// nothing enters the clause database: the "conflict" involves the
+// assumptions, which are scoped to this call, so recording any of it as a
+// clause would poison later calls.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	out := []Lit{p}
+	if s.decisionLevel() == 0 {
+		return out // p is falsified by the formula alone at the root
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == -1 {
+			// A decision: at this point of the search every decision is an
+			// assumption, recorded on the trail in its passed polarity.
+			if s.level[v] > 0 {
+				out = append(out, s.trail[i])
+			}
+		} else {
+			// Implied: charge the literals of its reason clause (clause[0]
+			// is the implied literal itself).
+			for _, q := range s.clauses[s.reason[v]][1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+	return out
+}
+
+// FailedAssumptions returns the failed-assumption subset computed by the
+// most recent SolveAssuming call that returned (false, nil) under
+// assumptions, in the polarity they were passed. It returns nil after any
+// other outcome — a satisfiable call, a formula-level UNSAT, or an error.
+func (s *Solver) FailedAssumptions() []Lit { return s.failed }
 
 // Value returns variable v's value in the most recent model. It panics if no
 // model is available; hot loops that have just seen Solve return true may use

@@ -12,6 +12,7 @@ import (
 	"bindlock/internal/metrics"
 	"bindlock/internal/netlist"
 	"bindlock/internal/progress"
+	"bindlock/internal/sat"
 )
 
 // This file implements an AppSAT-style approximate attack: run the exact
@@ -35,8 +36,18 @@ type ApproxOptions struct {
 	ErrorSamples int
 	// Seed drives the random error-estimation queries.
 	Seed int64
-	// MaxConflicts bounds each SAT call.
+	// MaxConflicts bounds each SAT call, routed through the backend factory
+	// so every solver the attack creates is bounded consistently.
 	MaxConflicts int64
+	// Solver names the registered sat backend to solve with ("" means
+	// sat.DefaultBackend).
+	Solver string
+	// Backend, when non-nil, supplies the solver factory directly and takes
+	// precedence over Solver.
+	Backend sat.Factory
+	// Incremental defers the constraint-only key solver to extraction time,
+	// rebuilding it from the query transcript; see Options.Incremental.
+	Incremental bool
 	// Retry tunes per-query oracle retry (zero value: single attempt).
 	Retry RetryPolicy
 	// Votes is the number of oracle queries per DIP and per error sample,
@@ -92,12 +103,11 @@ func ApproxAttack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, o
 	start := time.Now()
 	q := newQuerier(oracle, opts.Retry, opts.Votes, opts.Quorum, metrics.FromContext(ctx))
 
-	me := cnf.NewEncoder()
-	ke := cnf.NewEncoder()
-	if opts.MaxConflicts > 0 {
-		me.S.MaxConflicts = opts.MaxConflicts
-		ke.S.MaxConflicts = opts.MaxConflicts
+	factory, _, err := resolveBackend(opts.Solver, opts.Backend, opts.MaxConflicts)
+	if err != nil {
+		return nil, err
 	}
+	me := cnf.NewEncoderBackend(factory())
 	inst1, err := me.Encode(locked, nil, nil)
 	if err != nil {
 		return nil, err
@@ -110,16 +120,54 @@ func ApproxAttack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, o
 	for i := range diffs {
 		diffs[i] = me.XorVar(inst1.Outputs[i], inst2.Outputs[i])
 	}
-	me.AtLeastOne(diffs)
-	keyVars := ke.FreshVars(len(locked.Keys))
+	act := sat.NewLit(me.GuardedAtLeastOne(diffs), false)
+
+	// Key solver, eager in rebuild mode, transcript-reconstructed in
+	// incremental mode — the same discipline as the exact attack.
+	newKeyEncoder := func() (*cnf.Encoder, []int) {
+		ke := cnf.NewEncoderBackend(factory())
+		return ke, ke.FreshVars(len(locked.Keys))
+	}
+	addKeyConstraint := func(ke *cnf.Encoder, keyVars []int, dip, outs []bool) error {
+		inBits := ke.ConstVars(dip)
+		ci, err := ke.Encode(locked, inBits, keyVars)
+		if err != nil {
+			return err
+		}
+		for i, ov := range ci.Outputs {
+			ke.FixVar(ov, outs[i])
+		}
+		return nil
+	}
+	var ke *cnf.Encoder
+	var keyVars []int
+	if !opts.Incremental {
+		ke, keyVars = newKeyEncoder()
+	}
+	var dips, answers [][]bool
+	keyEncoder := func() (*cnf.Encoder, []int, error) {
+		if !opts.Incremental {
+			return ke, keyVars, nil
+		}
+		kke, kv := newKeyEncoder()
+		for i, outs := range answers {
+			if err := addKeyConstraint(kke, kv, dips[i], outs); err != nil {
+				return nil, nil, err
+			}
+		}
+		return kke, kv, nil
+	}
 
 	res := &ApproxResult{}
 	interrupted := func(cause error) (*ApproxResult, error) {
 		res.Duration = time.Since(start)
-		if found, err := ke.S.Solve(context.WithoutCancel(ctx)); err == nil && found {
-			res.Key = make([]bool, len(keyVars))
-			for i, v := range keyVars {
-				res.Key[i] = ke.S.Value(v)
+		kke, kv, kerr := keyEncoder()
+		if kerr == nil {
+			if found, err := kke.S.Solve(context.WithoutCancel(ctx)); err == nil && found {
+				res.Key = make([]bool, len(kv))
+				for i, v := range kv {
+					res.Key[i] = kke.S.Value(v)
+				}
 			}
 		}
 		progress.End(hook, "approx-attack", fmt.Sprintf("interrupted after %d DIPs", res.Iterations))
@@ -129,7 +177,7 @@ func ApproxAttack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, o
 		if cerr := interrupt.Check(ctx, approxOp, nil); cerr != nil {
 			return interrupted(cerr)
 		}
-		found, err := me.S.Solve(ctx)
+		found, err := me.S.SolveAssuming(ctx, act)
 		if err != nil {
 			if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
 				return interrupted(err)
@@ -153,26 +201,29 @@ func ApproxAttack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, o
 			}
 			return nil, fmt.Errorf("satattack: approx oracle query (iteration %d): %w", res.Iterations, err)
 		}
-		for _, enc := range []struct {
-			e    *cnf.Encoder
-			keys [][]int
-		}{
-			{me, [][]int{inst1.Keys, inst2.Keys}},
-			{ke, [][]int{keyVars}},
-		} {
-			inBits := enc.e.ConstVars(dip)
-			for _, kv := range enc.keys {
-				ci, err := enc.e.Encode(locked, inBits, kv)
-				if err != nil {
-					return nil, err
-				}
-				for i, ov := range ci.Outputs {
-					enc.e.FixVar(ov, outs[i])
-				}
+		dips = append(dips, dip)
+		answers = append(answers, outs)
+		inBits := me.ConstVars(dip)
+		for _, kv := range [][]int{inst1.Keys, inst2.Keys} {
+			ci, err := me.Encode(locked, inBits, kv)
+			if err != nil {
+				return nil, err
+			}
+			for i, ov := range ci.Outputs {
+				me.FixVar(ov, outs[i])
+			}
+		}
+		if !opts.Incremental {
+			if err := addKeyConstraint(ke, keyVars, dip, outs); err != nil {
+				return nil, err
 			}
 		}
 	}
 
+	ke, keyVars, err = keyEncoder()
+	if err != nil {
+		return nil, err
+	}
 	found, err := ke.S.Solve(ctx)
 	if err != nil {
 		if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {

@@ -68,7 +68,7 @@ func TestApproxAttackOnSFLL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := oracle(in)
+	want, err := oracle.Query(in)
 	if err != nil {
 		t.Fatal(err)
 	}

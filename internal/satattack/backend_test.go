@@ -1,0 +1,101 @@
+package satattack
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"bindlock/internal/interrupt"
+	"bindlock/internal/netlist"
+	"bindlock/internal/sat"
+)
+
+// lockedAdder builds an SFLL-HD0-locked ripple-carry adder for backend
+// plumbing tests.
+func lockedAdder(t *testing.T, width int) (*netlist.Circuit, []bool) {
+	t.Helper()
+	base, err := netlist.NewAdder(width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key, err := netlist.LockSFLLHD0(base, []uint64{0b010110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return locked, key
+}
+
+// countingBackend wraps a real backend and records what was configured on
+// it, so the option-plumbing tests can see through the factory.
+type countingBackend struct {
+	sat.Backend
+	maxConflicts int64
+}
+
+func (c *countingBackend) SetMaxConflicts(n int64) {
+	c.maxConflicts = n
+	c.Backend.SetMaxConflicts(n)
+}
+
+func TestResolveBackendDefaults(t *testing.T) {
+	f, name, err := resolveBackend("", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != sat.DefaultBackend {
+		t.Fatalf("name = %q, want default %q", name, sat.DefaultBackend)
+	}
+	if _, ok := f().(*sat.Solver); !ok {
+		t.Fatalf("default factory built %T, want *sat.Solver", f())
+	}
+}
+
+func TestResolveBackendUnknownName(t *testing.T) {
+	if _, _, err := resolveBackend("no-such-engine", nil, 0); err == nil {
+		t.Fatal("unknown backend name resolved without error")
+	}
+}
+
+// TestResolveBackendAppliesMaxConflicts pins the Options.MaxConflicts
+// propagation: every solver the resolved factory builds — miter, key
+// extractor, transcript rebuild — must carry the per-call conflict bound.
+func TestResolveBackendAppliesMaxConflicts(t *testing.T) {
+	var built []*countingBackend
+	explicit := func() sat.Backend {
+		b := &countingBackend{Backend: sat.NewSolver()}
+		built = append(built, b)
+		return b
+	}
+	f, name, err := resolveBackend("", explicit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != sat.DefaultBackend {
+		t.Fatalf("name = %q, want %q", name, sat.DefaultBackend)
+	}
+	f()
+	f()
+	if len(built) != 2 {
+		t.Fatalf("explicit factory built %d backends, want 2", len(built))
+	}
+	for i, b := range built {
+		if b.maxConflicts != 7 {
+			t.Fatalf("backend %d has maxConflicts %d, want 7", i, b.maxConflicts)
+		}
+	}
+}
+
+// TestAttackMaxConflictsBudget drives the propagation end to end: a conflict
+// budget far too small for the miter must surface as a typed budget error
+// from the attack, not an infinite solve.
+func TestAttackMaxConflictsBudget(t *testing.T) {
+	locked, key := lockedAdder(t, 3)
+	oracle := OracleFromCircuit(locked, key)
+	res, err := Attack(context.Background(), locked, oracle, Options{MaxConflicts: 1})
+	if err == nil {
+		t.Fatalf("attack with a 1-conflict budget succeeded after %d iterations", res.Iterations)
+	}
+	if !errors.Is(err, interrupt.ErrBudgetExceeded) {
+		t.Fatalf("error = %v, want ErrBudgetExceeded", err)
+	}
+}

@@ -40,7 +40,7 @@ func TestAttackChaos(t *testing.T) {
 	}
 	perfect := OracleFromCircuit(locked, key)
 	inj := fault.New(fault.Plan{Seed: seed, TransientRate: 0.1, BitFlipRate: 0.002})
-	noisy := Oracle(inj.WrapOracle(perfect))
+	noisy := OracleFunc(inj.WrapOracle(perfect.Query))
 
 	res, err := Attack(context.Background(), locked, noisy, Options{
 		Retry:  RetryPolicy{MaxAttempts: 6, BaseDelay: time.Microsecond, Seed: seed},

@@ -26,8 +26,11 @@ import (
 // IC are the resource checkpoints exist to protect.
 
 // CheckpointVersion is the format version written by Save and required by
-// LoadCheckpoint.
-const CheckpointVersion = 1
+// LoadCheckpoint. Version 2 guards the miter's at-least-one-difference
+// clause behind an activation literal (the warm-solver refactor) — a version
+// 1 transcript would replay against a different clause stream and could
+// diverge mid-resume, so it is rejected up front rather than part-replayed.
+const CheckpointVersion = 2
 
 // ErrCheckpointMismatch reports a checkpoint that does not belong to the
 // attack being resumed: wrong circuit shape, or a replayed iteration solved
@@ -52,6 +55,13 @@ type Checkpoint struct {
 	OracleCalls uint64   `json:"oracle_calls"`
 	DIPs        []string `json:"dips"`
 	Answers     []string `json:"answers"`
+	// Solver names the sat backend that produced the transcript ("" means
+	// the default backend, for transcripts written before the field existed).
+	// Different engines walk different DIP sequences, so resuming under
+	// another backend is rejected. The incremental flag is deliberately NOT
+	// recorded: both attack modes drive the identical miter clause/solve
+	// stream, so a transcript is mode-independent by construction.
+	Solver string `json:"solver,omitempty"`
 	// Metrics optionally embeds the registry snapshot at save time, for
 	// post-mortem inspection; resume does not consume it.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
@@ -117,13 +127,17 @@ func (cp *Checkpoint) Save(path string) error {
 	return nil
 }
 
-// validateFor rejects a checkpoint recorded against a different circuit
-// before the attack spends any work on it.
-func (cp *Checkpoint) validateFor(locked *netlist.Circuit) error {
+// validateFor rejects a checkpoint recorded against a different circuit or a
+// different solver backend before the attack spends any work on it.
+func (cp *Checkpoint) validateFor(locked *netlist.Circuit, solver string) error {
 	if cp.Circuit != locked.Name || cp.InputBits != len(locked.Inputs) || cp.KeyBits != len(locked.Keys) {
 		return fmt.Errorf("%w: checkpoint is for %q (%d inputs, %d keys), attack target is %q (%d inputs, %d keys)",
 			ErrCheckpointMismatch, cp.Circuit, cp.InputBits, cp.KeyBits,
 			locked.Name, len(locked.Inputs), len(locked.Keys))
+	}
+	if normalizeSolver(cp.Solver) != normalizeSolver(solver) {
+		return fmt.Errorf("%w: checkpoint transcript was produced by solver backend %q, attack is using %q",
+			ErrCheckpointMismatch, normalizeSolver(cp.Solver), normalizeSolver(solver))
 	}
 	return nil
 }

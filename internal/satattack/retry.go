@@ -187,7 +187,7 @@ func (q *querier) once(ctx context.Context, in []bool) ([]bool, error) {
 		}
 		q.calls++
 		q.mreg.Add("retry_oracle_attempts_total", 1)
-		out, err := q.oracle(in)
+		out, err := q.oracle.Query(in)
 		if err == nil {
 			return out, nil
 		}

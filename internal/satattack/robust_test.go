@@ -33,7 +33,7 @@ func TestQuerierRetryRecovers(t *testing.T) {
 		return []bool{true, false}, nil
 	}
 	reg := metrics.New()
-	q := noSleep(newQuerier(oracle, RetryPolicy{MaxAttempts: 3}, 1, 1, reg))
+	q := noSleep(newQuerier(OracleFunc(oracle), RetryPolicy{MaxAttempts: 3}, 1, 1, reg))
 	out, err := q.query(context.Background(), nil)
 	if err != nil {
 		t.Fatalf("query: %v", err)
@@ -55,7 +55,7 @@ func TestQuerierRetryRecovers(t *testing.T) {
 
 func TestQuerierRetryExhaustion(t *testing.T) {
 	oracle := func(in []bool) ([]bool, error) { return nil, errors.New("dead") }
-	q := noSleep(newQuerier(oracle, RetryPolicy{MaxAttempts: 4}, 1, 1, nil))
+	q := noSleep(newQuerier(OracleFunc(oracle), RetryPolicy{MaxAttempts: 4}, 1, 1, nil))
 	_, err := q.query(context.Background(), nil)
 	if !errors.Is(err, ErrOracleUnavailable) {
 		t.Fatalf("err = %v, want ErrOracleUnavailable", err)
@@ -76,7 +76,7 @@ func TestQuerierMajorityVoting(t *testing.T) {
 		}
 		return out, nil
 	}
-	q := noSleep(newQuerier(oracle, RetryPolicy{}, 5, 3, nil))
+	q := noSleep(newQuerier(OracleFunc(oracle), RetryPolicy{}, 5, 3, nil))
 	out, err := q.query(context.Background(), nil)
 	if err != nil {
 		t.Fatalf("query: %v", err)
@@ -94,7 +94,7 @@ func TestQuerierNoQuorum(t *testing.T) {
 		return []bool{call%2 == 0}, nil
 	}
 	reg := metrics.New()
-	q := noSleep(newQuerier(oracle, RetryPolicy{}, 4, 3, reg))
+	q := noSleep(newQuerier(OracleFunc(oracle), RetryPolicy{}, 4, 3, reg))
 	_, err := q.query(context.Background(), nil)
 	if !errors.Is(err, ErrNoQuorum) || !errors.Is(err, ErrOracleUnavailable) {
 		t.Fatalf("err = %v, want ErrNoQuorum (wrapping ErrOracleUnavailable)", err)
@@ -109,12 +109,12 @@ func TestVerifyKeyRetriesFlakyOracle(t *testing.T) {
 	locked, key, _ := netlist.LockXOR(base, 4, 1)
 	perfect := OracleFromCircuit(locked, key)
 	calls := 0
-	flaky := Oracle(func(in []bool) ([]bool, error) {
+	flaky := OracleFunc(func(in []bool) ([]bool, error) {
 		calls++
 		if calls%3 == 0 {
 			return nil, errors.New("transient")
 		}
-		return perfect(in)
+		return perfect.Query(in)
 	})
 	// Without a policy the first hiccup kills the sweep...
 	err := VerifyKey(context.Background(), locked, key, flaky)
@@ -131,7 +131,7 @@ func TestVerifyKeyRetriesFlakyOracle(t *testing.T) {
 func TestVerifyKeyOracleUnavailable(t *testing.T) {
 	base, _ := netlist.NewAdder(3)
 	locked, key, _ := netlist.LockXOR(base, 4, 1)
-	dead := Oracle(func(in []bool) ([]bool, error) { return nil, errors.New("unplugged") })
+	dead := OracleFunc(func(in []bool) ([]bool, error) { return nil, errors.New("unplugged") })
 	err := VerifyKey(context.Background(), locked, key, dead,
 		RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond})
 	if !errors.Is(err, ErrOracleUnavailable) {
@@ -155,7 +155,7 @@ func TestAttackSurvivesFaultPlan(t *testing.T) {
 	perfect := OracleFromCircuit(locked, key)
 	reg := metrics.New()
 	inj := fault.New(fault.Plan{Seed: 2021, TransientRate: 0.10, BitFlipRate: 0.01}).WithRegistry(reg)
-	noisy := Oracle(inj.WrapOracle(perfect))
+	noisy := OracleFunc(inj.WrapOracle(perfect.Query))
 
 	ctx := metrics.NewContext(context.Background(), reg)
 	res, err := Attack(ctx, locked, noisy, Options{
@@ -197,12 +197,12 @@ func TestAttackOracleFailurePartialResult(t *testing.T) {
 	locked, key, _ := netlist.LockSFLLHD0(base, []uint64{5})
 	perfect := OracleFromCircuit(locked, key)
 	calls := 0
-	dying := Oracle(func(in []bool) ([]bool, error) {
+	dying := OracleFunc(func(in []bool) ([]bool, error) {
 		calls++
 		if calls > 2 {
 			return nil, errors.New("oracle power lost")
 		}
-		return perfect(in)
+		return perfect.Query(in)
 	})
 	res, err := Attack(context.Background(), locked, dying, Options{
 		Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond},
@@ -388,7 +388,7 @@ func TestApproxAttackWithVoting(t *testing.T) {
 	locked, key, _ := netlist.LockXOR(base, 8, 3)
 	perfect := OracleFromCircuit(locked, key)
 	inj := fault.New(fault.Plan{Seed: 7, TransientRate: 0.1, BitFlipRate: 0.005})
-	noisy := Oracle(inj.WrapOracle(perfect))
+	noisy := OracleFunc(inj.WrapOracle(perfect.Query))
 	res, err := ApproxAttack(context.Background(), locked, noisy, ApproxOptions{
 		MaxIterations: 64, ErrorSamples: 200, Seed: 3,
 		Retry: RetryPolicy{MaxAttempts: 6, BaseDelay: time.Microsecond},

@@ -29,18 +29,31 @@ import (
 	"bindlock/internal/metrics"
 	"bindlock/internal/netlist"
 	"bindlock/internal/progress"
+	"bindlock/internal/sat"
 )
 
-// Oracle answers input queries with the activated IC's outputs.
-type Oracle func(inputs []bool) ([]bool, error)
+// Oracle answers input queries with the activated IC's outputs. Concrete
+// oracles range from in-process circuit evaluation (OracleFromCircuit)
+// through fault-injected and retried wrappers to, eventually, remote
+// hardware; the attack only ever sees Query.
+type Oracle interface {
+	Query(inputs []bool) ([]bool, error)
+}
+
+// OracleFunc adapts a plain query function to the Oracle interface, the
+// bridge to func-shaped seams like fault.WrapOracle.
+type OracleFunc func(inputs []bool) ([]bool, error)
+
+// Query implements Oracle.
+func (f OracleFunc) Query(inputs []bool) ([]bool, error) { return f(inputs) }
 
 // OracleFromCircuit builds the standard evaluation oracle: the locked
 // circuit activated with its correct key (equivalently, the original
 // circuit).
 func OracleFromCircuit(c *netlist.Circuit, correctKey []bool) Oracle {
-	return func(inputs []bool) ([]bool, error) {
+	return OracleFunc(func(inputs []bool) ([]bool, error) {
 		return c.Eval(inputs, correctKey)
-	}
+	})
 }
 
 // Options tunes the attack.
@@ -48,7 +61,26 @@ type Options struct {
 	// MaxIterations bounds the DIP loop (default 1 << 20).
 	MaxIterations int
 	// MaxConflicts bounds each SAT call (default sat.DefaultMaxConflicts).
+	// It is routed through the backend factory, so every solver the attack
+	// creates — miter, key extractor, transcript rebuilds — is bounded
+	// consistently.
 	MaxConflicts int64
+	// Solver names the registered sat backend to solve with ("" means
+	// sat.DefaultBackend). The name is recorded in checkpoints so a
+	// transcript is never resumed under a different engine.
+	Solver string
+	// Backend, when non-nil, supplies the solver factory directly and takes
+	// precedence over Solver (tests and embedders with unregistered
+	// engines). Checkpoints still record Solver as the transcript label.
+	Backend sat.Factory
+	// Incremental keeps only the one warm miter solver busy during the DIP
+	// loop and defers the constraint-only key solver entirely: instead of
+	// eagerly mirroring every I/O constraint into a second encoder per
+	// iteration, the key solver is rebuilt from the oracle transcript at
+	// extraction time with the identical clause stream. Keys and
+	// deterministic metrics are bit-identical to rebuild mode by
+	// construction; the per-iteration encoding work is roughly halved.
+	Incremental bool
 	// Retry tunes per-query oracle retry (zero value: single attempt, the
 	// pre-retry behaviour).
 	Retry RetryPolicy
@@ -92,6 +124,42 @@ var ErrIterationBudget = errors.New("satattack: iteration budget exhausted")
 
 const attackOp = "satattack: attack"
 
+// normalizeSolver maps the empty backend name to the default, so checkpoint
+// labels written before the field existed compare equal to explicit defaults.
+func normalizeSolver(name string) string {
+	if name == "" {
+		return sat.DefaultBackend
+	}
+	return name
+}
+
+// resolveBackend turns a backend name (or an explicit factory, which wins)
+// into the factory the attack builds every solver from, plus the backend
+// name to label transcripts with. The factory applies maxConflicts to every
+// solver it creates, so the miter, the key extractor, and any transcript
+// rebuild share one consistent per-call bound.
+func resolveBackend(name string, f sat.Factory, maxConflicts int64) (sat.Factory, string, error) {
+	if f == nil {
+		var err error
+		if f, err = sat.BackendFactory(name); err != nil {
+			return nil, "", err
+		}
+	}
+	if maxConflicts > 0 {
+		inner := f
+		f = func() sat.Backend {
+			b := inner()
+			b.SetMaxConflicts(maxConflicts)
+			return b
+		}
+	}
+	return f, normalizeSolver(name), nil
+}
+
+func (o Options) backendFactory() (sat.Factory, string, error) {
+	return resolveBackend(o.Solver, o.Backend, o.MaxConflicts)
+}
+
 // Attack runs the SAT attack against the locked circuit using the oracle.
 // Cancellation is checked before every DIP iteration and inside each solver
 // call. An interrupted attack — context cancelled, deadline expired, or
@@ -118,6 +186,11 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 		ckEvery = 1
 	}
 
+	factory, solverName, err := opts.backendFactory()
+	if err != nil {
+		return nil, err
+	}
+
 	hook := progress.FromContext(ctx)
 	progress.Start(hook, "attack", locked.Name)
 	start := time.Now()
@@ -127,7 +200,7 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	q := newQuerier(oracle, opts.Retry, opts.Votes, opts.Quorum, mreg)
 	replay := opts.Resume
 	if replay != nil {
-		if err := replay.validateFor(locked); err != nil {
+		if err := replay.validateFor(locked, solverName); err != nil {
 			return nil, err
 		}
 		// Physical-call continuity: the querier resumes counting where the
@@ -137,11 +210,12 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	}
 
 	// Miter solver: two key copies over shared inputs, outputs forced to
-	// differ somewhere.
-	me := cnf.NewEncoder()
-	if opts.MaxConflicts > 0 {
-		me.S.MaxConflicts = opts.MaxConflicts
-	}
+	// differ somewhere. The at-least-one-difference clause is guarded by an
+	// activation literal and each DIP search solves under the assumption
+	// that the guard holds, so the solver stays warm across iterations and
+	// the guard never contaminates the learned-clause DB when the key space
+	// collapses.
+	me := cnf.NewEncoderBackend(factory())
 	inst1, err := me.Encode(locked, nil, nil)
 	if err != nil {
 		return nil, err
@@ -154,18 +228,56 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	for i := range diffs {
 		diffs[i] = me.XorVar(inst1.Outputs[i], inst2.Outputs[i])
 	}
-	me.AtLeastOne(diffs)
+	act := sat.NewLit(me.GuardedAtLeastOne(diffs), false)
 
-	// Key solver: accumulates only the I/O constraints over one key bus;
-	// it stays satisfiable (the correct key satisfies everything) and
-	// yields the final key.
-	ke := cnf.NewEncoder()
-	if opts.MaxConflicts > 0 {
-		ke.S.MaxConflicts = opts.MaxConflicts
+	// Key solver: accumulates only the I/O constraints over one key bus; it
+	// stays satisfiable (the correct key satisfies everything) and yields
+	// the final key. Rebuild mode (the default) mirrors every constraint
+	// into it eagerly; incremental mode skips it during the loop and
+	// reconstructs it from the oracle transcript on demand, with the exact
+	// clause stream the eager encoder would have accumulated — key bus
+	// first, then per answered DIP the same ConstVars/Encode/FixVar
+	// sequence — so the search, the model, and the metric deltas cannot
+	// differ between modes.
+	newKeyEncoder := func() (*cnf.Encoder, []int) {
+		ke := cnf.NewEncoderBackend(factory())
+		return ke, ke.FreshVars(len(locked.Keys))
 	}
-	keyVars := ke.FreshVars(len(locked.Keys))
+	addKeyConstraint := func(ke *cnf.Encoder, keyVars []int, dip, outs []bool) error {
+		inBits := ke.ConstVars(dip)
+		ci, err := ke.Encode(locked, inBits, keyVars)
+		if err != nil {
+			return err
+		}
+		for i, ov := range ci.Outputs {
+			ke.FixVar(ov, outs[i])
+		}
+		return nil
+	}
+	var ke *cnf.Encoder
+	var keyVars []int
+	if !opts.Incremental {
+		ke, keyVars = newKeyEncoder()
+	}
 
 	res := &Result{}
+	var answers [][]bool // oracle transcript, parallel to the answered DIPs
+	// keyEncoder returns the key solver ready to extract from: the eager one
+	// in rebuild mode, a transcript reconstruction in incremental mode. Only
+	// answered DIPs are replayed — on an oracle failure the eager encoder is
+	// missing the last DIP's constraints too, so the two stay aligned.
+	keyEncoder := func() (*cnf.Encoder, []int, error) {
+		if !opts.Incremental {
+			return ke, keyVars, nil
+		}
+		kke, kv := newKeyEncoder()
+		for i, outs := range answers {
+			if err := addKeyConstraint(kke, kv, res.DIPs[i], outs); err != nil {
+				return nil, nil, err
+			}
+		}
+		return kke, kv, nil
+	}
 	// End-of-attack telemetry on every return path, completed or interrupted:
 	// the miter encoder's final CNF size and the DIP count are deterministic
 	// for a given circuit, so they land in the registry's deterministic
@@ -176,16 +288,28 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 		mreg.Add("satattack_cnf_clauses_total", int64(me.S.NumClauses()))
 		mreg.Observe("satattack_dip_iterations", float64(res.Iterations))
 	}()
+	// stopIter times one whole DIP iteration — miter solve, oracle query and
+	// constraint encoding, but not checkpoint IO. It is re-armed per
+	// iteration and safe to settle on any exit path.
+	var iterTimer func()
+	stopIter := func() {
+		if iterTimer != nil {
+			iterTimer()
+			iterTimer = nil
+		}
+	}
 	// interrupted finalises an interruption: it stamps the duration,
 	// extracts the best-so-far key guess from the accumulated constraints,
 	// and rewraps the cause with the attack-level partial result.
 	interrupted := func(cause error) (*Result, error) {
+		stopIter()
 		res.Duration = time.Since(start)
-		extractKey(ctx, ke, keyVars, res)
+		if kke, kv, kerr := keyEncoder(); kerr == nil {
+			extractKey(ctx, kke, kv, res)
+		}
 		progress.End(hook, "attack", fmt.Sprintf("interrupted after %d DIPs", res.Iterations))
 		return res, interrupt.Rewrap(attackOp, cause, res)
 	}
-	var answers [][]bool // oracle transcript, parallel to res.DIPs
 	saveCheckpoint := func() error {
 		if opts.CheckpointPath == "" {
 			return nil
@@ -199,6 +323,7 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 			OracleCalls: q.calls,
 			DIPs:        encodeBitVectors(res.DIPs),
 			Answers:     encodeBitVectors(answers),
+			Solver:      solverName,
 		}
 		if snap := mreg.Snapshot(); !snap.Empty() {
 			cp.Metrics = &snap
@@ -210,16 +335,17 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 		if cerr := interrupt.Check(ctx, attackOp, nil); cerr != nil {
 			return interrupted(cerr)
 		}
-		stopIter := mreg.Timer("satattack_iteration_seconds")
-		found, err := me.S.Solve(ctx)
-		stopIter()
+		iterTimer = mreg.Timer("satattack_iteration_seconds")
+		found, err := me.S.SolveAssuming(ctx, act)
 		if err != nil {
 			if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {
 				return interrupted(err)
 			}
+			stopIter()
 			return nil, fmt.Errorf("satattack: miter solve (iteration %d): %w", res.Iterations+1, err)
 		}
 		if !found {
+			stopIter()
 			break // no more DIPs: key space collapsed to correct classes
 		}
 		res.Iterations++
@@ -241,6 +367,7 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 		if replay != nil && res.Iterations <= replay.Iterations {
 			rec, _ := stringToBits(replay.DIPs[res.Iterations-1]) // validated by LoadCheckpoint
 			if !equalBits(dip, rec) {
+				stopIter()
 				return nil, fmt.Errorf("%w: iteration %d re-solved DIP %s, checkpoint recorded %s",
 					ErrCheckpointMismatch, res.Iterations, bitsToString(dip), replay.DIPs[res.Iterations-1])
 			}
@@ -255,8 +382,11 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 				// Oracle exhausted: surface the partial result (DIPs paid
 				// for so far, best-effort key) alongside the typed error so
 				// a caller holding a checkpoint loses nothing.
+				stopIter()
 				res.Duration = time.Since(start)
-				extractKey(ctx, ke, keyVars, res)
+				if kke, kv, kerr := keyEncoder(); kerr == nil {
+					extractKey(ctx, kke, kv, res)
+				}
 				progress.End(hook, "attack", fmt.Sprintf("oracle failed after %d DIPs", res.Iterations))
 				return res, fmt.Errorf("satattack: oracle query (iteration %d): %w", res.Iterations, err)
 			}
@@ -264,26 +394,26 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 		mreg.Add("satattack_oracle_queries_total", 1)
 		answers = append(answers, outs)
 
-		// Constrain both miter key copies and the key solver with the
-		// observed I/O behaviour.
-		for _, enc := range []struct {
-			e    *cnf.Encoder
-			keys [][]int
-		}{
-			{me, [][]int{inst1.Keys, inst2.Keys}},
-			{ke, [][]int{keyVars}},
-		} {
-			inBits := enc.e.ConstVars(dip)
-			for _, kv := range enc.keys {
-				ci, err := enc.e.Encode(locked, inBits, kv)
-				if err != nil {
-					return nil, err
-				}
-				for i, ov := range ci.Outputs {
-					enc.e.FixVar(ov, outs[i])
-				}
+		// Constrain both miter key copies — and, in rebuild mode, the eager
+		// key solver — with the observed I/O behaviour.
+		inBits := me.ConstVars(dip)
+		for _, kv := range [][]int{inst1.Keys, inst2.Keys} {
+			ci, err := me.Encode(locked, inBits, kv)
+			if err != nil {
+				stopIter()
+				return nil, err
+			}
+			for i, ov := range ci.Outputs {
+				me.FixVar(ov, outs[i])
 			}
 		}
+		if !opts.Incremental {
+			if err := addKeyConstraint(ke, keyVars, dip, outs); err != nil {
+				stopIter()
+				return nil, err
+			}
+		}
+		stopIter()
 
 		// Checkpoint before the progress event: a hook that cancels on
 		// seeing iteration k then finds the file holding exactly k
@@ -308,11 +438,17 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	if res.Iterations >= maxIter {
 		cause := fmt.Errorf("%w (%d iterations)", ErrIterationBudget, maxIter)
 		res.Duration = time.Since(start)
-		extractKey(ctx, ke, keyVars, res)
+		if kke, kv, kerr := keyEncoder(); kerr == nil {
+			extractKey(ctx, kke, kv, res)
+		}
 		progress.End(hook, "attack", fmt.Sprintf("budget after %d DIPs", res.Iterations))
 		return res, interrupt.Budget(attackOp, cause, res)
 	}
 
+	ke, keyVars, err = keyEncoder()
+	if err != nil {
+		return nil, err
+	}
 	found, err := ke.S.Solve(ctx)
 	if err != nil {
 		if errors.Is(err, interrupt.ErrCancelled) || errors.Is(err, interrupt.ErrBudgetExceeded) {

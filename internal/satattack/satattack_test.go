@@ -150,14 +150,14 @@ func TestAttackInconsistentOracle(t *testing.T) {
 	honest := OracleFromCircuit(locked, key)
 	// Flip output bit 1, which no key bit influences (SFLL only perturbs
 	// bit 0): the very first I/O constraint is unsatisfiable for every key.
-	bogus := func(inputs []bool) ([]bool, error) {
-		outs, err := honest(inputs)
+	bogus := OracleFunc(func(inputs []bool) ([]bool, error) {
+		outs, err := honest.Query(inputs)
 		if err != nil {
 			return nil, err
 		}
 		outs[1] = !outs[1]
 		return outs, nil
-	}
+	})
 	_, err := Attack(context.Background(), locked, bogus, Options{})
 	if err == nil {
 		t.Fatal("inconsistent oracle must produce an error")

@@ -273,7 +273,11 @@ func (m *Manager) runAttack(ctx context.Context, j *job) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := satattack.Options{CheckpointEvery: m.cfg.CheckpointEvery}
+	opts := satattack.Options{
+		CheckpointEvery: m.cfg.CheckpointEvery,
+		Solver:          r.Solver,
+		Incremental:     r.Incremental,
+	}
 	if m.cfg.CheckpointDir != "" {
 		opts.CheckpointPath = filepath.Join(m.cfg.CheckpointDir, j.key+".ckpt")
 		switch cp, lerr := satattack.LoadCheckpoint(opts.CheckpointPath); {

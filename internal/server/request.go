@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"bindlock"
+	"bindlock/internal/sat"
 	"bindlock/internal/store"
 )
 
@@ -67,6 +68,16 @@ type Request struct {
 	// Secret is the SFLL-protected input minterm; must fit 2*OperandBits
 	// bits ("attack" only).
 	Secret uint64 `json:"secret,omitempty"`
+	// Solver names the sat backend the attack solves with ("" means the
+	// default, "cdcl"; "attack" only). It is part of the cache fingerprint:
+	// different engines walk different DIP sequences, so their results are
+	// never served interchangeably.
+	Solver string `json:"solver,omitempty"`
+	// Incremental selects the transcript-deferred key-solver mode
+	// ("attack" only). It is validated but deliberately excluded from the
+	// fingerprint: both modes produce bit-identical results by
+	// construction, so their cache entries must coincide.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // The job kinds.
@@ -129,7 +140,16 @@ func resolve(req Request) (*resolved, error) {
 		if max := uint64(1)<<(2*r.OperandBits) - 1; r.Secret > max {
 			return nil, fmt.Errorf("secret %d does not fit %d input bits", r.Secret, 2*r.OperandBits)
 		}
+		if r.Solver == "" {
+			r.Solver = sat.DefaultBackend
+		}
+		if _, err := sat.BackendFactory(r.Solver); err != nil {
+			return nil, err
+		}
 		return r, nil
+	}
+	if r.Solver != "" || r.Incremental {
+		return nil, fmt.Errorf("solver and incremental apply to attack jobs only")
 	}
 
 	// The prepare-family kinds share the front-of-line flow.
@@ -240,9 +260,13 @@ func (r *resolved) prepareFingerprint() *store.Fingerprint {
 // split nor collide cache entries.
 func (r *resolved) fingerprint() *store.Fingerprint {
 	if r.Kind == KindAttack {
+		// Incremental is deliberately absent: both attack modes are
+		// bit-identical, so caching them separately would only halve the
+		// hit rate.
 		return store.NewFingerprint(KindAttack).
 			Int("operand_bits", int64(r.OperandBits)).
-			Uint("secret", r.Secret)
+			Uint("secret", r.Secret).
+			Str("solver", r.Solver)
 	}
 	if r.Kind == KindPrepare {
 		return r.prepareFingerprint()

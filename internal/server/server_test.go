@@ -56,10 +56,12 @@ func newManager(t *testing.T, cfg Config) *Manager {
 	return m
 }
 
-// waitTerminal polls until the job reaches a terminal state.
+// waitTerminal polls until the job reaches a terminal state. The deadline is
+// sized for the width-5 attack jobs under -race on a loaded single-core box
+// (~70-90s); fast jobs return as soon as they finish.
 func waitTerminal(t *testing.T, m *Manager, id string) Job {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
+	deadline := time.Now().Add(240 * time.Second)
 	for time.Now().Before(deadline) {
 		j, ok := m.Get(id)
 		if !ok {

@@ -31,8 +31,10 @@ import (
 // CodeVersion is folded into every fingerprint. Bump it when the compute
 // stack changes in a way that alters results for the same request, so stale
 // cache entries stop being served rather than silently disagreeing with a
-// fresh run.
-const CodeVersion = "bindlock-1"
+// fresh run. bindlock-2: the SAT attack's miter gained an activation-guarded
+// difference clause and assumption-based solving, which changes DIP
+// sequences (and attack jobs now carry a solver field).
+const CodeVersion = "bindlock-2"
 
 // Field is one named value of a fingerprint.
 type Field struct {

@@ -10,21 +10,19 @@ import (
 	"bindlock/internal/metrics"
 )
 
-// Store is the two-tier content-addressed byte cache. Keys are Fingerprint
-// keys (hex SHA-256); values are the canonical serialised results. All
-// methods are safe for concurrent use.
+// Store is the content-addressed byte cache used by the serving layer: a
+// Chain of a memory LRU tier over an optional disk tier, with hit/miss/evict
+// telemetry. Keys are Fingerprint keys (hex SHA-256); values are the
+// canonical serialised results. All methods are safe for concurrent use.
 //
 // Determinism contract: Get returns exactly the bytes Put stored (a fresh
 // copy, so callers cannot corrupt the cache). Because keys are injective
 // fingerprints over everything a computation depends on, a hit is
 // byte-identical to what a cold run would have produced.
 type Store struct {
-	mu    sync.Mutex
-	max   int64
-	size  int64
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
-	dir   string
+	mem   *MemoryTier
+	disk  *DiskTier // nil when memory-only
+	chain *Chain
 	reg   *metrics.Registry
 }
 
@@ -38,112 +36,61 @@ type entry struct {
 // there (created if absent). The registry receives the store_hit_total /
 // store_miss_total / store_evict_total counters; nil disables counting.
 func Open(dir string, maxBytes int64, reg *metrics.Registry) (*Store, error) {
+	s := &Store{mem: NewMemoryTier(maxBytes), reg: reg}
+	s.mem.onEvict = func(string) { s.reg.Add("store_evict_total", 1) }
+	tiers := []Tier{s.mem}
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
+		disk, err := NewDiskTier(dir)
+		if err != nil {
+			return nil, err
 		}
+		s.disk = disk
+		tiers = append(tiers, disk)
 	}
-	return &Store{
-		max:   maxBytes,
-		ll:    list.New(),
-		items: map[string]*list.Element{},
-		dir:   dir,
-		reg:   reg,
-	}, nil
+	s.chain = NewChain(tiers...)
+	return s, nil
 }
 
-// Get returns the cached bytes for key. A memory miss falls through to the
-// disk tier; a disk hit is promoted back into memory. Both tiers missing
-// counts one store_miss_total; any hit counts one store_hit_total.
+// Tiers exposes the underlying fall-through chain, so embedders can consult
+// the cache hierarchy directly or wrap it.
+func (s *Store) Tiers() *Chain { return s.chain }
+
+// Get returns the cached bytes for key. A memory miss falls through the
+// chain (disk, when enabled); a lower-tier hit is promoted back into memory.
+// All tiers missing counts one store_miss_total; any hit counts one
+// store_hit_total.
 func (s *Store) Get(key string) ([]byte, bool) {
-	s.mu.Lock()
-	if el, ok := s.items[key]; ok {
-		s.ll.MoveToFront(el)
-		data := append([]byte(nil), el.Value.(*entry).data...)
-		s.mu.Unlock()
+	data, ok := s.chain.Get(key)
+	if ok {
 		s.reg.Add("store_hit_total", 1)
-		return data, true
-	}
-	dir := s.dir
-	s.mu.Unlock()
-
-	if dir != "" {
-		if data, err := os.ReadFile(s.path(key)); err == nil {
-			s.reg.Add("store_hit_total", 1)
-			s.insert(key, data)
-			return append([]byte(nil), data...), true
-		}
-	}
-	s.reg.Add("store_miss_total", 1)
-	return nil, false
-}
-
-// Put stores the bytes under key in both tiers. The memory tier evicts
-// least-recently-used entries until it fits the byte budget; the disk tier
-// (when enabled) is written atomically — temp file, fsync, rename — so a
-// crash mid-write leaves either the old entry or the new one, never a torn
-// file.
-func (s *Store) Put(key string, data []byte) error {
-	s.insert(key, data)
-	s.mu.Lock()
-	dir := s.dir
-	s.mu.Unlock()
-	if dir == "" {
-		return nil
-	}
-	return writeAtomic(s.path(key), data)
-}
-
-// insert places a copy of data into the memory tier and trims to budget.
-func (s *Store) insert(key string, data []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
-		e := el.Value.(*entry)
-		s.size += int64(len(data)) - int64(len(e.data))
-		e.data = append([]byte(nil), data...)
-		s.ll.MoveToFront(el)
 	} else {
-		e := &entry{key: key, data: append([]byte(nil), data...)}
-		s.items[key] = s.ll.PushFront(e)
-		s.size += int64(len(e.data))
+		s.reg.Add("store_miss_total", 1)
 	}
-	if s.max <= 0 {
-		return
-	}
-	// Trim LRU entries; the entry just touched (front) is never evicted, so
-	// a single oversized result still serves its own request.
-	for s.size > s.max && s.ll.Len() > 1 {
-		back := s.ll.Back()
-		e := back.Value.(*entry)
-		s.ll.Remove(back)
-		delete(s.items, e.key)
-		s.size -= int64(len(e.data))
-		s.reg.Add("store_evict_total", 1)
-	}
+	return data, ok
+}
+
+// Put stores the bytes under key in every tier.
+func (s *Store) Put(key string, data []byte) error {
+	return s.chain.Put(key, data)
+}
+
+// Delete removes key from every tier.
+func (s *Store) Delete(key string) error {
+	return s.chain.Delete(key)
 }
 
 // Len returns the memory-tier entry count.
-func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ll.Len()
-}
+func (s *Store) Len() int { return s.mem.Len() }
 
 // Bytes returns the memory-tier byte footprint.
-func (s *Store) Bytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.size
-}
+func (s *Store) Bytes() int64 { return s.mem.Bytes() }
 
 // Dir returns the disk-tier root, or "" when the store is memory-only.
-func (s *Store) Dir() string { return s.dir }
-
-// path maps a key to its disk-tier file. Keys are hex digests, so they are
-// filesystem-safe by construction.
-func (s *Store) path(key string) string {
-	return filepath.Join(s.dir, key+".res")
+func (s *Store) Dir() string {
+	if s.disk == nil {
+		return ""
+	}
+	return s.disk.Dir()
 }
 
 // writeAtomic writes data to path via temp + fsync + rename, the repository's

@@ -1,0 +1,214 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Tier is one level of the content-addressed cache hierarchy. Keys are
+// Fingerprint keys (hex SHA-256); values are canonical serialised results.
+// Implementations must be safe for concurrent use and must return defensive
+// copies from Get, so callers can never corrupt cached bytes. A miss is
+// (nil, false); Delete of an absent key is a no-op.
+//
+// The hierarchy is composed with Chain, which makes fall-through and
+// promotion a property of the composition rather than of any single tier —
+// a remote tier (ROADMAP item 1) slots in as a third Tier without touching
+// the server.
+type Tier interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte) error
+	Delete(key string) error
+}
+
+// MemoryTier is an in-memory LRU Tier with a byte budget.
+type MemoryTier struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	// onEvict, when set, observes each budget eviction (telemetry hook).
+	onEvict func(key string)
+}
+
+// NewMemoryTier returns a memory tier with the given byte budget (<= 0:
+// unbounded).
+func NewMemoryTier(maxBytes int64) *MemoryTier {
+	return &MemoryTier{
+		max:   maxBytes,
+		ll:    list.New(),
+		items: map[string]*list.Element{},
+	}
+}
+
+// Get returns a copy of the cached bytes and marks the entry recently used.
+func (m *MemoryTier) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	return append([]byte(nil), el.Value.(*entry).data...), true
+}
+
+// Put stores a copy of data under key and trims least-recently-used entries
+// to the byte budget. The entry just touched (front) is never evicted, so a
+// single oversized result still serves its own request.
+func (m *MemoryTier) Put(key string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		e := el.Value.(*entry)
+		m.size += int64(len(data)) - int64(len(e.data))
+		e.data = append([]byte(nil), data...)
+		m.ll.MoveToFront(el)
+	} else {
+		e := &entry{key: key, data: append([]byte(nil), data...)}
+		m.items[key] = m.ll.PushFront(e)
+		m.size += int64(len(e.data))
+	}
+	if m.max <= 0 {
+		return nil
+	}
+	for m.size > m.max && m.ll.Len() > 1 {
+		back := m.ll.Back()
+		e := back.Value.(*entry)
+		m.ll.Remove(back)
+		delete(m.items, e.key)
+		m.size -= int64(len(e.data))
+		if m.onEvict != nil {
+			m.onEvict(e.key)
+		}
+	}
+	return nil
+}
+
+// Delete removes key from the tier.
+func (m *MemoryTier) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		e := el.Value.(*entry)
+		m.ll.Remove(el)
+		delete(m.items, key)
+		m.size -= int64(len(e.data))
+	}
+	return nil
+}
+
+// Len returns the entry count.
+func (m *MemoryTier) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// Bytes returns the byte footprint.
+func (m *MemoryTier) Bytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.size
+}
+
+// DiskTier is a Tier persisting one file per key under a root directory,
+// written atomically (temp + fsync + rename) so a crash mid-write leaves
+// either the old entry or the new one, never a torn file.
+type DiskTier struct {
+	dir string
+}
+
+// NewDiskTier returns a disk tier rooted at dir, creating it if absent.
+func NewDiskTier(dir string) (*DiskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &DiskTier{dir: dir}, nil
+}
+
+// Get reads the bytes stored under key.
+func (d *DiskTier) Get(key string) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put writes data under key atomically.
+func (d *DiskTier) Put(key string, data []byte) error {
+	return writeAtomic(d.path(key), data)
+}
+
+// Delete removes key's file; an absent file is a no-op.
+func (d *DiskTier) Delete(key string) error {
+	if err := os.Remove(d.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the tier's root directory.
+func (d *DiskTier) Dir() string { return d.dir }
+
+// path maps a key to its file. Keys are hex digests, so they are
+// filesystem-safe by construction.
+func (d *DiskTier) path(key string) string {
+	return filepath.Join(d.dir, key+".res")
+}
+
+// Chain composes tiers into a fall-through hierarchy: Get consults tiers in
+// order and promotes a hit into every faster tier it missed in; Put and
+// Delete apply to all tiers. The zero-tier chain is valid and always misses.
+type Chain struct {
+	tiers []Tier
+}
+
+// NewChain composes the given tiers, fastest first.
+func NewChain(tiers ...Tier) *Chain {
+	return &Chain{tiers: tiers}
+}
+
+// Get returns the first tier's hit, promoting it into the tiers that missed.
+// Promotion failures are ignored: the bytes in hand are already correct, and
+// a tier that cannot absorb them simply misses again next time.
+func (c *Chain) Get(key string) ([]byte, bool) {
+	for i, tier := range c.tiers {
+		if data, ok := tier.Get(key); ok {
+			for j := 0; j < i; j++ {
+				_ = c.tiers[j].Put(key, data)
+			}
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// Put stores data in every tier, returning the first error after attempting
+// all of them (a slow tier failing must not starve the fast ones).
+func (c *Chain) Put(key string, data []byte) error {
+	var first error
+	for _, tier := range c.tiers {
+		if err := tier.Put(key, data); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Delete removes key from every tier, returning the first error after
+// attempting all of them.
+func (c *Chain) Delete(key string) error {
+	var first error
+	for _, tier := range c.tiers {
+		if err := tier.Delete(key); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,175 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemoryTierBasics(t *testing.T) {
+	m := NewMemoryTier(0)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("empty tier hit")
+	}
+	if err := m.Put("a", []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.Get("a")
+	if !ok || !bytes.Equal(got, []byte("xyz")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the cache.
+	got[0] = '!'
+	again, _ := m.Get("a")
+	if !bytes.Equal(again, []byte("xyz")) {
+		t.Fatalf("cache corrupted through returned slice: %q", again)
+	}
+	if err := m.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("hit after delete")
+	}
+	if err := m.Delete("a"); err != nil {
+		t.Fatalf("delete of absent key: %v", err)
+	}
+}
+
+func TestMemoryTierEvictionBudget(t *testing.T) {
+	m := NewMemoryTier(10)
+	var evicted []string
+	m.onEvict = func(k string) { evicted = append(evicted, k) }
+	m.Put("a", []byte("aaaa")) // 4 bytes
+	m.Put("b", []byte("bbbb")) // 8 bytes total
+	m.Put("c", []byte("cccc")) // 12: evicts LRU "a"
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("a survived past the byte budget")
+	}
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted = %v, want [a]", evicted)
+	}
+	if m.Len() != 2 || m.Bytes() != 8 {
+		t.Fatalf("len=%d bytes=%d, want 2/8", m.Len(), m.Bytes())
+	}
+	// An oversized entry still serves its own request (front never evicted).
+	m.Put("big", make([]byte, 64))
+	if _, ok := m.Get("big"); !ok {
+		t.Fatal("oversized entry evicted itself")
+	}
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	d, err := NewDiskTier(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("empty tier hit")
+	}
+	if err := d.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("k")
+	if !ok || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if err := d.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("hit after delete")
+	}
+	if err := d.Delete("k"); err != nil {
+		t.Fatalf("delete of absent key: %v", err)
+	}
+}
+
+func TestChainFallThroughAndPromotion(t *testing.T) {
+	mem := NewMemoryTier(0)
+	disk, err := NewDiskTier(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChain(mem, disk)
+
+	// Seed only the slow tier; a chain Get must fall through and promote.
+	if err := disk.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k")
+	if !ok || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("chain Get = %q, %v", got, ok)
+	}
+	if _, ok := mem.Get("k"); !ok {
+		t.Fatal("hit was not promoted into the memory tier")
+	}
+
+	// Put reaches every tier; Delete clears every tier.
+	if err := c.Put("p", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mem.Get("p"); !ok {
+		t.Fatal("Put missed the memory tier")
+	}
+	if _, ok := disk.Get("p"); !ok {
+		t.Fatal("Put missed the disk tier")
+	}
+	if err := c.Delete("p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("p"); ok {
+		t.Fatal("hit after chain delete")
+	}
+
+	// The empty chain is valid and always misses.
+	if _, ok := NewChain().Get("k"); ok {
+		t.Fatal("empty chain hit")
+	}
+}
+
+// failTier lets the chain error-aggregation contract be pinned down.
+type failTier struct{ err error }
+
+func (f failTier) Get(string) ([]byte, bool) { return nil, false }
+func (f failTier) Put(string, []byte) error  { return f.err }
+func (f failTier) Delete(string) error       { return f.err }
+
+func TestChainPutReachesAllTiersDespiteError(t *testing.T) {
+	mem := NewMemoryTier(0)
+	boom := errors.New("boom")
+	c := NewChain(failTier{boom}, mem)
+	if err := c.Put("k", []byte("v")); !errors.Is(err, boom) {
+		t.Fatalf("Put error = %v, want boom", err)
+	}
+	if _, ok := mem.Get("k"); !ok {
+		t.Fatal("failing first tier starved the second")
+	}
+	if err := c.Delete("k"); !errors.Is(err, boom) {
+		t.Fatalf("Delete error = %v, want boom", err)
+	}
+	if _, ok := mem.Get("k"); ok {
+		t.Fatal("delete did not reach the second tier")
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("hit after store delete")
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("disk tier still holds %d files after delete", len(entries))
+	}
+}

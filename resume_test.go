@@ -103,7 +103,9 @@ func TestResumeDeterminismMediabench(t *testing.T) {
 			// Reference: uninterrupted (budget-bounded) run.
 			full, fullDet := budgetedAttack(t, ed, satattack.Options{})
 			if full.Iterations <= resumeKillAt {
-				t.Fatalf("reference run stopped after %d iterations; cannot kill at %d",
+				// A kernel whose attack converges before the kill point has
+				// nothing left to interrupt; the contract is vacuous there.
+				t.Skipf("converged after %d iterations; cannot kill at %d",
 					full.Iterations, resumeKillAt)
 			}
 
