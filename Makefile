@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci figures bench bench-smoke vuln cover profile fuzz chaos clean
+.PHONY: all build test race vet fmt ci figures bench bench-smoke vuln cover profile fuzz chaos chaos-bindlockd clean
 
 all: build
 
@@ -42,6 +42,16 @@ chaos:
 	@seed=$${BINDLOCK_CHAOS_SEED:-$$(date +%s)}; \
 	echo "chaos seed: $$seed"; \
 	BINDLOCK_CHAOS_SEED=$$seed $(GO) test -count=1 ./...
+
+# chaos-bindlockd is the serving-layer chaos drill: a fault plan stays active
+# while a hammer of identical submissions runs, the manager drains, and a
+# restarted manager resumes the interrupted attack from its checkpoint. The
+# result must stay byte-identical to a never-faulted run. Seeded the same way
+# as `make chaos`; CI runs it smoke-sized (one seed) on every push.
+chaos-bindlockd:
+	@seed=$${BINDLOCK_CHAOS_SEED:-$$(date +%s)}; \
+	echo "chaos-bindlockd seed: $$seed"; \
+	BINDLOCK_CHAOS_SEED=$$seed $(GO) test -count=1 -race -run 'TestServerChaos|TestSingleFlightHammer' ./internal/server
 
 figures:
 	$(GO) run ./cmd/figures -fig all

@@ -6,27 +6,41 @@
 //
 //	bindlockd [-addr :8080] [-j N] [-job-parallelism 1] [-max-queue 64]
 //	          [-job-timeout 0] [-cache-dir DIR] [-cache-bytes 256MiB]
-//	          [-drain-timeout 30s]
+//	          [-cache-peer URL[,URL...]] [-peer-timeout 2s]
+//	          [-retain-jobs 4096] [-retain-age 0]
+//	          [-rate 0] [-burst 0] [-max-batch 64]
+//	          [-drain-timeout 30s] [-fault-plan SPEC]
 //	          [-metrics out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // API:
 //
-//	POST   /v1/jobs      submit {"kind": "attack", ...}; 202 with a job id,
-//	                     200 immediately when the result cache already holds
-//	                     the fingerprint
-//	GET    /v1/jobs/{id} status, progress, result (or partial result)
-//	DELETE /v1/jobs/{id} cancel
-//	GET    /healthz      liveness; 503 while draining
-//	GET    /metrics      Prometheus text exposition
+//	POST   /v1/jobs        submit {"kind": "attack", ...}; 202 with a job id,
+//	                       200 immediately when the result cache already holds
+//	                       the fingerprint or an identical job is in flight
+//	                       (the submission attaches to it — one execution)
+//	POST   /v1/jobs:batch  submit {"jobs": [...]} (up to -max-batch per call)
+//	GET    /v1/jobs/{id}   status, progress, result (or partial result);
+//	                       ?wait=30s&since=N long-polls instead of GET-polling
+//	DELETE /v1/jobs/{id}   cancel
+//	GET    /v1/cache/{key} peer-cache read (also PUT/DELETE); what -cache-peer
+//	                       on another daemon talks to
+//	GET    /healthz        liveness; 503 while draining
+//	GET    /metrics        Prometheus text exposition
 //
 // -j sizes the worker slots (default GOMAXPROCS); -job-parallelism bounds the
 // compute-stack workers inside each job. -job-timeout deadline-bounds every
 // job; an expired job fails with its partial results attached. -cache-dir
 // adds a disk tier to the result cache and a checkpoint directory for
 // in-flight attacks, so a drained or killed daemon resumes interrupted
-// attacks bit-identically on restart. On SIGINT/SIGTERM the daemon stops
-// accepting work, gives running jobs -drain-timeout to finish, checkpoints
-// whatever is still running, and exits 0 (2 if jobs were cut short).
+// attacks bit-identically on restart. -cache-peer composes one or more
+// remote tiers behind the local ones (memory → disk → peers), so a fleet
+// shares results through any member; peers that are down or slow
+// (-peer-timeout) cost a recompute, never an error. -retain-jobs/-retain-age
+// bound the terminal job records kept for polling; -rate/-burst enable
+// token-bucket admission control (429 + Retry-After beyond it). On
+// SIGINT/SIGTERM the daemon stops accepting work, gives running jobs
+// -drain-timeout to finish, checkpoints whatever is still running, and exits
+// 0 (2 if jobs were cut short).
 package main
 
 import (
@@ -37,10 +51,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"bindlock/internal/cli"
+	"bindlock/internal/fault"
 	"bindlock/internal/metrics"
 	"bindlock/internal/server"
 	"bindlock/internal/store"
@@ -54,7 +70,15 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline; 0 means none")
 	cacheDir := flag.String("cache-dir", "", "directory for the result cache's disk tier and attack checkpoints; empty means memory only")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "byte budget of the in-memory result cache tier")
+	cachePeers := flag.String("cache-peer", "", "comma-separated base URLs of peer daemons to use as remote cache tiers")
+	peerTimeout := flag.Duration("peer-timeout", store.DefaultRemoteTimeout, "per-request timeout for peer cache tiers")
+	retainJobs := flag.Int("retain-jobs", 0, "terminal job records kept for polling; 0 means 4096, negative unbounded")
+	retainAge := flag.Duration("retain-age", 0, "drop terminal job records older than this; 0 means no age bound")
+	rate := flag.Float64("rate", 0, "admission rate limit in jobs/sec over the HTTP submit endpoints; 0 disables")
+	burst := flag.Int("burst", 0, "admission burst size; 0 means ceil(rate)")
+	maxBatch := flag.Int("max-batch", 64, "job cap of one POST /v1/jobs:batch request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on SIGTERM before they are cancelled")
+	faultPlan := flag.String("fault-plan", "", "fault-injection plan for chaos drills (see internal/fault)")
 	metricsFile := flag.String("metrics", "", "write a metrics snapshot to this file on exit (JSON, or Prometheus text for .prom)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -68,7 +92,11 @@ func main() {
 	err = run(tel.Context(context.Background()), options{
 		addr: *addr, workers: *workers, jobParallelism: *jobParallelism,
 		maxQueue: *maxQueue, jobTimeout: *jobTimeout,
-		cacheDir: *cacheDir, cacheBytes: *cacheBytes, drainTimeout: *drainTimeout,
+		cacheDir: *cacheDir, cacheBytes: *cacheBytes,
+		cachePeers: *cachePeers, peerTimeout: *peerTimeout,
+		retainJobs: *retainJobs, retainAge: *retainAge,
+		rate: *rate, burst: *burst, maxBatch: *maxBatch,
+		drainTimeout: *drainTimeout, faultPlan: *faultPlan,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bindlockd:", err)
@@ -84,7 +112,15 @@ type options struct {
 	jobTimeout     time.Duration
 	cacheDir       string
 	cacheBytes     int64
+	cachePeers     string
+	peerTimeout    time.Duration
+	retainJobs     int
+	retainAge      time.Duration
+	rate           float64
+	burst          int
+	maxBatch       int
 	drainTimeout   time.Duration
+	faultPlan      string
 }
 
 func run(ctx context.Context, o options) error {
@@ -96,6 +132,18 @@ func run(ctx context.Context, o options) error {
 	if err != nil {
 		return err
 	}
+	for _, peer := range strings.Split(o.cachePeers, ",") {
+		peer = strings.TrimSpace(peer)
+		if peer == "" {
+			continue
+		}
+		tier, err := store.NewHTTPTier(peer, o.peerTimeout, reg)
+		if err != nil {
+			return err
+		}
+		st.AttachRemote(tier)
+		fmt.Printf("bindlockd: cache peer %s\n", tier.Base())
+	}
 	ckptDir := ""
 	if o.cacheDir != "" {
 		ckptDir = filepath.Join(o.cacheDir, "checkpoints")
@@ -103,10 +151,21 @@ func run(ctx context.Context, o options) error {
 			return err
 		}
 	}
+	if o.faultPlan != "" {
+		plan, err := fault.Parse(o.faultPlan)
+		if err != nil {
+			return err
+		}
+		ctx = fault.NewContext(ctx, fault.New(plan).WithRegistry(reg))
+		fmt.Printf("bindlockd: fault plan active: %s\n", plan.String())
+	}
 	mgr, err := server.New(server.Config{
 		Workers: o.workers, MaxQueue: o.maxQueue,
 		JobTimeout: o.jobTimeout, JobParallelism: o.jobParallelism,
 		CheckpointDir: ckptDir, Store: st, Registry: reg,
+		RetainJobs: o.retainJobs, RetainAge: o.retainAge,
+		MaxBatch: o.maxBatch, RatePerSec: o.rate, Burst: o.burst,
+		BaseContext: ctx,
 	})
 	if err != nil {
 		return err

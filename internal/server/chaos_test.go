@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bindlock/internal/fault"
+	"bindlock/internal/metrics"
+	"bindlock/internal/store"
+)
+
+// TestServerChaos is the `make chaos-bindlockd` hook: a fault plan is active
+// while a hammer of identical submissions runs, the manager drains, and a
+// restarted manager picks the work back up. BINDLOCK_CHAOS_SEED varies the
+// injected schedule; without it the test runs a fixed seed so the path stays
+// covered on plain `go test`.
+//
+// The contract under test is the daemon's failure discipline end to end:
+//
+//   - an injected solver fault fails the job cleanly (StateFailed, error
+//     recorded, manager alive) and the single-flight fan-out lands the SAME
+//     failure on every attached record;
+//   - the failed attack's checkpoint survives on disk;
+//   - after a drain and restart the same submission resumes from that
+//     checkpoint and produces bytes identical to a never-faulted reference.
+//
+// The fail interval is chosen below one attack's solver-call count, so the
+// first execution is guaranteed to die mid-run with progress checkpointed.
+func TestServerChaos(t *testing.T) {
+	seed := int64(1)
+	if env := os.Getenv("BINDLOCK_CHAOS_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("BINDLOCK_CHAOS_SEED=%q: %v", env, err)
+		}
+		seed = v
+	}
+	// A width-4 attack makes ~140 sat.solve calls; [97, 125] keeps the first
+	// injected failure inside the run but past several checkpointed
+	// iterations, whatever the seed.
+	every := 97 + uint64(seed)%29
+	req := Request{Kind: KindAttack, OperandBits: 4, Secret: 0x6B}
+
+	// Reference: a clean manager, no faults.
+	ref := submitWait(t, newManager(t, Config{Workers: 2}), req)
+
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "checkpoints")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	regA := metrics.New()
+	storeA, err := store.Open(filepath.Join(dir, "cache"), 0, regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(fault.Plan{Seed: seed, FailEvery: map[string]uint64{"sat.solve": every}}).WithRegistry(regA)
+	a, err := New(Config{
+		Workers: 2, CheckpointDir: ckptDir, Store: storeA, Registry: regA,
+		BaseContext: fault.NewContext(context.Background(), inj),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+
+	// Hammer: identical submissions race in while the fault plan is live.
+	const dups = 4
+	ids := make([]string, dups)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			j, err := a.Submit(req)
+			if err != nil {
+				t.Errorf("chaos submit %d: %v", i, err)
+				return
+			}
+			ids[i] = j.ID
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	failed := false
+	var failMsg string
+	for _, id := range ids {
+		j := waitTerminal(t, a, id)
+		switch j.State {
+		case StateFailed:
+			if !failed {
+				failed, failMsg = true, j.Error
+			} else if j.Error != failMsg {
+				t.Fatalf("fan-out diverged: %q vs %q", j.Error, failMsg)
+			}
+		case StateDone:
+			// A seed whose schedule misses the run entirely still must be
+			// byte-identical; the resume path is then exercised elsewhere.
+			if !bytes.Equal(j.Result, ref.Result) {
+				t.Fatalf("chaos run diverged from reference without faults firing")
+			}
+		default:
+			t.Fatalf("chaos job %s landed in state %s", id, j.State)
+		}
+	}
+	if failed {
+		if !strings.Contains(failMsg, "fault") {
+			t.Fatalf("injected failure surfaced as %q, want a fault error", failMsg)
+		}
+		// The interrupted attack left exactly its own checkpoint behind.
+		entries, err := os.ReadDir(ckptDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 || !strings.HasSuffix(entries[0].Name(), ".ckpt") {
+			t.Fatalf("failed attack left %d checkpoint files, want 1", len(entries))
+		}
+		if v, _ := regA.Snapshot().Counter("fault_hits_total"); v == 0 {
+			t.Fatal("fault plan active but fault_hits_total never moved")
+		}
+	}
+
+	// Drain the faulted daemon; the checkpoint must survive the drain.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	a.Drain(drainCtx)
+	cancel()
+
+	// Restart on the same checkpoint and cache directories, fault plan
+	// cleared — the operator fixed the box and brought the daemon back up.
+	regB := metrics.New()
+	storeB, err := store.Open(filepath.Join(dir, "cache"), 0, regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newManager(t, Config{Workers: 2, CheckpointDir: ckptDir, Store: storeB, Registry: regB})
+	final := submitWait(t, b, req)
+	if failed && !final.Resumed {
+		t.Fatal("restarted run ignored the checkpoint the fault left behind")
+	}
+	if !bytes.Equal(final.Result, ref.Result) {
+		t.Fatalf("resumed result diverged from the clean reference:\nref: %s\ngot: %s",
+			ref.Result, final.Result)
+	}
+	if entries, _ := os.ReadDir(ckptDir); len(entries) != 0 {
+		t.Fatalf("%d checkpoint files left after the resumed run succeeded", len(entries))
+	}
+	t.Logf("chaos seed %d: fail-every %d, faulted=%v, resumed=%v", seed, every, failed, final.Resumed)
+}

@@ -4,26 +4,49 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"time"
 )
 
-// maxRequestBody bounds a job submission body.
-const maxRequestBody = 1 << 20
+// maxRequestBody bounds a job submission body; maxBatchBody bounds a batch
+// submission; maxCacheBody bounds a peer-cache PUT.
+const (
+	maxRequestBody = 1 << 20
+	maxBatchBody   = 8 << 20
+	maxCacheBody   = 16 << 20
+)
+
+// maxLongPoll caps the wait parameter of a long-poll GET so a client cannot
+// pin a handler goroutine indefinitely.
+const maxLongPoll = 60 * time.Second
 
 // Handler returns the HTTP API:
 //
-//	POST   /v1/jobs      submit a job (202; 200 when served from cache)
-//	GET    /v1/jobs      list jobs
-//	GET    /v1/jobs/{id} job status, progress and result
-//	DELETE /v1/jobs/{id} cancel a job
-//	GET    /healthz      liveness (503 while draining)
-//	GET    /metrics      Prometheus text exposition of the server registry
+//	POST   /v1/jobs        submit a job (202; 200 when served from cache or
+//	                       attached to an identical in-flight job)
+//	POST   /v1/jobs:batch  submit up to MaxBatch jobs in one request
+//	GET    /v1/jobs        list jobs
+//	GET    /v1/jobs/{id}   job status, progress and result; with
+//	                       ?wait=30s[&since=N] long-polls until the job is
+//	                       terminal or has progressed past N events
+//	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /v1/cache/{key} peer-cache read from the local store tiers
+//	PUT    /v1/cache/{key} peer-cache write
+//	DELETE /v1/cache/{key} peer-cache invalidation
+//	GET    /healthz        liveness (503 while draining)
+//	GET    /metrics        Prometheus text exposition of the server registry
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs:batch", m.handleBatch)
 	mux.HandleFunc("GET /v1/jobs", m.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
+	mux.HandleFunc("GET /v1/cache/{key}", m.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", m.handleCachePut)
+	mux.HandleFunc("DELETE /v1/cache/{key}", m.handleCacheDelete)
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	return mux
@@ -37,16 +60,66 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
+	if retry, ok := m.admit(1); !ok {
+		writeRateLimited(w, retry)
+		return
+	}
 	j, err := m.Submit(req)
 	if err != nil {
 		writeError(w, submitStatus(err), err)
 		return
 	}
 	status := http.StatusAccepted
-	if j.State.Terminal() {
+	if j.State.Terminal() || j.AttachedTo != "" {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, j)
+}
+
+// BatchItem is one entry of a batch submission response: the job record on
+// success, or the submission error for that item.
+type BatchItem struct {
+	Job   *Job   `json:"job,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleBatch submits up to MaxBatch jobs in one request. Admission takes
+// one token per job up front; per-item failures (validation, queue full)
+// land in the response items rather than failing the whole batch.
+func (m *Manager) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Jobs []Request `json:"jobs"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
+		return
+	}
+	if len(body.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch has no jobs"))
+		return
+	}
+	if len(body.Jobs) > m.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds the %d-job cap", len(body.Jobs), m.cfg.MaxBatch))
+		return
+	}
+	if retry, ok := m.admit(len(body.Jobs)); !ok {
+		writeRateLimited(w, retry)
+		return
+	}
+	items := make([]BatchItem, len(body.Jobs))
+	for i, req := range body.Jobs {
+		j, err := m.Submit(req)
+		if err != nil {
+			items[i] = BatchItem{Error: err.Error()}
+			continue
+		}
+		jc := j
+		items[i] = BatchItem{Job: &jc}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": items})
 }
 
 // submitStatus maps submission errors onto HTTP status codes.
@@ -61,12 +134,53 @@ func submitStatus(err error) int {
 	}
 }
 
+func writeRateLimited(w http.ResponseWriter, retry time.Duration) {
+	secs := int64(retry / time.Second)
+	if retry%time.Second != 0 || secs == 0 {
+		secs++
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, http.StatusTooManyRequests, ErrRateLimited)
+}
+
 func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
 }
 
+// handleGet serves a job snapshot. With ?wait=DUR it long-polls: the
+// response is sent when the job reaches a terminal state, when — given
+// &since=N — its progress total exceeds N, or when DUR (capped at 60s)
+// elapses, whichever comes first. Clients stream progress by re-issuing the
+// poll with since set to the last progress_total they saw.
 func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
-	j, ok := m.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	if ws := q.Get("wait"); ws != "" {
+		wait, err := time.ParseDuration(ws)
+		if err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q", ws))
+			return
+		}
+		if wait > maxLongPoll {
+			wait = maxLongPoll
+		}
+		since := -1
+		if ss := q.Get("since"); ss != "" {
+			since, err = strconv.Atoi(ss)
+			if err != nil || since < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q", ss))
+				return
+			}
+		}
+		j, ok := m.Wait(r.Context(), id, since, wait)
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrUnknownJob)
+			return
+		}
+		writeJSON(w, http.StatusOK, j)
+		return
+	}
+	j, ok := m.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrUnknownJob)
 		return
@@ -81,6 +195,75 @@ func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
+}
+
+// validCacheKey admits exactly the store's fingerprint keys: 64 lowercase
+// hex characters, so a peer can never address a path outside the cache.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// The peer-cache endpoints serve the *local* store tiers only (memory,
+// disk) — never the remote tier — so two daemons pointing -cache-peer at
+// each other cannot ping-pong a lookup.
+
+func (m *Manager) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad cache key"))
+		return
+	}
+	m.reg.Add("server_peer_cache_get_total", 1)
+	data, ok := m.store.Local().Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cache miss"))
+		return
+	}
+	m.reg.Add("server_peer_cache_hit_total", 1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (m *Manager) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad cache key"))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCacheBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read cache body: %w", err))
+		return
+	}
+	m.reg.Add("server_peer_cache_put_total", 1)
+	if err := m.store.Local().Put(key, data); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (m *Manager) handleCacheDelete(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad cache key"))
+		return
+	}
+	if err := m.store.Local().Delete(key); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -38,12 +38,18 @@ type ProgressEntry struct {
 
 // progressRing is the per-job progress.Hook: a bounded ring of the most
 // recent events plus a running total, so a chatty attack (one Step per DIP)
-// cannot grow a job record without bound.
+// cannot grow a job record without bound. Attached duplicate jobs share the
+// primary's ring, so long-polling any record of a single-flight group sees
+// the live progress of the one execution.
 type progressRing struct {
 	mu    sync.Mutex
 	buf   []ProgressEntry
 	next  int
 	total int
+	// onEvent, when set, is invoked (outside the ring lock) after each
+	// recorded event; the job manager points it at the owning job's wake so
+	// long-poll waiters see new events promptly.
+	onEvent func()
 }
 
 const progressRingCap = 32
@@ -55,7 +61,6 @@ func (p *progressRing) OnProgress(e progress.Event) {
 		Done: e.Done, Total: e.Total, Detail: e.Detail,
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if len(p.buf) < progressRingCap {
 		p.buf = append(p.buf, entry)
 	} else {
@@ -63,6 +68,11 @@ func (p *progressRing) OnProgress(e progress.Event) {
 	}
 	p.next++
 	p.total++
+	cb := p.onEvent
+	p.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
 }
 
 // snapshot returns the retained events oldest-first plus the total count.
@@ -112,15 +122,64 @@ type job struct {
 	partial    json.RawMessage
 	errMsg     string
 
+	// attachedTo names the primary job this record rides on (single-flight
+	// duplicate side); attached/duplicates are the primary side's live
+	// pointers and ids of the records riding on it.
+	attachedTo string
+	duplicates []string
+	attached   []*job
+
 	created  time.Time
 	started  time.Time
 	finished time.Time
 
 	prog *progressRing
 
+	// notify is closed and replaced on every observable change (state
+	// transition, progress event), waking long-poll waiters. Guarded by mu.
+	notify chan struct{}
+
 	// cancel aborts the running job; non-nil exactly while state is
 	// StateRunning.
 	cancel context.CancelCauseFunc
+}
+
+// newJob builds a queued record with its own progress ring and wake channel.
+func newJob(r *resolved, key string, now time.Time) *job {
+	j := &job{
+		kind: r.Kind, key: key, req: r, created: now,
+		prog: &progressRing{}, state: StateQueued,
+		notify: make(chan struct{}),
+	}
+	j.prog.onEvent = j.wake
+	return j
+}
+
+// wakeLocked signals long-poll waiters; callers hold j.mu.
+func (j *job) wakeLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// wake signals waiters on this record and on every record attached to it.
+func (j *job) wake() {
+	j.mu.Lock()
+	j.wakeLocked()
+	attached := append([]*job(nil), j.attached...)
+	j.mu.Unlock()
+	for _, a := range attached {
+		a.mu.Lock()
+		a.wakeLocked()
+		a.mu.Unlock()
+	}
+}
+
+// waitChan returns the current wake channel; it is closed at the next
+// observable change.
+func (j *job) waitChan() chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.notify
 }
 
 // Job is the externally visible job record, as served by the HTTP API.
@@ -140,6 +199,13 @@ type Job struct {
 	// Checkpoint is the path of the oracle transcript an interrupted attack
 	// left behind; resubmitting the identical request resumes from it.
 	Checkpoint string `json:"checkpoint,omitempty"`
+
+	// AttachedTo names the in-flight job this record deduplicated onto:
+	// one execution, one checkpoint file, and this record lands the same
+	// byte-identical result the primary does.
+	AttachedTo string `json:"attached_to,omitempty"`
+	// Duplicates lists the job ids attached to this record.
+	Duplicates []string `json:"duplicates,omitempty"`
 
 	// Result is the canonical result payload of a Done job — the exact
 	// bytes the cache stores and any identical future request is served.
@@ -166,7 +232,9 @@ func (j *job) snapshot() Job {
 	out := Job{
 		ID: j.id, Kind: j.kind, State: j.state, Key: j.key, Req: j.req.Request,
 		Cached: j.cached, Resumed: j.resumed, Checkpoint: j.checkpoint,
-		Result: j.result, Partial: j.partial, Error: j.errMsg,
+		AttachedTo: j.attachedTo,
+		Duplicates: append([]string(nil), j.duplicates...),
+		Result:     j.result, Partial: j.partial, Error: j.errMsg,
 		Created: j.created,
 	}
 	if !j.started.IsZero() {

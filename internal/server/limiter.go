@@ -1,0 +1,64 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is the admission limiter behind the HTTP submit endpoints: a
+// classic leaky bucket refilled at rate tokens/second up to burst. A denied
+// take consumes nothing and reports how long until the bucket could serve
+// the request, which the HTTP layer surfaces as Retry-After.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a limiter at the given sustained rate; rate <= 0
+// disables admission control (nil limiter). burst <= 0 defaults to
+// ceil(rate), so one second of traffic always fits.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Ceil(rate)
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: time.Now()}
+}
+
+// take attempts to consume n tokens at time now. On denial it returns the
+// wait until n tokens will have accumulated (at least one second granularity
+// is applied by the HTTP layer, not here).
+func (tb *tokenBucket) take(n int, now time.Time) (time.Duration, bool) {
+	if tb == nil {
+		return 0, true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if now.After(tb.last) {
+		tb.tokens = math.Min(tb.burst, tb.tokens+now.Sub(tb.last).Seconds()*tb.rate)
+		tb.last = now
+	}
+	need := float64(n)
+	if tb.tokens >= need {
+		tb.tokens -= need
+		return 0, true
+	}
+	return time.Duration((need - tb.tokens) / tb.rate * float64(time.Second)), false
+}
+
+// admit consumes n admission tokens, or reports how long the caller should
+// back off. A manager without admission control always admits.
+func (m *Manager) admit(n int) (time.Duration, bool) {
+	retry, ok := m.limiter.take(n, time.Now())
+	if !ok {
+		m.reg.Add("server_admission_rejected_total", 1)
+	}
+	return retry, ok
+}

@@ -29,6 +29,9 @@ var (
 	ErrDraining = errors.New("server: draining")
 	// ErrUnknownJob reports an id no job was registered under.
 	ErrUnknownJob = errors.New("server: unknown job")
+	// ErrRateLimited reports a submission bouncing off the admission
+	// limiter; the HTTP layer maps it onto 429 with Retry-After.
+	ErrRateLimited = errors.New("server: rate limited")
 )
 
 // errDrained is the cancellation cause handed to running jobs when the drain
@@ -67,6 +70,25 @@ type Config struct {
 	// Registry is the server-owned metrics registry served at /metrics;
 	// nil gets a fresh one.
 	Registry *metrics.Registry
+	// RetainJobs bounds the terminal job records kept for polling (default
+	// 4096, negative: unbounded). Live records never count against it.
+	RetainJobs int
+	// RetainAge, when positive, additionally drops terminal records older
+	// than it, whatever the count.
+	RetainAge time.Duration
+	// MaxBatch caps the job count of one POST /v1/jobs:batch request
+	// (default 64).
+	MaxBatch int
+	// RatePerSec enables token-bucket admission control on the HTTP submit
+	// endpoints at this sustained rate (0: disabled); Burst is the bucket
+	// size (default ceil(RatePerSec)). Rejected submissions get 429 with
+	// Retry-After.
+	RatePerSec float64
+	Burst      int
+	// BaseContext, when non-nil, is the root of every job's context chain —
+	// the seam the chaos harness uses to carry a fault-injection plan into
+	// job execution (fault.NewContext), and daemons use to carry telemetry.
+	BaseContext context.Context
 }
 
 // Manager runs jobs: a bounded submit queue feeding worker slots, each job
@@ -86,10 +108,16 @@ type Manager struct {
 	stopWorkers context.CancelFunc
 	workersDone chan struct{}
 	runningN    atomic.Int64
+	// queueN mirrors the submit queue's depth: incremented under m.mu on
+	// enqueue, decremented at dequeue. The gauge is published from it, so
+	// interleaved updates can never go backwards past a stale len() read.
+	queueN  atomic.Int64
+	limiter *tokenBucket
 
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string
+	inflight map[string]*job // fingerprint key → queued/running primary
 	draining bool
 	nextID   int64
 }
@@ -118,7 +146,17 @@ func New(cfg Config) (*Manager, error) {
 		}
 		cfg.Store = s
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	if cfg.RetainJobs == 0 {
+		cfg.RetainJobs = 4096
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	base := cfg.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
 	return &Manager{
 		cfg:         cfg,
 		reg:         cfg.Registry,
@@ -129,6 +167,8 @@ func New(cfg Config) (*Manager, error) {
 		stopWorkers: cancel,
 		workersDone: make(chan struct{}),
 		jobs:        map[string]*job{},
+		inflight:    map[string]*job{},
+		limiter:     newTokenBucket(cfg.RatePerSec, cfg.Burst),
 	}, nil
 }
 
@@ -160,7 +200,7 @@ func (m *Manager) workerLoop(ctx context.Context) {
 			if !ok {
 				return
 			}
-			m.reg.Set("server_queue_depth", float64(len(m.queue)))
+			m.reg.Set("server_queue_depth", float64(m.queueN.Add(-1)))
 			m.exec(ctx, j)
 		case <-ctx.Done():
 			return
@@ -169,9 +209,14 @@ func (m *Manager) workerLoop(ctx context.Context) {
 }
 
 // Submit validates, fingerprints and enqueues a job. A request whose
-// fingerprint is already in the result cache completes immediately
-// (State done, Cached true) with the stored bytes — by the cache's
-// determinism contract, exactly what running it again would produce.
+// fingerprint is already in the result cache completes immediately (State
+// done, Cached true) with the stored bytes — by the cache's determinism
+// contract, exactly what running it again would produce; a cache hit needs
+// no worker, so it is served even while draining. A request whose
+// fingerprint is already queued or running attaches to that execution
+// (single flight): the new record carries attached_to, shares the primary's
+// progress ring, and lands the primary's byte-identical result — one
+// execution, one checkpoint file, however many identical submissions arrive.
 func (m *Manager) Submit(req Request) (Job, error) {
 	r, err := resolve(req)
 	if err != nil {
@@ -180,41 +225,163 @@ func (m *Manager) Submit(req Request) (Job, error) {
 	m.reg.Add("server_jobs_submitted_total", 1)
 	key := r.fingerprint().Key()
 	now := time.Now()
-	j := &job{kind: r.Kind, key: key, req: r, created: now, prog: &progressRing{}, state: StateQueued}
 
+	// The cache lookup may touch disk or a peer, so it runs outside m.mu.
+	// A same-key job finishing in between only costs one recompute — the
+	// in-flight check below is what keeps concurrent executions single.
 	cachedBytes, cached := m.store.Get(key)
+
+	m.mu.Lock()
 	if cached {
+		j := newJob(r, key, now)
 		j.state = StateDone
 		j.cached = true
 		j.result = cachedBytes
 		j.finished = now
+		m.registerLocked(j, now)
+		m.mu.Unlock()
+		m.reg.Add("server_jobs_cached_total", 1)
+		return j.snapshot(), nil
 	}
-
-	m.mu.Lock()
+	if primary, ok := m.inflight[key]; ok {
+		if j, attached := m.attachLocked(primary, r, key, now); attached {
+			m.mu.Unlock()
+			m.reg.Add("server_jobs_deduped_total", 1)
+			return j.snapshot(), nil
+		}
+	}
 	if m.draining {
 		m.mu.Unlock()
 		return Job{}, ErrDraining
 	}
-	if !cached {
-		select {
-		case m.queue <- j:
-		default:
-			m.mu.Unlock()
-			m.reg.Add("server_queue_rejected_total", 1)
-			return Job{}, ErrQueueFull
-		}
+	j := newJob(r, key, now)
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		m.reg.Add("server_queue_rejected_total", 1)
+		return Job{}, ErrQueueFull
 	}
+	m.inflight[key] = j
+	m.registerLocked(j, now)
+	depth := m.queueN.Add(1)
+	m.mu.Unlock()
+	m.reg.Set("server_queue_depth", float64(depth))
+	return j.snapshot(), nil
+}
+
+// attachLocked rides a new record on the in-flight primary; callers hold
+// m.mu. It reports false when the primary went terminal in the meantime
+// (a queued-job cancellation races the inflight cleanup) — the caller then
+// falls through to a fresh enqueue.
+func (m *Manager) attachLocked(primary *job, r *resolved, key string, now time.Time) (*job, bool) {
+	primary.mu.Lock()
+	if primary.state.Terminal() {
+		primary.mu.Unlock()
+		return nil, false
+	}
+	j := newJob(r, key, now)
+	j.attachedTo = primary.id
+	j.prog = primary.prog // one execution, one progress stream
+	j.state = primary.state
+	j.started = primary.started
+	m.nextID++
+	j.id = fmt.Sprintf("j%d", m.nextID)
+	primary.attached = append(primary.attached, j)
+	primary.duplicates = append(primary.duplicates, j.id)
+	primary.mu.Unlock()
+	// Land the record after releasing primary.mu: the retention GC takes
+	// every record's lock, so it must never run under one.
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.gcLocked(now)
+	return j, true
+}
+
+// registerLocked assigns the next id, lands the record, and trims terminal
+// records past the retention bounds; callers hold m.mu.
+func (m *Manager) registerLocked(j *job, now time.Time) {
 	m.nextID++
 	j.id = fmt.Sprintf("j%d", m.nextID)
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
-	m.mu.Unlock()
+	m.gcLocked(now)
+}
 
-	m.reg.Set("server_queue_depth", float64(len(m.queue)))
-	if cached {
-		m.reg.Add("server_jobs_cached_total", 1)
+// gcLocked drops the oldest terminal records beyond the RetainJobs count
+// bound and any terminal record older than RetainAge, then publishes the
+// retained count. Live records (queued, running, attached-live) are never
+// touched, so nothing a worker or waiter still holds can vanish mid-flight.
+func (m *Manager) gcLocked(now time.Time) {
+	overCount := 0
+	if m.cfg.RetainJobs > 0 {
+		terminal := 0
+		for _, id := range m.order {
+			j := m.jobs[id]
+			j.mu.Lock()
+			if j.state.Terminal() {
+				terminal++
+			}
+			j.mu.Unlock()
+		}
+		overCount = terminal - m.cfg.RetainJobs
 	}
-	return j.snapshot(), nil
+	if overCount > 0 || m.cfg.RetainAge > 0 {
+		kept := m.order[:0]
+		dropped := 0
+		for _, id := range m.order {
+			j := m.jobs[id]
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			finished := j.finished
+			j.mu.Unlock()
+			aged := m.cfg.RetainAge > 0 && terminal && now.Sub(finished) > m.cfg.RetainAge
+			if terminal && (overCount > 0 || aged) {
+				if overCount > 0 {
+					overCount--
+				}
+				delete(m.jobs, id)
+				dropped++
+				continue
+			}
+			kept = append(kept, id)
+		}
+		m.order = kept
+		if dropped > 0 {
+			m.reg.Add("server_jobs_gced_total", int64(dropped))
+		}
+	}
+	m.reg.Set("server_jobs_retained", float64(len(m.jobs)))
+}
+
+// Wait blocks until job id has recorded progress past since (ProgressTotal
+// > since), reached a terminal state, or wait elapsed — whichever comes
+// first — and returns the snapshot at that moment. since < 0 waits for a
+// terminal state only. It reports false when the id is unknown (possibly
+// GC'd under the retention bound).
+func (m *Manager) Wait(ctx context.Context, id string, since int, wait time.Duration) (Job, bool) {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		m.mu.Lock()
+		j, ok := m.jobs[id]
+		m.mu.Unlock()
+		if !ok {
+			return Job{}, false
+		}
+		ch := j.waitChan() // captured before the snapshot, so no lost wakeups
+		snap := j.snapshot()
+		if snap.State.Terminal() || (since >= 0 && snap.ProgressTotal > since) {
+			return snap, true
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return snap, true
+		case <-ctx.Done():
+			return snap, true
+		}
+	}
 }
 
 // Get returns the job record for id.
@@ -259,16 +426,33 @@ func (m *Manager) Cancel(id string) (Job, error) {
 }
 
 // cancelJob cancels one job whatever its stage; safe against the
-// queued-to-running transition because both hold j.mu.
+// queued-to-running transition because both hold j.mu. Cancelling an
+// attached record detaches just that record — the shared execution keeps
+// running for the primary and any other duplicates. Cancelling a queued
+// primary settles its attached records too.
 func (m *Manager) cancelJob(j *job, reason string) {
+	now := time.Now()
 	j.mu.Lock()
+	if j.attachedTo != "" && !j.state.Terminal() {
+		j.state = StateCancelled
+		j.errMsg = reason
+		j.finished = now
+		j.wakeLocked()
+		j.mu.Unlock()
+		m.reg.Add("server_jobs_cancelled_total", 1)
+		return
+	}
 	switch j.state {
 	case StateQueued:
 		j.state = StateCancelled
 		j.errMsg = reason
-		j.finished = time.Now()
+		j.finished = now
+		j.wakeLocked()
+		attached := append([]*job(nil), j.attached...)
 		j.mu.Unlock()
-		m.reg.Add("server_jobs_cancelled_total", 1)
+		m.dropInflight(j)
+		n := 1 + m.settleAttached(attached, StateCancelled, nil, nil, reason, now)
+		m.reg.Add("server_jobs_cancelled_total", int64(n))
 		return
 	case StateRunning:
 		cancel := j.cancel
@@ -279,6 +463,38 @@ func (m *Manager) cancelJob(j *job, reason string) {
 		return
 	}
 	j.mu.Unlock()
+}
+
+// dropInflight clears j's single-flight registration, so the next identical
+// submission starts a fresh execution. Callers must not hold j.mu (lock
+// order is m.mu before job locks).
+func (m *Manager) dropInflight(j *job) {
+	m.mu.Lock()
+	if m.inflight[j.key] == j {
+		delete(m.inflight, j.key)
+	}
+	m.mu.Unlock()
+}
+
+// settleAttached lands the primary's outcome on every record still riding
+// on it, returning how many it settled. Records already terminal (detached
+// by an earlier cancel) are left alone.
+func (m *Manager) settleAttached(attached []*job, st State, result, partial []byte, errMsg string, now time.Time) int {
+	n := 0
+	for _, a := range attached {
+		a.mu.Lock()
+		if !a.state.Terminal() {
+			a.state = st
+			a.result = result
+			a.partial = partial
+			a.errMsg = errMsg
+			a.finished = now
+			a.wakeLocked()
+			n++
+		}
+		a.mu.Unlock()
+	}
+	return n
 }
 
 // Stats reports the live job counts.
@@ -324,7 +540,17 @@ func (m *Manager) Drain(ctx context.Context) {
 				j.state = StateCancelled
 				j.errMsg = "server draining"
 				j.finished = time.Now()
+				j.wakeLocked()
 				cancelled++
+			}
+			j.mu.Unlock()
+		}
+		// Queued single-flight primaries just went terminal; drop their
+		// registrations so nothing attaches to a cancelled record.
+		for key, j := range m.inflight {
+			j.mu.Lock()
+			if j.state.Terminal() {
+				delete(m.inflight, key)
 			}
 			j.mu.Unlock()
 		}
@@ -357,11 +583,26 @@ func (m *Manager) exec(workerCtx context.Context, j *job) {
 		return
 	}
 	ctx, cancel := context.WithCancelCause(workerCtx)
+	now := time.Now()
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = now
 	j.cancel = cancel
+	j.wakeLocked()
+	attached := append([]*job(nil), j.attached...)
 	j.mu.Unlock()
 	defer cancel(nil)
+
+	// Records that attached while this job was queued follow it into the
+	// running state; later attachments copy the state at attach time.
+	for _, a := range attached {
+		a.mu.Lock()
+		if a.state == StateQueued {
+			a.state = StateRunning
+			a.started = now
+			a.wakeLocked()
+		}
+		a.mu.Unlock()
+	}
 
 	m.reg.Set("server_jobs_running", float64(m.runningN.Add(1)))
 	defer func() { m.reg.Set("server_jobs_running", float64(m.runningN.Add(-1))) }()
@@ -382,8 +623,9 @@ func (m *Manager) exec(workerCtx context.Context, j *job) {
 	m.finish(j, payload, err)
 }
 
-// finish lands the executor's outcome in the job record and, on success, in
-// the result cache.
+// finish lands the executor's outcome in the job record, in every record
+// attached to it (byte-identical result bytes), and, on success, in the
+// result cache.
 func (m *Manager) finish(j *job, payload any, err error) {
 	var resultBytes []byte
 	if err == nil {
@@ -394,8 +636,9 @@ func (m *Manager) finish(j *job, payload any, err error) {
 			resultBytes = b
 		}
 	}
+	now := time.Now()
 	j.mu.Lock()
-	j.finished = time.Now()
+	j.finished = now
 	j.cancel = nil
 	switch {
 	case err == nil:
@@ -417,6 +660,10 @@ func (m *Manager) finish(j *job, payload any, err error) {
 	}
 	state := j.state
 	key := j.key
+	partial := j.partial
+	errMsg := j.errMsg
+	attached := append([]*job(nil), j.attached...)
+	j.wakeLocked()
 	j.mu.Unlock()
 
 	switch state {
@@ -430,4 +677,9 @@ func (m *Manager) finish(j *job, payload any, err error) {
 	case StateFailed:
 		m.reg.Add("server_jobs_failed_total", 1)
 	}
+	// Cache first, single-flight cleanup second: an identical submission
+	// arriving in between sees either the live entry or the cached bytes,
+	// never a gap that starts a second execution mid-checkpoint.
+	m.dropInflight(j)
+	m.settleAttached(attached, state, resultBytes, partial, errMsg, now)
 }

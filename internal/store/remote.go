@@ -1,0 +1,134 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"bindlock/internal/metrics"
+)
+
+// HTTPTier is a Tier backed by a peer bindlockd's /v1/cache API, the remote
+// level of a fleet's shared result cache. Its contract is strictly
+// best-effort:
+//
+//   - Get misses on any failure — timeout, connection refused, non-200 —
+//     never errors. A peer being down costs a recompute, not correctness;
+//     failures (other than clean 404 misses) count store_remote_error_total.
+//   - Put and Delete swallow transport failures the same way (counted, nil
+//     returned): a job that computed a correct result must not fail because
+//     a peer could not absorb a copy of it.
+//
+// The peer serves its *local* tiers only, so mutual -cache-peer wiring
+// between two daemons cannot loop.
+type HTTPTier struct {
+	base   string
+	client *http.Client
+	reg    *metrics.Registry
+}
+
+// DefaultRemoteTimeout bounds each peer-cache request when the caller does
+// not choose one; a remote tier slower than this is worse than a recompute
+// for most workloads.
+const DefaultRemoteTimeout = 2 * time.Second
+
+// NewHTTPTier returns a remote tier talking to the bindlockd at baseURL
+// (e.g. "http://peer:8080"). timeout <= 0 takes DefaultRemoteTimeout; the
+// registry receives store_remote_{get,hit,error}_total and may be nil.
+func NewHTTPTier(baseURL string, timeout time.Duration, reg *metrics.Registry) (*HTTPTier, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("store: peer url %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("store: peer url %q: scheme must be http or https", baseURL)
+	}
+	if timeout <= 0 {
+		timeout = DefaultRemoteTimeout
+	}
+	return &HTTPTier{
+		base:   strings.TrimRight(u.String(), "/"),
+		client: &http.Client{Timeout: timeout},
+		reg:    reg,
+	}, nil
+}
+
+// Base returns the peer's base URL.
+func (t *HTTPTier) Base() string { return t.base }
+
+func (t *HTTPTier) url(key string) string {
+	return t.base + "/v1/cache/" + key
+}
+
+// Get fetches key from the peer. Every failure mode is a miss.
+func (t *HTTPTier) Get(key string) ([]byte, bool) {
+	t.reg.Add("store_remote_get_total", 1)
+	resp, err := t.client.Get(t.url(key))
+	if err != nil {
+		t.reg.Add("store_remote_error_total", 1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	default:
+		io.Copy(io.Discard, resp.Body)
+		t.reg.Add("store_remote_error_total", 1)
+		return nil, false
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.reg.Add("store_remote_error_total", 1)
+		return nil, false
+	}
+	t.reg.Add("store_remote_hit_total", 1)
+	return data, true
+}
+
+// Put offers the bytes to the peer, best-effort.
+func (t *HTTPTier) Put(key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, t.url(key), bytes.NewReader(data))
+	if err != nil {
+		t.reg.Add("store_remote_error_total", 1)
+		return nil
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		t.reg.Add("store_remote_error_total", 1)
+		return nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.reg.Add("store_remote_error_total", 1)
+	}
+	return nil
+}
+
+// Delete invalidates key on the peer, best-effort.
+func (t *HTTPTier) Delete(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, t.url(key), nil)
+	if err != nil {
+		t.reg.Add("store_remote_error_total", 1)
+		return nil
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		t.reg.Add("store_remote_error_total", 1)
+		return nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.reg.Add("store_remote_error_total", 1)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"bindlock/internal/metrics"
+)
+
+// fakePeer is an in-memory stand-in for a peer daemon's /v1/cache API, so
+// these tests exercise the HTTPTier contract without importing the server.
+type fakePeer struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+func newFakePeer() *fakePeer { return &fakePeer{data: map[string][]byte{}} }
+
+func (p *fakePeer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/cache/")
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		if data, ok := p.data[key]; ok {
+			w.Write(data)
+			return
+		}
+		http.Error(w, "miss", http.StatusNotFound)
+	case http.MethodPut:
+		body, _ := io.ReadAll(r.Body)
+		p.data[key] = body
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		delete(p.data, key)
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func TestHTTPTierRoundTrip(t *testing.T) {
+	peer := newFakePeer()
+	ts := httptest.NewServer(peer)
+	defer ts.Close()
+	reg := metrics.New()
+	tier, err := NewHTTPTier(ts.URL, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := strings.Repeat("0a", 32)
+	if _, ok := tier.Get(key); ok {
+		t.Fatal("hit on an empty peer")
+	}
+	if err := tier.Put(key, []byte("payload")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	data, ok := tier.Get(key)
+	if !ok || !bytes.Equal(data, []byte("payload")) {
+		t.Fatalf("get after put: %q, %v", data, ok)
+	}
+	if err := tier.Delete(key); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, ok := tier.Get(key); ok {
+		t.Fatal("hit after delete")
+	}
+
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("store_remote_get_total"); v != 3 {
+		t.Fatalf("store_remote_get_total = %d, want 3", v)
+	}
+	if v, _ := snap.Counter("store_remote_hit_total"); v != 1 {
+		t.Fatalf("store_remote_hit_total = %d, want 1", v)
+	}
+	// Clean 404 misses are not errors.
+	if v, _ := snap.Counter("store_remote_error_total"); v != 0 {
+		t.Fatalf("store_remote_error_total = %d, want 0", v)
+	}
+}
+
+// TestHTTPTierPeerDown pins the miss-on-error contract: with the peer
+// unreachable, Get misses, Put and Delete return nil, and every failure is
+// counted.
+func TestHTTPTierPeerDown(t *testing.T) {
+	ts := httptest.NewServer(newFakePeer())
+	reg := metrics.New()
+	tier, err := NewHTTPTier(ts.URL, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Close() // the address now refuses connections
+
+	key := strings.Repeat("0b", 32)
+	if _, ok := tier.Get(key); ok {
+		t.Fatal("hit from a dead peer")
+	}
+	if err := tier.Put(key, []byte("x")); err != nil {
+		t.Fatalf("put against a dead peer must be silent, got %v", err)
+	}
+	if err := tier.Delete(key); err != nil {
+		t.Fatalf("delete against a dead peer must be silent, got %v", err)
+	}
+	if v, _ := reg.Snapshot().Counter("store_remote_error_total"); v != 3 {
+		t.Fatalf("store_remote_error_total = %d, want 3", v)
+	}
+}
+
+// TestHTTPTierServerError pins that a peer answering 500 is an error-counted
+// miss, not a hit and not a hard failure.
+func TestHTTPTierServerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	reg := metrics.New()
+	tier, err := NewHTTPTier(ts.URL, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get(strings.Repeat("0c", 32)); ok {
+		t.Fatal("500 reported as a hit")
+	}
+	if err := tier.Put(strings.Repeat("0c", 32), []byte("x")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if v, _ := reg.Snapshot().Counter("store_remote_error_total"); v != 2 {
+		t.Fatalf("store_remote_error_total = %d, want 2", v)
+	}
+}
+
+func TestNewHTTPTierRejectsBadURLs(t *testing.T) {
+	for _, bad := range []string{"ftp://peer", "peer:8080", "://x"} {
+		if _, err := NewHTTPTier(bad, 0, nil); err == nil {
+			t.Fatalf("NewHTTPTier(%q) accepted", bad)
+		}
+	}
+	tier, err := NewHTTPTier("http://peer:8080/", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier.Base() != "http://peer:8080" {
+		t.Fatalf("trailing slash kept: %q", tier.Base())
+	}
+}
+
+// TestAttachRemoteComposition pins the chain shape: a local miss falls
+// through to the remote tier and the hit is promoted into the local tiers,
+// while Local() never consults the remote.
+func TestAttachRemoteComposition(t *testing.T) {
+	peer := newFakePeer()
+	ts := httptest.NewServer(peer)
+	defer ts.Close()
+
+	reg := metrics.New()
+	s, err := Open(t.TempDir(), 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := NewHTTPTier(ts.URL, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachRemote(tier)
+
+	key := strings.Repeat("0d", 32)
+	peer.mu.Lock()
+	peer.data[key] = []byte("remote bytes")
+	peer.mu.Unlock()
+
+	// Local view misses: the peer is not part of it.
+	if _, ok := s.Local().Get(key); ok {
+		t.Fatal("Local() consulted the remote tier")
+	}
+	// Full chain falls through to the peer and promotes.
+	data, ok := s.Get(key)
+	if !ok || !bytes.Equal(data, []byte("remote bytes")) {
+		t.Fatalf("chain get: %q, %v", data, ok)
+	}
+	if _, ok := s.Local().Get(key); !ok {
+		t.Fatal("remote hit was not promoted into the local tiers")
+	}
+}

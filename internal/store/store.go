@@ -22,7 +22,8 @@ import (
 type Store struct {
 	mem   *MemoryTier
 	disk  *DiskTier // nil when memory-only
-	chain *Chain
+	local *Chain    // memory + disk only — what the peer-cache API serves
+	chain *Chain    // local tiers plus any attached remote tiers
 	reg   *metrics.Registry
 }
 
@@ -44,16 +45,34 @@ func Open(dir string, maxBytes int64, reg *metrics.Registry) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
+		// A disk read failing for any reason other than a missing file is
+		// a real I/O problem, not a miss; count it so a dying disk cannot
+		// hide behind silent recomputation.
+		disk.onError = func(error) { s.reg.Add("store_disk_error_total", 1) }
 		s.disk = disk
 		tiers = append(tiers, disk)
 	}
-	s.chain = NewChain(tiers...)
+	s.local = NewChain(tiers...)
+	s.chain = s.local
 	return s, nil
 }
 
 // Tiers exposes the underlying fall-through chain, so embedders can consult
 // the cache hierarchy directly or wrap it.
 func (s *Store) Tiers() *Chain { return s.chain }
+
+// Local returns the chain of local tiers only (memory, disk). The
+// peer-cache HTTP endpoints must serve this view, not the full chain, so
+// two daemons pointing at each other cannot ping-pong a lookup.
+func (s *Store) Local() *Chain { return s.local }
+
+// AttachRemote appends a remote tier after the local tiers, composing
+// memory → disk → remote: a local miss falls through to the peer and a hit
+// there is promoted back into the local tiers. Not safe to call once the
+// store is in concurrent use — wire remotes at startup.
+func (s *Store) AttachRemote(t Tier) {
+	s.chain = NewChain(append(append([]Tier(nil), s.chain.tiers...), t)...)
+}
 
 // Get returns the cached bytes for key. A memory miss falls through the
 // chain (disk, when enabled); a lower-tier hit is promoted back into memory.

@@ -2,7 +2,9 @@ package store
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
@@ -121,6 +123,12 @@ func (m *MemoryTier) Bytes() int64 {
 // either the old entry or the new one, never a torn file.
 type DiskTier struct {
 	dir string
+	// onError, when set, observes read failures that are NOT a plain
+	// absent-file miss — permission errors, corruption, a directory where a
+	// file should be. The tier still reports a miss (the chain falls
+	// through and the result recomputes), but silently eating real I/O
+	// errors would hide a dying disk behind a shrinking hit rate.
+	onError func(error)
 }
 
 // NewDiskTier returns a disk tier rooted at dir, creating it if absent.
@@ -131,10 +139,14 @@ func NewDiskTier(dir string) (*DiskTier, error) {
 	return &DiskTier{dir: dir}, nil
 }
 
-// Get reads the bytes stored under key.
+// Get reads the bytes stored under key. An absent file is a clean miss;
+// any other read error is surfaced to onError before missing.
 func (d *DiskTier) Get(key string) ([]byte, bool) {
 	data, err := os.ReadFile(d.path(key))
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) && d.onError != nil {
+			d.onError(err)
+		}
 		return nil, false
 	}
 	return data, true

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"bindlock/internal/metrics"
 )
 
 func TestMemoryTierBasics(t *testing.T) {
@@ -171,5 +173,69 @@ func TestStoreDelete(t *testing.T) {
 	}
 	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
 		t.Fatalf("disk tier still holds %d files after delete", len(entries))
+	}
+}
+
+// TestDiskTierErrorDistinction pins the miss taxonomy: an absent file is a
+// clean miss (onError silent), while a real I/O failure — here a directory
+// sitting where the entry file should be — still misses but fires onError.
+func TestDiskTierErrorDistinction(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []error
+	d.onError = func(err error) { got = append(got, err) }
+
+	if _, ok := d.Get("absent"); ok {
+		t.Fatal("hit on an absent key")
+	}
+	if len(got) != 0 {
+		t.Fatalf("clean miss fired onError: %v", got)
+	}
+
+	// A directory at the entry path makes ReadFile fail with a non-NotExist
+	// error (EISDIR), the shape of corruption and permission problems.
+	if err := os.Mkdir(d.path("broken"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("broken"); ok {
+		t.Fatal("hit on a corrupted entry")
+	}
+	if len(got) != 1 {
+		t.Fatalf("corrupted entry fired onError %d times, want 1", len(got))
+	}
+}
+
+// TestStoreDiskErrorCounter pins the wiring: a Store-level read that hits a
+// real disk error counts store_disk_error_total and still resolves as a
+// recomputable miss.
+func TestStoreDiskErrorCounter(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.New()
+	s, err := Open(dir, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "bad.res"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("bad"); ok {
+		t.Fatal("hit on a corrupted entry")
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("store_disk_error_total"); v != 1 {
+		t.Fatalf("store_disk_error_total = %d, want 1", v)
+	}
+	if v, _ := snap.Counter("store_miss_total"); v != 1 {
+		t.Fatalf("store_miss_total = %d, want 1 (error still misses)", v)
+	}
+	// An absent key is a plain miss: the error counter must not move.
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("hit on an absent key")
+	}
+	if v, _ := reg.Snapshot().Counter("store_disk_error_total"); v != 1 {
+		t.Fatalf("clean miss moved store_disk_error_total to %d", v)
 	}
 }
