@@ -57,15 +57,25 @@ figures:
 	$(GO) run ./cmd/figures -fig all
 
 # bench times the parallel fan-outs at -j 1 vs -j N, verifies the outputs are
-# bit-identical, and records the baseline in BENCH_parallel.json.
+# bit-identical, and records the baseline in BENCH_parallel.json with
+# per-run allocation counts (-benchmem). benchpar itself refuses a -jobs
+# above the machine's CPU count, so an oversubscribed run can never become
+# the checked-in baseline.
 bench:
-	$(GO) run ./cmd/benchpar -o BENCH_parallel.json
+	$(GO) run ./cmd/benchpar -benchmem -attack-reps 5 -o BENCH_parallel.json
 
 # bench-smoke is the CI-sized benchpar run: tiny workloads, a throwaway
 # output file, but the same determinism gates — -j 1 vs -j N fingerprints and
-# rebuild-vs-incremental attack fingerprints must all match or it exits 1.
+# rebuild-vs-incremental attack fingerprints must all match or it exits 1 —
+# plus a benchstat-style throughput gate: sat-attack-modes iters/sec on the
+# pinned fast kernel must stay within BENCH_REGRESS of the checked-in
+# BENCH_smoke_baseline.json (skipped with a warning when the hardware
+# fingerprint differs from the baseline's).
+BENCH_REGRESS ?= 0.20
 bench-smoke:
 	$(GO) run ./cmd/benchpar -samples 60 -secrets 2 -bench fir -attack-width 3 \
+		-attack-reps 7 \
+		-baseline BENCH_smoke_baseline.json -max-regress $(BENCH_REGRESS) \
 		-o bench_smoke.json
 	rm -f bench_smoke.json
 

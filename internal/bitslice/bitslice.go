@@ -1,0 +1,185 @@
+// Package bitslice evaluates the dfg value domain (uint8 arithmetic mod 256)
+// 64 samples at a time in bit-sliced form: a Vec stores 64 lanes as eight
+// uint64 bit-planes, so one ripple-carry pass over the planes adds all 64
+// lanes with word-parallel AND/XOR/OR instead of 64 scalar adds. internal/sim
+// and internal/lockedsim interpret whole trace blocks through this package
+// and unpack (or popcount) afterwards; results are bit-identical to the
+// scalar interpreter because every operation here implements exactly
+// dfg.EvalKind's semantics lane-wise.
+package bitslice
+
+import (
+	"fmt"
+
+	"bindlock/internal/dfg"
+)
+
+// Lanes is the number of 8-bit samples a Vec carries.
+const Lanes = 64
+
+// Vec is a bit-sliced vector of 64 uint8 lanes: bit i of plane v[b] is bit b
+// of lane i.
+type Vec [8]uint64
+
+// Splat returns a Vec with every lane equal to x.
+func Splat(x uint8) Vec {
+	var v Vec
+	for b := 0; b < 8; b++ {
+		if x&(1<<b) != 0 {
+			v[b] = ^uint64(0)
+		}
+	}
+	return v
+}
+
+// Pack loads vals into lanes 0..len(vals)-1 (len(vals) <= Lanes); remaining
+// lanes are zero.
+func Pack(vals []uint8) Vec {
+	var v Vec
+	for i, x := range vals {
+		for b := 0; b < 8; b++ {
+			v[b] |= uint64(x>>b&1) << i
+		}
+	}
+	return v
+}
+
+// Get extracts the value of one lane.
+func (v Vec) Get(lane int) uint8 {
+	var x uint8
+	for b := 0; b < 8; b++ {
+		x |= uint8(v[b]>>lane&1) << b
+	}
+	return x
+}
+
+// Add returns a+b per lane (mod 256) via a ripple-carry pass.
+func Add(a, b Vec) Vec {
+	var out Vec
+	var carry uint64
+	for i := 0; i < 8; i++ {
+		axb := a[i] ^ b[i]
+		out[i] = axb ^ carry
+		carry = (a[i] & b[i]) | (axb & carry)
+	}
+	return out
+}
+
+// subBorrow returns a-b per lane (mod 256) and the final borrow mask: bit i
+// of the mask is set iff lane i underflowed, i.e. a < b unsigned.
+func subBorrow(a, b Vec) (Vec, uint64) {
+	var out Vec
+	var borrow uint64
+	for i := 0; i < 8; i++ {
+		axb := a[i] ^ b[i]
+		out[i] = axb ^ borrow
+		borrow = (^a[i] & b[i]) | (^axb & borrow)
+	}
+	return out, borrow
+}
+
+// Sub returns a-b per lane (mod 256).
+func Sub(a, b Vec) Vec {
+	d, _ := subBorrow(a, b)
+	return d
+}
+
+// AbsDiff returns |a-b| per lane: the borrow mask of a-b selects b-a in the
+// lanes where a < b.
+func AbsDiff(a, b Vec) Vec {
+	ab, borrow := subBorrow(a, b)
+	ba, _ := subBorrow(b, a)
+	var out Vec
+	for i := 0; i < 8; i++ {
+		out[i] = (ab[i] &^ borrow) | (ba[i] & borrow)
+	}
+	return out
+}
+
+// Mul returns a*b per lane (mod 256) by shift-add: for each set bit-plane k
+// of b, a<<k is added into the accumulator under that plane's lane mask.
+func Mul(a, b Vec) Vec {
+	var acc Vec
+	for k := 0; k < 8; k++ {
+		m := b[k]
+		if m == 0 {
+			continue
+		}
+		var carry uint64
+		for j := k; j < 8; j++ {
+			ad := a[j-k] & m
+			axb := acc[j] ^ ad
+			s := axb ^ carry
+			carry = (acc[j] & ad) | (axb & carry)
+			acc[j] = s
+		}
+	}
+	return acc
+}
+
+// Eval applies binary kind k lane-wise, mirroring dfg.EvalKind. It panics on
+// non-binary kinds, like the scalar evaluator.
+func Eval(k dfg.Kind, a, b Vec) Vec {
+	switch k {
+	case dfg.Add:
+		return Add(a, b)
+	case dfg.Sub:
+		return Sub(a, b)
+	case dfg.AbsDiff:
+		return AbsDiff(a, b)
+	case dfg.Mul:
+		return Mul(a, b)
+	}
+	panic(fmt.Sprintf("bitslice: Eval(%v) is not a binary kind", k))
+}
+
+// Neq returns the mask of lanes where a and b differ.
+func Neq(a, b Vec) uint64 {
+	var diff uint64
+	for i := 0; i < 8; i++ {
+		diff |= a[i] ^ b[i]
+	}
+	return diff
+}
+
+// EqConst returns the mask of lanes where v equals the scalar x.
+func EqConst(v Vec, x uint8) uint64 {
+	neq := uint64(0)
+	for b := 0; b < 8; b++ {
+		plane := v[b]
+		if x&(1<<b) != 0 {
+			plane = ^plane
+		}
+		neq |= plane
+	}
+	return ^neq
+}
+
+// XorMasked flips the bits of x in every lane selected by mask.
+func XorMasked(v Vec, mask uint64, x uint8) Vec {
+	for b := 0; b < 8; b++ {
+		if x&(1<<b) != 0 {
+			v[b] ^= mask
+		}
+	}
+	return v
+}
+
+// MatchCanon returns the mask of lanes whose canonicalised operand pair
+// equals minterm lm, i.e. lanes where dfg.CanonMinterm(k, a, b) == lm.
+// A non-canonical lm under a commutative kind can never match (the scalar
+// comparison is against an always-canonical minterm), so the mask is zero.
+func MatchCanon(k dfg.Kind, a, b Vec, lm dfg.Minterm) uint64 {
+	la, lb := lm.A(), lm.B()
+	if k.Commutative() {
+		if la > lb {
+			return 0
+		}
+		m := EqConst(a, la) & EqConst(b, lb)
+		if la != lb {
+			m |= EqConst(a, lb) & EqConst(b, la)
+		}
+		return m
+	}
+	return EqConst(a, la) & EqConst(b, lb)
+}

@@ -1,0 +1,184 @@
+package bitslice
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"bindlock/internal/dfg"
+)
+
+func randLanes(rng *rand.Rand, n int) []uint8 {
+	vals := make([]uint8, n)
+	for i := range vals {
+		vals[i] = uint8(rng.Intn(256))
+	}
+	return vals
+}
+
+// TestPackGetRoundTrip pins the lane encoding: Pack then Get is the identity
+// and padding lanes read back zero.
+func TestPackGetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(Lanes)
+		vals := randLanes(rng, n)
+		v := Pack(vals)
+		for i, want := range vals {
+			if got := v.Get(i); got != want {
+				t.Fatalf("lane %d: got %d want %d", i, got, want)
+			}
+		}
+		for i := n; i < Lanes; i++ {
+			if got := v.Get(i); got != 0 {
+				t.Fatalf("padding lane %d: got %d want 0", i, got)
+			}
+		}
+	}
+}
+
+func TestSplat(t *testing.T) {
+	for _, x := range []uint8{0, 1, 0x80, 0xAB, 0xFF} {
+		v := Splat(x)
+		for i := 0; i < Lanes; i++ {
+			if got := v.Get(i); got != x {
+				t.Fatalf("Splat(%d) lane %d: got %d", x, i, got)
+			}
+		}
+	}
+}
+
+// TestEvalMatchesScalar drives every binary kind over random lane vectors and
+// checks each lane against dfg.EvalKind — the bit-identity contract sim and
+// lockedsim rely on.
+func TestEvalMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	kinds := []dfg.Kind{dfg.Add, dfg.Sub, dfg.AbsDiff, dfg.Mul}
+	for trial := 0; trial < 200; trial++ {
+		as := randLanes(rng, Lanes)
+		bs := randLanes(rng, Lanes)
+		va, vb := Pack(as), Pack(bs)
+		for _, k := range kinds {
+			out := Eval(k, va, vb)
+			for i := 0; i < Lanes; i++ {
+				want := dfg.EvalKind(k, as[i], bs[i])
+				if got := out.Get(i); got != want {
+					t.Fatalf("%v(%d,%d) lane %d: got %d want %d", k, as[i], bs[i], i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalEdgeCases hits the carry/borrow corners the random sweep might
+// miss: full wraparound, equal operands, extremes.
+func TestEvalEdgeCases(t *testing.T) {
+	pairs := [][2]uint8{
+		{0, 0}, {0xFF, 0xFF}, {0xFF, 1}, {1, 0xFF}, {0x80, 0x80},
+		{0x7F, 0x81}, {0, 0xFF}, {0xFF, 0}, {16, 16}, {255, 2},
+	}
+	as := make([]uint8, len(pairs))
+	bs := make([]uint8, len(pairs))
+	for i, p := range pairs {
+		as[i], bs[i] = p[0], p[1]
+	}
+	va, vb := Pack(as), Pack(bs)
+	for _, k := range []dfg.Kind{dfg.Add, dfg.Sub, dfg.AbsDiff, dfg.Mul} {
+		out := Eval(k, va, vb)
+		for i := range pairs {
+			want := dfg.EvalKind(k, as[i], bs[i])
+			if got := out.Get(i); got != want {
+				t.Fatalf("%v(%d,%d): got %d want %d", k, as[i], bs[i], got, want)
+			}
+		}
+	}
+}
+
+func TestNeqAndEqConst(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		as := randLanes(rng, Lanes)
+		bs := randLanes(rng, Lanes)
+		// Force some equal lanes so both mask polarities are exercised.
+		for i := 0; i < Lanes; i += 3 {
+			bs[i] = as[i]
+		}
+		va, vb := Pack(as), Pack(bs)
+		neq := Neq(va, vb)
+		x := uint8(rng.Intn(256))
+		eqx := EqConst(va, x)
+		for i := 0; i < Lanes; i++ {
+			if got, want := neq>>i&1 == 1, as[i] != bs[i]; got != want {
+				t.Fatalf("Neq lane %d: got %v want %v", i, got, want)
+			}
+			if got, want := eqx>>i&1 == 1, as[i] == x; got != want {
+				t.Fatalf("EqConst lane %d: got %v want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestXorMasked(t *testing.T) {
+	as := make([]uint8, Lanes)
+	for i := range as {
+		as[i] = uint8(i * 7)
+	}
+	v := Pack(as)
+	mask := uint64(0xA5A5_5A5A_DEAD_BEEF)
+	out := XorMasked(v, mask, 0x03)
+	for i := 0; i < Lanes; i++ {
+		want := as[i]
+		if mask>>i&1 == 1 {
+			want ^= 0x03
+		}
+		if got := out.Get(i); got != want {
+			t.Fatalf("lane %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+// TestMatchCanon checks the canonical-minterm match mask against the scalar
+// definition for commutative and non-commutative kinds, including the
+// non-canonical-minterm (never matches) case.
+func TestMatchCanon(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	kinds := []dfg.Kind{dfg.Add, dfg.Sub, dfg.AbsDiff, dfg.Mul}
+	for trial := 0; trial < 100; trial++ {
+		as := randLanes(rng, Lanes)
+		bs := randLanes(rng, Lanes)
+		// Small operand domain so matches actually occur.
+		for i := range as {
+			as[i] &= 3
+			bs[i] &= 3
+		}
+		va, vb := Pack(as), Pack(bs)
+		for _, k := range kinds {
+			lm := dfg.MkMinterm(uint8(rng.Intn(4)), uint8(rng.Intn(4)))
+			mask := MatchCanon(k, va, vb, lm)
+			for i := 0; i < Lanes; i++ {
+				want := dfg.CanonMinterm(k, as[i], bs[i]) == lm
+				if got := mask>>i&1 == 1; got != want {
+					t.Fatalf("%v lm=%v lane %d (a=%d b=%d): got %v want %v",
+						k, lm, i, as[i], bs[i], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchCanonCounts sanity-checks popcount aggregation, the way lockedsim
+// consumes match masks.
+func TestMatchCanonCounts(t *testing.T) {
+	as := []uint8{1, 2, 2, 1, 3}
+	bs := []uint8{2, 1, 2, 1, 0}
+	va, vb := Pack(as), Pack(bs)
+	laneMask := uint64(1<<len(as)) - 1
+	got := bits.OnesCount64(MatchCanon(dfg.Add, va, vb, dfg.MkMinterm(1, 2)) & laneMask)
+	if got != 2 { // lanes 0 and 1: canon(1,2) and canon(2,1)
+		t.Fatalf("commutative count: got %d want 2", got)
+	}
+	got = bits.OnesCount64(MatchCanon(dfg.Sub, va, vb, dfg.MkMinterm(1, 2)) & laneMask)
+	if got != 1 { // lane 0 only: Sub is not canonicalised
+		t.Fatalf("non-commutative count: got %d want 1", got)
+	}
+}

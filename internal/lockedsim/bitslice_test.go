@@ -1,0 +1,151 @@
+package lockedsim
+
+import (
+	"context"
+	"testing"
+
+	"bindlock/internal/binding"
+	"bindlock/internal/dfg"
+	"bindlock/internal/locking"
+	"bindlock/internal/mediabench"
+	"bindlock/internal/trace"
+)
+
+// scalarRun is the pre-bit-slicing scalar simulation loop, kept verbatim as
+// the differential reference for Run's aggregated block evaluator.
+func scalarRun(t *testing.T, g *dfg.Graph, tr *trace.Trace, b *binding.Binding, cfg *locking.Config) Report {
+	t.Helper()
+	inputIdx := map[dfg.OpID]int{}
+	for _, id := range g.Inputs() {
+		idx := tr.Index(g.Ops[id].Name)
+		if idx < 0 {
+			t.Fatalf("trace missing input %q", g.Ops[id].Name)
+		}
+		inputIdx[id] = idx
+	}
+	lockOf := make([]*locking.FULock, len(g.Ops))
+	for _, id := range g.OpsOfClass(cfg.Class) {
+		lockOf[id] = cfg.LockOf(b.FUOf(id))
+	}
+	rep := Report{Samples: tr.Len()}
+	clean := make([]uint8, len(g.Ops))
+	dirty := make([]uint8, len(g.Ops))
+	for _, sample := range tr.Samples {
+		corrupted := false
+		for _, op := range g.Ops {
+			switch op.Kind {
+			case dfg.Input:
+				clean[op.ID] = sample[inputIdx[op.ID]]
+				dirty[op.ID] = clean[op.ID]
+			case dfg.Const:
+				clean[op.ID] = op.Val
+				dirty[op.ID] = op.Val
+			case dfg.Output:
+				clean[op.ID] = clean[op.Args[0]]
+				dirty[op.ID] = dirty[op.Args[0]]
+				rep.TotalOutputs++
+				if clean[op.ID] != dirty[op.ID] {
+					rep.CorruptedOutputs++
+					corrupted = true
+				}
+			default:
+				ca, cb := clean[op.Args[0]], clean[op.Args[1]]
+				clean[op.ID] = dfg.EvalKind(op.Kind, ca, cb)
+				da, db := dirty[op.Args[0]], dirty[op.Args[1]]
+				if l := lockOf[op.ID]; l != nil {
+					cm := dfg.CanonMinterm(op.Kind, ca, cb)
+					dm := dfg.CanonMinterm(op.Kind, da, db)
+					for _, lm := range l.Minterms {
+						if lm == cm {
+							rep.CleanInjections++
+						}
+						if lm == dm {
+							rep.Injections++
+						}
+					}
+					dirty[op.ID] = l.Apply(op.Kind, da, db, true)
+				} else {
+					dirty[op.ID] = dfg.EvalKind(op.Kind, da, db)
+				}
+			}
+		}
+		if corrupted {
+			rep.CorruptedSamples++
+		}
+	}
+	return rep
+}
+
+// TestBitSlicedMatchesScalarKernels is the scalar/bit-sliced differential on
+// real benchmarks: every Report counter from the aggregated popcount path
+// must equal the scalar per-sample loop, across trace lengths exercising
+// full blocks, partial tails, and sub-block traces.
+func TestBitSlicedMatchesScalarKernels(t *testing.T) {
+	for _, name := range []string{"fir", "jdmerge3", "motion2", "dct"} {
+		bench, err := mediabench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 63, 64, 65, 250, 300} {
+			p, err := bench.Prepare(context.Background(), 3, n, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := bench.Workload(p.G, n, 5)
+			top := p.Res.K.TopMinterms(p.G, dfg.ClassAdd, 4)
+			if len(top) < 4 {
+				t.Fatalf("%s: only %d minterms", name, len(top))
+			}
+			cfg, err := locking.NewConfig(dfg.ClassAdd, 3, 2, locking.SFLLRem,
+				[][]dfg.Minterm{{top[0].M, top[1].M}, {top[2].M, top[3].M}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bd, err := (binding.ObfuscationAware{}).Bind(&binding.Problem{
+				G: p.G, Class: dfg.ClassAdd, NumFUs: 3, K: p.Res.K, Lock: cfg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := scalarRun(t, p.G, tr, bd, cfg)
+			got, err := Run(context.Background(), p.G, tr, bd, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s n=%d: bit-sliced report %+v != scalar %+v", name, n, got, want)
+			}
+		}
+	}
+}
+
+// TestBitSlicedNonCanonicalMintermNeverMatches pins the canonicalisation
+// corner the mask path must reproduce: a non-canonical minterm (a > b) of a
+// commutative kind never matches a canonicalised application, so it injects
+// nothing — exactly like the scalar comparison against CanonMinterm.
+func TestBitSlicedNonCanonicalMintermNeverMatches(t *testing.T) {
+	g, tr, res := prep(t, passthrough, 1, trace.Uniform, 200, 9)
+	top := res.K.TopMinterms(g, dfg.ClassAdd, 1)
+	hot := top[0].M
+	if hot.A() == hot.B() {
+		t.Skip("hottest minterm is symmetric; cannot form a non-canonical twin")
+	}
+	// Swap the operands: same unordered pair, non-canonical encoding.
+	swapped := dfg.MkMinterm(hot.B(), hot.A())
+	cfg := &locking.Config{Class: dfg.ClassAdd, NumFUs: 1, Locks: []locking.FULock{
+		{FU: 0, Scheme: locking.SFLLRem, KeyBits: 16, Minterms: []dfg.Minterm{swapped}},
+	}}
+	b := &binding.Binding{Class: dfg.ClassAdd, NumFUs: 1, Assign: map[dfg.OpID]int{
+		g.OpsOfClass(dfg.ClassAdd)[0]: 0,
+	}}
+	rep, err := Run(context.Background(), g, tr, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injections != 0 || rep.CleanInjections != 0 || rep.CorruptedOutputs != 0 {
+		t.Errorf("non-canonical minterm matched: %+v", rep)
+	}
+	if want := scalarRun(t, g, tr, b, cfg); rep != want {
+		t.Errorf("bit-sliced %+v != scalar %+v", rep, want)
+	}
+}

@@ -16,11 +16,13 @@ package lockedsim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"bindlock/internal/interrupt"
 	"bindlock/internal/metrics"
 
 	"bindlock/internal/binding"
+	"bindlock/internal/bitslice"
 	"bindlock/internal/dfg"
 	"bindlock/internal/locking"
 	"bindlock/internal/trace"
@@ -111,56 +113,75 @@ func Run(ctx context.Context, g *dfg.Graph, tr *trace.Trace, b *binding.Binding,
 			m.Add("lockedsim_injections_total", int64(rep.Injections))
 		}()
 	}
-	clean := make([]uint8, len(g.Ops))
-	dirty := make([]uint8, len(g.Ops))
-	for si, sample := range tr.Samples {
+	// The simulation is 64-way bit-sliced (see internal/bitslice): each graph
+	// walk evaluates a block of 64 samples in clean and corrupted form at
+	// once, and every Report counter aggregates by popcount over lane masks
+	// instead of per-sample branches — injection matches are canonical-minterm
+	// equality masks, output corruption is a clean-vs-dirty difference mask.
+	// Counts are bit-identical to the scalar loop (pinned by the package's
+	// differential test) because each mask bit is exactly the scalar
+	// predicate for that lane. Tail blocks shorter than 64 lanes are handled
+	// by masking the padding lanes out of every count.
+	clean := make([]bitslice.Vec, len(g.Ops))
+	dirty := make([]bitslice.Vec, len(g.Ops))
+	var buf [bitslice.Lanes]uint8
+	for si := 0; si < tr.Len(); si += bitslice.Lanes {
+		// Block starts land on every 256-sample boundary the scalar loop
+		// checked, so interruption points are unchanged.
 		if si%256 == 0 {
 			if cerr := interrupt.Check(ctx, "lockedsim: run", nil); cerr != nil {
 				rep.Samples = si
 				return rep, interrupt.Rewrap("lockedsim: run", cerr, rep)
 			}
 		}
-		corrupted := false
+		lanes := tr.Len() - si
+		if lanes > bitslice.Lanes {
+			lanes = bitslice.Lanes
+		}
+		laneMask := ^uint64(0)
+		if lanes < bitslice.Lanes {
+			laneMask = 1<<lanes - 1
+		}
+		var corruptedLanes uint64
 		for _, op := range g.Ops {
 			switch op.Kind {
 			case dfg.Input:
-				clean[op.ID] = sample[inputIdx[op.ID]]
+				idx := inputIdx[op.ID]
+				for l := 0; l < lanes; l++ {
+					buf[l] = tr.Samples[si+l][idx]
+				}
+				clean[op.ID] = bitslice.Pack(buf[:lanes])
 				dirty[op.ID] = clean[op.ID]
 			case dfg.Const:
-				clean[op.ID] = op.Val
-				dirty[op.ID] = op.Val
+				clean[op.ID] = bitslice.Splat(op.Val)
+				dirty[op.ID] = clean[op.ID]
 			case dfg.Output:
 				clean[op.ID] = clean[op.Args[0]]
 				dirty[op.ID] = dirty[op.Args[0]]
-				rep.TotalOutputs++
-				if clean[op.ID] != dirty[op.ID] {
-					rep.CorruptedOutputs++
-					corrupted = true
-				}
+				rep.TotalOutputs += lanes
+				diff := bitslice.Neq(clean[op.ID], dirty[op.ID]) & laneMask
+				rep.CorruptedOutputs += bits.OnesCount64(diff)
+				corruptedLanes |= diff
 			default:
 				ca, cb := clean[op.Args[0]], clean[op.Args[1]]
-				clean[op.ID] = dfg.EvalKind(op.Kind, ca, cb)
+				clean[op.ID] = bitslice.Eval(op.Kind, ca, cb)
 				da, db := dirty[op.Args[0]], dirty[op.Args[1]]
+				out := bitslice.Eval(op.Kind, da, db)
 				if l := lockOf[op.ID]; l != nil {
-					cm := dfg.CanonMinterm(op.Kind, ca, cb)
-					dm := dfg.CanonMinterm(op.Kind, da, db)
+					var dirtyMatch uint64
 					for _, lm := range l.Minterms {
-						if lm == cm {
-							rep.CleanInjections++
-						}
-						if lm == dm {
-							rep.Injections++
-						}
+						mc := bitslice.MatchCanon(op.Kind, ca, cb, lm) & laneMask
+						md := bitslice.MatchCanon(op.Kind, da, db, lm) & laneMask
+						rep.CleanInjections += bits.OnesCount64(mc)
+						rep.Injections += bits.OnesCount64(md)
+						dirtyMatch |= md
 					}
-					dirty[op.ID] = l.Apply(op.Kind, da, db, true)
-				} else {
-					dirty[op.ID] = dfg.EvalKind(op.Kind, da, db)
+					out = bitslice.XorMasked(out, dirtyMatch, locking.CorruptionMask)
 				}
+				dirty[op.ID] = out
 			}
 		}
-		if corrupted {
-			rep.CorruptedSamples++
-		}
+		rep.CorruptedSamples += bits.OnesCount64(corruptedLanes)
 	}
 	return rep, nil
 }

@@ -87,16 +87,21 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 // excluded.
 func (s *Solver) WriteDIMACS(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), s.learntAt)
-	for _, clause := range s.clauses[:s.learntAt] {
-		for _, l := range clause {
-			if l.Sign() {
-				fmt.Fprintf(bw, "-%d ", l.Var()+1)
-			} else {
-				fmt.Fprintf(bw, "%d ", l.Var()+1)
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), s.problemCount)
+	for r := 0; r < len(s.arena); {
+		hdr := uint32(s.arena[r])
+		n := int(hdr >> hdrSizeShift)
+		if hdr&hdrLearned == 0 {
+			for _, l := range s.arena[r+clauseHeader : r+clauseHeader+n] {
+				if l.Sign() {
+					fmt.Fprintf(bw, "-%d ", l.Var()+1)
+				} else {
+					fmt.Fprintf(bw, "%d ", l.Var()+1)
+				}
 			}
+			fmt.Fprintln(bw, "0")
 		}
-		fmt.Fprintln(bw, "0")
+		r += clauseHeader + n
 	}
 	return bw.Flush()
 }

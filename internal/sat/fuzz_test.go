@@ -46,14 +46,16 @@ func FuzzParseDIMACS(f *testing.F) {
 	})
 }
 
-// FuzzSolveAssuming differentially tests the CDCL solver's assumption
-// interface against the DPLL reference engine. The fuzzer's byte stream is
-// decoded into a small formula plus an assumption set; both engines must
-// agree on satisfiability, a SAT model must satisfy every clause and every
-// assumption, and an UNSAT-under-assumptions verdict must report a failed
-// subset of the assumptions that — added as unit clauses — makes a fresh
-// solve unsatisfiable. Each solver is also queried again afterwards to prove
-// assumptions never poison the clause DB.
+// FuzzSolveAssuming differentially tests the assumption interface three ways:
+// the arena CDCL engine, the frozen pre-arena slice engine, and the DPLL
+// reference. The fuzzer's byte stream is decoded into a small formula plus an
+// assumption set; all engines must agree on satisfiability, a SAT model must
+// satisfy every clause and every assumption, and an UNSAT-under-assumptions
+// verdict must report a failed subset of the assumptions that — added as unit
+// clauses — makes a fresh solve unsatisfiable, for each CDCL engine's own
+// subset (the engines may legitimately report different subsets). Each solver
+// is also queried again afterwards to prove assumptions never poison the
+// clause DB.
 func FuzzSolveAssuming(f *testing.F) {
 	f.Add([]byte{3, 2, 0, 1, 2, 255, 3, 255, 1})
 	f.Add([]byte{4, 1, 0, 3, 255, 2, 1})
@@ -65,11 +67,18 @@ func FuzzSolveAssuming(f *testing.F) {
 		n := int(data[0]%6) + 1 // 1..6 variables
 		data = data[1:]
 
-		cdcl := NewSolver()
-		dpll := NewDPLL()
+		engines := []struct {
+			name string
+			b    Backend
+		}{
+			{"cdcl", NewSolver()},
+			{"cdcl-slices", newSlicesSolver()},
+			{"dpll", NewDPLL()},
+		}
 		for i := 0; i < n; i++ {
-			cdcl.NewVar()
-			dpll.NewVar()
+			for _, e := range engines {
+				e.b.NewVar()
+			}
 		}
 
 		// Decode: bytes are literals (var = b%n, sign = b>=128); 255 ends a
@@ -99,30 +108,36 @@ func FuzzSolveAssuming(f *testing.F) {
 			clauses = clauses[:24]
 		}
 		for _, c := range clauses {
-			cdcl.AddClause(append([]Lit(nil), c...)...)
-			dpll.AddClause(append([]Lit(nil), c...)...)
+			for _, e := range engines {
+				e.b.AddClause(append([]Lit(nil), c...)...)
+			}
 		}
 
 		ctx := context.Background()
-		gotC, errC := cdcl.SolveAssuming(ctx, assumps...)
-		gotD, errD := dpll.SolveAssuming(ctx, assumps...)
-		if errC != nil || errD != nil {
-			t.Fatalf("solve errors: cdcl=%v dpll=%v", errC, errD)
+		verdicts := make([]bool, len(engines))
+		for i, e := range engines {
+			got, err := e.b.SolveAssuming(ctx, assumps...)
+			if err != nil {
+				t.Fatalf("%s solve: %v", e.name, err)
+			}
+			verdicts[i] = got
+			if got != verdicts[0] {
+				t.Fatalf("disagreement: %s=%v %s=%v (clauses %v assumps %v)",
+					engines[0].name, verdicts[0], e.name, got, clauses, assumps)
+			}
 		}
-		if gotC != gotD {
-			t.Fatalf("disagreement: cdcl=%v dpll=%v (clauses %v assumps %v)", gotC, gotD, clauses, assumps)
-		}
+		sat := verdicts[0]
 
 		check := func(name string, val func(int) bool) {
 			for _, c := range clauses {
-				sat := false
+				ok := false
 				for _, l := range c {
 					if val(l.Var()) != l.Sign() {
-						sat = true
+						ok = true
 						break
 					}
 				}
-				if !sat {
+				if !ok {
 					t.Fatalf("%s model violates clause %v", name, c)
 				}
 			}
@@ -132,46 +147,59 @@ func FuzzSolveAssuming(f *testing.F) {
 				}
 			}
 		}
-		if gotC {
-			check("cdcl", cdcl.Value)
-			check("dpll", dpll.Value)
+		if sat {
+			for _, e := range engines {
+				check(e.name, e.b.Value)
+			}
 		} else if len(assumps) > 0 {
-			failed := cdcl.FailedAssumptions()
+			// Each CDCL engine reports its own failed subset — the engines
+			// walk different search trees, so the subsets may differ — but
+			// every reported subset must come from the passed assumptions and
+			// must independently reproduce unsatisfiability.
 			set := map[Lit]bool{}
 			for _, a := range assumps {
 				set[a] = true
 			}
-			for _, l := range failed {
-				if !set[l] {
-					t.Fatalf("failed assumption %v not in passed set %v", l, assumps)
+			for _, e := range engines {
+				if e.name == "dpll" {
+					continue
 				}
-			}
-			// The failed subset must itself be sufficient for unsatisfiability.
-			fresh := NewSolver()
-			for i := 0; i < n; i++ {
-				fresh.NewVar()
-			}
-			for _, c := range clauses {
-				fresh.AddClause(append([]Lit(nil), c...)...)
-			}
-			for _, l := range failed {
-				fresh.AddClause(l)
-			}
-			if sat, err := fresh.Solve(ctx); err != nil {
-				t.Fatalf("fresh solve: %v", err)
-			} else if sat {
-				t.Fatalf("failed subset %v does not reproduce unsatisfiability", failed)
+				failed := e.b.FailedAssumptions()
+				for _, l := range failed {
+					if !set[l] {
+						t.Fatalf("%s failed assumption %v not in passed set %v", e.name, l, assumps)
+					}
+				}
+				fresh := NewSolver()
+				for i := 0; i < n; i++ {
+					fresh.NewVar()
+				}
+				for _, c := range clauses {
+					fresh.AddClause(append([]Lit(nil), c...)...)
+				}
+				for _, l := range failed {
+					fresh.AddClause(l)
+				}
+				if got, err := fresh.Solve(ctx); err != nil {
+					t.Fatalf("%s fresh solve: %v", e.name, err)
+				} else if got {
+					t.Fatalf("%s failed subset %v does not reproduce unsatisfiability", e.name, failed)
+				}
 			}
 		}
 
-		// Both solvers stay usable after an assumption query.
-		reC, errC := cdcl.Solve(ctx)
-		reD, errD := dpll.Solve(ctx)
-		if errC != nil || errD != nil {
-			t.Fatalf("re-solve errors: cdcl=%v dpll=%v", errC, errD)
-		}
-		if reC != reD {
-			t.Fatalf("re-solve disagreement: cdcl=%v dpll=%v", reC, reD)
+		// Every solver stays usable after an assumption query.
+		re := make([]bool, len(engines))
+		for i, e := range engines {
+			got, err := e.b.Solve(ctx)
+			if err != nil {
+				t.Fatalf("%s re-solve: %v", e.name, err)
+			}
+			re[i] = got
+			if got != re[0] {
+				t.Fatalf("re-solve disagreement: %s=%v %s=%v",
+					engines[0].name, re[0], e.name, got)
+			}
 		}
 	})
 }

@@ -4,6 +4,13 @@
 // first-UIP conflict analysis with non-chronological backjumping, and Luby
 // restarts.
 //
+// The clause database is a single flat arena ([]Lit) addressed by packed
+// ClauseRef offsets, and every watch-list entry carries a blocker literal, so
+// the propagation hot loop usually decides a clause is satisfied from the
+// watcher alone without touching clause memory. The pre-arena slice-of-slices
+// engine survives as the "cdcl-slices" backend (slices.go) for differential
+// testing and honest before/after benchmarking.
+//
 // It is the engine behind the oracle-guided SAT attack of Subramanyan et al.
 // [10] implemented in internal/satattack, which the paper uses as the
 // benchmark threat model for logic locking (Sec. II-A).
@@ -13,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"bindlock/internal/fault"
@@ -75,21 +83,53 @@ var ErrUnknownVariable = errors.New("sat: unknown variable")
 // (Solve has not returned true since the last clause was added).
 var ErrNoModel = errors.New("sat: no model available")
 
+// ClauseRef is a packed reference to a clause: the offset of its header word
+// in the solver's arena. refUndef marks "no clause" (decisions, external
+// facts).
+type ClauseRef int32
+
+const refUndef ClauseRef = -1
+
+// Arena clause layout, back to back in one []Lit:
+//
+//	arena[ref+0]  header: size<<hdrSizeShift | flags
+//	arena[ref+1]  activity (float32 bits; meaningful for learned clauses)
+//	arena[ref+2…] the literals; positions 0 and 1 are the watched pair
+//
+// The header flags mark learned clauses and clauses condemned by reduceDB;
+// a removed clause stays in place only until the same reduceDB call's sweep
+// compacts the arena over it.
+const (
+	hdrRemoved   = 1 << 0
+	hdrLearned   = 1 << 1
+	hdrSizeShift = 2
+	clauseHeader = 2 // words before the literals
+)
+
+// watcher is one packed watch-list entry: the watching clause plus a blocker
+// literal — some literal of the clause (usually the other watched one) whose
+// truth proves the clause satisfied without loading it from the arena.
+type watcher struct {
+	ref     ClauseRef
+	blocker Lit
+}
+
 // Solver is a CDCL SAT solver. The zero value is not usable; call NewSolver.
 type Solver struct {
-	clauses  [][]Lit // problem + learned clauses; first two lits are watched
-	learntAt int     // clauses[learntAt:] are learned
-	removed  []bool  // per clause: deleted by reduceDB
-	claAct   []float64
-	claInc   float64
-	learnts  int // live learned clause count
+	arena        []Lit       // flat clause storage; see the layout above
+	clauseCount  int         // clauses ever attached (NumClauses)
+	problemCount int         // non-learned clauses attached
+	learnedTotal int64       // learned clauses ever attached
+	learnts      int         // live learned clause count
+	learntRefs   []ClauseRef // live learned clauses, attach order
+	claInc       float64
 
-	watches [][]int32 // per literal: indices of clauses watching it
+	watches [][]watcher // per literal: watchers of clauses watching it
 
-	assign   []int8  // per var
-	level    []int32 // per var: decision level of assignment
-	reason   []int32 // per var: clause index that implied it, or -1
-	polarity []bool  // per var: saved phase (last assigned sign)
+	assign   []int8      // per var
+	level    []int32     // per var: decision level of assignment
+	reason   []ClauseRef // per var: clause that implied it, or refUndef
+	polarity []bool      // per var: saved phase (last assigned sign)
 
 	trail    []Lit
 	trailLim []int32
@@ -114,8 +154,10 @@ type Solver struct {
 	Propagations int64
 	Restarts     int64
 
-	model []bool
-	seen  []bool // scratch for conflict analysis
+	model     []bool
+	seen      []bool // scratch for conflict analysis
+	learntBuf []Lit  // scratch for analyze (attached clauses are arena copies)
+	clauseBuf []Lit  // scratch for AddClause simplification
 }
 
 // DefaultMaxConflicts is the default search budget.
@@ -132,21 +174,35 @@ func NewSolver() *Solver {
 func (s *Solver) NumVars() int { return len(s.assign) }
 
 // NumClauses returns the number of clauses attached so far — problem plus
-// learned, including clauses since deleted by reduceDB (the slice only grows).
-func (s *Solver) NumClauses() int { return len(s.clauses) }
+// learned, including clauses since deleted by reduceDB (the count only grows).
+func (s *Solver) NumClauses() int { return s.clauseCount }
 
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
 	v := len(s.assign)
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, -1)
+	s.reason = append(s.reason, refUndef)
 	s.polarity = append(s.polarity, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
 	s.heap.push(v)
 	return v
+}
+
+// clauseLits returns the clause's literal slice, aliasing the arena.
+func (s *Solver) clauseLits(ref ClauseRef) []Lit {
+	n := int(uint32(s.arena[ref]) >> hdrSizeShift)
+	return s.arena[int(ref)+clauseHeader : int(ref)+clauseHeader+n]
+}
+
+func (s *Solver) clauseAct(ref ClauseRef) float64 {
+	return float64(math.Float32frombits(uint32(s.arena[ref+1])))
+}
+
+func (s *Solver) setClauseAct(ref ClauseRef, act float32) {
+	s.arena[ref+1] = Lit(math.Float32bits(act))
 }
 
 func (s *Solver) valueLit(l Lit) int8 {
@@ -163,9 +219,9 @@ func (s *Solver) valueLit(l Lit) int8 {
 // decisionLevel returns the current decision level.
 func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
 
-// enqueue assigns literal l with the given reason clause (-1 for decisions
-// and external facts). It returns false if l is already false.
-func (s *Solver) enqueue(l Lit, from int32) bool {
+// enqueue assigns literal l with the given reason clause (refUndef for
+// decisions and external facts). It returns false if l is already false.
+func (s *Solver) enqueue(l Lit, from ClauseRef) bool {
 	switch s.valueLit(l) {
 	case lTrue:
 		return true
@@ -203,58 +259,88 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: AddClause called during search")
 	}
-	// Simplify: sort out duplicates, satisfied clauses, false literals.
-	clause := make([]Lit, 0, len(lits))
-	seen := map[Lit]bool{}
+	// Simplify: sort out duplicates, satisfied clauses, false literals. The
+	// scan over the accepted prefix replaces the old map-based dedup —
+	// encoder clauses are short, and the scratch buffer keeps the encoding
+	// phase allocation-free.
+	clause := s.clauseBuf[:0]
+outer:
 	for _, l := range lits {
 		if int(l.Var()) >= s.NumVars() || l.Var() < 0 {
 			s.err = fmt.Errorf("%w: literal %v (have %d vars)", ErrUnknownVariable, l, s.NumVars())
 			return true
 		}
-		switch {
-		case s.valueLit(l) == lTrue, seen[l.Neg()]:
-			return true // clause already satisfied / tautological
-		case s.valueLit(l) == lFalse, seen[l]:
+		switch s.valueLit(l) {
+		case lTrue:
+			return true // clause already satisfied
+		case lFalse:
 			continue
-		default:
-			seen[l] = true
-			clause = append(clause, l)
 		}
+		for _, e := range clause {
+			if e == l {
+				continue outer // duplicate
+			}
+			if e == l.Neg() {
+				return true // tautological
+			}
+		}
+		clause = append(clause, l)
 	}
+	s.clauseBuf = clause
 	switch len(clause) {
 	case 0:
 		s.ok = false
 		return false
 	case 1:
-		if !s.enqueue(clause[0], -1) {
+		if !s.enqueue(clause[0], refUndef) {
 			s.ok = false
 			return false
 		}
-		if s.propagate() != -1 {
+		if s.propagate() != refUndef {
 			s.ok = false
 			return false
 		}
 		return true
 	}
-	s.attach(clause)
-	s.learntAt = len(s.clauses)
+	s.attach(clause, false)
 	return true
 }
 
-// attach appends the clause and registers its two watches.
-func (s *Solver) attach(clause []Lit) int32 {
-	idx := int32(len(s.clauses))
-	s.clauses = append(s.clauses, clause)
-	s.removed = append(s.removed, false)
-	s.claAct = append(s.claAct, 0)
-	s.watches[clause[0]] = append(s.watches[clause[0]], idx)
-	s.watches[clause[1]] = append(s.watches[clause[1]], idx)
-	return idx
+// attach copies the clause into the arena and registers its two watchers,
+// each blocking on the other watched literal.
+func (s *Solver) attach(lits []Lit, learned bool) ClauseRef {
+	ref := ClauseRef(len(s.arena))
+	hdr := uint32(len(lits)) << hdrSizeShift
+	if learned {
+		hdr |= hdrLearned
+	}
+	s.arena = append(s.arena, Lit(hdr), 0)
+	s.arena = append(s.arena, lits...)
+	s.clauseCount++
+	if learned {
+		s.learnedTotal++
+		s.learnts++
+		s.learntRefs = append(s.learntRefs, ref)
+	} else {
+		s.problemCount++
+	}
+	s.watches[lits[0]] = append(s.watches[lits[0]], watcher{ref, lits[1]})
+	s.watches[lits[1]] = append(s.watches[lits[1]], watcher{ref, lits[0]})
+	return ref
 }
 
 // propagate performs unit propagation over the watched literals. It returns
-// the index of a conflicting clause, or -1.
-func (s *Solver) propagate() int32 {
+// the reference of a conflicting clause, or refUndef.
+//
+// The blocker check is the hot-path point of the arena layout: a watcher
+// whose blocker literal is true proves its clause satisfied without loading
+// the clause, so the common case costs one assignment-array read. Only when
+// the blocker misses is the clause pulled from the arena, normalised (false
+// literal to position 1), and either re-blocked on the other watch, moved to
+// a new watch, or recognised as unit/conflicting. reduceDB sweeps condemned
+// clauses out of every watch list before returning, so each watcher
+// reference here is live by invariant.
+func (s *Solver) propagate() ClauseRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -263,26 +349,30 @@ func (s *Solver) propagate() int32 {
 		ws := s.watches[falseLit]
 		kept := ws[:0]
 		for wi := 0; wi < len(ws); wi++ {
-			ci := ws[wi]
-			if s.removed[ci] {
-				continue // deleted by reduceDB: drop the stale watch
+			w := ws[wi]
+			if s.valueLit(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
 			}
-			clause := s.clauses[ci]
+			base := int(w.ref)
+			n := int(uint32(s.arena[base]) >> hdrSizeShift)
+			lits := s.arena[base+clauseHeader : base+clauseHeader+n]
 			// Normalise: the false literal sits at position 1.
-			if clause[0] == falseLit {
-				clause[0], clause[1] = clause[1], clause[0]
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
 			}
-			// Satisfied by the other watch?
-			if s.valueLit(clause[0]) == lTrue {
-				kept = append(kept, ci)
+			other := lits[0]
+			// Satisfied by the other watch? Keep, re-blocking on it.
+			if other != w.blocker && s.valueLit(other) == lTrue {
+				kept = append(kept, watcher{w.ref, other})
 				continue
 			}
 			// Find a new literal to watch.
 			found := false
-			for k := 2; k < len(clause); k++ {
-				if s.valueLit(clause[k]) != lFalse {
-					clause[1], clause[k] = clause[k], clause[1]
-					s.watches[clause[1]] = append(s.watches[clause[1]], ci)
+			for k := 2; k < n; k++ {
+				if s.valueLit(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1]] = append(s.watches[lits[1]], watcher{w.ref, other})
 					found = true
 					break
 				}
@@ -291,18 +381,18 @@ func (s *Solver) propagate() int32 {
 				continue // watch moved: drop from this list
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, ci)
-			if !s.enqueue(clause[0], ci) {
+			kept = append(kept, watcher{w.ref, other})
+			if !s.enqueue(other, w.ref) {
 				// Conflict: restore the remaining watches and bail.
 				kept = append(kept, ws[wi+1:]...)
 				s.watches[falseLit] = kept
 				s.qhead = len(s.trail)
-				return ci
+				return w.ref
 			}
 		}
 		s.watches[falseLit] = kept
 	}
-	return -1
+	return refUndef
 }
 
 // cancelUntil undoes assignments above the given decision level.
@@ -314,7 +404,7 @@ func (s *Solver) cancelUntil(lvl int32) {
 	for i := len(s.trail) - 1; i >= int(bound); i-- {
 		v := s.trail[i].Var()
 		s.assign[v] = lUndef
-		s.reason[v] = -1
+		s.reason[v] = refUndef
 		s.heap.push(v)
 	}
 	s.trail = s.trail[:bound]
@@ -323,22 +413,24 @@ func (s *Solver) cancelUntil(lvl int32) {
 }
 
 // analyze performs first-UIP conflict analysis, returning the learned clause
-// (asserting literal first) and the backjump level.
-func (s *Solver) analyze(confl int32) ([]Lit, int32) {
-	learnt := []Lit{LitUndef}
+// (asserting literal first) and the backjump level. The returned slice is a
+// reused scratch buffer: the caller must copy it (attach does) before the
+// next conflict.
+func (s *Solver) analyze(confl ClauseRef) ([]Lit, int32) {
+	learnt := append(s.learntBuf[:0], LitUndef)
 	counter := 0
 	p := LitUndef
 	index := len(s.trail) - 1
 	cur := s.decisionLevel()
 
 	for {
-		clause := s.clauses[confl]
+		lits := s.clauseLits(confl)
 		s.bumpClause(confl)
 		start := 0
 		if p != LitUndef {
-			start = 1 // clause[0] is the implied literal p
+			start = 1 // lits[0] is the implied literal p
 		}
-		for _, q := range clause[start:] {
+		for _, q := range lits[start:] {
 			v := q.Var()
 			if !s.seen[v] && s.level[v] > 0 {
 				s.seen[v] = true
@@ -382,6 +474,7 @@ func (s *Solver) analyze(confl int32) ([]Lit, int32) {
 		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
 		back = s.level[learnt[1].Var()]
 	}
+	s.learntBuf = learnt
 	return learnt, back
 }
 
@@ -401,16 +494,19 @@ const (
 	claDecay = 1.0 / 0.999
 )
 
-// bumpClause raises a learned clause's activity (problem clauses are
-// unaffected: they are never removed).
-func (s *Solver) bumpClause(ci int32) {
-	if int(ci) < s.learntAt {
+// bumpClause raises a learned clause's activity (problem clauses carry no
+// activity: they are never removed). Activities are float32s stored inline
+// in the arena header; the ordering reduceDB needs survives the narrower
+// precision, and the usual 1e20 rescale keeps them in range.
+func (s *Solver) bumpClause(ref ClauseRef) {
+	if uint32(s.arena[ref])&hdrLearned == 0 {
 		return
 	}
-	s.claAct[ci] += s.claInc
-	if s.claAct[ci] > 1e20 {
-		for i := s.learntAt; i < len(s.claAct); i++ {
-			s.claAct[i] *= 1e-20
+	act := float32(s.clauseAct(ref) + s.claInc)
+	s.setClauseAct(ref, act)
+	if act > 1e20 {
+		for _, lr := range s.learntRefs {
+			s.setClauseAct(lr, float32(s.clauseAct(lr)*1e-20))
 		}
 		s.claInc *= 1e-20
 	}
@@ -418,23 +514,24 @@ func (s *Solver) bumpClause(ci int32) {
 
 // locked reports whether the clause is the reason of a current assignment
 // and therefore must not be deleted.
-func (s *Solver) locked(ci int32) bool {
-	clause := s.clauses[ci]
-	v := clause[0].Var()
-	return s.assign[v] != lUndef && s.reason[v] == ci
+func (s *Solver) locked(ref ClauseRef) bool {
+	v := s.clauseLits(ref)[0].Var()
+	return s.assign[v] != lUndef && s.reason[v] == ref
 }
 
-// reduceDB deletes roughly half of the live learned clauses, lowest
-// activity first, keeping binary and locked clauses. Watches are cleaned
-// lazily by propagate.
+// reduceDB deletes roughly half of the live learned clauses, lowest activity
+// first, keeping binary and locked clauses. Deletion is mark-and-sweep: the
+// condemned clauses are flagged in their headers, then sweep drops their
+// watchers from every watch list and compacts the arena over their storage —
+// so no stale watcher survives the call and removed clause bodies are
+// reclaimed rather than leaked.
 func (s *Solver) reduceDB() {
 	var cands []reduceCand
-	for i := s.learntAt; i < len(s.clauses); i++ {
-		ci := int32(i)
-		if s.removed[i] || len(s.clauses[i]) <= 2 || s.locked(ci) {
+	for _, ref := range s.learntRefs {
+		if len(s.clauseLits(ref)) <= 2 || s.locked(ref) {
 			continue
 		}
-		cands = append(cands, reduceCand{ci, s.claAct[i]})
+		cands = append(cands, reduceCand{int32(ref), s.clauseAct(ref)})
 	}
 	if len(cands) < 2 {
 		return
@@ -442,10 +539,54 @@ func (s *Solver) reduceDB() {
 	// Remove the lower-activity half.
 	reduceOrder(cands)
 	for _, c := range cands[:len(cands)/2] {
-		s.removed[c.idx] = true
-		s.clauses[c.idx] = nil
+		ref := ClauseRef(c.idx)
+		s.arena[ref] |= hdrRemoved
 		s.learnts--
 	}
+	s.sweep()
+}
+
+// sweep compacts the arena over clauses marked removed and rewrites every
+// live reference: watch lists (dropping watchers of removed clauses — the
+// watch-hygiene point of the layout), assignment reasons (reasons are locked
+// and so never removed), and the learned-clause list.
+func (s *Solver) sweep() {
+	remap := make(map[ClauseRef]ClauseRef, s.clauseCount)
+	w := 0
+	for r := 0; r < len(s.arena); {
+		hdr := uint32(s.arena[r])
+		tot := clauseHeader + int(hdr>>hdrSizeShift)
+		if hdr&hdrRemoved == 0 {
+			remap[ClauseRef(r)] = ClauseRef(w)
+			copy(s.arena[w:w+tot], s.arena[r:r+tot])
+			w += tot
+		}
+		r += tot
+	}
+	s.arena = s.arena[:w]
+	for li := range s.watches {
+		ws := s.watches[li]
+		kept := ws[:0]
+		for _, wt := range ws {
+			if nr, ok := remap[wt.ref]; ok {
+				wt.ref = nr
+				kept = append(kept, wt)
+			}
+		}
+		s.watches[li] = kept
+	}
+	for v := range s.reason {
+		if s.reason[v] != refUndef {
+			s.reason[v] = remap[s.reason[v]]
+		}
+	}
+	lr := s.learntRefs[:0]
+	for _, ref := range s.learntRefs {
+		if nr, ok := remap[ref]; ok {
+			lr = append(lr, nr)
+		}
+	}
+	s.learntRefs = lr
 }
 
 // reduceCand is a clause-deletion candidate considered by reduceDB.
@@ -455,8 +596,9 @@ type reduceCand struct {
 }
 
 // reduceOrder sorts deletion candidates into ascending activity, breaking
-// activity ties by clause index: a total order, so which clauses fall in the
-// deleted half depends only on the inputs, not on the sort implementation.
+// activity ties by clause reference (attach order): a total order, so which
+// clauses fall in the deleted half depends only on the inputs, not on the
+// sort implementation.
 func reduceOrder(cands []reduceCand) {
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].act != cands[j].act {
@@ -551,7 +693,7 @@ func (s *Solver) SolveAssuming(ctx context.Context, assumps ...Lit) (bool, error
 		// registry records per-call deltas.
 		stop := m.Timer("sat_solve_seconds")
 		before := s.Stats()
-		learnedBefore := len(s.clauses) - s.learntAt
+		learnedBefore := s.learnedTotal
 		defer func() {
 			stop()
 			after := s.Stats()
@@ -560,7 +702,7 @@ func (s *Solver) SolveAssuming(ctx context.Context, assumps ...Lit) (bool, error
 			m.Add("sat_decisions_total", after.Decisions-before.Decisions)
 			m.Add("sat_propagations_total", after.Propagations-before.Propagations)
 			m.Add("sat_restarts_total", after.Restarts-before.Restarts)
-			m.Add("sat_learned_clauses_total", int64(len(s.clauses)-s.learntAt-learnedBefore))
+			m.Add("sat_learned_clauses_total", s.learnedTotal-learnedBefore)
 		}()
 	}
 	if err := fault.Hit(ctx, "sat.solve"); err != nil {
@@ -578,7 +720,7 @@ func (s *Solver) SolveAssuming(ctx context.Context, assumps ...Lit) (bool, error
 		}
 	}
 	defer s.cancelUntil(0)
-	if s.propagate() != -1 {
+	if s.propagate() != refUndef {
 		s.ok = false
 		return false, nil
 	}
@@ -594,7 +736,7 @@ func (s *Solver) SolveAssuming(ctx context.Context, assumps ...Lit) (bool, error
 	hook := progress.FromContext(ctx)
 	var restartN int64
 	const restartBase = 100
-	maxLearnts := s.learntAt/3 + 1000
+	maxLearnts := s.problemCount/3 + 1000
 	sinceCheck := 0
 
 	for {
@@ -617,7 +759,7 @@ func (s *Solver) SolveAssuming(ctx context.Context, assumps ...Lit) (bool, error
 				}
 			}
 			confl := s.propagate()
-			if confl != -1 {
+			if confl != refUndef {
 				s.Conflicts++
 				conflicts++
 				if s.decisionLevel() == 0 {
@@ -627,15 +769,14 @@ func (s *Solver) SolveAssuming(ctx context.Context, assumps ...Lit) (bool, error
 				learnt, back := s.analyze(confl)
 				s.cancelUntil(back)
 				if len(learnt) == 1 {
-					if !s.enqueue(learnt[0], -1) {
+					if !s.enqueue(learnt[0], refUndef) {
 						s.ok = false
 						return false, nil
 					}
 				} else {
-					ci := s.attach(learnt)
-					s.learnts++
-					s.bumpClause(ci)
-					s.enqueue(learnt[0], ci)
+					ref := s.attach(learnt, true)
+					s.bumpClause(ref)
+					s.enqueue(learnt[0], ref)
 				}
 				s.varInc *= varDecay
 				s.claInc *= claDecay
@@ -684,7 +825,7 @@ func (s *Solver) SolveAssuming(ctx context.Context, assumps ...Lit) (bool, error
 				next = NewLit(v, s.polarity[v])
 			}
 			s.trailLim = append(s.trailLim, int32(len(s.trail)))
-			s.enqueue(next, -1)
+			s.enqueue(next, refUndef)
 		}
 	}
 }
@@ -710,16 +851,16 @@ func (s *Solver) analyzeFinal(p Lit) []Lit {
 		if !s.seen[v] {
 			continue
 		}
-		if s.reason[v] == -1 {
+		if s.reason[v] == refUndef {
 			// A decision: at this point of the search every decision is an
 			// assumption, recorded on the trail in its passed polarity.
 			if s.level[v] > 0 {
 				out = append(out, s.trail[i])
 			}
 		} else {
-			// Implied: charge the literals of its reason clause (clause[0]
+			// Implied: charge the literals of its reason clause (lits[0]
 			// is the implied literal itself).
-			for _, q := range s.clauses[s.reason[v]][1:] {
+			for _, q := range s.clauseLits(s.reason[v])[1:] {
 				if s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = true
 				}

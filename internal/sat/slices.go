@@ -1,0 +1,621 @@
+package sat
+
+import (
+	"context"
+	"fmt"
+
+	"bindlock/internal/fault"
+	"bindlock/internal/interrupt"
+	"bindlock/internal/metrics"
+	"bindlock/internal/progress"
+)
+
+// slicesSolver is the pre-arena CDCL engine, frozen as the "cdcl-slices"
+// backend. It is the slice-of-slices clause-store implementation the arena
+// Solver replaced: clauses live in a [][]Lit with per-literal watch lists of
+// clause indices, and reduceDB frees clause bodies by nilling slice entries.
+// It is kept verbatim (only renamed) as a reference point: benchpar measures
+// the arena engine's iterations/sec against it, and the backend-parameterised
+// assumption suite plus FuzzSolveAssuming keep it semantically honest. The
+// two engines walk different search trajectories (the arena engine's blocker
+// literals skip satisfied clauses without re-normalising them), so their DIP
+// transcripts are not interchangeable — checkpoints record the engine name
+// and refuse to resume across engines.
+type slicesSolver struct {
+	clauses  [][]Lit // problem + learned clauses; first two lits are watched
+	learntAt int     // clauses[learntAt:] are learned
+	removed  []bool  // per clause: deleted by reduceDB
+	claAct   []float64
+	claInc   float64
+	learnts  int // live learned clause count
+
+	watches [][]int32 // per literal: indices of clauses watching it
+
+	assign   []int8  // per var
+	level    []int32 // per var: decision level of assignment
+	reason   []int32 // per var: clause index that implied it, or -1
+	polarity []bool  // per var: saved phase (last assigned sign)
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     *varHeap
+
+	ok     bool  // false once a top-level conflict is derived
+	err    error // sticky: first AddClause boundary violation; Solve returns it
+	failed []Lit // failed assumptions of the last unsatisfiable SolveAssuming
+
+	maxConflicts int64
+
+	// statistics
+	conflicts    int64
+	decisions    int64
+	propagations int64
+	restarts     int64
+
+	model []bool
+	seen  []bool // scratch for conflict analysis
+}
+
+func init() {
+	MustRegisterBackend("cdcl-slices", func() Backend { return newSlicesSolver() })
+}
+
+// newSlicesSolver returns an empty legacy solver.
+func newSlicesSolver() *slicesSolver {
+	s := &slicesSolver{ok: true, varInc: 1, claInc: 1}
+	s.heap = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of variables created so far.
+func (s *slicesSolver) NumVars() int { return len(s.assign) }
+
+// NumClauses returns the number of clauses attached so far — problem plus
+// learned, including clauses since deleted by reduceDB (the slice only grows).
+func (s *slicesSolver) NumClauses() int { return len(s.clauses) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *slicesSolver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.polarity = append(s.polarity, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.push(v)
+	return v
+}
+
+func (s *slicesSolver) valueLit(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// decisionLevel returns the current decision level.
+func (s *slicesSolver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// enqueue assigns literal l with the given reason clause (-1 for decisions
+// and external facts). It returns false if l is already false.
+func (s *slicesSolver) enqueue(l Lit, from int32) bool {
+	switch s.valueLit(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.polarity[v] = l.Sign()
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// AddClause adds a clause over the given literals; see Solver.AddClause for
+// the boundary contract (this engine implements the identical semantics).
+func (s *slicesSolver) AddClause(lits ...Lit) bool {
+	if s.err != nil {
+		return true // poisoned: clause dropped, Solve surfaces the error
+	}
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Simplify: sort out duplicates, satisfied clauses, false literals.
+	clause := make([]Lit, 0, len(lits))
+	seen := map[Lit]bool{}
+	for _, l := range lits {
+		if int(l.Var()) >= s.NumVars() || l.Var() < 0 {
+			s.err = fmt.Errorf("%w: literal %v (have %d vars)", ErrUnknownVariable, l, s.NumVars())
+			return true
+		}
+		switch {
+		case s.valueLit(l) == lTrue, seen[l.Neg()]:
+			return true // clause already satisfied / tautological
+		case s.valueLit(l) == lFalse, seen[l]:
+			continue
+		default:
+			seen[l] = true
+			clause = append(clause, l)
+		}
+	}
+	switch len(clause) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(clause[0], -1) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != -1 {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attach(clause)
+	s.learntAt = len(s.clauses)
+	return true
+}
+
+// attach appends the clause and registers its two watches.
+func (s *slicesSolver) attach(clause []Lit) int32 {
+	idx := int32(len(s.clauses))
+	s.clauses = append(s.clauses, clause)
+	s.removed = append(s.removed, false)
+	s.claAct = append(s.claAct, 0)
+	s.watches[clause[0]] = append(s.watches[clause[0]], idx)
+	s.watches[clause[1]] = append(s.watches[clause[1]], idx)
+	return idx
+}
+
+// propagate performs unit propagation over the watched literals. It returns
+// the index of a conflicting clause, or -1.
+func (s *slicesSolver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propagations++
+		falseLit := p.Neg()
+		ws := s.watches[falseLit]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			if s.removed[ci] {
+				continue // deleted by reduceDB: drop the stale watch
+			}
+			clause := s.clauses[ci]
+			// Normalise: the false literal sits at position 1.
+			if clause[0] == falseLit {
+				clause[0], clause[1] = clause[1], clause[0]
+			}
+			// Satisfied by the other watch?
+			if s.valueLit(clause[0]) == lTrue {
+				kept = append(kept, ci)
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(clause); k++ {
+				if s.valueLit(clause[k]) != lFalse {
+					clause[1], clause[k] = clause[k], clause[1]
+					s.watches[clause[1]] = append(s.watches[clause[1]], ci)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // watch moved: drop from this list
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, ci)
+			if !s.enqueue(clause[0], ci) {
+				// Conflict: restore the remaining watches and bail.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[falseLit] = kept
+				s.qhead = len(s.trail)
+				return ci
+			}
+		}
+		s.watches[falseLit] = kept
+	}
+	return -1
+}
+
+// cancelUntil undoes assignments above the given decision level.
+func (s *slicesSolver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = -1
+		s.heap.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned clause
+// (asserting literal first) and the backjump level.
+func (s *slicesSolver) analyze(confl int32) ([]Lit, int32) {
+	learnt := []Lit{LitUndef}
+	counter := 0
+	p := LitUndef
+	index := len(s.trail) - 1
+	cur := s.decisionLevel()
+
+	for {
+		clause := s.clauses[confl]
+		s.bumpClause(confl)
+		start := 0
+		if p != LitUndef {
+			start = 1 // clause[0] is the implied literal p
+		}
+		for _, q := range clause[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] >= cur {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select the next trail literal to resolve on.
+		for !s.seen[s.trail[index].Var()] {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	// Clear remaining marks.
+	for _, l := range learnt[1:] {
+		s.seen[l.Var()] = false
+	}
+
+	// Backjump level: highest level among the non-asserting literals.
+	back := int32(0)
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		back = s.level[learnt[1].Var()]
+	}
+	return learnt, back
+}
+
+func (s *slicesSolver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+// bumpClause raises a learned clause's activity (problem clauses are
+// unaffected: they are never removed).
+func (s *slicesSolver) bumpClause(ci int32) {
+	if int(ci) < s.learntAt {
+		return
+	}
+	s.claAct[ci] += s.claInc
+	if s.claAct[ci] > 1e20 {
+		for i := s.learntAt; i < len(s.claAct); i++ {
+			s.claAct[i] *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// locked reports whether the clause is the reason of a current assignment
+// and therefore must not be deleted.
+func (s *slicesSolver) locked(ci int32) bool {
+	clause := s.clauses[ci]
+	v := clause[0].Var()
+	return s.assign[v] != lUndef && s.reason[v] == ci
+}
+
+// reduceDB deletes roughly half of the live learned clauses, lowest
+// activity first, keeping binary and locked clauses. Watches are cleaned
+// lazily by propagate.
+func (s *slicesSolver) reduceDB() {
+	var cands []reduceCand
+	for i := s.learntAt; i < len(s.clauses); i++ {
+		ci := int32(i)
+		if s.removed[i] || len(s.clauses[i]) <= 2 || s.locked(ci) {
+			continue
+		}
+		cands = append(cands, reduceCand{ci, s.claAct[i]})
+	}
+	if len(cands) < 2 {
+		return
+	}
+	// Remove the lower-activity half.
+	reduceOrder(cands)
+	for _, c := range cands[:len(cands)/2] {
+		s.removed[c.idx] = true
+		s.clauses[c.idx] = nil
+		s.learnts--
+	}
+}
+
+// pickBranch selects the unassigned variable with highest activity.
+func (s *slicesSolver) pickBranch() int {
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// Stats snapshots the solver's search counters.
+func (s *slicesSolver) Stats() Stats {
+	return Stats{
+		Conflicts:    s.conflicts,
+		Decisions:    s.decisions,
+		Propagations: s.propagations,
+		Restarts:     s.restarts,
+	}
+}
+
+// SetMaxConflicts bounds each subsequent solve call's conflict budget
+// (0: DefaultMaxConflicts).
+func (s *slicesSolver) SetMaxConflicts(n int64) { s.maxConflicts = n }
+
+// Solve searches for a satisfying assignment; see Solver.Solve.
+func (s *slicesSolver) Solve(ctx context.Context) (bool, error) {
+	return s.SolveAssuming(ctx)
+}
+
+// SolveAssuming is Solve under temporary assumption literals; see
+// Solver.SolveAssuming for the contract this engine shares.
+func (s *slicesSolver) SolveAssuming(ctx context.Context, assumps ...Lit) (bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.failed = nil
+	if m := metrics.FromContext(ctx); m != nil {
+		// Solver counters are cumulative across Solve calls on a reused
+		// solver (the attack loop re-solves one growing formula), so the
+		// registry records per-call deltas.
+		stop := m.Timer("sat_solve_seconds")
+		before := s.Stats()
+		learnedBefore := len(s.clauses) - s.learntAt
+		defer func() {
+			stop()
+			after := s.Stats()
+			m.Add("sat_solve_total", 1)
+			m.Add("sat_conflicts_total", after.Conflicts-before.Conflicts)
+			m.Add("sat_decisions_total", after.Decisions-before.Decisions)
+			m.Add("sat_propagations_total", after.Propagations-before.Propagations)
+			m.Add("sat_restarts_total", after.Restarts-before.Restarts)
+			m.Add("sat_learned_clauses_total", int64(len(s.clauses)-s.learntAt-learnedBefore))
+		}()
+	}
+	if err := fault.Hit(ctx, "sat.solve"); err != nil {
+		return false, fmt.Errorf("sat: solve: %w", err)
+	}
+	if s.err != nil {
+		return false, s.err
+	}
+	if !s.ok {
+		return false, nil
+	}
+	for _, a := range assumps {
+		if a == LitUndef || a.Var() < 0 || a.Var() >= s.NumVars() {
+			return false, fmt.Errorf("%w: assumption %v (have %d vars)", ErrUnknownVariable, a, s.NumVars())
+		}
+	}
+	defer s.cancelUntil(0)
+	if s.propagate() != -1 {
+		s.ok = false
+		return false, nil
+	}
+
+	budget := s.maxConflicts
+	if budget == 0 {
+		budget = DefaultMaxConflicts
+	}
+	// The budget is per call: measure conflicts against this call's start,
+	// so a warm solver reused across an attack's iterations is not charged
+	// for earlier calls' work.
+	budgetBase := s.conflicts
+	hook := progress.FromContext(ctx)
+	var restartN int64
+	const restartBase = 100
+	maxLearnts := s.learntAt/3 + 1000
+	sinceCheck := 0
+
+	for {
+		if err := interrupt.Check(ctx, "sat: solve", s.Stats()); err != nil {
+			return false, err
+		}
+		progress.Emit(hook, progress.Event{
+			Kind: progress.Step, Phase: "solve",
+			Conflicts: s.conflicts, Decisions: s.decisions,
+		})
+		restartBudget := luby(restartN) * restartBase
+		restartN++
+		s.restarts++
+		conflicts := int64(0)
+		for {
+			if sinceCheck++; sinceCheck >= ctxCheckInterval {
+				sinceCheck = 0
+				if err := interrupt.Check(ctx, "sat: solve", s.Stats()); err != nil {
+					return false, err
+				}
+			}
+			confl := s.propagate()
+			if confl != -1 {
+				s.conflicts++
+				conflicts++
+				if s.decisionLevel() == 0 {
+					s.ok = false
+					return false, nil
+				}
+				learnt, back := s.analyze(confl)
+				s.cancelUntil(back)
+				if len(learnt) == 1 {
+					if !s.enqueue(learnt[0], -1) {
+						s.ok = false
+						return false, nil
+					}
+				} else {
+					ci := s.attach(learnt)
+					s.learnts++
+					s.bumpClause(ci)
+					s.enqueue(learnt[0], ci)
+				}
+				s.varInc *= varDecay
+				s.claInc *= claDecay
+				if s.learnts > maxLearnts {
+					s.reduceDB()
+					maxLearnts += maxLearnts / 10
+				}
+				if s.conflicts-budgetBase >= budget {
+					return false, interrupt.Budget("sat: solve", ErrBudget, s.Stats())
+				}
+				continue
+			}
+			if conflicts >= restartBudget {
+				s.cancelUntil(0)
+				break // restart
+			}
+			// Extend the assumption prefix first: assumption i is the
+			// decision of level i+1. An assumption already implied true
+			// opens a dummy level (keeping the level-per-assumption
+			// invariant); one implied false is a final conflict — the
+			// assumptions are jointly unsatisfiable with the clause set,
+			// which says nothing about the clause set alone.
+			next := LitUndef
+			for next == LitUndef && int(s.decisionLevel()) < len(assumps) {
+				switch p := assumps[s.decisionLevel()]; s.valueLit(p) {
+				case lTrue:
+					s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				case lFalse:
+					s.failed = s.analyzeFinal(p)
+					return false, nil
+				default:
+					next = p
+				}
+			}
+			if next == LitUndef {
+				v := s.pickBranch()
+				if v == -1 {
+					// All variables assigned: SAT.
+					s.model = make([]bool, s.NumVars())
+					for i, a := range s.assign {
+						s.model[i] = a == lTrue
+					}
+					return true, nil
+				}
+				s.decisions++
+				next = NewLit(v, s.polarity[v])
+			}
+			s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			s.enqueue(next, -1)
+		}
+	}
+}
+
+// analyzeFinal computes the failed-assumption set; see Solver.analyzeFinal.
+func (s *slicesSolver) analyzeFinal(p Lit) []Lit {
+	out := []Lit{p}
+	if s.decisionLevel() == 0 {
+		return out // p is falsified by the formula alone at the root
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == -1 {
+			// A decision: at this point of the search every decision is an
+			// assumption, recorded on the trail in its passed polarity.
+			if s.level[v] > 0 {
+				out = append(out, s.trail[i])
+			}
+		} else {
+			// Implied: charge the literals of its reason clause (clause[0]
+			// is the implied literal itself).
+			for _, q := range s.clauses[s.reason[v]][1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+	return out
+}
+
+// FailedAssumptions returns the failed-assumption subset of the most recent
+// unsatisfiable SolveAssuming call; see Solver.FailedAssumptions.
+func (s *slicesSolver) FailedAssumptions() []Lit { return s.failed }
+
+// Value returns variable v's value in the most recent model.
+func (s *slicesSolver) Value(v int) bool {
+	if s.model == nil {
+		panic("sat: Value called without a model")
+	}
+	return s.model[v]
+}
+
+// ValueErr is the non-panicking form of Value for exported boundaries.
+func (s *slicesSolver) ValueErr(v int) (bool, error) {
+	if s.model == nil {
+		return false, ErrNoModel
+	}
+	if v < 0 || v >= len(s.model) {
+		return false, fmt.Errorf("%w: variable %d (model has %d)", ErrUnknownVariable, v, len(s.model))
+	}
+	return s.model[v], nil
+}
+
+// Err returns the sticky boundary error recorded by AddClause, or nil.
+func (s *slicesSolver) Err() error { return s.err }

@@ -13,6 +13,7 @@ import (
 
 	"bindlock/internal/fault"
 	"bindlock/internal/metrics"
+	"bindlock/internal/satattack"
 	"bindlock/internal/store"
 )
 
@@ -155,4 +156,134 @@ func TestServerChaos(t *testing.T) {
 		t.Fatalf("%d checkpoint files left after the resumed run succeeded", len(entries))
 	}
 	t.Logf("chaos seed %d: fail-every %d, faulted=%v, resumed=%v", seed, every, failed, final.Resumed)
+}
+
+// TestServerChaosFaultScheduleResume pins fault-schedule continuity across a
+// daemon kill/restart: the resumed attack's oracle faults must continue the
+// uninterrupted run's schedule, not restart it.
+//
+// The fault schedule is a pure function of (seed, oracle-call index), so an
+// uninterrupted run and a kill/resume pair must agree on which call indices
+// fault. The daemon-side bug this guards against: the CLI resume path always
+// realigned the injector (inj.Seek(cp.OracleCalls)) but the server resume
+// path never did, so a restarted daemon re-drew the served prefix's faults
+// against post-resume queries — silently diverging from the schedule the
+// plan promised.
+//
+// The plan combines a sat.solve kill (to die mid-attack with a checkpoint on
+// disk) with zero-duration latency spikes on the oracle surface: spikes are
+// drawn per call index and counted in fault_latency_spikes_total but change
+// no answers, making the schedule observable without perturbing results.
+func TestServerChaosFaultScheduleResume(t *testing.T) {
+	const seed = int64(1)
+	every := 97 + uint64(seed)%29
+	oraclePlan := fault.Plan{Seed: seed, LatencyRate: 0.3}
+	req := Request{Kind: KindAttack, OperandBits: 4, Secret: 0x6B}
+
+	// Uninterrupted reference under the oracle plan alone: total call count
+	// and result bytes the kill/resume pair must land on.
+	refReg := metrics.New()
+	refInj := fault.New(oraclePlan).WithRegistry(refReg)
+	refMgr := newManager(t, Config{
+		Workers: 2, Registry: refReg,
+		BaseContext: fault.NewContext(context.Background(), refInj),
+	})
+	ref := submitWait(t, refMgr, req)
+	refCalls := refInj.Calls()
+	if refCalls == 0 {
+		t.Fatal("reference attack made no oracle calls; the schedule assertion is vacuous")
+	}
+
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "checkpoints")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// First daemon: same oracle plan plus the solver kill.
+	killPlan := oraclePlan
+	killPlan.FailEvery = map[string]uint64{"sat.solve": every}
+	regA := metrics.New()
+	injA := fault.New(killPlan).WithRegistry(regA)
+	a, err := New(Config{
+		Workers: 2, CheckpointDir: ckptDir, Registry: regA,
+		BaseContext: fault.NewContext(context.Background(), injA),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	jA, err := a.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recA := waitTerminal(t, a, jA.ID)
+	if recA.State != StateFailed {
+		t.Fatalf("kill plan did not fire: job landed in %s", recA.State)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	a.Drain(drainCtx)
+	cancel()
+
+	entries, err := os.ReadDir(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("killed attack left %d checkpoints, want 1", len(entries))
+	}
+	cp, err := satattack.LoadCheckpoint(filepath.Join(ckptDir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.OracleCalls == 0 || cp.OracleCalls >= refCalls {
+		t.Fatalf("checkpoint at %d oracle calls (reference total %d): kill landed outside the attack",
+			cp.OracleCalls, refCalls)
+	}
+
+	// Restarted daemon: fresh process, fresh injector, solver fault cleared,
+	// oracle plan still active.
+	regB := metrics.New()
+	injB := fault.New(oraclePlan).WithRegistry(regB)
+	b := newManager(t, Config{
+		Workers: 2, CheckpointDir: ckptDir, Registry: regB,
+		BaseContext: fault.NewContext(context.Background(), injB),
+	})
+	final := submitWait(t, b, req)
+	if !final.Resumed {
+		t.Fatal("restarted run ignored the checkpoint")
+	}
+	if !bytes.Equal(final.Result, ref.Result) {
+		t.Fatalf("resumed result diverged from reference:\nref: %s\ngot: %s", ref.Result, final.Result)
+	}
+
+	// Schedule continuity: the resumed injector was seeked to the
+	// checkpoint's call count, so it finishes exactly where the
+	// uninterrupted run's counter finished. Without the realignment it
+	// would finish at refCalls - cp.OracleCalls.
+	if got := injB.Calls(); got != refCalls {
+		t.Fatalf("resumed injector finished at call %d, want %d (checkpoint at %d): "+
+			"fault schedule diverged from the uninterrupted run", got, refCalls, cp.OracleCalls)
+	}
+
+	// The spikes drawn after resume must be the reference schedule's draws
+	// for call indices [cp.OracleCalls, refCalls) — replay that exact window
+	// through a fresh injector to get the expected count.
+	replayReg := metrics.New()
+	replay := fault.New(oraclePlan).WithRegistry(replayReg)
+	replay.Seek(cp.OracleCalls)
+	q := replay.WrapOracle(func(in []bool) ([]bool, error) { return in, nil })
+	for n := cp.OracleCalls; n < refCalls; n++ {
+		if _, err := q(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantSpikes, _ := replayReg.Snapshot().Counter("fault_latency_spikes_total")
+	gotSpikes, _ := regB.Snapshot().Counter("fault_latency_spikes_total")
+	if gotSpikes != wantSpikes {
+		t.Fatalf("resumed run drew %d latency spikes, want %d for schedule window [%d, %d)",
+			gotSpikes, wantSpikes, cp.OracleCalls, refCalls)
+	}
+	t.Logf("schedule: ref %d calls, checkpoint at %d, resumed window drew %d spikes",
+		refCalls, cp.OracleCalls, gotSpikes)
 }

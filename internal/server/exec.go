@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"bindlock"
+	"bindlock/internal/fault"
 	"bindlock/internal/netlist"
 	"bindlock/internal/satattack"
 )
@@ -289,14 +290,34 @@ func (m *Manager) runAttack(ctx context.Context, j *job) (any, error) {
 			os.Remove(opts.CheckpointPath)
 		}
 	}
+	// The clean oracle stays unwrapped for the final key verification; the
+	// attack oracle goes through the context's fault injector when the daemon
+	// runs under a fault plan (chaos harness, noisy-tester campaigns). On
+	// resume the injector counter must first be realigned to the checkpoint's
+	// oracle-call count — the calls before it were served in a previous
+	// process, and the schedule has to continue exactly where an
+	// uninterrupted run would be, not re-draw the served prefix's faults
+	// against post-resume queries (that divergence was the daemon-side bug
+	// the CLI's resume path never had).
 	oracle := satattack.OracleFromCircuit(locked, key)
-	res, err := satattack.Attack(ctx, locked, oracle, opts)
+	attackOracle := oracle
+	inj := fault.FromContext(ctx)
+	if inj != nil {
+		if opts.Resume != nil {
+			inj.Seek(opts.Resume.OracleCalls)
+		}
+		attackOracle = satattack.OracleFunc(inj.WrapOracle(oracle.Query))
+	}
+	res, err := satattack.Attack(ctx, locked, attackOracle, opts)
 	if err != nil && errors.Is(err, satattack.ErrCheckpointMismatch) && opts.Resume != nil {
 		// The transcript belongs to some other run: discard and restart.
+		// A cold run's fault schedule starts at call zero, so the injector
+		// rewinds with it.
 		os.Remove(opts.CheckpointPath)
 		j.setResumed("")
 		opts.Resume = nil
-		res, err = satattack.Attack(ctx, locked, oracle, opts)
+		inj.Seek(0)
+		res, err = satattack.Attack(ctx, locked, attackOracle, opts)
 	}
 	if err != nil {
 		if opts.CheckpointPath != "" {

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bindlock/internal/bitslice"
 	"bindlock/internal/dfg"
 	"bindlock/internal/fault"
 	"bindlock/internal/interrupt"
@@ -190,7 +191,9 @@ func (k *KMatrix) addAll(src *KMatrix) {
 }
 
 // evalSample interprets one trace sample, incrementing k and recording the
-// per-op values and raw operand pairs into res at index s.
+// per-op values and raw operand pairs into res at index s. It is the scalar
+// reference for the bit-sliced block evaluator; Run's output must stay
+// bit-identical to driving this over every sample in order.
 func evalSample(g *dfg.Graph, inputIdx map[dfg.OpID]int, sample []uint8, s int, k *KMatrix, res *Result) {
 	vals := make([]uint8, len(g.Ops))
 	ab := make([]dfg.Minterm, len(g.Ops))
@@ -214,6 +217,56 @@ func evalSample(g *dfg.Graph, inputIdx map[dfg.OpID]int, sample []uint8, s int, 
 	res.OperandAB[s] = ab
 }
 
+// blockState is the per-worker scratch of the bit-sliced evaluator: one Vec
+// per op, reused across blocks, plus the input packing buffer.
+type blockState struct {
+	vecs []bitslice.Vec
+	buf  [bitslice.Lanes]uint8
+}
+
+func newBlockState(g *dfg.Graph) *blockState {
+	return &blockState{vecs: make([]bitslice.Vec, len(g.Ops))}
+}
+
+// evalBlock interprets lanes consecutive samples starting at s0 through the
+// bit-sliced evaluator: one graph walk computes all lanes at once, then each
+// lane unpacks into the same per-sample Vals/OperandAB/K writes evalSample
+// performs, in the same order — the block path is bit-identical to the scalar
+// path by construction.
+func evalBlock(g *dfg.Graph, inputIdx map[dfg.OpID]int, tr *trace.Trace, s0, lanes int, k *KMatrix, res *Result, st *blockState) {
+	for _, op := range g.Ops {
+		switch op.Kind {
+		case dfg.Input:
+			idx := inputIdx[op.ID]
+			for l := 0; l < lanes; l++ {
+				st.buf[l] = tr.Samples[s0+l][idx]
+			}
+			st.vecs[op.ID] = bitslice.Pack(st.buf[:lanes])
+		case dfg.Const:
+			st.vecs[op.ID] = bitslice.Splat(op.Val)
+		case dfg.Output:
+			st.vecs[op.ID] = st.vecs[op.Args[0]]
+		default:
+			st.vecs[op.ID] = bitslice.Eval(op.Kind, st.vecs[op.Args[0]], st.vecs[op.Args[1]])
+		}
+	}
+	for l := 0; l < lanes; l++ {
+		vals := make([]uint8, len(g.Ops))
+		ab := make([]dfg.Minterm, len(g.Ops))
+		for _, op := range g.Ops {
+			vals[op.ID] = st.vecs[op.ID].Get(l)
+			if op.Kind.IsBinary() {
+				a := vals[op.Args[0]]
+				b := vals[op.Args[1]]
+				ab[op.ID] = dfg.MkMinterm(a, b)
+				k.perOp[op.ID][dfg.CanonMinterm(op.Kind, a, b)]++
+			}
+		}
+		res.Vals[s0+l] = vals
+		res.OperandAB[s0+l] = ab
+	}
+}
+
 // chunkBounds splits n items into `chunks` contiguous balanced ranges:
 // chunk i covers [bounds[i], bounds[i+1]).
 func chunkBounds(n, chunks int) []int {
@@ -225,6 +278,10 @@ func chunkBounds(n, chunks int) []int {
 }
 
 // Run interprets g over tr, producing the K matrix and per-sample values.
+// Evaluation is 64-way bit-sliced (see internal/bitslice): each graph walk
+// computes a block of 64 samples, which then unpack into the same per-sample
+// records a scalar walk would write, so results are bit-identical to the
+// scalar interpreter (evalSample, kept as the differential-test reference).
 // Every DFG input must be present in the trace. Samples are sharded across
 // the worker pool configured on ctx (see internal/parallel); per-worker K
 // matrices merge in shard order, so the Result is bit-identical to a
@@ -284,7 +341,10 @@ func RunN(ctx context.Context, g *dfg.Graph, tr *trace.Trace, workers int) (*Res
 		return runSharded(ctx, g, tr, inputIdx, w, hook, res)
 	}
 
-	for s, sample := range tr.Samples {
+	st := newBlockState(g)
+	for s := 0; s < tr.Len(); s += bitslice.Lanes {
+		// ctxEvery is a multiple of the lane width, so block starts land on
+		// exactly the check points the scalar loop honoured.
 		if s%ctxEvery == 0 {
 			if cerr := interrupt.Check(ctx, "sim: run", nil); cerr != nil {
 				res.Vals = res.Vals[:s]
@@ -294,7 +354,11 @@ func RunN(ctx context.Context, g *dfg.Graph, tr *trace.Trace, workers int) (*Res
 			}
 			progress.Tick(hook, "simulate", s, tr.Len())
 		}
-		evalSample(g, inputIdx, sample, s, k, res)
+		lanes := tr.Len() - s
+		if lanes > bitslice.Lanes {
+			lanes = bitslice.Lanes
+		}
+		evalBlock(g, inputIdx, tr, s, lanes, k, res, st)
 	}
 	progress.End(hook, "simulate", fmt.Sprintf("%d samples", tr.Len()))
 	return res, nil
@@ -315,7 +379,8 @@ func runSharded(ctx context.Context, g *dfg.Graph, tr *trace.Trace, inputIdx map
 		lo, hi := bounds[ci], bounds[ci+1]
 		sk := newRunMatrix(g)
 		shardK[ci] = sk
-		for s := lo; s < hi; s++ {
+		st := newBlockState(g)
+		for s := lo; s < hi; s += bitslice.Lanes {
 			if (s-lo)%ctxEvery == 0 {
 				if cerr := interrupt.Check(tctx, "sim: run", nil); cerr != nil {
 					shardDone[ci] = s - lo
@@ -325,7 +390,11 @@ func runSharded(ctx context.Context, g *dfg.Graph, tr *trace.Trace, inputIdx map
 					progress.Tick(hook, "simulate", int(ticks.Add(ctxEvery)), tr.Len())
 				}
 			}
-			evalSample(g, inputIdx, tr.Samples[s], s, sk, res)
+			lanes := hi - s
+			if lanes > bitslice.Lanes {
+				lanes = bitslice.Lanes
+			}
+			evalBlock(g, inputIdx, tr, s, lanes, sk, res, st)
 		}
 		shardDone[ci] = hi - lo
 		return nil
