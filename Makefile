@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci figures bench bench-smoke vuln cover profile fuzz chaos chaos-bindlockd clean
+.PHONY: all build test race vet fmt ci figures bench bench-smoke vuln staticcheck cover profile fuzz chaos chaos-bindlockd clean
 
 all: build
 
@@ -46,8 +46,12 @@ chaos:
 # chaos-bindlockd is the serving-layer chaos drill: a fault plan stays active
 # while a hammer of identical submissions runs, the manager drains, and a
 # restarted manager resumes the interrupted attack from its checkpoint. The
-# result must stay byte-identical to a never-faulted run. Seeded the same way
-# as `make chaos`; CI runs it smoke-sized (one seed) on every push.
+# result must stay byte-identical to a never-faulted run. The regex also
+# picks up the storage-integrity drill (TestServerChaosCorruption), which
+# replays a corrupt=-bearing plan against a sealed cache: every disk read
+# comes back bit-flipped and must degrade to an authenticated recompute.
+# Seeded the same way as `make chaos`; CI runs it smoke-sized (one seed) on
+# every push.
 chaos-bindlockd:
 	@seed=$${BINDLOCK_CHAOS_SEED:-$$(date +%s)}; \
 	echo "chaos-bindlockd seed: $$seed"; \
@@ -84,6 +88,12 @@ bench-smoke:
 # part of the offline `make ci` gate.
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+# staticcheck lints the module with honnef.co/go/tools. Like vuln it fetches
+# the tool on demand, so it needs network access; it is a CI step, not part
+# of the offline `make ci` gate.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@latest ./...
 
 # cover gates the metrics registry on a coverage floor: every tool's -metrics
 # output and the determinism contract depend on it, so regressions in its

@@ -63,6 +63,7 @@ import (
 	"bindlock/internal/fault"
 	"bindlock/internal/frontend"
 	"bindlock/internal/interrupt"
+	"bindlock/internal/keymat"
 	"bindlock/internal/lockedsim"
 	"bindlock/internal/locking"
 	"bindlock/internal/mediabench"
@@ -215,10 +216,23 @@ func WithFaultPlanContext(ctx context.Context, p FaultPlan) context.Context {
 }
 
 // LoadAttackCheckpoint reads and validates a checkpoint written by a
-// checkpointing attack (WithCheckpoint, or cmd/satattack -checkpoint).
-func LoadAttackCheckpoint(path string) (*AttackCheckpoint, error) {
-	return satattack.LoadCheckpoint(path)
+// checkpointing attack (WithCheckpoint, or cmd/satattack -checkpoint). The
+// file's integrity digest must verify; passing a node key additionally
+// requires a valid MAC under it, so a tampered transcript is rejected as a
+// checkpoint mismatch rather than replayed.
+func LoadAttackCheckpoint(path string, key ...[]byte) (*AttackCheckpoint, error) {
+	var k []byte
+	if len(key) > 0 {
+		k = key[0]
+	}
+	return satattack.LoadCheckpoint(path, k)
 }
+
+// RandomSecret draws a cryptographically random locking secret of the
+// given bit width (for an attack on w-bit operands, pass 2*w). Random
+// per-use secrets are the production default; supplying a fixed secret is
+// the opt-in reproducible mode.
+func RandomSecret(bits int) (uint64, error) { return keymat.RandomSecret(bits) }
 
 // NewMetricsRegistry returns an empty metrics registry. Attach it with
 // WithMetrics (prepare flow) or WithMetricsContext (any context-aware call)
@@ -655,6 +669,14 @@ func WithResume(path string) AttackOption {
 	return func(c *attackConfig) { c.resumePath = path }
 }
 
+// WithCheckpointKey MACs every checkpoint write with the node key and
+// requires a valid MAC when resuming (WithResume), making transcripts
+// tamper-evident: a modified .ckpt fails as a checkpoint mismatch instead
+// of steering the resumed attack.
+func WithCheckpointKey(key []byte) AttackOption {
+	return func(c *attackConfig) { c.opts.CheckpointKey = key }
+}
+
 // WithFaultPlan interposes a deterministic fault injector between the attack
 // and its oracle — the library's own chaos harness. Pair it with
 // WithAttackRetry and WithAttackVoting to ride out the injected faults.
@@ -754,7 +776,7 @@ func AttackDesign(ctx context.Context, ed *ElaboratedDesign, options ...AttackOp
 // itself, and key verification on a completed run.
 func runGateAttack(ctx context.Context, locked *netlist.Circuit, correctKey []bool, cfg attackConfig, op string) (*AttackOutcome, error) {
 	if cfg.resumePath != "" {
-		cp, err := satattack.LoadCheckpoint(cfg.resumePath)
+		cp, err := satattack.LoadCheckpoint(cfg.resumePath, cfg.opts.CheckpointKey)
 		if err != nil {
 			return nil, err
 		}

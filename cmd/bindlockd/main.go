@@ -6,6 +6,7 @@
 //
 //	bindlockd [-addr :8080] [-j N] [-job-parallelism 1] [-max-queue 64]
 //	          [-job-timeout 0] [-cache-dir DIR] [-cache-bytes 256MiB]
+//	          [-cache-seal] [-cache-key-file FILE]
 //	          [-cache-peer URL[,URL...]] [-peer-timeout 2s]
 //	          [-retain-jobs 4096] [-retain-age 0]
 //	          [-rate 0] [-burst 0] [-max-batch 64]
@@ -32,7 +33,11 @@
 // job; an expired job fails with its partial results attached. -cache-dir
 // adds a disk tier to the result cache and a checkpoint directory for
 // in-flight attacks, so a drained or killed daemon resumes interrupted
-// attacks bit-identically on restart. -cache-peer composes one or more
+// attacks bit-identically on restart. -cache-seal AEAD-seals the disk tier
+// at rest and MACs checkpoints with a node secret (-cache-key-file,
+// default <cache-dir>/node.key, generated on first run): a bit-flipped or
+// attacker-modified .res/.ckpt is detected and recomputed/cold-restarted,
+// never served or resumed. -cache-peer composes one or more
 // remote tiers behind the local ones (memory → disk → peers), so a fleet
 // shares results through any member; peers that are down or slow
 // (-peer-timeout) cost a recompute, never an error. -retain-jobs/-retain-age
@@ -70,6 +75,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline; 0 means none")
 	cacheDir := flag.String("cache-dir", "", "directory for the result cache's disk tier and attack checkpoints; empty means memory only")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "byte budget of the in-memory result cache tier")
+	cacheSeal := flag.Bool("cache-seal", false, "authenticate-and-encrypt the disk cache tier and MAC attack checkpoints with the node key; tampered files degrade to recompute, never serve")
+	cacheKeyFile := flag.String("cache-key-file", "", "node secret file for -cache-seal (hex, generated 0600 on first run); default <cache-dir>/node.key. Setting it implies -cache-seal")
 	cachePeers := flag.String("cache-peer", "", "comma-separated base URLs of peer daemons to use as remote cache tiers")
 	peerTimeout := flag.Duration("peer-timeout", store.DefaultRemoteTimeout, "per-request timeout for peer cache tiers")
 	retainJobs := flag.Int("retain-jobs", 0, "terminal job records kept for polling; 0 means 4096, negative unbounded")
@@ -93,6 +100,7 @@ func main() {
 		addr: *addr, workers: *workers, jobParallelism: *jobParallelism,
 		maxQueue: *maxQueue, jobTimeout: *jobTimeout,
 		cacheDir: *cacheDir, cacheBytes: *cacheBytes,
+		cacheSeal: *cacheSeal, cacheKeyFile: *cacheKeyFile,
 		cachePeers: *cachePeers, peerTimeout: *peerTimeout,
 		retainJobs: *retainJobs, retainAge: *retainAge,
 		rate: *rate, burst: *burst, maxBatch: *maxBatch,
@@ -112,6 +120,8 @@ type options struct {
 	jobTimeout     time.Duration
 	cacheDir       string
 	cacheBytes     int64
+	cacheSeal      bool
+	cacheKeyFile   string
 	cachePeers     string
 	peerTimeout    time.Duration
 	retainJobs     int
@@ -128,7 +138,40 @@ func run(ctx context.Context, o options) error {
 	if reg == nil {
 		reg = metrics.New()
 	}
-	st, err := store.Open(o.cacheDir, o.cacheBytes, reg)
+	// The injector is built before the store so its corruption site can be
+	// interposed on the disk tier's raw reads.
+	var inj *fault.Injector
+	if o.faultPlan != "" {
+		plan, err := fault.Parse(o.faultPlan)
+		if err != nil {
+			return err
+		}
+		inj = fault.New(plan).WithRegistry(reg)
+		ctx = fault.NewContext(ctx, inj)
+		fmt.Printf("bindlockd: fault plan active: %s\n", plan.String())
+	}
+	so := store.Options{Dir: o.cacheDir, MaxBytes: o.cacheBytes}
+	if inj != nil {
+		so.ReadInterposer = func(b []byte) []byte { return inj.CorruptBytes("store.disk.get", b) }
+	}
+	var nodeKey []byte
+	if o.cacheSeal || o.cacheKeyFile != "" {
+		keyFile := o.cacheKeyFile
+		if keyFile == "" {
+			if o.cacheDir == "" {
+				return fmt.Errorf("-cache-seal needs -cache-dir (or an explicit -cache-key-file)")
+			}
+			keyFile = filepath.Join(o.cacheDir, "node.key")
+		}
+		var err error
+		nodeKey, err = store.LoadOrCreateKey(keyFile)
+		if err != nil {
+			return err
+		}
+		so.SealKey = nodeKey
+		fmt.Printf("bindlockd: cache sealing enabled (key file %s)\n", keyFile)
+	}
+	st, err := store.OpenWith(so, reg)
 	if err != nil {
 		return err
 	}
@@ -151,18 +194,11 @@ func run(ctx context.Context, o options) error {
 			return err
 		}
 	}
-	if o.faultPlan != "" {
-		plan, err := fault.Parse(o.faultPlan)
-		if err != nil {
-			return err
-		}
-		ctx = fault.NewContext(ctx, fault.New(plan).WithRegistry(reg))
-		fmt.Printf("bindlockd: fault plan active: %s\n", plan.String())
-	}
 	mgr, err := server.New(server.Config{
 		Workers: o.workers, MaxQueue: o.maxQueue,
 		JobTimeout: o.jobTimeout, JobParallelism: o.jobParallelism,
-		CheckpointDir: ckptDir, Store: st, Registry: reg,
+		CheckpointDir: ckptDir, CheckpointKey: nodeKey,
+		Store: st, Registry: reg,
 		RetainJobs: o.retainJobs, RetainAge: o.retainAge,
 		MaxBatch: o.maxBatch, RatePerSec: o.rate, Burst: o.burst,
 		BaseContext: ctx,

@@ -8,6 +8,7 @@
 //	          [-secret N] [-h 1] [-keys 8] [-seed 1] [-timeout 30s] [-j N] [-progress]
 //	          [-retries 1] [-votes 1] [-quorum 0] [-fault-plan SPEC]
 //	          [-checkpoint FILE] [-checkpoint-every 1] [-resume FILE]
+//	          [-checkpoint-key-file FILE]
 //	          [-solver cdcl|dpll] [-incremental]
 //	          [-metrics out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	satattack -validate [-secrets 6]
@@ -26,7 +27,10 @@
 // query with exponential backoff, -votes/-quorum answer each DIP by majority
 // vote over repeated queries, -checkpoint writes the oracle transcript
 // atomically every -checkpoint-every iterations, and -resume continues a
-// killed attack bit-identically from its checkpoint. -fault-plan injects a
+// killed attack bit-identically from its checkpoint. -checkpoint-key-file
+// names a node secret (hex, generated on first use) that MACs every
+// checkpoint write and is required to verify on -resume, so a tampered
+// transcript cold-fails instead of steering the attack. -fault-plan injects a
 // deterministic fault schedule (oracle transients, bit flips, latency,
 // outages, solver fail-points) for chaos-testing the whole loop, e.g.
 // "seed=42,transient=0.1,bitflip=0.01,fail:sat.solve=50".
@@ -50,6 +54,7 @@ import (
 	"bindlock/internal/experiments"
 	"bindlock/internal/fault"
 	"bindlock/internal/interrupt"
+	"bindlock/internal/keymat"
 	"bindlock/internal/locking"
 	"bindlock/internal/metrics"
 	"bindlock/internal/netlist"
@@ -57,13 +62,14 @@ import (
 	"bindlock/internal/progress"
 	"bindlock/internal/sat"
 	"bindlock/internal/satattack"
+	"bindlock/internal/store"
 )
 
 func main() {
 	fu := flag.String("fu", "adder", "functional unit: adder or multiplier")
 	width := flag.Int("width", 3, "operand width in bits")
 	scheme := flag.String("scheme", "sfll", "locking scheme: sfll, sfll-hd, xor, routing or anti-sat")
-	secret := flag.Uint64("secret", 0b101101, "protected input minterm (sfll schemes)")
+	secret := flag.Int64("secret", -1, "protected input minterm (sfll schemes); -1 (default) draws a cryptographically random secret and prints it — pass a value for reproducible runs")
 	hd := flag.Int("h", 1, "hamming distance for sfll-hd")
 	keys := flag.Int("keys", 8, "key-gate count for xor locking")
 	seed := flag.Int64("seed", 1, "seed for randomized insertions")
@@ -80,6 +86,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "write the attack's oracle transcript to this file for later -resume")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "iterations between checkpoint writes")
 	resume := flag.String("resume", "", "resume a killed attack from this checkpoint file")
+	checkpointKeyFile := flag.String("checkpoint-key-file", "", "node secret for tamper-evident checkpoints (hex, created on first use); writes MAC'd transcripts and rejects tampered ones on -resume")
 	faultPlan := flag.String("fault-plan", "", "inject a deterministic fault schedule, e.g. seed=42,transient=0.1,bitflip=0.01")
 	solver := flag.String("solver", "", fmt.Sprintf("sat solver backend: %v (default %q)", sat.Backends(), sat.DefaultBackend))
 	incremental := flag.Bool("incremental", false, "defer key-constraint encoding: keep one warm miter solver across DIP iterations (bit-identical to the default mode)")
@@ -115,10 +122,18 @@ func main() {
 	if *validate {
 		err = runValidate(ctx, *secrets, *seed)
 	} else {
+		var ckptKey []byte
+		if *checkpointKeyFile != "" {
+			ckptKey, err = store.LoadOrCreateKey(*checkpointKeyFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "satattack:", err)
+				os.Exit(cli.ExitFailure)
+			}
+		}
 		rb := robustness{
 			retries: *retries, votes: *votes, quorum: *quorum,
 			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
-			resume: *resume, plan: plan,
+			resume: *resume, ckptKey: ckptKey, plan: plan,
 			solver: *solver, incremental: *incremental,
 		}
 		err = attack(ctx, *fu, *width, *scheme, *secret, *hd, *keys, *seed, *verilog, *approx, rb)
@@ -185,12 +200,13 @@ type robustness struct {
 	checkpoint             string
 	checkpointEvery        int
 	resume                 string
+	ckptKey                []byte
 	plan                   fault.Plan
 	solver                 string
 	incremental            bool
 }
 
-func attack(ctx context.Context, fu string, width int, scheme string, secret uint64, hd, keys int, seed int64, verilog bool, approx int, rb robustness) error {
+func attack(ctx context.Context, fu string, width int, scheme string, secretFlag int64, hd, keys int, seed int64, verilog bool, approx int, rb robustness) error {
 	var base *netlist.Circuit
 	var err error
 	switch fu {
@@ -203,6 +219,18 @@ func attack(ctx context.Context, fu string, width int, scheme string, secret uin
 	}
 	if err != nil {
 		return err
+	}
+
+	// The sfll schemes protect an input minterm — real key material. The
+	// default is a cryptographically random draw per run (printed, so the
+	// operator can reproduce); an explicit -secret is the reproducible mode.
+	secret := uint64(secretFlag)
+	if secretFlag < 0 && (scheme == "sfll" || scheme == "sfll-hd") {
+		secret, err = keymat.RandomSecret(len(base.Inputs))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("secret drawn at random (reproduce with -secret %d)\n", secret)
 	}
 
 	var locked *netlist.Circuit
@@ -235,7 +263,7 @@ func attack(ctx context.Context, fu string, width int, scheme string, secret uin
 	retry := satattack.RetryPolicy{MaxAttempts: rb.retries, Seed: seed}
 	var cp *satattack.Checkpoint
 	if rb.resume != "" {
-		cp, err = satattack.LoadCheckpoint(rb.resume)
+		cp, err = satattack.LoadCheckpoint(rb.resume, rb.ckptKey)
 		if err != nil {
 			return err
 		}
@@ -283,8 +311,9 @@ func attack(ctx context.Context, fu string, width int, scheme string, secret uin
 	res, err := satattack.Attack(ctx, locked, oracle, satattack.Options{
 		Retry: retry, Votes: rb.votes, Quorum: rb.quorum,
 		CheckpointPath: rb.checkpoint, CheckpointEvery: rb.checkpointEvery,
-		Resume: cp,
-		Solver: rb.solver, Incremental: rb.incremental,
+		CheckpointKey: rb.ckptKey,
+		Resume:        cp,
+		Solver:        rb.solver, Incremental: rb.incremental,
 	})
 	if err != nil {
 		if interrupted(err) && res != nil {

@@ -71,6 +71,13 @@ type Plan struct {
 	// OutageStart/OutageLen define a hard outage: calls with 0-based index
 	// in [OutageStart, OutageStart+OutageLen) fail with ErrOutage.
 	OutageStart, OutageLen uint64
+	// CorruptRate is the per-read probability that a disk-read fault site
+	// (cache tier Get, checkpoint load) has one bit of its payload flipped
+	// before the reader sees it — the at-rest corruption model the sealed
+	// storage layer must detect. Which read corrupts and which bit flips are
+	// both pure functions of (seed, site, per-site read index), so a
+	// corruption schedule replays exactly.
+	CorruptRate float64
 	// FailEvery maps a fail-point site name ("sat.solve", "sim.run") to N:
 	// every Nth Hit at that site (1-based) returns ErrInjected. 0 disables
 	// the site.
@@ -80,7 +87,7 @@ type Plan struct {
 // Zero reports whether the plan injects nothing at all.
 func (p Plan) Zero() bool {
 	return p.TransientRate == 0 && p.BitFlipRate == 0 && p.LatencyRate == 0 &&
-		p.OutageLen == 0 && len(p.FailEvery) == 0
+		p.OutageLen == 0 && p.CorruptRate == 0 && len(p.FailEvery) == 0
 }
 
 // String renders the plan in the spec format Parse accepts.
@@ -106,6 +113,9 @@ func (p Plan) String() string {
 		add("outage-at=" + strconv.FormatUint(p.OutageStart, 10))
 		add("outage-len=" + strconv.FormatUint(p.OutageLen, 10))
 	}
+	if p.CorruptRate != 0 {
+		add("corrupt=" + strconv.FormatFloat(p.CorruptRate, 'g', -1, 64))
+	}
 	sites := make([]string, 0, len(p.FailEvery))
 	for site := range p.FailEvery {
 		sites = append(sites, site)
@@ -122,7 +132,7 @@ func (p Plan) String() string {
 // Parse reads a fault-plan spec: comma-separated key=value pairs.
 //
 //	seed=42,transient=0.1,bitflip=0.01,latency=5ms,latency-rate=0.05,
-//	outage-at=100,outage-len=20,fail:sat.solve=50,fail:sim.run=3
+//	outage-at=100,outage-len=20,corrupt=0.2,fail:sat.solve=50,fail:sim.run=3
 //
 // An empty spec is the zero plan.
 func Parse(spec string) (Plan, error) {
@@ -152,6 +162,8 @@ func Parse(spec string) (Plan, error) {
 			p.OutageStart, err = strconv.ParseUint(val, 10, 64)
 		case key == "outage-len":
 			p.OutageLen, err = strconv.ParseUint(val, 10, 64)
+		case key == "corrupt":
+			p.CorruptRate, err = parseRate(val)
 		case strings.HasPrefix(key, "fail:"):
 			site := strings.TrimPrefix(key, "fail:")
 			if site == "" {
@@ -303,6 +315,44 @@ func (i *Injector) WrapOracle(oracle func([]bool) ([]bool, error)) func([]bool) 
 		}
 		return flipped, nil
 	}
+}
+
+// CorruptBytes interposes the plan's at-rest corruption model on a disk
+// read: with probability CorruptRate (drawn from the per-site read index,
+// so the schedule replays exactly) it returns a copy of data with one
+// deterministically chosen bit flipped, counting fault_corruptions_total.
+// Otherwise — and always for empty data or a zero rate — it returns data
+// unchanged. The site name ("store.disk.get", "ckpt.load") keys an
+// independent counter so corrupting one surface never shifts another's
+// schedule.
+func (i *Injector) CorruptBytes(site string, data []byte) []byte {
+	if i == nil || i.plan.CorruptRate == 0 || len(data) == 0 {
+		return data
+	}
+	i.mu.Lock()
+	n := i.sites[site]
+	i.sites[site]++
+	i.mu.Unlock()
+	rng := i.callRNG(site, n)
+	if rng.Float64() >= i.plan.CorruptRate {
+		return data
+	}
+	bit := rng.Intn(len(data) * 8)
+	corrupted := append([]byte(nil), data...)
+	corrupted[bit/8] ^= 1 << (bit % 8)
+	i.reg.Add("fault_corruptions_total", 1)
+	return corrupted
+}
+
+// CorruptAt applies the context's injector (if any) to bytes read from disk
+// at a named fault site. Storage layers call it between the raw read and
+// decode/authentication so chaos runs exercise the detection paths.
+func CorruptAt(ctx context.Context, site string, data []byte) []byte {
+	i := FromContext(ctx)
+	if i == nil {
+		return data
+	}
+	return i.CorruptBytes(site, data)
 }
 
 // Hit consults the context's injector at a named fail-point. Compute

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"testing"
@@ -188,7 +189,7 @@ func TestParseRoundTrip(t *testing.T) {
 	p := Plan{
 		Seed: 42, TransientRate: 0.1, BitFlipRate: 0.01,
 		LatencyRate: 0.05, Latency: 5 * time.Millisecond,
-		OutageStart: 100, OutageLen: 20,
+		OutageStart: 100, OutageLen: 20, CorruptRate: 0.02,
 		FailEvery: map[string]uint64{"sat.solve": 50, "sim.run": 3},
 	}
 	got, err := Parse(p.String())
@@ -201,10 +202,96 @@ func TestParseRoundTrip(t *testing.T) {
 	if _, err := Parse(""); err != nil {
 		t.Errorf("empty spec: %v", err)
 	}
-	for _, bad := range []string{"transient=2", "nope=1", "seed", "bitflip=x", "fail:=3"} {
+	for _, bad := range []string{"transient=2", "nope=1", "seed", "bitflip=x", "fail:=3", "corrupt=x", "corrupt=1.5"} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
 		}
+	}
+}
+
+// bitsChanged counts differing bits between two equal-length byte slices.
+func bitsChanged(a, b []byte) int {
+	n := 0
+	for i := range a {
+		for d := a[i] ^ b[i]; d != 0; d &= d - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCorruptBytesDeterministic pins the corrupt= schedule contract: which
+// read is damaged and which bit flips are pure functions of (seed, site,
+// per-site read index), so a chaos run is exactly replayable, and the two
+// disk-read sites draw independent schedules.
+func TestCorruptBytesDeterministic(t *testing.T) {
+	p := Plan{Seed: 11, CorruptRate: 0.5}
+	payload := []byte("checkpoint or cache entry bytes")
+	run := func() (a, b []string) {
+		i := New(p)
+		for n := 0; n < 64; n++ {
+			a = append(a, string(i.CorruptBytes("store.disk.get", payload)))
+			b = append(b, string(i.CorruptBytes("ckpt.load", payload)))
+		}
+		return a, b
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	damaged, sitesAgree := 0, 0
+	for n := range a1 {
+		if a1[n] != a2[n] || b1[n] != b2[n] {
+			t.Fatalf("read %d diverged across identical injectors", n)
+		}
+		if a1[n] == b1[n] {
+			sitesAgree++
+		}
+		switch d := bitsChanged([]byte(a1[n]), payload); d {
+		case 0:
+		case 1:
+			damaged++
+		default:
+			t.Fatalf("read %d: %d bits flipped, want at most 1", n, d)
+		}
+	}
+	if sitesAgree == len(a1) {
+		t.Fatal("the two sites share one corruption schedule")
+	}
+	// Rate 0.5 over 64 reads: some damaged, some clean, whatever the seed
+	// quirks (P[all-or-none] ~ 2^-63).
+	if damaged == 0 || damaged == len(a1) {
+		t.Fatalf("%d of %d reads damaged at rate 0.5", damaged, len(a1))
+	}
+}
+
+// TestCorruptBytesRateOne pins that corrupt=1 damages every read, counts
+// each one, and never mutates the caller's slice in place.
+func TestCorruptBytesRateOne(t *testing.T) {
+	reg := metrics.New()
+	i := New(Plan{Seed: 1, CorruptRate: 1}).WithRegistry(reg)
+	orig := []byte("pristine bytes")
+	for n := 0; n < 20; n++ {
+		data := append([]byte(nil), orig...)
+		got := i.CorruptBytes("site", data)
+		if bytes.Equal(got, orig) {
+			t.Fatalf("read %d escaped corrupt=1", n)
+		}
+		if !bytes.Equal(data, orig) {
+			t.Fatal("CorruptBytes mutated the input slice")
+		}
+	}
+	if v, _ := reg.Snapshot().Counter("fault_corruptions_total"); v != 20 {
+		t.Fatalf("fault_corruptions_total = %d, want 20", v)
+	}
+}
+
+func TestCorruptAtContext(t *testing.T) {
+	data := []byte{0xAA, 0x55}
+	if got := CorruptAt(context.Background(), "x", data); !bytes.Equal(got, data) {
+		t.Fatal("no-injector context must pass bytes through")
+	}
+	ctx := NewContext(context.Background(), New(Plan{Seed: 2, CorruptRate: 1}))
+	if got := CorruptAt(ctx, "x", data); bytes.Equal(got, data) {
+		t.Fatal("corrupt=1 context left the bytes intact")
 	}
 }
 

@@ -1,0 +1,41 @@
+// Package keymat is the key-material hygiene layer of the serving stack.
+// The artifact this system produces and defends IS a secret — an SFLL
+// locking key / protected minterm — so its lifecycle follows two rules,
+// mirroring how garble splits random builds from -reversible ones:
+//
+//   - Secrets default to cryptographically random, drawn per request from
+//     crypto/rand. Reproducible mode (an explicit caller-supplied secret
+//     or seed) is the opt-in exception for experiments and tests, never
+//     the default.
+//   - Key bits never appear outside a result payload: logs, progress
+//     events and job records render Redacted instead. The result payload
+//     itself is exempt — recovering the key is the attack's entire point.
+package keymat
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+)
+
+// Redacted is the placeholder rendered anywhere key material would
+// otherwise leak into logs, progress events or job records.
+const Redacted = "<redacted>"
+
+// RandomSecret draws a uniformly random secret of the given bit width
+// (1..64) from crypto/rand. The width is the full input width the secret
+// must fit (for an attack on a w-bit-operand adder, 2*w).
+func RandomSecret(bits int) (uint64, error) {
+	if bits < 1 || bits > 64 {
+		return 0, fmt.Errorf("keymat: secret width %d outside [1, 64]", bits)
+	}
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return 0, fmt.Errorf("keymat: %w", err)
+	}
+	v := binary.LittleEndian.Uint64(buf[:])
+	if bits < 64 {
+		v &= 1<<uint(bits) - 1
+	}
+	return v, nil
+}

@@ -1,0 +1,49 @@
+package keymat
+
+import "testing"
+
+func TestRandomSecretBounds(t *testing.T) {
+	for _, bits := range []int{1, 6, 16, 63, 64} {
+		for i := 0; i < 64; i++ {
+			v, err := RandomSecret(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bits < 64 && v >= 1<<uint(bits) {
+				t.Fatalf("RandomSecret(%d) = %#x, exceeds the width", bits, v)
+			}
+		}
+	}
+	for _, bad := range []int{0, -1, 65} {
+		if _, err := RandomSecret(bad); err == nil {
+			t.Errorf("RandomSecret(%d) accepted", bad)
+		}
+	}
+}
+
+func TestRandomSecretDraws(t *testing.T) {
+	// Two full-width draws colliding means the entropy source is broken
+	// (P = 2^-64), and narrow widths must still cover more than one value.
+	a, err := RandomSecret(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomSecret(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("two 64-bit draws both returned %#x", a)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 256; i++ {
+		v, err := RandomSecret(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("256 4-bit draws returned a single value")
+	}
+}

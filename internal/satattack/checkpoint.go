@@ -1,6 +1,10 @@
 package satattack
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,7 +34,11 @@ import (
 // clause behind an activation literal (the warm-solver refactor) — a version
 // 1 transcript would replay against a different clause stream and could
 // diverge mid-resume, so it is rejected up front rather than part-replayed.
-const CheckpointVersion = 2
+// Version 3 adds the integrity envelope (Digest always, MAC when keyed): a
+// bit-rotted or attacker-modified transcript is detected at load and
+// treated as a checkpoint mismatch — cold restart — never part-replayed
+// into a silently divergent resume.
+const CheckpointVersion = 3
 
 // ErrCheckpointMismatch reports a checkpoint that does not belong to the
 // attack being resumed: wrong circuit shape, or a replayed iteration solved
@@ -65,20 +73,126 @@ type Checkpoint struct {
 	// Metrics optionally embeds the registry snapshot at save time, for
 	// post-mortem inspection; resume does not consume it.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	// Digest is "sha256:<hex>" over the canonical encoding of the
+	// checkpoint with Digest and MAC cleared. Always written; detects
+	// accidental corruption (bit rot, torn bytes) even for unkeyed loads.
+	Digest string `json:"digest,omitempty"`
+	// MAC is "hmac-sha256:<hex>" over the same canonical bytes, keyed by
+	// the node checkpoint key. Written when saving with a key; a keyed
+	// load REQUIRES a valid MAC, so an attacker who can rewrite the file
+	// (and recompute the digest) still cannot forge a transcript without
+	// the key.
+	MAC string `json:"mac,omitempty"`
+}
+
+// digestPrefix / macPrefix name the algorithms in the envelope fields, so a
+// future rotation is a new prefix rather than a silent format change.
+const (
+	digestPrefix = "sha256:"
+	macPrefix    = "hmac-sha256:"
+)
+
+// canonicalBytes returns the encoding the integrity envelope signs: compact
+// JSON of the checkpoint with both envelope fields cleared.
+func (cp *Checkpoint) canonicalBytes() ([]byte, error) {
+	c := *cp
+	c.Digest, c.MAC = "", ""
+	data, err := json.Marshal(&c)
+	if err != nil {
+		return nil, fmt.Errorf("satattack: checkpoint encode: %w", err)
+	}
+	return data, nil
+}
+
+// seal fills the integrity envelope: Digest always, MAC when key is non-nil.
+func (cp *Checkpoint) seal(key []byte) error {
+	canon, err := cp.canonicalBytes()
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(canon)
+	cp.Digest = digestPrefix + hex.EncodeToString(sum[:])
+	cp.MAC = ""
+	if len(key) > 0 {
+		mac := hmac.New(sha256.New, key)
+		mac.Write(canon)
+		cp.MAC = macPrefix + hex.EncodeToString(mac.Sum(nil))
+	}
+	return nil
+}
+
+// verifyEnvelope checks the integrity envelope against the canonical bytes.
+// Unkeyed: the digest must verify (tolerating pre-envelope files only via
+// the version gate, which already rejected them). Keyed: a valid MAC under
+// the key is additionally REQUIRED — a missing or wrong MAC is tamper, not
+// a soft downgrade. Every failure wraps ErrCheckpointMismatch.
+func (cp *Checkpoint) verifyEnvelope(key []byte) error {
+	canon, err := cp.canonicalBytes()
+	if err != nil {
+		return err
+	}
+	digest, ok := cutPrefix(cp.Digest, digestPrefix)
+	if !ok {
+		return fmt.Errorf("%w: missing or malformed digest %q", ErrCheckpointMismatch, cp.Digest)
+	}
+	sum := sha256.Sum256(canon)
+	want, err := hex.DecodeString(digest)
+	if err != nil || subtle.ConstantTimeCompare(sum[:], want) != 1 {
+		return fmt.Errorf("%w: digest verification failed (corrupt checkpoint)", ErrCheckpointMismatch)
+	}
+	if len(key) == 0 {
+		return nil
+	}
+	tag, ok := cutPrefix(cp.MAC, macPrefix)
+	if !ok {
+		return fmt.Errorf("%w: keyed load requires an hmac-sha256 MAC, got %q", ErrCheckpointMismatch, cp.MAC)
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(canon)
+	got, err := hex.DecodeString(tag)
+	if err != nil || !hmac.Equal(mac.Sum(nil), got) {
+		return fmt.Errorf("%w: MAC verification failed (tampered checkpoint)", ErrCheckpointMismatch)
+	}
+	return nil
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) || s[:len(prefix)] != prefix {
+		return "", false
+	}
+	return s[len(prefix):], true
 }
 
 // LoadCheckpoint reads and validates a checkpoint file written by Save.
-func LoadCheckpoint(path string) (*Checkpoint, error) {
+// key, when non-nil, is the node checkpoint key: the file's MAC must then
+// verify, so a tampered transcript cold-restarts instead of resuming.
+func LoadCheckpoint(path string, key []byte) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("satattack: load checkpoint: %w", err)
 	}
+	cp, err := DecodeCheckpoint(data, key)
+	if err != nil {
+		return nil, fmt.Errorf("satattack: load checkpoint %s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// DecodeCheckpoint parses and validates checkpoint bytes (see
+// LoadCheckpoint). It is the seam for callers that interpose on the raw
+// read — the server routes checkpoint bytes through the fault injector's
+// corruption site before decoding. Integrity, version and shape failures
+// all wrap ErrCheckpointMismatch.
+func DecodeCheckpoint(data []byte, key []byte) (*Checkpoint, error) {
 	cp := &Checkpoint{}
 	if err := json.Unmarshal(data, cp); err != nil {
-		return nil, fmt.Errorf("satattack: load checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("%w: %v", ErrCheckpointMismatch, err)
 	}
 	if cp.Version != CheckpointVersion {
 		return nil, fmt.Errorf("%w: version %d, want %d", ErrCheckpointMismatch, cp.Version, CheckpointVersion)
+	}
+	if err := cp.verifyEnvelope(key); err != nil {
+		return nil, err
 	}
 	if len(cp.DIPs) != cp.Iterations || len(cp.Answers) != cp.Iterations {
 		return nil, fmt.Errorf("%w: %d iterations but %d DIPs / %d answers",
@@ -97,8 +211,13 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 
 // Save writes the checkpoint atomically: JSON to a temp file in the target
 // directory, fsync'd, then renamed over path. A crash mid-write leaves
-// either the previous checkpoint or the new one, never a torn file.
-func (cp *Checkpoint) Save(path string) error {
+// either the previous checkpoint or the new one, never a torn file. The
+// integrity envelope is (re)computed on every save; key, when non-nil,
+// additionally MACs the transcript (see Digest/MAC).
+func (cp *Checkpoint) Save(path string, key []byte) error {
+	if err := cp.seal(key); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(cp, "", "  ")
 	if err != nil {
 		return fmt.Errorf("satattack: save checkpoint: %w", err)

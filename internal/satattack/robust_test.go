@@ -1,9 +1,11 @@
 package satattack
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -223,10 +225,10 @@ func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 		DIPs:    []string{"01010101", "10000001"},
 		Answers: []string{"00110", "11001"},
 	}
-	if err := cp.Save(path); err != nil {
+	if err := cp.Save(path, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadCheckpoint(path)
+	got, err := LoadCheckpoint(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,22 +240,136 @@ func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 
 	bad := *cp
 	bad.Version = 99
-	if err := bad.Save(path); err != nil {
+	if err := bad.Save(path, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadCheckpoint(path); !errors.Is(err, ErrCheckpointMismatch) {
+	if _, err := LoadCheckpoint(path, nil); !errors.Is(err, ErrCheckpointMismatch) {
 		t.Errorf("wrong version: err = %v, want ErrCheckpointMismatch", err)
 	}
 	bad = *cp
 	bad.Iterations = 3
-	if err := bad.Save(path); err != nil {
+	if err := bad.Save(path, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadCheckpoint(path); !errors.Is(err, ErrCheckpointMismatch) {
+	if _, err := LoadCheckpoint(path, nil); !errors.Is(err, ErrCheckpointMismatch) {
 		t.Errorf("truncated transcript: err = %v, want ErrCheckpointMismatch", err)
 	}
-	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent")); err == nil {
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent"), nil); err == nil {
 		t.Error("missing file must error")
+	}
+}
+
+// TestCheckpointTamperDetected pins the v3 integrity envelope: a checkpoint
+// whose bytes changed on disk after Save — bit rot, a torn write, or hand
+// editing — fails to load with ErrCheckpointMismatch rather than resuming a
+// silently divergent transcript.
+func TestCheckpointTamperDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "attack.ckpt")
+	cp := &Checkpoint{
+		Version: CheckpointVersion, Circuit: "adder4", InputBits: 8, KeyBits: 8,
+		Iterations: 2, OracleCalls: 17,
+		DIPs:    []string{"01010101", "10000001"},
+		Answers: []string{"00110", "11001"},
+	}
+	if err := cp.Save(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edit one covered field without breaking the JSON: the recorded oracle
+	// transcript now claims 97 calls instead of 17.
+	tampered := bytes.Replace(raw, []byte(`"oracle_calls": 17`), []byte(`"oracle_calls": 97`), 1)
+	if bytes.Equal(tampered, raw) {
+		t.Fatal("fixture drifted: oracle_calls field not found")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, nil); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("tampered field: err = %v, want ErrCheckpointMismatch", err)
+	}
+	// Reformatting alone (whitespace) is not tamper: the digest covers the
+	// canonical compact encoding, not the pretty-printed file bytes.
+	var loose map[string]any
+	if err := json.Unmarshal(raw, &loose); err != nil {
+		t.Fatal(err)
+	}
+	compact, err := json.Marshal(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, compact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, nil); err != nil {
+		t.Fatalf("reformatted checkpoint rejected: %v", err)
+	}
+	// Unparseable bytes are the same mismatch, not a different failure mode.
+	if _, err := DecodeCheckpoint([]byte(`{"version": 3, "torn`), nil); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("torn bytes: err = %v, want ErrCheckpointMismatch", err)
+	}
+	// A pre-envelope file (version 2, no digest) is rejected by the version
+	// gate before any envelope check.
+	old := *cp
+	old.Version, old.Digest, old.MAC = 2, "", ""
+	data, err := json.Marshal(&old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(data, nil); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("v2 file: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestCheckpointMACKeying pins keyed-mode semantics: a node key at load time
+// REQUIRES a valid MAC — unkeyed files and wrong-key MACs are tamper — while
+// a keyed file still loads digest-only where no key is configured.
+func TestCheckpointMACKeying(t *testing.T) {
+	key := bytes.Repeat([]byte{0x5c}, 32)
+	path := filepath.Join(t.TempDir(), "attack.ckpt")
+	cp := &Checkpoint{
+		Version: CheckpointVersion, Circuit: "adder4", InputBits: 8, KeyBits: 8,
+		Iterations: 1, OracleCalls: 9,
+		DIPs:    []string{"01010101"},
+		Answers: []string{"00110"},
+	}
+	if err := cp.Save(path, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, key); err != nil {
+		t.Fatalf("keyed round trip: %v", err)
+	}
+	if _, err := LoadCheckpoint(path, nil); err != nil {
+		t.Fatalf("keyed file under an unkeyed load (digest-only): %v", err)
+	}
+	if _, err := LoadCheckpoint(path, bytes.Repeat([]byte{0x11}, 32)); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("wrong key: err = %v, want ErrCheckpointMismatch", err)
+	}
+	// One flipped MAC hex digit voids the envelope.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(raw, []byte("hmac-sha256:"))
+	if i < 0 {
+		t.Fatal("keyed save wrote no MAC")
+	}
+	raw[i+len("hmac-sha256:")] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, key); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("flipped MAC digit: err = %v, want ErrCheckpointMismatch", err)
+	}
+	// An unkeyed file cannot satisfy a keyed load: stripping the MAC is not
+	// a downgrade an attacker gets for free.
+	if err := cp.Save(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, key); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("MAC-less file under a keyed load: err = %v, want ErrCheckpointMismatch", err)
 	}
 }
 
@@ -324,7 +440,7 @@ func TestAttackCheckpointResume(t *testing.T) {
 	if err == nil {
 		t.Fatal("cancelled attack must not complete")
 	}
-	cp, err := LoadCheckpoint(path)
+	cp, err := LoadCheckpoint(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -98,6 +98,12 @@ type Options struct {
 	// CheckpointEvery is the iteration interval between checkpoint writes
 	// (default 1: every iteration).
 	CheckpointEvery int
+	// CheckpointKey, when non-nil, MACs every checkpoint write with the
+	// node key (hmac-sha256 over the canonical transcript); loading with
+	// the same key then rejects any tampered file as a mismatch. nil
+	// writes digest-only checkpoints (corruption detection without tamper
+	// evidence).
+	CheckpointKey []byte
 	// Resume replays a previously saved checkpoint before querying the
 	// oracle live: each re-solved DIP is asserted against the recorded one
 	// (ErrCheckpointMismatch on divergence) and the recorded answer is used
@@ -329,7 +335,7 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 			cp.Metrics = &snap
 		}
 		mreg.Add("resume_checkpoints_written_total", 1)
-		return cp.Save(opts.CheckpointPath)
+		return cp.Save(opts.CheckpointPath, opts.CheckpointKey)
 	}
 	for res.Iterations < maxIter {
 		if cerr := interrupt.Check(ctx, attackOp, nil); cerr != nil {

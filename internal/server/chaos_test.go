@@ -232,7 +232,7 @@ func TestServerChaosFaultScheduleResume(t *testing.T) {
 	if len(entries) != 1 {
 		t.Fatalf("killed attack left %d checkpoints, want 1", len(entries))
 	}
-	cp, err := satattack.LoadCheckpoint(filepath.Join(ckptDir, entries[0].Name()))
+	cp, err := satattack.LoadCheckpoint(filepath.Join(ckptDir, entries[0].Name()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

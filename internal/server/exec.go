@@ -276,18 +276,38 @@ func (m *Manager) runAttack(ctx context.Context, j *job) (any, error) {
 	}
 	opts := satattack.Options{
 		CheckpointEvery: m.cfg.CheckpointEvery,
+		CheckpointKey:   m.cfg.CheckpointKey,
 		Solver:          r.Solver,
 		Incremental:     r.Incremental,
 	}
+	// coldRestart marks a checkpoint that existed but was rejected
+	// (corrupt, tampered, foreign): the resume is abandoned and the fault
+	// schedule must restart from call zero, exactly like the mid-replay
+	// mismatch path below.
+	coldRestart := false
 	if m.cfg.CheckpointDir != "" {
 		opts.CheckpointPath = filepath.Join(m.cfg.CheckpointDir, j.key+".ckpt")
-		switch cp, lerr := satattack.LoadCheckpoint(opts.CheckpointPath); {
-		case lerr == nil:
-			opts.Resume = cp
-			j.setResumed(opts.CheckpointPath)
-		case !errors.Is(lerr, fs.ErrNotExist):
-			// Corrupt or foreign checkpoint: drop it and run cold.
+		data, rerr := os.ReadFile(opts.CheckpointPath)
+		if rerr == nil {
+			// Route the raw bytes through the injector's corruption site
+			// before decoding, so chaos runs drive the same detection path
+			// real bit rot would.
+			data = fault.CorruptAt(ctx, "ckpt.load", data)
+			if cp, derr := satattack.DecodeCheckpoint(data, m.cfg.CheckpointKey); derr == nil {
+				opts.Resume = cp
+				j.setResumed(opts.CheckpointPath)
+			} else {
+				// Corrupt, tampered or foreign checkpoint: never resume
+				// from it — drop the file and run cold, deterministically.
+				m.reg.Add("resume_checkpoints_rejected_total", 1)
+				os.Remove(opts.CheckpointPath)
+				coldRestart = true
+			}
+		} else if !errors.Is(rerr, fs.ErrNotExist) {
+			// Unreadable is as untrustworthy as unverifiable.
+			m.reg.Add("resume_checkpoints_rejected_total", 1)
 			os.Remove(opts.CheckpointPath)
+			coldRestart = true
 		}
 	}
 	// The clean oracle stays unwrapped for the final key verification; the
@@ -305,6 +325,10 @@ func (m *Manager) runAttack(ctx context.Context, j *job) (any, error) {
 	if inj != nil {
 		if opts.Resume != nil {
 			inj.Seek(opts.Resume.OracleCalls)
+		} else if coldRestart {
+			// The rejected checkpoint's writer advanced the schedule; its
+			// replacement cold run starts at call zero.
+			inj.Seek(0)
 		}
 		attackOracle = satattack.OracleFunc(inj.WrapOracle(oracle.Query))
 	}
@@ -313,6 +337,7 @@ func (m *Manager) runAttack(ctx context.Context, j *job) (any, error) {
 		// The transcript belongs to some other run: discard and restart.
 		// A cold run's fault schedule starts at call zero, so the injector
 		// rewinds with it.
+		m.reg.Add("resume_checkpoints_rejected_total", 1)
 		os.Remove(opts.CheckpointPath)
 		j.setResumed("")
 		opts.Resume = nil

@@ -225,7 +225,10 @@ type Job struct {
 	ProgressTotal int             `json:"progress_total,omitempty"`
 }
 
-// snapshot copies the record under its lock.
+// snapshot copies the record under its lock. Key hygiene: an attack job's
+// secret is key material, so the request echo zeroes it (SecretRedacted
+// marks the zeroing) — the result payload is the only place key bits leave
+// the server.
 func (j *job) snapshot() Job {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -247,6 +250,10 @@ func (j *job) snapshot() Job {
 	}
 	if j.prog != nil {
 		out.Progress, out.ProgressTotal = j.prog.snapshot()
+	}
+	if out.Kind == KindAttack {
+		out.Req.Secret = 0
+		out.Req.SecretRedacted = true
 	}
 	return out
 }

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +65,16 @@ type Config struct {
 	// CheckpointEvery is the iteration interval between checkpoint writes
 	// (default 1).
 	CheckpointEvery int
+	// CheckpointKey, when non-nil, MACs every checkpoint write with this
+	// node secret and requires a valid MAC at load: a tampered or foreign
+	// .ckpt is rejected (resume_checkpoints_rejected_total) and the attack
+	// cold-restarts deterministically. nil writes digest-only checkpoints.
+	CheckpointKey []byte
+	// CheckpointRetainAge bounds how long an orphaned .ckpt (a job that
+	// never resumed) may linger in CheckpointDir before the sweep removes
+	// it: on Start and periodically alongside record GC. 0 defaults to
+	// RetainAge when that is set, else 7 days; negative disables sweeping.
+	CheckpointRetainAge time.Duration
 	// DesignMemo bounds the in-memory memo of prepared designs (default 32).
 	DesignMemo int
 	// Store is the content-addressed result cache; nil gets a memory-only
@@ -113,6 +126,9 @@ type Manager struct {
 	// interleaved updates can never go backwards past a stale len() read.
 	queueN  atomic.Int64
 	limiter *tokenBucket
+	// lastCkptSweep is the unix-nano time of the last orphan-checkpoint
+	// sweep, CAS-guarded so concurrent submitters elect one sweeper.
+	lastCkptSweep atomic.Int64
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -135,6 +151,13 @@ func New(cfg Config) (*Manager, error) {
 	}
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 1
+	}
+	if cfg.CheckpointRetainAge == 0 {
+		if cfg.RetainAge > 0 {
+			cfg.CheckpointRetainAge = cfg.RetainAge
+		} else {
+			cfg.CheckpointRetainAge = 7 * 24 * time.Hour
+		}
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = metrics.New()
@@ -178,8 +201,10 @@ func (m *Manager) Registry() *metrics.Registry { return m.reg }
 // Store returns the result cache.
 func (m *Manager) Store() *store.Store { return m.store }
 
-// Start launches the worker slots on the internal/parallel pool.
+// Start launches the worker slots on the internal/parallel pool, after
+// sweeping checkpoints orphaned by jobs that never came back to resume.
 func (m *Manager) Start() {
+	m.sweepCheckpoints(time.Now())
 	m.reg.Set("server_worker_slots", float64(m.cfg.Workers))
 	go func() {
 		defer close(m.workersDone)
@@ -225,6 +250,7 @@ func (m *Manager) Submit(req Request) (Job, error) {
 	m.reg.Add("server_jobs_submitted_total", 1)
 	key := r.fingerprint().Key()
 	now := time.Now()
+	m.maybeSweepCheckpoints(now)
 
 	// The cache lookup may touch disk or a peer, so it runs outside m.mu.
 	// A same-key job finishing in between only costs one recompute — the
@@ -352,6 +378,69 @@ func (m *Manager) gcLocked(now time.Time) {
 		}
 	}
 	m.reg.Set("server_jobs_retained", float64(len(m.jobs)))
+}
+
+// checkpointSweepInterval throttles the submit-path checkpoint sweep; the
+// sweep also runs once, synchronously, at Start.
+const checkpointSweepInterval = time.Minute
+
+// maybeSweepCheckpoints kicks an asynchronous orphan sweep at most once per
+// checkpointSweepInterval; the CAS makes concurrent submitters elect one
+// sweeper.
+func (m *Manager) maybeSweepCheckpoints(now time.Time) {
+	if m.cfg.CheckpointDir == "" || m.cfg.CheckpointRetainAge <= 0 {
+		return
+	}
+	last := m.lastCkptSweep.Load()
+	if now.UnixNano()-last < int64(checkpointSweepInterval) {
+		return
+	}
+	if !m.lastCkptSweep.CompareAndSwap(last, now.UnixNano()) {
+		return
+	}
+	go m.sweepCheckpoints(now)
+}
+
+// sweepCheckpoints removes .ckpt files in CheckpointDir older than
+// CheckpointRetainAge whose fingerprint key is not in flight — transcripts
+// of jobs that never came back to resume. Age is judged by mtime, which
+// every checkpoint write refreshes, so an attack slowly making progress is
+// never swept out from under its next drain.
+func (m *Manager) sweepCheckpoints(now time.Time) {
+	dir := m.cfg.CheckpointDir
+	if dir == "" || m.cfg.CheckpointRetainAge <= 0 {
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	inflight := make(map[string]bool, len(m.inflight))
+	for key := range m.inflight {
+		inflight[key] = true
+	}
+	m.mu.Unlock()
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		if inflight[strings.TrimSuffix(name, ".ckpt")] {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil || now.Sub(info.ModTime()) <= m.cfg.CheckpointRetainAge {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			removed++
+		}
+	}
+	if removed > 0 {
+		m.reg.Add("server_ckpt_gced_total", int64(removed))
+	}
 }
 
 // Wait blocks until job id has recorded progress past since (ProgressTotal

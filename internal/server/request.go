@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"bindlock"
+	"bindlock/internal/keymat"
 	"bindlock/internal/sat"
 	"bindlock/internal/store"
 )
@@ -66,8 +67,20 @@ type Request struct {
 	// maximum 8; "attack" only).
 	OperandBits int `json:"operand_bits,omitempty"`
 	// Secret is the SFLL-protected input minterm; must fit 2*OperandBits
-	// bits ("attack" only).
+	// bits ("attack" only). Supplying one explicitly is reproducible mode;
+	// production traffic should set RandomSecret instead.
 	Secret uint64 `json:"secret,omitempty"`
+	// RandomSecret draws the secret from crypto/rand at submission —
+	// per-request key material with no caller-visible seed, the production
+	// default for real locking keys ("attack" only; mutually exclusive
+	// with an explicit Secret). The drawn value enters the fingerprint, so
+	// random jobs never dedup or share cache entries with each other, and
+	// it is redacted from the job record: only the result payload carries
+	// it.
+	RandomSecret bool `json:"random_secret,omitempty"`
+	// SecretRedacted is set on served job records whose Secret field was
+	// zeroed for key hygiene; it is ignored on submission.
+	SecretRedacted bool `json:"secret_redacted,omitempty"`
 	// Solver names the sat backend the attack solves with ("" means the
 	// default, "cdcl"; "attack" only). It is part of the cache fingerprint:
 	// different engines walk different DIP sequences, so their results are
@@ -137,6 +150,17 @@ func resolve(req Request) (*resolved, error) {
 		if r.OperandBits < 1 || r.OperandBits > 8 {
 			return nil, fmt.Errorf("operand_bits %d outside [1, 8]", r.OperandBits)
 		}
+		r.SecretRedacted = false
+		if r.RandomSecret {
+			if r.Secret != 0 {
+				return nil, fmt.Errorf("random_secret and an explicit secret are mutually exclusive")
+			}
+			s, err := keymat.RandomSecret(2 * r.OperandBits)
+			if err != nil {
+				return nil, err
+			}
+			r.Secret = s
+		}
 		if max := uint64(1)<<(2*r.OperandBits) - 1; r.Secret > max {
 			return nil, fmt.Errorf("secret %d does not fit %d input bits", r.Secret, 2*r.OperandBits)
 		}
@@ -148,8 +172,8 @@ func resolve(req Request) (*resolved, error) {
 		}
 		return r, nil
 	}
-	if r.Solver != "" || r.Incremental {
-		return nil, fmt.Errorf("solver and incremental apply to attack jobs only")
+	if r.Solver != "" || r.Incremental || r.RandomSecret {
+		return nil, fmt.Errorf("solver, incremental and random_secret apply to attack jobs only")
 	}
 
 	// The prepare-family kinds share the front-of-line flow.

@@ -36,6 +36,12 @@ type HTTPTier struct {
 // for most workloads.
 const DefaultRemoteTimeout = 2 * time.Second
 
+// MaxRemoteEntryBytes bounds how much of a peer's response body Get will
+// buffer. Cache entries are canonical serialised results (kilobytes, not
+// gigabytes); a peer streaming more than this is misbehaving or malicious,
+// and costs a counted miss rather than an OOM.
+const MaxRemoteEntryBytes = 16 << 20
+
 // NewHTTPTier returns a remote tier talking to the bindlockd at baseURL
 // (e.g. "http://peer:8080"). timeout <= 0 takes DefaultRemoteTimeout; the
 // registry receives store_remote_{get,hit,error}_total and may be nil.
@@ -83,8 +89,10 @@ func (t *HTTPTier) Get(key string) ([]byte, bool) {
 		t.reg.Add("store_remote_error_total", 1)
 		return nil, false
 	}
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
+	// Read through a hard size bound: one extra byte past the cap proves
+	// the peer overflowed it without buffering an unbounded body.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxRemoteEntryBytes+1))
+	if err != nil || len(data) > MaxRemoteEntryBytes {
 		t.reg.Add("store_remote_error_total", 1)
 		return nil, false
 	}

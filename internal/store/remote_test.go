@@ -133,6 +133,38 @@ func TestHTTPTierServerError(t *testing.T) {
 	}
 }
 
+// TestHTTPTierOversizeResponse pins the peer-response bound: a body beyond
+// MaxRemoteEntryBytes is an error-counted miss — a misbehaving or malicious
+// peer cannot balloon this daemon's memory — while a body exactly at the
+// bound still serves.
+func TestHTTPTierOversizeResponse(t *testing.T) {
+	oversized, atBound := strings.Repeat("0e", 32), strings.Repeat("0f", 32)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		size := MaxRemoteEntryBytes
+		if strings.HasSuffix(r.URL.Path, oversized) {
+			size++
+		}
+		w.Write(bytes.Repeat([]byte{'x'}, size))
+	}))
+	defer ts.Close()
+	reg := metrics.New()
+	tier, err := NewHTTPTier(ts.URL, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := tier.Get(oversized); ok {
+		t.Fatal("oversized peer response served as a hit")
+	}
+	if v, _ := reg.Snapshot().Counter("store_remote_error_total"); v != 1 {
+		t.Fatalf("store_remote_error_total = %d, want 1", v)
+	}
+	data, ok := tier.Get(atBound)
+	if !ok || len(data) != MaxRemoteEntryBytes {
+		t.Fatalf("at-bound response: ok=%v len=%d, want %d", ok, len(data), MaxRemoteEntryBytes)
+	}
+}
+
 func TestNewHTTPTierRejectsBadURLs(t *testing.T) {
 	for _, bad := range []string{"ftp://peer", "peer:8080", "://x"} {
 		if _, err := NewHTTPTier(bad, 0, nil); err == nil {

@@ -1,0 +1,142 @@
+package store
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SealKeySize is the size of a node cache-sealing key: AES-256.
+const SealKeySize = 32
+
+// sealMagic prefixes every sealed entry so an unsealed store reading a
+// sealed file (or vice versa) fails fast on format, not on a confusing
+// AEAD error.
+const sealMagic = "BLS1"
+
+// ErrSealFormat marks sealed bytes whose envelope is malformed (missing
+// magic, truncated nonce) — corruption or a plaintext file where a sealed
+// one was expected.
+var ErrSealFormat = errors.New("store: sealed entry malformed")
+
+// SealedTier wraps an inner Tier so its bytes are authenticated-and-
+// encrypted at rest (AES-256-GCM). Each Put seals the plaintext under a
+// fresh random nonce with the cache key as associated data, so a sealed
+// entry cannot be replayed under a different fingerprint — moving
+// `<a>.res` over `<b>.res` is detected, not served. Get unseals and, on
+// ANY failure (format, truncation, auth), degrades to a miss: the chain
+// falls through, the result recomputes, and onAuthFail observes the event.
+// Tampered or bit-rotted bytes are never returned to a caller.
+//
+// Entry layout: "BLS1" | 12-byte nonce | GCM ciphertext+tag.
+type SealedTier struct {
+	inner Tier
+	aead  cipher.AEAD
+	// onAuthFail, when set, observes each entry rejected at unseal time
+	// (telemetry hook — store_auth_fail_total).
+	onAuthFail func(key string, err error)
+}
+
+// NewSealedTier wraps inner with an AES-256-GCM seal keyed by key, which
+// must be exactly SealKeySize bytes (see LoadOrCreateKey).
+func NewSealedTier(inner Tier, key []byte) (*SealedTier, error) {
+	if len(key) != SealKeySize {
+		return nil, fmt.Errorf("store: seal key must be %d bytes, got %d", SealKeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &SealedTier{inner: inner, aead: aead}, nil
+}
+
+// Get unseals the inner tier's bytes. Any unseal failure is a miss, never
+// an error and never garbage bytes.
+func (t *SealedTier) Get(key string) ([]byte, bool) {
+	sealed, ok := t.inner.Get(key)
+	if !ok {
+		return nil, false
+	}
+	plain, err := t.open(key, sealed)
+	if err != nil {
+		if t.onAuthFail != nil {
+			t.onAuthFail(key, err)
+		}
+		// Drop the poisoned entry so the recompute's Put starts clean and
+		// repeated Gets do not re-fail on the same bytes.
+		_ = t.inner.Delete(key)
+		return nil, false
+	}
+	return plain, true
+}
+
+// Put seals data under a fresh nonce and stores it in the inner tier.
+func (t *SealedTier) Put(key string, data []byte) error {
+	nonce := make([]byte, t.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	out := make([]byte, 0, len(sealMagic)+len(nonce)+len(data)+t.aead.Overhead())
+	out = append(out, sealMagic...)
+	out = append(out, nonce...)
+	out = t.aead.Seal(out, nonce, data, []byte(key))
+	return t.inner.Put(key, out)
+}
+
+// Delete removes key from the inner tier.
+func (t *SealedTier) Delete(key string) error { return t.inner.Delete(key) }
+
+// open authenticates and decrypts one sealed entry.
+func (t *SealedTier) open(key string, sealed []byte) ([]byte, error) {
+	if len(sealed) < len(sealMagic)+t.aead.NonceSize() || string(sealed[:len(sealMagic)]) != sealMagic {
+		return nil, ErrSealFormat
+	}
+	nonce := sealed[len(sealMagic) : len(sealMagic)+t.aead.NonceSize()]
+	plain, err := t.aead.Open(nil, nonce, sealed[len(sealMagic)+t.aead.NonceSize():], []byte(key))
+	if err != nil {
+		return nil, fmt.Errorf("store: sealed entry %s: %w", key, err)
+	}
+	return plain, nil
+}
+
+// LoadOrCreateKey returns the node secret stored at path (hex, one line),
+// generating a fresh cryptographically random SealKeySize-byte key with
+// 0600 permissions on first run. The parent directory is created if
+// absent. A key file of the wrong length is an error, not a silent
+// regenerate — regenerating would orphan every sealed entry on disk.
+func LoadOrCreateKey(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		key, derr := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if derr != nil || len(key) != SealKeySize {
+			return nil, fmt.Errorf("store: key file %s: want %d hex bytes", path, SealKeySize)
+		}
+		return key, nil
+	case errors.Is(err, fs.ErrNotExist):
+		key := make([]byte, SealKeySize)
+		if _, err := rand.Read(key); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := os.WriteFile(path, []byte(hex.EncodeToString(key)+"\n"), 0o600); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		return key, nil
+	default:
+		return nil, fmt.Errorf("store: %w", err)
+	}
+}

@@ -1,0 +1,306 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bindlock/internal/metrics"
+)
+
+func sealKey(b byte) []byte { return bytes.Repeat([]byte{b}, SealKeySize) }
+
+func TestSealedTierRoundTrip(t *testing.T) {
+	inner := NewMemoryTier(0)
+	st, err := NewSealedTier(inner, sealKey(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := []byte(`{"result":"secret payload"}`)
+	if err := st.Put("k", plain); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get("k")
+	if !ok || !bytes.Equal(got, plain) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, plain)
+	}
+	// At rest the entry is enveloped and opaque: magic prefix, no plaintext.
+	raw, ok := inner.Get("k")
+	if !ok || !bytes.HasPrefix(raw, []byte(sealMagic)) {
+		t.Fatalf("sealed entry missing %q envelope: %q", sealMagic, raw)
+	}
+	if bytes.Contains(raw, []byte("secret payload")) {
+		t.Fatal("plaintext visible in the sealed entry")
+	}
+	// A second Put of the identical value seals under a fresh nonce.
+	if err := st.Put("k", plain); err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := inner.Get("k")
+	if bytes.Equal(raw, raw2) {
+		t.Fatal("two Puts produced identical ciphertext: nonce reuse")
+	}
+}
+
+// TestSealedTierTamperIsMiss pins the degrade-to-recompute contract: one
+// flipped bit at rest turns the entry into a counted miss, never garbage
+// bytes, and the poisoned file is dropped so the recompute's Put starts
+// clean.
+func TestSealedTierTamperIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewSealedTier(disk, sealKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	st.onAuthFail = func(string, error) { fails++ }
+	if err := st.Put("k", []byte("result bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "k.res")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := st.Get("k"); ok {
+		t.Fatalf("tampered entry served: %q", data)
+	}
+	if fails != 1 {
+		t.Fatalf("onAuthFail fired %d times, want 1", fails)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("poisoned entry left on disk after the failed Get")
+	}
+}
+
+// TestSealedTierNoCrossKeyReplay pins the associated-data binding: a validly
+// sealed entry copied over another fingerprint's file fails authentication —
+// an attacker cannot make the cache serve result A for request B.
+func TestSealedTierNoCrossKeyReplay(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewSealedTier(disk, sealKey(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	st.onAuthFail = func(string, error) { fails++ }
+	ka, kb := strings.Repeat("aa", 32), strings.Repeat("bb", 32)
+	if err := st.Put(ka, []byte("result for a")); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := os.ReadFile(filepath.Join(dir, ka+".res"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, kb+".res"), sealed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := st.Get(kb); ok {
+		t.Fatalf("replayed entry served under a different fingerprint: %q", data)
+	}
+	if fails != 1 {
+		t.Fatalf("onAuthFail fired %d times, want 1", fails)
+	}
+	// The original entry is untouched and still serves.
+	if data, ok := st.Get(ka); !ok || !bytes.Equal(data, []byte("result for a")) {
+		t.Fatalf("original entry broken by the replay attempt: %q, %v", data, ok)
+	}
+}
+
+// TestSealedTierPlaintextIsFormatMiss pins the envelope check: a legacy
+// plaintext .res under a sealed store is a format miss (ErrSealFormat), not
+// an AEAD panic and not served as-is.
+func TestSealedTierPlaintextIsFormatMiss(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewSealedTier(disk, sealKey(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failErr error
+	st.onAuthFail = func(_ string, err error) { failErr = err }
+	if err := disk.Put("k", []byte("legacy plaintext result")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("k"); ok {
+		t.Fatal("unsealed legacy entry served through the sealed tier")
+	}
+	if !errors.Is(failErr, ErrSealFormat) {
+		t.Fatalf("onAuthFail err = %v, want ErrSealFormat", failErr)
+	}
+}
+
+func TestNewSealedTierKeySize(t *testing.T) {
+	for _, n := range []int{0, 16, 31, 33} {
+		if _, err := NewSealedTier(NewMemoryTier(0), make([]byte, n)); err == nil {
+			t.Errorf("NewSealedTier accepted a %d-byte key", n)
+		}
+	}
+}
+
+func TestLoadOrCreateKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "node.key")
+	k1, err := LoadOrCreateKey(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k1) != SealKeySize {
+		t.Fatalf("generated key is %d bytes, want %d", len(k1), SealKeySize)
+	}
+	if info, err := os.Stat(path); err != nil || info.Mode().Perm() != 0o600 {
+		t.Fatalf("key file mode %v, err %v; want 0600", info.Mode(), err)
+	}
+	// A second load returns the same key, not a fresh draw.
+	k2, err := LoadOrCreateKey(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("reload produced a different key")
+	}
+	// A malformed key file is an error, never a silent regenerate —
+	// regenerating would orphan every sealed entry on disk.
+	for _, bad := range []string{"deadbeef\n", "not hex at all", ""} {
+		if err := os.WriteFile(path, []byte(bad), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadOrCreateKey(path); err == nil {
+			t.Errorf("key file %q accepted", bad)
+		}
+	}
+}
+
+// TestStoreSealedEndToEnd pins the wired-up behavior OpenWith provides the
+// daemon: sealed at rest, readable across restarts under the same key, and a
+// tampered file degrades to a counted miss with the entry dropped.
+func TestStoreSealedEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	key := sealKey(9)
+	val := []byte(`{"key":"110","secret":42}`)
+
+	regA := metrics.New()
+	sA, err := OpenWith(Options{Dir: dir, SealKey: key}, regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sA.Put("k", val); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "k.res")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte(sealMagic)) || bytes.Contains(raw, []byte("secret")) {
+		t.Fatalf("disk entry not sealed: %q", raw)
+	}
+
+	// A cold store under the same key unseals the entry.
+	regB := metrics.New()
+	sB, err := OpenWith(Options{Dir: dir, SealKey: key}, regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := sB.Get("k"); !ok || !bytes.Equal(got, val) {
+		t.Fatalf("cold sealed Get = %q, %v; want %q", got, ok, val)
+	}
+
+	// One flipped byte: a third cold store must miss, count the auth
+	// failure, and drop the file.
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	regC := metrics.New()
+	sC, err := OpenWith(Options{Dir: dir, SealKey: key}, regC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := sC.Get("k"); ok {
+		t.Fatalf("tampered entry served: %q", data)
+	}
+	snap := regC.Snapshot()
+	if v, _ := snap.Counter("store_auth_fail_total"); v != 1 {
+		t.Fatalf("store_auth_fail_total = %d, want 1", v)
+	}
+	if v, _ := snap.Counter("store_miss_total"); v != 1 {
+		t.Fatalf("store_miss_total = %d, want 1", v)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("tampered entry left on disk")
+	}
+}
+
+// TestStoreUnsealedByteCompat pins that without a seal key the on-disk
+// format stays exactly the plaintext result bytes — existing caches keep
+// working and sealing stays an explicit opt-in.
+func TestStoreUnsealedByteCompat(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte(`{"plain":"result"}`)
+	if err := s.Put("k", val); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "k.res"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, val) {
+		t.Fatalf("unsealed disk entry is %q, want the plaintext %q", raw, val)
+	}
+}
+
+// TestDiskTierReadInterposer pins the corruption seam: the interposer sits
+// on the raw-read path, under any seal, so injected bit-rot is caught by
+// authentication exactly like real media corruption.
+func TestDiskTierReadInterposer(t *testing.T) {
+	disk, err := NewDiskTier(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.SetReadInterposer(func(b []byte) []byte {
+		b[0] ^= 0x01
+		return b
+	})
+	if err := disk.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := disk.Get("k"); bytes.Equal(got, []byte("abc")) {
+		t.Fatal("interposer did not see the raw read")
+	}
+
+	// Under a seal, the same interposed corruption is an auth miss.
+	st, err := NewSealedTier(disk, sealKey(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	st.onAuthFail = func(string, error) { fails++ }
+	if err := st.Put("k2", []byte("sealed value")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("k2"); ok || fails != 1 {
+		t.Fatalf("interposed corruption not caught by the seal: ok=%v fails=%d", ok, fails)
+	}
+}

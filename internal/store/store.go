@@ -32,16 +32,40 @@ type entry struct {
 	data []byte
 }
 
+// Options configures OpenWith beyond the basic dir/budget pair.
+type Options struct {
+	// Dir roots the disk tier; empty means memory-only.
+	Dir string
+	// MaxBytes bounds the memory tier (<= 0: unbounded).
+	MaxBytes int64
+	// SealKey, when non-nil, wraps the disk tier in a SealedTier keyed by
+	// it (must be SealKeySize bytes): entries are AEAD-sealed at rest and
+	// a tampered/corrupted file degrades to a miss + store_auth_fail_total
+	// instead of being served. nil keeps the on-disk format byte-compatible
+	// with unsealed stores.
+	SealKey []byte
+	// ReadInterposer, when set, is installed on the disk tier's raw-read
+	// path, under the seal — the deterministic-corruption seam for chaos
+	// runs (fault.Injector.CorruptBytes).
+	ReadInterposer func([]byte) []byte
+}
+
 // Open returns a store with the given in-memory byte budget (<= 0: the
 // memory tier is unbounded) and, when dir is non-empty, a disk tier rooted
 // there (created if absent). The registry receives the store_hit_total /
 // store_miss_total / store_evict_total counters; nil disables counting.
 func Open(dir string, maxBytes int64, reg *metrics.Registry) (*Store, error) {
-	s := &Store{mem: NewMemoryTier(maxBytes), reg: reg}
+	return OpenWith(Options{Dir: dir, MaxBytes: maxBytes}, reg)
+}
+
+// OpenWith is Open with the full option set: at-rest sealing and the
+// chaos read interposer.
+func OpenWith(o Options, reg *metrics.Registry) (*Store, error) {
+	s := &Store{mem: NewMemoryTier(o.MaxBytes), reg: reg}
 	s.mem.onEvict = func(string) { s.reg.Add("store_evict_total", 1) }
 	tiers := []Tier{s.mem}
-	if dir != "" {
-		disk, err := NewDiskTier(dir)
+	if o.Dir != "" {
+		disk, err := NewDiskTier(o.Dir)
 		if err != nil {
 			return nil, err
 		}
@@ -49,8 +73,20 @@ func Open(dir string, maxBytes int64, reg *metrics.Registry) (*Store, error) {
 		// a real I/O problem, not a miss; count it so a dying disk cannot
 		// hide behind silent recomputation.
 		disk.onError = func(error) { s.reg.Add("store_disk_error_total", 1) }
+		disk.readInterposer = o.ReadInterposer
 		s.disk = disk
-		tiers = append(tiers, disk)
+		var at Tier = disk
+		if o.SealKey != nil {
+			sealed, err := NewSealedTier(disk, o.SealKey)
+			if err != nil {
+				return nil, err
+			}
+			// An entry failing authentication is detected tamper/rot, not
+			// a routine miss; count it so chaos runs can assert detection.
+			sealed.onAuthFail = func(string, error) { s.reg.Add("store_auth_fail_total", 1) }
+			at = sealed
+		}
+		tiers = append(tiers, at)
 	}
 	s.local = NewChain(tiers...)
 	s.chain = s.local

@@ -129,6 +129,13 @@ type DiskTier struct {
 	// through and the result recomputes), but silently eating real I/O
 	// errors would hide a dying disk behind a shrinking hit rate.
 	onError func(error)
+	// readInterposer, when set, transforms the raw bytes of every
+	// successful read before the caller sees them. It is the at-rest
+	// corruption seam for deterministic chaos: the fault injector's
+	// CorruptBytes plugs in here, UNDER any SealedTier wrapper, so
+	// injected bit-rot exercises the authentication path exactly like
+	// real media corruption would.
+	readInterposer func([]byte) []byte
 }
 
 // NewDiskTier returns a disk tier rooted at dir, creating it if absent.
@@ -137,6 +144,12 @@ func NewDiskTier(dir string) (*DiskTier, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return &DiskTier{dir: dir}, nil
+}
+
+// SetReadInterposer installs f on the raw-read path (see readInterposer).
+// Not safe to call once the tier is in concurrent use — wire at startup.
+func (d *DiskTier) SetReadInterposer(f func([]byte) []byte) {
+	d.readInterposer = f
 }
 
 // Get reads the bytes stored under key. An absent file is a clean miss;
@@ -148,6 +161,9 @@ func (d *DiskTier) Get(key string) ([]byte, bool) {
 			d.onError(err)
 		}
 		return nil, false
+	}
+	if d.readInterposer != nil {
+		data = d.readInterposer(data)
 	}
 	return data, true
 }

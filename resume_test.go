@@ -129,7 +129,7 @@ func TestResumeDeterminismMediabench(t *testing.T) {
 			if err == nil || !errors.Is(err, ErrCancelled) {
 				t.Fatalf("killed attack returned %v, want cancellation", err)
 			}
-			cp, err := satattack.LoadCheckpoint(path)
+			cp, err := satattack.LoadCheckpoint(path, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
