@@ -34,6 +34,7 @@ fuzz:
 	$(GO) test ./internal/sat -run '^$$' -fuzz FuzzParseDIMACS -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sat -run '^$$' -fuzz FuzzSolveAssuming -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run '^$$' -fuzz FuzzFingerprint -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netlist -run '^$$' -fuzz FuzzCycleConstraints -fuzztime $(FUZZTIME)
 
 # chaos runs the full tier-1 suite under a randomized-seed fault plan
 # (picked up by the chaos-aware tests via BINDLOCK_CHAOS_SEED). The suite

@@ -713,6 +713,15 @@ func WithSolverConflicts(n int64) AttackOption {
 	return func(c *attackConfig) { c.opts.MaxConflicts = n }
 }
 
+// WithCycleBreak conjoins CycSAT structural "no combinational cycle" key
+// constraints into every attack solver. Required for cyclically locked
+// circuits (CyclicLockAndAttack, AttackDesignCyclic) — without it the
+// acyclic miter keeps re-finding latch fixed points and the DIP loop
+// diverges. A no-op on acyclic circuits.
+func WithCycleBreak() AttackOption {
+	return func(c *attackConfig) { c.opts.CycleBreak = true }
+}
+
 // SolverBackends lists the registered sat solver engine names, sorted.
 func SolverBackends() []string { return sat.Backends() }
 
@@ -747,6 +756,63 @@ func LockAndAttack(ctx context.Context, operandBits int, secret uint64, options 
 		return nil, err
 	}
 	return runGateAttack(ctx, locked, key, cfg, "bindlock: lock and attack")
+}
+
+// CyclicLockAndAttack synthesises a gate-level adder FU of the given operand
+// width, locks it with SRCLock-style cyclic obfuscation — `cycles`
+// key-programmed feedback MUXes plus `decoys` acyclic decoy MUXes, placement
+// drawn from seed — and runs the CycSAT-constrained oracle-guided attack
+// against it. The cycle-breaking constraints are always on: this function
+// exists to demonstrate that the constrained attack terminates where the
+// plain one (LockAndAttack's machinery without WithCycleBreak) diverges.
+func CyclicLockAndAttack(ctx context.Context, operandBits, cycles, decoys int, seed int64, options ...AttackOption) (*AttackOutcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	base, err := netlist.NewAdder(operandBits)
+	if err != nil {
+		return nil, err
+	}
+	locked, key, err := netlist.LockCyclic(base, cycles, decoys, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := resolveCyclicAttack(ctx, locked, options)
+	return runGateAttack(ctx, locked, key, cfg, "bindlock: cyclic lock and attack")
+}
+
+// AttackDesignCyclic cyclically locks an elaborated *unlocked* design (built
+// with a nil LockConfig, so the datapath carries no SFLL keys) and runs the
+// CycSAT-constrained attack against it. The elaborated circuit is not
+// mutated; the locked copy and its correct key live only inside the attack.
+func AttackDesignCyclic(ctx context.Context, ed *ElaboratedDesign, cycles, decoys int, seed int64, options ...AttackOption) (*AttackOutcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ed == nil || ed.Circuit == nil {
+		return nil, fmt.Errorf("bindlock: attack design cyclic: nil elaborated design")
+	}
+	if len(ed.CorrectKey) != 0 {
+		return nil, fmt.Errorf("bindlock: attack design cyclic: design already carries %d key bits; elaborate with a nil lock config", len(ed.CorrectKey))
+	}
+	locked, key, err := netlist.LockCyclic(ed.Circuit, cycles, decoys, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := resolveCyclicAttack(ctx, locked, options)
+	return runGateAttack(ctx, locked, key, cfg, "bindlock: attack design cyclic")
+}
+
+// resolveCyclicAttack applies the options, forces cycle breaking on, and
+// records how many feedback edges the lock inserted.
+func resolveCyclicAttack(ctx context.Context, locked *netlist.Circuit, options []AttackOption) attackConfig {
+	var cfg attackConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	cfg.opts.CycleBreak = true
+	metrics.FromContext(ctx).Add("cyclock_cycles_inserted", int64(len(locked.Feedback)))
+	return cfg
 }
 
 // AttackDesign runs the oracle-guided SAT attack against an elaborated

@@ -18,10 +18,11 @@
 // same fingerprint discipline applies — both modes must recover bit-identical
 // keys over identical DIP sequences — and each timing reports attack
 // throughput as iterations/sec from the satattack_iteration_seconds
-// histogram. A fourth, sat-prop-rate, isolates raw unit-propagation
-// throughput on budgeted random 3-SAT, comparing the arena clause layout
-// against the frozen pre-arena engine where the layout's effect is actually
-// visible.
+// histogram. A fourth, cyclic-attack-modes, applies the same discipline to
+// the CycSAT-constrained attack on a cyclically locked adder. A fifth,
+// sat-prop-rate, isolates raw unit-propagation throughput on budgeted random
+// 3-SAT, comparing the arena clause layout against the frozen pre-arena
+// engine where the layout's effect is actually visible.
 // On single-core machines the speedup is honestly ~1x; the determinism check
 // is the part that must always hold. -metrics additionally writes the
 // snapshot to its own file; -cpuprofile/-memprofile capture pprof profiles of
@@ -201,6 +202,16 @@ func main() {
 	w, err := attackModes(ctx, *attackWidth, *attackReps)
 	if err != nil {
 		fail("sat-attack-modes: ", err)
+	}
+	ok = ok && w.Deterministic
+	rep.Workloads = append(rep.Workloads, w)
+
+	// The cyclic comparison runs the CycSAT-constrained attack on a cyclically
+	// locked adder in both key-solver modes; the fingerprint discipline is the
+	// same as sat-attack-modes.
+	w, err = cyclicAttackModes(ctx, *attackWidth, *attackReps, *seed)
+	if err != nil {
+		fail("cyclic-attack-modes: ", err)
 	}
 	ok = ok && w.Deterministic
 	rep.Workloads = append(rep.Workloads, w)
@@ -449,6 +460,80 @@ func attackModes(ctx context.Context, width, reps int) (Workload, error) {
 	}
 	if w.Runs[2].ItersPerSec > 0 {
 		w.ArenaSpeedup = w.Runs[0].ItersPerSec / w.Runs[2].ItersPerSec
+	}
+	return w, nil
+}
+
+// cyclicAttackModes times the CycSAT-constrained attack on a cyclically
+// locked adder (SRCLock-style feedback MUXes plus decoys) in rebuild and
+// incremental mode. Same discipline as sat-attack-modes: both modes must
+// recover bit-identical keys over identical DIP sequences.
+func cyclicAttackModes(ctx context.Context, width, reps int, seed int64) (Workload, error) {
+	w := Workload{Name: "cyclic-attack-modes"}
+	base, err := netlist.NewAdder(width)
+	if err != nil {
+		return w, err
+	}
+	locked, key, err := netlist.LockCyclic(base, 2, 2, seed)
+	if err != nil {
+		return w, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	for _, mode := range []struct {
+		name        string
+		incremental bool
+	}{
+		{"cycsat-rebuild", false},
+		{"cycsat-incremental", true},
+	} {
+		var t Timing
+		for rep := 0; rep < reps; rep++ {
+			reg := metrics.New()
+			mctx := metrics.NewContext(ctx, reg)
+			oracle := satattack.OracleFromCircuit(locked, key)
+			var res *satattack.Result
+			secs, mallocs, allocBytes, err := timed(func() error {
+				var aerr error
+				res, aerr = satattack.Attack(mctx, locked, oracle, satattack.Options{
+					Incremental: mode.incremental,
+					CycleBreak:  true,
+				})
+				return aerr
+			})
+			if err != nil {
+				return w, err
+			}
+			if verr := satattack.VerifyKey(ctx, locked, res.Key, oracle); verr != nil {
+				return w, fmt.Errorf("%s: recovered key failed verification: %w", mode.name, verr)
+			}
+			rt := Timing{
+				Jobs: 1, Mode: mode.name, Seconds: secs, Fingerprint: attackFingerprint(res),
+				Mallocs: mallocs, AllocBytes: allocBytes,
+			}
+			if h, found := reg.Snapshot().Histogram("satattack_iteration_seconds"); found && h.Sum > 0 {
+				rt.ItersPerSec = float64(h.Count) / h.Sum
+			}
+			if rep == 0 {
+				t = rt
+				continue
+			}
+			if rt.Fingerprint != t.Fingerprint {
+				return w, fmt.Errorf("%s repetition %d changed fingerprint %s -> %s",
+					mode.name, rep, t.Fingerprint, rt.Fingerprint)
+			}
+			if rt.ItersPerSec > t.ItersPerSec {
+				t = rt
+			}
+		}
+		w.Runs = append(w.Runs, t)
+		fmt.Printf("%-19s %-18s %8.3fs  %10.1f iters/s  %s\n",
+			w.Name, mode.name, t.Seconds, t.ItersPerSec, t.Fingerprint)
+	}
+	w.Deterministic = w.Runs[0].Fingerprint == w.Runs[1].Fingerprint
+	if w.Runs[1].Seconds > 0 {
+		w.Speedup = w.Runs[0].Seconds / w.Runs[1].Seconds
 	}
 	return w, nil
 }

@@ -6,7 +6,8 @@
 //
 //	bindlock -bench fir [-class adder|multiplier] [-locked-fus 2] [-inputs 2]
 //	         [-fus 3] [-samples 600] [-seed 1] [-candidates 10] [-dot]
-//	         [-attack] [-attack-iters N] [-solver cdcl|dpll] [-incremental]
+//	         [-attack] [-attack-iters N] [-attack-scheme sfll|cyclic]
+//	         [-cycles 2] [-decoys 2] [-solver cdcl|dpll] [-incremental]
 //	         [-timeout 30s] [-j N] [-v] [-fault-plan SPEC] [-metrics out.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	bindlock -src kernel.bl [-workload image|audio|bitstream|sensor|uniform] ...
@@ -26,6 +27,11 @@
 // attacks are exponential by design), -solver picks the SAT engine, and
 // -incremental keeps one warm miter solver across DIP iterations; every mode
 // and engine recovers a verified key, and the two modes are bit-identical.
+//
+// -attack-scheme cyclic swaps the datapath's SFLL locks for SRCLock-style
+// cyclic obfuscation: the datapath is elaborated unlocked, -cycles feedback
+// MUXes and -decoys decoy MUXes are inserted, and the attack runs with CycSAT
+// cycle-breaking key constraints.
 package main
 
 import (
@@ -55,6 +61,9 @@ func main() {
 	verilog := flag.Bool("verilog", false, "emit the co-designed datapath as RTL Verilog")
 	attack := flag.Bool("attack", false, "elaborate the co-designed datapath to gates and run the oracle-guided SAT attack on it")
 	attackIters := flag.Int("attack-iters", 0, "bound the -attack DIP loop; 0 means unbounded (full attacks on paper-sized locks take ~2^k DIPs)")
+	attackScheme := flag.String("attack-scheme", "sfll", "locking scheme for -attack: sfll (the co-designed locks) or cyclic (SRCLock-style feedback obfuscation on the unlocked datapath)")
+	cycles := flag.Int("cycles", 2, "key-programmed feedback edges for -attack-scheme cyclic")
+	decoys := flag.Int("decoys", 2, "acyclic decoy MUXes for -attack-scheme cyclic")
 	solver := flag.String("solver", "", fmt.Sprintf("sat solver backend for -attack: %v (default %q)", bindlock.SolverBackends(), bindlock.DefaultSolverBackend))
 	incremental := flag.Bool("incremental", false, "run -attack with one warm miter solver across DIP iterations (bit-identical to the default mode)")
 	optimize := flag.Bool("O", false, "run front-end optimisation passes (fold/CSE/DCE) before scheduling (-src only)")
@@ -96,6 +105,7 @@ func main() {
 	atk := attackFlags{
 		enabled: *attack, iters: *attackIters,
 		solver: *solver, incremental: *incremental,
+		scheme: *attackScheme, cycles: *cycles, decoys: *decoys, seed: *seed,
 	}
 	err = run(ctx, *bench, *src, *workload, *class, *fus, *lockedFUs, *inputs,
 		*samples, *seed, *candidates, *dot, *verilog, *optimize, atk)
@@ -115,10 +125,13 @@ func main() {
 
 // attackFlags bundles the -attack family of flags.
 type attackFlags struct {
-	enabled     bool
-	iters       int
-	solver      string
-	incremental bool
+	enabled        bool
+	iters          int
+	solver         string
+	incremental    bool
+	scheme         string
+	cycles, decoys int
+	seed           int64
 }
 
 func run(ctx context.Context, bench, src, workload, className string, fus, lockedFUs, inputs,
@@ -250,10 +263,6 @@ func run(ctx context.Context, bench, src, workload, className string, fus, locke
 		if err != nil {
 			return err
 		}
-		ed, err := d.Elaborate(bindings, co.Cfg)
-		if err != nil {
-			return err
-		}
 		var opts []bindlock.AttackOption
 		if atk.solver != "" {
 			opts = append(opts, bindlock.WithSolverBackend(atk.solver))
@@ -268,9 +277,27 @@ func run(ctx context.Context, bench, src, workload, className string, fus, locke
 		if atk.incremental {
 			mode = "incremental"
 		}
-		fmt.Printf("\nSAT attack on the elaborated datapath (%d logic gates, %d key bits, %s mode):\n",
-			ed.Circuit.LogicGates(), len(ed.Circuit.Keys), mode)
-		out, err := bindlock.AttackDesign(ctx, ed, opts...)
+		var out *bindlock.AttackOutcome
+		switch atk.scheme {
+		case "sfll":
+			ed, eerr := d.Elaborate(bindings, co.Cfg)
+			if eerr != nil {
+				return eerr
+			}
+			fmt.Printf("\nSAT attack on the elaborated datapath (%d logic gates, %d key bits, %s mode):\n",
+				ed.Circuit.LogicGates(), len(ed.Circuit.Keys), mode)
+			out, err = bindlock.AttackDesign(ctx, ed, opts...)
+		case "cyclic":
+			ed, eerr := d.Elaborate(bindings, nil)
+			if eerr != nil {
+				return eerr
+			}
+			fmt.Printf("\nCycSAT attack on the cyclically locked datapath (%d logic gates, %d cycles + %d decoys, %s mode):\n",
+				ed.Circuit.LogicGates(), atk.cycles, atk.decoys, mode)
+			out, err = bindlock.AttackDesignCyclic(ctx, ed, atk.cycles, atk.decoys, atk.seed, opts...)
+		default:
+			return fmt.Errorf("unknown attack scheme %q (want sfll or cyclic)", atk.scheme)
+		}
 		if err != nil {
 			if out != nil && (errors.Is(err, bindlock.ErrCancelled) || errors.Is(err, bindlock.ErrBudgetExceeded)) {
 				fmt.Printf("  attack interrupted after %d DIPs in %v (best-so-far key: %d bits)\n",

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	satattack [-fu adder|multiplier] [-width 3] [-scheme sfll|sfll-hd|xor|routing]
-//	          [-secret N] [-h 1] [-keys 8] [-seed 1] [-timeout 30s] [-j N] [-progress]
+//	satattack [-fu adder|multiplier] [-width 3] [-scheme sfll|sfll-hd|xor|routing|cyclic]
+//	          [-secret N] [-h 1] [-keys 8] [-cycles 2] [-decoys 2] [-cycsat]
+//	          [-seed 1] [-timeout 30s] [-j N] [-progress]
 //	          [-retries 1] [-votes 1] [-quorum 0] [-fault-plan SPEC]
 //	          [-checkpoint FILE] [-checkpoint-every 1] [-resume FILE]
 //	          [-checkpoint-key-file FILE]
@@ -40,6 +41,12 @@
 // miter solver across DIP iterations instead of re-encoding key constraints
 // eagerly; both modes walk the same DIP sequence and recover bit-identical
 // keys.
+//
+// -scheme cyclic locks with SRCLock-style feedback obfuscation: -cycles
+// key-programmed feedback MUXes (wrong keys close combinational cycles that
+// latch or oscillate) plus -decoys acyclic decoy MUXes. The attack then runs
+// with CycSAT cycle-breaking key constraints; -cycsat=false drops them to
+// demonstrate the plain attack diverging (bound it with -timeout).
 package main
 
 import (
@@ -68,10 +75,13 @@ import (
 func main() {
 	fu := flag.String("fu", "adder", "functional unit: adder or multiplier")
 	width := flag.Int("width", 3, "operand width in bits")
-	scheme := flag.String("scheme", "sfll", "locking scheme: sfll, sfll-hd, xor, routing or anti-sat")
+	scheme := flag.String("scheme", "sfll", "locking scheme: sfll, sfll-hd, xor, routing, anti-sat or cyclic")
 	secret := flag.Int64("secret", -1, "protected input minterm (sfll schemes); -1 (default) draws a cryptographically random secret and prints it — pass a value for reproducible runs")
 	hd := flag.Int("h", 1, "hamming distance for sfll-hd")
 	keys := flag.Int("keys", 8, "key-gate count for xor locking")
+	cycles := flag.Int("cycles", 2, "key-programmed feedback edges for cyclic locking")
+	decoys := flag.Int("decoys", 2, "acyclic decoy MUXes for cyclic locking")
+	cycsat := flag.Bool("cycsat", true, "conjoin CycSAT cycle-breaking key constraints (cyclic scheme only); disable to watch the plain attack diverge")
 	seed := flag.Int64("seed", 1, "seed for randomized insertions")
 	validate := flag.Bool("validate", false, "run the Eqn. 1 validation sweep instead of a single attack")
 	secrets := flag.Int("secrets", 6, "secrets per key width for -validate")
@@ -135,6 +145,7 @@ func main() {
 			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
 			resume: *resume, ckptKey: ckptKey, plan: plan,
 			solver: *solver, incremental: *incremental,
+			cycles: *cycles, decoys: *decoys, cycsat: *cycsat,
 		}
 		err = attack(ctx, *fu, *width, *scheme, *secret, *hd, *keys, *seed, *verilog, *approx, rb)
 	}
@@ -167,6 +178,15 @@ func runValidate(ctx context.Context, secrets int, seed int64) error {
 	}
 	fmt.Println()
 	experiments.RenderEpsilonSweep(os.Stdout, eps)
+	cyc, err := experiments.Cyclic(ctx, []int{2, 3}, 2, 2, seed)
+	if err != nil {
+		if interrupted(err) {
+			fmt.Fprintf(os.Stderr, "satattack: cyclic sweep interrupted; %d rows completed\n", len(cyc))
+		}
+		return err
+	}
+	fmt.Println()
+	experiments.RenderCyclic(os.Stdout, cyc)
 	return nil
 }
 
@@ -204,6 +224,8 @@ type robustness struct {
 	plan                   fault.Plan
 	solver                 string
 	incremental            bool
+	cycles, decoys         int
+	cycsat                 bool
 }
 
 func attack(ctx context.Context, fu string, width int, scheme string, secretFlag int64, hd, keys int, seed int64, verilog bool, approx int, rb robustness) error {
@@ -246,11 +268,20 @@ func attack(ctx context.Context, fu string, width int, scheme string, secretFlag
 		locked, key, err = netlist.LockRouting(base, seed)
 	case "anti-sat":
 		locked, key, err = netlist.LockAntiSAT(base, seed)
+	case "cyclic":
+		locked, key, err = netlist.LockCyclic(base, rb.cycles, rb.decoys, seed)
 	default:
 		return fmt.Errorf("unknown scheme %q", scheme)
 	}
 	if err != nil {
 		return err
+	}
+	cycleBreak := false
+	if scheme == "cyclic" {
+		metrics.FromContext(ctx).Add("cyclock_cycles_inserted", int64(len(locked.Feedback)))
+		cycleBreak = rb.cycsat
+		fmt.Printf("cyclic lock: %d feedback edges, %d decoys; cycsat constraints %v\n",
+			len(locked.Feedback), rb.decoys, cycleBreak)
 	}
 	fmt.Printf("locked %s: %d logic gates, %d key bits (%s)\n",
 		base.Name, locked.LogicGates(), len(locked.Keys), scheme)
@@ -289,6 +320,9 @@ func attack(ctx context.Context, fu string, width int, scheme string, secretFlag
 		if rb.checkpoint != "" || rb.resume != "" {
 			return fmt.Errorf("checkpoint/resume requires the exact attack (drop -approx)")
 		}
+		if scheme == "cyclic" {
+			return fmt.Errorf("the approximate attack does not support cyclic locks (drop -approx)")
+		}
 		res, err := satattack.ApproxAttack(ctx, locked, oracle, satattack.ApproxOptions{
 			MaxIterations: approx, Seed: seed,
 			Retry: retry, Votes: rb.votes, Quorum: rb.quorum,
@@ -314,6 +348,7 @@ func attack(ctx context.Context, fu string, width int, scheme string, secretFlag
 		CheckpointKey: rb.ckptKey,
 		Resume:        cp,
 		Solver:        rb.solver, Incremental: rb.incremental,
+		CycleBreak: cycleBreak,
 	})
 	if err != nil {
 		if interrupted(err) && res != nil {

@@ -192,3 +192,89 @@ func TestXorVarTruthTable(t *testing.T) {
 		}
 	}
 }
+
+// latchCircuit builds w = x OR (k AND w) with the AND's B pin registered as
+// a feedback edge armed by k=1: the minimal cyclic locked circuit.
+func latchCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("latch")
+	x := c.AddInput()
+	k := c.AddKey()
+	fb := c.And(k, x)
+	w := c.Or(x, fb)
+	c.MarkOutput(w)
+	c.AddFeedback(fb, 1, w, 0, true)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestEncodeCyclicFixedPoints checks the Tseitin encoding of a cyclic
+// circuit admits exactly the circuit's fixed points: under the armed key
+// both latch values are models, under the broken key the output is forced.
+func TestEncodeCyclicFixedPoints(t *testing.T) {
+	solve := func(x, k, out bool) bool {
+		e := NewEncoder()
+		inst, err := e.Encode(latchCircuit(t), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.FixVar(inst.Inputs[0], x)
+		e.FixVar(inst.Keys[0], k)
+		e.FixVar(inst.Outputs[0], out)
+		ok, err := e.S.Solve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	// Armed latch at x=0: w = w, both fixed points satisfiable.
+	if !solve(false, true, false) || !solve(false, true, true) {
+		t.Fatal("armed latch should admit both fixed points at x=0")
+	}
+	// Broken key: w = x exactly.
+	if solve(false, false, true) || solve(true, false, false) {
+		t.Fatal("broken key must force w = x")
+	}
+	if !solve(false, false, false) || !solve(true, false, true) {
+		t.Fatal("broken key lost the functional fixed point")
+	}
+	// Armed with controlling input x=1: w forced to 1 despite the loop.
+	if solve(true, true, false) || !solve(true, true, true) {
+		t.Fatal("controlling input must collapse the armed loop")
+	}
+}
+
+// TestCycleClausesRestrictKeys checks the conjoined constraints exclude the
+// cycle-closing key assignment.
+func TestCycleClausesRestrictKeys(t *testing.T) {
+	c := latchCircuit(t)
+	clauses, err := c.CycleConstraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clauses) == 0 {
+		t.Fatal("latch produced no cycle constraints")
+	}
+	e := NewEncoder()
+	inst, err := e.Encode(c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CycleClauses(inst.Keys, clauses); err != nil {
+		t.Fatal(err)
+	}
+	e.FixVar(inst.Keys[0], true) // the armed (cyclic) choice
+	ok, err := e.S.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("cycle clauses failed to exclude the armed key")
+	}
+	// Out-of-range clause indices are rejected.
+	if err := e.CycleClauses(nil, clauses); err == nil {
+		t.Fatal("want error for clause over an empty key bus")
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"bindlock/internal/interrupt"
+	"bindlock/internal/netlist"
+	"bindlock/internal/parallel"
+	"bindlock/internal/progress"
+	"bindlock/internal/satattack"
+)
+
+// CyclicRow measures the effect of CycSAT cycle-breaking constraints on one
+// cyclically locked adder: with the constraints the attack terminates with a
+// correct key; without them the acyclic miter keeps re-finding fixed-point
+// DIPs and burns its iteration budget.
+type CyclicRow struct {
+	OperandBits int
+	CycleEdges  int
+	Decoys      int
+	KeyBits     int
+	// CycleClauses is the number of structural "no cycle" key clauses
+	// CycSAT derives for this lock.
+	CycleClauses int
+	// ConstrainedIterations is the DIP count of the constrained attack
+	// (which recovered a verified key).
+	ConstrainedIterations int
+	// UnconstrainedOK reports whether the plain attack recovered a correct
+	// key within UnconstrainedBudget iterations; UnconstrainedIterations is
+	// how many it spent either way.
+	UnconstrainedOK         bool
+	UnconstrainedIterations int
+}
+
+// UnconstrainedBudget caps the plain (no cycle constraints) attack in the
+// cyclic experiment; a diverging run would otherwise never return.
+const UnconstrainedBudget = 32
+
+// Cyclic runs the CycSAT validation experiment: for each operand width,
+// cyclically lock an adder (cycle feedback MUXes plus functional decoys),
+// attack it once with cycle-breaking constraints and once without, and
+// report the iteration counts side by side.
+func Cyclic(ctx context.Context, operandBits []int, cycles, decoys int, seed int64) ([]CyclicRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hook := progress.FromContext(ctx)
+	progress.Start(hook, "cyclic", fmt.Sprintf("%d widths", len(operandBits)))
+
+	// Fixtures up front so the parallel fan-out cannot perturb the locks.
+	locks := make([]*netlist.Circuit, len(operandBits))
+	keys := make([][]bool, len(operandBits))
+	rows := make([]CyclicRow, len(operandBits))
+	for wi, w := range operandBits {
+		base, err := netlist.NewAdder(w)
+		if err != nil {
+			return nil, err
+		}
+		locked, key, err := netlist.LockCyclic(base, cycles, decoys, seed+int64(wi))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cyclic lock on %d-bit adder: %w", w, err)
+		}
+		clauses, err := locked.CycleConstraints()
+		if err != nil {
+			return nil, err
+		}
+		locks[wi], keys[wi] = locked, key
+		rows[wi] = CyclicRow{
+			OperandBits: w, CycleEdges: cycles, Decoys: decoys,
+			KeyBits: len(key), CycleClauses: len(clauses),
+		}
+	}
+
+	// Two tasks per width: even = constrained, odd = unconstrained.
+	n := 2 * len(operandBits)
+	var ticks atomic.Int64
+	type outcome struct {
+		iters int
+		ok    bool
+	}
+	outs, done, perr := parallel.Map(ctx, 0, n, func(tctx context.Context, t int) (outcome, error) {
+		wi, constrained := t/2, t%2 == 0
+		oracle := satattack.OracleFromCircuit(locks[wi], keys[wi])
+		opts := satattack.Options{CycleBreak: constrained}
+		if !constrained {
+			opts.MaxIterations = UnconstrainedBudget
+		}
+		res, err := satattack.Attack(tctx, locks[wi], oracle, opts)
+		progress.Tick(hook, "cyclic", int(ticks.Add(1)), n)
+		if constrained {
+			if err != nil {
+				return outcome{}, fmt.Errorf("constrained attack on %d-bit adder: %w", operandBits[wi], err)
+			}
+			if err := satattack.VerifyKey(tctx, locks[wi], res.Key, oracle); err != nil {
+				return outcome{}, err
+			}
+			return outcome{iters: res.Iterations, ok: true}, nil
+		}
+		// The unconstrained attack failing IS the datapoint; only a context
+		// cancellation aborts the experiment.
+		if tctx.Err() != nil {
+			return outcome{}, tctx.Err()
+		}
+		o := outcome{}
+		if res != nil {
+			o.iters = res.Iterations
+		}
+		if err == nil && satattack.VerifyKey(tctx, locks[wi], res.Key, oracle) == nil {
+			o.ok = true
+		}
+		return o, nil
+	})
+
+	prefix := parallel.Prefix(done)
+	out := make([]CyclicRow, 0, len(operandBits))
+	for wi := range operandBits {
+		if (wi+1)*2 > prefix {
+			break
+		}
+		row := rows[wi]
+		row.ConstrainedIterations = outs[2*wi].iters
+		row.UnconstrainedIterations = outs[2*wi+1].iters
+		row.UnconstrainedOK = outs[2*wi+1].ok
+		out = append(out, row)
+	}
+	if perr != nil {
+		return out, interrupt.Rewrap("experiments: cyclic", perr, out)
+	}
+	progress.End(hook, "cyclic", "")
+	return out, nil
+}
+
+// RenderCyclic prints the CycSAT validation rows.
+func RenderCyclic(w io.Writer, rows []CyclicRow) {
+	fmt.Fprintln(w, "CycSAT validation: SAT attack on cyclically locked adders, with and")
+	fmt.Fprintln(w, "without cycle-breaking key constraints")
+	rule(w, 78)
+	fmt.Fprintf(w, "%-12s %6s %6s %8s %10s %12s %14s\n",
+		"operand bits", "cycles", "decoys", "key bits", "cyc clauses", "cycsat iters", "plain attack")
+	rule(w, 78)
+	for _, r := range rows {
+		plain := fmt.Sprintf("diverged@%d", r.UnconstrainedIterations)
+		if r.UnconstrainedOK {
+			plain = fmt.Sprintf("ok@%d", r.UnconstrainedIterations)
+		}
+		fmt.Fprintf(w, "%-12d %6d %6d %8d %10d %12d %14s\n",
+			r.OperandBits, r.CycleEdges, r.Decoys, r.KeyBits,
+			r.CycleClauses, r.ConstrainedIterations, plain)
+	}
+	fmt.Fprintln(w, "expected: constrained attack recovers the key; plain attack burns its budget")
+}
+
+// WriteCyclicCSV dumps the CycSAT validation rows.
+func WriteCyclicCSV(w io.Writer, rows []CyclicRow) error {
+	header := []string{"operand_bits", "cycle_edges", "decoys", "key_bits",
+		"cycle_clauses", "cycsat_iters", "plain_ok", "plain_iters"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			d(r.OperandBits), d(r.CycleEdges), d(r.Decoys), d(r.KeyBits),
+			d(r.CycleClauses), d(r.ConstrainedIterations),
+			fmt.Sprint(r.UnconstrainedOK), d(r.UnconstrainedIterations),
+		})
+	}
+	return writeCSV(w, header, out)
+}

@@ -44,6 +44,13 @@ const (
 	// FullLock is a keyed logarithmic (Benes) routing network [7]:
 	// exponential SAT-iteration-runtime family.
 	FullLock
+	// Cyclic is SRCLock-style feedback obfuscation: key-programmed MUXes
+	// introduce combinational cycles, and only acyclic-selecting keys
+	// reproduce the original function. Wrong keys latch or oscillate, so
+	// the plain acyclic-miter SAT attack diverges; breaking it requires
+	// CycSAT-style structural key constraints. Gate-level realisation:
+	// netlist.LockCyclic.
+	Cyclic
 )
 
 func (s Scheme) String() string {
@@ -56,6 +63,8 @@ func (s Scheme) String() string {
 		return "strong-anti-sat"
 	case FullLock:
 		return "full-lock"
+	case Cyclic:
+		return "cyclic"
 	}
 	return fmt.Sprintf("scheme(%d)", uint8(s))
 }

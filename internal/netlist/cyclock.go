@@ -1,0 +1,387 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements SRCLock-style cyclic logic locking (arXiv:1804.09162)
+// and the CycSAT-side constraint generator that defeats it. LockCyclic cuts
+// wires of the base netlist and re-routes them through key-controlled MUXes
+// whose alternate input comes from the cut point's own transitive fanout: the
+// correct key selects the original (acyclic) wire, a wrong key closes a real
+// combinational cycle that latches or oscillates. Plain SAT attacks assume an
+// acyclic miter and either diverge or extract garbage on such circuits;
+// CycleConstraints derives the key-only "no structural cycle" clauses
+// (Zhou et al., CycSAT) that restore the attack, which internal/satattack
+// conjoins into the miter when Options.CycleBreak is set.
+
+// KeyLit is one literal of a cycle-breaking clause: key bus bit Key must
+// equal Val for the literal to hold.
+type KeyLit struct {
+	Key int
+	Val bool
+}
+
+// CycleClause is a disjunction of KeyLits. A clause is generated per
+// elementary feedback cycle and holds exactly when at least one edge of that
+// cycle is broken (its key bit set opposite to the edge's Arm value).
+type CycleClause []KeyLit
+
+// maxCycleClauses bounds the elementary-cycle enumeration. The number of
+// elementary cycles can be exponential in pathological feedback graphs;
+// LockCyclic's constructions stay tiny, and anything past this bound is a
+// sign the generator is being pointed at the wrong kind of graph.
+const maxCycleClauses = 4096
+
+// LockCyclic inserts cycles key-programmed feedback MUXes and decoys
+// functional-corruption MUXes into base, returning the locked circuit and
+// the correct key (cycle bits first, in insertion order, then decoy bits).
+//
+// Each feedback MUX cuts the first fan-in of a randomly chosen logic gate u
+// and ORs two AND arms: one passes the original wire, the other injects the
+// value of a wire sampled from u's transitive fanout — a back-edge. Under
+// the correct key bit the feedback arm is forced to constant 0, the edge is
+// combinationally dead and the circuit computes exactly the base function;
+// under the wrong bit the original wire is cut off and a real combinational
+// cycle closes through the datapath. Decoy MUXes select between the original
+// wire and an unrelated earlier wire — acyclic either way, so they corrupt
+// the function without being resolvable by cycle analysis alone; the SAT
+// attack's DIP loop has to do real work even with CycSAT constraints.
+func LockCyclic(base *Circuit, cycles, decoys int, seed int64) (*Circuit, []bool, error) {
+	if err := base.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(base.Keys) != 0 {
+		return nil, nil, fmt.Errorf("netlist: base circuit already has key inputs")
+	}
+	if len(base.Feedback) != 0 {
+		return nil, nil, fmt.Errorf("netlist: base circuit already has feedback edges")
+	}
+	if cycles < 1 {
+		return nil, nil, fmt.Errorf("netlist: cyclic locking needs at least one feedback edge, got %d", cycles)
+	}
+	if decoys < 0 {
+		return nil, nil, fmt.Errorf("netlist: negative decoy count %d", decoys)
+	}
+	var logicGates []int
+	for id, g := range base.Gates {
+		if g.Kind.arity() > 0 {
+			logicGates = append(logicGates, id)
+		}
+	}
+	if cycles+decoys > len(logicGates) {
+		return nil, nil, fmt.Errorf("netlist: cannot cut %d wires in %d logic gates",
+			cycles+decoys, len(logicGates))
+	}
+
+	// Forward adjacency of the base DAG, for sampling feedback sources from
+	// a cut point's transitive fanout.
+	fanout := make([][]int, len(base.Gates))
+	for id, g := range base.Gates {
+		if g.Kind.arity() >= 1 {
+			fanout[g.A] = append(fanout[g.A], id)
+		}
+		if g.Kind.arity() == 2 {
+			fanout[g.B] = append(fanout[g.B], id)
+		}
+	}
+	downstream := func(u int) []int {
+		seen := make(map[int]bool, 16)
+		stack := []int{u}
+		var out []int
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range fanout[v] {
+				if !seen[w] {
+					seen[w] = true
+					out = append(out, w)
+					stack = append(stack, w)
+				}
+			}
+		}
+		return out
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(logicGates))
+	type cyclePlan struct {
+		from int // base gate id supplying the feedback value
+		arm  bool
+	}
+	cycleCuts := map[int]cyclePlan{}
+	decoyCuts := map[int]bool{} // cut gate -> correct key bit value
+	for _, i := range perm[:cycles] {
+		u := logicGates[i]
+		// The feedback source is any wire the cut point reconverges into —
+		// including u itself, which is always downstream of its own fan-in
+		// MUX and guarantees a cycle exists to close.
+		cands := append(downstream(u), u)
+		cycleCuts[u] = cyclePlan{from: cands[rng.Intn(len(cands))], arm: rng.Intn(2) == 1}
+	}
+	for _, i := range perm[cycles : cycles+decoys] {
+		decoyCuts[logicGates[i]] = rng.Intn(2) == 1
+	}
+
+	lc := New(base.Name + "-cyclock")
+	remap := make([]int, len(base.Gates))
+	var key []bool
+	type pendingEdge struct {
+		fbAnd int // AND gate in lc whose B pin becomes the back-edge
+		from  int // base gate id of the feedback source
+		keyIx int
+		arm   bool
+	}
+	var pending []pendingEdge
+	for id, g := range base.Gates {
+		ng := g
+		if g.Kind.arity() >= 1 {
+			ng.A = remap[g.A]
+		}
+		if g.Kind.arity() == 2 {
+			ng.B = remap[g.B]
+		}
+		switch g.Kind {
+		case GInput:
+			remap[id] = lc.AddInput()
+			continue
+		case GKey:
+			return nil, nil, fmt.Errorf("netlist: base circuit already has key inputs")
+		}
+		if plan, ok := cycleCuts[id]; ok {
+			orig := ng.A
+			k := lc.AddKey()
+			keyIx := len(lc.Keys) - 1
+			armSel, passSel := k, lc.Not(k)
+			if !plan.arm {
+				armSel, passSel = passSel, armSel
+			}
+			// The feedback arm's B pin temporarily reads the original wire
+			// (any valid earlier gate works); it is rewired to the remapped
+			// feedback source once that gate exists.
+			fbAnd := lc.And(armSel, orig)
+			ng.A = lc.Or(fbAnd, lc.And(passSel, orig))
+			pending = append(pending, pendingEdge{fbAnd: fbAnd, from: plan.from, keyIx: keyIx, arm: plan.arm})
+			key = append(key, !plan.arm)
+		} else if good, ok := decoyCuts[id]; ok {
+			orig := ng.A
+			// Any already-placed wire that is not the original serves as the
+			// decoy's corrupting alternative.
+			alt := remap[rng.Intn(id)]
+			k := lc.AddKey()
+			goodSel, badSel := k, lc.Not(k)
+			if !good {
+				goodSel, badSel = badSel, goodSel
+			}
+			ng.A = lc.Or(lc.And(goodSel, orig), lc.And(badSel, alt))
+			key = append(key, good)
+		}
+		remap[id] = lc.add(ng)
+	}
+	for _, p := range pending {
+		lc.AddFeedback(p.fbAnd, 1, remap[p.from], p.keyIx, p.arm)
+	}
+	for _, o := range base.Outputs {
+		lc.MarkOutput(remap[o])
+	}
+	if err := lc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return lc, key, nil
+}
+
+// CycleConstraints derives the CycSAT key-only "no structural cycle"
+// constraints of a cyclic circuit: one CycleClause per elementary cycle of
+// the feedback-edge condensation, requiring at least one edge of the cycle
+// to be broken. A key assignment satisfies every returned clause if and only
+// if the key-conditioned circuit graph is acyclic (see CyclicUnder, the
+// reference the fuzz target checks against). For the MUX family LockCyclic
+// builds, a structurally live cycle is also sensitizable — the armed AND arm
+// passes the feedback value combinationally — so the structural constraints
+// coincide with CycSAT's "no sensitizable cycle" refinement.
+//
+// An acyclic circuit yields no clauses. The enumeration is capped at
+// maxCycleClauses elementary cycles and errors beyond it.
+func (c *Circuit) CycleConstraints() ([]CycleClause, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(c.Feedback)
+	if n == 0 {
+		return nil, nil
+	}
+	// Condensation: node i is feedback edge i; edge i -> j iff the base
+	// (feedback-free) DAG has a path from edge i's consuming gate to edge
+	// j's source gate. Every structural cycle of the conditioned circuit is
+	// a cyclic alternation of feedback edges and base paths, so cycles of
+	// the condensation are exactly the minimal cyclic feedback subsets.
+	fanout := c.baseFanout()
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+		reach := make([]bool, len(c.Gates))
+		stack := []int{c.Feedback[i].Gate}
+		reach[c.Feedback[i].Gate] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range fanout[v] {
+				if !reach[w] {
+					reach[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			adj[i][j] = reach[c.Feedback[j].From]
+		}
+	}
+
+	// Enumerate elementary cycles: a DFS rooted at each node s restricted to
+	// nodes >= s finds each elementary cycle exactly once, at its minimal
+	// node.
+	var clauses []CycleClause
+	onPath := make([]bool, n)
+	path := make([]int, 0, n)
+	var dfs func(s, v int) error
+	dfs = func(s, v int) error {
+		for w := 0; w < n; w++ {
+			if !adj[v][w] {
+				continue
+			}
+			if w == s {
+				if cl := c.cycleClause(path); cl != nil {
+					clauses = append(clauses, cl)
+					if len(clauses) > maxCycleClauses {
+						return fmt.Errorf("netlist %s: more than %d elementary feedback cycles",
+							c.Name, maxCycleClauses)
+					}
+				}
+			} else if w > s && !onPath[w] {
+				onPath[w] = true
+				path = append(path, w)
+				if err := dfs(s, w); err != nil {
+					return err
+				}
+				path = path[:len(path)-1]
+				onPath[w] = false
+			}
+		}
+		return nil
+	}
+	for s := 0; s < n; s++ {
+		onPath[s] = true
+		path = append(path[:0], s)
+		if err := dfs(s, s); err != nil {
+			return nil, err
+		}
+		onPath[s] = false
+	}
+	return clauses, nil
+}
+
+// cycleClause turns a cycle (list of feedback-edge indices) into the
+// disjunction "some edge of this cycle is broken". Literals over the same
+// key bit are deduplicated; a clause demanding both polarities of one bit is
+// a tautology and is dropped (nil).
+func (c *Circuit) cycleClause(edges []int) CycleClause {
+	cl := make(CycleClause, 0, len(edges))
+	for _, e := range edges {
+		fe := c.Feedback[e]
+		lit := KeyLit{Key: fe.Key, Val: !fe.Arm}
+		dup := false
+		for _, have := range cl {
+			if have.Key == lit.Key {
+				if have.Val != lit.Val {
+					return nil // tautology: the bit breaks one edge either way
+				}
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cl = append(cl, lit)
+		}
+	}
+	return cl
+}
+
+// Satisfied reports whether the key assignment satisfies the clause.
+func (cl CycleClause) Satisfied(keys []bool) bool {
+	for _, lit := range cl {
+		if lit.Key >= 0 && lit.Key < len(keys) && keys[lit.Key] == lit.Val {
+			return true
+		}
+	}
+	return false
+}
+
+// CyclicUnder reports whether the circuit graph conditioned on the key
+// assignment — base edges plus every feedback edge whose key bit equals its
+// Arm value — contains a cycle. It is the reference oracle the constraint
+// generator is validated against (FuzzCycleConstraints) and a direct way
+// for tests to confirm that a wrong key closes a combinational loop.
+func (c *Circuit) CyclicUnder(keys []bool) bool {
+	adj := c.baseFanout()
+	for _, fe := range c.Feedback {
+		if fe.Key < len(keys) && keys[fe.Key] == fe.Arm {
+			adj[fe.From] = append(adj[fe.From], fe.Gate)
+		}
+	}
+	// Iterative three-colour DFS: a back edge to an in-progress node is a
+	// cycle.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make([]uint8, len(c.Gates))
+	type frame struct{ v, i int }
+	for root := range c.Gates {
+		if colour[root] != white {
+			continue
+		}
+		stack := []frame{{v: root}}
+		colour[root] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.i < len(adj[f.v]) {
+				w := adj[f.v][f.i]
+				f.i++
+				switch colour[w] {
+				case grey:
+					return true
+				case white:
+					colour[w] = grey
+					stack = append(stack, frame{v: w})
+				}
+				continue
+			}
+			colour[f.v] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return false
+}
+
+// baseFanout returns the forward adjacency of the circuit with every
+// registered feedback pin excluded — the acyclic skeleton the cycle analyses
+// run over.
+func (c *Circuit) baseFanout() [][]int {
+	type pinRef struct{ gate, pin int }
+	back := make(map[pinRef]bool, len(c.Feedback))
+	for _, fe := range c.Feedback {
+		back[pinRef{fe.Gate, fe.Pin}] = true
+	}
+	adj := make([][]int, len(c.Gates))
+	for id, g := range c.Gates {
+		if g.Kind.arity() >= 1 && !back[pinRef{id, 0}] {
+			adj[g.A] = append(adj[g.A], id)
+		}
+		if g.Kind.arity() == 2 && !back[pinRef{id, 1}] {
+			adj[g.B] = append(adj[g.B], id)
+		}
+	}
+	return adj
+}

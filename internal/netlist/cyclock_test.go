@@ -1,0 +1,414 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestLockCyclicTransparentUnderCorrectKey checks that the locked circuit
+// computes the base function under the correct key for every adder width
+// the attack path uses, and that the correct key is acyclic.
+func TestLockCyclicTransparentUnderCorrectKey(t *testing.T) {
+	for width := 2; width <= 4; width++ {
+		base, err := NewAdder(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locked, key, err := LockCyclic(base, 2, 2, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(locked.Feedback) != 2 {
+			t.Fatalf("width %d: %d feedback edges, want 2", width, len(locked.Feedback))
+		}
+		if len(locked.Keys) != 4 {
+			t.Fatalf("width %d: %d key bits, want 4", width, len(locked.Keys))
+		}
+		if locked.CyclicUnder(key) {
+			t.Fatalf("width %d: correct key closes a cycle", width)
+		}
+		n := len(base.Inputs)
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			in := Uint64ToBits(v, n)
+			want, err := base.Eval(in, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := locked.Eval(in, key)
+			if err != nil {
+				t.Fatalf("width %d input %#x: %v", width, v, err)
+			}
+			if BitsToUint64(got) != BitsToUint64(want) {
+				t.Fatalf("width %d input %#x: locked %#x, base %#x",
+					width, v, BitsToUint64(got), BitsToUint64(want))
+			}
+		}
+	}
+}
+
+// TestLockCyclicWrongKeyClosesCycle checks the scheme's point: flipping any
+// cycle key bit makes the conditioned graph cyclic, and the ternary
+// evaluator reports the non-settling configurations as ErrUnstable instead
+// of returning an arbitrary value or hanging.
+func TestLockCyclicWrongKeyClosesCycle(t *testing.T) {
+	base, err := NewAdder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key, err := LockCyclic(base, 3, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range key {
+		wrong := append([]bool(nil), key...)
+		wrong[i] = !wrong[i]
+		if !locked.CyclicUnder(wrong) {
+			t.Fatalf("flipping cycle bit %d leaves the graph acyclic", i)
+		}
+	}
+	// At least one (input, wrong-key) pair must fail to settle: a latch has
+	// several fixed points and an oscillator none, and both leave the
+	// three-valued fixed point at X somewhere.
+	sawUnstable := false
+	n := len(locked.Inputs)
+	for i := range key {
+		wrong := append([]bool(nil), key...)
+		wrong[i] = !wrong[i]
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			_, err := locked.Eval(Uint64ToBits(v, n), wrong)
+			if errors.Is(err, ErrUnstable) {
+				sawUnstable = true
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !sawUnstable {
+		t.Fatal("no wrong-key configuration reported ErrUnstable")
+	}
+}
+
+// TestLockCyclicDeterministic pins the construction to its seed.
+func TestLockCyclicDeterministic(t *testing.T) {
+	base, err := NewAdder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, k1, err := LockCyclic(base, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, k2, err := LockCyclic(base, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if BitsToUint64(k1) != BitsToUint64(k2) || len(l1.Gates) != len(l2.Gates) {
+		t.Fatal("same seed produced different locked circuits")
+	}
+	l3, _, err := LockCyclic(base, 2, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1.Feedback) != len(l3.Feedback) {
+		t.Fatal("feedback edge count should not depend on seed")
+	}
+}
+
+// TestLockCyclicErrors covers the constructor's argument validation.
+func TestLockCyclicErrors(t *testing.T) {
+	base, err := NewAdder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LockCyclic(base, 0, 0, 1); err == nil {
+		t.Fatal("want error for zero cycles")
+	}
+	if _, _, err := LockCyclic(base, 1, -1, 1); err == nil {
+		t.Fatal("want error for negative decoys")
+	}
+	if _, _, err := LockCyclic(base, 1<<20, 0, 1); err == nil {
+		t.Fatal("want error for more cuts than gates")
+	}
+	locked, _, err := LockCyclic(base, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LockCyclic(locked, 1, 0, 1); err == nil {
+		t.Fatal("want error for re-locking a keyed circuit")
+	}
+}
+
+// TestCycleConstraintsMatchReference checks on LockCyclic instances that the
+// generated clauses accept exactly the acyclic key assignments.
+func TestCycleConstraintsMatchReference(t *testing.T) {
+	base, err := NewAdder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		locked, key, err := LockCyclic(base, 2, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clauses, err := locked.CycleConstraints()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(clauses) == 0 {
+			t.Fatalf("seed %d: no constraints for a cyclic circuit", seed)
+		}
+		nk := len(locked.Keys)
+		for v := uint64(0); v < 1<<uint(nk); v++ {
+			keys := Uint64ToBits(v, nk)
+			sat := true
+			for _, cl := range clauses {
+				if !cl.Satisfied(keys) {
+					sat = false
+					break
+				}
+			}
+			if got := locked.CyclicUnder(keys); sat == got {
+				t.Fatalf("seed %d key %#x: constraints satisfied=%v but cyclic=%v",
+					seed, v, sat, got)
+			}
+		}
+		// The correct key in particular must pass.
+		for _, cl := range clauses {
+			if !cl.Satisfied(key) {
+				t.Fatalf("seed %d: correct key violates %v", seed, cl)
+			}
+		}
+	}
+}
+
+// TestCycleConstraintsAcyclic checks the degenerate cases: no feedback means
+// no clauses.
+func TestCycleConstraintsAcyclic(t *testing.T) {
+	base, err := NewAdder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clauses, err := base.CycleConstraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clauses) != 0 {
+		t.Fatalf("acyclic circuit produced %d clauses", len(clauses))
+	}
+}
+
+// TestAddFeedbackValidation covers the builder-side contract of AddFeedback
+// and the Validate relaxation.
+func TestAddFeedbackValidation(t *testing.T) {
+	build := func() (*Circuit, int, int) {
+		c := New("fb")
+		x := c.AddInput()
+		k := c.AddKey()
+		a := c.And(k, x)
+		w := c.Or(x, a)
+		c.MarkOutput(w)
+		return c, a, w
+	}
+	// Legal back-edge: And's B pin reads the later Or.
+	c, a, w := build()
+	c.AddFeedback(a, 1, w, 0, true)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid feedback rejected: %v", err)
+	}
+	if !c.HasFeedback() {
+		t.Fatal("HasFeedback false after AddFeedback")
+	}
+	// A forward reference is not feedback.
+	c, a, _ = build()
+	c.AddFeedback(a, 1, 0, 0, true)
+	if err := c.Validate(); !errors.Is(err, ErrConstruction) {
+		t.Fatalf("forward feedback not rejected: %v", err)
+	}
+	// Bad key index.
+	c, a, w = build()
+	c.AddFeedback(a, 1, w, 5, true)
+	if err := c.Validate(); !errors.Is(err, ErrConstruction) {
+		t.Fatalf("bad key index not rejected: %v", err)
+	}
+	// Duplicate pin.
+	c, a, w = build()
+	c.AddFeedback(a, 1, w, 0, true)
+	c.AddFeedback(a, 1, w, 0, false)
+	if err := c.Validate(); !errors.Is(err, ErrConstruction) {
+		t.Fatalf("duplicate feedback not rejected: %v", err)
+	}
+	// Tampering with the Feedback slice after construction fails Validate.
+	c, a, w = build()
+	c.AddFeedback(a, 1, w, 0, true)
+	c.Feedback[0].From = w - 1
+	if err := c.Validate(); err == nil {
+		t.Fatal("feedback/wiring disagreement not caught")
+	}
+}
+
+// TestEvalCyclicLatchAndBreak pins the evaluator's semantics on the minimal
+// latch: w = x OR (k AND w). Armed (k=1) the loop latches for x=0; broken
+// (k=0) the circuit is the identity.
+func TestEvalCyclicLatchAndBreak(t *testing.T) {
+	c := New("latch")
+	x := c.AddInput()
+	k := c.AddKey()
+	fb := c.And(k, x) // B rewired to the Or below
+	w := c.Or(x, fb)
+	c.MarkOutput(w)
+	c.AddFeedback(fb, 1, w, 0, true)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		x, k     bool
+		want     bool
+		unstable bool
+	}{
+		{x: false, k: false, want: false},
+		{x: true, k: false, want: true},
+		{x: true, k: true, want: true},      // controlling 1 kills the loop
+		{x: false, k: true, unstable: true}, // w = w: latch
+	} {
+		got, err := c.Eval([]bool{tc.x}, []bool{tc.k})
+		if tc.unstable {
+			if !errors.Is(err, ErrUnstable) {
+				t.Fatalf("x=%v k=%v: want ErrUnstable, got %v %v", tc.x, tc.k, got, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("x=%v k=%v: %v", tc.x, tc.k, err)
+		}
+		if got[0] != tc.want {
+			t.Fatalf("x=%v k=%v: got %v want %v", tc.x, tc.k, got[0], tc.want)
+		}
+	}
+}
+
+// TestCyclicVerilogEmission checks that a cyclic netlist exports: the
+// feedback wire appears on a right-hand side before its declaration, which
+// is exactly what the two-pass naming exists for.
+func TestCyclicVerilogEmission(t *testing.T) {
+	base, err := NewAdder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, _, err := LockCyclic(base, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := locked.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "module") || !strings.Contains(v, "endmodule") {
+		t.Fatal("malformed Verilog output")
+	}
+	// Every feedback source wire must be referenced by its consuming AND.
+	for _, fe := range locked.Feedback {
+		if !strings.Contains(v, fmt.Sprintf("n%d;", fe.From)) {
+			t.Fatalf("feedback source n%d missing from Verilog", fe.From)
+		}
+	}
+}
+
+// FuzzCycleConstraints builds random key-conditioned feedback graphs and
+// checks the CycSAT constraint generator against the reference DFS: a key
+// assignment satisfies every generated clause exactly when the conditioned
+// graph is acyclic, and the all-edges-broken assignment (the analogue of the
+// correct key) always satisfies them.
+func FuzzCycleConstraints(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(2))
+	f.Add(int64(2), uint8(10), uint8(4))
+	f.Add(int64(99), uint8(20), uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, nGates, nEdges uint8) {
+		gates := int(nGates)%24 + 2
+		edges := int(nEdges)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		// A random base DAG of AND/OR/XOR/NOT gates over one input...
+		c := New("fuzz")
+		c.AddInput()
+		keyIx := make([]int, edges)
+		for i := range keyIx {
+			c.AddKey()
+			keyIx[i] = i
+		}
+		firstLogic := len(c.Gates)
+		for len(c.Gates) < firstLogic+gates {
+			a := rng.Intn(len(c.Gates))
+			b := rng.Intn(len(c.Gates))
+			switch rng.Intn(4) {
+			case 0:
+				c.And(a, b)
+			case 1:
+				c.Or(a, b)
+			case 2:
+				c.Xor(a, b)
+			default:
+				c.Not(a)
+			}
+		}
+		c.MarkOutput(len(c.Gates) - 1)
+
+		// ...plus random key-conditioned back-edges on binary gates. Each
+		// edge gets its own key bit, so the assignment breaking every edge
+		// exists (the "correct key" of the random instance).
+		arms := make([]bool, edges)
+		placed := 0
+		for _, id := range rng.Perm(gates) {
+			if placed == edges {
+				break
+			}
+			g := firstLogic + id
+			if c.Gates[g].Kind.arity() != 2 {
+				continue
+			}
+			from := g + rng.Intn(len(c.Gates)-g)
+			arms[placed] = rng.Intn(2) == 1
+			c.AddFeedback(g, 1, from, keyIx[placed], arms[placed])
+			placed++
+		}
+		if placed == 0 || c.Err() != nil {
+			t.Skip("no placeable edges")
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("generated circuit invalid: %v", err)
+		}
+
+		clauses, err := c.CycleConstraints()
+		if err != nil {
+			t.Skip("enumeration bound")
+		}
+		nk := len(c.Keys)
+		for v := uint64(0); v < 1<<uint(nk); v++ {
+			keys := Uint64ToBits(v, nk)
+			sat := true
+			for _, cl := range clauses {
+				if !cl.Satisfied(keys) {
+					sat = false
+					break
+				}
+			}
+			if cyc := c.CyclicUnder(keys); sat == cyc {
+				t.Fatalf("seed %d key %#x: satisfied=%v cyclic=%v (clauses %v, feedback %+v)",
+					seed, v, sat, cyc, clauses, c.Feedback)
+			}
+		}
+		// All edges broken must be accepted.
+		correct := make([]bool, nk)
+		for i := 0; i < placed; i++ {
+			correct[keyIx[i]] = !arms[i]
+		}
+		for _, cl := range clauses {
+			if !cl.Satisfied(correct) {
+				t.Fatalf("seed %d: all-broken key violates %v", seed, cl)
+			}
+		}
+	})
+}

@@ -14,12 +14,13 @@ import (
 // Clone returns a deep copy of the circuit.
 func (c *Circuit) Clone() *Circuit {
 	nc := &Circuit{
-		Name:    c.Name,
-		Gates:   append([]Gate(nil), c.Gates...),
-		Inputs:  append([]int(nil), c.Inputs...),
-		Keys:    append([]int(nil), c.Keys...),
-		Outputs: append([]int(nil), c.Outputs...),
-		err:     c.err,
+		Name:     c.Name,
+		Gates:    append([]Gate(nil), c.Gates...),
+		Inputs:   append([]int(nil), c.Inputs...),
+		Keys:     append([]int(nil), c.Keys...),
+		Outputs:  append([]int(nil), c.Outputs...),
+		Feedback: append([]FeedbackEdge(nil), c.Feedback...),
+		err:      c.err,
 	}
 	return nc
 }

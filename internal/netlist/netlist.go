@@ -21,6 +21,14 @@ import (
 // without checking each one and still never ship a malformed circuit.
 var ErrConstruction = errors.New("netlist: malformed construction")
 
+// ErrUnstable reports a cyclic circuit configuration that did not settle: the
+// key-conditioned feedback left at least one output oscillating or latching,
+// so the circuit has no unique combinational value for that input/key pair.
+// Wrong keys of cyclic locking schemes are *designed* to trigger this; the
+// evaluator detects it deterministically (three-valued fixed point) instead
+// of looping forever.
+var ErrUnstable = errors.New("netlist: combinational feedback did not settle")
+
 // GateKind enumerates gate types. Input and Key are sources; all others
 // combine fan-ins.
 type GateKind uint8
@@ -72,6 +80,24 @@ type Gate struct {
 	Arg  bool // constant value for GConst
 }
 
+// FeedbackEdge registers one key-conditioned back-edge: fan-in Pin of gate
+// Gate reads the output of the LATER gate From, breaking the topological
+// invariant on purpose. Key indexes the circuit's key bus; the edge is
+// considered structurally live exactly when keys[Key] == Arm.
+//
+// Contract (maintained by LockCyclic, assumed by CycleConstraints and the
+// evaluator): whenever keys[Key] != Arm the consuming gate's output must not
+// depend on the rewired fan-in — in the MUX construction the back-edge feeds
+// an AND whose other input is forced to 0 by the key, so the broken edge is
+// dead combinationally, not just conceptually.
+type FeedbackEdge struct {
+	Gate int  // consuming gate id
+	Pin  int  // 0 = fan-in A, 1 = fan-in B
+	From int  // source gate id, >= Gate
+	Key  int  // index into Keys (bus position, not gate id)
+	Arm  bool // key value under which the edge is live
+}
+
 // Circuit is a combinational netlist with designated primary inputs, key
 // inputs and outputs.
 type Circuit struct {
@@ -80,6 +106,11 @@ type Circuit struct {
 	Inputs  []int // gate ids, in bus order
 	Keys    []int
 	Outputs []int
+	// Feedback lists the registered key-conditioned back-edges of a cyclic
+	// circuit (SRCLock-style locking). Empty for ordinary acyclic netlists,
+	// which keep the single-pass evaluator and the strict topological
+	// Validate invariant.
+	Feedback []FeedbackEdge
 
 	// err records the first builder misuse (ErrConstruction); once set,
 	// builder calls are no-ops and Validate/Eval refuse the circuit.
@@ -174,6 +205,56 @@ func (c *Circuit) Mux(sel, lo, hi int) int {
 	return c.Or(c.And(sel, hi), c.And(notSel, lo))
 }
 
+// AddFeedback rewires fan-in pin (0=A, 1=B) of gate to read from a gate at
+// or after it in topological order, registering the back-edge as conditioned
+// on key bit key (bus index) being equal to arm. Misuse — out-of-range ids,
+// a forward "feedback" that an ordinary edge could express, a pin the gate
+// does not have, or a second feedback on the same pin — records the sticky
+// construction error, mirroring the rest of the builder.
+func (c *Circuit) AddFeedback(gate, pin, from, key int, arm bool) {
+	if c.err != nil {
+		return
+	}
+	fail := func(format string, args ...any) {
+		c.err = fmt.Errorf("%w: circuit %q "+format,
+			append([]any{ErrConstruction, c.Name}, args...)...)
+	}
+	if gate < 0 || gate >= len(c.Gates) {
+		fail("feedback gate %d out of range", gate)
+		return
+	}
+	if from < gate || from >= len(c.Gates) {
+		fail("feedback source %d invalid for gate %d (want %d <= from < %d)",
+			from, gate, gate, len(c.Gates))
+		return
+	}
+	if key < 0 || key >= len(c.Keys) {
+		fail("feedback key index %d out of range (have %d keys)", key, len(c.Keys))
+		return
+	}
+	g := &c.Gates[gate]
+	if pin < 0 || pin >= g.Kind.arity() {
+		fail("feedback pin %d invalid for %v gate %d", pin, g.Kind, gate)
+		return
+	}
+	for _, fe := range c.Feedback {
+		if fe.Gate == gate && fe.Pin == pin {
+			fail("duplicate feedback on gate %d pin %d", gate, pin)
+			return
+		}
+	}
+	if pin == 0 {
+		g.A = from
+	} else {
+		g.B = from
+	}
+	c.Feedback = append(c.Feedback, FeedbackEdge{Gate: gate, Pin: pin, From: from, Key: key, Arm: arm})
+}
+
+// HasFeedback reports whether the circuit carries registered back-edges
+// (i.e. is a cyclic netlist needing the fixed-point evaluator).
+func (c *Circuit) HasFeedback() bool { return len(c.Feedback) > 0 }
+
 // MarkOutput designates gate id as the next primary output.
 func (c *Circuit) MarkOutput(id int) {
 	if c.err != nil || !c.ref(id) {
@@ -197,7 +278,11 @@ func (c *Circuit) LogicGates() int {
 	return n
 }
 
-// Eval computes the outputs for the given input and key assignments.
+// Eval computes the outputs for the given input and key assignments. An
+// acyclic circuit evaluates in a single topological pass; a circuit with
+// registered feedback edges evaluates to a three-valued fixed point and
+// returns ErrUnstable when the configuration oscillates or latches instead
+// of settling (see EvalCyclic).
 func (c *Circuit) Eval(inputs, keys []bool) ([]bool, error) {
 	if c.err != nil {
 		return nil, c.err
@@ -207,6 +292,9 @@ func (c *Circuit) Eval(inputs, keys []bool) ([]bool, error) {
 	}
 	if len(keys) != len(c.Keys) {
 		return nil, fmt.Errorf("netlist %s: got %d key bits, want %d", c.Name, len(keys), len(c.Keys))
+	}
+	if len(c.Feedback) > 0 {
+		return c.evalCyclic(inputs, keys)
 	}
 	vals := make([]bool, len(c.Gates))
 	in, key := 0, 0
@@ -247,21 +335,186 @@ func (c *Circuit) Eval(inputs, keys []bool) ([]bool, error) {
 	return outs, nil
 }
 
-// Validate checks structural invariants: topological fan-in order, source
-// bookkeeping consistency, and output references. A circuit whose builder
+// Three-valued logic for the cyclic evaluator: 0, 1, or X (undefined).
+const (
+	tv0 uint8 = 0
+	tv1 uint8 = 1
+	tvX uint8 = 2
+)
+
+// evalCyclic evaluates a circuit with feedback edges to a ternary fixed
+// point: every non-source gate starts at X and repeated in-order sweeps
+// refine values monotonically (X may become 0/1, defined values never
+// change), so the iteration converges within one sweep per gate. Controlling
+// values propagate through X — AND(0, X) = 0 — which is exactly how a broken
+// feedback MUX arm kills the undefined loop value under the correct key. Any
+// output still X at the fixed point means the configuration latches or
+// oscillates; that surfaces as ErrUnstable rather than an arbitrary value.
+func (c *Circuit) evalCyclic(inputs, keys []bool) ([]bool, error) {
+	vals := make([]uint8, len(c.Gates))
+	in, key := 0, 0
+	for id, g := range c.Gates {
+		switch g.Kind {
+		case GInput:
+			vals[id] = b2t(inputs[in])
+			in++
+		case GKey:
+			vals[id] = b2t(keys[key])
+			key++
+		case GConst:
+			vals[id] = b2t(g.Arg)
+		default:
+			vals[id] = tvX
+		}
+	}
+	for pass := 0; pass <= len(c.Gates); pass++ {
+		changed := false
+		for id, g := range c.Gates {
+			if g.Kind.arity() == 0 {
+				continue
+			}
+			var nv uint8
+			a := vals[g.A]
+			switch g.Kind {
+			case GNot:
+				nv = tNot(a)
+			case GBuf:
+				nv = a
+			case GAnd:
+				nv = tAnd(a, vals[g.B])
+			case GOr:
+				nv = tOr(a, vals[g.B])
+			case GXor:
+				nv = tXor(a, vals[g.B])
+			case GNand:
+				nv = tNot(tAnd(a, vals[g.B]))
+			case GNor:
+				nv = tNot(tOr(a, vals[g.B]))
+			case GXnor:
+				nv = tNot(tXor(a, vals[g.B]))
+			default:
+				return nil, fmt.Errorf("netlist %s: unknown gate kind %v", c.Name, g.Kind)
+			}
+			if nv != vals[id] {
+				vals[id] = nv
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	outs := make([]bool, len(c.Outputs))
+	for i, id := range c.Outputs {
+		switch vals[id] {
+		case tvX:
+			return nil, fmt.Errorf("%w: circuit %q output %d undefined under key %#x",
+				ErrUnstable, c.Name, i, BitsToUint64(keys))
+		case tv1:
+			outs[i] = true
+		}
+	}
+	return outs, nil
+}
+
+func b2t(v bool) uint8 {
+	if v {
+		return tv1
+	}
+	return tv0
+}
+
+func tNot(a uint8) uint8 {
+	if a == tvX {
+		return tvX
+	}
+	return a ^ 1
+}
+
+func tAnd(a, b uint8) uint8 {
+	if a == tv0 || b == tv0 {
+		return tv0
+	}
+	if a == tvX || b == tvX {
+		return tvX
+	}
+	return tv1
+}
+
+func tOr(a, b uint8) uint8 {
+	if a == tv1 || b == tv1 {
+		return tv1
+	}
+	if a == tvX || b == tvX {
+		return tvX
+	}
+	return tv0
+}
+
+func tXor(a, b uint8) uint8 {
+	if a == tvX || b == tvX {
+		return tvX
+	}
+	return a ^ b
+}
+
+// Validate checks structural invariants: topological fan-in order (except
+// for registered feedback edges), source bookkeeping consistency, feedback
+// registration consistency, and output references. A circuit whose builder
 // recorded a construction error fails validation with that error.
 func (c *Circuit) Validate() error {
 	if c.err != nil {
 		return c.err
 	}
+	// Registered back-edges, keyed by (gate, pin); Validate exempts exactly
+	// these from the topological invariant and checks they match the wiring.
+	type pinRef struct{ gate, pin int }
+	var back map[pinRef]FeedbackEdge
+	if len(c.Feedback) > 0 {
+		back = make(map[pinRef]FeedbackEdge, len(c.Feedback))
+		for _, fe := range c.Feedback {
+			if fe.Gate < 0 || fe.Gate >= len(c.Gates) || fe.From < fe.Gate || fe.From >= len(c.Gates) {
+				return fmt.Errorf("netlist %s: feedback edge %+v out of range", c.Name, fe)
+			}
+			if fe.Key < 0 || fe.Key >= len(c.Keys) {
+				return fmt.Errorf("netlist %s: feedback edge %+v key index out of range", c.Name, fe)
+			}
+			if fe.Pin < 0 || fe.Pin >= c.Gates[fe.Gate].Kind.arity() {
+				return fmt.Errorf("netlist %s: feedback edge %+v pin invalid", c.Name, fe)
+			}
+			ref := pinRef{fe.Gate, fe.Pin}
+			if _, dup := back[ref]; dup {
+				return fmt.Errorf("netlist %s: duplicate feedback on gate %d pin %d", c.Name, fe.Gate, fe.Pin)
+			}
+			got := c.Gates[fe.Gate].A
+			if fe.Pin == 1 {
+				got = c.Gates[fe.Gate].B
+			}
+			if got != fe.From {
+				return fmt.Errorf("netlist %s: feedback edge %+v disagrees with wiring (fan-in is %d)",
+					c.Name, fe, got)
+			}
+			back[ref] = fe
+		}
+	}
 	in, key := 0, 0
 	for id, g := range c.Gates {
 		n := g.Kind.arity()
 		if n >= 1 && (g.A < 0 || g.A >= id) {
-			return fmt.Errorf("netlist %s: gate %d fan-in A=%d not topological", c.Name, id, g.A)
+			if _, ok := back[pinRef{id, 0}]; !ok {
+				return fmt.Errorf("netlist %s: gate %d fan-in A=%d not topological", c.Name, id, g.A)
+			}
+			if g.A < 0 || g.A >= len(c.Gates) {
+				return fmt.Errorf("netlist %s: gate %d fan-in A=%d out of range", c.Name, id, g.A)
+			}
 		}
 		if n == 2 && (g.B < 0 || g.B >= id) {
-			return fmt.Errorf("netlist %s: gate %d fan-in B=%d not topological", c.Name, id, g.B)
+			if _, ok := back[pinRef{id, 1}]; !ok {
+				return fmt.Errorf("netlist %s: gate %d fan-in B=%d not topological", c.Name, id, g.B)
+			}
+			if g.B < 0 || g.B >= len(c.Gates) {
+				return fmt.Errorf("netlist %s: gate %d fan-in B=%d out of range", c.Name, id, g.B)
+			}
 		}
 		switch g.Kind {
 		case GInput:

@@ -70,6 +70,13 @@ type Checkpoint struct {
 	// recorded: both attack modes drive the identical miter clause/solve
 	// stream, so a transcript is mode-independent by construction.
 	Solver string `json:"solver,omitempty"`
+	// CycleBreak records whether the transcript was produced with CycSAT
+	// cycle-breaking constraints conjoined (Options.CycleBreak). The
+	// constraints change the miter's clause stream and therefore the DIP
+	// sequence, so a transcript never replays across modes. omitempty keeps
+	// pre-cyclic version-3 files loading: they were all written with the
+	// flag effectively false.
+	CycleBreak bool `json:"cycle_break,omitempty"`
 	// Metrics optionally embeds the registry snapshot at save time, for
 	// post-mortem inspection; resume does not consume it.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
@@ -246,9 +253,10 @@ func (cp *Checkpoint) Save(path string, key []byte) error {
 	return nil
 }
 
-// validateFor rejects a checkpoint recorded against a different circuit or a
-// different solver backend before the attack spends any work on it.
-func (cp *Checkpoint) validateFor(locked *netlist.Circuit, solver string) error {
+// validateFor rejects a checkpoint recorded against a different circuit, a
+// different solver backend or a different cycle-constraint mode before the
+// attack spends any work on it.
+func (cp *Checkpoint) validateFor(locked *netlist.Circuit, solver string, cycleBreak bool) error {
 	if cp.Circuit != locked.Name || cp.InputBits != len(locked.Inputs) || cp.KeyBits != len(locked.Keys) {
 		return fmt.Errorf("%w: checkpoint is for %q (%d inputs, %d keys), attack target is %q (%d inputs, %d keys)",
 			ErrCheckpointMismatch, cp.Circuit, cp.InputBits, cp.KeyBits,
@@ -257,6 +265,10 @@ func (cp *Checkpoint) validateFor(locked *netlist.Circuit, solver string) error 
 	if normalizeSolver(cp.Solver) != normalizeSolver(solver) {
 		return fmt.Errorf("%w: checkpoint transcript was produced by solver backend %q, attack is using %q",
 			ErrCheckpointMismatch, normalizeSolver(cp.Solver), normalizeSolver(solver))
+	}
+	if cp.CycleBreak != cycleBreak {
+		return fmt.Errorf("%w: checkpoint transcript recorded with cycle_break=%v, attack is running with %v",
+			ErrCheckpointMismatch, cp.CycleBreak, cycleBreak)
 	}
 	return nil
 }

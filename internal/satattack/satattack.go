@@ -73,6 +73,16 @@ type Options struct {
 	// precedence over Solver (tests and embedders with unregistered
 	// engines). Checkpoints still record Solver as the transcript label.
 	Backend sat.Factory
+	// CycleBreak enables the CycSAT extension for cyclically locked
+	// circuits: key-only "no structural cycle" constraints are pre-computed
+	// from the netlist's feedback edges (netlist.CycleConstraints) and
+	// conjoined into the miter and the key solver before the DIP loop, so
+	// the attack only ever reasons over acyclic key configurations. Off by
+	// default — running the plain attack against a cyclic circuit is the
+	// motivating failure mode and stays expressible. The flag is recorded in
+	// checkpoints: constraints change the DIP sequence, so a transcript is
+	// never replayed across modes.
+	CycleBreak bool
 	// Incremental keeps only the one warm miter solver busy during the DIP
 	// loop and defers the constraint-only key solver entirely: instead of
 	// eagerly mirroring every I/O constraint into a second encoder per
@@ -206,7 +216,7 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	q := newQuerier(oracle, opts.Retry, opts.Votes, opts.Quorum, mreg)
 	replay := opts.Resume
 	if replay != nil {
-		if err := replay.validateFor(locked, solverName); err != nil {
+		if err := replay.validateFor(locked, solverName, opts.CycleBreak); err != nil {
 			return nil, err
 		}
 		// Physical-call continuity: the querier resumes counting where the
@@ -226,15 +236,52 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	if err != nil {
 		return nil, err
 	}
-	inst2, err := me.Encode(locked, inst1.Inputs, nil)
+	// The cyclic path shares every net outside the key cone between the two
+	// copies: the terminal UNSAT on a cyclically locked datapath otherwise
+	// spends its time re-proving two disjoint copies of the unlocked logic
+	// equal. The SFLL path keeps the historical full-duplication encoding so
+	// its variable stream — and with it every pinned transcript and
+	// fingerprint — stays bit-identical.
+	var inst2 *cnf.Instance
+	if opts.CycleBreak {
+		inst2, err = me.EncodeShared(locked, inst1)
+	} else {
+		inst2, err = me.Encode(locked, inst1.Inputs, nil)
+	}
 	if err != nil {
 		return nil, err
 	}
-	diffs := make([]int, len(inst1.Outputs))
-	for i := range diffs {
-		diffs[i] = me.XorVar(inst1.Outputs[i], inst2.Outputs[i])
+	// Outputs outside the key cone alias the same variable in both copies
+	// and can never differ; only genuine difference candidates join the
+	// miter disjunction.
+	diffs := make([]int, 0, len(inst1.Outputs))
+	for i := range inst1.Outputs {
+		if inst1.Outputs[i] != inst2.Outputs[i] {
+			diffs = append(diffs, me.XorVar(inst1.Outputs[i], inst2.Outputs[i]))
+		}
 	}
 	act := sat.NewLit(me.GuardedAtLeastOne(diffs), false)
+
+	// CycSAT pre-processing: derive the cycle-breaking key constraints once
+	// and conjoin them over both miter key copies, so no DIP search ever
+	// wanders into a key that closes a combinational loop (whose CNF fixed
+	// points are unrelated to any settled circuit behaviour). The key
+	// solver(s) get the same clauses below, in both modes.
+	var cycleClauses []netlist.CycleClause
+	if opts.CycleBreak {
+		stopCC := mreg.Timer("cycsat_constraint_seconds")
+		cycleClauses, err = locked.CycleConstraints()
+		stopCC()
+		if err != nil {
+			return nil, fmt.Errorf("satattack: cycle constraints: %w", err)
+		}
+		mreg.Add("cycsat_constraints_total", int64(len(cycleClauses)))
+		for _, kv := range [][]int{inst1.Keys, inst2.Keys} {
+			if err := me.CycleClauses(kv, cycleClauses); err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	// Key solver: accumulates only the I/O constraints over one key bus; it
 	// stays satisfiable (the correct key satisfies everything) and yields
@@ -245,9 +292,15 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	// first, then per answered DIP the same ConstVars/Encode/FixVar
 	// sequence — so the search, the model, and the metric deltas cannot
 	// differ between modes.
-	newKeyEncoder := func() (*cnf.Encoder, []int) {
+	newKeyEncoder := func() (*cnf.Encoder, []int, error) {
 		ke := cnf.NewEncoderBackend(factory())
-		return ke, ke.FreshVars(len(locked.Keys))
+		kv := ke.FreshVars(len(locked.Keys))
+		// Cycle constraints lead the key solver's clause stream in both
+		// modes, keeping rebuild and transcript reconstruction bit-identical.
+		if err := ke.CycleClauses(kv, cycleClauses); err != nil {
+			return nil, nil, err
+		}
+		return ke, kv, nil
 	}
 	addKeyConstraint := func(ke *cnf.Encoder, keyVars []int, dip, outs []bool) error {
 		inBits := ke.ConstVars(dip)
@@ -263,7 +316,9 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 	var ke *cnf.Encoder
 	var keyVars []int
 	if !opts.Incremental {
-		ke, keyVars = newKeyEncoder()
+		if ke, keyVars, err = newKeyEncoder(); err != nil {
+			return nil, err
+		}
 	}
 
 	res := &Result{}
@@ -276,7 +331,10 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 		if !opts.Incremental {
 			return ke, keyVars, nil
 		}
-		kke, kv := newKeyEncoder()
+		kke, kv, err := newKeyEncoder()
+		if err != nil {
+			return nil, nil, err
+		}
 		for i, outs := range answers {
 			if err := addKeyConstraint(kke, kv, res.DIPs[i], outs); err != nil {
 				return nil, nil, err
@@ -330,6 +388,7 @@ func Attack(ctx context.Context, locked *netlist.Circuit, oracle Oracle, opts Op
 			DIPs:        encodeBitVectors(res.DIPs),
 			Answers:     encodeBitVectors(answers),
 			Solver:      solverName,
+			CycleBreak:  opts.CycleBreak,
 		}
 		if snap := mreg.Snapshot(); !snap.Empty() {
 			cp.Metrics = &snap

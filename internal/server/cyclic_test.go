@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bindlock/internal/fault"
+	"bindlock/internal/metrics"
+)
+
+// cyclicAttack is a cyclic-scheme attack sized to run a handful of DIP
+// iterations: enough transcript for the resume tests, still milliseconds.
+func cyclicAttack() Request {
+	return Request{
+		Kind: KindAttack, Scheme: SchemeCyclic,
+		OperandBits: 6, CycleEdges: 4, CycleDecoys: 8, Seed: 2,
+	}
+}
+
+// TestCyclicAttackJob runs a cyclic attack through the manager and checks the
+// result payload and the cyclock metric.
+func TestCyclicAttackJob(t *testing.T) {
+	reg := metrics.New()
+	m := newManager(t, Config{Workers: 1, Registry: reg})
+	j := submitWait(t, m, cyclicAttack())
+	var res AttackResult
+	if err := json.Unmarshal(j.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != SchemeCyclic {
+		t.Fatalf("scheme %q, want cyclic", res.Scheme)
+	}
+	if res.FeedbackEdges != 4 {
+		t.Fatalf("feedback edges %d, want 4", res.FeedbackEdges)
+	}
+	if res.Secret != 0 {
+		t.Fatalf("cyclic result carries a secret: %d", res.Secret)
+	}
+	if res.KeyBits == 0 || len(res.Key) != res.KeyBits {
+		t.Fatalf("key %q does not match key_bits %d", res.Key, res.KeyBits)
+	}
+	if v, _ := reg.Snapshot().Counter("cyclock_cycles_inserted"); v != 4 {
+		t.Fatalf("cyclock_cycles_inserted = %v, want 4", v)
+	}
+	if v, _ := reg.Snapshot().Counter("cycsat_constraints_total"); v == 0 {
+		t.Fatal("cycsat_constraints_total never moved")
+	}
+}
+
+// TestSubmitBadFieldErrors pins the typed rejection for enumerated fields:
+// the HTTP layer must answer 400 with the offending field and the supported
+// values as structure, for both unknown kinds and unknown attack schemes.
+func TestSubmitBadFieldErrors(t *testing.T) {
+	m := newManager(t, Config{Workers: 1})
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name      string
+		body      string
+		field     string
+		got       string
+		supported []string
+	}{
+		{
+			name:  "unknown kind",
+			body:  `{"kind": "exfiltrate"}`,
+			field: "kind", got: "exfiltrate", supported: Kinds(),
+		},
+		{
+			name:  "unknown scheme",
+			body:  `{"kind": "attack", "scheme": "sarlock"}`,
+			field: "scheme", got: "sarlock", supported: AttackSchemes(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var body struct {
+				Error     string   `json:"error"`
+				Field     string   `json:"field"`
+				Got       string   `json:"got"`
+				Supported []string `json:"supported"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatal(err)
+			}
+			if body.Field != tc.field || body.Got != tc.got {
+				t.Fatalf("field/got = %q/%q, want %q/%q", body.Field, body.Got, tc.field, tc.got)
+			}
+			if len(body.Supported) != len(tc.supported) {
+				t.Fatalf("supported %v, want %v", body.Supported, tc.supported)
+			}
+			for i, s := range tc.supported {
+				if body.Supported[i] != s {
+					t.Fatalf("supported %v, want %v", body.Supported, tc.supported)
+				}
+			}
+			if body.Error == "" || !strings.Contains(body.Error, tc.got) {
+				t.Fatalf("error %q does not name the offending value %q", body.Error, tc.got)
+			}
+		})
+	}
+}
+
+// TestCyclicFieldValidation covers the scheme-conditional field rules.
+func TestCyclicFieldValidation(t *testing.T) {
+	m := newManager(t, Config{Workers: 1})
+	bad := []Request{
+		{Kind: KindAttack, Scheme: SchemeCyclic, Secret: 3},
+		{Kind: KindAttack, Scheme: SchemeCyclic, RandomSecret: true},
+		{Kind: KindAttack, Scheme: SchemeCyclic, CycleEdges: 9},
+		{Kind: KindAttack, Scheme: SchemeCyclic, CycleDecoys: 9},
+		{Kind: KindAttack, CycleEdges: 2},
+		{Kind: KindLock, Source: testKernel, Scheme: SchemeCyclic},
+	}
+	for i, req := range bad {
+		if _, err := m.Submit(req); err == nil {
+			t.Fatalf("case %d (%+v) was accepted", i, req)
+		}
+	}
+}
+
+// TestCyclicCheckpointResumeByteIdentical is the cyclic form of the daemon's
+// kill/resume contract: a fault kills the constrained attack mid-run, the
+// transcript (carrying the cycle_break mode) survives on disk, and a
+// restarted manager resumes it to bytes identical to a never-interrupted
+// reference run.
+func TestCyclicCheckpointResumeByteIdentical(t *testing.T) {
+	req := cyclicAttack()
+
+	// Reference: clean manager, no faults, no checkpoints.
+	ref := submitWait(t, newManager(t, Config{Workers: 1}), req)
+
+	ckptDir := t.TempDir()
+	// The width-6 cyclic attack solves the miter once per DIP iteration plus
+	// the terminal UNSAT and key-extraction calls (~7 total over its 5
+	// iterations); failing the fifth call kills it mid-DIP-loop with several
+	// iterations already checkpointed.
+	inj := fault.New(fault.Plan{Seed: 1, FailEvery: map[string]uint64{"sat.solve": 5}})
+	a, err := New(Config{
+		Workers: 1, CheckpointDir: ckptDir,
+		BaseContext: fault.NewContext(context.Background(), inj),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	j, err := a.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, a, j.ID)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30e9)
+	a.Drain(drainCtx)
+	cancel()
+	if got.State != StateFailed {
+		t.Fatalf("faulted cyclic attack landed in state %s, want failed", got.State)
+	}
+	ckpt := filepath.Join(ckptDir, j.Key+".ckpt")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint survived the injected failure: %v", err)
+	}
+
+	// Restart without the fault plan: the job resumes and matches the
+	// reference byte for byte.
+	b := newManager(t, Config{Workers: 1, CheckpointDir: ckptDir})
+	final := submitWait(t, b, req)
+	if !final.Resumed {
+		t.Fatal("restarted run ignored the cyclic checkpoint")
+	}
+	if !bytes.Equal(final.Result, ref.Result) {
+		t.Fatalf("resumed cyclic result diverged:\nref: %s\ngot: %s", ref.Result, final.Result)
+	}
+	if _, err := os.Stat(ckpt); err == nil {
+		t.Fatal("checkpoint not removed after the successful resume")
+	}
+}

@@ -88,10 +88,14 @@ type CodesignResult struct {
 // the measured effort.
 type AttackResult struct {
 	OperandBits int    `json:"operand_bits"`
-	Secret      uint64 `json:"secret"`
+	Scheme      string `json:"scheme"`
+	Secret      uint64 `json:"secret,omitempty"`
 	KeyBits     int    `json:"key_bits"`
 	GateCount   int    `json:"gate_count"`
 	Iterations  int    `json:"iterations"`
+	// FeedbackEdges is the cyclic lock's key-programmed feedback MUX count
+	// (scheme "cyclic" only).
+	FeedbackEdges int `json:"feedback_edges,omitempty"`
 	// Key is the recovered key as a '0'/'1' string, least significant bit
 	// first, verified functionally correct against the oracle.
 	Key string `json:"key"`
@@ -270,7 +274,16 @@ func (m *Manager) runAttack(ctx context.Context, j *job) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	locked, key, err := netlist.LockSFLLHD0(base, []uint64{r.Secret})
+	var locked *netlist.Circuit
+	var key []bool
+	if r.Scheme == SchemeCyclic {
+		locked, key, err = netlist.LockCyclic(base, r.CycleEdges, r.CycleDecoys, r.Seed)
+		if err == nil {
+			m.reg.Add("cyclock_cycles_inserted", int64(len(locked.Feedback)))
+		}
+	} else {
+		locked, key, err = netlist.LockSFLLHD0(base, []uint64{r.Secret})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +292,7 @@ func (m *Manager) runAttack(ctx context.Context, j *job) (any, error) {
 		CheckpointKey:   m.cfg.CheckpointKey,
 		Solver:          r.Solver,
 		Incremental:     r.Incremental,
+		CycleBreak:      r.Scheme == SchemeCyclic,
 	}
 	// coldRestart marks a checkpoint that existed but was rejected
 	// (corrupt, tampered, foreign): the resume is abandoned and the fault
@@ -367,9 +381,10 @@ func (m *Manager) runAttack(ctx context.Context, j *job) (any, error) {
 		os.Remove(opts.CheckpointPath)
 	}
 	return &AttackResult{
-		OperandBits: r.OperandBits, Secret: r.Secret,
+		OperandBits: r.OperandBits, Scheme: r.Scheme, Secret: r.Secret,
 		KeyBits: len(locked.Keys), GateCount: locked.LogicGates(),
-		Iterations: res.Iterations, Key: bitString(res.Key),
+		Iterations: res.Iterations, FeedbackEdges: len(locked.Feedback),
+		Key: bitString(res.Key),
 	}, nil
 }
 

@@ -294,5 +294,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	// A BadFieldError serves its structure alongside the message, so clients
+	// can enumerate the supported values instead of parsing prose.
+	var bf *BadFieldError
+	if errors.As(err, &bf) {
+		writeJSON(w, status, map[string]any{
+			"error": err.Error(), "field": bf.Field,
+			"got": bf.Got, "supported": bf.Supported,
+		})
+		return
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -245,7 +245,9 @@ func (m *Manager) workerLoop(ctx context.Context) {
 func (m *Manager) Submit(req Request) (Job, error) {
 	r, err := resolve(req)
 	if err != nil {
-		return Job{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		// Both wraps survive: Is(ErrBadRequest) for the status mapping, and
+		// As(*BadFieldError) for the structured 400 body.
+		return Job{}, fmt.Errorf("%w: %w", ErrBadRequest, err)
 	}
 	m.reg.Add("server_jobs_submitted_total", 1)
 	key := r.fingerprint().Key()

@@ -91,6 +91,16 @@ type Request struct {
 	// fingerprint: both modes produce bit-identical results by
 	// construction, so their cache entries must coincide.
 	Incremental bool `json:"incremental,omitempty"`
+	// Scheme selects the attacked locking scheme: "sfll" (default; SFLL-HD(0)
+	// on the secret minterm) or "cyclic" (SRCLock-style feedback obfuscation,
+	// attacked with CycSAT cycle-breaking constraints). "attack" only.
+	Scheme string `json:"scheme,omitempty"`
+	// CycleEdges is the key-programmed feedback MUX count of a cyclic lock
+	// (default 2, maximum 8; scheme "cyclic" only).
+	CycleEdges int `json:"cycle_edges,omitempty"`
+	// CycleDecoys is the acyclic decoy MUX count of a cyclic lock
+	// (default 2, maximum 8; scheme "cyclic" only).
+	CycleDecoys int `json:"cycle_decoys,omitempty"`
 }
 
 // The job kinds.
@@ -105,6 +115,30 @@ const (
 // Kinds lists every job kind the server accepts.
 func Kinds() []string {
 	return []string{KindPrepare, KindBind, KindLock, KindAttack, KindCodesign}
+}
+
+// The attack schemes.
+const (
+	SchemeSFLL   = "sfll"
+	SchemeCyclic = "cyclic"
+)
+
+// AttackSchemes lists every locking scheme attack jobs accept.
+func AttackSchemes() []string {
+	return []string{SchemeSFLL, SchemeCyclic}
+}
+
+// BadFieldError rejects a submission over one enumerated field, carrying the
+// offending value and the supported ones so the HTTP layer can serve a
+// machine-readable 400 instead of a bare message.
+type BadFieldError struct {
+	Field     string   `json:"field"`
+	Got       string   `json:"got"`
+	Supported []string `json:"supported"`
+}
+
+func (e *BadFieldError) Error() string {
+	return fmt.Sprintf("unknown %s %q (one of %v)", e.Field, e.Got, e.Supported)
 }
 
 // workloads maps request names onto facade workload kinds.
@@ -137,7 +171,7 @@ func resolve(req Request) (*resolved, error) {
 	case "":
 		return nil, fmt.Errorf("kind is required (one of %v)", Kinds())
 	default:
-		return nil, fmt.Errorf("unknown kind %q (one of %v)", r.Kind, Kinds())
+		return nil, &BadFieldError{Field: "kind", Got: r.Kind, Supported: Kinds()}
 	}
 
 	if r.Kind == KindAttack {
@@ -149,6 +183,46 @@ func resolve(req Request) (*resolved, error) {
 		}
 		if r.OperandBits < 1 || r.OperandBits > 8 {
 			return nil, fmt.Errorf("operand_bits %d outside [1, 8]", r.OperandBits)
+		}
+		switch r.Scheme {
+		case "", SchemeSFLL:
+			r.Scheme = SchemeSFLL
+		case SchemeCyclic:
+		default:
+			return nil, &BadFieldError{Field: "scheme", Got: r.Scheme, Supported: AttackSchemes()}
+		}
+		if r.Scheme == SchemeCyclic {
+			// A cyclic lock's key is the acyclic MUX selection the seeded
+			// placement produces; there is no secret minterm to protect.
+			if r.Secret != 0 || r.RandomSecret {
+				return nil, fmt.Errorf("secret and random_secret apply to sfll attacks only")
+			}
+			r.SecretRedacted = false
+			if r.CycleEdges == 0 {
+				r.CycleEdges = 2
+			}
+			if r.CycleEdges < 1 || r.CycleEdges > 8 {
+				return nil, fmt.Errorf("cycle_edges %d outside [1, 8]", r.CycleEdges)
+			}
+			if r.CycleDecoys == 0 {
+				r.CycleDecoys = 2
+			}
+			if r.CycleDecoys < 0 || r.CycleDecoys > 8 {
+				return nil, fmt.Errorf("cycle_decoys %d outside [0, 8]", r.CycleDecoys)
+			}
+			if r.Seed == 0 {
+				r.Seed = 1
+			}
+			if r.Solver == "" {
+				r.Solver = sat.DefaultBackend
+			}
+			if _, err := sat.BackendFactory(r.Solver); err != nil {
+				return nil, err
+			}
+			return r, nil
+		}
+		if r.CycleEdges != 0 || r.CycleDecoys != 0 {
+			return nil, fmt.Errorf("cycle_edges and cycle_decoys apply to cyclic attacks only")
 		}
 		r.SecretRedacted = false
 		if r.RandomSecret {
@@ -174,6 +248,9 @@ func resolve(req Request) (*resolved, error) {
 	}
 	if r.Solver != "" || r.Incremental || r.RandomSecret {
 		return nil, fmt.Errorf("solver, incremental and random_secret apply to attack jobs only")
+	}
+	if r.Scheme != "" || r.CycleEdges != 0 || r.CycleDecoys != 0 {
+		return nil, fmt.Errorf("scheme, cycle_edges and cycle_decoys apply to attack jobs only")
 	}
 
 	// The prepare-family kinds share the front-of-line flow.
@@ -286,11 +363,20 @@ func (r *resolved) fingerprint() *store.Fingerprint {
 	if r.Kind == KindAttack {
 		// Incremental is deliberately absent: both attack modes are
 		// bit-identical, so caching them separately would only halve the
-		// hit rate.
-		return store.NewFingerprint(KindAttack).
+		// hit rate. The scheme always enters; only the fields that scheme
+		// actually reads follow it, so an sfll job can never collide with a
+		// cyclic one and irrelevant knobs can never split entries.
+		fp := store.NewFingerprint(KindAttack).
 			Int("operand_bits", int64(r.OperandBits)).
-			Uint("secret", r.Secret).
-			Str("solver", r.Solver)
+			Str("solver", r.Solver).
+			Str("scheme", r.Scheme)
+		if r.Scheme == SchemeCyclic {
+			return fp.
+				Int("cycle_edges", int64(r.CycleEdges)).
+				Int("cycle_decoys", int64(r.CycleDecoys)).
+				Int("seed", r.Seed)
+		}
+		return fp.Uint("secret", r.Secret)
 	}
 	if r.Kind == KindPrepare {
 		return r.prepareFingerprint()

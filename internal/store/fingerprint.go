@@ -33,8 +33,11 @@ import (
 // cache entries stop being served rather than silently disagreeing with a
 // fresh run. bindlock-2: the SAT attack's miter gained an activation-guarded
 // difference clause and assumption-based solving, which changes DIP
-// sequences (and attack jobs now carry a solver field).
-const CodeVersion = "bindlock-2"
+// sequences (and attack jobs now carry a solver field). bindlock-3: attack
+// jobs gained a scheme field (sfll or cyclic) and cyclic result payloads,
+// and the Tseitin encoder pins feedback-source variables, shifting variable
+// numbering on cyclic circuits.
+const CodeVersion = "bindlock-3"
 
 // Field is one named value of a fingerprint.
 type Field struct {
